@@ -1,0 +1,110 @@
+// X17: microbenchmarks of the cryptographic and serialization substrate
+// (google-benchmark). These validate the relative cost assumptions behind
+// the CryptoCostModel (signatures ≫ MACs, paper Design Choice 11).
+
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/sha256.h"
+#include "crypto/threshold.h"
+
+namespace bftlab {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Buffer data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    Digest d = Sha256::Hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Buffer key(32, 0x1f);
+  Buffer data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    Digest d = HmacSha256(key, data);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_SignVerify(benchmark::State& state) {
+  KeyStore keystore(1);
+  Buffer msg(256, 0x42);
+  Signature sig = keystore.Sign(0, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keystore.VerifySignature(sig, msg));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_MacComputeVerify(benchmark::State& state) {
+  KeyStore keystore(1);
+  Buffer msg(256, 0x42);
+  Mac mac = keystore.ComputeMac(0, 1, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keystore.VerifyMac(mac, msg));
+  }
+}
+BENCHMARK(BM_MacComputeVerify);
+
+void BM_ThresholdCombine(benchmark::State& state) {
+  KeyStore keystore(1);
+  ThresholdScheme scheme(&keystore);
+  Buffer msg(256, 0x42);
+  uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::vector<SignatureShare> shares;
+  for (NodeId i = 0; i < k; ++i) {
+    CryptoContext ctx(i, &keystore, CryptoCostModel::Free());
+    shares.push_back(scheme.SignShare(&ctx, msg));
+  }
+  CryptoContext collector(0, &keystore, CryptoCostModel::Free());
+  for (auto _ : state) {
+    auto sig = scheme.Combine(&collector, shares, k, msg);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_ThresholdCombine)->Arg(3)->Arg(11)->Arg(21);
+
+void BM_CodecEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    Encoder enc;
+    for (int i = 0; i < 16; ++i) {
+      enc.PutU64(static_cast<uint64_t>(i) * 77);
+      enc.PutVarint(static_cast<uint64_t>(i) << 20);
+    }
+    enc.PutBytes(Buffer(128, 0x5a));
+    benchmark::DoNotOptimize(enc.buffer());
+  }
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  Encoder enc;
+  for (int i = 0; i < 16; ++i) {
+    enc.PutU64(static_cast<uint64_t>(i) * 77);
+    enc.PutVarint(static_cast<uint64_t>(i) << 20);
+  }
+  enc.PutBytes(Buffer(128, 0x5a));
+  Buffer buf = enc.Take();
+  for (auto _ : state) {
+    Decoder dec(buf);
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(dec.GetU64());
+      benchmark::DoNotOptimize(dec.GetVarint());
+    }
+    benchmark::DoNotOptimize(dec.GetBytes());
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+}  // namespace
+}  // namespace bftlab
+
+BENCHMARK_MAIN();

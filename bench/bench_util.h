@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benches. Every bench prints:
+//   - the experiment id and the paper claim it reproduces,
+//   - a results table,
+//   - a PASS/MISS verdict on the claim's *shape* (not absolute numbers).
+
+#ifndef BFTLAB_BENCH_BENCH_UTIL_H_
+#define BFTLAB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+
+namespace bftlab {
+namespace bench {
+
+inline void Title(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void Header() {
+  std::printf("%s\n", ExperimentResult::TableHeader().c_str());
+}
+
+inline void Row(const ExperimentResult& r, const std::string& note = "") {
+  std::printf("%s  %s\n", r.TableRow().c_str(), note.c_str());
+}
+
+inline void Verdict(bool holds, const std::string& what) {
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+  std::printf("[%s] %s\n\n", holds ? "SHAPE-OK" : "SHAPE-MISS", what.c_str());
+}
+
+/// Runs or dies (benches are scripts; a failed config is a bug).
+inline ExperimentResult MustRun(const ExperimentConfig& cfg) {
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  if (!r.ok()) {
+    std::fprintf(stderr, "experiment '%s' failed: %s\n", cfg.protocol.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace bench
+}  // namespace bftlab
+
+#endif  // BFTLAB_BENCH_BENCH_UTIL_H_

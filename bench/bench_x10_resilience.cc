@@ -1,0 +1,60 @@
+// X10 (Design Choice 10): resilience through extra replicas. Zyzzyva's
+// 3f+1 fast path needs ALL replicas, so one crash disables it; Zyzzyva5's
+// 5f+1 deployment keeps the 4f+1 fast quorum alive under f faults.
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X10: Resilience (DC10) — Zyzzyva vs Zyzzyva5 under faults",
+               "adding 2f replicas lets the optimistic fast path survive f "
+               "failures");
+
+  struct Cell {
+    uint64_t fast;
+    uint64_t repair;
+    double latency;
+  };
+  auto run = [&](const std::string& proto, bool crash) {
+    ExperimentConfig cfg;
+    cfg.protocol = proto;
+    cfg.num_clients = 4;
+    cfg.duration_us = Seconds(5);
+    cfg.client_retransmit_us = Millis(40);
+    if (crash) cfg.crash_at[proto == "zyzzyva" ? 3u : 5u] = 0;
+    ExperimentResult r = MustRun(cfg);
+    return Cell{r.counters["zyzzyva.fast_path"],
+                r.counters["zyzzyva.repair_path"], r.mean_latency_ms};
+  };
+
+  Cell z_ok = run("zyzzyva", false);
+  Cell z_crash = run("zyzzyva", true);
+  Cell z5_ok = run("zyzzyva5", false);
+  Cell z5_crash = run("zyzzyva5", true);
+
+  std::printf("protocol   faults  fast commits  repair commits  mean "
+              "latency (ms)\n");
+  std::printf("zyzzyva    0       %12llu %15llu %12.2f\n",
+              (unsigned long long)z_ok.fast, (unsigned long long)z_ok.repair,
+              z_ok.latency);
+  std::printf("zyzzyva    1       %12llu %15llu %12.2f\n",
+              (unsigned long long)z_crash.fast,
+              (unsigned long long)z_crash.repair, z_crash.latency);
+  std::printf("zyzzyva5   0       %12llu %15llu %12.2f\n",
+              (unsigned long long)z5_ok.fast,
+              (unsigned long long)z5_ok.repair, z5_ok.latency);
+  std::printf("zyzzyva5   1       %12llu %15llu %12.2f\n",
+              (unsigned long long)z5_crash.fast,
+              (unsigned long long)z5_crash.repair, z5_crash.latency);
+
+  bench::Verdict(z_crash.fast == 0 && z_crash.repair > 0 &&
+                     z5_crash.fast > 0 && z5_crash.repair == 0,
+                 "one crash kills Zyzzyva's fast path entirely but leaves "
+                 "Zyzzyva5's fully intact (4f+1 of 5f+1 still answer)");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

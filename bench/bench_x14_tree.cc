@@ -1,0 +1,74 @@
+// X14 (Design Choice 14 + Q2/E2): tree-based load balancing. In a
+// star-topology protocol (SBFT) the leader/collector touches every
+// message of every phase; Kauri's tree caps each replica's fan-out at
+// ~branching+1, so the busiest node handles far fewer messages per
+// commit — at the cost of h hops per phase (latency). An internal-node
+// failure triggers tree reconfiguration.
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X14: Tree load balancing (DC14/Q2) — Kauri vs star (SBFT)",
+               "the tree bounds the busiest replica's load at the cost of "
+               "h hops per phase; internal failures reconfigure the tree");
+
+  std::printf("n   protocol  busiest-node msgs/commit  leader share  mean "
+              "latency (ms)\n");
+  double kauri_max_31 = 0, sbft_max_31 = 0;
+  double kauri_lat_31 = 0, sbft_lat_31 = 0;
+  for (uint32_t f : {2u, 4u, 10u}) {
+    for (const char* proto : {"sbft", "kauri", "pbft"}) {
+      ExperimentConfig cfg;
+      cfg.protocol = proto;
+      cfg.f = f;
+      cfg.num_clients = 4;
+      cfg.duration_us = Seconds(5);
+      ExperimentResult r = MustRun(cfg);
+      double max_per_commit =
+          static_cast<double>(r.max_node_msgs) /
+          static_cast<double>(std::max<uint64_t>(r.commits, 1));
+      std::printf("%-3u %-9s %24.1f %12.1f%% %10.2f\n", r.n, proto,
+                  max_per_commit, r.leader_load_share * 100,
+                  r.mean_latency_ms);
+      if (f == 10) {
+        if (std::string(proto) == "kauri") {
+          kauri_max_31 = max_per_commit;
+          kauri_lat_31 = r.mean_latency_ms;
+        }
+        if (std::string(proto) == "sbft") {
+          sbft_max_31 = max_per_commit;
+          sbft_lat_31 = r.mean_latency_ms;
+        }
+      }
+    }
+  }
+
+  // Internal-node failure -> reconfiguration.
+  ExperimentConfig crash;
+  crash.protocol = "kauri";
+  crash.f = 2;
+  crash.num_clients = 4;
+  crash.duration_us = Seconds(5);
+  crash.crash_at[1] = Seconds(2);  // Internal node of the initial tree.
+  ExperimentResult rc = MustRun(crash);
+  std::printf("\ninternal node crashed at t=2s: reconfigurations = %llu, "
+              "commits = %llu\n",
+              (unsigned long long)rc.counters["kauri.reconfigurations"],
+              (unsigned long long)rc.commits);
+
+  bench::Verdict(kauri_max_31 < sbft_max_31 / 2 &&
+                     kauri_lat_31 > sbft_lat_31 &&
+                     rc.counters["kauri.reconfigurations"] >= 1 &&
+                     rc.commits > 0,
+                 "at n=31 Kauri's busiest replica handles <1/2 of the star "
+                 "collector's per-commit messages while paying extra hop "
+                 "latency, and an internal failure reconfigured the tree "
+                 "without losing liveness");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

@@ -1,0 +1,73 @@
+// X16 (P4): checkpointing. The checkpoint window bounds retained state
+// (garbage collection) and lets an in-dark replica catch up from a stable
+// checkpoint via state transfer instead of replaying the log.
+
+#include "bench/bench_util.h"
+#include "protocols/common/cluster.h"
+#include "protocols/pbft/pbft_replica.h"
+
+namespace bftlab {
+
+void Run() {
+  bench::Title("X16: Checkpointing and state transfer (P4)",
+               "periodic checkpoints garbage-collect consensus state and "
+               "restore in-dark replicas");
+
+  std::printf("checkpoint interval | checkpoints taken | stable | retained "
+              "at end\n");
+  for (uint64_t interval : {8ull, 32ull, 128ull}) {
+    ClusterConfig cc;
+    cc.n = 4;
+    cc.f = 1;
+    cc.num_clients = 4;
+    cc.seed = 2;
+    cc.cost_model = CryptoCostModel::Free();
+    cc.replica.checkpoint_interval = interval;
+    cc.client.reply_quorum = 2;
+    Cluster cluster(std::move(cc), MakePbftReplica);
+    cluster.RunUntilCommits(300, Seconds(120));
+    cluster.RunFor(Millis(200));
+    std::printf("%19llu | %17llu | %6llu | %llu\n",
+                (unsigned long long)interval,
+                (unsigned long long)cluster.metrics().counter(
+                    "replica.checkpoints_taken"),
+                (unsigned long long)cluster.metrics().counter(
+                    "replica.checkpoints_stable"),
+                (unsigned long long)cluster.replica(1)
+                    .checkpoints()
+                    .RetainedCount());
+  }
+
+  // In-dark replica: partitioned away, then catches up by state transfer.
+  ClusterConfig cc;
+  cc.n = 4;
+  cc.f = 1;
+  cc.num_clients = 2;
+  cc.seed = 2;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.replica.checkpoint_interval = 16;
+  cc.client.reply_quorum = 2;
+  Cluster cluster(std::move(cc), MakePbftReplica);
+  cluster.Start();
+  cluster.network().Partition(
+      {{0, 1, 2, kClientIdBase, kClientIdBase + 1}, {3}}, Seconds(5));
+  cluster.RunUntilCommits(120, Seconds(5));
+  SequenceNumber behind = cluster.replica(3).finalized_seq();
+  cluster.RunFor(Seconds(10));
+  SequenceNumber caught_up = cluster.replica(3).finalized_seq();
+  uint64_t transfers =
+      cluster.metrics().counter("replica.state_transfers_completed");
+  std::printf("\nin-dark replica 3: finalized %llu during partition, %llu "
+              "after healing (state transfers: %llu)\n",
+              (unsigned long long)behind, (unsigned long long)caught_up,
+              (unsigned long long)transfers);
+
+  bench::Verdict(transfers >= 1 && caught_up > behind + 50 &&
+                     cluster.CheckStateMachines().ok(),
+                 "the partitioned replica caught up via checkpoint state "
+                 "transfer and converged to the same application state");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

@@ -1,0 +1,59 @@
+// X1 (Design Choice 1 + §1): "protocols that reduce message complexity by
+// increasing communication phases exhibit better throughput but worse
+// latency". PBFT's quadratic phases vs the linearized SBFT/HotStuff:
+// message complexity O(n^2) -> O(n); extra phases cost latency,
+// especially on WAN links.
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X1: Linearization (DC1) — PBFT vs SBFT vs HotStuff",
+               "linear protocols trade latency (more phases) for message "
+               "complexity O(n) instead of O(n^2)");
+
+  double pbft_wan_latency = 0, hs_wan_latency = 0;
+  double pbft_msgs_25 = 0, sbft_msgs_25 = 0;
+
+  for (const char* net : {"lan", "wan"}) {
+    std::printf("--- %s ---\n", net);
+    bench::Header();
+    for (uint32_t f : {1u, 2u, 4u, 8u}) {
+      for (const char* proto : {"pbft", "sbft", "hotstuff"}) {
+        ExperimentConfig cfg;
+        cfg.protocol = proto;
+        cfg.f = f;
+        cfg.num_clients = 8;
+        cfg.duration_us = Seconds(5);
+        cfg.net = std::string(net) == "wan" ? NetworkConfig::Wan()
+                                            : NetworkConfig::Lan();
+        if (std::string(net) == "wan") {
+          cfg.view_change_timeout_us = Seconds(2);
+          cfg.client_retransmit_us = Seconds(3);
+        }
+        ExperimentResult r = MustRun(cfg);
+        bench::Row(r);
+        if (std::string(net) == "wan" && f == 1) {
+          if (std::string(proto) == "pbft") pbft_wan_latency = r.mean_latency_ms;
+          if (std::string(proto) == "hotstuff") hs_wan_latency = r.mean_latency_ms;
+        }
+        if (std::string(net) == "lan" && f == 8) {
+          if (std::string(proto) == "pbft") pbft_msgs_25 = r.msgs_per_commit;
+          if (std::string(proto) == "sbft") sbft_msgs_25 = r.msgs_per_commit;
+        }
+      }
+    }
+  }
+
+  bench::Verdict(sbft_msgs_25 < pbft_msgs_25 / 2 &&
+                     hs_wan_latency > pbft_wan_latency,
+                 "at n=25 the linearized protocol uses <1/2 of PBFT's "
+                 "messages per commit, and on WAN its extra phases cost "
+                 "latency (HotStuff mean > PBFT mean)");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

@@ -1,0 +1,55 @@
+// X2 (Design Choice 2): phase reduction through redundancy. FaB commits
+// in 2 phases with 5f+1 replicas; PBFT needs 3 phases with 3f+1.
+// Expected shape: FaB has lower good-case latency (1 fewer phase, clearest
+// on WAN) but needs 2f more replicas and pays more total messages.
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X2: Phase reduction through redundancy (DC2) — FaB vs PBFT",
+               "5f+1 replicas / 2 phases commit faster than 3f+1 / 3 phases, "
+               "at the cost of 2f extra replicas");
+
+  bool latency_holds = true;
+  for (const char* net : {"lan", "wan"}) {
+    std::printf("--- %s ---\n", net);
+    bench::Header();
+    for (uint32_t f : {1u, 2u}) {
+      ExperimentConfig base;
+      base.f = f;
+      base.num_clients = 4;
+      base.duration_us = Seconds(5);
+      base.net = std::string(net) == "wan" ? NetworkConfig::Wan()
+                                           : NetworkConfig::Lan();
+      if (std::string(net) == "wan") {
+        base.view_change_timeout_us = Seconds(2);
+        base.client_retransmit_us = Seconds(3);
+      }
+
+      ExperimentConfig pbft = base;
+      pbft.protocol = "pbft";
+      ExperimentResult rp = MustRun(pbft);
+      bench::Row(rp, "3 phases");
+
+      ExperimentConfig fab = base;
+      fab.protocol = "fab";
+      ExperimentResult rf = MustRun(fab);
+      bench::Row(rf, "2 phases");
+
+      if (std::string(net) == "wan" &&
+          rf.mean_latency_ms >= rp.mean_latency_ms) {
+        latency_holds = false;
+      }
+    }
+  }
+  bench::Verdict(latency_holds,
+                 "FaB's mean commit latency beats PBFT's on WAN for every f "
+                 "(one fewer phase), while using 5f+1 replicas");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

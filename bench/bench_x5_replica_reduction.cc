@@ -1,0 +1,57 @@
+// X5 (Design Choice 5): optimistic replica reduction. CheapBFT runs
+// agreement among only 2f+1 active replicas (f passive), cutting messages
+// and bytes per commit vs full 3f+1 PBFT; an active failure activates a
+// passive replica.
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X5: Optimistic replica reduction (DC5) — CheapBFT vs PBFT",
+               "agreement among 2f+1 active replicas saves messages in the "
+               "fault-free case; passive replicas take over on failure");
+
+  bench::Header();
+  bool holds = true;
+  for (uint32_t f : {1u, 2u}) {
+    ExperimentConfig base;
+    base.f = f;
+    base.num_clients = 4;
+    base.duration_us = Seconds(5);
+
+    ExperimentConfig pbft = base;
+    pbft.protocol = "pbft";
+    ExperimentResult rp = MustRun(pbft);
+    bench::Row(rp, "all 3f+1 replicas agree");
+
+    ExperimentConfig cheap = base;
+    cheap.protocol = "cheapbft";
+    ExperimentResult rc = MustRun(cheap);
+    bench::Row(rc, "2f+1 active / f passive");
+
+    if (rc.msgs_per_commit >= rp.msgs_per_commit) holds = false;
+  }
+
+  // Activation path: crash an active replica mid-run.
+  ExperimentConfig crash;
+  crash.protocol = "cheapbft";
+  crash.f = 1;
+  crash.num_clients = 4;
+  crash.duration_us = Seconds(5);
+  crash.crash_at[2] = Seconds(2);  // Active replica (initial set {0,1,2}).
+  ExperimentResult rcrash = MustRun(crash);
+  bench::Row(rcrash, "active replica 2 crashed at t=2s");
+  std::printf("  reconfigurations = %llu, passive updates = %llu\n",
+              (unsigned long long)rcrash.counters["cheapbft.reconfigurations"],
+              (unsigned long long)rcrash.counters["cheapbft.passive_updates"]);
+
+  bench::Verdict(holds && rcrash.counters["cheapbft.reconfigurations"] >= 1,
+                 "CheapBFT uses fewer messages per commit than PBFT at every "
+                 "f, and an active-replica crash activated a passive one");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

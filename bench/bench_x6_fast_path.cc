@@ -1,0 +1,76 @@
+// X6 (Design Choice 6): optimistic phase reduction. SBFT's fast path
+// commits once ALL 3f+1 replicas sign, skipping the commit phase; with a
+// silent backup the collector's τ3 timer fires and the protocol falls
+// back to the slow path.
+
+#include "bench/bench_util.h"
+#include "protocols/common/cluster.h"
+#include "protocols/sbft/sbft_replica.h"
+
+namespace bftlab {
+
+namespace {
+struct SbftRun {
+  double mean_ms;
+  uint64_t fast;
+  uint64_t slow;
+  uint64_t fallbacks;
+};
+
+SbftRun RunSbft(bool disable_fast, bool silent_backup) {
+  ClusterConfig cc;
+  cc.n = 4;
+  cc.f = 1;
+  cc.num_clients = 4;
+  cc.seed = 9;
+  cc.client.reply_quorum = 2;
+  if (silent_backup) {
+    cc.byzantine[3] = ByzantineSpec{ByzantineMode::kSilentBackup, 0, 0};
+  }
+  SbftOptions opts;
+  opts.disable_fast_path = disable_fast;
+  opts.fast_path_timeout_us = Millis(15);
+  Cluster cluster(std::move(cc), SbftFactory(opts));
+  cluster.RunFor(Seconds(5));
+  SbftRun out;
+  out.mean_ms = cluster.metrics().commit_latency_us().Mean() / 1000.0;
+  out.fast = cluster.metrics().counter("sbft.fast_commits");
+  out.slow = cluster.metrics().counter("sbft.slow_commits");
+  out.fallbacks = cluster.metrics().counter("sbft.fallbacks");
+  return out;
+}
+}  // namespace
+
+void Run() {
+  bench::Title("X6: Optimistic phase reduction (DC6) — SBFT fast path",
+               "waiting for all 3f+1 signatures eliminates the commit phase; "
+               "a silent backup triggers the timer-based fallback");
+
+  SbftRun fast = RunSbft(false, false);
+  SbftRun slow_only = RunSbft(true, false);
+  SbftRun faulty = RunSbft(false, true);
+
+  std::printf("configuration            mean latency  fast commits  slow "
+              "commits  fallbacks\n");
+  std::printf("fault-free, fast path    %9.2f ms %13llu %12llu %10llu\n",
+              fast.mean_ms, (unsigned long long)fast.fast,
+              (unsigned long long)fast.slow,
+              (unsigned long long)fast.fallbacks);
+  std::printf("fault-free, slow only    %9.2f ms %13llu %12llu %10llu\n",
+              slow_only.mean_ms, (unsigned long long)slow_only.fast,
+              (unsigned long long)slow_only.slow,
+              (unsigned long long)slow_only.fallbacks);
+  std::printf("one silent backup        %9.2f ms %13llu %12llu %10llu\n",
+              faulty.mean_ms, (unsigned long long)faulty.fast,
+              (unsigned long long)faulty.slow,
+              (unsigned long long)faulty.fallbacks);
+
+  bench::Verdict(fast.mean_ms < slow_only.mean_ms && fast.fallbacks == 0 &&
+                     faulty.fallbacks > 0 && faulty.mean_ms > fast.mean_ms,
+                 "the fast path beats the slow path fault-free; one silent "
+                 "backup forces tau3 fallbacks and raises latency");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

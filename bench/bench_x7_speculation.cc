@@ -1,0 +1,88 @@
+// X7 (Design Choice 7): speculative phase reduction. PoE certifies on
+// 2f+1 signed shares and executes speculatively; a Byzantine leader that
+// withholds the certificate from all but one replica forces that replica
+// to ROLL BACK after the view change.
+
+#include "bench/bench_util.h"
+#include "protocols/common/cluster.h"
+#include "protocols/poe/poe_replica.h"
+#include "protocols/sbft/sbft_replica.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X7: Speculative phase reduction (DC7) — PoE",
+               "2f+1-certificate speculation keeps responsiveness; if fewer "
+               "than f+1 correct replicas got the certificate, rollback");
+
+  // DC7 transforms a LINEAR base protocol: the fair baseline is SBFT's
+  // slow path (5 linear phases), which PoE's speculation cuts to 3.
+  bench::Header();
+  ClusterConfig base_cc;
+  base_cc.n = 4;
+  base_cc.f = 1;
+  base_cc.num_clients = 4;
+  base_cc.seed = 1;
+  base_cc.client.reply_quorum = 2;
+  SbftOptions slow;
+  slow.disable_fast_path = true;
+  Cluster slow_cluster(base_cc, SbftFactory(slow));
+  slow_cluster.RunFor(Seconds(5));
+  double slow_latency =
+      slow_cluster.metrics().commit_latency_us().Mean() / 1000.0;
+  std::printf("sbft slow path (5 linear phases): mean latency %.2f ms, "
+              "%llu commits\n",
+              slow_latency,
+              (unsigned long long)slow_cluster.TotalAccepted());
+
+  ExperimentConfig poe;
+  poe.protocol = "poe";
+  poe.num_clients = 4;
+  poe.duration_us = Seconds(5);
+  ExperimentResult rpoe = MustRun(poe);
+  bench::Row(rpoe, "PoE: speculative, 3 linear phases");
+
+  // Rollback scenario (same shape as the PoeTest rollback test): n=7,
+  // Byzantine leader withholds certificates; victim's view change delayed.
+  ClusterConfig cc;
+  cc.n = 7;
+  cc.f = 2;
+  cc.num_clients = 1;
+  cc.seed = 3;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.replica.batch_size = 4;
+  cc.replica.view_change_timeout_us = Millis(200);
+  cc.client.reply_quorum = 5;
+  cc.client.retransmit_timeout_us = Millis(300);
+  cc.byzantine[0] = ByzantineSpec{ByzantineMode::kEquivocate, 0, 0};
+  Cluster cluster(std::move(cc), MakePoeReplica);
+  cluster.network().SetDelayInjector(
+      [](NodeId from, NodeId, const MessagePtr& msg,
+         bool*) -> std::optional<SimTime> {
+        if (from == 6 && msg->type() == kPoeViewChange) return Millis(150);
+        return std::nullopt;
+      });
+  cluster.RunUntilCommits(5, Seconds(60));
+  cluster.RunFor(Seconds(2));
+  std::printf("\nByzantine-leader scenario (n=7): withheld certificates = "
+              "%llu, view changes = %llu, rollbacks = %llu, agreement: %s\n",
+              (unsigned long long)cluster.metrics().counter(
+                  "poe.withheld_certificates"),
+              (unsigned long long)cluster.metrics().counter(
+                  "poe.view_changes_completed"),
+              (unsigned long long)cluster.metrics().counter("poe.rollbacks"),
+              cluster.CheckAgreement().ok() ? "HOLDS" : "VIOLATED");
+
+  bench::Verdict(rpoe.mean_latency_ms < slow_latency &&
+                     cluster.metrics().counter("poe.rollbacks") > 0 &&
+                     cluster.CheckAgreement().ok(),
+                 "PoE commits faster than its non-speculative linear "
+                 "baseline (two phases eliminated), and the withheld-"
+                 "certificate attack caused a real rollback while agreement "
+                 "still holds");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

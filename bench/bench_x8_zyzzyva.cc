@@ -1,0 +1,51 @@
+// X8 (Design Choice 8): speculative execution. Zyzzyva commits in ONE
+// phase when all 3f+1 speculative replies match; a crashed backup drops
+// it to the client-driven commit-certificate path (timer τ1).
+
+#include "bench/bench_util.h"
+
+namespace bftlab {
+
+void Run() {
+  using bench::MustRun;
+  bench::Title("X8: Speculative execution (DC8) — Zyzzyva",
+               "fault-free Zyzzyva commits in one phase (fastest possible); "
+               "a single crashed backup forces the client repair path");
+
+  bench::Header();
+  ExperimentConfig pbft;
+  pbft.protocol = "pbft";
+  pbft.num_clients = 4;
+  pbft.duration_us = Seconds(5);
+  ExperimentResult rp = MustRun(pbft);
+  bench::Row(rp, "3 phases");
+
+  ExperimentConfig zyz = pbft;
+  zyz.protocol = "zyzzyva";
+  ExperimentResult rz = MustRun(zyz);
+  bench::Row(rz, "1 phase, 3f+1 matching replies");
+
+  ExperimentConfig zyz_crash = zyz;
+  zyz_crash.crash_at[3] = 0;  // Crash a backup from the start.
+  zyz_crash.client_retransmit_us = Millis(40);  // τ1.
+  ExperimentResult rzc = MustRun(zyz_crash);
+  bench::Row(rzc, "backup crashed -> client repair");
+
+  std::printf("\nfast-path commits: fault-free=%llu crashed=%llu; repair "
+              "commits: fault-free=%llu crashed=%llu\n",
+              (unsigned long long)rz.counters["zyzzyva.fast_path"],
+              (unsigned long long)rzc.counters["zyzzyva.fast_path"],
+              (unsigned long long)rz.counters["zyzzyva.repair_path"],
+              (unsigned long long)rzc.counters["zyzzyva.repair_path"]);
+
+  bench::Verdict(rz.mean_latency_ms < rp.mean_latency_ms &&
+                     rz.counters["zyzzyva.repair_path"] == 0 &&
+                     rzc.counters["zyzzyva.repair_path"] > 0 &&
+                     rzc.mean_latency_ms > rz.mean_latency_ms,
+                 "Zyzzyva beats PBFT's latency fault-free; one crashed "
+                 "backup pushes commits onto the slower repair path");
+}
+
+}  // namespace bftlab
+
+int main() { bftlab::Run(); }

@@ -1,0 +1,64 @@
+// Slice (non-owning byte view) and Buffer (owning byte vector) used by the
+// codec, crypto, and message layers.
+
+#ifndef BFTLAB_COMMON_BUFFER_H_
+#define BFTLAB_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bftlab {
+
+/// Owning, contiguous byte container.
+using Buffer = std::vector<uint8_t>;
+
+/// Non-owning view over a byte range, in the spirit of rocksdb::Slice.
+/// The viewed memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const Buffer& buf)  // NOLINT(runtime/explicit)
+      : data_(buf.data()), size_(buf.size()) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const char* s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s)), size_(std::strlen(s)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Copies the viewed bytes into an owning Buffer.
+  Buffer ToBuffer() const { return Buffer(data_, data_ + size_); }
+
+  /// Copies the viewed bytes into a std::string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_BUFFER_H_

@@ -1,0 +1,115 @@
+#include "common/codec.h"
+
+namespace bftlab {
+
+void Encoder::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutRaw(Slice bytes) {
+  buf_.insert(buf_.end(), bytes.data(), bytes.data() + bytes.size());
+}
+
+void Encoder::PutBytes(Slice bytes) {
+  PutU32(static_cast<uint32_t>(bytes.size()));
+  PutRaw(bytes);
+}
+
+Result<uint8_t> Decoder::GetU8() {
+  if (in_.size() < 1) return Status::Corruption("truncated u8");
+  uint8_t v = in_[0];
+  in_.RemovePrefix(1);
+  return v;
+}
+
+Result<uint16_t> Decoder::GetU16() {
+  if (in_.size() < 2) return Status::Corruption("truncated u16");
+  uint16_t v = static_cast<uint16_t>(in_[0]) |
+               static_cast<uint16_t>(in_[1]) << 8;
+  in_.RemovePrefix(2);
+  return v;
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  if (in_.size() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in_[i]) << (8 * i);
+  }
+  in_.RemovePrefix(4);
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  if (in_.size() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(in_[i]) << (8 * i);
+  }
+  in_.RemovePrefix(8);
+  return v;
+}
+
+Result<uint64_t> Decoder::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (in_.empty()) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t byte = in_[0];
+    in_.RemovePrefix(1);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<bool> Decoder::GetBool() {
+  Result<uint8_t> b = GetU8();
+  if (!b.ok()) return b.status();
+  if (*b > 1) return Status::Corruption("bad bool");
+  return *b == 1;
+}
+
+Result<Buffer> Decoder::GetRaw(size_t n) {
+  if (in_.size() < n) return Status::Corruption("truncated raw bytes");
+  Buffer out(in_.data(), in_.data() + n);
+  in_.RemovePrefix(n);
+  return out;
+}
+
+Result<Buffer> Decoder::GetBytes() {
+  Result<uint32_t> len = GetU32();
+  if (!len.ok()) return len.status();
+  return GetRaw(*len);
+}
+
+Result<std::string> Decoder::GetString() {
+  Result<Buffer> b = GetBytes();
+  if (!b.ok()) return b.status();
+  return std::string(b->begin(), b->end());
+}
+
+}  // namespace bftlab

@@ -1,0 +1,74 @@
+// Binary serialization primitives. All multi-byte integers are encoded
+// little-endian; length-prefixed byte strings use u32 lengths. Every wire
+// message and every digested structure in bftlab is encoded through this
+// codec so that hashing and transmission agree byte-for-byte.
+
+#ifndef BFTLAB_COMMON_CODEC_H_
+#define BFTLAB_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bftlab {
+
+/// Appends fixed-width and length-prefixed fields to a Buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(Buffer initial) : buf_(std::move(initial)) {}
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Unsigned LEB128 variable-length integer.
+  void PutVarint(uint64_t v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// Raw bytes, no length prefix.
+  void PutRaw(Slice bytes);
+  /// u32 length prefix followed by the bytes.
+  void PutBytes(Slice bytes);
+  /// Same as PutBytes for string payloads.
+  void PutString(const std::string& s) { PutBytes(Slice(s)); }
+
+  const Buffer& buffer() const { return buf_; }
+  Buffer Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Buffer buf_;
+};
+
+/// Reads fields written by Encoder. All getters fail with
+/// Status::Corruption on truncated input rather than reading out of range.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : in_(input) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<bool> GetBool();
+  /// Reads exactly n raw bytes.
+  Result<Buffer> GetRaw(size_t n);
+  /// Reads a u32 length prefix then that many bytes.
+  Result<Buffer> GetBytes();
+  Result<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return in_.size(); }
+  bool Done() const { return in_.empty(); }
+
+ private:
+  Slice in_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_CODEC_H_

@@ -1,0 +1,42 @@
+#include "common/hex.h"
+
+namespace bftlab {
+
+namespace {
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(Slice bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out.push_back(kDigits[bytes[i] >> 4]);
+    out.push_back(kDigits[bytes[i] & 0xf]);
+  }
+  return out;
+}
+
+Result<Buffer> FromHex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("odd-length hex string");
+  }
+  Buffer out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex character");
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,21 @@
+// Hex encoding helpers, used mainly for digest printing and test vectors.
+
+#ifndef BFTLAB_COMMON_HEX_H_
+#define BFTLAB_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace bftlab {
+
+/// Lower-case hex string of the given bytes.
+std::string ToHex(Slice bytes);
+
+/// Parses a hex string (case-insensitive, even length) back into bytes.
+Result<Buffer> FromHex(const std::string& hex);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_HEX_H_

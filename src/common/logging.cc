@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bftlab {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace bftlab

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Defaults to warnings-only so tests and benches
+// stay quiet; simulations can turn on kDebug to trace protocol messages.
+
+#ifndef BFTLAB_COMMON_LOGGING_H_
+#define BFTLAB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bftlab {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide log sink configuration.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Writes one formatted line to stderr. Used via the BFTLAB_LOG macro.
+  static void Write(LogLevel level, const std::string& message);
+};
+
+namespace log_internal {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::Write(level_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define BFTLAB_LOG(level)                                \
+  if (::bftlab::Logger::level() <= ::bftlab::LogLevel::level) \
+  ::bftlab::log_internal::LineBuilder(::bftlab::LogLevel::level)
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+// Result<T>: value-or-Status, the StatusOr idiom used throughout bftlab.
+
+#ifndef BFTLAB_COMMON_RESULT_H_
+#define BFTLAB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace bftlab {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Typical use:
+///   Result<Block> r = DecodeBlock(bytes);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Asserts the status is not OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define BFTLAB_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto BFTLAB_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!BFTLAB_CONCAT_(_res_, __LINE__).ok())          \
+    return BFTLAB_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(BFTLAB_CONCAT_(_res_, __LINE__)).value()
+
+#define BFTLAB_CONCAT_(a, b) BFTLAB_CONCAT_IMPL_(a, b)
+#define BFTLAB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation. Every source of
+// randomness in a simulation flows from one seeded Rng so that a run is a
+// pure function of (config, seed).
+
+#ifndef BFTLAB_COMMON_RNG_H_
+#define BFTLAB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace bftlab {
+
+/// xoshiro256** seeded via SplitMix64. Not cryptographic; used only for
+/// workload generation and network jitter.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a 64-bit seed.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) using rejection sampling; bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with the given probability (clamped to [0, 1]).
+  bool NextBool(double probability);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// node its own stream so adding a node does not perturb others.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_RNG_H_

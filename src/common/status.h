@@ -1,0 +1,113 @@
+// Status: RocksDB-style error handling for bftlab. Library code returns
+// Status (or Result<T>, see result.h) instead of throwing exceptions.
+
+#ifndef BFTLAB_COMMON_STATUS_H_
+#define BFTLAB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace bftlab {
+
+/// Operation outcome carried through the library instead of exceptions.
+///
+/// A Status is either OK (the default) or carries a code plus a
+/// human-readable message. Cheap to copy in the error case only; the OK
+/// case stores nothing.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kFailedPrecondition,
+    kOutOfRange,
+    kAborted,
+    kAlreadyExists,
+    kTimedOut,
+    kAuthFailed,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status AuthFailed(std::string msg) {
+    return Status(Code::kAuthFailed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAuthFailed() const { return code_ == Code::kAuthFailed; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns e.g. "InvalidArgument: view 3 is stale".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Returns early with the given status if it is not OK.
+#define BFTLAB_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::bftlab::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                    \
+  } while (0)
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+// Core identifier and time types shared across the whole library.
+
+#ifndef BFTLAB_COMMON_TYPES_H_
+#define BFTLAB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace bftlab {
+
+/// Identifies a replica. Replicas are numbered 0..n-1.
+using ReplicaId = uint32_t;
+
+/// Identifies a client. Client ids live in a separate space from replicas;
+/// the simulator assigns them starting at kClientIdBase.
+using ClientId = uint32_t;
+
+/// A node id in the simulator (replica or client).
+using NodeId = uint32_t;
+
+/// First NodeId used for clients; replicas occupy [0, kClientIdBase).
+inline constexpr NodeId kClientIdBase = 1u << 16;
+
+/// Returns true when `id` denotes a client node.
+inline constexpr bool IsClientNode(NodeId id) { return id >= kClientIdBase; }
+
+/// Consensus view (a.k.a. round/epoch under a particular leader).
+using ViewNumber = uint64_t;
+
+/// Position of a request in the global service history.
+using SequenceNumber = uint64_t;
+
+/// Per-client monotonically increasing request timestamp (dedup key).
+using RequestTimestamp = uint64_t;
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kSimTimeInfinity =
+    std::numeric_limits<SimTime>::max();
+
+/// Convenience literals for simulated durations.
+inline constexpr SimTime Micros(uint64_t us) { return us; }
+inline constexpr SimTime Millis(uint64_t ms) { return ms * 1000; }
+inline constexpr SimTime Seconds(uint64_t s) { return s * 1000 * 1000; }
+
+/// An invalid/unset replica id.
+inline constexpr ReplicaId kInvalidReplica =
+    std::numeric_limits<ReplicaId>::max();
+
+/// An invalid/unset sequence number (sequence numbers start at 1).
+inline constexpr SequenceNumber kInvalidSeq = 0;
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_TYPES_H_

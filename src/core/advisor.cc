@@ -1,0 +1,131 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bftlab {
+
+namespace {
+
+void Score(const ProtocolDescriptor& d, const ApplicationRequirements& reqs,
+           Recommendation* rec) {
+  auto add = [rec](double delta, const std::string& why) {
+    rec->score += delta;
+    if (delta != 0) {
+      std::ostringstream os;
+      os << (delta > 0 ? "+" : "") << delta << " " << why;
+      rec->reasons.push_back(os.str());
+    }
+  };
+
+  // Latency: fewer good-case phases help, especially geo-replicated.
+  double phase_weight = (1.0 - reqs.throughput_priority) *
+                        (reqs.geo_replicated ? 2.0 : 1.0);
+  add(phase_weight * (4.0 - static_cast<double>(d.good_case_phases)) / 4.0,
+      "good-case phases = " + std::to_string(d.good_case_phases));
+  if (!d.responsive && reqs.geo_replicated) {
+    add(-1.5, "non-responsive: commit latency pinned to Delta on WAN");
+  }
+
+  // Throughput: message complexity at the expected cluster size.
+  uint32_t n = std::max(reqs.expected_cluster_size, d.replicas.Eval(1));
+  double msgs = static_cast<double>(d.GoodCaseMessages(n));
+  double quadratic = static_cast<double>(n) * (n - 1) * 2;
+  add(reqs.throughput_priority * 2.0 * (1.0 - msgs / (quadratic + 1)),
+      "good-case messages ~" + std::to_string((uint64_t)msgs) + " at n=" +
+          std::to_string(n));
+  if (reqs.expected_cluster_size >= 16 &&
+      d.load_balancing == LoadBalancing::kTree) {
+    add(1.0, "tree topology balances load at large n");
+  }
+  if (reqs.expected_cluster_size >= 16 &&
+      d.agreement == TopologyKind::kClique) {
+    add(-1.0, "quadratic phases hurt at large n");
+  }
+
+  // Replica budget.
+  if (reqs.replica_budget_tight && d.replicas.coef > 3) {
+    add(-1.5, "needs " + d.replicas.ToString() + " replicas");
+  }
+
+  // Fault expectations vs optimism.
+  if (reqs.faults_expected) {
+    if (d.commitment == CommitmentStrategy::kOptimistic) {
+      add(-1.5, "optimistic fast path collapses under faults");
+    }
+    if (d.speculation == Speculation::kSpeculative) {
+      add(-0.5, "speculative execution risks rollbacks under faults");
+    }
+    if (d.leader_policy == LeaderPolicy::kRotating) {
+      add(0.5, "rotating leader tolerates slow/faulty leaders");
+    }
+  } else {
+    if (d.commitment == CommitmentStrategy::kOptimistic) {
+      add(0.75, "optimism pays off in fault-free deployments");
+    }
+  }
+
+  // Adversarial environments want robustness.
+  if (reqs.adversarial) {
+    if (d.commitment == CommitmentStrategy::kRobust) {
+      add(2.0, "robust against performance-degrading leaders");
+    } else if (d.commitment == CommitmentStrategy::kOptimistic) {
+      add(-1.0, "optimistic assumptions exploitable by the adversary");
+    }
+  }
+
+  // Fairness requirement.
+  if (reqs.needs_order_fairness) {
+    if (d.order_fairness) {
+      add(2.0, "provides order-fairness (gamma = " +
+                   std::to_string(d.gamma) + ")");
+    } else {
+      add(-2.0, "no order-fairness guarantee");
+    }
+  }
+
+  // Conflict-free optimism only fits low-contention workloads.
+  if (d.HasAssumption(kAssumeConflictFree)) {
+    if (reqs.conflict_rate < 0.05) {
+      add(2.0, "conflict-free workloads commit with zero ordering phases");
+    } else {
+      add(-3.0, "contention breaks the conflict-free assumption");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Recommendation> Advise(const ApplicationRequirements& reqs) {
+  std::vector<Recommendation> recs;
+  for (const std::string& name : AllProtocolNames()) {
+    Result<ProtocolDescriptor> d = GetDescriptor(name);
+    if (!d.ok()) continue;
+    Recommendation rec;
+    rec.protocol = name;
+    Score(*d, reqs, &rec);
+    recs.push_back(std::move(rec));
+  }
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.score > b.score;
+                   });
+  return recs;
+}
+
+std::string AdviseReport(const ApplicationRequirements& reqs, size_t top_k) {
+  std::vector<Recommendation> recs = Advise(reqs);
+  std::ostringstream os;
+  os << "Protocol advisor: top " << top_k << " of " << recs.size()
+     << " candidates\n";
+  for (size_t i = 0; i < recs.size() && i < top_k; ++i) {
+    os << "  " << (i + 1) << ". " << recs[i].protocol << " (score "
+       << recs[i].score << ")\n";
+    for (const std::string& reason : recs[i].reasons) {
+      os << "       " << reason << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bftlab

@@ -1,0 +1,53 @@
+// Protocol advisor: the tutorial's stated goal is to "help developers
+// ... find the protocol that best fits their needs". Given application
+// requirements, the advisor scores every registered protocol's
+// design-space descriptor and returns a ranked list with rationales.
+
+#ifndef BFTLAB_CORE_ADVISOR_H_
+#define BFTLAB_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+
+namespace bftlab {
+
+/// What the application cares about.
+struct ApplicationRequirements {
+  /// Geo-replication: wide-area latencies make extra phases expensive and
+  /// non-responsiveness painful.
+  bool geo_replicated = false;
+  /// Relative weight of throughput vs latency in [0, 1]
+  /// (1 = throughput-only).
+  double throughput_priority = 0.5;
+  /// Replicas are expensive: prefer small n.
+  bool replica_budget_tight = false;
+  /// Faults are expected to be common (crash or Byzantine).
+  bool faults_expected = false;
+  /// The system may be actively attacked (performance adversaries).
+  bool adversarial = false;
+  /// Transaction order must resist manipulation (front-running etc.).
+  bool needs_order_fairness = false;
+  /// Fraction of operations touching contended state, in [0, 1].
+  double conflict_rate = 0.5;
+  /// Many replicas (scalability in n matters).
+  uint32_t expected_cluster_size = 4;
+};
+
+struct Recommendation {
+  std::string protocol;
+  double score = 0;
+  std::vector<std::string> reasons;
+};
+
+/// Scores all registered protocols against the requirements, best first.
+std::vector<Recommendation> Advise(const ApplicationRequirements& reqs);
+
+/// Human-readable report of the top `top_k` recommendations.
+std::string AdviseReport(const ApplicationRequirements& reqs,
+                         size_t top_k = 3);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_ADVISOR_H_

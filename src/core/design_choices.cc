@@ -1,0 +1,250 @@
+#include "core/design_choices.h"
+
+#include <cmath>
+
+namespace bftlab {
+namespace design_choices {
+
+namespace {
+Status Precondition(bool ok, const std::string& what) {
+  if (ok) return Status::Ok();
+  return Status::FailedPrecondition(what);
+}
+}  // namespace
+
+Result<ProtocolDescriptor> Linearize(const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.agreement == TopologyKind::kClique,
+      "linearization needs a quadratic phase to split"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+linearized";
+  // Each quadratic phase becomes two linear phases via the collector.
+  out.good_case_phases = 1 + (in.good_case_phases - 1) * 2;
+  out.agreement = TopologyKind::kStar;
+  // Collectors must prove the quorum: (threshold) signatures required.
+  out.auth = AuthScheme::kThreshold;
+  return out;
+}
+
+Result<ProtocolDescriptor> PhaseReduction(const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.replicas == FaultFormula{3, 1} && in.good_case_phases == 3,
+      "phase reduction transforms 3f+1 / 3-phase protocols"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+fast";
+  out.replicas = {5, 1};
+  out.agreement_quorum = {4, 1};
+  out.good_case_phases = 2;
+  return out;
+}
+
+Result<ProtocolDescriptor> RotateLeader(const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.leader_policy == LeaderPolicy::kStable,
+      "leader rotation applies to stable-leader protocols"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+rotating";
+  out.leader_policy = LeaderPolicy::kRotating;
+  out.separate_view_change_stage = false;
+  // The new leader must learn the state: one extra quadratic phase, or
+  // two linear ones if the protocol is linearized.
+  out.good_case_phases +=
+      out.agreement == TopologyKind::kClique ? 1 : 2;
+  out.timers = (out.timers & ~kTimerViewChange) | kTimerViewSync;
+  out.load_balancing = LoadBalancing::kLeaderRotation;
+  return out;
+}
+
+Result<ProtocolDescriptor> RotateLeaderNonResponsive(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.leader_policy == LeaderPolicy::kStable,
+      "leader rotation applies to stable-leader protocols"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+rotating-nr";
+  out.leader_policy = LeaderPolicy::kRotating;
+  out.separate_view_change_stage = false;
+  out.responsive = false;  // Waits Δ instead of adding a phase.
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.assumptions |= kAssumeSynchrony;
+  out.timers = (out.timers & ~kTimerViewChange) | kTimerViewSync |
+               kTimerQuorumPhase;
+  out.load_balancing = LoadBalancing::kLeaderRotation;
+  return out;
+}
+
+Result<ProtocolDescriptor> OptimisticReplicaReduction(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.replicas == FaultFormula{3, 1},
+      "replica reduction starts from 3f+1 deployments"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+cheap";
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.assumptions |= kAssumeCorrectBackups;
+  // n stays 3f+1 but agreement runs among the 2f+1 actives, all of whom
+  // must answer.
+  out.agreement_quorum = {2, 1};
+  out.timers |= kTimerBackupFailure;
+  return out;
+}
+
+Result<ProtocolDescriptor> OptimisticPhaseReduction(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.agreement == TopologyKind::kStar,
+      "optimistic phase reduction needs a linear protocol"));
+  BFTLAB_RETURN_IF_ERROR(
+      Precondition(in.good_case_phases >= 3, "needs two droppable phases"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+optphase";
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.assumptions |= kAssumeCorrectBackups;
+  out.good_case_phases -= 2;  // Two linear phases == one clique phase.
+  out.responsive = false;     // Collector waits for ALL replicas (τ3).
+  out.timers |= kTimerBackupFailure;
+  return out;
+}
+
+Result<ProtocolDescriptor> SpeculativePhaseReduction(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.agreement == TopologyKind::kStar,
+      "speculative phase reduction needs a linear protocol"));
+  BFTLAB_RETURN_IF_ERROR(
+      Precondition(in.good_case_phases >= 3, "needs two droppable phases"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+speculative";
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.speculation = Speculation::kSpeculative;
+  out.assumptions |= kAssumeCorrectBackups;
+  out.good_case_phases -= 2;
+  out.reply_quorum = {2, 1};  // Client needs 2f+1 matching replies.
+  // Unlike DC6 the collector only waits for 2f+1: responsiveness kept.
+  return out;
+}
+
+Result<ProtocolDescriptor> SpeculativeExecution(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.good_case_phases >= 3, "needs prepare+commit phases to drop"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+zyzzyva";
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.speculation = Speculation::kSpeculative;
+  out.assumptions |= kAssumeCorrectLeader | kAssumeCorrectBackups;
+  out.good_case_phases = 1;
+  out.reply_quorum = {3, 1};  // All 3f+1 replies must match.
+  out.client_roles |= kClientRepairer;
+  out.agreement = TopologyKind::kStar;
+  out.responsive = false;  // Client waits τ1 for all replies.
+  out.timers |= kTimerReply;
+  return out;
+}
+
+Result<ProtocolDescriptor> OptimisticConflictFree(
+    const ProtocolDescriptor& in) {
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+conflictfree";
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.assumptions |= kAssumeConflictFree | kAssumeCorrectBackups;
+  out.good_case_phases = 0;  // No ordering at all.
+  out.leader_policy = LeaderPolicy::kLeaderless;
+  out.separate_view_change_stage = false;
+  out.client_roles |= kClientProposer;
+  out.replicas = {5, 1};
+  out.agreement_quorum = {4, 1};
+  out.reply_quorum = {4, 1};
+  return out;
+}
+
+Result<ProtocolDescriptor> Resilience(const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.commitment == CommitmentStrategy::kOptimistic,
+      "resilience boosts optimistic protocols' fast paths"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+resilient";
+  out.replicas.coef += 2;  // 3f+1 -> 5f+1, 5f+1 -> 7f+1.
+  out.reply_quorum.coef += 1;
+  out.agreement_quorum.coef += 1;
+  return out;
+}
+
+Result<ProtocolDescriptor> StrengthenAuthentication(
+    const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.auth == AuthScheme::kMacs || in.auth == AuthScheme::kSignatures,
+      "already using threshold signatures"));
+  ProtocolDescriptor out = in;
+  if (in.auth == AuthScheme::kMacs) {
+    out.name = in.name + "+signatures";
+    out.auth = AuthScheme::kSignatures;
+  } else {
+    // Quorum-of-signatures -> one threshold signature; only meaningful on
+    // star topologies where a collector carries the quorum proof.
+    BFTLAB_RETURN_IF_ERROR(Precondition(
+        in.agreement == TopologyKind::kStar ||
+            in.agreement == TopologyKind::kTree,
+        "threshold signatures need a collector-based topology"));
+    out.name = in.name + "+threshold";
+    out.auth = AuthScheme::kThreshold;
+  }
+  return out;
+}
+
+Result<ProtocolDescriptor> MakeRobust(const ProtocolDescriptor& in) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.commitment == CommitmentStrategy::kPessimistic,
+      "robustification applies to pessimistic protocols"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+robust";
+  out.commitment = CommitmentStrategy::kRobust;
+  out.good_case_phases += 1;  // Preordering stage.
+  out.order_fairness = true;  // Partial fairness for free.
+  out.gamma = 0.5;
+  out.timers |= kTimerHeartbeat;
+  return out;
+}
+
+Result<ProtocolDescriptor> MakeFair(const ProtocolDescriptor& in,
+                                    double gamma) {
+  BFTLAB_RETURN_IF_ERROR(Precondition(gamma > 0.5 && gamma <= 1.0,
+                                      "gamma must be in (0.5, 1]"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+fair";
+  out.order_fairness = true;
+  out.gamma = gamma;
+  out.good_case_phases += 1;  // Preordering round (timer τ6).
+  out.timers |= kTimerPreorderRound;
+  // n > 4f / (2γ - 1); at γ -> 1 that is 4f+1.
+  uint32_t coef = static_cast<uint32_t>(
+      std::ceil(4.0 / (2.0 * gamma - 1.0)));
+  out.replicas = {std::max(coef, in.replicas.coef), 1};
+  out.agreement_quorum = {(out.replicas.coef + 1) / 2 + 1, 1};
+  return out;
+}
+
+Result<ProtocolDescriptor> TreeLoadBalance(const ProtocolDescriptor& in,
+                                           uint32_t branching) {
+  BFTLAB_RETURN_IF_ERROR(
+      Precondition(branching >= 1, "branching must be >= 1"));
+  BFTLAB_RETURN_IF_ERROR(Precondition(
+      in.dissemination == TopologyKind::kStar ||
+          in.agreement == TopologyKind::kStar,
+      "tree load balancing splits linear phases into tree hops"));
+  ProtocolDescriptor out = in;
+  out.name = in.name + "+tree";
+  out.dissemination = TopologyKind::kTree;
+  out.agreement = TopologyKind::kTree;
+  out.commitment = CommitmentStrategy::kOptimistic;
+  out.assumptions |= kAssumeCorrectInternalNodes;  // a3.
+  // Each linear phase becomes h hops; approximate h for a balanced tree
+  // of 3f+1 nodes at f=1 scale: callers recompute per deployment.
+  out.good_case_phases *= 2;
+  out.load_balancing = LoadBalancing::kTree;
+  out.timers |= kTimerBackupFailure;
+  return out;
+}
+
+}  // namespace design_choices
+}  // namespace bftlab

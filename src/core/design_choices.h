@@ -1,0 +1,83 @@
+// The paper's §2.3: fourteen design choices, each a one-to-one function
+// mapping a valid point of the design space to another valid point. Each
+// function validates its preconditions and returns the transformed
+// descriptor; tests check that applying them to PBFT lands (up to naming)
+// on the registered descriptors of the corresponding protocols.
+
+#ifndef BFTLAB_CORE_DESIGN_CHOICES_H_
+#define BFTLAB_CORE_DESIGN_CHOICES_H_
+
+#include "core/design_space.h"
+
+namespace bftlab {
+namespace design_choices {
+
+/// DC1 (Linearization): splits a quadratic phase into two linear
+/// collector phases; requires (threshold) signatures.
+Result<ProtocolDescriptor> Linearize(const ProtocolDescriptor& in);
+
+/// DC2 (Phase reduction through redundancy): 3f+1/3 phases ->
+/// 5f+1/2 phases with 4f+1 quorums.
+Result<ProtocolDescriptor> PhaseReduction(const ProtocolDescriptor& in);
+
+/// DC3 (Leader rotation): stable -> rotating leader; removes the
+/// separate view-change stage, adds a phase so the new leader learns the
+/// state.
+Result<ProtocolDescriptor> RotateLeader(const ProtocolDescriptor& in);
+
+/// DC4 (Non-responsive leader rotation): rotation without the extra
+/// phase, sacrificing responsiveness (Δ wait).
+Result<ProtocolDescriptor> RotateLeaderNonResponsive(
+    const ProtocolDescriptor& in);
+
+/// DC5 (Optimistic replica reduction): only 2f+1 active replicas
+/// participate; f passive.
+Result<ProtocolDescriptor> OptimisticReplicaReduction(
+    const ProtocolDescriptor& in);
+
+/// DC6 (Optimistic phase reduction): drop the commit phase when all 3f+1
+/// replicas respond (collector waits, timer τ3).
+Result<ProtocolDescriptor> OptimisticPhaseReduction(
+    const ProtocolDescriptor& in);
+
+/// DC7 (Speculative phase reduction): certificate from 2f+1, execute
+/// speculatively, rollback possible.
+Result<ProtocolDescriptor> SpeculativePhaseReduction(
+    const ProtocolDescriptor& in);
+
+/// DC8 (Speculative execution): drop prepare+commit entirely; clients
+/// collect 3f+1 matching speculative replies.
+Result<ProtocolDescriptor> SpeculativeExecution(const ProtocolDescriptor& in);
+
+/// DC9 (Optimistic conflict-free): no ordering at all; client is the
+/// proposer.
+Result<ProtocolDescriptor> OptimisticConflictFree(
+    const ProtocolDescriptor& in);
+
+/// DC10 (Resilience): +2f replicas tolerate f more faults at the same
+/// quorum guarantees.
+Result<ProtocolDescriptor> Resilience(const ProtocolDescriptor& in);
+
+/// DC11 (Authentication): MACs -> signatures (or a quorum of signatures
+/// -> one threshold signature on star topologies).
+Result<ProtocolDescriptor> StrengthenAuthentication(
+    const ProtocolDescriptor& in);
+
+/// DC12 (Robust): adds a preordering stage; robust against
+/// performance-degrading leaders; partial fairness.
+Result<ProtocolDescriptor> MakeRobust(const ProtocolDescriptor& in);
+
+/// DC13 (Fair): adds a preordering phase with order-fairness parameter γ;
+/// requires n >= 4f/(2γ-1) (i.e. 4f+1 at γ -> 1).
+Result<ProtocolDescriptor> MakeFair(const ProtocolDescriptor& in,
+                                    double gamma);
+
+/// DC14 (Tree-based load balancer): linear phases become h tree hops;
+/// assumes internal nodes correct.
+Result<ProtocolDescriptor> TreeLoadBalance(const ProtocolDescriptor& in,
+                                           uint32_t branching);
+
+}  // namespace design_choices
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_DESIGN_CHOICES_H_

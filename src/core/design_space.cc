@@ -1,0 +1,100 @@
+#include "core/design_space.h"
+
+#include <sstream>
+
+namespace bftlab {
+
+const char* CommitmentStrategyName(CommitmentStrategy s) {
+  switch (s) {
+    case CommitmentStrategy::kOptimistic:
+      return "optimistic";
+    case CommitmentStrategy::kPessimistic:
+      return "pessimistic";
+    case CommitmentStrategy::kRobust:
+      return "robust";
+  }
+  return "?";
+}
+
+const char* LeaderPolicyName(LeaderPolicy p) {
+  switch (p) {
+    case LeaderPolicy::kStable:
+      return "stable";
+    case LeaderPolicy::kRotating:
+      return "rotating";
+    case LeaderPolicy::kLeaderless:
+      return "leaderless";
+  }
+  return "?";
+}
+
+std::string FaultFormula::ToString() const {
+  std::ostringstream os;
+  if (coef != 0) {
+    if (coef != 1) os << coef;
+    os << "f";
+    if (add > 0) os << "+" << add;
+    if (add < 0) os << add;
+  } else {
+    os << add;
+  }
+  return os.str();
+}
+
+uint64_t ProtocolDescriptor::GoodCaseMessages(uint32_t n) const {
+  auto phase_msgs = [n](TopologyKind kind) -> uint64_t {
+    switch (kind) {
+      case TopologyKind::kStar:
+        return n - 1;
+      case TopologyKind::kClique:
+        return static_cast<uint64_t>(n) * (n - 1);
+      case TopologyKind::kTree:
+      case TopologyKind::kChain:
+        return n - 1;
+    }
+    return n - 1;
+  };
+  if (good_case_phases == 0) return 0;  // Q/U: client-to-replica only.
+  uint64_t total = phase_msgs(dissemination);
+  for (uint32_t p = 1; p < good_case_phases; ++p) {
+    total += phase_msgs(agreement);
+  }
+  return total;
+}
+
+std::string ProtocolDescriptor::ToString() const {
+  std::ostringstream os;
+  os << name << ":\n"
+     << "  P1 commitment      : " << CommitmentStrategyName(commitment)
+     << (speculation == Speculation::kSpeculative ? " (speculative)" : "")
+     << "\n"
+     << "  P2 good-case phases: " << good_case_phases << "\n"
+     << "  P3 leader          : " << LeaderPolicyName(leader_policy)
+     << (separate_view_change_stage ? ", separate view-change stage" : "")
+     << "\n"
+     << "  P4 checkpointing   : " << (checkpointing ? "yes" : "no") << "\n"
+     << "  P6 reply quorum    : " << reply_quorum.ToString() << "\n"
+     << "  E1 replicas        : " << replicas.ToString()
+     << " (quorum " << agreement_quorum.ToString() << ")\n"
+     << "  E2 topology        : " << TopologyKindName(dissemination) << "/"
+     << TopologyKindName(agreement) << "\n"
+     << "  E3 authentication  : "
+     << (auth == AuthScheme::kMacs
+             ? "MACs"
+             : auth == AuthScheme::kSignatures ? "signatures"
+                                               : "threshold signatures")
+     << "\n"
+     << "  E4 responsive      : " << (responsive ? "yes" : "no") << "\n"
+     << "  Q1 order-fairness  : " << (order_fairness ? "yes" : "no") << "\n"
+     << "  Q2 load balancing  : "
+     << (load_balancing == LoadBalancing::kNone
+             ? "none"
+             : load_balancing == LoadBalancing::kLeaderRotation
+                   ? "leader rotation"
+                   : load_balancing == LoadBalancing::kTree ? "tree"
+                                                            : "multi-leader")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace bftlab

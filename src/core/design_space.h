@@ -1,0 +1,158 @@
+// The paper's design space (§2.2): typed dimensions P1-P6 (protocol
+// structure), E1-E4 (environmental settings), and Q1-Q2 (quality of
+// service), plus ProtocolDescriptor — one point in the space.
+
+#ifndef BFTLAB_CORE_DESIGN_SPACE_H_
+#define BFTLAB_CORE_DESIGN_SPACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.h"
+#include "protocols/common/replica.h"
+
+namespace bftlab {
+
+// --- P1: commitment strategy ---------------------------------------------------
+
+enum class CommitmentStrategy : uint8_t {
+  kOptimistic = 0,
+  kPessimistic = 1,
+  kRobust = 2,
+};
+const char* CommitmentStrategyName(CommitmentStrategy s);
+
+enum class Speculation : uint8_t {
+  kNone = 0,         // Non-speculative: execute only once assumptions hold.
+  kSpeculative = 1,  // Execute optimistically; may roll back.
+};
+
+/// Optimistic assumptions a1-a6 (bitmask).
+enum OptimisticAssumption : uint8_t {
+  kAssumeNone = 0,
+  kAssumeCorrectLeader = 1 << 0,         // a1 (Zyzzyva).
+  kAssumeCorrectBackups = 1 << 1,        // a2 (CheapBFT).
+  kAssumeCorrectInternalNodes = 1 << 2,  // a3 (Kauri).
+  kAssumeConflictFree = 1 << 3,          // a4 (Q/U).
+  kAssumeHonestClients = 1 << 4,         // a5 (Quorum).
+  kAssumeSynchrony = 1 << 5,             // a6 (Tendermint).
+};
+
+// --- P3: view change -------------------------------------------------------------
+
+enum class LeaderPolicy : uint8_t {
+  kStable = 0,    // Replace only on suspicion (PBFT).
+  kRotating = 1,  // Replace every view/epoch (HotStuff, Tendermint).
+  kLeaderless = 2,  // No leader at all (Q/U).
+};
+const char* LeaderPolicyName(LeaderPolicy p);
+
+// --- P5: recovery ---------------------------------------------------------------
+
+enum class RecoveryPolicy : uint8_t {
+  kNoRecovery = 0,
+  kReactive = 1,
+  kProactive = 2,
+};
+
+// --- P6: client roles (bitmask) ---------------------------------------------------
+
+enum ClientRole : uint8_t {
+  kClientRequester = 1 << 0,
+  kClientProposer = 1 << 1,
+  kClientRepairer = 1 << 2,
+};
+
+// --- E1: replica / quorum counts as linear formulas a*f + b -----------------------
+
+struct FaultFormula {
+  uint32_t coef = 3;
+  int32_t add = 1;
+
+  uint32_t Eval(uint32_t f) const {
+    return static_cast<uint32_t>(static_cast<int64_t>(coef) * f + add);
+  }
+  std::string ToString() const;  // e.g. "3f+1".
+  bool operator==(const FaultFormula& o) const {
+    return coef == o.coef && add == o.add;
+  }
+};
+
+// --- E4: timers τ1-τ8 (bitmask) ----------------------------------------------------
+
+enum TimerKind : uint32_t {
+  kTimerReply = 1 << 0,            // τ1 waiting for replies (Zyzzyva).
+  kTimerViewChange = 1 << 1,       // τ2 triggering view change (PBFT).
+  kTimerBackupFailure = 1 << 2,    // τ3 detecting backup failures (SBFT).
+  kTimerQuorumPhase = 1 << 3,      // τ4 quorum construction (Tendermint).
+  kTimerViewSync = 1 << 4,         // τ5 view synchronization.
+  kTimerPreorderRound = 1 << 5,    // τ6 preordering round (Themis).
+  kTimerHeartbeat = 1 << 6,        // τ7 performance check (Aardvark/Prime).
+  kTimerWatchdog = 1 << 7,         // τ8 recovery watchdog (PBFT-PR).
+};
+
+// --- Q2: load balancing ------------------------------------------------------------
+
+enum class LoadBalancing : uint8_t {
+  kNone = 0,
+  kLeaderRotation = 1,
+  kTree = 2,
+  kMultiLeader = 3,
+};
+
+/// One point in the design space: the dimension values of a protocol.
+struct ProtocolDescriptor {
+  std::string name;
+
+  // P1.
+  CommitmentStrategy commitment = CommitmentStrategy::kPessimistic;
+  Speculation speculation = Speculation::kNone;
+  uint8_t assumptions = kAssumeNone;
+  // P2: good-case commitment phases (leader receipt -> first commit).
+  uint32_t good_case_phases = 3;
+  // P3.
+  LeaderPolicy leader_policy = LeaderPolicy::kStable;
+  bool separate_view_change_stage = true;
+  // P4.
+  bool checkpointing = true;
+  // P5.
+  RecoveryPolicy recovery = RecoveryPolicy::kNoRecovery;
+  // P6.
+  uint8_t client_roles = kClientRequester;
+  FaultFormula reply_quorum{1, 1};  // f+1 matching replies by default.
+
+  // E1.
+  FaultFormula replicas{3, 1};
+  FaultFormula agreement_quorum{2, 1};
+  // E2: topology of the dissemination phase and of agreement phases.
+  TopologyKind dissemination = TopologyKind::kStar;
+  TopologyKind agreement = TopologyKind::kClique;
+  // E3.
+  AuthScheme auth = AuthScheme::kSignatures;
+  // E4.
+  bool responsive = true;
+  uint32_t timers = kTimerViewChange;
+
+  // Q1.
+  bool order_fairness = false;
+  double gamma = 0.0;
+  // Q2.
+  LoadBalancing load_balancing = LoadBalancing::kNone;
+
+  /// Messages per committed batch in the good case, as a function of n
+  /// (derived from phases + topologies): rough analytic complexity used
+  /// by the advisor and printed in tables.
+  uint64_t GoodCaseMessages(uint32_t n) const;
+
+  /// Multi-line human-readable rendering of the descriptor.
+  std::string ToString() const;
+
+  bool HasAssumption(OptimisticAssumption a) const {
+    return (assumptions & a) != 0;
+  }
+  bool HasTimer(TimerKind t) const { return (timers & t) != 0; }
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_DESIGN_SPACE_H_

@@ -1,0 +1,105 @@
+#include "core/experiment.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bftlab {
+
+std::string ExperimentResult::TableHeader() {
+  return "protocol        n   f   commits   tput(req/s)  mean(ms)  p50(ms)"
+         "   p99(ms)  msg/commit  KiB/commit  leader%%  imbalance";
+}
+
+std::string ExperimentResult::TableRow() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %3u %3u %9" PRIu64
+                " %12.1f %9.2f %8.2f %9.2f %11.1f %11.2f %8.1f %10.2f",
+                protocol.c_str(), n, f, commits, throughput_rps,
+                mean_latency_ms, p50_latency_ms, p99_latency_ms,
+                msgs_per_commit, kib_per_commit, leader_load_share * 100,
+                load_imbalance);
+  return buf;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+
+  ClusterConfig cc;
+  cc.n = config.n_override != 0 ? config.n_override
+                                : build->RecommendedN(config.f);
+  cc.f = config.f;
+  cc.num_clients = config.num_clients;
+  cc.seed = config.seed;
+  cc.net = config.net;
+  cc.cost_model = config.cost_model;
+  cc.replica.batch_size = config.batch_size;
+  cc.replica.batch_timeout_us = config.batch_timeout_us;
+  cc.replica.checkpoint_interval = config.checkpoint_interval;
+  cc.replica.view_change_timeout_us = config.view_change_timeout_us;
+  cc.replica.auth = config.auth_override.value_or(build->descriptor.auth);
+  cc.client.reply_quorum = build->ReplyQuorum(config.f);
+  cc.client.submit_policy = build->submit_policy;
+  cc.client.retransmit_timeout_us = config.client_retransmit_us;
+  cc.client.op_generator = config.op_generator;
+  cc.byzantine = config.byzantine;
+
+  Cluster cluster(std::move(cc), build->replica_factory,
+                  build->client_factory);
+  cluster.Start();
+  for (const auto& [replica, at] : config.crash_at) {
+    ReplicaId id = replica;
+    cluster.sim().Schedule(at, [&cluster, id] { cluster.network().Crash(id); });
+  }
+  cluster.RunFor(config.duration_us);
+
+  MetricsCollector& m = cluster.metrics();
+  ExperimentResult r;
+  r.protocol = config.protocol;
+  r.n = cluster.config().n;
+  r.f = config.f;
+  r.commits = cluster.TotalAccepted();
+  r.throughput_rps =
+      static_cast<double>(r.commits) /
+      (static_cast<double>(config.duration_us) / 1e6);
+  r.mean_latency_ms = m.commit_latency_us().Mean() / 1000.0;
+  r.p50_latency_ms = m.commit_latency_us().Percentile(50) / 1000.0;
+  r.p99_latency_ms = m.commit_latency_us().Percentile(99) / 1000.0;
+
+  // Replica-only traffic (exclude clients).
+  uint64_t replica_msgs = 0, replica_bytes = 0, leader_msgs = 0;
+  for (ReplicaId id = 0; id < r.n; ++id) {
+    const NodeStats& s = m.node(id);
+    replica_msgs += s.msgs_sent;
+    replica_bytes += s.bytes_sent;
+    if (id == 0) leader_msgs = s.msgs_sent;  // Initial leader/root.
+  }
+  if (r.commits > 0) {
+    r.msgs_per_commit =
+        static_cast<double>(replica_msgs) / static_cast<double>(r.commits);
+    r.kib_per_commit = static_cast<double>(replica_bytes) /
+                       static_cast<double>(r.commits) / 1024.0;
+  }
+  if (replica_msgs > 0) {
+    r.leader_load_share =
+        static_cast<double>(leader_msgs) / static_cast<double>(replica_msgs);
+  }
+  r.load_imbalance = m.MsgLoadImbalance();
+  r.max_node_msgs = m.MaxNodeMsgLoad();
+  r.order_inversion_fraction = m.OrderInversionFraction(Millis(1));
+  r.counters = m.counters();
+
+  // Safety is checked on every run: an experiment that violates agreement
+  // is reported as an error, never as a data point. Protocols without a
+  // total order (Q/U: zero ordering phases, per-replica local execution
+  // order) are exempt — their consistency criterion is content
+  // convergence, checked by their own tests.
+  if (build->descriptor.good_case_phases > 0) {
+    Status agreement = cluster.CheckAgreement();
+    if (!agreement.ok()) return agreement;
+  }
+  return r;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,73 @@
+// Experiment harness: deploys any registered protocol in a simulated
+// cluster, drives a workload, and reports the measurements every bench
+// prints. One call = one cell of a results table.
+
+#ifndef BFTLAB_CORE_EXPERIMENT_H_
+#define BFTLAB_CORE_EXPERIMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/registry.h"
+#include "protocols/common/cluster.h"
+
+namespace bftlab {
+
+struct ExperimentConfig {
+  std::string protocol = "pbft";
+  uint32_t f = 1;
+  /// 0 = use the protocol's recommended n for f.
+  uint32_t n_override = 0;
+  uint32_t num_clients = 4;
+  uint64_t seed = 1;
+  /// Virtual duration of the measured run.
+  SimTime duration_us = Seconds(10);
+  NetworkConfig net = NetworkConfig::Lan();
+  /// Realistic crypto costs by default; Free() isolates network effects.
+  CryptoCostModel cost_model;
+  size_t batch_size = 8;
+  SimTime batch_timeout_us = Millis(2);
+  uint64_t checkpoint_interval = 64;
+  SimTime view_change_timeout_us = Millis(300);
+  /// Workload; default unique-key 64-byte PUTs.
+  OpGenerator op_generator;
+  SimTime client_retransmit_us = Millis(500);
+  /// Byzantine overrides per replica.
+  std::map<ReplicaId, ByzantineSpec> byzantine;
+  /// Crash these replicas at the given virtual times.
+  std::map<ReplicaId, SimTime> crash_at;
+  /// Overrides the protocol's default authentication scheme (E3 sweeps).
+  std::optional<AuthScheme> auth_override;
+};
+
+struct ExperimentResult {
+  std::string protocol;
+  uint32_t n = 0;
+  uint32_t f = 0;
+  uint64_t commits = 0;
+  double throughput_rps = 0;       // Accepted client requests / second.
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  double msgs_per_commit = 0;
+  double kib_per_commit = 0;
+  double leader_load_share = 0;    // Leader msgs / total msgs.
+  double load_imbalance = 0;       // CV of per-replica message load.
+  uint64_t max_node_msgs = 0;
+  /// Fraction of clearly-ordered request pairs executed out of submit
+  /// order (Q1 fairness; computed with a 1 ms margin).
+  double order_inversion_fraction = 0;
+  std::map<std::string, uint64_t> counters;
+
+  /// One-line table row (pairs with TableHeader()).
+  std::string TableRow() const;
+  static std::string TableHeader();
+};
+
+/// Runs one experiment; deterministic in (config, seed).
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_EXPERIMENT_H_

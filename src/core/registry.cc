@@ -1,0 +1,302 @@
+#include "core/registry.h"
+
+#include "protocols/cheapbft/cheapbft_replica.h"
+#include "protocols/fab/fab_replica.h"
+#include "protocols/hotstuff/hotstuff_replica.h"
+#include "protocols/kauri/kauri_replica.h"
+#include "protocols/pbft/pbft_replica.h"
+#include "protocols/poe/poe_replica.h"
+#include "protocols/prime/prime_replica.h"
+#include "protocols/qu/qu_replica.h"
+#include "protocols/sbft/sbft_replica.h"
+#include "protocols/tendermint/tendermint_replica.h"
+#include "protocols/themis/themis_replica.h"
+#include "protocols/zyzzyva/zyzzyva_replica.h"
+
+namespace bftlab {
+
+namespace {
+
+ProtocolDescriptor PbftDescriptor() {
+  ProtocolDescriptor d;
+  d.name = "pbft";
+  d.commitment = CommitmentStrategy::kPessimistic;
+  d.good_case_phases = 3;
+  d.leader_policy = LeaderPolicy::kStable;
+  d.separate_view_change_stage = true;
+  d.recovery = RecoveryPolicy::kProactive;
+  d.client_roles = kClientRequester;
+  d.reply_quorum = {1, 1};
+  d.replicas = {3, 1};
+  d.agreement_quorum = {2, 1};
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kClique;
+  d.auth = AuthScheme::kSignatures;
+  d.responsive = true;
+  d.timers = kTimerViewChange | kTimerWatchdog;
+  return d;
+}
+
+ProtocolDescriptor HotStuffDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "hotstuff";
+  d.good_case_phases = 7;  // 3 linearized rounds + proposal hops, chained.
+  d.leader_policy = LeaderPolicy::kRotating;
+  d.separate_view_change_stage = false;
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kStar;
+  d.auth = AuthScheme::kThreshold;
+  d.timers = kTimerViewSync;
+  d.load_balancing = LoadBalancing::kLeaderRotation;
+  return d;
+}
+
+ProtocolDescriptor HotStuff2Descriptor() {
+  ProtocolDescriptor d = HotStuffDescriptor();
+  d.name = "hotstuff2";
+  d.good_case_phases = 5;  // Two-chain commit rule.
+  return d;
+}
+
+ProtocolDescriptor TendermintDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "tendermint";
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.assumptions = kAssumeSynchrony;  // a6: Δ-wait per height.
+  d.good_case_phases = 3;
+  d.leader_policy = LeaderPolicy::kRotating;
+  d.separate_view_change_stage = false;
+  d.responsive = false;  // Design Choice 4.
+  d.timers = kTimerQuorumPhase | kTimerViewSync;
+  d.load_balancing = LoadBalancing::kLeaderRotation;
+  return d;
+}
+
+ProtocolDescriptor ZyzzyvaDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "zyzzyva";
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.speculation = Speculation::kSpeculative;
+  d.assumptions = kAssumeCorrectLeader | kAssumeCorrectBackups;
+  d.good_case_phases = 1;
+  d.client_roles = kClientRequester | kClientRepairer;
+  d.reply_quorum = {3, 1};  // 3f+1 matching speculative replies.
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kStar;
+  d.responsive = false;  // Client waits a fixed τ1 for all replies.
+  d.timers = kTimerReply;
+  return d;
+}
+
+ProtocolDescriptor Zyzzyva5Descriptor() {
+  ProtocolDescriptor d = ZyzzyvaDescriptor();
+  d.name = "zyzzyva5";
+  d.replicas = {5, 1};      // Design Choice 10.
+  d.reply_quorum = {4, 1};  // 4f+1 fast quorum.
+  return d;
+}
+
+ProtocolDescriptor SbftDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "sbft";
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.assumptions = kAssumeCorrectBackups;
+  d.good_case_phases = 3;  // Pre-prepare + share + full proof (fast path).
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kStar;  // Linearized (Design Choice 1).
+  d.auth = AuthScheme::kThreshold;
+  d.responsive = false;  // τ3 wait for all 3f+1 shares.
+  d.timers = kTimerViewChange | kTimerBackupFailure;
+  return d;
+}
+
+ProtocolDescriptor PoeDescriptor() {
+  ProtocolDescriptor d = SbftDescriptor();
+  d.name = "poe";
+  d.speculation = Speculation::kSpeculative;  // Design Choice 7.
+  d.assumptions = kAssumeCorrectBackups;
+  d.good_case_phases = 3;
+  d.reply_quorum = {2, 1};  // 2f+1 speculative replies.
+  d.responsive = true;      // Certificate needs only 2f+1 shares.
+  d.timers = kTimerViewChange;
+  return d;
+}
+
+ProtocolDescriptor FabDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "fab";
+  d.good_case_phases = 2;  // Design Choice 2.
+  d.replicas = {5, 1};
+  d.agreement_quorum = {4, 1};
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kClique;
+  return d;
+}
+
+ProtocolDescriptor CheapBftDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "cheapbft";
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.assumptions = kAssumeCorrectBackups;  // a2: all actives participate.
+  d.good_case_phases = 2;  // Prepare + commit among 2f+1 actives.
+  d.agreement_quorum = {2, 1};
+  d.auth = AuthScheme::kMacs;
+  d.timers = kTimerViewChange | kTimerBackupFailure;
+  return d;
+}
+
+ProtocolDescriptor QuDescriptor() {
+  ProtocolDescriptor d;
+  d.name = "qu";
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.assumptions = kAssumeConflictFree | kAssumeHonestClients;
+  d.good_case_phases = 0;  // No ordering phases (Design Choice 9).
+  d.leader_policy = LeaderPolicy::kLeaderless;
+  d.separate_view_change_stage = false;
+  d.checkpointing = false;
+  d.client_roles = kClientRequester | kClientProposer | kClientRepairer;
+  d.reply_quorum = {4, 1};
+  d.replicas = {5, 1};
+  d.agreement_quorum = {4, 1};
+  d.dissemination = TopologyKind::kStar;
+  d.agreement = TopologyKind::kStar;
+  d.auth = AuthScheme::kSignatures;
+  d.responsive = true;
+  d.timers = kTimerReply;
+  return d;
+}
+
+ProtocolDescriptor KauriDescriptor() {
+  ProtocolDescriptor d = HotStuffDescriptor();
+  d.name = "kauri";
+  d.leader_policy = LeaderPolicy::kStable;
+  d.assumptions = kAssumeCorrectInternalNodes;  // a3.
+  d.commitment = CommitmentStrategy::kOptimistic;
+  d.good_case_phases = 6;  // h hops down + h up + h commit, h = 2.
+  d.dissemination = TopologyKind::kTree;  // Design Choice 14.
+  d.agreement = TopologyKind::kTree;
+  d.load_balancing = LoadBalancing::kTree;
+  d.timers = kTimerViewChange | kTimerBackupFailure;
+  return d;
+}
+
+ProtocolDescriptor ThemisDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "themis";
+  d.order_fairness = true;  // Design Choice 13.
+  d.gamma = 0.75;
+  d.replicas = {4, 1};  // n >= 4f+1 for order-fairness.
+  d.agreement_quorum = {3, 1};
+  d.good_case_phases = 4;  // Preordering round + PBFT's three.
+  d.timers = kTimerViewChange | kTimerPreorderRound;
+  return d;
+}
+
+ProtocolDescriptor PrimeDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "prime";
+  d.commitment = CommitmentStrategy::kRobust;  // Design Choice 12.
+  d.good_case_phases = 4;  // PO dissemination + PBFT's three.
+  d.agreement = TopologyKind::kClique;
+  d.timers = kTimerViewChange | kTimerHeartbeat;
+  d.order_fairness = true;  // Partial fairness via preordering.
+  d.gamma = 0.5;
+  return d;
+}
+
+struct Entry {
+  ProtocolDescriptor (*descriptor)();
+  ProtocolBuild (*build)(uint32_t f);
+};
+
+ProtocolBuild MakeBuild(ProtocolDescriptor d, ReplicaFactory rf,
+                        ClientFactory cf, SubmitPolicy submit) {
+  ProtocolBuild b;
+  b.descriptor = std::move(d);
+  b.replica_factory = std::move(rf);
+  b.client_factory = std::move(cf);
+  b.submit_policy = submit;
+  return b;
+}
+
+}  // namespace
+
+std::vector<std::string> AllProtocolNames() {
+  return {"pbft",     "hotstuff", "hotstuff2", "tendermint", "zyzzyva",
+          "zyzzyva5", "sbft",     "poe",       "fab",        "cheapbft",
+          "qu",       "kauri",    "themis",    "prime"};
+}
+
+Result<ProtocolDescriptor> GetDescriptor(const std::string& name) {
+  if (name == "pbft") return PbftDescriptor();
+  if (name == "hotstuff") return HotStuffDescriptor();
+  if (name == "hotstuff2") return HotStuff2Descriptor();
+  if (name == "tendermint") return TendermintDescriptor();
+  if (name == "zyzzyva") return ZyzzyvaDescriptor();
+  if (name == "zyzzyva5") return Zyzzyva5Descriptor();
+  if (name == "sbft") return SbftDescriptor();
+  if (name == "poe") return PoeDescriptor();
+  if (name == "fab") return FabDescriptor();
+  if (name == "cheapbft") return CheapBftDescriptor();
+  if (name == "qu") return QuDescriptor();
+  if (name == "kauri") return KauriDescriptor();
+  if (name == "themis") return ThemisDescriptor();
+  if (name == "prime") return PrimeDescriptor();
+  return Status::NotFound("unknown protocol: " + name);
+}
+
+Result<ProtocolBuild> GetProtocol(const std::string& name, uint32_t f) {
+  Result<ProtocolDescriptor> d = GetDescriptor(name);
+  if (!d.ok()) return d.status();
+
+  if (name == "pbft") {
+    return MakeBuild(*d, MakePbftReplica, nullptr, SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "hotstuff") {
+    return MakeBuild(*d, MakeHotStuffReplica, nullptr, SubmitPolicy::kAll);
+  }
+  if (name == "hotstuff2") {
+    return MakeBuild(*d, MakeHotStuff2Replica, nullptr, SubmitPolicy::kAll);
+  }
+  if (name == "tendermint") {
+    return MakeBuild(*d, MakeTendermintReplica, nullptr, SubmitPolicy::kAll);
+  }
+  if (name == "zyzzyva") {
+    return MakeBuild(*d, MakeZyzzyvaReplica, ZyzzyvaClientFactory(f),
+                     SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "zyzzyva5") {
+    return MakeBuild(*d, MakeZyzzyvaReplica, Zyzzyva5ClientFactory(f),
+                     SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "sbft") {
+    return MakeBuild(*d, MakeSbftReplica, nullptr, SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "poe") {
+    return MakeBuild(*d, MakePoeReplica, nullptr, SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "fab") {
+    return MakeBuild(*d, MakeFabReplica, nullptr, SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "cheapbft") {
+    return MakeBuild(*d, MakeCheapBftReplica, nullptr,
+                     SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "qu") {
+    return MakeBuild(*d, MakeQuReplica, QuClientFactory(f),
+                     SubmitPolicy::kAll);
+  }
+  if (name == "kauri") {
+    return MakeBuild(*d, MakeKauriReplica, nullptr,
+                     SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "themis") {
+    return MakeBuild(*d, MakeThemisReplica, nullptr, SubmitPolicy::kAll);
+  }
+  if (name == "prime") {
+    return MakeBuild(*d, MakePrimeReplica, nullptr, SubmitPolicy::kAll);
+  }
+  return Status::NotFound("unknown protocol: " + name);
+}
+
+}  // namespace bftlab

@@ -1,0 +1,48 @@
+// Registry of implemented protocols: each protocol's design-space
+// descriptor (its point in §2.2's space) plus the factories needed to
+// instantiate it in a Cluster.
+
+#ifndef BFTLAB_CORE_REGISTRY_H_
+#define BFTLAB_CORE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/design_space.h"
+#include "protocols/common/cluster.h"
+
+namespace bftlab {
+
+/// Everything needed to deploy one protocol.
+struct ProtocolBuild {
+  ProtocolDescriptor descriptor;
+  ReplicaFactory replica_factory;
+  /// Null = use the default closed-loop Client.
+  ClientFactory client_factory;
+  /// Recommended cluster size for a given f.
+  uint32_t RecommendedN(uint32_t f) const {
+    return descriptor.replicas.Eval(f);
+  }
+  /// Matching replies the default client must collect.
+  uint32_t ReplyQuorum(uint32_t f) const {
+    return descriptor.reply_quorum.Eval(f);
+  }
+  /// Whether clients should broadcast requests (rotating leaders,
+  /// preordering, client-as-proposer).
+  SubmitPolicy submit_policy = SubmitPolicy::kLeaderOnly;
+};
+
+/// Names of all registered protocols.
+std::vector<std::string> AllProtocolNames();
+
+/// Looks up a protocol by name ("pbft", "hotstuff", "hotstuff2",
+/// "tendermint", "zyzzyva", "zyzzyva5", "sbft", "poe", "fab", "cheapbft",
+/// "qu", "kauri", "themis", "prime").
+Result<ProtocolBuild> GetProtocol(const std::string& name, uint32_t f);
+
+/// Descriptor only (no factories), e.g. for design-choice checks.
+Result<ProtocolDescriptor> GetDescriptor(const std::string& name);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_REGISTRY_H_

@@ -1,0 +1,65 @@
+// Fixed 32-byte digest value type produced by SHA-256.
+
+#ifndef BFTLAB_CRYPTO_DIGEST_H_
+#define BFTLAB_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/buffer.h"
+
+namespace bftlab {
+
+/// A 32-byte SHA-256 digest. Value type with total ordering and std::hash
+/// support so it can key maps of proposals/requests.
+class Digest {
+ public:
+  static constexpr size_t kSize = 32;
+
+  Digest() { bytes_.fill(0); }
+  explicit Digest(const std::array<uint8_t, kSize>& bytes) : bytes_(bytes) {}
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+  size_t size() const { return kSize; }
+
+  Slice AsSlice() const { return Slice(bytes_.data(), kSize); }
+
+  /// True iff all bytes are zero (the default/"null" digest).
+  bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  /// Lower-case hex form, e.g. for logging.
+  std::string ToHex() const;
+  /// First 8 hex chars, convenient in traces.
+  std::string ShortHex() const { return ToHex().substr(0, 8); }
+
+  bool operator==(const Digest& o) const { return bytes_ == o.bytes_; }
+  bool operator!=(const Digest& o) const { return bytes_ != o.bytes_; }
+  bool operator<(const Digest& o) const { return bytes_ < o.bytes_; }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+}  // namespace bftlab
+
+namespace std {
+template <>
+struct hash<bftlab::Digest> {
+  size_t operator()(const bftlab::Digest& d) const {
+    size_t v;
+    std::memcpy(&v, d.data(), sizeof(v));
+    return v;
+  }
+};
+}  // namespace std
+
+#endif  // BFTLAB_CRYPTO_DIGEST_H_

@@ -1,0 +1,31 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace bftlab {
+
+Digest HmacSha256(Slice key, Slice message) {
+  constexpr size_t kBlock = 64;
+  uint8_t key_block[kBlock];
+  std::memset(key_block, 0, kBlock);
+
+  if (key.size() > kBlock) {
+    Digest kd = Sha256::Hash(key);
+    std::memcpy(key_block, kd.data(), Digest::kSize);
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlock], opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Digest inner = Sha256::Hash2(Slice(ipad, kBlock), message);
+  return Sha256::Hash2(Slice(opad, kBlock), inner.AsSlice());
+}
+
+}  // namespace bftlab

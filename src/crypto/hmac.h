@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104), the PRF underlying MAC authenticators and the
+// simulated signature schemes.
+
+#ifndef BFTLAB_CRYPTO_HMAC_H_
+#define BFTLAB_CRYPTO_HMAC_H_
+
+#include "common/buffer.h"
+#include "crypto/digest.h"
+
+namespace bftlab {
+
+/// Computes HMAC-SHA256(key, message).
+Digest HmacSha256(Slice key, Slice message);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CRYPTO_HMAC_H_

@@ -1,0 +1,112 @@
+#include "crypto/keystore.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace bftlab {
+
+KeyStore::KeyStore(uint64_t seed) {
+  Encoder enc;
+  enc.PutString("bftlab-keystore-master");
+  enc.PutU64(seed);
+  Digest d = Sha256::Hash(enc.buffer());
+  master_ = d.AsSlice().ToBuffer();
+}
+
+Digest KeyStore::NodeSecret(NodeId node) const {
+  Encoder enc;
+  enc.PutU8(0x01);  // Domain tag: signing secret.
+  enc.PutU32(node);
+  return HmacSha256(master_, enc.buffer());
+}
+
+Digest KeyStore::PairKey(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  Encoder enc;
+  enc.PutU8(0x02);  // Domain tag: pairwise MAC key.
+  enc.PutU32(a);
+  enc.PutU32(b);
+  return HmacSha256(master_, enc.buffer());
+}
+
+Digest KeyStore::ShareSecret(NodeId node) const {
+  Encoder enc;
+  enc.PutU8(0x03);  // Domain tag: threshold share secret.
+  enc.PutU32(node);
+  return HmacSha256(master_, enc.buffer());
+}
+
+Signature KeyStore::Sign(NodeId signer, Slice message) const {
+  Signature sig;
+  sig.signer = signer;
+  sig.tag = HmacSha256(NodeSecret(signer).AsSlice(), message);
+  return sig;
+}
+
+bool KeyStore::VerifySignature(const Signature& sig, Slice message) const {
+  return HmacSha256(NodeSecret(sig.signer).AsSlice(), message) == sig.tag;
+}
+
+Mac KeyStore::ComputeMac(NodeId sender, NodeId receiver,
+                         Slice message) const {
+  Mac mac;
+  mac.sender = sender;
+  mac.receiver = receiver;
+  mac.tag = HmacSha256(PairKey(sender, receiver).AsSlice(), message);
+  return mac;
+}
+
+bool KeyStore::VerifyMac(const Mac& mac, Slice message) const {
+  return HmacSha256(PairKey(mac.sender, mac.receiver).AsSlice(), message) ==
+         mac.tag;
+}
+
+Signature CryptoContext::Sign(Slice message) {
+  Charge(cost_.sign_us);
+  ChargeHash(message.size());
+  return keystore_->Sign(self_, message);
+}
+
+bool CryptoContext::Verify(const Signature& sig, Slice message) {
+  Charge(cost_.verify_sig_us);
+  ChargeHash(message.size());
+  return keystore_->VerifySignature(sig, message);
+}
+
+Mac CryptoContext::ComputeMac(NodeId receiver, Slice message) {
+  Charge(cost_.mac_us);
+  ChargeHash(message.size());
+  return keystore_->ComputeMac(self_, receiver, message);
+}
+
+std::vector<Mac> CryptoContext::ComputeAuthenticator(
+    const std::vector<NodeId>& receivers, Slice message) {
+  std::vector<Mac> auths;
+  auths.reserve(receivers.size());
+  for (NodeId r : receivers) {
+    auths.push_back(ComputeMac(r, message));
+  }
+  return auths;
+}
+
+bool CryptoContext::VerifyMac(const Mac& mac, Slice message) {
+  Charge(cost_.verify_mac_us);
+  ChargeHash(message.size());
+  return keystore_->VerifyMac(mac, message);
+}
+
+void CryptoContext::ChargeHash(size_t bytes) {
+  Charge(cost_.hash_us_per_kib * static_cast<double>(bytes) / 1024.0);
+}
+
+double CryptoContext::DrainConsumedUs() {
+  double v = consumed_us_;
+  total_us_ += v;
+  consumed_us_ = 0;
+  return v;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,138 @@
+#include "net/topology.h"
+
+namespace bftlab {
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar:
+      return "star";
+    case TopologyKind::kClique:
+      return "clique";
+    case TopologyKind::kTree:
+      return "tree";
+    case TopologyKind::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+Topology::Topology(TopologyKind kind, uint32_t n, ReplicaId root,
+                   uint32_t branching)
+    : kind_(kind), n_(n), root_(root), branching_(branching) {}
+
+Result<Topology> Topology::Make(TopologyKind kind, uint32_t n, ReplicaId root,
+                                uint32_t branching) {
+  if (n == 0) return Status::InvalidArgument("empty topology");
+  if (root >= n) return Status::InvalidArgument("root out of range");
+  if (kind == TopologyKind::kTree && branching < 1) {
+    return Status::InvalidArgument("tree branching must be >= 1");
+  }
+  return Topology(kind, n, root, branching);
+}
+
+uint32_t Topology::PositionOf(ReplicaId id) const {
+  // Rotation order: root, root+1, ..., wrapping around.
+  return (id + n_ - root_) % n_;
+}
+
+ReplicaId Topology::AtPosition(uint32_t pos) const {
+  return (root_ + pos) % n_;
+}
+
+ReplicaId Topology::ParentOf(ReplicaId id) const {
+  uint32_t pos = PositionOf(id);
+  if (pos == 0) return kInvalidReplica;
+  return AtPosition((pos - 1) / branching_);
+}
+
+std::vector<ReplicaId> Topology::ChildrenOf(ReplicaId id) const {
+  std::vector<ReplicaId> children;
+  uint32_t pos = PositionOf(id);
+  for (uint32_t c = pos * branching_ + 1;
+       c <= pos * branching_ + branching_ && c < n_; ++c) {
+    children.push_back(AtPosition(c));
+  }
+  return children;
+}
+
+uint32_t Topology::DepthOf(ReplicaId id) const {
+  uint32_t depth = 0;
+  uint32_t pos = PositionOf(id);
+  while (pos != 0) {
+    pos = (pos - 1) / branching_;
+    ++depth;
+  }
+  return depth;
+}
+
+uint32_t Topology::Height() const {
+  // Deepest position is n_-1.
+  uint32_t height = 0;
+  uint32_t pos = n_ - 1;
+  while (pos != 0) {
+    pos = (pos - 1) / branching_;
+    ++height;
+  }
+  return height;
+}
+
+std::vector<ReplicaId> Topology::AllReplicas() const {
+  std::vector<ReplicaId> all;
+  all.reserve(n_);
+  for (ReplicaId r = 0; r < n_; ++r) all.push_back(r);
+  return all;
+}
+
+std::vector<ReplicaId> Topology::DownstreamOf(ReplicaId id) const {
+  std::vector<ReplicaId> out;
+  switch (kind_) {
+    case TopologyKind::kStar:
+      if (id == root_) {
+        for (ReplicaId r = 0; r < n_; ++r) {
+          if (r != root_) out.push_back(r);
+        }
+      }
+      break;
+    case TopologyKind::kClique:
+      for (ReplicaId r = 0; r < n_; ++r) {
+        if (r != id) out.push_back(r);
+      }
+      break;
+    case TopologyKind::kTree:
+      out = ChildrenOf(id);
+      break;
+    case TopologyKind::kChain: {
+      uint32_t pos = PositionOf(id);
+      if (pos + 1 < n_) out.push_back(AtPosition(pos + 1));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<ReplicaId> Topology::UpstreamOf(ReplicaId id) const {
+  std::vector<ReplicaId> out;
+  switch (kind_) {
+    case TopologyKind::kStar:
+      if (id != root_) out.push_back(root_);
+      break;
+    case TopologyKind::kClique:
+      for (ReplicaId r = 0; r < n_; ++r) {
+        if (r != id) out.push_back(r);
+      }
+      break;
+    case TopologyKind::kTree: {
+      ReplicaId p = ParentOf(id);
+      if (p != kInvalidReplica) out.push_back(p);
+      break;
+    }
+    case TopologyKind::kChain: {
+      uint32_t pos = PositionOf(id);
+      if (pos > 0) out.push_back(AtPosition(pos - 1));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bftlab

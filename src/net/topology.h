@@ -1,0 +1,90 @@
+// Communication topologies (paper dimension E2): star, clique, tree, and
+// chain. A Topology answers "who do I talk to at this phase" for a given
+// leader/root, and is the substrate for Kauri-style tree dissemination
+// (Design Choice 14).
+
+#ifndef BFTLAB_NET_TOPOLOGY_H_
+#define BFTLAB_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace bftlab {
+
+/// E2: how replicas exchange messages within a protocol phase.
+enum class TopologyKind : uint8_t {
+  kStar = 0,    // Leader <-> everyone: O(n) messages per phase.
+  kClique = 1,  // All-to-all: O(n^2) messages per phase.
+  kTree = 2,    // Parent/child along a tree rooted at the leader: O(n)
+                // messages over h phases.
+  kChain = 3,   // Pipeline: each replica talks to its successor.
+};
+
+const char* TopologyKindName(TopologyKind kind);
+
+/// A rooted communication structure over replicas 0..n-1.
+///
+/// The tree layout places the root first and assigns children breadth-
+/// first over the remaining replicas in rotation order starting after the
+/// root, so that re-rooting (view change / reconfiguration) produces a
+/// deterministic new layout.
+class Topology {
+ public:
+  /// Creates a topology over n replicas rooted at `root`.
+  /// `branching` only applies to trees (must be >= 1).
+  static Result<Topology> Make(TopologyKind kind, uint32_t n, ReplicaId root,
+                               uint32_t branching = 2);
+
+  TopologyKind kind() const { return kind_; }
+  uint32_t n() const { return n_; }
+  ReplicaId root() const { return root_; }
+  uint32_t branching() const { return branching_; }
+
+  /// Replicas `id` sends to when disseminating away from the root
+  /// (children in a tree; everyone for the root of a star; successor in a
+  /// chain; everyone in a clique).
+  std::vector<ReplicaId> DownstreamOf(ReplicaId id) const;
+
+  /// Replica `id` sends to when aggregating toward the root (parent in a
+  /// tree; the root in a star; predecessor in a chain).
+  std::vector<ReplicaId> UpstreamOf(ReplicaId id) const;
+
+  /// Parent in the tree layout; kInvalidReplica for the root.
+  ReplicaId ParentOf(ReplicaId id) const;
+
+  /// Children in the tree layout.
+  std::vector<ReplicaId> ChildrenOf(ReplicaId id) const;
+
+  /// Depth of `id` (root = 0).
+  uint32_t DepthOf(ReplicaId id) const;
+
+  /// Height of the tree (max depth).
+  uint32_t Height() const;
+
+  /// True when `id` is an internal (non-leaf, non-root counts as internal
+  /// if it has children) node of the tree.
+  bool IsInternal(ReplicaId id) const { return !ChildrenOf(id).empty(); }
+
+  /// All replica ids, in id order.
+  std::vector<ReplicaId> AllReplicas() const;
+
+ private:
+  Topology(TopologyKind kind, uint32_t n, ReplicaId root, uint32_t branching);
+
+  /// Position of `id` in the BFS order rooted at root_ (root has pos 0).
+  uint32_t PositionOf(ReplicaId id) const;
+  /// Replica at BFS position `pos`.
+  ReplicaId AtPosition(uint32_t pos) const;
+
+  TopologyKind kind_;
+  uint32_t n_;
+  ReplicaId root_;
+  uint32_t branching_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_NET_TOPOLOGY_H_

@@ -1,0 +1,309 @@
+#include "protocols/cheapbft/cheapbft_replica.h"
+
+#include <algorithm>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+CheapBftReplica::CheapBftReplica(ReplicaConfig config,
+                                 std::unique_ptr<StateMachine> state_machine)
+    : Replica(config, std::move(state_machine)) {
+  // Initial active set: replicas 0 .. 2f.
+  for (ReplicaId r = 0; r < 2 * config.f + 1; ++r) active_.push_back(r);
+  set_suppress_replies(IsPassive());
+}
+
+bool CheapBftReplica::IsActive() const {
+  return std::find(active_.begin(), active_.end(), config().id) !=
+         active_.end();
+}
+
+std::vector<NodeId> CheapBftReplica::OtherActive() const {
+  std::vector<NodeId> out;
+  for (ReplicaId r : active_) {
+    if (r != config().id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<NodeId> CheapBftReplica::PassiveSet() const {
+  std::vector<NodeId> out;
+  for (ReplicaId r = 0; r < n(); ++r) {
+    if (std::find(active_.begin(), active_.end(), r) == active_.end()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void CheapBftReplica::OnClientRequest(NodeId from,
+                                      const ClientRequest& request) {
+  if (config().id == leader()) {
+    if (pending_requests() >= config().batch_size) {
+      ProposeAvailable();
+    } else if (batch_timer_ == kInvalidEvent) {
+      batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+    }
+    return;
+  }
+  if (IsClientNode(from)) {
+    Send(leader(), std::make_shared<RequestMessage>(request));
+  }
+}
+
+void CheapBftReplica::ProposeAvailable() {
+  if (config().id != leader()) return;
+  while (HasPending() && next_seq_ <= HighWatermark()) {
+    Batch batch = TakeBatch();
+    if (batch.requests.empty()) continue;
+    SequenceNumber seq = next_seq_++;
+
+    Instance& inst = instances_[seq];
+    inst.batch = batch;
+    inst.digest = batch.ComputeDigest();
+    inst.has_prepare = true;
+    inst.commits.insert(config().id);
+
+    auto msg = std::make_shared<CheapPrepareMessage>(epoch_, seq,
+                                                     std::move(batch));
+    ChargeAuthSend(active_.size() - 1, msg->WireSize());
+    Multicast(OtherActive(), std::move(msg));
+
+    if (watch_seq_ == 0) watch_seq_ = seq;
+    if (progress_timer_ == kInvalidEvent) {
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+    }
+  }
+}
+
+void CheapBftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kCheapPrepare:
+      HandlePrepare(from, static_cast<const CheapPrepareMessage&>(*msg));
+      break;
+    case kCheapCommit:
+      HandleCommit(from, static_cast<const CheapCommitMessage&>(*msg));
+      break;
+    case kCheapUpdate:
+      HandleUpdate(from, static_cast<const CheapUpdateMessage&>(*msg));
+      break;
+    case kCheapReconfig:
+      HandleReconfig(from, static_cast<const CheapReconfigMessage&>(*msg));
+      break;
+    case kCheapFillHole:
+      HandleFillHole(from, static_cast<const CheapFillHoleMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void CheapBftReplica::OnExecutionGap(SequenceNumber missing_seq) {
+  if (config().id == leader()) return;
+  if (Now() - last_fill_hole_sent_ < Millis(50) && Now() != 0) return;
+  last_fill_hole_sent_ = Now();
+  metrics().Increment("cheapbft.fill_hole_requests");
+  Send(leader(),
+       std::make_shared<CheapFillHoleMessage>(missing_seq, config().id));
+}
+
+void CheapBftReplica::HandleFillHole(NodeId /*from*/,
+                                     const CheapFillHoleMessage& msg) {
+  if (config().id != leader()) return;
+  SequenceNumber end = msg.from_seq() + 32;
+  for (auto it = instances_.lower_bound(msg.from_seq());
+       it != instances_.end() && it->first < end; ++it) {
+    if (it->second.committed) {
+      Send(msg.requester(), std::make_shared<CheapUpdateMessage>(
+                                epoch_, it->first, it->second.batch));
+    }
+  }
+}
+
+void CheapBftReplica::HandlePrepare(NodeId from,
+                                    const CheapPrepareMessage& msg) {
+  if (from != leader() || msg.epoch() != epoch_ || !IsActive()) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instances_[msg.seq()];
+  if (inst.has_prepare) return;
+  inst.has_prepare = true;
+  inst.batch = msg.batch();
+  inst.digest = msg.digest();
+  // The prepare doubles as the leader's commit vote.
+  inst.commits.insert(from);
+  for (const ClientRequest& r : msg.batch().requests) {
+    RemoveFromPool(r.ComputeDigest());
+  }
+
+  // Commit round among the 2f+1 active replicas only.
+  auto commit = std::make_shared<CheapCommitMessage>(epoch_, msg.seq(),
+                                                     msg.digest(),
+                                                     config().id);
+  ChargeAuthSend(active_.size() - 1, commit->WireSize());
+  Multicast(OtherActive(), std::move(commit));
+  inst.commits.insert(config().id);
+  CheckCommitted(msg.seq());
+}
+
+void CheapBftReplica::HandleCommit(NodeId /*from*/,
+                                   const CheapCommitMessage& msg) {
+  if (msg.epoch() != epoch_ || !IsActive()) return;
+  ChargeAuthVerify(msg.WireSize());
+  Instance& inst = instances_[msg.seq()];
+  if (msg.digest() != inst.digest && inst.has_prepare) return;
+  inst.commits.insert(msg.replica());
+  last_commit_seen_[msg.replica()] =
+      std::max(last_commit_seen_[msg.replica()], msg.seq());
+  CheckCommitted(msg.seq());
+}
+
+void CheapBftReplica::CheckCommitted(SequenceNumber seq) {
+  Instance& inst = instances_[seq];
+  if (inst.committed || !inst.has_prepare) return;
+  // Optimistic assumption a2: ALL active replicas must agree.
+  if (inst.commits.size() < active_.size()) return;
+  inst.committed = true;
+  metrics().Increment("cheapbft.committed");
+  Deliver(seq, inst.batch);
+
+  // Leader ships the committed batch to the passive replicas.
+  if (config().id == leader()) {
+    auto update =
+        std::make_shared<CheapUpdateMessage>(epoch_, seq, inst.batch);
+    for (NodeId p : PassiveSet()) {
+      Send(p, update);
+    }
+    if (seq == watch_seq_) {
+      // Progress: move the watch to the next uncommitted proposal.
+      watch_seq_ = 0;
+      for (auto& [s, i] : instances_) {
+        if (!i.committed && i.has_prepare) {
+          watch_seq_ = s;
+          break;
+        }
+      }
+      CancelTimer(&progress_timer_);
+      if (watch_seq_ != 0) {
+        progress_timer_ =
+            SetTimer(config().view_change_timeout_us, kProgressTimer);
+      }
+    }
+  }
+}
+
+void CheapBftReplica::HandleUpdate(NodeId from,
+                                   const CheapUpdateMessage& msg) {
+  if (from != leader()) return;
+  ChargeAuthVerify(msg.WireSize());
+  metrics().Increment("cheapbft.passive_updates");
+  Deliver(msg.seq(), msg.batch());
+}
+
+void CheapBftReplica::Reconfigure(ReplicaId failed) {
+  std::vector<NodeId> passive = PassiveSet();
+  if (passive.empty()) return;
+  ReplicaId replacement = static_cast<ReplicaId>(passive.front());
+  auto msg = std::make_shared<CheapReconfigMessage>(epoch_ + 1, failed,
+                                                    replacement);
+  ChargeAuthSend(n() - 1, msg->WireSize());
+  Multicast(OtherReplicas(), msg);
+  HandleReconfig(config().id, *msg);
+}
+
+void CheapBftReplica::HandleReconfig(NodeId from,
+                                     const CheapReconfigMessage& msg) {
+  if (msg.new_epoch() <= epoch_) return;
+  // Accept reconfiguration from the current leader (itself included).
+  if (from != leader() && from != config().id) return;
+  epoch_ = msg.new_epoch();
+  ++reconfigs_;
+  metrics().Increment("cheapbft.reconfigurations");
+  std::replace(active_.begin(), active_.end(), msg.failed(),
+               msg.replacement());
+  set_suppress_replies(IsPassive());
+  last_reconfig_at_ = Now();
+  // Re-run agreement for in-flight instances under the new epoch.
+  if (config().id == leader()) {
+    for (auto& [seq, inst] : instances_) {
+      if (!inst.committed && inst.has_prepare) {
+        inst.commits.clear();
+        inst.commits.insert(config().id);
+        auto prepare =
+            std::make_shared<CheapPrepareMessage>(epoch_, seq, inst.batch);
+        ChargeAuthSend(active_.size() - 1, prepare->WireSize());
+        Multicast(OtherActive(), std::move(prepare));
+      }
+    }
+    CancelTimer(&progress_timer_);
+    if (watch_seq_ != 0) {
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+    }
+  } else {
+    // Newly activated replica: reset per-instance agreement state it may
+    // have missed; the leader re-sends prepares.
+    for (auto& [seq, inst] : instances_) {
+      if (!inst.committed) inst.has_prepare = false;
+    }
+  }
+}
+
+void CheapBftReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kBatchTimer:
+      batch_timer_ = kInvalidEvent;
+      ProposeAvailable();
+      break;
+    case kProgressTimer: {
+      progress_timer_ = kInvalidEvent;
+      if (config().id != leader() || watch_seq_ == 0) break;
+      auto it = instances_.find(watch_seq_);
+      if (it == instances_.end() || it->second.committed) break;
+      // τ3: some active replica did not commit; find and replace it.
+      ReplicaId missing = kInvalidReplica;
+      // Grace period after a reconfiguration: let the newly activated
+      // replica catch up before suspecting it as well.
+      bool in_grace =
+          Now() - last_reconfig_at_ < 2 * config().view_change_timeout_us;
+      if (!in_grace) {
+        for (ReplicaId r : active_) {
+          if (r != config().id && it->second.commits.count(r) == 0) {
+            missing = r;
+            break;
+          }
+        }
+      }
+      if (missing != kInvalidReplica) {
+        metrics().Increment("cheapbft.suspected");
+        Reconfigure(missing);
+      } else {
+        // Everyone voted but ordering jitter may have dropped a prepare
+        // (e.g. one that raced a reconfiguration); retransmit it.
+        auto prepare = std::make_shared<CheapPrepareMessage>(
+            epoch_, it->first, it->second.batch);
+        ChargeAuthSend(active_.size() - 1, prepare->WireSize());
+        Multicast(OtherActive(), std::move(prepare));
+      }
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<Replica> MakeCheapBftReplica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  cfg.auth = AuthScheme::kMacs;
+  return std::make_unique<CheapBftReplica>(cfg,
+                                           std::make_unique<KvStateMachine>());
+}
+
+}  // namespace bftlab

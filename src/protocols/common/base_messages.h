@@ -1,0 +1,112 @@
+// Protocol-agnostic messages handled by the Replica base class:
+// checkpointing (P4) and state transfer for trailing/in-dark replicas.
+
+#ifndef BFTLAB_PROTOCOLS_COMMON_BASE_MESSAGES_H_
+#define BFTLAB_PROTOCOLS_COMMON_BASE_MESSAGES_H_
+
+#include <sstream>
+#include <string>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+#include "sim/message.h"
+
+namespace bftlab {
+
+/// Message tags reserved for the Replica base class (protocols use >=100).
+enum BaseMessageType : uint32_t {
+  kMsgCheckpoint = 10,
+  kMsgStateRequest = 11,
+  kMsgStateResponse = 12,
+};
+
+/// Periodic checkpoint announcement (PBFT-style, decentralized).
+class CheckpointMessage : public Message {
+ public:
+  CheckpointMessage(SequenceNumber seq, Digest state_digest, ReplicaId replica)
+      : seq_(seq), state_digest_(state_digest), replica_(replica) {}
+
+  SequenceNumber seq() const { return seq_; }
+  const Digest& state_digest() const { return state_digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kMsgCheckpoint; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kMsgCheckpoint);
+    enc->PutU64(seq_);
+    enc->PutRaw(state_digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kSignatureBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "CHECKPOINT{seq=" << seq_ << " digest=" << state_digest_.ShortHex()
+       << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  SequenceNumber seq_;
+  Digest state_digest_;
+  ReplicaId replica_;
+};
+
+/// Request for the snapshot behind a stable checkpoint (catch-up).
+class StateRequestMessage : public Message {
+ public:
+  StateRequestMessage(SequenceNumber seq, ReplicaId requester)
+      : seq_(seq), requester_(requester) {}
+
+  SequenceNumber seq() const { return seq_; }
+  ReplicaId requester() const { return requester_; }
+
+  uint32_t type() const override { return kMsgStateRequest; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kMsgStateRequest);
+    enc->PutU64(seq_);
+    enc->PutU32(requester_);
+  }
+  size_t auth_wire_bytes() const override { return kMacBytes; }
+  std::string DebugString() const override {
+    return "STATE_REQUEST{seq=" + std::to_string(seq_) + "}";
+  }
+
+ private:
+  SequenceNumber seq_;
+  ReplicaId requester_;
+};
+
+/// Snapshot transfer answering a StateRequestMessage.
+class StateResponseMessage : public Message {
+ public:
+  StateResponseMessage(SequenceNumber seq, Digest state_digest,
+                       Buffer snapshot)
+      : seq_(seq),
+        state_digest_(state_digest),
+        snapshot_(std::move(snapshot)) {}
+
+  SequenceNumber seq() const { return seq_; }
+  const Digest& state_digest() const { return state_digest_; }
+  const Buffer& snapshot() const { return snapshot_; }
+
+  uint32_t type() const override { return kMsgStateResponse; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kMsgStateResponse);
+    enc->PutU64(seq_);
+    enc->PutRaw(state_digest_.AsSlice());
+    enc->PutBytes(snapshot_);
+  }
+  size_t auth_wire_bytes() const override { return kMacBytes; }
+  std::string DebugString() const override {
+    return "STATE_RESPONSE{seq=" + std::to_string(seq_) + "}";
+  }
+
+ private:
+  SequenceNumber seq_;
+  Digest state_digest_;
+  Buffer snapshot_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_COMMON_BASE_MESSAGES_H_

@@ -1,0 +1,141 @@
+#include "protocols/common/cluster.h"
+
+#include <sstream>
+
+namespace bftlab {
+
+Cluster::Cluster(ClusterConfig config, ReplicaFactory replica_factory,
+                 ClientFactory client_factory)
+    : config_(std::move(config)), keystore_(config_.seed) {
+  network_ = std::make_unique<Network>(&sim_, &metrics_, &keystore_,
+                                       Rng(config_.seed), config_.net,
+                                       config_.cost_model);
+
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    ReplicaConfig rc = config_.replica;
+    rc.id = r;
+    rc.n = config_.n;
+    rc.f = config_.f;
+    auto byz = config_.byzantine.find(r);
+    if (byz != config_.byzantine.end()) rc.byzantine = byz->second;
+    replicas_.push_back(replica_factory(rc));
+    network_->RegisterActor(replicas_.back().get());
+  }
+
+  for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    NodeId id = kClientIdBase + c;
+    ClientConfig cc = config_.client;
+    cc.num_replicas = config_.n;
+    if (client_factory) {
+      clients_.push_back(client_factory(id, cc));
+    } else {
+      clients_.push_back(std::make_unique<Client>(id, cc));
+    }
+    network_->RegisterActor(clients_.back().get());
+  }
+}
+
+void Cluster::Start() {
+  if (started_) return;
+  started_ = true;
+  network_->Start();
+}
+
+uint64_t Cluster::TotalAccepted() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) total += c->accepted_requests();
+  return total;
+}
+
+bool Cluster::RunUntilCommits(uint64_t total_commits, SimTime deadline) {
+  Start();
+  return sim_.RunUntilPredicate(
+      [this, total_commits] { return TotalAccepted() >= total_commits; },
+      deadline);
+}
+
+void Cluster::RunFor(SimTime duration) {
+  Start();
+  sim_.RunUntil(sim_.now() + duration);
+}
+
+void Cluster::EnableProactiveRecovery(SimTime interval, SimTime downtime) {
+  recovery_interval_us_ = interval;
+  recovery_downtime_us_ = downtime;
+  ScheduleNextRejuvenation();
+}
+
+void Cluster::ScheduleNextRejuvenation() {
+  sim_.Schedule(recovery_interval_us_, [this] {
+    ReplicaId target = next_rejuvenation_;
+    next_rejuvenation_ = (next_rejuvenation_ + 1) % config_.n;
+    if (!network_->IsDown(target)) {
+      metrics_.Increment("cluster.rejuvenations");
+      network_->Crash(target);
+      sim_.Schedule(recovery_downtime_us_,
+                    [this, target] { network_->Restart(target); });
+    }
+    ScheduleNextRejuvenation();
+  });
+}
+
+std::vector<ReplicaId> Cluster::CorrectReplicas() const {
+  std::vector<ReplicaId> out;
+  for (ReplicaId r = 0; r < replicas_.size(); ++r) {
+    if (replicas_[r]->config().byzantine.mode == ByzantineMode::kNone &&
+        !network_->IsDown(r)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+Status Cluster::CheckAgreement() const {
+  std::vector<ReplicaId> correct = CorrectReplicas();
+  for (size_t i = 0; i < correct.size(); ++i) {
+    const auto& a = replicas_[correct[i]]->finalized_digests();
+    for (size_t j = i + 1; j < correct.size(); ++j) {
+      const auto& b = replicas_[correct[j]]->finalized_digests();
+      // Compare on common sequence numbers.
+      for (const auto& [seq, digest] : a) {
+        auto it = b.find(seq);
+        if (it != b.end() && it->second != digest) {
+          std::ostringstream os;
+          os << "AGREEMENT VIOLATION at seq " << seq << ": replica "
+             << correct[i] << " committed " << digest.ShortHex()
+             << " but replica " << correct[j] << " committed "
+             << it->second.ShortHex();
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CheckStateMachines() const {
+  std::vector<ReplicaId> correct = CorrectReplicas();
+  std::map<uint64_t, std::pair<ReplicaId, Digest>> by_version;
+  for (ReplicaId r : correct) {
+    const StateMachine& sm = replicas_[r]->state_machine();
+    auto [it, inserted] = by_version.emplace(
+        sm.version(), std::make_pair(r, sm.StateDigest()));
+    if (!inserted && it->second.second != sm.StateDigest()) {
+      std::ostringstream os;
+      os << "EXECUTION DIVERGENCE at version " << sm.version()
+         << ": replicas " << it->second.first << " and " << r
+         << " have different state digests";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::Ok();
+}
+
+bool Cluster::AllFinalizedAtLeast(SequenceNumber seq) const {
+  for (ReplicaId r : CorrectReplicas()) {
+    if (replicas_[r]->finalized_seq() < seq) return false;
+  }
+  return true;
+}
+
+}  // namespace bftlab

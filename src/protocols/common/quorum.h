@@ -1,0 +1,61 @@
+// Quorum tracking: counts distinct-sender votes per key. The basic
+// building block of every agreement phase (prepare/commit certificates,
+// checkpoint stability, view-change collection, reply matching).
+
+#ifndef BFTLAB_PROTOCOLS_COMMON_QUORUM_H_
+#define BFTLAB_PROTOCOLS_COMMON_QUORUM_H_
+
+#include <map>
+#include <set>
+
+#include "common/types.h"
+
+namespace bftlab {
+
+/// Counts votes from distinct senders per key. Key is any ordered type
+/// (typically a (view, seq, digest) tuple).
+template <typename Key>
+class QuorumTracker {
+ public:
+  /// Records a vote; returns the number of distinct voters for `key`
+  /// after insertion.
+  size_t Add(const Key& key, NodeId voter) {
+    auto& voters = votes_[key];
+    voters.insert(voter);
+    return voters.size();
+  }
+
+  /// Current number of distinct voters for `key`.
+  size_t Count(const Key& key) const {
+    auto it = votes_.find(key);
+    return it == votes_.end() ? 0 : it->second.size();
+  }
+
+  /// True when `key` reached `quorum` distinct voters.
+  bool HasQuorum(const Key& key, size_t quorum) const {
+    return Count(key) >= quorum;
+  }
+
+  /// The distinct voters for `key`.
+  std::set<NodeId> Voters(const Key& key) const {
+    auto it = votes_.find(key);
+    return it == votes_.end() ? std::set<NodeId>{} : it->second;
+  }
+
+  /// Drops all keys strictly less than `bound` (garbage collection with
+  /// ordered keys, e.g. after a stable checkpoint).
+  void EraseBelow(const Key& bound) {
+    votes_.erase(votes_.begin(), votes_.lower_bound(bound));
+  }
+
+  void Erase(const Key& key) { votes_.erase(key); }
+  void Clear() { votes_.clear(); }
+  size_t size() const { return votes_.size(); }
+
+ private:
+  std::map<Key, std::set<NodeId>> votes_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_COMMON_QUORUM_H_

@@ -1,0 +1,436 @@
+#include "protocols/common/replica.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace bftlab {
+
+Replica::Replica(ReplicaConfig config,
+                 std::unique_ptr<StateMachine> state_machine)
+    : Actor(config.id),
+      config_(config),
+      state_machine_(std::move(state_machine)),
+      checkpoint_store_(config.checkpoint_interval) {}
+
+std::vector<NodeId> Replica::AllReplicas() const {
+  std::vector<NodeId> out;
+  out.reserve(config_.n);
+  for (ReplicaId r = 0; r < config_.n; ++r) out.push_back(r);
+  return out;
+}
+
+std::vector<NodeId> Replica::OtherReplicas() const {
+  std::vector<NodeId> out;
+  out.reserve(config_.n - 1);
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    if (r != config_.id) out.push_back(r);
+  }
+  return out;
+}
+
+size_t Replica::AuthBytes() const {
+  switch (config_.auth) {
+    case AuthScheme::kMacs:
+      // A PBFT-style authenticator: one MAC per receiver.
+      return kMacBytes * (config_.n - 1);
+    case AuthScheme::kSignatures:
+      return kSignatureBytes;
+    case AuthScheme::kThreshold:
+      return kThresholdSigBytes;
+  }
+  return kSignatureBytes;
+}
+
+void Replica::ChargeAuthSend(size_t num_receivers, size_t body_bytes) {
+  const CryptoCostModel& cost = crypto().cost_model();
+  switch (config_.auth) {
+    case AuthScheme::kMacs:
+      crypto().Charge(cost.mac_us * static_cast<double>(num_receivers));
+      break;
+    case AuthScheme::kSignatures:
+      crypto().Charge(cost.sign_us);
+      break;
+    case AuthScheme::kThreshold:
+      crypto().Charge(cost.threshold_share_sign_us);
+      break;
+  }
+  crypto().ChargeHash(body_bytes);
+}
+
+void Replica::ChargeAuthVerify(size_t body_bytes) {
+  const CryptoCostModel& cost = crypto().cost_model();
+  switch (config_.auth) {
+    case AuthScheme::kMacs:
+      crypto().Charge(cost.verify_mac_us);
+      break;
+    case AuthScheme::kSignatures:
+      crypto().Charge(cost.verify_sig_us);
+      break;
+    case AuthScheme::kThreshold:
+      crypto().Charge(cost.threshold_verify_us);
+      break;
+  }
+  crypto().ChargeHash(body_bytes);
+}
+
+void Replica::OnMessage(NodeId from, const MessagePtr& msg) {
+  if (byzantine_mode() == ByzantineMode::kCrashSilent) return;
+  switch (msg->type()) {
+    case kMsgClientRequest:
+      HandleClientRequest(from, static_cast<const RequestMessage&>(*msg));
+      return;
+    case kMsgCheckpoint:
+      HandleCheckpoint(from, static_cast<const CheckpointMessage&>(*msg));
+      return;
+    case kMsgStateRequest:
+      HandleStateRequest(from, static_cast<const StateRequestMessage&>(*msg));
+      return;
+    case kMsgStateResponse:
+      HandleStateResponse(from,
+                          static_cast<const StateResponseMessage&>(*msg));
+      return;
+    default:
+      OnProtocolMessage(from, msg);
+      return;
+  }
+}
+
+void Replica::OnTimer(uint64_t /*tag*/) {}
+
+void Replica::HandleClientRequest(NodeId from, const RequestMessage& msg) {
+  // P6 read-only optimization: answer reads from local state, skipping
+  // the ordering stage entirely.
+  if (config_.enable_readonly_fastpath &&
+      state_machine_->IsReadOnly(msg.request().operation)) {
+    Result<Buffer> result =
+        state_machine_->ExecuteReadOnly(msg.request().operation);
+    if (result.ok()) {
+      if (config_.verify_client_signatures &&
+          !msg.request().VerifySignature(&crypto())) {
+        return;
+      }
+      metrics().Increment("replica.readonly_fastpath");
+      SendReply(msg.request(), *result, /*speculative=*/false);
+      return;
+    }
+  }
+  if (AdmitRequest(from, msg.request())) {
+    OnClientRequest(from, msg.request());
+  }
+}
+
+bool Replica::AdmitRequest(NodeId from, const ClientRequest& request) {
+  (void)from;
+  // Dedup against the reply cache: replay the reply for re-transmitted
+  // already-executed requests; drop stale ones.
+  auto cached = reply_cache_.find(request.client);
+  if (cached != reply_cache_.end()) {
+    if (request.timestamp < cached->second.timestamp) return false;
+    if (request.timestamp == cached->second.timestamp) {
+      SendReply(request, cached->second.result, cached->second.speculative);
+      OnDuplicateRequest(request);
+      return false;
+    }
+  }
+
+  Digest digest = request.ComputeDigest();
+  if (pool_.count(digest)) return false;  // Already pooled.
+
+  if (config_.verify_client_signatures &&
+      !request.VerifySignature(&crypto())) {
+    metrics().Increment("replica.bad_client_signature");
+    return false;
+  }
+
+  pool_.emplace(digest, request);
+  pool_order_.push_back(digest);
+  return true;
+}
+
+Batch Replica::TakeBatch() {
+  Batch batch;
+  while (!pool_order_.empty() && batch.requests.size() < config_.batch_size) {
+    Digest digest = pool_order_.front();
+    pool_order_.pop_front();
+    auto it = pool_.find(digest);
+    if (it == pool_.end()) continue;  // Removed out-of-band.
+    batch.requests.push_back(std::move(it->second));
+    pool_.erase(it);
+  }
+  return batch;
+}
+
+const ClientRequest* Replica::PeekOldest() const {
+  for (const Digest& d : pool_order_) {
+    auto it = pool_.find(d);
+    if (it != pool_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+void Replica::RemoveFromPool(const Digest& request_digest) {
+  pool_.erase(request_digest);
+  // pool_order_ entries are lazily skipped in TakeBatch/PeekOldest.
+}
+
+void Replica::RepoolBack(const ClientRequest& request) {
+  Digest digest = request.ComputeDigest();
+  if (pool_.count(digest)) return;
+  pool_order_.push_back(digest);
+  pool_.emplace(digest, request);
+}
+
+void Replica::SendReply(const ClientRequest& request, const Buffer& result,
+                        bool speculative, SequenceNumber seq) {
+  if (suppress_replies_) return;
+  auto reply = std::make_shared<ReplyMessage>(
+      view(), config_.id, request.client, request.timestamp, result,
+      speculative, seq);
+  crypto().Charge(crypto().cost_model().mac_us);  // Reply is MAC'd.
+  Send(request.client, std::move(reply));
+}
+
+void Replica::ResendCachedReply(ClientId client, SequenceNumber seq) {
+  auto it = reply_cache_.find(client);
+  if (it == reply_cache_.end()) return;
+  it->second.speculative = false;
+  auto reply = std::make_shared<ReplyMessage>(
+      view(), config_.id, client, it->second.timestamp, it->second.result,
+      /*speculative=*/false, seq);
+  crypto().Charge(crypto().cost_model().mac_us);
+  Send(client, std::move(reply));
+}
+
+void Replica::Deliver(SequenceNumber seq, Batch batch, bool speculative) {
+  if (seq <= last_executed_) return;  // Already executed.
+  pending_executions_.emplace(seq, std::make_pair(std::move(batch),
+                                                  speculative));
+  DrainExecutions();
+  if (!pending_executions_.empty()) {
+    OnExecutionGap(last_executed_ + 1);
+  }
+}
+
+void Replica::DrainExecutions() {
+  while (true) {
+    auto it = pending_executions_.find(last_executed_ + 1);
+    if (it == pending_executions_.end()) break;
+    auto [batch, speculative] = std::move(it->second);
+    pending_executions_.erase(it);
+    ExecuteBatch(last_executed_ + 1, std::move(batch), speculative);
+  }
+}
+
+void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
+  ExecutedBatch record;
+  record.seq = seq;
+  record.digest = batch.ComputeDigest();
+  record.speculative = speculative;
+
+  for (const ClientRequest& request : batch.requests) {
+    // A request may be ordered twice (e.g. re-proposed across a view
+    // change); execute only its first occurrence, like PBFT's null-op
+    // substitution for duplicates.
+    auto dup = reply_cache_.find(request.client);
+    if (dup != reply_cache_.end() &&
+        dup->second.timestamp >= request.timestamp) {
+      RemoveFromPool(request.ComputeDigest());
+      OnRequestExecuted(request, speculative);
+      continue;
+    }
+    Result<Buffer> result = state_machine_->Apply(request.operation);
+    Buffer result_bytes =
+        result.ok() ? std::move(result).value()
+                    : Slice(result.status().ToString()).ToBuffer();
+    if (result.ok()) ++record.op_count;
+
+    // Reply-cache undo information for speculative rollback.
+    auto cached = reply_cache_.find(request.client);
+    if (cached != reply_cache_.end()) {
+      record.reply_undo.emplace_back(request.client, true,
+                                     cached->second.timestamp,
+                                     cached->second.result);
+    } else {
+      record.reply_undo.emplace_back(request.client, false, 0, Buffer{});
+    }
+
+    CachedReply& entry = reply_cache_[request.client];
+    entry.timestamp = request.timestamp;
+    entry.result = result_bytes;
+    entry.speculative = speculative;
+
+    RemoveFromPool(request.ComputeDigest());
+    // Replica 0 reports the global execution order for fairness metrics.
+    if (config_.id == 0) {
+      metrics().RecordExecution(request.client, request.timestamp);
+    }
+    SendReply(request, result_bytes, speculative, seq);
+    OnRequestExecuted(request, speculative);
+  }
+  record.requests = std::move(batch.requests);
+
+  last_executed_ = seq;
+  exec_history_.push_back(std::move(record));
+
+  if (!speculative) {
+    FinalizeUpTo(seq);
+  }
+}
+
+void Replica::FinalizeUpTo(SequenceNumber seq) {
+  while (!exec_history_.empty() && exec_history_.front().seq <= seq) {
+    ExecutedBatch& record = exec_history_.front();
+    finalized_ = record.seq;
+    finalized_digests_[record.seq] = record.digest;
+    MaybeTakeCheckpoint(record.seq);
+    exec_history_.pop_front();
+  }
+  if (finalized_ > 0) {
+    // Undo data before the finalized prefix is no longer needed.
+    // (Rollback never crosses a finalized sequence number.)
+    uint64_t keep_after = state_machine_->version();
+    for (const ExecutedBatch& record : exec_history_) {
+      keep_after -= record.op_count;
+    }
+    state_machine_->TrimUndoHistory(keep_after);
+  }
+}
+
+Result<Digest> Replica::ExecutedDigestAt(SequenceNumber seq) const {
+  auto it = finalized_digests_.find(seq);
+  if (it != finalized_digests_.end()) return it->second;
+  for (const ExecutedBatch& record : exec_history_) {
+    if (record.seq == seq) return record.digest;
+  }
+  return Status::NotFound("no execution at seq " + std::to_string(seq));
+}
+
+Status Replica::RollbackTo(SequenceNumber seq) {
+  if (seq < finalized_) {
+    return Status::FailedPrecondition("cannot roll back finalized commits");
+  }
+  uint64_t ops_to_undo = 0;
+  size_t batches = 0;
+  for (auto it = exec_history_.rbegin();
+       it != exec_history_.rend() && it->seq > seq; ++it) {
+    ops_to_undo += it->op_count;
+    ++batches;
+  }
+  if (batches == 0) return Status::Ok();
+
+  BFTLAB_RETURN_IF_ERROR(state_machine_->Rollback(ops_to_undo));
+
+  for (size_t i = 0; i < batches; ++i) {
+    ExecutedBatch record = std::move(exec_history_.back());
+    exec_history_.pop_back();
+    // Restore the reply cache (in reverse execution order).
+    for (auto it = record.reply_undo.rbegin(); it != record.reply_undo.rend();
+         ++it) {
+      auto [client, had_prev, prev_ts, prev_result] = *it;
+      if (had_prev) {
+        CachedReply& entry = reply_cache_[client];
+        entry.timestamp = prev_ts;
+        entry.result = prev_result;
+        entry.speculative = false;
+      } else {
+        reply_cache_.erase(client);
+      }
+    }
+    // Return the rolled-back requests to the pool for re-proposal.
+    for (ClientRequest& request : record.requests) {
+      Digest digest = request.ComputeDigest();
+      if (!pool_.count(digest)) {
+        pool_order_.push_front(digest);
+        pool_.emplace(digest, std::move(request));
+      }
+    }
+    last_executed_ = record.seq - 1;
+  }
+  ++rollbacks_;
+  metrics().Increment("replica.rollbacks");
+  return Status::Ok();
+}
+
+void Replica::MaybeTakeCheckpoint(SequenceNumber seq) {
+  if (!checkpoint_store_.IsCheckpointSeq(seq)) return;
+  Digest digest = state_machine_->StateDigest();
+  checkpoint_store_.Add(seq, digest, state_machine_->Snapshot());
+  metrics().Increment("replica.checkpoints_taken");
+  auto msg = std::make_shared<CheckpointMessage>(seq, digest, config_.id);
+  ChargeAuthSend(config_.n - 1, msg->WireSize());
+  Multicast(OtherReplicas(), msg);
+  // Count our own announcement.
+  HandleCheckpoint(config_.id, *msg);
+}
+
+void Replica::HandleCheckpoint(NodeId from, const CheckpointMessage& msg) {
+  if (msg.seq() <= checkpoint_store_.stable_seq()) return;
+  if (from != config_.id) ChargeAuthVerify(msg.WireSize());
+
+  auto key = std::make_pair(msg.seq(), msg.state_digest());
+  size_t votes = checkpoint_votes_.Add(key, msg.replica());
+  if (votes == AgreementQuorum()) {
+    agreed_checkpoint_digest_[msg.seq()] = msg.state_digest();
+    if (msg.seq() <= last_executed_) {
+      checkpoint_store_.MarkStable(msg.seq());
+      metrics().Increment("replica.checkpoints_stable");
+      checkpoint_votes_.EraseBelow(std::make_pair(msg.seq() + 1, Digest()));
+      OnCheckpointStable(msg.seq());
+    } else if (config_.enable_state_transfer &&
+               state_transfer_target_ < msg.seq()) {
+      // We are in the dark: a quorum certifies state we have not executed.
+      // Fetch the snapshot from one of the certifiers.
+      state_transfer_target_ = msg.seq();
+      std::set<NodeId> voters = checkpoint_votes_.Voters(key);
+      NodeId source = *voters.begin() == id() && voters.size() > 1
+                          ? *std::next(voters.begin())
+                          : *voters.begin();
+      metrics().Increment("replica.state_transfers_started");
+      Send(source,
+           std::make_shared<StateRequestMessage>(msg.seq(), config_.id));
+    }
+  }
+}
+
+void Replica::HandleStateRequest(NodeId from, const StateRequestMessage& msg) {
+  Result<Checkpoint> cp = checkpoint_store_.Get(msg.seq());
+  if (!cp.ok()) cp = checkpoint_store_.GetStable();
+  if (!cp.ok()) return;
+  Send(from, std::make_shared<StateResponseMessage>(
+                 cp->seq, cp->state_digest, cp->snapshot));
+}
+
+void Replica::HandleStateResponse(NodeId /*from*/,
+                                  const StateResponseMessage& msg) {
+  if (msg.seq() <= last_executed_) return;
+  // Only accept state certified by a checkpoint quorum.
+  auto agreed = agreed_checkpoint_digest_.find(msg.seq());
+  if (agreed == agreed_checkpoint_digest_.end() ||
+      agreed->second != msg.state_digest()) {
+    metrics().Increment("replica.state_transfer_rejected");
+    return;
+  }
+  if (!state_machine_->Restore(msg.snapshot()).ok()) return;
+  if (state_machine_->StateDigest() != msg.state_digest()) {
+    // Snapshot did not match the certified digest: discard.
+    metrics().Increment("replica.state_transfer_corrupt");
+    return;
+  }
+
+  last_executed_ = msg.seq();
+  finalized_ = msg.seq();
+  exec_history_.clear();
+  pending_executions_.erase(pending_executions_.begin(),
+                            pending_executions_.upper_bound(msg.seq()));
+  checkpoint_store_.Add(msg.seq(), msg.state_digest(), msg.snapshot());
+  checkpoint_store_.MarkStable(msg.seq());
+  state_transfer_target_ = 0;
+  metrics().Increment("replica.state_transfers_completed");
+  OnStateTransferComplete(msg.seq());
+  DrainExecutions();
+}
+
+}  // namespace bftlab

@@ -1,0 +1,331 @@
+// Replica base class: the protocol-independent 4/5 of a BFT replica.
+//
+// Implements the replica lifecycle stages of Figure 1 that are common to
+// all protocols — execution (in-order, with speculative execution +
+// rollback for Zyzzyva/PoE), checkpointing + garbage collection (P4), and
+// recovery/state transfer for trailing replicas — plus client-request
+// pooling, deduplication, reply caching, and batching. Each protocol
+// subclass implements only its ordering and view-change stages.
+
+#ifndef BFTLAB_PROTOCOLS_COMMON_REPLICA_H_
+#define BFTLAB_PROTOCOLS_COMMON_REPLICA_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "net/topology.h"
+#include "protocols/common/base_messages.h"
+#include "protocols/common/quorum.h"
+#include "sim/actor.h"
+#include "smr/checkpoint.h"
+#include "smr/request.h"
+#include "smr/state_machine.h"
+
+namespace bftlab {
+
+/// E3: how this replica authenticates protocol messages.
+enum class AuthScheme : uint8_t {
+  kMacs = 0,
+  kSignatures = 1,
+  kThreshold = 2,
+};
+
+/// Scripted Byzantine behaviours used by tests and benches. A Byzantine
+/// replica follows the protocol except for the scripted deviation; per the
+/// paper's model it cannot forge signatures.
+enum class ByzantineMode : uint8_t {
+  kNone = 0,
+  kCrashSilent,      // Participates in nothing (fail-stop).
+  kEquivocate,       // As leader, proposes different orders to different
+                     // backups.
+  kDelayProposals,   // As leader, adds delay before proposing (Prime's
+                     // performance-degradation attack).
+  kCensorClient,     // As leader, never proposes a target client's
+                     // requests (fairness/censorship attack).
+  kReorderRequests,  // As leader, proposes requests in reverse receive
+                     // order (order-fairness attack).
+  kSilentBackup,     // As backup, never votes.
+};
+
+struct ByzantineSpec {
+  ByzantineMode mode = ByzantineMode::kNone;
+  ClientId censor_target = 0;  // kCensorClient.
+  SimTime delay_us = 0;        // kDelayProposals.
+};
+
+/// Static configuration of one replica.
+struct ReplicaConfig {
+  ReplicaId id = 0;
+  uint32_t n = 4;
+  uint32_t f = 1;
+  AuthScheme auth = AuthScheme::kSignatures;
+  /// P4: distance between checkpoints.
+  uint64_t checkpoint_interval = 64;
+  /// Sequence-number window above the last stable checkpoint within which
+  /// leaders may propose.
+  uint64_t watermark_window = 512;
+  /// τ2: view-change trigger timeout (doubles on consecutive failures).
+  SimTime view_change_timeout_us = Millis(300);
+  /// Max requests bundled into one proposal.
+  size_t batch_size = 8;
+  /// Max time a leader waits to fill a batch before proposing anyway.
+  SimTime batch_timeout_us = Millis(2);
+  bool verify_client_signatures = true;
+  /// P6 read-only optimization: replicas answer read-only requests
+  /// directly from local state without ordering; the client must then
+  /// collect 2f+1 (not f+1) matching replies to be safe against stale
+  /// reads from trailing replicas.
+  bool enable_readonly_fastpath = false;
+  /// Whether trailing replicas may catch up by checkpoint state transfer.
+  /// Chain-based protocols (HotStuff) disable it: jumping over a chain
+  /// prefix would desynchronize block-position sequence numbering; they
+  /// catch up via block synchronization instead.
+  bool enable_state_transfer = true;
+  ByzantineSpec byzantine;
+};
+
+class Replica;
+
+/// Builds one protocol replica from a fully-populated config.
+using ReplicaFactory =
+    std::function<std::unique_ptr<Replica>(const ReplicaConfig&)>;
+
+/// Base class of every protocol replica.
+class Replica : public Actor {
+ public:
+  Replica(ReplicaConfig config, std::unique_ptr<StateMachine> state_machine);
+
+  /// Protocol name for traces/benches ("pbft", "hotstuff", ...).
+  virtual std::string name() const = 0;
+
+  /// Current view (0 for viewless protocols like Q/U).
+  virtual ViewNumber view() const { return 0; }
+
+  /// The leader of the replica's current view; kInvalidReplica if none.
+  virtual ReplicaId leader() const { return kInvalidReplica; }
+  bool IsLeader() const { return leader() == config_.id; }
+
+  // --- Observability (tests, benches) ------------------------------------
+
+  const ReplicaConfig& config() const { return config_; }
+  SequenceNumber last_executed() const { return last_executed_; }
+  SequenceNumber finalized_seq() const { return finalized_; }
+  /// Digests of finalized batches by sequence number (Agreement checks).
+  const std::map<SequenceNumber, Digest>& finalized_digests() const {
+    return finalized_digests_;
+  }
+  const StateMachine& state_machine() const { return *state_machine_; }
+  const CheckpointStore& checkpoints() const { return checkpoint_store_; }
+  size_t pending_requests() const { return pool_order_.size(); }
+  uint64_t rollbacks() const { return rollbacks_; }
+
+  // --- Actor ---------------------------------------------------------------
+
+  void OnMessage(NodeId from, const MessagePtr& msg) final;
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  // --- Subclass interface --------------------------------------------------
+
+  /// A verified, deduplicated client request entered the pool.
+  virtual void OnClientRequest(NodeId from, const ClientRequest& request) = 0;
+
+  /// A protocol message (type >= 100) arrived.
+  virtual void OnProtocolMessage(NodeId from, const MessagePtr& msg) = 0;
+
+  /// A checkpoint became stable; protocol state below `seq` may be GC'd.
+  virtual void OnCheckpointStable(SequenceNumber seq) { (void)seq; }
+
+  /// State transfer completed; the replica jumped to `seq`.
+  virtual void OnStateTransferComplete(SequenceNumber seq) { (void)seq; }
+
+  /// A request was executed (protocols clear per-request timers here).
+  virtual void OnRequestExecuted(const ClientRequest& request,
+                                 bool speculative) {
+    (void)request;
+    (void)speculative;
+  }
+
+  /// Later batches are buffered because the batch at `missing_seq` never
+  /// arrived (e.g. lost pre-GST). Protocols with a fill-hole/
+  /// retransmission subprotocol trigger it here.
+  virtual void OnExecutionGap(SequenceNumber missing_seq) {
+    (void)missing_seq;
+  }
+
+  /// A client retransmitted a request this replica already executed (the
+  /// cached reply was re-sent). Leaders re-disseminate the ordering here
+  /// so replicas that lost it can catch up (Zyzzyva's retransmit rule).
+  virtual void OnDuplicateRequest(const ClientRequest& request) {
+    (void)request;
+  }
+
+  // --- Execution pipeline ---------------------------------------------------
+
+  /// Hands the ordered batch at `seq` to the execution stage. Batches
+  /// execute in contiguous sequence order; out-of-order deliveries are
+  /// buffered. Non-speculative deliveries finalize automatically.
+  void Deliver(SequenceNumber seq, Batch batch, bool speculative = false);
+
+  /// Marks all executions up to `seq` as final: records their digests,
+  /// trims undo history, and takes due checkpoints.
+  void FinalizeUpTo(SequenceNumber seq);
+
+  /// Undoes all speculative executions with sequence number > `seq` and
+  /// returns their requests to the pool. Fails if any were finalized.
+  Status RollbackTo(SequenceNumber seq);
+
+  /// True when execution is contiguous up to and including `seq`.
+  bool ExecutedUpTo(SequenceNumber seq) const { return last_executed_ >= seq; }
+
+  /// Digest of the batch executed at `seq` (finalized or speculative).
+  Result<Digest> ExecutedDigestAt(SequenceNumber seq) const;
+
+  // --- Requests / replies ----------------------------------------------------
+
+  /// Verifies, deduplicates, and pools a request. Returns false for
+  /// duplicates/stale/invalid requests (re-replying if already executed).
+  bool AdmitRequest(NodeId from, const ClientRequest& request);
+
+  /// Removes and returns up to batch_size pooled requests (leader side).
+  Batch TakeBatch();
+  /// Returns the oldest pooled request without removing it.
+  const ClientRequest* PeekOldest() const;
+  bool HasPending() const { return !pool_order_.empty(); }
+  /// Removes a specific request from the pool (e.g. learnt via proposal).
+  void RemoveFromPool(const Digest& request_digest);
+  /// Re-inserts a request at the BACK of the pool (Byzantine reordering
+  /// leaders use this to systematically delay old requests).
+  void RepoolBack(const ClientRequest& request);
+  /// True if the request is still pooled.
+  bool InPool(const Digest& request_digest) const {
+    return pool_.count(request_digest) > 0;
+  }
+  /// Pooled request body by digest; nullptr when absent.
+  const ClientRequest* FindPooled(const Digest& request_digest) const {
+    auto it = pool_.find(request_digest);
+    return it == pool_.end() ? nullptr : &it->second;
+  }
+
+  /// Sends a (possibly speculative) reply to the request's client.
+  void SendReply(const ClientRequest& request, const Buffer& result,
+                 bool speculative, SequenceNumber seq = 0);
+
+  /// Re-sends the cached (latest) reply for `client`, marked committed.
+  /// Used by speculative protocols when a commit certificate arrives.
+  void ResendCachedReply(ClientId client, SequenceNumber seq);
+
+  // --- Misc helpers -----------------------------------------------------------
+
+  uint32_t n() const { return config_.n; }
+  uint32_t f() const { return config_.f; }
+  /// Classic quorums.
+  uint32_t Quorum2f1() const { return 2 * config_.f + 1; }
+  uint32_t QuorumF1() const { return config_.f + 1; }
+  /// Byzantine agreement quorum ⌈(n+f+1)/2⌉: equals 2f+1 at n = 3f+1 but
+  /// scales correctly for larger n (e.g. 3f+1 at Themis's n = 4f+1).
+  uint32_t AgreementQuorum() const {
+    return (config_.n + config_.f + 2) / 2;
+  }
+
+  /// Adjusts the view-change timeout (Prime adapts it to measured
+  /// turnaround so a delaying leader is replaced quickly).
+  void set_view_change_timeout(SimTime timeout_us) {
+    config_.view_change_timeout_us = timeout_us;
+  }
+
+  std::vector<NodeId> AllReplicas() const;
+  std::vector<NodeId> OtherReplicas() const;
+
+  /// Accounted auth overhead of one protocol message under config.auth.
+  size_t AuthBytes() const;
+  /// Charges signing/MAC cost for authenticating one outgoing multicast.
+  void ChargeAuthSend(size_t num_receivers, size_t body_bytes);
+  /// Charges verification cost for one incoming message.
+  void ChargeAuthVerify(size_t body_bytes);
+
+  bool IsByzantine() const {
+    return config_.byzantine.mode != ByzantineMode::kNone;
+  }
+  ByzantineMode byzantine_mode() const { return config_.byzantine.mode; }
+  const ByzantineSpec& byzantine_spec() const { return config_.byzantine; }
+
+  /// Low/high watermarks (P4): proposals allowed in (low, low+window].
+  SequenceNumber LowWatermark() const { return checkpoint_store_.stable_seq(); }
+  SequenceNumber HighWatermark() const {
+    return LowWatermark() + config_.watermark_window;
+  }
+
+  /// Timer tags below this value are reserved for the base class.
+  static constexpr uint64_t kProtocolTimerBase = 100;
+
+  StateMachine* mutable_state_machine() { return state_machine_.get(); }
+
+  /// When set, SendReply is a no-op (CheapBFT passive replicas apply
+  /// updates without answering clients).
+  void set_suppress_replies(bool suppress) { suppress_replies_ = suppress; }
+
+ private:
+  struct ExecutedBatch {
+    SequenceNumber seq = 0;
+    Digest digest;
+    uint32_t op_count = 0;
+    bool speculative = false;
+    std::vector<ClientRequest> requests;
+    // Reply-cache undo: (client, had_prev, prev_ts, prev_result).
+    std::vector<std::tuple<ClientId, bool, RequestTimestamp, Buffer>>
+        reply_undo;
+  };
+  struct CachedReply {
+    RequestTimestamp timestamp = 0;
+    Buffer result;
+    bool speculative = false;
+  };
+
+  void HandleClientRequest(NodeId from, const RequestMessage& msg);
+  void HandleCheckpoint(NodeId from, const CheckpointMessage& msg);
+  void HandleStateRequest(NodeId from, const StateRequestMessage& msg);
+  void HandleStateResponse(NodeId from, const StateResponseMessage& msg);
+  /// Executes buffered batches while they are contiguous.
+  void DrainExecutions();
+  void ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative);
+  void MaybeTakeCheckpoint(SequenceNumber seq);
+
+  ReplicaConfig config_;
+  std::unique_ptr<StateMachine> state_machine_;
+  CheckpointStore checkpoint_store_;
+
+  // Request pool (arrival order + digest index).
+  std::deque<Digest> pool_order_;
+  std::map<Digest, ClientRequest> pool_;
+
+  // Reply cache: latest executed timestamp + result per client.
+  std::map<ClientId, CachedReply> reply_cache_;
+
+  // Execution pipeline.
+  std::map<SequenceNumber, std::pair<Batch, bool>> pending_executions_;
+  SequenceNumber last_executed_ = 0;
+  SequenceNumber finalized_ = 0;
+  std::deque<ExecutedBatch> exec_history_;  // Not-yet-finalized suffix.
+  std::map<SequenceNumber, Digest> finalized_digests_;
+
+  // Checkpoint agreement: (seq, digest) -> distinct announcers.
+  QuorumTracker<std::pair<SequenceNumber, Digest>> checkpoint_votes_;
+  // State transfer in flight (target seq) to avoid duplicate requests.
+  SequenceNumber state_transfer_target_ = 0;
+  std::map<SequenceNumber, Digest> agreed_checkpoint_digest_;
+
+  uint64_t rollbacks_ = 0;
+  bool suppress_replies_ = false;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_COMMON_REPLICA_H_

@@ -1,0 +1,208 @@
+// Chained HotStuff wire messages (Yin et al., PODC'19): block proposals
+// carrying quorum certificates, votes (threshold-signature shares) sent to
+// the next leader, and pacemaker new-view messages.
+
+#ifndef BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_MESSAGES_H_
+#define BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_MESSAGES_H_
+
+#include <sstream>
+#include <string>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+#include "sim/message.h"
+#include "smr/request.h"
+
+namespace bftlab {
+
+enum HotStuffMessageType : uint32_t {
+  kHsProposal = 120,
+  kHsVote = 121,
+  kHsNewView = 122,
+  kHsBlockRequest = 123,
+  kHsBlockResponse = 124,
+};
+
+/// Constant-size quorum certificate over (view, block). The threshold
+/// signature itself is modeled by size/cost accounting (see crypto/).
+struct QuorumCert {
+  ViewNumber view = 0;
+  Digest block;  // Zero digest + view 0 == genesis QC.
+
+  bool IsGenesis() const { return view == 0 && block.IsZero(); }
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(view);
+    enc->PutRaw(block.AsSlice());
+  }
+};
+
+/// A block in the HotStuff chain.
+struct HsBlock {
+  Digest hash;
+  Digest parent;
+  ViewNumber view = 0;
+  Batch batch;
+  QuorumCert justify;
+
+  /// hash = H(parent || view || batch digest || justify).
+  static Digest ComputeHash(const Digest& parent, ViewNumber view,
+                            const Batch& batch, const QuorumCert& justify);
+};
+
+/// Leader's proposal for its view (star topology: leader -> all).
+class HsProposalMessage : public Message {
+ public:
+  explicit HsProposalMessage(HsBlock block) : block_(std::move(block)) {}
+
+  const HsBlock& block() const { return block_; }
+
+  uint32_t type() const override { return kHsProposal; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kHsProposal);
+    enc->PutRaw(block_.hash.AsSlice());
+    enc->PutRaw(block_.parent.AsSlice());
+    enc->PutU64(block_.view);
+    block_.batch.EncodeTo(enc);
+    block_.justify.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    // Leader signature + the justify QC (threshold signature) + client
+    // signatures inside the batch.
+    return kSignatureBytes + kThresholdSigBytes +
+           block_.batch.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "HS-PROPOSAL{v=" << block_.view
+       << " block=" << block_.hash.ShortHex()
+       << " justify_v=" << block_.justify.view
+       << " reqs=" << block_.batch.requests.size() << "}";
+    return os.str();
+  }
+
+ private:
+  HsBlock block_;
+};
+
+/// A replica's vote (threshold share) on a block, sent to the NEXT
+/// leader (star topology: all -> collector).
+class HsVoteMessage : public Message {
+ public:
+  HsVoteMessage(ViewNumber view, Digest block, ReplicaId replica)
+      : view_(view), block_(block), replica_(replica) {}
+
+  ViewNumber view() const { return view_; }
+  const Digest& block() const { return block_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kHsVote; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kHsVote);
+    enc->PutU64(view_);
+    enc->PutRaw(block_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kThresholdSigBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "HS-VOTE{v=" << view_ << " block=" << block_.ShortHex()
+       << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  Digest block_;
+  ReplicaId replica_;
+};
+
+/// Pacemaker message on view timeout: tells the next leader the sender's
+/// highest QC so it can propose safely (linear view change).
+class HsNewViewMessage : public Message {
+ public:
+  HsNewViewMessage(ViewNumber view, QuorumCert high_qc, ReplicaId replica)
+      : view_(view), high_qc_(high_qc), replica_(replica) {}
+
+  ViewNumber view() const { return view_; }
+  const QuorumCert& high_qc() const { return high_qc_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kHsNewView; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kHsNewView);
+    enc->PutU64(view_);
+    high_qc_.EncodeTo(enc);
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + kThresholdSigBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "HS-NEWVIEW{v=" << view_ << " replica=" << replica_
+       << " qc_v=" << high_qc_.view << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  QuorumCert high_qc_;
+  ReplicaId replica_;
+};
+
+/// Block synchronization: a replica missing an ancestor (lost pre-GST)
+/// asks its peers for the block body before committing the chain.
+class HsBlockRequestMessage : public Message {
+ public:
+  HsBlockRequestMessage(Digest block, ReplicaId requester)
+      : block_(block), requester_(requester) {}
+
+  const Digest& block() const { return block_; }
+  ReplicaId requester() const { return requester_; }
+
+  uint32_t type() const override { return kHsBlockRequest; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kHsBlockRequest);
+    enc->PutRaw(block_.AsSlice());
+    enc->PutU32(requester_);
+  }
+  size_t auth_wire_bytes() const override { return kMacBytes; }
+  std::string DebugString() const override {
+    return "HS-BLOCK-REQUEST{" + block_.ShortHex() + "}";
+  }
+
+ private:
+  Digest block_;
+  ReplicaId requester_;
+};
+
+class HsBlockResponseMessage : public Message {
+ public:
+  explicit HsBlockResponseMessage(HsBlock block) : block_(std::move(block)) {}
+
+  const HsBlock& block() const { return block_; }
+
+  uint32_t type() const override { return kHsBlockResponse; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kHsBlockResponse);
+    enc->PutRaw(block_.hash.AsSlice());
+    enc->PutRaw(block_.parent.AsSlice());
+    enc->PutU64(block_.view);
+    block_.batch.EncodeTo(enc);
+    block_.justify.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    return kMacBytes + kThresholdSigBytes +
+           block_.batch.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    return "HS-BLOCK-RESPONSE{" + block_.hash.ShortHex() + "}";
+  }
+
+ private:
+  HsBlock block_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_MESSAGES_H_

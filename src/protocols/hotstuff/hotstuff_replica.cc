@@ -1,0 +1,340 @@
+#include "protocols/hotstuff/hotstuff_replica.h"
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+Digest HsBlock::ComputeHash(const Digest& parent, ViewNumber view,
+                            const Batch& batch, const QuorumCert& justify) {
+  Encoder enc;
+  enc.PutRaw(parent.AsSlice());
+  enc.PutU64(view);
+  enc.PutRaw(batch.ComputeDigest().AsSlice());
+  justify.EncodeTo(&enc);
+  return Sha256::Hash(enc.buffer());
+}
+
+HotStuffReplica::HotStuffReplica(ReplicaConfig config,
+                                 std::unique_ptr<StateMachine> state_machine,
+                                 bool two_chain)
+    : Replica(config, std::move(state_machine)), two_chain_(two_chain) {
+  pacemaker_timeout_us_ = config.view_change_timeout_us;
+}
+
+void HotStuffReplica::Start() { RestartPacemaker(); }
+
+const HsBlock* HotStuffReplica::GetBlock(const Digest& hash) const {
+  auto it = blocks_.find(hash);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+void HotStuffReplica::RestartPacemaker() {
+  CancelTimer(&pacemaker_timer_);
+  pacemaker_timer_ = SetTimer(pacemaker_timeout_us_, kPacemakerTimer);
+}
+
+// --- Client requests ----------------------------------------------------------
+
+void HotStuffReplica::OnClientRequest(NodeId /*from*/,
+                                      const ClientRequest& /*request*/) {
+  if (!IsLeader() || proposed_in_view_) return;
+  if (pending_requests() >= config().batch_size) {
+    TryPropose();
+  } else if (batch_timer_ == kInvalidEvent) {
+    batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+  }
+}
+
+void HotStuffReplica::TryPropose() {
+  if (LeaderOf(view_) != config().id || proposed_in_view_) return;
+  if (byzantine_mode() == ByzantineMode::kCrashSilent) return;
+
+  // Justification: a QC for the previous view, or a pacemaker quorum.
+  bool justified = high_qc_.view + 1 == view_ ||
+                   new_views_[view_].size() >= Quorum2f1();
+  if (!justified) return;
+
+  // Propose only when there is work: pooled requests, or an uncommitted
+  // chain head that needs further blocks to reach a three-chain.
+  bool chain_dirty =
+      !high_qc_.IsGenesis() && !committed_blocks_.count(high_qc_.block);
+  if (!HasPending() && !chain_dirty) return;
+
+  HsBlock block;
+  block.parent = high_qc_.block;
+  block.view = view_;
+  block.batch = TakeBatch();
+  block.justify = high_qc_;
+  block.hash =
+      HsBlock::ComputeHash(block.parent, block.view, block.batch,
+                           block.justify);
+  blocks_[block.hash] = block;
+  proposed_in_view_ = true;
+
+  auto msg = std::make_shared<HsProposalMessage>(block);
+  ChargeAuthSend(n() - 1, msg->WireSize());
+  Multicast(OtherReplicas(), std::move(msg));
+  metrics().Increment("hotstuff.proposals");
+
+  // The leader votes for its own block (vote goes to the next leader).
+  last_voted_view_ = view_;
+  Send(LeaderOf(view_ + 1),
+       std::make_shared<HsVoteMessage>(view_, block.hash, config().id));
+}
+
+// --- Protocol messages ----------------------------------------------------------
+
+void HotStuffReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kHsProposal:
+      HandleProposal(from, static_cast<const HsProposalMessage&>(*msg));
+      break;
+    case kHsVote:
+      HandleVote(from, static_cast<const HsVoteMessage&>(*msg));
+      break;
+    case kHsNewView:
+      HandleNewView(from, static_cast<const HsNewViewMessage&>(*msg));
+      break;
+    case kHsBlockRequest:
+      HandleBlockRequest(from,
+                         static_cast<const HsBlockRequestMessage&>(*msg));
+      break;
+    case kHsBlockResponse:
+      HandleBlockResponse(from,
+                          static_cast<const HsBlockResponseMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void HotStuffReplica::HandleBlockRequest(NodeId from,
+                                         const HsBlockRequestMessage& msg) {
+  const HsBlock* block = GetBlock(msg.block());
+  if (block == nullptr) return;
+  Send(from, std::make_shared<HsBlockResponseMessage>(*block));
+}
+
+void HotStuffReplica::HandleBlockResponse(NodeId /*from*/,
+                                          const HsBlockResponseMessage& msg) {
+  const HsBlock& block = msg.block();
+  if (HsBlock::ComputeHash(block.parent, block.view, block.batch,
+                           block.justify) != block.hash) {
+    return;  // Corrupt or forged.
+  }
+  ChargeAuthVerify(msg.WireSize());
+  blocks_.emplace(block.hash, block);
+  if (!pending_commit_.IsZero()) {
+    Digest target = pending_commit_;
+    pending_commit_ = Digest();
+    CommitChain(target);  // May request the next missing ancestor.
+  }
+}
+
+void HotStuffReplica::HandleProposal(NodeId from,
+                                     const HsProposalMessage& msg) {
+  const HsBlock& block = msg.block();
+  if (from != LeaderOf(block.view)) return;
+  if (HsBlock::ComputeHash(block.parent, block.view, block.batch,
+                           block.justify) != block.hash) {
+    return;  // Malformed.
+  }
+  ChargeAuthVerify(msg.WireSize());
+  blocks_.emplace(block.hash, block);
+
+  // These requests are in flight; stop re-proposing them from the pool
+  // (client retransmission recovers them if the chain stalls).
+  for (const ClientRequest& r : block.batch.requests) {
+    RemoveFromPool(r.ComputeDigest());
+  }
+
+  ProcessQC(block.justify);
+  if (block.view > view_) EnterView(block.view);  // Sync via proposal.
+  if (block.view == view_) RestartPacemaker();    // Progress.
+
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+
+  // SafeNode rule: vote once per view, for blocks extending the locked
+  // block (safety) or justified by a QC newer than the lock (liveness).
+  if (block.view <= last_voted_view_ || block.view != view_) return;
+  bool extends_locked = locked_qc_.IsGenesis();
+  if (!extends_locked) {
+    const HsBlock* b = &block;
+    while (b != nullptr) {
+      if (b->hash == locked_qc_.block) {
+        extends_locked = true;
+        break;
+      }
+      if (b->view <= locked_qc_.view) break;
+      b = GetBlock(b->parent);
+    }
+  }
+  if (!extends_locked && block.justify.view <= locked_qc_.view) return;
+
+  last_voted_view_ = block.view;
+  crypto().Charge(crypto().cost_model().threshold_share_sign_us);
+  Send(LeaderOf(block.view + 1),
+       std::make_shared<HsVoteMessage>(block.view, block.hash, config().id));
+}
+
+void HotStuffReplica::HandleVote(NodeId /*from*/, const HsVoteMessage& msg) {
+  if (LeaderOf(msg.view() + 1) != config().id) return;
+  crypto().Charge(crypto().cost_model().verify_sig_us);  // Share check.
+
+  auto key = std::make_pair(msg.view(), msg.block());
+  auto& voters = votes_[key];
+  voters.insert(msg.replica());
+  if (voters.size() != Quorum2f1()) return;
+
+  // Combine shares into a constant-size QC.
+  crypto().Charge(crypto().cost_model().threshold_combine_per_share_us *
+                  Quorum2f1());
+  QuorumCert qc;
+  qc.view = msg.view();
+  qc.block = msg.block();
+  metrics().Increment("hotstuff.qcs_formed");
+  ProcessQC(qc);
+  if (msg.view() + 1 > view_) {
+    EnterView(msg.view() + 1);
+  } else {
+    TryPropose();
+  }
+}
+
+void HotStuffReplica::HandleNewView(NodeId /*from*/,
+                                    const HsNewViewMessage& msg) {
+  ChargeAuthVerify(msg.WireSize());
+  ProcessQC(msg.high_qc());
+  new_views_[msg.view()].insert(msg.replica());
+  if (LeaderOf(msg.view()) != config().id) return;
+  if (msg.view() > view_ && new_views_[msg.view()].size() >= Quorum2f1()) {
+    EnterView(msg.view());
+  } else if (msg.view() == view_) {
+    TryPropose();
+  }
+}
+
+// --- View / chain logic -----------------------------------------------------------
+
+void HotStuffReplica::EnterView(ViewNumber v) {
+  if (v <= view_) return;
+  view_ = v;
+  proposed_in_view_ = false;
+  CancelTimer(&batch_timer_);
+  RestartPacemaker();
+  // GC stale vote/new-view state.
+  while (!votes_.empty() && votes_.begin()->first.first + 1 < view_) {
+    votes_.erase(votes_.begin());
+  }
+  while (!new_views_.empty() && new_views_.begin()->first < view_) {
+    new_views_.erase(new_views_.begin());
+  }
+  TryPropose();
+}
+
+void HotStuffReplica::ProcessQC(const QuorumCert& qc) {
+  if (qc.IsGenesis()) return;
+  if (qc.view > high_qc_.view) high_qc_ = qc;
+
+  const HsBlock* b2 = GetBlock(qc.block);
+  if (b2 == nullptr) return;
+  const HsBlock* b1 = GetBlock(b2->justify.block);
+  if (b1 == nullptr || b2->parent != b1->hash) return;
+
+  // Two-chain: lock b1.
+  if (b2->justify.view > locked_qc_.view) locked_qc_ = b2->justify;
+
+  if (two_chain_) {
+    // HotStuff-2: a two-chain of consecutive views commits b1.
+    if (b2->view == b1->view + 1) CommitChain(b1->hash);
+    return;
+  }
+
+  const HsBlock* b0 = GetBlock(b1->justify.block);
+  if (b0 == nullptr || b1->parent != b0->hash) return;
+  // Three-chain: commit b0.
+  CommitChain(b0->hash);
+}
+
+void HotStuffReplica::CommitChain(const Digest& block_hash) {
+  if (committed_blocks_.count(block_hash)) return;
+  // Collect uncommitted ancestors (newest -> oldest), then deliver
+  // oldest-first. If an ancestor's body is missing (lost pre-GST), the
+  // commit MUST wait for block sync: committing a truncated chain would
+  // assign wrong sequence numbers and violate agreement.
+  std::vector<const HsBlock*> chain;
+  const HsBlock* b = GetBlock(block_hash);
+  Digest cursor = block_hash;
+  while (b != nullptr && !committed_blocks_.count(b->hash)) {
+    chain.push_back(b);
+    if (b->parent.IsZero()) break;
+    cursor = b->parent;
+    b = GetBlock(b->parent);
+  }
+  if (b == nullptr) {
+    // Missing ancestor `cursor`: fetch it and retry when it arrives.
+    // Re-requested on every commit attempt so a lost request (pre-GST)
+    // does not wedge the replica.
+    pending_commit_ = block_hash;
+    metrics().Increment("hotstuff.block_syncs");
+    auto req = std::make_shared<HsBlockRequestMessage>(cursor, config().id);
+    ChargeAuthSend(n() - 1, req->WireSize());
+    Multicast(OtherReplicas(), std::move(req));
+    return;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    committed_blocks_.insert((*it)->hash);
+    last_committed_view_ = (*it)->view;
+    metrics().Increment("hotstuff.blocks_committed");
+    Deliver(next_commit_seq_++, (*it)->batch);
+  }
+  // Progress: reset the pacemaker back-off.
+  pacemaker_timeout_us_ = config().view_change_timeout_us;
+}
+
+void HotStuffReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kPacemakerTimer: {
+      pacemaker_timer_ = kInvalidEvent;
+      ++pacemaker_timeouts_;
+      metrics().Increment("hotstuff.pacemaker_timeouts");
+      ViewNumber next = view_ + 1;
+      auto nv = std::make_shared<HsNewViewMessage>(next, high_qc_,
+                                                   config().id);
+      ChargeAuthSend(1, nv->WireSize());
+      new_views_[next].insert(config().id);
+      Send(LeaderOf(next), std::move(nv));
+      pacemaker_timeout_us_ *= 2;  // Back-off until progress resumes.
+      EnterView(next);
+      break;
+    }
+    case kBatchTimer:
+      batch_timer_ = kInvalidEvent;
+      TryPropose();
+      break;
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<Replica> MakeHotStuffReplica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  cfg.auth = AuthScheme::kThreshold;
+  cfg.enable_state_transfer = false;  // Catch up via block sync instead.
+  return std::make_unique<HotStuffReplica>(
+      cfg, std::make_unique<KvStateMachine>(), /*two_chain=*/false);
+}
+
+std::unique_ptr<Replica> MakeHotStuff2Replica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  cfg.auth = AuthScheme::kThreshold;
+  cfg.enable_state_transfer = false;
+  return std::make_unique<HotStuffReplica>(
+      cfg, std::make_unique<KvStateMachine>(), /*two_chain=*/true);
+}
+
+}  // namespace bftlab

@@ -1,0 +1,106 @@
+// Chained HotStuff replica: pessimistic commitment (P1), rotating leader
+// per view with no separate view-change stage (P3, Design Choice 3), star
+// communication topology with linear message complexity (E2, Design
+// Choice 1), threshold-signature certificates (E3, Design Choice 11),
+// responsive via the two-chain lock / three-chain commit rule (E4), and a
+// Pacemaker synchronizer (timer τ5).
+//
+// HotStuff-2 mode (Malkhi & Nayak 2023, Design Choice 4 optimization):
+// commits on a two-chain of consecutive views instead of a three-chain,
+// trading one pipeline stage for the leader-in-quorum assumption.
+
+#ifndef BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_REPLICA_H_
+#define BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "protocols/common/replica.h"
+#include "protocols/hotstuff/hotstuff_messages.h"
+
+namespace bftlab {
+
+class HotStuffReplica : public Replica {
+ public:
+  /// `two_chain` selects the HotStuff-2 commit rule.
+  HotStuffReplica(ReplicaConfig config,
+                  std::unique_ptr<StateMachine> state_machine,
+                  bool two_chain = false);
+
+  std::string name() const override {
+    return two_chain_ ? "hotstuff2" : "hotstuff";
+  }
+  ViewNumber view() const override { return view_; }
+  ReplicaId leader() const override { return LeaderOf(view_); }
+  ReplicaId LeaderOf(ViewNumber v) const {
+    return static_cast<ReplicaId>(v % n());
+  }
+
+  const QuorumCert& high_qc() const { return high_qc_; }
+  uint64_t pacemaker_timeouts() const { return pacemaker_timeouts_; }
+
+  void Start() override;
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+
+  static constexpr uint64_t kPacemakerTimer = kProtocolTimerBase + 0;
+  static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 1;
+
+ private:
+  void HandleProposal(NodeId from, const HsProposalMessage& msg);
+  void HandleVote(NodeId from, const HsVoteMessage& msg);
+  void HandleNewView(NodeId from, const HsNewViewMessage& msg);
+  void HandleBlockRequest(NodeId from, const HsBlockRequestMessage& msg);
+  void HandleBlockResponse(NodeId from, const HsBlockResponseMessage& msg);
+  /// Stores a block received via proposal or block sync.
+  void StoreBlock(const HsBlock& block);
+
+  /// Advances to `v` (if higher), restarts the pacemaker, and proposes if
+  /// leader of `v` and justified.
+  void EnterView(ViewNumber v);
+  /// Leader: proposes one block for the current view if justified
+  /// (QC of view-1, or 2f+1 new-view messages) and not yet proposed.
+  void TryPropose();
+  /// Updates high/locked QCs and runs the chained commit rule.
+  void ProcessQC(const QuorumCert& qc);
+  /// Commits `block` and all uncommitted ancestors, oldest first.
+  void CommitChain(const Digest& block_hash);
+  void RestartPacemaker();
+
+  const HsBlock* GetBlock(const Digest& hash) const;
+
+  bool two_chain_;
+  ViewNumber view_ = 1;
+  ViewNumber last_voted_view_ = 0;
+  QuorumCert high_qc_;    // Genesis initially.
+  QuorumCert locked_qc_;  // b_lock.
+  std::map<Digest, HsBlock> blocks_;
+  std::set<Digest> committed_blocks_;
+  /// Commit target deferred until missing ancestors are fetched.
+  Digest pending_commit_;
+  ViewNumber last_committed_view_ = 0;
+  SequenceNumber next_commit_seq_ = 1;
+
+  bool proposed_in_view_ = false;
+  // Vote collection at the NEXT leader: (view, block) -> voters.
+  std::map<std::pair<ViewNumber, Digest>, std::set<ReplicaId>> votes_;
+  // Pacemaker: per-view new-view senders + the highest QC they reported.
+  std::map<ViewNumber, std::set<ReplicaId>> new_views_;
+
+  SimTime pacemaker_timeout_us_ = 0;
+  EventId pacemaker_timer_ = kInvalidEvent;
+  EventId batch_timer_ = kInvalidEvent;
+  uint64_t pacemaker_timeouts_ = 0;
+};
+
+std::unique_ptr<Replica> MakeHotStuffReplica(const ReplicaConfig& config);
+std::unique_ptr<Replica> MakeHotStuff2Replica(const ReplicaConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_HOTSTUFF_HOTSTUFF_REPLICA_H_

@@ -1,0 +1,68 @@
+#include "protocols/pbft/pbft_messages.h"
+
+namespace bftlab {
+
+namespace {
+Result<Digest> GetDigest(Decoder* dec) {
+  Result<Buffer> raw = dec->GetRaw(Digest::kSize);
+  if (!raw.ok()) return raw.status();
+  Digest d;
+  std::copy(raw->begin(), raw->end(), d.data());
+  return d;
+}
+
+Status ExpectTag(Decoder* dec, uint32_t expected) {
+  Result<uint32_t> tag = dec->GetU32();
+  if (!tag.ok()) return tag.status();
+  if (*tag != expected) return Status::Corruption("wrong message tag");
+  return Status::Ok();
+}
+}  // namespace
+
+Result<PrePrepareMessage> PrePrepareMessage::DecodeFrom(Decoder* dec,
+                                                        size_t auth_bytes) {
+  BFTLAB_RETURN_IF_ERROR(ExpectTag(dec, kPbftPrePrepare));
+  ViewNumber view;
+  SequenceNumber seq;
+  BFTLAB_ASSIGN_OR_RETURN(view, dec->GetU64());
+  BFTLAB_ASSIGN_OR_RETURN(seq, dec->GetU64());
+  Result<Batch> batch = Batch::DecodeFrom(dec);
+  if (!batch.ok()) return batch.status();
+  Result<Digest> digest = GetDigest(dec);
+  if (!digest.ok()) return digest.status();
+  PrePrepareMessage msg(view, seq, std::move(batch).value(), auth_bytes);
+  if (msg.digest() != *digest) {
+    return Status::Corruption("pre-prepare digest mismatch");
+  }
+  return msg;
+}
+
+Result<PrepareMessage> PrepareMessage::DecodeFrom(Decoder* dec,
+                                                  size_t auth_bytes) {
+  BFTLAB_RETURN_IF_ERROR(ExpectTag(dec, kPbftPrepare));
+  ViewNumber view;
+  SequenceNumber seq;
+  BFTLAB_ASSIGN_OR_RETURN(view, dec->GetU64());
+  BFTLAB_ASSIGN_OR_RETURN(seq, dec->GetU64());
+  Result<Digest> digest = GetDigest(dec);
+  if (!digest.ok()) return digest.status();
+  ReplicaId replica;
+  BFTLAB_ASSIGN_OR_RETURN(replica, dec->GetU32());
+  return PrepareMessage(view, seq, *digest, replica, auth_bytes);
+}
+
+Result<CommitMessage> CommitMessage::DecodeFrom(Decoder* dec,
+                                                size_t auth_bytes) {
+  BFTLAB_RETURN_IF_ERROR(ExpectTag(dec, kPbftCommit));
+  ViewNumber view;
+  SequenceNumber seq;
+  BFTLAB_ASSIGN_OR_RETURN(view, dec->GetU64());
+  BFTLAB_ASSIGN_OR_RETURN(seq, dec->GetU64());
+  Result<Digest> digest = GetDigest(dec);
+  if (!digest.ok()) return digest.status();
+  ReplicaId replica;
+  BFTLAB_ASSIGN_OR_RETURN(replica, dec->GetU32());
+  return CommitMessage(view, seq, *digest, replica, auth_bytes);
+}
+
+}  // namespace bftlab

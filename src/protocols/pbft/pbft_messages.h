@@ -1,0 +1,274 @@
+// PBFT wire messages (Castro & Liskov, OSDI'99), as described in §2.1 of
+// the paper: pre-prepare / prepare / commit for ordering, view-change /
+// new-view for leader replacement.
+
+#ifndef BFTLAB_PROTOCOLS_PBFT_PBFT_MESSAGES_H_
+#define BFTLAB_PROTOCOLS_PBFT_PBFT_MESSAGES_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+#include "sim/message.h"
+#include "smr/request.h"
+
+namespace bftlab {
+
+enum PbftMessageType : uint32_t {
+  kPbftPrePrepare = 100,
+  kPbftPrepare = 101,
+  kPbftCommit = 102,
+  kPbftViewChange = 103,
+  kPbftNewView = 104,
+};
+
+/// Leader's ordering proposal: assigns `seq` to `batch` in `view`.
+class PrePrepareMessage : public Message {
+ public:
+  PrePrepareMessage(ViewNumber view, SequenceNumber seq, Batch batch,
+                    size_t auth_bytes)
+      : view_(view),
+        seq_(seq),
+        batch_(std::move(batch)),
+        digest_(batch_.ComputeDigest()),
+        auth_bytes_(auth_bytes) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Batch& batch() const { return batch_; }
+  const Digest& digest() const { return digest_; }
+
+  /// Parses bytes produced by EncodeTo (a real transport would call this
+  /// on receive; the simulator passes typed messages and uses the
+  /// encoding for sizes/digests). Fails with Corruption on bad input.
+  static Result<PrePrepareMessage> DecodeFrom(Decoder* dec,
+                                              size_t auth_bytes);
+
+  uint32_t type() const override { return kPbftPrePrepare; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPbftPrePrepare);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    batch_.EncodeTo(enc);
+    enc->PutRaw(digest_.AsSlice());
+  }
+  size_t auth_wire_bytes() const override {
+    // Leader's authenticator + the client signatures inside the batch.
+    return auth_bytes_ + batch_.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "PRE-PREPARE{v=" << view_ << " seq=" << seq_
+       << " digest=" << digest_.ShortHex()
+       << " reqs=" << batch_.requests.size() << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Batch batch_;
+  Digest digest_;
+  size_t auth_bytes_;
+};
+
+/// Backup's vote that it accepted the leader's assignment (phase 2).
+class PrepareMessage : public Message {
+ public:
+  PrepareMessage(ViewNumber view, SequenceNumber seq, Digest digest,
+                 ReplicaId replica, size_t auth_bytes)
+      : view_(view),
+        seq_(seq),
+        digest_(digest),
+        replica_(replica),
+        auth_bytes_(auth_bytes) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  static Result<PrepareMessage> DecodeFrom(Decoder* dec, size_t auth_bytes);
+
+  uint32_t type() const override { return kPbftPrepare; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPbftPrepare);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return auth_bytes_; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "PREPARE{v=" << view_ << " seq=" << seq_ << " replica=" << replica_
+       << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+  ReplicaId replica_;
+  size_t auth_bytes_;
+};
+
+/// Replica's vote that the order is prepared across a quorum (phase 3).
+class CommitMessage : public Message {
+ public:
+  CommitMessage(ViewNumber view, SequenceNumber seq, Digest digest,
+                ReplicaId replica, size_t auth_bytes)
+      : view_(view),
+        seq_(seq),
+        digest_(digest),
+        replica_(replica),
+        auth_bytes_(auth_bytes) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  static Result<CommitMessage> DecodeFrom(Decoder* dec, size_t auth_bytes);
+
+  uint32_t type() const override { return kPbftCommit; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPbftCommit);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return auth_bytes_; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "COMMIT{v=" << view_ << " seq=" << seq_ << " replica=" << replica_
+       << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+  ReplicaId replica_;
+  size_t auth_bytes_;
+};
+
+/// A prepared certificate carried inside a view-change message: the batch
+/// that was prepared at (view, seq) plus (accounted) 2f+1 prepare
+/// signatures proving it.
+struct PreparedProof {
+  SequenceNumber seq = 0;
+  ViewNumber view = 0;
+  Batch batch;
+  Digest digest;
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU64(seq);
+    enc->PutU64(view);
+    batch.EncodeTo(enc);
+    enc->PutRaw(digest.AsSlice());
+  }
+};
+
+/// Replica's declaration that view `new_view - 1` failed, carrying its
+/// stable checkpoint and prepared certificates (the P set).
+class ViewChangeMessage : public Message {
+ public:
+  ViewChangeMessage(ViewNumber new_view, ReplicaId replica,
+                    SequenceNumber stable_seq,
+                    std::vector<PreparedProof> prepared, uint32_t quorum_2f1)
+      : new_view_(new_view),
+        replica_(replica),
+        stable_seq_(stable_seq),
+        prepared_(std::move(prepared)),
+        quorum_2f1_(quorum_2f1) {}
+
+  ViewNumber new_view() const { return new_view_; }
+  ReplicaId replica() const { return replica_; }
+  SequenceNumber stable_seq() const { return stable_seq_; }
+  const std::vector<PreparedProof>& prepared() const { return prepared_; }
+
+  uint32_t type() const override { return kPbftViewChange; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPbftViewChange);
+    enc->PutU64(new_view_);
+    enc->PutU32(replica_);
+    enc->PutU64(stable_seq_);
+    enc->PutU32(static_cast<uint32_t>(prepared_.size()));
+    for (const auto& p : prepared_) p.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    // Own signature + 2f+1 prepare signatures per prepared certificate.
+    return kSignatureBytes +
+           prepared_.size() * quorum_2f1_ * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "VIEW-CHANGE{v=" << new_view_ << " replica=" << replica_
+       << " stable=" << stable_seq_ << " prepared=" << prepared_.size()
+       << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber new_view_;
+  ReplicaId replica_;
+  SequenceNumber stable_seq_;
+  std::vector<PreparedProof> prepared_;
+  uint32_t quorum_2f1_;
+};
+
+/// New leader's installation message for `new_view`: the proposals (O set)
+/// to re-run, justified by 2f+1 view-change messages (accounted in size).
+class NewViewMessage : public Message {
+ public:
+  struct Proposal {
+    SequenceNumber seq = 0;
+    Batch batch;
+    Digest digest;
+  };
+
+  NewViewMessage(ViewNumber new_view, std::vector<Proposal> proposals,
+                 size_t view_change_proof_bytes)
+      : new_view_(new_view),
+        proposals_(std::move(proposals)),
+        proof_bytes_(view_change_proof_bytes) {}
+
+  ViewNumber new_view() const { return new_view_; }
+  const std::vector<Proposal>& proposals() const { return proposals_; }
+
+  uint32_t type() const override { return kPbftNewView; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPbftNewView);
+    enc->PutU64(new_view_);
+    enc->PutU32(static_cast<uint32_t>(proposals_.size()));
+    for (const auto& p : proposals_) {
+      enc->PutU64(p.seq);
+      p.batch.EncodeTo(enc);
+      enc->PutRaw(p.digest.AsSlice());
+    }
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + proof_bytes_;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "NEW-VIEW{v=" << new_view_ << " proposals=" << proposals_.size()
+       << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber new_view_;
+  std::vector<Proposal> proposals_;
+  size_t proof_bytes_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_PBFT_PBFT_MESSAGES_H_

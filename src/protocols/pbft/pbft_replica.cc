@@ -1,0 +1,486 @@
+#include "protocols/pbft/pbft_replica.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+PbftReplica::PbftReplica(ReplicaConfig config,
+                         std::unique_ptr<StateMachine> state_machine)
+    : Replica(config, std::move(state_machine)) {
+  current_vc_timeout_us_ = config.view_change_timeout_us;
+}
+
+void PbftReplica::Start() {}
+
+// --- Client requests ---------------------------------------------------------
+
+void PbftReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
+  if (view_changing_) return;  // Pooled; handled after the new view.
+
+  if (IsLeader()) {
+    if (byzantine_mode() == ByzantineMode::kDelayProposals) {
+      if (!delayed_propose_pending_) {
+        delayed_propose_pending_ = true;
+        SetTimer(byzantine_spec().delay_us, kDelayedProposeTimer);
+      }
+      return;
+    }
+    if (pending_requests() >= config().batch_size) {
+      ProposeAvailable();
+    } else if (batch_timer_ == kInvalidEvent) {
+      batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+    }
+    return;
+  }
+
+  // Backup: relay to the leader (the client may only know a stale leader)
+  // and start the view-change timer (τ2) for this request.
+  if (IsClientNode(from)) {
+    Send(leader(), std::make_shared<RequestMessage>(request));
+  }
+  ArmViewChangeTimerIfNeeded();
+}
+
+void PbftReplica::ProposeAvailable() {
+  if (!IsLeader() || view_changing_) return;
+  while (HasPending() && next_seq_ <= HighWatermark()) {
+    Batch batch = SelectBatch();
+    if (batch.requests.empty()) break;  // Deferred (e.g. Themis reports).
+    if (byzantine_mode() == ByzantineMode::kReorderRequests) {
+      // Order manipulation (front-running shape): deprioritize
+      // odd-numbered clients — their requests are re-pooled at the back
+      // and only ever proposed when nothing else is available to hide
+      // behind, so they commit entire view-change periods late unless the
+      // protocol enforces fair ordering.
+      std::vector<ClientRequest> victims, rest;
+      for (ClientRequest& r : batch.requests) {
+        if ((r.client - kClientIdBase) % 2 == 1) {
+          victims.push_back(std::move(r));
+        } else {
+          rest.push_back(std::move(r));
+        }
+      }
+      for (ClientRequest& v : victims) RepoolBack(v);
+      if (rest.empty()) break;  // Keep starving them.
+      batch.requests = std::move(rest);
+      std::reverse(batch.requests.begin(), batch.requests.end());
+    }
+    if (byzantine_mode() == ByzantineMode::kCensorClient) {
+      auto& reqs = batch.requests;
+      reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                [this](const ClientRequest& r) {
+                                  return r.client ==
+                                         byzantine_spec().censor_target;
+                                }),
+                 reqs.end());
+      if (batch.requests.empty()) continue;
+    }
+    ProposeBatch(std::move(batch));
+  }
+}
+
+bool PbftReplica::ByzantinePropose(SequenceNumber seq, Batch& batch) {
+  if (byzantine_mode() != ByzantineMode::kEquivocate) return false;
+
+  // Equivocation: send conflicting proposals to the two halves of the
+  // backups. Safety tests assert agreement still holds.
+  Batch other;
+  if (batch.requests.size() >= 2) {
+    other = batch;
+    std::reverse(other.requests.begin(), other.requests.end());
+  }  // else: `other` stays empty -> different digest.
+
+  auto msg_a =
+      std::make_shared<PrePrepareMessage>(view_, seq, batch, AuthBytes());
+  auto msg_b =
+      std::make_shared<PrePrepareMessage>(view_, seq, other, AuthBytes());
+  ChargeAuthSend(n() - 1, msg_a->WireSize());
+  std::vector<NodeId> others = OtherReplicas();
+  for (size_t i = 0; i < others.size(); ++i) {
+    Send(others[i], i % 2 == 0 ? MessagePtr(msg_a) : MessagePtr(msg_b));
+  }
+  metrics().Increment("pbft.equivocations");
+  return true;
+}
+
+void PbftReplica::ProposeBatch(Batch batch) {
+  SequenceNumber seq = next_seq_++;
+
+  if (ByzantinePropose(seq, batch)) return;
+
+  Instance& inst = instance(seq);
+  inst.view = view_;
+  inst.has_pre_prepare = true;
+  inst.digest = batch.ComputeDigest();
+  inst.batch = batch;
+
+  auto msg = std::make_shared<PrePrepareMessage>(view_, seq, std::move(batch),
+                                                 AuthBytes());
+  ChargeAuthSend(n() - 1, msg->WireSize());
+  Multicast(OtherReplicas(), std::move(msg));
+  ArmViewChangeTimerIfNeeded();
+}
+
+// --- Protocol messages --------------------------------------------------------
+
+void PbftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kPbftPrePrepare:
+      HandlePrePrepare(from, static_cast<const PrePrepareMessage&>(*msg));
+      break;
+    case kPbftPrepare:
+      HandlePrepare(from, static_cast<const PrepareMessage&>(*msg));
+      break;
+    case kPbftCommit:
+      HandleCommit(from, static_cast<const CommitMessage&>(*msg));
+      break;
+    case kPbftViewChange:
+      HandleViewChange(from, static_cast<const ViewChangeMessage&>(*msg));
+      break;
+    case kPbftNewView:
+      HandleNewView(from, static_cast<const NewViewMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void PbftReplica::HandlePrePrepare(NodeId from, const PrePrepareMessage& msg) {
+  if (view_changing_ || msg.view() != view_ || from != leader()) return;
+  if (msg.seq() <= LowWatermark() || msg.seq() > HighWatermark()) return;
+  ChargeAuthVerify(msg.WireSize());
+  if (!ValidateProposal(msg)) {
+    metrics().Increment("pbft.proposals_rejected");
+    return;
+  }
+
+  Instance& inst = instance(msg.seq());
+  if (inst.has_pre_prepare && inst.view == view_) {
+    if (inst.digest != msg.digest()) {
+      // Conflicting pre-prepare from the leader (equivocation): keep the
+      // first; the quorum intersection argument preserves safety.
+      metrics().Increment("pbft.conflicting_pre_prepare");
+    }
+    return;
+  }
+  inst.view = view_;
+  inst.has_pre_prepare = true;
+  inst.digest = msg.digest();
+  inst.batch = msg.batch();
+
+  // Requests stay pooled until executed so the view-change timer (τ2)
+  // keeps watching them even while they are in flight.
+  ArmViewChangeTimerIfNeeded();
+
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+
+  if (!inst.prepare_sent) {
+    inst.prepare_sent = true;
+    auto prepare = std::make_shared<PrepareMessage>(
+        view_, msg.seq(), inst.digest, config().id, AuthBytes());
+    ChargeAuthSend(n() - 1, prepare->WireSize());
+    Multicast(OtherReplicas(), std::move(prepare));
+    inst.prepare_votes[inst.digest].insert(config().id);
+  }
+  CheckPrepared(msg.seq());
+}
+
+void PbftReplica::HandlePrepare(NodeId /*from*/, const PrepareMessage& msg) {
+  if (view_changing_ || msg.view() != view_) return;
+  if (msg.seq() <= LowWatermark() || msg.seq() > HighWatermark()) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instance(msg.seq());
+  inst.prepare_votes[msg.digest()].insert(msg.replica());
+  CheckPrepared(msg.seq());
+}
+
+void PbftReplica::CheckPrepared(SequenceNumber seq) {
+  Instance& inst = instance(seq);
+  if (inst.prepared || !inst.has_pre_prepare) return;
+  // Prepared: pre-prepare + 2f matching prepares from distinct backups
+  // (the sender's own prepare counts; the leader sends none).
+  if (inst.prepare_votes[inst.digest].size() < AgreementQuorum() - 1) return;
+  inst.prepared = true;
+
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  if (!inst.commit_sent) {
+    inst.commit_sent = true;
+    auto commit = std::make_shared<CommitMessage>(view_, seq, inst.digest,
+                                                  config().id, AuthBytes());
+    ChargeAuthSend(n() - 1, commit->WireSize());
+    Multicast(OtherReplicas(), std::move(commit));
+    inst.commit_votes[inst.digest].insert(config().id);
+  }
+  CheckCommitted(seq);
+}
+
+void PbftReplica::HandleCommit(NodeId /*from*/, const CommitMessage& msg) {
+  if (msg.view() != view_ || view_changing_) return;
+  if (msg.seq() <= LowWatermark() || msg.seq() > HighWatermark()) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instance(msg.seq());
+  inst.commit_votes[msg.digest()].insert(msg.replica());
+  CheckCommitted(msg.seq());
+}
+
+void PbftReplica::CheckCommitted(SequenceNumber seq) {
+  Instance& inst = instance(seq);
+  if (inst.committed || !inst.prepared) return;
+  if (inst.commit_votes[inst.digest].size() < AgreementQuorum()) return;
+  inst.committed = true;
+  metrics().Increment("pbft.committed");
+  committed_log_[seq] = std::make_pair(inst.digest, inst.batch);
+  Deliver(seq, inst.batch);
+}
+
+// --- Execution / timers --------------------------------------------------------
+
+void PbftReplica::OnRequestExecuted(const ClientRequest& /*request*/,
+                                    bool /*speculative*/) {
+  // The timer watches the oldest pooled request; once that request left
+  // the pool, move the watch to the next-oldest (full fresh timeout).
+  // Progress on *other* requests must NOT reset the timer, or a censoring
+  // leader serving everyone else would never be replaced.
+  if (view_change_timer_ != kInvalidEvent && !InPool(vc_watch_)) {
+    DisarmViewChangeTimer();
+    ArmViewChangeTimerIfNeeded();
+  }
+  // Leader: executed requests may free room under the high watermark.
+  if (IsLeader() && HasPending()) ProposeAvailable();
+}
+
+void PbftReplica::ArmViewChangeTimerIfNeeded() {
+  if (view_change_timer_ != kInvalidEvent) return;
+  if (IsLeader()) return;  // The leader does not suspect itself.
+  const ClientRequest* oldest = PeekOldest();
+  if (oldest == nullptr) return;
+  vc_watch_ = oldest->ComputeDigest();
+  if (current_vc_timeout_us_ == 0) {
+    current_vc_timeout_us_ = config().view_change_timeout_us;
+  }
+  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+}
+
+void PbftReplica::DisarmViewChangeTimer() {
+  CancelTimer(&view_change_timer_);
+  current_vc_timeout_us_ = config().view_change_timeout_us;
+}
+
+void PbftReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kViewChangeTimer:
+      view_change_timer_ = kInvalidEvent;
+      metrics().Increment("pbft.vc_timeout");
+      StartViewChange(view_changing_ ? target_view_ + 1 : view_ + 1);
+      break;
+    case kBatchTimer:
+      batch_timer_ = kInvalidEvent;
+      ProposeAvailable();
+      break;
+    case kDelayedProposeTimer:
+      delayed_propose_pending_ = false;
+      ProposeAvailable();
+      break;
+    default:
+      break;
+  }
+}
+
+// --- View change ---------------------------------------------------------------
+
+void PbftReplica::StartViewChange(ViewNumber new_view) {
+  if (new_view <= view_) return;
+  if (view_changing_ && new_view <= target_view_) return;
+  view_changing_ = true;
+  target_view_ = new_view;
+  CancelTimer(&batch_timer_);
+  metrics().Increment("pbft.view_change_started");
+
+  std::vector<PreparedProof> proofs;
+  // Committed-but-not-yet-checkpointed batches first: they are final and
+  // must survive any view change (their proof view outranks everything).
+  for (const auto& [seq, entry] : committed_log_) {
+    if (seq <= LowWatermark()) continue;
+    PreparedProof proof;
+    proof.seq = seq;
+    proof.view = kCommittedProofView;
+    proof.digest = entry.first;
+    proof.batch = entry.second;
+    proofs.push_back(std::move(proof));
+  }
+  for (const auto& [seq, inst] : instances_) {
+    if (inst.prepared && seq > LowWatermark() &&
+        committed_log_.count(seq) == 0) {
+      PreparedProof proof;
+      proof.seq = seq;
+      proof.view = inst.view;
+      proof.batch = inst.batch;
+      proof.digest = inst.digest;
+      proofs.push_back(std::move(proof));
+    }
+  }
+
+  auto vc = std::make_shared<ViewChangeMessage>(
+      new_view, config().id, LowWatermark(), std::move(proofs), AgreementQuorum());
+  ChargeAuthSend(n() - 1, vc->WireSize());
+  view_changes_[new_view].emplace(config().id, *vc);
+  Multicast(OtherReplicas(), std::move(vc));
+
+  // Exponential back-off: if this view change fails too, target +1 later.
+  if (current_vc_timeout_us_ == 0) {
+    current_vc_timeout_us_ = config().view_change_timeout_us;
+  }
+  CancelTimer(&view_change_timer_);
+  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+  current_vc_timeout_us_ *= 2;
+
+  if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
+}
+
+void PbftReplica::HandleViewChange(NodeId /*from*/,
+                                   const ViewChangeMessage& msg) {
+  if (msg.new_view() <= view_) return;
+  ChargeAuthVerify(msg.WireSize());
+  view_changes_[msg.new_view()].emplace(msg.replica(), msg);
+
+  // Join rule: f+1 replicas already moved to a higher view -> follow them
+  // even if our own timer has not fired (liveness under slow timers).
+  if ((!view_changing_ || msg.new_view() > target_view_) &&
+      view_changes_[msg.new_view()].size() >= QuorumF1()) {
+    StartViewChange(msg.new_view());
+  }
+
+  if (view_changing_ && LeaderOf(target_view_) == config().id) {
+    MaybeAssembleNewView(target_view_);
+  }
+}
+
+void PbftReplica::MaybeAssembleNewView(ViewNumber new_view) {
+  auto it = view_changes_.find(new_view);
+  if (it == view_changes_.end() || it->second.size() < AgreementQuorum()) return;
+  if (!view_changing_ || target_view_ != new_view) return;
+
+  // Determine the re-proposal set O from the 2f+1 view-change messages.
+  SequenceNumber min_s = LowWatermark();
+  SequenceNumber max_s = min_s;
+  size_t proof_bytes = 0;
+  std::map<SequenceNumber, const PreparedProof*> best;
+  for (const auto& [replica, vc] : it->second) {
+    proof_bytes += vc.WireSize();
+    min_s = std::max(min_s, vc.stable_seq());
+    for (const PreparedProof& proof : vc.prepared()) {
+      max_s = std::max(max_s, proof.seq);
+      auto [slot, inserted] = best.emplace(proof.seq, &proof);
+      if (!inserted && proof.view > slot->second->view) {
+        slot->second = &proof;
+      }
+    }
+  }
+
+  std::vector<NewViewMessage::Proposal> proposals;
+  for (SequenceNumber seq = min_s + 1; seq <= max_s; ++seq) {
+    NewViewMessage::Proposal p;
+    p.seq = seq;
+    auto slot = best.find(seq);
+    if (slot != best.end()) {
+      p.batch = slot->second->batch;
+      p.digest = slot->second->digest;
+    } else {
+      p.digest = Batch{}.ComputeDigest();  // Null request fills the gap.
+    }
+    proposals.push_back(std::move(p));
+  }
+
+  auto nv = std::make_shared<NewViewMessage>(new_view, proposals, proof_bytes);
+  ChargeAuthSend(n() - 1, nv->WireSize());
+  Multicast(OtherReplicas(), std::move(nv));
+  metrics().Increment("pbft.new_view_sent");
+  EnterNewView(new_view, proposals);
+}
+
+void PbftReplica::HandleNewView(NodeId from, const NewViewMessage& msg) {
+  if (msg.new_view() <= view_) return;
+  if (from != LeaderOf(msg.new_view())) return;
+  ChargeAuthVerify(msg.WireSize());
+  EnterNewView(msg.new_view(), msg.proposals());
+}
+
+void PbftReplica::EnterNewView(
+    ViewNumber new_view,
+    const std::vector<NewViewMessage::Proposal>& proposals) {
+  view_ = new_view;
+  view_changing_ = false;
+  target_view_ = new_view;
+  instances_.clear();
+  view_changes_.erase(view_changes_.begin(),
+                      view_changes_.upper_bound(new_view));
+  DisarmViewChangeTimer();
+  ++view_changes_completed_;
+  metrics().Increment("pbft.view_changes_completed");
+
+  SequenceNumber max_seq = LowWatermark();
+  for (const auto& p : proposals) {
+    max_seq = std::max(max_seq, p.seq);
+    if (p.seq <= last_executed()) continue;
+    Instance& inst = instance(p.seq);
+    inst.view = new_view;
+    inst.has_pre_prepare = true;
+    inst.batch = p.batch;
+    inst.digest = p.digest;
+    for (const ClientRequest& r : p.batch.requests) {
+      RemoveFromPool(r.ComputeDigest());
+    }
+    if (!IsLeader() && byzantine_mode() != ByzantineMode::kSilentBackup) {
+      inst.prepare_sent = true;
+      auto prepare = std::make_shared<PrepareMessage>(
+          new_view, p.seq, p.digest, config().id, AuthBytes());
+      ChargeAuthSend(n() - 1, prepare->WireSize());
+      Multicast(OtherReplicas(), std::move(prepare));
+      inst.prepare_votes[p.digest].insert(config().id);
+      CheckPrepared(p.seq);
+    }
+  }
+  next_seq_ = std::max({max_seq + 1, last_executed() + 1,
+                        LowWatermark() + 1});
+
+  if (HasPending()) {
+    if (IsLeader()) {
+      ProposeAvailable();
+    } else {
+      // Relay pooled requests to the new leader.
+      const ClientRequest* oldest = PeekOldest();
+      if (oldest != nullptr) {
+        Send(leader(), std::make_shared<RequestMessage>(*oldest));
+      }
+      ArmViewChangeTimerIfNeeded();
+    }
+  }
+}
+
+void PbftReplica::OnCheckpointStable(SequenceNumber seq) {
+  // Garbage-collect consensus state covered by the stable checkpoint.
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+  committed_log_.erase(committed_log_.begin(),
+                       committed_log_.upper_bound(seq));
+}
+
+void PbftReplica::OnStateTransferComplete(SequenceNumber seq) {
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+  committed_log_.erase(committed_log_.begin(),
+                       committed_log_.upper_bound(seq));
+  next_seq_ = std::max(next_seq_, seq + 1);
+}
+
+std::unique_ptr<Replica> MakePbftReplica(const ReplicaConfig& config) {
+  return std::make_unique<PbftReplica>(config,
+                                       std::make_unique<KvStateMachine>());
+}
+
+}  // namespace bftlab

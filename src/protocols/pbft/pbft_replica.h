@@ -1,0 +1,152 @@
+// PBFT replica (Castro & Liskov): pessimistic commitment (P1), 3 ordering
+// phases (P2), stable leader with view-change (P3), decentralized
+// checkpointing (P4, in the base class), requester clients with f+1 reply
+// quorums (P6), clique topology in phases 2-3 (E2), MACs or signatures
+// (E3), responsive (E4). The paper's driving example (Figure 2).
+
+#ifndef BFTLAB_PROTOCOLS_PBFT_PBFT_REPLICA_H_
+#define BFTLAB_PROTOCOLS_PBFT_PBFT_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocols/common/replica.h"
+#include "protocols/pbft/pbft_messages.h"
+
+namespace bftlab {
+
+/// One PBFT replica. See class comment above for the design-space point.
+class PbftReplica : public Replica {
+ public:
+  PbftReplica(ReplicaConfig config,
+              std::unique_ptr<StateMachine> state_machine);
+
+  std::string name() const override { return "pbft"; }
+  ViewNumber view() const override { return view_; }
+  ReplicaId leader() const override {
+    return static_cast<ReplicaId>(view_ % n());
+  }
+  ReplicaId LeaderOf(ViewNumber v) const {
+    return static_cast<ReplicaId>(v % n());
+  }
+
+  /// True while the replica is between views (sent view-change, waiting
+  /// for new-view).
+  bool view_changing() const { return view_changing_; }
+  uint64_t view_changes_completed() const { return view_changes_completed_; }
+
+  void Start() override;
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
+  void OnRequestExecuted(const ClientRequest& request,
+                         bool speculative) override;
+  void OnStateTransferComplete(SequenceNumber seq) override;
+
+  // Timer tags.
+  static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 0;
+  static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 1;
+  static constexpr uint64_t kDelayedProposeTimer = kProtocolTimerBase + 2;
+
+  // --- Subclass hooks (Themis, Prime) -------------------------------------
+
+  /// Picks the next batch to propose (default: FIFO pool order). An empty
+  /// batch defers the proposal.
+  virtual Batch SelectBatch() { return TakeBatch(); }
+
+  /// Validates a leader proposal before accepting it (default: accept).
+  /// Returning false drops the proposal; liveness then comes from the
+  /// view-change timer.
+  virtual bool ValidateProposal(const PrePrepareMessage& msg) {
+    (void)msg;
+    return true;
+  }
+
+ protected:
+  /// Per-sequence consensus instance state (within the current view).
+  /// Votes are bucketed by digest so prepares/commits arriving before the
+  /// pre-prepare are not lost.
+  struct Instance {
+    ViewNumber view = 0;
+    bool has_pre_prepare = false;
+    Batch batch;
+    Digest digest;
+    std::map<Digest, std::set<ReplicaId>> prepare_votes;
+    std::map<Digest, std::set<ReplicaId>> commit_votes;
+    bool prepared = false;
+    bool committed = false;
+    bool prepare_sent = false;
+    bool commit_sent = false;
+  };
+
+  void HandlePrePrepare(NodeId from, const PrePrepareMessage& msg);
+  void HandlePrepare(NodeId from, const PrepareMessage& msg);
+  void HandleCommit(NodeId from, const CommitMessage& msg);
+  void HandleViewChange(NodeId from, const ViewChangeMessage& msg);
+  void HandleNewView(NodeId from, const NewViewMessage& msg);
+
+  /// Leader: proposes pooled requests while the window allows.
+  void ProposeAvailable();
+  void ProposeBatch(Batch batch);
+  /// Applies Byzantine proposal behaviours; returns true if handled.
+  bool ByzantinePropose(SequenceNumber seq, Batch& batch);
+
+  void CheckPrepared(SequenceNumber seq);
+  void CheckCommitted(SequenceNumber seq);
+
+  /// Enters the view-change protocol targeting `new_view`.
+  void StartViewChange(ViewNumber new_view);
+  /// New leader: assembles and broadcasts NEW-VIEW once 2f+1 VCs arrive.
+  void MaybeAssembleNewView(ViewNumber new_view);
+  /// Installs `new_view` with the given re-proposals.
+  void EnterNewView(ViewNumber new_view,
+                    const std::vector<NewViewMessage::Proposal>& proposals);
+
+  /// (Re)arms the view-change timer if unexecuted requests exist.
+  void ArmViewChangeTimerIfNeeded();
+  void DisarmViewChangeTimer();
+
+  Instance& instance(SequenceNumber seq) { return instances_[seq]; }
+
+  ViewNumber view_ = 0;
+  SequenceNumber next_seq_ = 1;  // Leader: next sequence to assign.
+  std::map<SequenceNumber, Instance> instances_;
+
+  /// Committed batches above the stable checkpoint. Carried in
+  /// view-change messages so that a replica that committed a sequence
+  /// number keeps asserting it across ANY number of subsequent view
+  /// changes (instances_ alone is insufficient: it is reset when a new
+  /// view is installed, and a commit is only covered by checkpoints once
+  /// the next checkpoint stabilizes).
+  std::map<SequenceNumber, std::pair<Digest, Batch>> committed_log_;
+  /// Proof view used for committed entries: outranks any prepared proof.
+  static constexpr ViewNumber kCommittedProofView =
+      ~static_cast<ViewNumber>(0);
+
+  // View change state.
+  bool view_changing_ = false;
+  ViewNumber target_view_ = 0;
+  // (new_view) -> per-replica view-change messages.
+  std::map<ViewNumber, std::map<ReplicaId, ViewChangeMessage>> view_changes_;
+  SimTime current_vc_timeout_us_ = 0;
+  EventId view_change_timer_ = kInvalidEvent;
+  uint64_t view_changes_completed_ = 0;
+
+  EventId batch_timer_ = kInvalidEvent;
+  bool delayed_propose_pending_ = false;
+  /// Digest of the pooled request the view-change timer watches.
+  Digest vc_watch_;
+};
+
+/// Factory for Cluster.
+std::unique_ptr<Replica> MakePbftReplica(const ReplicaConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_PBFT_PBFT_REPLICA_H_

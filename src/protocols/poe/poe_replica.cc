@@ -1,0 +1,360 @@
+#include "protocols/poe/poe_replica.h"
+
+#include <algorithm>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+PoeReplica::PoeReplica(ReplicaConfig config,
+                       std::unique_ptr<StateMachine> state_machine)
+    : Replica(config, std::move(state_machine)) {
+  vc_timeout_us_ = config.view_change_timeout_us;
+}
+
+void PoeReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
+  if (view_changing_) return;
+  if (IsLeader()) {
+    if (pending_requests() >= config().batch_size) {
+      ProposeAvailable();
+    } else if (batch_timer_ == kInvalidEvent) {
+      batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+    }
+    return;
+  }
+  if (IsClientNode(from)) {
+    Send(leader(), std::make_shared<RequestMessage>(request));
+  }
+  ArmViewChangeTimerIfNeeded();
+}
+
+void PoeReplica::ProposeAvailable() {
+  if (!IsLeader() || view_changing_) return;
+  while (HasPending() && next_seq_ <= HighWatermark()) {
+    Batch batch = TakeBatch();
+    if (batch.requests.empty()) continue;
+    SequenceNumber seq = next_seq_++;
+
+    Instance& inst = instances_[seq];
+    inst.batch = batch;
+    inst.digest = batch.ComputeDigest();
+    inst.has_proposal = true;
+    inst.supports.insert(config().id);
+
+    auto msg = std::make_shared<PoeProposeMessage>(view_, seq,
+                                                   std::move(batch));
+    ChargeAuthSend(n() - 1, msg->WireSize());
+    Multicast(OtherReplicas(), std::move(msg));
+  }
+}
+
+void PoeReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kPoePropose:
+      HandlePropose(from, static_cast<const PoeProposeMessage&>(*msg));
+      break;
+    case kPoeSupport:
+      HandleSupport(from, static_cast<const PoeSupportMessage&>(*msg));
+      break;
+    case kPoeCertify:
+      HandleCertify(from, static_cast<const PoeCertifyMessage&>(*msg));
+      break;
+    case kPoeViewChange:
+      HandleViewChange(from, static_cast<const PoeViewChangeMessage&>(*msg));
+      break;
+    case kPoeNewView:
+      HandleNewView(from, static_cast<const PoeNewViewMessage&>(*msg));
+      break;
+    case kPoeStabilize:
+      HandleStabilize(from, static_cast<const PoeStabilizeMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void PoeReplica::HandlePropose(NodeId from, const PoeProposeMessage& msg) {
+  if (from != leader() || msg.view() != view_ || view_changing_) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instances_[msg.seq()];
+  if (inst.has_proposal) return;
+  inst.has_proposal = true;
+  inst.batch = msg.batch();
+  inst.digest = msg.digest();
+  ArmViewChangeTimerIfNeeded();
+
+  // Linear support phase: signed share to the leader only.
+  crypto().Charge(crypto().cost_model().threshold_share_sign_us);
+  Send(leader(), std::make_shared<PoeSupportMessage>(
+                     view_, msg.seq(), msg.digest(), config().id));
+}
+
+void PoeReplica::HandleSupport(NodeId /*from*/, const PoeSupportMessage& msg) {
+  if (!IsLeader() || msg.view() != view_ || view_changing_) return;
+  crypto().Charge(crypto().cost_model().verify_sig_us);
+
+  Instance& inst = instances_[msg.seq()];
+  if (!inst.has_proposal || msg.digest() != inst.digest ||
+      inst.certify_sent) {
+    return;
+  }
+  inst.supports.insert(msg.replica());
+  if (inst.supports.size() < Quorum2f1()) return;
+
+  inst.certify_sent = true;
+  crypto().Charge(crypto().cost_model().threshold_combine_per_share_us *
+                  Quorum2f1());
+  auto cert = std::make_shared<PoeCertifyMessage>(view_, msg.seq(),
+                                                  inst.digest);
+  ChargeAuthSend(n() - 1, cert->WireSize());
+
+  if (byzantine_mode() == ByzantineMode::kEquivocate) {
+    // Attack for X7: ship the certificate to a single backup only. Fewer
+    // than f+1 non-faulty replicas hold it, so the view change may
+    // supersede the sequence number and force a rollback there.
+    Send(OtherReplicas().back(), std::move(cert));
+    metrics().Increment("poe.withheld_certificates");
+    return;  // The leader does not execute either.
+  }
+
+  Multicast(OtherReplicas(), cert);
+  HandleCertify(config().id, *cert);
+}
+
+void PoeReplica::HandleCertify(NodeId from, const PoeCertifyMessage& msg) {
+  if (msg.view() != view_ || view_changing_) return;
+  if (from != leader() && from != config().id) return;
+  if (from != config().id) ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instances_[msg.seq()];
+  if (!inst.has_proposal || inst.digest != msg.digest()) return;
+  if (inst.certified) return;
+  inst.certified = true;
+  metrics().Increment("poe.certified");
+  // Speculative execution on the 2f+1 certificate (Design Choice 7).
+  Deliver(msg.seq(), inst.batch, /*speculative=*/true);
+  MaybeStabilize();
+}
+
+void PoeReplica::MaybeStabilize() {
+  SequenceNumber head = last_executed();
+  if (head < last_stabilize_sent_ + config().checkpoint_interval) return;
+  last_stabilize_sent_ = head;
+  auto vote = std::make_shared<PoeStabilizeMessage>(
+      head, state_machine().StateDigest(), config().id);
+  ChargeAuthSend(n() - 1, vote->WireSize());
+  Multicast(OtherReplicas(), vote);
+  HandleStabilize(config().id, *vote);
+}
+
+void PoeReplica::HandleStabilize(NodeId from, const PoeStabilizeMessage& msg) {
+  if (from != config().id) ChargeAuthVerify(msg.WireSize());
+  auto key = std::make_pair(msg.seq(), msg.state_digest());
+  if (stabilize_votes_.Add(key, msg.replica()) == Quorum2f1()) {
+    if (last_executed() >= msg.seq() && finalized_seq() < msg.seq()) {
+      FinalizeUpTo(msg.seq());
+      metrics().Increment("poe.stabilized");
+    }
+    stabilize_votes_.EraseBelow(std::make_pair(msg.seq(), Digest()));
+  }
+}
+
+// --- View change -----------------------------------------------------------------
+
+void PoeReplica::ArmViewChangeTimerIfNeeded() {
+  if (vc_timer_ != kInvalidEvent || IsLeader()) return;
+  const ClientRequest* oldest = PeekOldest();
+  if (oldest == nullptr) return;
+  vc_watch_ = oldest->ComputeDigest();
+  vc_timer_ = SetTimer(vc_timeout_us_, kViewChangeTimer);
+}
+
+void PoeReplica::OnRequestExecuted(const ClientRequest& /*request*/,
+                                   bool /*speculative*/) {
+  if (vc_timer_ != kInvalidEvent && !InPool(vc_watch_)) {
+    CancelTimer(&vc_timer_);
+    vc_timeout_us_ = config().view_change_timeout_us;
+    ArmViewChangeTimerIfNeeded();
+  }
+  if (IsLeader() && HasPending() && !view_changing_) ProposeAvailable();
+}
+
+void PoeReplica::StartViewChange(ViewNumber new_view) {
+  if (new_view <= view_) return;
+  if (view_changing_ && new_view <= target_view_) return;
+  view_changing_ = true;
+  target_view_ = new_view;
+  CancelTimer(&batch_timer_);
+  metrics().Increment("poe.view_change_started");
+
+  std::vector<PoeCertifiedEntry> certified;
+  for (const auto& [seq, inst] : instances_) {
+    if (inst.certified && seq > finalized_seq()) {
+      certified.push_back(PoeCertifiedEntry{seq, inst.batch, inst.digest});
+    }
+  }
+  auto vc = std::make_shared<PoeViewChangeMessage>(
+      new_view, config().id, finalized_seq(), std::move(certified));
+  ChargeAuthSend(n() - 1, vc->WireSize());
+  view_changes_[new_view].emplace(config().id, *vc);
+  Multicast(OtherReplicas(), std::move(vc));
+
+  CancelTimer(&vc_timer_);
+  vc_timer_ = SetTimer(vc_timeout_us_, kViewChangeTimer);
+  vc_timeout_us_ *= 2;
+
+  if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
+}
+
+void PoeReplica::HandleViewChange(NodeId /*from*/,
+                                  const PoeViewChangeMessage& msg) {
+  if (msg.new_view() <= view_) return;
+  ChargeAuthVerify(msg.WireSize());
+  view_changes_[msg.new_view()].emplace(msg.replica(), msg);
+  if ((!view_changing_ || msg.new_view() > target_view_) &&
+      view_changes_[msg.new_view()].size() >= QuorumF1()) {
+    StartViewChange(msg.new_view());
+  }
+  if (view_changing_ && LeaderOf(target_view_) == config().id) {
+    MaybeAssembleNewView(target_view_);
+  }
+}
+
+void PoeReplica::MaybeAssembleNewView(ViewNumber new_view) {
+  auto it = view_changes_.find(new_view);
+  if (it == view_changes_.end() || it->second.size() < Quorum2f1()) return;
+  if (!view_changing_ || target_view_ != new_view) return;
+
+  SequenceNumber min_s = finalized_seq();
+  SequenceNumber max_s = min_s;
+  size_t proof_bytes = 0;
+  std::map<SequenceNumber, const PoeCertifiedEntry*> best;
+  for (const auto& [replica, vc] : it->second) {
+    proof_bytes += vc.WireSize();
+    min_s = std::max(min_s, vc.finalized());
+    for (const PoeCertifiedEntry& entry : vc.certified()) {
+      max_s = std::max(max_s, entry.seq);
+      best.emplace(entry.seq, &entry);
+    }
+  }
+
+  std::vector<PoeCertifiedEntry> proposals;
+  for (SequenceNumber seq = min_s + 1; seq <= max_s; ++seq) {
+    PoeCertifiedEntry entry;
+    entry.seq = seq;
+    auto slot = best.find(seq);
+    if (slot != best.end()) {
+      entry.batch = slot->second->batch;
+      entry.digest = slot->second->digest;
+    } else {
+      entry.digest = Batch{}.ComputeDigest();  // Null fills the gap.
+    }
+    proposals.push_back(std::move(entry));
+  }
+
+  auto nv = std::make_shared<PoeNewViewMessage>(new_view, proposals,
+                                                proof_bytes);
+  ChargeAuthSend(n() - 1, nv->WireSize());
+  Multicast(OtherReplicas(), std::move(nv));
+  HandleNewView(config().id, PoeNewViewMessage(new_view, std::move(proposals),
+                                               proof_bytes));
+}
+
+void PoeReplica::HandleNewView(NodeId from, const PoeNewViewMessage& msg) {
+  if (msg.new_view() < view_ ||
+      (msg.new_view() == view_ && !view_changing_)) {
+    return;
+  }
+  if (from != LeaderOf(msg.new_view()) && from != config().id) return;
+  if (from != config().id) ChargeAuthVerify(msg.WireSize());
+
+  view_ = msg.new_view();
+  view_changing_ = false;
+  target_view_ = msg.new_view();
+  vc_timeout_us_ = config().view_change_timeout_us;
+  CancelTimer(&vc_timer_);
+  metrics().Increment("poe.view_changes_completed");
+
+  // Reconcile speculative history with the new view's decision: find the
+  // first divergent sequence number, roll back to just before it, then
+  // re-execute the decided proposals.
+  bool need_rollback = false;
+  SequenceNumber rollback_to = 0;
+  for (const auto& p : msg.proposals()) {
+    Result<Digest> executed = ExecutedDigestAt(p.seq);
+    if (executed.ok() && *executed != p.digest) {
+      need_rollback = true;
+      rollback_to = p.seq - 1;
+      break;
+    }
+  }
+  // Speculative executions past the new view's horizon were certified to
+  // fewer than f+1 correct replicas (or they would appear in the 2f+1
+  // view-change messages); those sequence numbers get re-assigned in the
+  // new view, so they must be rolled back too.
+  SequenceNumber horizon = finalized_seq();
+  for (const auto& p : msg.proposals()) horizon = std::max(horizon, p.seq);
+  if (!need_rollback && last_executed() > horizon) {
+    need_rollback = true;
+    rollback_to = horizon;
+  }
+  if (need_rollback) {
+    Status s = RollbackTo(rollback_to);
+    if (s.ok()) metrics().Increment("poe.rollbacks");
+  }
+
+  SequenceNumber max_seq = finalized_seq();
+  instances_.clear();
+  for (const auto& p : msg.proposals()) {
+    max_seq = std::max(max_seq, p.seq);
+    Instance& inst = instances_[p.seq];
+    inst.batch = p.batch;
+    inst.digest = p.digest;
+    inst.has_proposal = true;
+    inst.certified = true;
+    if (p.seq > last_executed()) {
+      Deliver(p.seq, p.batch, /*speculative=*/true);
+    }
+  }
+  next_seq_ = std::max(max_seq + 1, last_executed() + 1);
+
+  view_changes_.erase(view_changes_.begin(),
+                      view_changes_.upper_bound(msg.new_view()));
+  if (IsLeader()) {
+    ProposeAvailable();
+  } else if (HasPending()) {
+    const ClientRequest* oldest = PeekOldest();
+    if (oldest != nullptr) {
+      Send(leader(), std::make_shared<RequestMessage>(*oldest));
+    }
+    ArmViewChangeTimerIfNeeded();
+  }
+}
+
+void PoeReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kBatchTimer:
+      batch_timer_ = kInvalidEvent;
+      ProposeAvailable();
+      break;
+    case kViewChangeTimer:
+      vc_timer_ = kInvalidEvent;
+      StartViewChange(view_changing_ ? target_view_ + 1 : view_ + 1);
+      break;
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<Replica> MakePoeReplica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  cfg.auth = AuthScheme::kThreshold;
+  return std::make_unique<PoeReplica>(cfg,
+                                      std::make_unique<KvStateMachine>());
+}
+
+}  // namespace bftlab

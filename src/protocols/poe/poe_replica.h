@@ -1,0 +1,321 @@
+// Proof-of-Execution (PoE, Gupta et al., EDBT'21): speculative phase
+// reduction (Design Choice 7). The leader collects signed support from
+// only 2f+1 replicas and broadcasts a certificate; replicas execute
+// SPECULATIVELY on the certificate and reply. Clients accept 2f+1
+// matching replies. If fewer than f+1 non-faulty replicas received the
+// certificate, the view change may order a different (or null) batch at
+// that sequence number and speculating replicas ROLL BACK.
+
+#ifndef BFTLAB_PROTOCOLS_POE_POE_REPLICA_H_
+#define BFTLAB_PROTOCOLS_POE_POE_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "protocols/common/quorum.h"
+#include "protocols/common/replica.h"
+
+namespace bftlab {
+
+enum PoeMessageType : uint32_t {
+  kPoePropose = 210,
+  kPoeSupport = 211,
+  kPoeCertify = 212,
+  kPoeViewChange = 213,
+  kPoeNewView = 214,
+  kPoeStabilize = 215,
+};
+
+class PoeProposeMessage : public Message {
+ public:
+  PoeProposeMessage(ViewNumber view, SequenceNumber seq, Batch batch)
+      : view_(view), seq_(seq), batch_(std::move(batch)),
+        digest_(batch_.ComputeDigest()) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Batch& batch() const { return batch_; }
+  const Digest& digest() const { return digest_; }
+
+  uint32_t type() const override { return kPoePropose; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoePropose);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    batch_.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + batch_.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "POE-PROPOSE{v=" << view_ << " seq=" << seq_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Batch batch_;
+  Digest digest_;
+};
+
+class PoeSupportMessage : public Message {
+ public:
+  PoeSupportMessage(ViewNumber view, SequenceNumber seq, Digest digest,
+                    ReplicaId replica)
+      : view_(view), seq_(seq), digest_(digest), replica_(replica) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kPoeSupport; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoeSupport);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kThresholdSigBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "POE-SUPPORT{v=" << view_ << " seq=" << seq_
+       << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+  ReplicaId replica_;
+};
+
+class PoeCertifyMessage : public Message {
+ public:
+  PoeCertifyMessage(ViewNumber view, SequenceNumber seq, Digest digest)
+      : view_(view), seq_(seq), digest_(digest) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+
+  uint32_t type() const override { return kPoeCertify; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoeCertify);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + kThresholdSigBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "POE-CERTIFY{v=" << view_ << " seq=" << seq_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+};
+
+/// A certified (seq, batch) pair carried in view-change messages.
+struct PoeCertifiedEntry {
+  SequenceNumber seq = 0;
+  Batch batch;
+  Digest digest;
+};
+
+class PoeViewChangeMessage : public Message {
+ public:
+  PoeViewChangeMessage(ViewNumber new_view, ReplicaId replica,
+                       SequenceNumber finalized,
+                       std::vector<PoeCertifiedEntry> certified)
+      : new_view_(new_view), replica_(replica), finalized_(finalized),
+        certified_(std::move(certified)) {}
+
+  ViewNumber new_view() const { return new_view_; }
+  ReplicaId replica() const { return replica_; }
+  SequenceNumber finalized() const { return finalized_; }
+  const std::vector<PoeCertifiedEntry>& certified() const {
+    return certified_;
+  }
+
+  uint32_t type() const override { return kPoeViewChange; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoeViewChange);
+    enc->PutU64(new_view_);
+    enc->PutU32(replica_);
+    enc->PutU64(finalized_);
+    enc->PutU32(static_cast<uint32_t>(certified_.size()));
+    for (const auto& e : certified_) {
+      enc->PutU64(e.seq);
+      e.batch.EncodeTo(enc);
+      enc->PutRaw(e.digest.AsSlice());
+    }
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + certified_.size() * kThresholdSigBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "POE-VIEWCHANGE{v=" << new_view_ << " replica=" << replica_
+       << " certified=" << certified_.size() << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber new_view_;
+  ReplicaId replica_;
+  SequenceNumber finalized_;
+  std::vector<PoeCertifiedEntry> certified_;
+};
+
+class PoeNewViewMessage : public Message {
+ public:
+  PoeNewViewMessage(ViewNumber new_view,
+                    std::vector<PoeCertifiedEntry> proposals,
+                    size_t proof_bytes)
+      : new_view_(new_view), proposals_(std::move(proposals)),
+        proof_bytes_(proof_bytes) {}
+
+  ViewNumber new_view() const { return new_view_; }
+  const std::vector<PoeCertifiedEntry>& proposals() const {
+    return proposals_;
+  }
+
+  uint32_t type() const override { return kPoeNewView; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoeNewView);
+    enc->PutU64(new_view_);
+    enc->PutU32(static_cast<uint32_t>(proposals_.size()));
+    for (const auto& e : proposals_) {
+      enc->PutU64(e.seq);
+      e.batch.EncodeTo(enc);
+      enc->PutRaw(e.digest.AsSlice());
+    }
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + proof_bytes_;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "POE-NEWVIEW{v=" << new_view_
+       << " proposals=" << proposals_.size() << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber new_view_;
+  std::vector<PoeCertifiedEntry> proposals_;
+  size_t proof_bytes_;
+};
+
+/// Periodic stabilization vote (finalizes the speculative prefix).
+class PoeStabilizeMessage : public Message {
+ public:
+  PoeStabilizeMessage(SequenceNumber seq, Digest state_digest,
+                      ReplicaId replica)
+      : seq_(seq), state_digest_(state_digest), replica_(replica) {}
+
+  SequenceNumber seq() const { return seq_; }
+  const Digest& state_digest() const { return state_digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kPoeStabilize; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPoeStabilize);
+    enc->PutU64(seq_);
+    enc->PutRaw(state_digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kSignatureBytes; }
+  std::string DebugString() const override {
+    return "POE-STABILIZE{seq=" + std::to_string(seq_) + "}";
+  }
+
+ private:
+  SequenceNumber seq_;
+  Digest state_digest_;
+  ReplicaId replica_;
+};
+
+class PoeReplica : public Replica {
+ public:
+  PoeReplica(ReplicaConfig config,
+             std::unique_ptr<StateMachine> state_machine);
+
+  std::string name() const override { return "poe"; }
+  ViewNumber view() const override { return view_; }
+  ReplicaId leader() const override {
+    return static_cast<ReplicaId>(view_ % n());
+  }
+  ReplicaId LeaderOf(ViewNumber v) const {
+    return static_cast<ReplicaId>(v % n());
+  }
+
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnRequestExecuted(const ClientRequest& request,
+                         bool speculative) override;
+
+  static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
+  static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 1;
+
+ private:
+  struct Instance {
+    Batch batch;
+    Digest digest;
+    bool has_proposal = false;
+    bool certified = false;
+    std::set<ReplicaId> supports;
+    bool certify_sent = false;
+  };
+
+  void ProposeAvailable();
+  void HandlePropose(NodeId from, const PoeProposeMessage& msg);
+  void HandleSupport(NodeId from, const PoeSupportMessage& msg);
+  void HandleCertify(NodeId from, const PoeCertifyMessage& msg);
+  void HandleViewChange(NodeId from, const PoeViewChangeMessage& msg);
+  void HandleNewView(NodeId from, const PoeNewViewMessage& msg);
+  void HandleStabilize(NodeId from, const PoeStabilizeMessage& msg);
+  void StartViewChange(ViewNumber new_view);
+  void MaybeAssembleNewView(ViewNumber new_view);
+  void MaybeStabilize();
+  void ArmViewChangeTimerIfNeeded();
+
+  ViewNumber view_ = 0;
+  SequenceNumber next_seq_ = 1;
+  std::map<SequenceNumber, Instance> instances_;
+
+  bool view_changing_ = false;
+  ViewNumber target_view_ = 0;
+  std::map<ViewNumber, std::map<ReplicaId, PoeViewChangeMessage>>
+      view_changes_;
+  SimTime vc_timeout_us_ = 0;
+  EventId vc_timer_ = kInvalidEvent;
+  Digest vc_watch_;
+
+  QuorumTracker<std::pair<SequenceNumber, Digest>> stabilize_votes_;
+  SequenceNumber last_stabilize_sent_ = 0;
+  EventId batch_timer_ = kInvalidEvent;
+};
+
+std::unique_ptr<Replica> MakePoeReplica(const ReplicaConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_POE_POE_REPLICA_H_

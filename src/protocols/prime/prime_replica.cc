@@ -1,0 +1,83 @@
+#include "protocols/prime/prime_replica.h"
+
+#include <algorithm>
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+PrimeReplica::PrimeReplica(ReplicaConfig config,
+                           std::unique_ptr<StateMachine> state_machine,
+                           PrimeOptions options)
+    : PbftReplica(config, std::move(state_machine)), options_(options) {
+  set_view_change_timeout(options_.min_timeout_us);
+  current_vc_timeout_us_ = options_.min_timeout_us;
+}
+
+void PrimeReplica::RecordArrival(const Digest& digest) {
+  arrival_times_.emplace(digest, Now());
+}
+
+void PrimeReplica::OnClientRequest(NodeId from,
+                                   const ClientRequest& request) {
+  RecordArrival(request.ComputeDigest());
+  // Preordering: disseminate the request to every replica so all of them
+  // watch the leader's handling of it.
+  if (IsClientNode(from)) {
+    auto po = std::make_shared<PrimePoRequestMessage>(request, config().id);
+    ChargeAuthSend(n() - 1, po->WireSize());
+    Multicast(OtherReplicas(), std::move(po));
+  }
+  PbftReplica::OnClientRequest(from, request);
+}
+
+void PrimeReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  if (msg->type() == kPrimePoRequest) {
+    const auto& po = static_cast<const PrimePoRequestMessage&>(*msg);
+    ChargeAuthVerify(po.WireSize());
+    metrics().Increment("prime.po_requests");
+    if (AdmitRequest(from, po.request())) {
+      RecordArrival(po.request().ComputeDigest());
+      // Treat like a relayed request: pool + watch; sourcing it from a
+      // replica id suppresses re-relay in the base class.
+      PbftReplica::OnClientRequest(config().id, po.request());
+    }
+    return;
+  }
+  PbftReplica::OnProtocolMessage(from, msg);
+}
+
+void PrimeReplica::OnRequestExecuted(const ClientRequest& request,
+                                     bool speculative) {
+  // τ7 performance monitoring: adapt the view-change timeout to the
+  // observed turnaround so a delaying leader is suspected quickly.
+  auto it = arrival_times_.find(request.ComputeDigest());
+  if (it != arrival_times_.end()) {
+    double turnaround = static_cast<double>(Now() - it->second);
+    ewma_us_ = ewma_us_ == 0
+                   ? turnaround
+                   : options_.ewma_alpha * turnaround +
+                         (1 - options_.ewma_alpha) * ewma_us_;
+    arrival_times_.erase(it);
+    SimTime timeout = std::max(
+        options_.min_timeout_us,
+        static_cast<SimTime>(options_.acceptable_delay_factor * ewma_us_));
+    set_view_change_timeout(timeout);
+  }
+  PbftReplica::OnRequestExecuted(request, speculative);
+}
+
+std::unique_ptr<Replica> MakePrimeReplica(const ReplicaConfig& config) {
+  return PrimeFactory(PrimeOptions())(config);
+}
+
+ReplicaFactory PrimeFactory(PrimeOptions options) {
+  return [options](const ReplicaConfig& config) {
+    return std::make_unique<PrimeReplica>(
+        config, std::make_unique<KvStateMachine>(), options);
+  };
+}
+
+}  // namespace bftlab

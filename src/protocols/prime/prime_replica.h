@@ -1,0 +1,95 @@
+// Prime-style replica (Amir et al., TDSC'11): ROBUST commitment (P1,
+// Design Choice 12) layered on PBFT. Two mechanisms defeat a
+// performance-degrading Byzantine leader:
+//
+//  1. Preordering: on receiving a client request, every replica
+//     broadcasts it to all other replicas (PO dissemination), so the
+//     leader cannot pretend it never saw a request and every replica can
+//     time its progress.
+//  2. Performance monitoring (timer τ7): replicas measure the turnaround
+//     of committed requests and set the view-change timeout to a small
+//     multiple of the observed median, so a leader that delays proposals
+//     just below a static timeout is still replaced quickly.
+
+#ifndef BFTLAB_PROTOCOLS_PRIME_PRIME_REPLICA_H_
+#define BFTLAB_PROTOCOLS_PRIME_PRIME_REPLICA_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "protocols/pbft/pbft_replica.h"
+
+namespace bftlab {
+
+enum PrimeMessageType : uint32_t {
+  kPrimePoRequest = 260,
+};
+
+/// Preorder dissemination of a client request to all replicas.
+class PrimePoRequestMessage : public Message {
+ public:
+  PrimePoRequestMessage(ClientRequest request, ReplicaId relayer)
+      : request_(std::move(request)), relayer_(relayer) {}
+
+  const ClientRequest& request() const { return request_; }
+  ReplicaId relayer() const { return relayer_; }
+
+  uint32_t type() const override { return kPrimePoRequest; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kPrimePoRequest);
+    request_.EncodeTo(enc);
+    enc->PutU32(relayer_);
+  }
+  size_t auth_wire_bytes() const override { return 2 * kSignatureBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "PRIME-PO{client=" << request_.client
+       << " ts=" << request_.timestamp << " relayer=" << relayer_ << "}";
+    return os.str();
+  }
+
+ private:
+  ClientRequest request_;
+  ReplicaId relayer_;
+};
+
+struct PrimeOptions {
+  /// View-change timeout = max(floor, factor * EWMA(turnaround)).
+  double acceptable_delay_factor = 8.0;
+  SimTime min_timeout_us = Millis(20);
+  /// EWMA smoothing for measured turnaround.
+  double ewma_alpha = 0.2;
+};
+
+class PrimeReplica : public PbftReplica {
+ public:
+  PrimeReplica(ReplicaConfig config,
+               std::unique_ptr<StateMachine> state_machine,
+               PrimeOptions options);
+
+  std::string name() const override { return "prime"; }
+
+  /// Current adaptive turnaround estimate (µs).
+  double turnaround_ewma_us() const { return ewma_us_; }
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnRequestExecuted(const ClientRequest& request,
+                         bool speculative) override;
+
+ private:
+  void RecordArrival(const Digest& digest);
+
+  PrimeOptions options_;
+  double ewma_us_ = 0;
+  std::map<Digest, SimTime> arrival_times_;
+};
+
+std::unique_ptr<Replica> MakePrimeReplica(const ReplicaConfig& config);
+ReplicaFactory PrimeFactory(PrimeOptions options);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_PRIME_PRIME_REPLICA_H_

@@ -1,0 +1,124 @@
+#include "protocols/qu/qu_replica.h"
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_op.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+namespace {
+const char kConflictReply[] = "CONFLICT";
+}  // namespace
+
+QuReplica::QuReplica(ReplicaConfig config,
+                     std::unique_ptr<StateMachine> state_machine,
+                     QuOptions options)
+    : Replica(config, std::move(state_machine)), options_(options) {}
+
+void QuReplica::OnClientRequest(NodeId /*from*/,
+                                const ClientRequest& request) {
+  // No ordering phases at all: classify, then either execute or reject.
+  Result<KvOp> op = KvOp::Decode(request.operation);
+  if (!op.ok()) {
+    RemoveFromPool(request.ComputeDigest());
+    return;
+  }
+
+  KeyState& key = key_states_[op->key];
+  bool conflict = key.last_client != 0 &&
+                  key.last_client != request.client &&
+                  Now() - key.last_at < options_.conflict_window_us;
+  if (conflict) {
+    ++conflicts_;
+    metrics().Increment("qu.conflicts");
+    // Reject without applying; the request leaves the pool so a backoff
+    // retry is re-admitted and re-evaluated.
+    RemoveFromPool(request.ComputeDigest());
+    SendReply(request, Slice(kConflictReply).ToBuffer(),
+              /*speculative=*/false);
+    return;
+  }
+  key.last_client = request.client;
+  key.last_at = Now();
+
+  Batch batch;
+  batch.requests.push_back(request);
+  metrics().Increment("qu.executed");
+  // Local order only: replicas may interleave different clients'
+  // operations differently (hence the commutative-workload requirement).
+  Deliver(++local_seq_, std::move(batch));
+}
+
+QuClient::QuClient(NodeId id, ClientConfig config, uint32_t f)
+    : Client(id, std::move(config)), f_(f) {
+  config_.submit_policy = SubmitPolicy::kAll;  // The client is the proposer.
+}
+
+void QuClient::SubmitNext() {
+  ok_replicas_.clear();
+  conflict_replies_ = 0;
+  backing_off_ = false;
+  Client::SubmitNext();
+}
+
+void QuClient::HandleReply(const ReplyMessage& reply) {
+  if (!in_flight() || reply.timestamp() != current_request().timestamp) {
+    return;
+  }
+  if (Slice(reply.result()) == Slice(kConflictReply)) {
+    ++conflict_replies_;
+    // Enough conflicts that the 4f+1 quorum is unreachable: back off.
+    if (!backing_off_ && conflict_replies_ > f_) {
+      backing_off_ = true;
+      ++backoffs_;
+      metrics().Increment("qu.backoffs");
+      CancelTimer(&retransmit_timer_);
+      SimTime backoff = config().retransmit_timeout_us / 4 +
+                        rng().NextBelow(config().retransmit_timeout_us / 2);
+      retransmit_timer_ = SetTimer(backoff, kRetransmitTag);
+    }
+    return;
+  }
+  // Accepted replies are matched by acceptance, not result bytes: under
+  // commutative operations replicas apply interleavings in different
+  // orders, so concrete ADD results legitimately differ (real Q/U
+  // compares object version histories instead).
+  ok_replicas_.insert(reply.replica());
+  if (ok_replicas_.size() >= config().reply_quorum) {
+    AcceptCurrent();
+  }
+}
+
+void QuClient::OnTimer(uint64_t tag) {
+  if (tag == kRetransmitTag) {
+    backing_off_ = false;
+    conflict_replies_ = 0;
+  }
+  Client::OnTimer(tag);
+}
+
+std::unique_ptr<Replica> MakeQuReplica(const ReplicaConfig& config) {
+  return QuFactory(QuOptions())(config);
+}
+
+ReplicaFactory QuFactory(QuOptions options) {
+  return [options](const ReplicaConfig& config) {
+    ReplicaConfig cfg = config;
+    // Replicas execute in per-replica local order, so PBFT-style digest
+    // checkpoints cannot stabilize; Q/U has no shared log to GC anyway.
+    cfg.checkpoint_interval = ~0ull;
+    return std::make_unique<QuReplica>(
+        cfg, std::make_unique<KvStateMachine>(), options);
+  };
+}
+
+ClientFactory QuClientFactory(uint32_t f) {
+  return [f](NodeId id, const ClientConfig& config) {
+    ClientConfig cfg = config;
+    cfg.reply_quorum = 4 * f + 1;
+    return std::make_unique<QuClient>(id, cfg, f);
+  };
+}
+
+}  // namespace bftlab

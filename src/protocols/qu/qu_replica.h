@@ -1,0 +1,87 @@
+// Q/U-style replica + client (Abd-El-Malek et al., SOSP'05): optimistic
+// conflict-free execution (Design Choice 9, assumption a4). The CLIENT is
+// the proposer (P6): it broadcasts its operation to all n = 5f+1 replicas
+// and needs 4f+1 matching replies. Replicas execute immediately with NO
+// inter-replica communication — zero ordering phases — but REJECT an
+// operation that conflicts with another client's recent operation on the
+// same object; the client then backs off and retries.
+//
+// Substitution note (DESIGN.md §2): Q/U's versioned-object/replica-history
+// machinery is modeled by per-key conflict windows plus commutative (ADD)
+// operations, preserving the behaviour Design Choice 9 discusses: zero
+// ordering cost when conflict-free, collapse under contention.
+
+#ifndef BFTLAB_PROTOCOLS_QU_QU_REPLICA_H_
+#define BFTLAB_PROTOCOLS_QU_QU_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "protocols/common/cluster.h"
+#include "protocols/common/replica.h"
+#include "smr/client.h"
+
+namespace bftlab {
+
+struct QuOptions {
+  /// Two same-key operations by different clients within this window
+  /// conflict.
+  SimTime conflict_window_us = Millis(2);
+};
+
+class QuReplica : public Replica {
+ public:
+  QuReplica(ReplicaConfig config, std::unique_ptr<StateMachine> state_machine,
+            QuOptions options);
+
+  std::string name() const override { return "qu"; }
+  ReplicaId leader() const override { return kInvalidReplica; }  // None.
+
+  uint64_t conflicts_detected() const { return conflicts_; }
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId /*from*/, const MessagePtr& /*msg*/) override {}
+
+ private:
+  struct KeyState {
+    ClientId last_client = 0;
+    SimTime last_at = 0;
+  };
+
+  QuOptions options_;
+  std::map<std::string, KeyState> key_states_;
+  SequenceNumber local_seq_ = 0;  // Per-replica execution order.
+  uint64_t conflicts_ = 0;
+};
+
+/// Q/U client: broadcasts to all replicas, needs `quorum` (4f+1) matching
+/// non-conflict replies; on conflict indications it backs off with jitter
+/// and retries.
+class QuClient : public Client {
+ public:
+  QuClient(NodeId id, ClientConfig config, uint32_t f);
+
+  uint64_t backoffs() const { return backoffs_; }
+
+ protected:
+  void SubmitNext() override;
+  void HandleReply(const ReplyMessage& reply) override;
+  void OnTimer(uint64_t tag) override;
+
+ private:
+  uint32_t f_;
+  uint64_t backoffs_ = 0;
+  uint32_t conflict_replies_ = 0;
+  bool backing_off_ = false;
+  std::set<ReplicaId> ok_replicas_;
+};
+
+std::unique_ptr<Replica> MakeQuReplica(const ReplicaConfig& config);
+ReplicaFactory QuFactory(QuOptions options);
+ClientFactory QuClientFactory(uint32_t f);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_QU_QU_REPLICA_H_

@@ -1,0 +1,259 @@
+#include "protocols/sbft/sbft_replica.h"
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+SbftReplica::SbftReplica(ReplicaConfig config,
+                         std::unique_ptr<StateMachine> state_machine,
+                         SbftOptions options)
+    : Replica(config, std::move(state_machine)), options_(options) {}
+
+void SbftReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
+  if (IsLeader()) {
+    if (pending_requests() >= config().batch_size) {
+      ProposeAvailable();
+    } else if (batch_timer_ == kInvalidEvent) {
+      batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+    }
+    return;
+  }
+  if (IsClientNode(from)) {
+    Send(leader(), std::make_shared<RequestMessage>(request));
+  }
+}
+
+void SbftReplica::ProposeAvailable() {
+  if (!IsLeader()) return;
+  while (HasPending() && next_seq_ <= HighWatermark()) {
+    Batch batch = TakeBatch();
+    if (batch.requests.empty()) continue;
+    SequenceNumber seq = next_seq_++;
+
+    Instance& inst = instances_[seq];
+    inst.batch = batch;
+    inst.digest = batch.ComputeDigest();
+    inst.has_pre_prepare = true;
+    // The leader's own share.
+    inst.prepare_shares.insert(config().id);
+
+    auto msg = std::make_shared<SbftPrePrepareMessage>(view_, seq,
+                                                       std::move(batch));
+    ChargeAuthSend(n() - 1, msg->WireSize());
+    Multicast(OtherReplicas(), std::move(msg));
+
+    // τ3: detect non-responding backups; fall back to the slow path. The
+    // timer doubles as the retransmission driver for lossy networks, so
+    // it is armed even when the fast path is disabled.
+    inst.fast_timer =
+        SetTimer(options_.fast_path_timeout_us, kFastPathTimerBase + seq);
+  }
+}
+
+void SbftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kSbftPrePrepare:
+      HandlePrePrepare(from, static_cast<const SbftPrePrepareMessage&>(*msg));
+      break;
+    case kSbftPrepareShare:
+    case kSbftCommitShare:
+      HandleShare(from, static_cast<const SbftShareMessage&>(*msg));
+      break;
+    case kSbftPrepareProof:
+    case kSbftCommitProof:
+      HandleProof(from, static_cast<const SbftProofMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void SbftReplica::HandlePrePrepare(NodeId from,
+                                   const SbftPrePrepareMessage& msg) {
+  if (from != leader() || msg.view() != view_) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instances_[msg.seq()];
+  if (!inst.has_pre_prepare) {
+    inst.has_pre_prepare = true;
+    inst.batch = msg.batch();
+    inst.digest = msg.digest();
+    for (const ClientRequest& r : msg.batch().requests) {
+      RemoveFromPool(r.ComputeDigest());
+    }
+  } else if (inst.digest != msg.digest()) {
+    return;  // Conflicting retransmission: ignore.
+  }
+  // A duplicate means the leader is still waiting: our share was lost;
+  // (re-)send it. Linear prepare phase: share goes to the collector only.
+  crypto().Charge(crypto().cost_model().threshold_share_sign_us);
+  Send(leader(), std::make_shared<SbftShareMessage>(
+                     kSbftPrepareShare, view_, msg.seq(), msg.digest(),
+                     config().id));
+}
+
+void SbftReplica::HandleShare(NodeId /*from*/, const SbftShareMessage& msg) {
+  if (!IsLeader() || msg.view() != view_) return;
+  crypto().Charge(crypto().cost_model().verify_sig_us);  // Share check.
+
+  Instance& inst = instances_[msg.seq()];
+  if (!inst.has_pre_prepare || msg.digest() != inst.digest) return;
+
+  if (msg.type() == kSbftPrepareShare) {
+    if (inst.prepare_proof_sent) return;
+    inst.prepare_shares.insert(msg.replica());
+    if (options_.disable_fast_path) {
+      if (inst.prepare_shares.size() >= Quorum2f1()) {
+        SendPrepareProof(msg.seq(), /*full=*/false);
+      }
+    } else if (inst.prepare_shares.size() == n()) {
+      // Fast path (Design Choice 6): all replicas signed; skip commit.
+      CancelTimer(&inst.fast_timer);
+      SendPrepareProof(msg.seq(), /*full=*/true);
+    }
+    return;
+  }
+
+  // Commit shares (slow path only).
+  if (inst.commit_proof_sent) return;
+  inst.commit_shares.insert(msg.replica());
+  if (inst.commit_shares.size() >= Quorum2f1()) {
+    inst.commit_proof_sent = true;
+    crypto().Charge(crypto().cost_model().threshold_combine_per_share_us *
+                    Quorum2f1());
+    auto proof = std::make_shared<SbftProofMessage>(
+        kSbftCommitProof, view_, msg.seq(), inst.digest, false);
+    ChargeAuthSend(n() - 1, proof->WireSize());
+    Multicast(OtherReplicas(), std::move(proof));
+    Commit(msg.seq(), inst.batch, /*fast=*/false);
+  }
+}
+
+void SbftReplica::SendPrepareProof(SequenceNumber seq, bool full) {
+  Instance& inst = instances_[seq];
+  if (inst.prepare_proof_sent) return;
+  inst.prepare_proof_sent = true;
+  crypto().Charge(crypto().cost_model().threshold_combine_per_share_us *
+                  static_cast<double>(inst.prepare_shares.size()));
+  auto proof = std::make_shared<SbftProofMessage>(kSbftPrepareProof, view_,
+                                                  seq, inst.digest, full);
+  ChargeAuthSend(n() - 1, proof->WireSize());
+  Multicast(OtherReplicas(), std::move(proof));
+
+  if (full) {
+    Commit(seq, inst.batch, /*fast=*/true);
+  } else {
+    // Collector's own commit share.
+    inst.commit_shares.insert(config().id);
+  }
+}
+
+void SbftReplica::HandleProof(NodeId from, const SbftProofMessage& msg) {
+  if (from != leader() || msg.view() != view_) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  ChargeAuthVerify(msg.WireSize());
+
+  Instance& inst = instances_[msg.seq()];
+  if (!inst.has_pre_prepare || inst.digest != msg.digest()) return;
+
+  if (msg.type() == kSbftPrepareProof) {
+    if (msg.full()) {
+      Commit(msg.seq(), inst.batch, /*fast=*/true);
+    } else {
+      // Slow path: second linear round.
+      crypto().Charge(crypto().cost_model().threshold_share_sign_us);
+      Send(leader(), std::make_shared<SbftShareMessage>(
+                         kSbftCommitShare, view_, msg.seq(), msg.digest(),
+                         config().id));
+    }
+    return;
+  }
+  Commit(msg.seq(), inst.batch, /*fast=*/false);
+}
+
+void SbftReplica::Commit(SequenceNumber seq, const Batch& batch, bool fast) {
+  Instance& inst = instances_[seq];
+  if (inst.committed) return;
+  inst.committed = true;
+  CancelTimer(&inst.fast_timer);
+  if (fast) {
+    ++fast_commits_;
+    metrics().Increment("sbft.fast_commits");
+  } else {
+    ++slow_commits_;
+    metrics().Increment("sbft.slow_commits");
+  }
+  Deliver(seq, batch);
+}
+
+void SbftReplica::OnTimer(uint64_t tag) {
+  if (tag == kBatchTimer) {
+    batch_timer_ = kInvalidEvent;
+    ProposeAvailable();
+    return;
+  }
+  if (tag >= kFastPathTimerBase) {
+    SequenceNumber seq = tag - kFastPathTimerBase;
+    auto it = instances_.find(seq);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    inst.fast_timer = kInvalidEvent;
+    if (inst.committed) return;
+
+    if (!inst.prepare_proof_sent) {
+      if (!options_.disable_fast_path &&
+          inst.prepare_shares.size() >= Quorum2f1()) {
+        // τ3 fired before all shares arrived: fall back (DC6).
+        metrics().Increment("sbft.fallbacks");
+        SendPrepareProof(seq, /*full=*/false);
+      } else {
+        // Below a quorum: the pre-prepare likely got lost; retransmit.
+        metrics().Increment("sbft.retransmissions");
+        auto pp =
+            std::make_shared<SbftPrePrepareMessage>(view_, seq, inst.batch);
+        ChargeAuthSend(n() - 1, pp->WireSize());
+        Multicast(OtherReplicas(), std::move(pp));
+      }
+    } else if (!inst.commit_proof_sent) {
+      // Slow path stuck waiting for commit shares: re-send the prepare
+      // proof so replicas that missed it re-issue their shares.
+      metrics().Increment("sbft.retransmissions");
+      auto proof = std::make_shared<SbftProofMessage>(
+          kSbftPrepareProof, view_, seq, inst.digest, false);
+      ChargeAuthSend(n() - 1, proof->WireSize());
+      Multicast(OtherReplicas(), std::move(proof));
+    } else {
+      // Commit proof sent but some replica may have missed it; re-send.
+      metrics().Increment("sbft.retransmissions");
+      auto proof = std::make_shared<SbftProofMessage>(
+          kSbftCommitProof, view_, seq, inst.digest, false);
+      ChargeAuthSend(n() - 1, proof->WireSize());
+      Multicast(OtherReplicas(), std::move(proof));
+    }
+    if (!inst.committed) {
+      inst.fast_timer =
+          SetTimer(options_.fast_path_timeout_us, kFastPathTimerBase + seq);
+    }
+  }
+}
+
+std::unique_ptr<Replica> MakeSbftReplica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  cfg.auth = AuthScheme::kThreshold;
+  return std::make_unique<SbftReplica>(
+      cfg, std::make_unique<KvStateMachine>(), SbftOptions());
+}
+
+ReplicaFactory SbftFactory(SbftOptions options) {
+  return [options](const ReplicaConfig& config) {
+    ReplicaConfig cfg = config;
+    cfg.auth = AuthScheme::kThreshold;
+    return std::make_unique<SbftReplica>(
+        cfg, std::make_unique<KvStateMachine>(), options);
+  };
+}
+
+}  // namespace bftlab

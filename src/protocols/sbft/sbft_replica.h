@@ -1,0 +1,217 @@
+// SBFT replica (Gueta et al., DSN'19): the linearization of PBFT (Design
+// Choice 1) plus optimistic phase reduction (Design Choice 6). All
+// agreement phases go replica -> collector -> replicas (star topology,
+// E2) carrying threshold signatures (E3).
+//
+// Fast path: the collector (leader) waits for signature shares from ALL
+// 3f+1 replicas; the resulting full proof lets replicas commit
+// immediately, eliminating the commit phase. If fewer than 3f+1 (but at
+// least 2f+1) shares arrive before timer τ3 fires, SBFT falls back to the
+// slow path: a 2f+1 prepare proof followed by an explicit linear commit
+// phase.
+//
+// Scope note (DESIGN.md): stable-leader view change is not implemented;
+// experiments exercise the fast/slow path trade-off (X6).
+
+#ifndef BFTLAB_PROTOCOLS_SBFT_SBFT_REPLICA_H_
+#define BFTLAB_PROTOCOLS_SBFT_SBFT_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "protocols/common/replica.h"
+
+namespace bftlab {
+
+enum SbftMessageType : uint32_t {
+  kSbftPrePrepare = 180,
+  kSbftPrepareShare = 181,
+  kSbftPrepareProof = 182,
+  kSbftCommitShare = 183,
+  kSbftCommitProof = 184,
+};
+
+class SbftPrePrepareMessage : public Message {
+ public:
+  SbftPrePrepareMessage(ViewNumber view, SequenceNumber seq, Batch batch)
+      : view_(view), seq_(seq), batch_(std::move(batch)),
+        digest_(batch_.ComputeDigest()) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Batch& batch() const { return batch_; }
+  const Digest& digest() const { return digest_; }
+
+  uint32_t type() const override { return kSbftPrePrepare; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kSbftPrePrepare);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    batch_.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + batch_.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "SBFT-PREPREPARE{v=" << view_ << " seq=" << seq_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Batch batch_;
+  Digest digest_;
+};
+
+/// A signature share sent to the collector (prepare or commit stage).
+class SbftShareMessage : public Message {
+ public:
+  SbftShareMessage(uint32_t type_tag, ViewNumber view, SequenceNumber seq,
+                   Digest digest, ReplicaId replica)
+      : type_tag_(type_tag), view_(view), seq_(seq), digest_(digest),
+        replica_(replica) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return type_tag_; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(type_tag_);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kThresholdSigBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << (type_tag_ == kSbftPrepareShare ? "SBFT-PREP-SHARE"
+                                          : "SBFT-COMMIT-SHARE")
+       << "{seq=" << seq_ << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  uint32_t type_tag_;
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+  ReplicaId replica_;
+};
+
+/// Collector's combined proof. For the prepare stage, `full` marks the
+/// 3f+1 fast-path proof (commit immediately); otherwise replicas proceed
+/// to the commit stage.
+class SbftProofMessage : public Message {
+ public:
+  SbftProofMessage(uint32_t type_tag, ViewNumber view, SequenceNumber seq,
+                   Digest digest, bool full)
+      : type_tag_(type_tag), view_(view), seq_(seq), digest_(digest),
+        full_(full) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber seq() const { return seq_; }
+  const Digest& digest() const { return digest_; }
+  bool full() const { return full_; }
+
+  uint32_t type() const override { return type_tag_; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(type_tag_);
+    enc->PutU64(view_);
+    enc->PutU64(seq_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutBool(full_);
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + kThresholdSigBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << (type_tag_ == kSbftPrepareProof ? "SBFT-PREP-PROOF"
+                                          : "SBFT-COMMIT-PROOF")
+       << "{seq=" << seq_ << (full_ ? " full" : "") << "}";
+    return os.str();
+  }
+
+ private:
+  uint32_t type_tag_;
+  ViewNumber view_;
+  SequenceNumber seq_;
+  Digest digest_;
+  bool full_;
+};
+
+struct SbftOptions {
+  /// τ3: how long the collector waits for ALL shares before falling back.
+  SimTime fast_path_timeout_us = Millis(20);
+  /// Force the slow path (for ablation benches).
+  bool disable_fast_path = false;
+};
+
+class SbftReplica : public Replica {
+ public:
+  SbftReplica(ReplicaConfig config,
+              std::unique_ptr<StateMachine> state_machine,
+              SbftOptions options);
+
+  std::string name() const override { return "sbft"; }
+  ViewNumber view() const override { return view_; }
+  ReplicaId leader() const override {
+    return static_cast<ReplicaId>(view_ % n());
+  }
+
+  uint64_t fast_commits() const { return fast_commits_; }
+  uint64_t slow_commits() const { return slow_commits_; }
+
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+
+  static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
+  /// τ3 timers are (kFastPathTimerBase + seq).
+  static constexpr uint64_t kFastPathTimerBase = kProtocolTimerBase + 1000;
+
+ private:
+  struct Instance {
+    Batch batch;
+    Digest digest;
+    bool has_pre_prepare = false;
+    std::set<ReplicaId> prepare_shares;
+    std::set<ReplicaId> commit_shares;
+    bool prepare_proof_sent = false;
+    bool commit_proof_sent = false;
+    bool committed = false;
+    EventId fast_timer = kInvalidEvent;
+  };
+
+  void ProposeAvailable();
+  void HandlePrePrepare(NodeId from, const SbftPrePrepareMessage& msg);
+  void HandleShare(NodeId from, const SbftShareMessage& msg);
+  void HandleProof(NodeId from, const SbftProofMessage& msg);
+  void SendPrepareProof(SequenceNumber seq, bool full);
+  void Commit(SequenceNumber seq, const Batch& batch, bool fast);
+
+  SbftOptions options_;
+  ViewNumber view_ = 0;
+  SequenceNumber next_seq_ = 1;
+  std::map<SequenceNumber, Instance> instances_;
+  EventId batch_timer_ = kInvalidEvent;
+  uint64_t fast_commits_ = 0;
+  uint64_t slow_commits_ = 0;
+};
+
+std::unique_ptr<Replica> MakeSbftReplica(const ReplicaConfig& config);
+ReplicaFactory SbftFactory(SbftOptions options);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_SBFT_SBFT_REPLICA_H_

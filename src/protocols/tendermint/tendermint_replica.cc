@@ -1,0 +1,268 @@
+#include "protocols/tendermint/tendermint_replica.h"
+
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+TendermintReplica::TendermintReplica(
+    ReplicaConfig config, std::unique_ptr<StateMachine> state_machine,
+    TendermintOptions options)
+    : Replica(config, std::move(state_machine)), options_(options) {}
+
+void TendermintReplica::Start() { EnterHeight(1); }
+
+void TendermintReplica::EnterHeight(SequenceNumber h) {
+  height_ = h;
+  round_ = 0;
+  proposed_ = false;
+  prevoted_ = false;
+  precommitted_ = false;
+  locked_ = Digest();
+  locked_round_ = 0;
+  height_blocks_.clear();
+  prevotes_.Clear();
+  precommits_.Clear();
+  CancelTimer(&propose_timer_);
+  CancelTimer(&round_timer_);
+  height_entered_at_ = Now();
+  if (ProposerOf(height_, round_) == config().id) ScheduleProposal();
+  ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::ScheduleProposal() {
+  if (proposed_ || propose_timer_ != kInvalidEvent) return;
+  if (byzantine_mode() == ByzantineMode::kCrashSilent) return;
+
+  // Non-responsiveness (Design Choice 4): the proposer of a new height
+  // must wait Δ so slow-but-correct replicas' precommits arrive, unless
+  // it can prove it already has the decided value (skip optimization).
+  SimTime wait = options_.commit_wait_us;
+  if (options_.leader_in_quorum_skip && was_in_last_quorum_) {
+    wait = 0;
+    metrics().Increment("tendermint.delta_wait_skipped");
+  }
+  SimTime elapsed = Now() - height_entered_at_;
+  wait = elapsed >= wait ? 0 : wait - elapsed;
+  if (wait == 0 && round_ > 0) wait = 0;  // Round re-proposals: immediate.
+  propose_timer_ = SetTimer(wait, kProposeTimer);
+}
+
+void TendermintReplica::ProposeNow() {
+  if (proposed_) return;
+  if (ProposerOf(height_, round_) != config().id) return;
+
+  Batch batch;
+  if (!locked_.IsZero()) {
+    auto it = height_blocks_.find(locked_);
+    if (it == height_blocks_.end()) return;  // Cannot honor the lock.
+    batch = it->second;
+  } else {
+    if (!HasPending()) return;  // Nothing to decide at this height yet.
+    batch = TakeBatch();
+  }
+  if (batch.requests.empty() && locked_.IsZero()) return;
+
+  proposed_ = true;
+  auto msg =
+      std::make_shared<TmProposalMessage>(height_, round_, std::move(batch));
+  height_blocks_[msg->digest()] = msg->batch();
+  ChargeAuthSend(n() - 1, msg->WireSize());
+  metrics().Increment("tendermint.proposals");
+  Digest digest = msg->digest();
+  Multicast(OtherReplicas(), std::move(msg));
+  // Proposer prevotes its own proposal.
+  if (!prevoted_) {
+    prevoted_ = true;
+    BroadcastVote(kTmPrevote, digest);
+  }
+  ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::OnClientRequest(NodeId /*from*/,
+                                        const ClientRequest& /*request*/) {
+  if (ProposerOf(height_, round_) == config().id && !proposed_) {
+    ScheduleProposal();
+  }
+  ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::ArmRoundTimerIfNeeded() {
+  // τ4: only watch rounds while there is something to decide; otherwise
+  // the system idles without view churn.
+  if (round_timer_ != kInvalidEvent) return;
+  if (!HasPending() && height_blocks_.empty()) return;
+  round_timer_ = SetTimer(options_.round_timeout_us, kRoundTimer);
+}
+
+void TendermintReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case kTmProposal:
+      HandleProposal(from, static_cast<const TmProposalMessage&>(*msg));
+      break;
+    case kTmPrevote:
+    case kTmPrecommit:
+      HandleVote(from, static_cast<const TmVoteMessage&>(*msg));
+      break;
+    case kTmDecision:
+      HandleDecision(from, static_cast<const TmDecisionMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void TendermintReplica::MaybeServeCatchUp(NodeId peer,
+                                          SequenceNumber stale_height) {
+  // A peer is still voting in a height we already decided: send it the
+  // decision (with its precommit certificate) so it can rejoin.
+  auto it = decided_log_.find(stale_height);
+  if (it == decided_log_.end()) return;
+  if (Now() - last_catch_up_sent_ < Millis(20) && Now() != 0) return;
+  last_catch_up_sent_ = Now();
+  metrics().Increment("tendermint.catch_ups_served");
+  Send(peer, std::make_shared<TmDecisionMessage>(stale_height, it->second,
+                                                 Quorum2f1()));
+}
+
+void TendermintReplica::HandleDecision(NodeId /*from*/,
+                                       const TmDecisionMessage& msg) {
+  if (msg.height() != height_) return;
+  ChargeAuthVerify(msg.WireSize());
+  metrics().Increment("tendermint.catch_ups_applied");
+  Batch batch = msg.batch();
+  decided_log_[height_] = batch;
+  Deliver(height_, std::move(batch));
+  EnterHeight(height_ + 1);
+  if (HasPending()) ScheduleProposal();
+}
+
+void TendermintReplica::HandleProposal(NodeId from,
+                                       const TmProposalMessage& msg) {
+  if (msg.height() < height_) {
+    MaybeServeCatchUp(from, msg.height());
+    return;
+  }
+  if (msg.height() != height_) return;
+  if (from != ProposerOf(msg.height(), msg.round())) return;
+  ChargeAuthVerify(msg.WireSize());
+  height_blocks_[msg.digest()] = msg.batch();
+  for (const ClientRequest& r : msg.batch().requests) {
+    RemoveFromPool(r.ComputeDigest());
+  }
+  ArmRoundTimerIfNeeded();
+  if (msg.round() != round_ || prevoted_) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+
+  // Vote rule: honor the lock.
+  if (!locked_.IsZero() && locked_ != msg.digest()) {
+    prevoted_ = true;
+    BroadcastVote(kTmPrevote, Digest());  // nil
+    return;
+  }
+  prevoted_ = true;
+  BroadcastVote(kTmPrevote, msg.digest());
+}
+
+void TendermintReplica::BroadcastVote(uint32_t type_tag,
+                                      const Digest& digest) {
+  auto vote = std::make_shared<TmVoteMessage>(type_tag, height_, round_,
+                                              digest, config().id);
+  ChargeAuthSend(n() - 1, vote->WireSize());
+  Multicast(OtherReplicas(), vote);
+  HandleVote(config().id, *vote);  // Count own vote.
+}
+
+void TendermintReplica::HandleVote(NodeId from, const TmVoteMessage& msg) {
+  if (msg.height() < height_ && from != config().id) {
+    MaybeServeCatchUp(from, msg.height());
+    return;
+  }
+  if (msg.height() != height_) return;
+  if (from != config().id) ChargeAuthVerify(msg.WireSize());
+
+  auto key = std::make_tuple(msg.height(), msg.round(), msg.digest());
+  if (msg.type() == kTmPrevote) {
+    size_t count = prevotes_.Add(key, msg.replica());
+    // Polka: 2f+1 prevotes for a value -> lock it and precommit.
+    if (!msg.IsNil() && count >= Quorum2f1() && msg.round() == round_ &&
+        !precommitted_) {
+      locked_ = msg.digest();
+      locked_round_ = msg.round();
+      precommitted_ = true;
+      if (byzantine_mode() != ByzantineMode::kSilentBackup) {
+        BroadcastVote(kTmPrecommit, msg.digest());
+      }
+    }
+  } else {
+    size_t count = precommits_.Add(key, msg.replica());
+    if (!msg.IsNil() && count >= Quorum2f1()) {
+      was_in_last_quorum_ =
+          precommits_.Voters(key).count(config().id) > 0;
+      CommitDecision(msg.digest());
+    }
+  }
+}
+
+void TendermintReplica::CommitDecision(const Digest& digest) {
+  auto it = height_blocks_.find(digest);
+  if (it == height_blocks_.end()) return;  // Block body not yet seen.
+  metrics().Increment("tendermint.heights_decided");
+  decided_log_[height_] = it->second;
+  // Bounded catch-up history.
+  while (decided_log_.size() > 64) decided_log_.erase(decided_log_.begin());
+  Deliver(height_, it->second);
+  EnterHeight(height_ + 1);
+  // New height: the (possibly different) proposer starts after Δ.
+  if (HasPending()) ScheduleProposal();
+}
+
+void TendermintReplica::AdvanceRound() {
+  ++round_;
+  ++rounds_wasted_;
+  metrics().Increment("tendermint.rounds_wasted");
+  proposed_ = false;
+  prevoted_ = false;
+  precommitted_ = false;
+  CancelTimer(&propose_timer_);
+  if (ProposerOf(height_, round_) == config().id) {
+    ScheduleProposal();
+  }
+  ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::OnStateTransferComplete(SequenceNumber seq) {
+  // Heights are sequence numbers: a state transfer to seq means heights
+  // <= seq are decided elsewhere; rejoin consensus at the next height.
+  if (seq + 1 > height_) EnterHeight(seq + 1);
+}
+
+void TendermintReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kProposeTimer:
+      propose_timer_ = kInvalidEvent;
+      ProposeNow();
+      break;
+    case kRoundTimer:
+      round_timer_ = kInvalidEvent;
+      AdvanceRound();
+      break;
+    default:
+      break;
+  }
+}
+
+std::unique_ptr<Replica> MakeTendermintReplica(const ReplicaConfig& config) {
+  return std::make_unique<TendermintReplica>(
+      config, std::make_unique<KvStateMachine>(), TendermintOptions());
+}
+
+ReplicaFactory TendermintFactory(TendermintOptions options) {
+  return [options](const ReplicaConfig& config) {
+    return std::make_unique<TendermintReplica>(
+        config, std::make_unique<KvStateMachine>(), options);
+  };
+}
+
+}  // namespace bftlab

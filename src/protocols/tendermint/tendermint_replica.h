@@ -1,0 +1,224 @@
+// Tendermint-style replica (Buchman/Kwon): pessimistic commitment (P1),
+// rotating proposer per height/round (P3) with NO extra ordering phase —
+// instead the new proposer waits a predefined bound Δ before proposing,
+// sacrificing responsiveness (E4, Design Choice 4). Clique topology for
+// prevote/precommit (E2), quorum-construction timeouts τ4 and view-
+// synchronization timer τ5.
+//
+// The optimization from Design Choice 4 / HotStuff-2 is available: a
+// proposer that was itself in the precommit quorum of the previous height
+// already knows the highest decided value and may skip the Δ wait.
+
+#ifndef BFTLAB_PROTOCOLS_TENDERMINT_TENDERMINT_REPLICA_H_
+#define BFTLAB_PROTOCOLS_TENDERMINT_TENDERMINT_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "protocols/common/quorum.h"
+#include "protocols/common/replica.h"
+
+namespace bftlab {
+
+enum TendermintMessageType : uint32_t {
+  kTmProposal = 140,
+  kTmPrevote = 141,
+  kTmPrecommit = 142,
+  kTmDecision = 143,
+};
+
+/// Proposer's block for (height, round).
+class TmProposalMessage : public Message {
+ public:
+  TmProposalMessage(SequenceNumber height, uint32_t round, Batch batch)
+      : height_(height), round_(round), batch_(std::move(batch)),
+        digest_(batch_.ComputeDigest()) {}
+
+  SequenceNumber height() const { return height_; }
+  uint32_t round() const { return round_; }
+  const Batch& batch() const { return batch_; }
+  const Digest& digest() const { return digest_; }
+
+  uint32_t type() const override { return kTmProposal; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kTmProposal);
+    enc->PutU64(height_);
+    enc->PutU32(round_);
+    batch_.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    return kSignatureBytes + batch_.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "TM-PROPOSAL{h=" << height_ << " r=" << round_
+       << " reqs=" << batch_.requests.size() << "}";
+    return os.str();
+  }
+
+ private:
+  SequenceNumber height_;
+  uint32_t round_;
+  Batch batch_;
+  Digest digest_;
+};
+
+/// Prevote or precommit for (height, round, digest); zero digest = nil.
+class TmVoteMessage : public Message {
+ public:
+  TmVoteMessage(uint32_t type_tag, SequenceNumber height, uint32_t round,
+                Digest digest, ReplicaId replica)
+      : type_tag_(type_tag), height_(height), round_(round), digest_(digest),
+        replica_(replica) {}
+
+  SequenceNumber height() const { return height_; }
+  uint32_t round() const { return round_; }
+  const Digest& digest() const { return digest_; }
+  ReplicaId replica() const { return replica_; }
+  bool IsNil() const { return digest_.IsZero(); }
+
+  uint32_t type() const override { return type_tag_; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(type_tag_);
+    enc->PutU64(height_);
+    enc->PutU32(round_);
+    enc->PutRaw(digest_.AsSlice());
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kSignatureBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << (type_tag_ == kTmPrevote ? "TM-PREVOTE" : "TM-PRECOMMIT")
+       << "{h=" << height_ << " r=" << round_
+       << (IsNil() ? " nil" : "") << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  uint32_t type_tag_;
+  SequenceNumber height_;
+  uint32_t round_;
+  Digest digest_;
+  ReplicaId replica_;
+};
+
+/// Catch-up: the decided block of an already-committed height, sent to
+/// replicas still voting in it. Carries (size-accounted) the 2f+1
+/// precommit certificate proving the decision.
+class TmDecisionMessage : public Message {
+ public:
+  TmDecisionMessage(SequenceNumber height, Batch batch, uint32_t quorum)
+      : height_(height), batch_(std::move(batch)), quorum_(quorum) {}
+
+  SequenceNumber height() const { return height_; }
+  const Batch& batch() const { return batch_; }
+
+  uint32_t type() const override { return kTmDecision; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kTmDecision);
+    enc->PutU64(height_);
+    batch_.EncodeTo(enc);
+  }
+  size_t auth_wire_bytes() const override {
+    return (quorum_ + 1) * kSignatureBytes +
+           batch_.requests.size() * kSignatureBytes;
+  }
+  std::string DebugString() const override {
+    return "TM-DECISION{h=" + std::to_string(height_) + "}";
+  }
+
+ private:
+  SequenceNumber height_;
+  Batch batch_;
+  uint32_t quorum_;
+};
+
+struct TendermintOptions {
+  /// Δ: the predefined wait before a proposer initiates the next height.
+  SimTime commit_wait_us = Millis(50);
+  /// τ4: prevote/precommit quorum-construction timeout per round.
+  SimTime round_timeout_us = Millis(400);
+  /// Optimization: skip the Δ wait when this proposer was in the
+  /// precommit quorum of the previous height.
+  bool leader_in_quorum_skip = false;
+};
+
+class TendermintReplica : public Replica {
+ public:
+  TendermintReplica(ReplicaConfig config,
+                    std::unique_ptr<StateMachine> state_machine,
+                    TendermintOptions options);
+
+  std::string name() const override { return "tendermint"; }
+  /// Height doubles as the view for reply purposes.
+  ViewNumber view() const override { return height_; }
+  ReplicaId leader() const override { return ProposerOf(height_, round_); }
+  ReplicaId ProposerOf(SequenceNumber h, uint32_t r) const {
+    return static_cast<ReplicaId>((h + r) % n());
+  }
+
+  SequenceNumber height() const { return height_; }
+  uint32_t round() const { return round_; }
+  uint64_t rounds_wasted() const { return rounds_wasted_; }
+
+  void Start() override;
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnStateTransferComplete(SequenceNumber seq) override;
+
+  static constexpr uint64_t kProposeTimer = kProtocolTimerBase + 0;
+  static constexpr uint64_t kRoundTimer = kProtocolTimerBase + 1;
+
+ private:
+  void HandleProposal(NodeId from, const TmProposalMessage& msg);
+  void HandleVote(NodeId from, const TmVoteMessage& msg);
+  void HandleDecision(NodeId from, const TmDecisionMessage& msg);
+  /// Serves the decided block when a peer is stuck in an old height.
+  void MaybeServeCatchUp(NodeId peer, SequenceNumber stale_height);
+
+  /// Schedules this replica's proposal for the current (height, round),
+  /// honoring the Δ wait (or skipping it under the optimization).
+  void ScheduleProposal();
+  void ProposeNow();
+  void BroadcastVote(uint32_t type_tag, const Digest& digest);
+  void AdvanceRound();
+  void CommitDecision(const Digest& digest);
+  void EnterHeight(SequenceNumber h);
+  void ArmRoundTimerIfNeeded();
+
+  TendermintOptions options_;
+  SequenceNumber height_ = 1;
+  uint32_t round_ = 0;
+  SimTime height_entered_at_ = 0;
+
+  bool proposed_ = false;
+  bool prevoted_ = false;
+  bool precommitted_ = false;
+  Digest locked_;          // Zero = unlocked.
+  uint32_t locked_round_ = 0;
+  bool was_in_last_quorum_ = false;  // For the skip optimization.
+
+  std::map<Digest, Batch> height_blocks_;  // Proposals seen this height.
+  std::map<SequenceNumber, Batch> decided_log_;  // For catch-up service.
+  SimTime last_catch_up_sent_ = 0;
+  QuorumTracker<std::tuple<SequenceNumber, uint32_t, Digest>> prevotes_;
+  QuorumTracker<std::tuple<SequenceNumber, uint32_t, Digest>> precommits_;
+
+  EventId propose_timer_ = kInvalidEvent;
+  EventId round_timer_ = kInvalidEvent;
+  uint64_t rounds_wasted_ = 0;
+};
+
+std::unique_ptr<Replica> MakeTendermintReplica(const ReplicaConfig& config);
+/// Factory with explicit options (benches sweep commit_wait_us).
+ReplicaFactory TendermintFactory(TendermintOptions options);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_TENDERMINT_TENDERMINT_REPLICA_H_

@@ -1,0 +1,164 @@
+// Themis-style replica (Kelkar et al.): order-fairness (Q1, Design
+// Choice 13) layered on PBFT. Clients broadcast requests to ALL
+// replicas; every replica records its local receive order and, each
+// preordering round (timer τ6), reports that order to the leader. The
+// leader may only propose batches that follow the FAIR MERGE (median
+// receive rank) of n-f reports, and must broadcast the reports bundle it
+// used; backups recompute the fair order and REJECT deviating proposals,
+// so a reordering Byzantine leader loses its quorum and is replaced via
+// the inherited PBFT view change. Requires n >= 4f+1 for γ -> 1
+// (footnote 1 of the paper); quorums scale via AgreementQuorum().
+
+#ifndef BFTLAB_PROTOCOLS_THEMIS_THEMIS_REPLICA_H_
+#define BFTLAB_PROTOCOLS_THEMIS_THEMIS_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "protocols/pbft/pbft_replica.h"
+
+namespace bftlab {
+
+enum ThemisMessageType : uint32_t {
+  kThemisOrderReport = 250,
+  kThemisBundle = 251,
+};
+
+/// One replica's local receive order for its pooled requests.
+class ThemisOrderReportMessage : public Message {
+ public:
+  ThemisOrderReportMessage(uint64_t round, ReplicaId replica,
+                           std::vector<Digest> order)
+      : round_(round), replica_(replica), order_(std::move(order)) {}
+
+  uint64_t round() const { return round_; }
+  ReplicaId replica() const { return replica_; }
+  const std::vector<Digest>& order() const { return order_; }
+
+  uint32_t type() const override { return kThemisOrderReport; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kThemisOrderReport);
+    enc->PutU64(round_);
+    enc->PutU32(replica_);
+    enc->PutU32(static_cast<uint32_t>(order_.size()));
+    for (const Digest& d : order_) enc->PutRaw(d.AsSlice());
+  }
+  size_t auth_wire_bytes() const override { return kSignatureBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "THEMIS-REPORT{round=" << round_ << " replica=" << replica_
+       << " reqs=" << order_.size() << "}";
+    return os.str();
+  }
+
+ private:
+  uint64_t round_;
+  ReplicaId replica_;
+  std::vector<Digest> order_;
+};
+
+/// The reports bundle justifying the leader's proposal at `seq`; backups
+/// verify that proposal's fair order against it.
+class ThemisBundleMessage : public Message {
+ public:
+  ThemisBundleMessage(uint64_t round, SequenceNumber seq,
+                      std::map<ReplicaId, std::vector<Digest>> reports)
+      : round_(round), seq_(seq), reports_(std::move(reports)) {}
+
+  uint64_t round() const { return round_; }
+  SequenceNumber seq() const { return seq_; }
+  const std::map<ReplicaId, std::vector<Digest>>& reports() const {
+    return reports_;
+  }
+
+  uint32_t type() const override { return kThemisBundle; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kThemisBundle);
+    enc->PutU64(round_);
+    enc->PutU64(seq_);
+    enc->PutU32(static_cast<uint32_t>(reports_.size()));
+    for (const auto& [replica, order] : reports_) {
+      enc->PutU32(replica);
+      enc->PutU32(static_cast<uint32_t>(order.size()));
+      for (const Digest& d : order) enc->PutRaw(d.AsSlice());
+    }
+  }
+  size_t auth_wire_bytes() const override {
+    // Leader signature + one signature per embedded report.
+    return kSignatureBytes * (1 + reports_.size());
+  }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "THEMIS-BUNDLE{round=" << round_ << " reports=" << reports_.size()
+       << "}";
+    return os.str();
+  }
+
+ private:
+  uint64_t round_;
+  SequenceNumber seq_;
+  std::map<ReplicaId, std::vector<Digest>> reports_;
+};
+
+struct ThemisOptions {
+  /// τ6: preordering round length.
+  SimTime round_us = Millis(5);
+  /// Order-fairness parameter γ in (0.5, 1]: fraction of the n-f reports
+  /// a request must appear in before it is orderable.
+  double gamma = 0.75;
+};
+
+class ThemisReplica : public PbftReplica {
+ public:
+  ThemisReplica(ReplicaConfig config,
+                std::unique_ptr<StateMachine> state_machine,
+                ThemisOptions options);
+
+  std::string name() const override { return "themis"; }
+
+  void Start() override;
+  void OnTimer(uint64_t tag) override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  Batch SelectBatch() override;
+  bool ValidateProposal(const PrePrepareMessage& msg) override;
+  void OnRequestExecuted(const ClientRequest& request,
+                         bool speculative) override;
+
+  static constexpr uint64_t kRoundTimer = kProtocolTimerBase + 50;
+
+ private:
+  /// Deterministic fair merge: requests appearing in >= threshold of the
+  /// reports, ordered by median receive rank (ties by digest).
+  std::vector<Digest> FairOrder(
+      const std::map<ReplicaId, std::vector<Digest>>& reports) const;
+  void SendOrderReport();
+
+  ThemisOptions options_;
+  uint64_t round_ = 0;
+  uint64_t arrival_counter_ = 0;
+  std::map<Digest, uint64_t> arrival_rank_;   // Local receive order.
+  std::vector<Digest> arrival_sequence_;      // Pooled digests in order.
+
+  // Leader: freshest report per replica.
+  std::map<ReplicaId, std::vector<Digest>> latest_reports_;
+  // Backup: bundles keyed by the sequence number they justify.
+  std::map<SequenceNumber, std::map<ReplicaId, std::vector<Digest>>>
+      bundles_;
+  // Proposals that raced ahead of their bundle (jitter reordering).
+  std::vector<std::pair<NodeId, MessagePtr>> buffered_proposals_;
+  // Censorship detection: when each pooled request first arrived here.
+  std::map<Digest, SimTime> arrival_time_;
+};
+
+std::unique_ptr<Replica> MakeThemisReplica(const ReplicaConfig& config);
+ReplicaFactory ThemisFactory(ThemisOptions options);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_THEMIS_THEMIS_REPLICA_H_

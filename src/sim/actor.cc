@@ -1,0 +1,32 @@
+#include "sim/actor.h"
+
+#include "sim/network.h"
+
+namespace bftlab {
+
+void Actor::Send(NodeId to, MessagePtr msg) {
+  network_->Send(id_, to, std::move(msg));
+}
+
+void Actor::Multicast(const std::vector<NodeId>& dests, MessagePtr msg) {
+  for (NodeId to : dests) {
+    network_->Send(id_, to, msg);
+  }
+}
+
+EventId Actor::SetTimer(SimTime delay, uint64_t tag) {
+  return network_->SetTimer(id_, delay, tag);
+}
+
+void Actor::CancelTimer(EventId* id) {
+  if (*id != kInvalidEvent) {
+    network_->CancelTimer(*id);
+    *id = kInvalidEvent;
+  }
+}
+
+SimTime Actor::Now() const { return network_->now(); }
+
+MetricsCollector& Actor::metrics() { return network_->metrics(); }
+
+}  // namespace bftlab

@@ -1,0 +1,82 @@
+// Actor: base class for every simulated node (replicas and clients).
+// Subclasses implement OnMessage/OnTimer; the Network drives them.
+
+#ifndef BFTLAB_SIM_ACTOR_H_
+#define BFTLAB_SIM_ACTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/keystore.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace bftlab {
+
+class Network;
+class MetricsCollector;
+
+/// A node in the simulation. Lifecycle: constructed, registered with a
+/// Network (which binds crypto/rng), Start()ed, then driven by messages
+/// and timers until the run ends.
+class Actor {
+ public:
+  explicit Actor(NodeId id) : id_(id) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Called once when the simulation starts.
+  virtual void Start() {}
+
+  /// Called for each delivered message.
+  virtual void OnMessage(NodeId from, const MessagePtr& msg) = 0;
+
+  /// Called when a timer set via SetTimer fires.
+  virtual void OnTimer(uint64_t tag) { (void)tag; }
+
+  /// Called after the network Restart()s this node following a crash.
+  virtual void OnRestart() {}
+
+ protected:
+  /// Sends `msg` to `to`; buffered until the current handler completes.
+  void Send(NodeId to, MessagePtr msg);
+
+  /// Sends `msg` to every destination (including self if listed).
+  void Multicast(const std::vector<NodeId>& dests, MessagePtr msg);
+
+  /// Arms a timer; returns a handle for CancelTimer.
+  EventId SetTimer(SimTime delay, uint64_t tag);
+
+  /// Cancels a timer and clears the handle.
+  void CancelTimer(EventId* id);
+
+  SimTime Now() const;
+  CryptoContext& crypto() { return *crypto_; }
+  Rng& rng() { return *rng_; }
+  MetricsCollector& metrics();
+  Network* network() { return network_; }
+
+ private:
+  friend class Network;
+  void Bind(Network* network, std::unique_ptr<CryptoContext> crypto, Rng rng) {
+    network_ = network;
+    crypto_ = std::move(crypto);
+    rng_.emplace(rng);
+  }
+
+  NodeId id_;
+  Network* network_ = nullptr;
+  std::unique_ptr<CryptoContext> crypto_;
+  std::optional<Rng> rng_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SIM_ACTOR_H_

@@ -1,0 +1,64 @@
+// Abstract wire message. Every protocol message derives from Message and
+// provides binary encoding (used both for hashing/authentication and for
+// wire-size accounting) plus a debug rendering for traces.
+
+#ifndef BFTLAB_SIM_MESSAGE_H_
+#define BFTLAB_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/codec.h"
+
+namespace bftlab {
+
+/// Base class for all messages exchanged between simulated nodes.
+///
+/// Messages are immutable once sent; the simulator passes them by
+/// shared_ptr-to-const, while wire size is accounted from the encoding
+/// (plus any authentication overhead reported by auth_wire_bytes()).
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Protocol-scoped message type tag (each protocol defines an enum).
+  virtual uint32_t type() const = 0;
+
+  /// Serializes the message body (excluding authentication tags).
+  virtual void EncodeTo(Encoder* enc) const = 0;
+
+  /// Extra bytes of authentication data carried on the wire
+  /// (signatures, MAC authenticators, threshold signatures).
+  virtual size_t auth_wire_bytes() const { return 0; }
+
+  /// Short human-readable rendering used in traces and test failures.
+  virtual std::string DebugString() const = 0;
+
+  /// Total accounted wire size: encoded body + authentication bytes.
+  size_t WireSize() const {
+    if (cached_size_ == 0) {
+      Encoder enc;
+      EncodeTo(&enc);
+      cached_size_ = enc.size() + auth_wire_bytes();
+    }
+    return cached_size_;
+  }
+
+  /// Canonical encoded body bytes (what gets hashed/signed).
+  Buffer EncodedBody() const {
+    Encoder enc;
+    EncodeTo(&enc);
+    return enc.Take();
+  }
+
+ private:
+  mutable size_t cached_size_ = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SIM_MESSAGE_H_

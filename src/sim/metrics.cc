@@ -1,0 +1,123 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace bftlab {
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+void MetricsCollector::RecordCommit(SequenceNumber /*seq*/,
+                                    SimTime submit_time,
+                                    SimTime commit_time) {
+  ++commits_;
+  if (first_commit_ == 0) first_commit_ = commit_time;
+  last_commit_ = std::max(last_commit_, commit_time);
+  latency_us_.Add(static_cast<double>(commit_time - submit_time));
+}
+
+double MetricsCollector::Throughput(SimTime start, SimTime end) const {
+  if (end <= start) return 0;
+  return static_cast<double>(commits_) /
+         (static_cast<double>(end - start) / 1e6);
+}
+
+double MetricsCollector::OrderInversionFraction(SimTime margin_us) const {
+  // Collect the submit time of each executed request, in execution order.
+  std::vector<SimTime> submit_times;
+  submit_times.reserve(execution_order_.size());
+  for (const auto& key : execution_order_) {
+    auto it = submissions_.find(key);
+    if (it != submissions_.end()) submit_times.push_back(it->second);
+  }
+  if (submit_times.size() < 2) return 0;
+  // O(k^2) pair comparison: cap the sample to keep benches fast.
+  if (submit_times.size() > 2000) submit_times.resize(2000);
+  uint64_t comparable = 0, inverted = 0;
+  for (size_t i = 0; i < submit_times.size(); ++i) {
+    for (size_t j = i + 1; j < submit_times.size(); ++j) {
+      SimTime a = submit_times[i], b = submit_times[j];
+      if (a + margin_us < b) {
+        ++comparable;  // Submitted clearly before and executed before: fair.
+      } else if (b + margin_us < a) {
+        ++comparable;
+        ++inverted;  // Submitted clearly after but executed before.
+      }
+    }
+  }
+  return comparable == 0
+             ? 0
+             : static_cast<double>(inverted) / static_cast<double>(comparable);
+}
+
+uint64_t MetricsCollector::TotalMsgsSent() const {
+  uint64_t total = 0;
+  for (const auto& [id, stats] : node_stats_) total += stats.msgs_sent;
+  return total;
+}
+
+uint64_t MetricsCollector::TotalBytesSent() const {
+  uint64_t total = 0;
+  for (const auto& [id, stats] : node_stats_) total += stats.bytes_sent;
+  return total;
+}
+
+uint64_t MetricsCollector::MaxNodeMsgLoad() const {
+  uint64_t max_load = 0;
+  for (const auto& [id, stats] : node_stats_) {
+    max_load = std::max(max_load, stats.msgs_sent + stats.msgs_received);
+  }
+  return max_load;
+}
+
+double MetricsCollector::MsgLoadImbalance() const {
+  if (node_stats_.empty()) return 0;
+  std::vector<double> loads;
+  loads.reserve(node_stats_.size());
+  for (const auto& [id, stats] : node_stats_) {
+    loads.push_back(static_cast<double>(stats.msgs_sent + stats.msgs_received));
+  }
+  double mean = 0;
+  for (double l : loads) mean += l;
+  mean /= static_cast<double>(loads.size());
+  if (mean == 0) return 0;
+  double var = 0;
+  for (double l : loads) var += (l - mean) * (l - mean);
+  var /= static_cast<double>(loads.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,126 @@
+// Measurement infrastructure: per-node traffic counters, latency
+// histograms, commit accounting, and fairness bookkeeping. Every bench in
+// bench/ reads its numbers from here.
+
+#ifndef BFTLAB_SIM_METRICS_H_
+#define BFTLAB_SIM_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftlab {
+
+/// Simple sample-keeping histogram (simulations are small enough to keep
+/// raw samples; quantiles are exact).
+class Histogram {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Percentile(double p) const;  // p in [0, 100].
+  double Min() const;
+  double Max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Per-node traffic and CPU accounting.
+struct NodeStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  double crypto_cpu_us = 0;
+  uint64_t msgs_dropped = 0;  // Sent but dropped by the network.
+};
+
+/// One committed-request observation.
+struct CommitRecord {
+  SequenceNumber seq = 0;
+  SimTime submit_time = 0;
+  SimTime commit_time = 0;
+};
+
+/// Central collector shared by the network and all actors of one run.
+class MetricsCollector {
+ public:
+  NodeStats& node(NodeId id) { return node_stats_[id]; }
+  const std::map<NodeId, NodeStats>& all_nodes() const { return node_stats_; }
+
+  /// Records a request commit (called by clients when the reply quorum is
+  /// reached, or by the harness from replica commit hooks).
+  void RecordCommit(SequenceNumber seq, SimTime submit_time,
+                    SimTime commit_time);
+
+  uint64_t commits() const { return commits_; }
+  const Histogram& commit_latency_us() const { return latency_us_; }
+
+  /// Throughput in commits/second over [start, end] simulated time.
+  double Throughput(SimTime start, SimTime end) const;
+
+  // --- Order-fairness bookkeeping (Q1) -----------------------------------
+  // Clients record when each request was first submitted; one designated
+  // replica records the global execution order. The inversion fraction
+  // over all pairs measures how far commit order strays from submit
+  // order (0 = perfectly fair).
+
+  void RecordSubmission(ClientId client, RequestTimestamp ts, SimTime at) {
+    submissions_[{client, ts}] = at;
+  }
+  void RecordExecution(ClientId client, RequestTimestamp ts) {
+    execution_order_.emplace_back(client, ts);
+  }
+  /// Fraction of executed pairs whose submit order (separated by more
+  /// than `margin_us`) was inverted in the execution order.
+  double OrderInversionFraction(SimTime margin_us = 0) const;
+  size_t executions_recorded() const { return execution_order_.size(); }
+
+  /// Counter registry for protocol-specific events (view-changes,
+  /// rollbacks, fast-path commits, fallbacks, ...).
+  void Increment(const std::string& counter, uint64_t by = 1) {
+    counters_[counter] += by;
+  }
+  uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+  /// Per-message-type traffic accounting (keyed by Message::type()).
+  void CountMessageType(uint32_t type) { msgs_by_type_[type]++; }
+  const std::map<uint32_t, uint64_t>& msgs_by_type() const {
+    return msgs_by_type_;
+  }
+
+  /// Total messages sent across all nodes.
+  uint64_t TotalMsgsSent() const;
+  /// Total bytes sent across all nodes.
+  uint64_t TotalBytesSent() const;
+  /// Max over nodes of (msgs_sent + msgs_received): the hotspot load.
+  uint64_t MaxNodeMsgLoad() const;
+  /// Coefficient of variation of per-node message load (load imbalance).
+  double MsgLoadImbalance() const;
+
+ private:
+  std::map<NodeId, NodeStats> node_stats_;
+  Histogram latency_us_;
+  uint64_t commits_ = 0;
+  SimTime first_commit_ = 0;
+  SimTime last_commit_ = 0;
+  std::map<std::string, uint64_t> counters_;
+  std::map<uint32_t, uint64_t> msgs_by_type_;
+  std::map<std::pair<ClientId, RequestTimestamp>, SimTime> submissions_;
+  std::vector<std::pair<ClientId, RequestTimestamp>> execution_order_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SIM_METRICS_H_

@@ -1,0 +1,253 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "sim/actor.h"
+
+namespace bftlab {
+
+Network::Network(Simulator* sim, MetricsCollector* metrics,
+                 const KeyStore* keystore, Rng rng, NetworkConfig config,
+                 CryptoCostModel cost_model)
+    : sim_(sim),
+      metrics_(metrics),
+      keystore_(keystore),
+      rng_(rng),
+      config_(config),
+      cost_model_(cost_model) {}
+
+void Network::RegisterActor(Actor* actor) {
+  Runtime& rt = runtimes_[actor->id()];
+  rt.actor = actor;
+  actor->Bind(this, std::make_unique<CryptoContext>(actor->id(), keystore_,
+                                                    cost_model_),
+              rng_.Fork());
+}
+
+void Network::Start() {
+  for (auto& [id, rt] : runtimes_) {
+    NodeId node = id;
+    Actor* actor = rt.actor;
+    sim_->Schedule(0, [this, node, actor] {
+      if (down_.count(node)) return;
+      SimTime done = RunHandler(node, [actor] { actor->Start(); });
+      runtime(node).cpu_free = done;
+    });
+  }
+}
+
+Network::Runtime& Network::runtime(NodeId id) {
+  auto it = runtimes_.find(id);
+  assert(it != runtimes_.end() && "unknown node");
+  return it->second;
+}
+
+Actor* Network::actor(NodeId id) const {
+  auto it = runtimes_.find(id);
+  return it == runtimes_.end() ? nullptr : it->second.actor;
+}
+
+SimTime Network::RunHandler(NodeId node, const std::function<void()>& body) {
+  assert(!in_handler_.has_value() && "nested handler");
+  in_handler_ = node;
+  pending_sends_.clear();
+
+  body();
+
+  Runtime& rt = runtime(node);
+  CryptoContext& crypto = *rt.actor->crypto_;
+  double cost_us = crypto.DrainConsumedUs() + config_.per_msg_processing_us;
+  SimTime completion = sim_->now() + static_cast<SimTime>(cost_us);
+  metrics_->node(node).crypto_cpu_us += cost_us;
+
+  std::vector<Packet> sends;
+  sends.swap(pending_sends_);
+  in_handler_.reset();
+
+  for (Packet& p : sends) {
+    Depart(p.from, p.to, std::move(p.msg), completion);
+  }
+  return completion;
+}
+
+void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
+  if (in_handler_.has_value() && *in_handler_ == from) {
+    pending_sends_.push_back(Packet{from, to, std::move(msg)});
+    return;
+  }
+  Depart(from, to, std::move(msg), sim_->now());
+}
+
+bool Network::LinkBlocked(NodeId a, NodeId b, SimTime at) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = blocked_links_.find(key);
+  if (it != blocked_links_.end() && at < it->second) return true;
+  if (!partition_.empty() && at < partition_until_) {
+    int group_a = -1, group_b = -1;
+    for (size_t g = 0; g < partition_.size(); ++g) {
+      if (partition_[g].count(a)) group_a = static_cast<int>(g);
+      if (partition_[g].count(b)) group_b = static_cast<int>(g);
+    }
+    // Nodes not listed in any group are unreachable from everyone.
+    if (group_a != group_b || group_a == -1) return true;
+  }
+  return false;
+}
+
+void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
+  if (down_.count(from)) return;
+
+  // Self-delivery: local, free, no stats.
+  if (from == to) {
+    SimTime arrival = t_ready;
+    SimTime delay = arrival > sim_->now() ? arrival - sim_->now() : 0;
+    Packet packet{from, to, std::move(msg)};
+    sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
+      DeliverAt(arrival, std::move(packet));
+    });
+    return;
+  }
+
+  size_t wire = msg->WireSize() + config_.packet_header_bytes;
+  NodeStats& sender_stats = metrics_->node(from);
+  sender_stats.msgs_sent++;
+  sender_stats.bytes_sent += wire;
+  metrics_->CountMessageType(msg->type());
+
+  // Uplink serialization: megabit/s == bit/us.
+  Runtime& rt = runtime(from);
+  double tx_us_f =
+      static_cast<double>(wire) * 8.0 / config_.bandwidth_mbps;
+  SimTime tx_us = static_cast<SimTime>(tx_us_f);
+  SimTime departure = std::max(t_ready, rt.uplink_free);
+  rt.uplink_free = departure + tx_us;
+
+  bool drop = false;
+  SimTime injected_delay = 0;
+  if (injector_) {
+    auto extra = injector_(from, to, msg, &drop);
+    if (extra.has_value()) injected_delay = *extra;
+  }
+  if (drop || LinkBlocked(from, to, departure)) {
+    sender_stats.msgs_dropped++;
+    return;
+  }
+
+  SimTime physical_arrival = departure + tx_us + config_.latency_us +
+                             (config_.jitter_us > 0
+                                  ? rng_.NextBelow(config_.jitter_us + 1)
+                                  : 0);
+
+  SimTime arrival = physical_arrival + injected_delay;
+  if (departure < config_.gst_us) {
+    // Pre-GST: the adversary may drop or delay arbitrarily (bounded by
+    // config for termination).
+    if (rng_.NextBool(config_.pre_gst_drop_prob)) {
+      sender_stats.msgs_dropped++;
+      return;
+    }
+    if (config_.pre_gst_extra_delay_us > 0) {
+      arrival += rng_.NextBelow(config_.pre_gst_extra_delay_us + 1);
+    }
+  }
+  // Partial synchrony: delivery within Δ of max(departure, GST), but never
+  // faster than physically possible.
+  SimTime bound = std::max(departure, config_.gst_us) + config_.delta_us;
+  arrival = std::max(physical_arrival, std::min(arrival, bound));
+
+  Packet packet{from, to, std::move(msg)};
+  SimTime delay = arrival - sim_->now();
+  sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
+    DeliverAt(arrival, std::move(packet));
+  });
+}
+
+void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
+  if (down_.count(packet.to) || down_.count(packet.from)) return;
+  auto it = runtimes_.find(packet.to);
+  if (it == runtimes_.end()) return;
+  Runtime& rt = it->second;
+
+  if (packet.from != packet.to) {
+    NodeStats& stats = metrics_->node(packet.to);
+    stats.msgs_received++;
+    stats.bytes_received +=
+        packet.msg->WireSize() + config_.packet_header_bytes;
+  }
+
+  NodeId to = packet.to;
+  rt.inbox.push_back(std::move(packet));
+  ScheduleProcessing(to);
+}
+
+void Network::ScheduleProcessing(NodeId node) {
+  Runtime& rt = runtime(node);
+  if (rt.processing_scheduled || rt.inbox.empty()) return;
+  rt.processing_scheduled = true;
+  SimTime start = std::max(sim_->now(), rt.cpu_free);
+  sim_->Schedule(start - sim_->now(), [this, node] { ProcessNext(node); });
+}
+
+void Network::ProcessNext(NodeId node) {
+  Runtime& rt = runtime(node);
+  rt.processing_scheduled = false;
+  if (down_.count(node)) {
+    rt.inbox.clear();
+    return;
+  }
+  if (rt.inbox.empty()) return;
+
+  Packet packet = std::move(rt.inbox.front());
+  rt.inbox.pop_front();
+
+  Actor* actor = rt.actor;
+  SimTime completion = RunHandler(node, [actor, &packet] {
+    actor->OnMessage(packet.from, packet.msg);
+  });
+  rt.cpu_free = completion;
+
+  if (!rt.inbox.empty()) {
+    rt.processing_scheduled = true;
+    sim_->Schedule(completion - sim_->now(),
+                   [this, node] { ProcessNext(node); });
+  }
+}
+
+EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
+  return sim_->ScheduleCancelable(delay, [this, node, tag] {
+    if (down_.count(node)) return;
+    Runtime& rt = runtime(node);
+    Actor* actor = rt.actor;
+    SimTime completion = RunHandler(node, [actor, tag] { actor->OnTimer(tag); });
+    rt.cpu_free = std::max(rt.cpu_free, completion);
+  });
+}
+
+void Network::Crash(NodeId node) {
+  down_.insert(node);
+  runtime(node).inbox.clear();
+}
+
+void Network::Restart(NodeId node) {
+  down_.erase(node);
+  Runtime& rt = runtime(node);
+  rt.cpu_free = sim_->now();
+  rt.uplink_free = sim_->now();
+  Actor* actor = rt.actor;
+  SimTime completion =
+      RunHandler(node, [actor] { actor->OnRestart(); });
+  rt.cpu_free = completion;
+}
+
+void Network::BlockLink(NodeId a, NodeId b, SimTime until) {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  blocked_links_[key] = until;
+}
+
+void Network::Partition(std::vector<std::set<NodeId>> groups, SimTime until) {
+  partition_ = std::move(groups);
+  partition_until_ = until;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,172 @@
+// Partial-synchrony network model over the event simulator.
+//
+// Models the paper's environment assumptions (§2): unreliable
+// point-to-point channels that may drop or delay messages before an
+// unknown global stabilization time (GST), after which every message
+// between correct nodes arrives within a known bound Δ. Additionally
+// models the physical resources protocols contend on: per-node uplink
+// bandwidth (the leader bottleneck of Q2) and per-node CPU (crypto cost,
+// E3) by serializing message handling per node.
+
+#ifndef BFTLAB_SIM_NETWORK_H_
+#define BFTLAB_SIM_NETWORK_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/keystore.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace bftlab {
+
+class Actor;
+
+/// Physical + synchrony parameters of the simulated network.
+struct NetworkConfig {
+  /// One-way propagation latency between distinct nodes.
+  SimTime latency_us = 500;
+  /// Uniform jitter added on top of the latency, in [0, jitter_us].
+  SimTime jitter_us = 100;
+  /// Per-node uplink bandwidth in megabits/second.
+  double bandwidth_mbps = 1000.0;
+  /// Global stabilization time: before it the adversary may drop/delay.
+  SimTime gst_us = 0;
+  /// Post-GST delivery bound Δ between correct nodes.
+  SimTime delta_us = Millis(50);
+  /// Pre-GST probability that a message is dropped.
+  double pre_gst_drop_prob = 0.0;
+  /// Pre-GST maximum adversarial extra delay (uniform in [0, max]).
+  SimTime pre_gst_extra_delay_us = 0;
+  /// Fixed non-crypto CPU cost of handling one message.
+  double per_msg_processing_us = 5.0;
+  /// Transport framing overhead accounted per packet.
+  size_t packet_header_bytes = 40;
+
+  /// A LAN-like profile (0.5 ms, 1 Gbps).
+  static NetworkConfig Lan() { return NetworkConfig(); }
+  /// A WAN-like profile (50 ms, 100 Mbps, 300 ms Δ).
+  static NetworkConfig Wan() {
+    NetworkConfig c;
+    c.latency_us = Millis(50);
+    c.jitter_us = Millis(5);
+    c.bandwidth_mbps = 100.0;
+    c.delta_us = Millis(300);
+    return c;
+  }
+};
+
+/// Connects Actors, delivers messages under the synchrony model, and
+/// charges CPU/bandwidth. Owns per-node CryptoContexts (bound to the
+/// shared KeyStore) and per-node RNG streams.
+class Network {
+ public:
+  Network(Simulator* sim, MetricsCollector* metrics, const KeyStore* keystore,
+          Rng rng, NetworkConfig config,
+          CryptoCostModel cost_model = CryptoCostModel());
+
+  /// Registers an actor; must happen before Start(). Does not take
+  /// ownership.
+  void RegisterActor(Actor* actor);
+
+  /// Invokes Start() on all registered actors (in id order).
+  void Start();
+
+  /// Sends a message; called via Actor::Send. Self-sends are delivered
+  /// locally without network cost or stats.
+  void Send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Schedules a timer firing Actor::OnTimer(tag) after `delay`.
+  EventId SetTimer(NodeId node, SimTime delay, uint64_t tag);
+  void CancelTimer(EventId id) { sim_->Cancel(id); }
+
+  // --- Fault and adversary controls -------------------------------------
+
+  /// Crashes a node: all queued and future messages are dropped and timers
+  /// stop firing until Restart().
+  void Crash(NodeId node);
+  /// Restarts a crashed node and invokes Actor::OnRestart().
+  void Restart(NodeId node);
+  bool IsDown(NodeId node) const { return down_.count(node) > 0; }
+
+  /// Blocks the (bidirectional) link between a and b until `until`.
+  void BlockLink(NodeId a, NodeId b, SimTime until);
+  /// Partitions nodes into groups; cross-group messages are dropped until
+  /// `until`. Replaces any previous partition.
+  void Partition(std::vector<std::set<NodeId>> groups, SimTime until);
+  void ClearPartition() { partition_.clear(); }
+
+  /// Installs a hook that may add delay to (or, returning nullopt after
+  /// setting drop=true, drop) any message. Used for targeted attacks.
+  using DelayInjector = std::function<std::optional<SimTime>(
+      NodeId from, NodeId to, const MessagePtr& msg, bool* drop)>;
+  void SetDelayInjector(DelayInjector injector) {
+    injector_ = std::move(injector);
+  }
+
+  // --- Accessors ---------------------------------------------------------
+
+  Simulator* sim() { return sim_; }
+  SimTime now() const { return sim_->now(); }
+  MetricsCollector& metrics() { return *metrics_; }
+  const NetworkConfig& config() const { return config_; }
+  const KeyStore& keystore() const { return *keystore_; }
+  Actor* actor(NodeId id) const;
+
+ private:
+  struct Packet {
+    NodeId from;
+    NodeId to;
+    MessagePtr msg;
+  };
+  struct Runtime {
+    Actor* actor = nullptr;
+    std::deque<Packet> inbox;
+    bool processing_scheduled = false;
+    SimTime cpu_free = 0;
+    SimTime uplink_free = 0;
+  };
+
+  friend class Actor;
+
+  Runtime& runtime(NodeId id);
+  /// Runs a handler (Start / OnMessage / OnTimer) for `node`, buffering
+  /// its sends and charging its crypto cost; returns the completion time.
+  SimTime RunHandler(NodeId node, const std::function<void()>& body);
+  /// Departure-side path: bandwidth, link/partition checks, synchrony.
+  void Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready);
+  void DeliverAt(SimTime arrival, Packet packet);
+  void ScheduleProcessing(NodeId node);
+  void ProcessNext(NodeId node);
+  bool LinkBlocked(NodeId a, NodeId b, SimTime at) const;
+
+  Simulator* sim_;
+  MetricsCollector* metrics_;
+  const KeyStore* keystore_;
+  Rng rng_;
+  NetworkConfig config_;
+  CryptoCostModel cost_model_;
+
+  std::map<NodeId, Runtime> runtimes_;
+  std::set<NodeId> down_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> blocked_links_;
+  std::vector<std::set<NodeId>> partition_;
+  SimTime partition_until_ = 0;
+  DelayInjector injector_;
+
+  // Send-buffering while a handler runs.
+  std::optional<NodeId> in_handler_;
+  std::vector<Packet> pending_sends_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SIM_NETWORK_H_

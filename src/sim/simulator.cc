@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+namespace bftlab {
+
+EventId Simulator::ScheduleCancelable(SimTime delay, std::function<void()> fn) {
+  EventId id = next_event_id_++;
+  Event ev;
+  ev.time = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.id = id;
+  ev.fn = std::move(fn);
+  queue_.push(std::move(ev));
+  live_.insert(id);
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  // Only events still in the queue can be canceled; a Cancel after the
+  // event fired is a harmless no-op.
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  canceled_.insert(id);
+}
+
+bool Simulator::Step(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (canceled_.count(top.id)) {
+      canceled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) return false;
+    // Move out before popping; pop invalidates the reference.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    live_.erase(ev.id);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  while (Step(deadline)) {
+  }
+  bool drained = Idle();
+  if (now_ < deadline) now_ = deadline;
+  return drained;
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred,
+                                  SimTime deadline) {
+  if (pred()) return true;
+  while (Step(deadline)) {
+    if (pred()) return true;
+  }
+  if (now_ < deadline && Idle()) now_ = deadline;
+  return pred();
+}
+
+bool Simulator::Idle() const { return live_.empty(); }
+
+}  // namespace bftlab

@@ -1,0 +1,87 @@
+// Deterministic discrete-event simulator. A run is a pure function of
+// (configuration, seed): the event queue orders by (time, insertion seq),
+// and all randomness flows from one seeded Rng.
+
+#ifndef BFTLAB_SIM_SIMULATOR_H_
+#define BFTLAB_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftlab {
+
+/// Handle for cancelable events (timers).
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Single-threaded virtual-time event loop.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in microseconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    ScheduleCancelable(delay, std::move(fn));
+  }
+
+  /// Schedules `fn` and returns a handle usable with Cancel().
+  EventId ScheduleCancelable(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already fired or was canceled.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue is empty or virtual time would exceed
+  /// `deadline`. Returns true if the queue drained before the deadline.
+  bool RunUntil(SimTime deadline);
+
+  /// Runs until `pred()` becomes true (checked after each event) or the
+  /// deadline passes. Returns true iff the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& pred,
+                         SimTime deadline);
+
+  /// Number of events executed so far.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// True when no pending (non-canceled) events remain.
+  bool Idle() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;   // Tie-break: FIFO among same-time events.
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs one event; returns false when the queue is empty or the
+  /// next event is past the deadline.
+  bool Step(SimTime deadline);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_event_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> live_;      // Scheduled, not yet fired/canceled.
+  std::unordered_set<EventId> canceled_;  // Canceled, not yet popped.
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SIM_SIMULATOR_H_

@@ -1,0 +1,31 @@
+#include "smr/checkpoint.h"
+
+namespace bftlab {
+
+void CheckpointStore::Add(SequenceNumber seq, Digest state_digest,
+                          Buffer snapshot) {
+  Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = state_digest;
+  cp.snapshot = std::move(snapshot);
+  checkpoints_[seq] = std::move(cp);
+}
+
+SequenceNumber CheckpointStore::MarkStable(SequenceNumber seq) {
+  if (seq > stable_seq_) {
+    stable_seq_ = seq;
+    // Garbage-collect checkpoints strictly below the stable one.
+    checkpoints_.erase(checkpoints_.begin(), checkpoints_.lower_bound(seq));
+  }
+  return stable_seq_;
+}
+
+Result<Checkpoint> CheckpointStore::Get(SequenceNumber seq) const {
+  auto it = checkpoints_.find(seq);
+  if (it == checkpoints_.end()) {
+    return Status::NotFound("no checkpoint at seq " + std::to_string(seq));
+  }
+  return it->second;
+}
+
+}  // namespace bftlab

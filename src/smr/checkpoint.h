@@ -1,0 +1,66 @@
+// Checkpoint storage (paper dimension P4). Keeps periodic state
+// snapshots so completed consensus instances can be garbage-collected and
+// trailing ("in-dark") replicas can catch up via state transfer.
+
+#ifndef BFTLAB_SMR_CHECKPOINT_H_
+#define BFTLAB_SMR_CHECKPOINT_H_
+
+#include <map>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "crypto/digest.h"
+
+namespace bftlab {
+
+/// A snapshot of the application state as of a sequence number.
+struct Checkpoint {
+  SequenceNumber seq = 0;
+  Digest state_digest;
+  Buffer snapshot;
+};
+
+/// Stores local checkpoints and tracks the latest *stable* one (a
+/// checkpoint proven by a quorum — stability is decided by the protocol
+/// layer, which calls MarkStable).
+class CheckpointStore {
+ public:
+  /// Interval (in sequence numbers) between checkpoints.
+  explicit CheckpointStore(uint64_t interval = 128) : interval_(interval) {}
+
+  uint64_t interval() const { return interval_; }
+
+  /// True when a checkpoint should be taken after executing `seq`.
+  bool IsCheckpointSeq(SequenceNumber seq) const {
+    return seq > 0 && seq % interval_ == 0;
+  }
+
+  /// Records a local checkpoint.
+  void Add(SequenceNumber seq, Digest state_digest, Buffer snapshot);
+
+  /// Marks `seq` stable and garbage-collects strictly older checkpoints.
+  /// Returns the low-water mark (the stable seq).
+  SequenceNumber MarkStable(SequenceNumber seq);
+
+  /// Latest stable sequence number (0 if none yet).
+  SequenceNumber stable_seq() const { return stable_seq_; }
+
+  /// Fetches the checkpoint at `seq`.
+  Result<Checkpoint> Get(SequenceNumber seq) const;
+
+  /// Latest stable checkpoint, if any.
+  Result<Checkpoint> GetStable() const { return Get(stable_seq_); }
+
+  /// Number of retained checkpoints (tests observe GC through this).
+  size_t RetainedCount() const { return checkpoints_.size(); }
+
+ private:
+  uint64_t interval_;
+  SequenceNumber stable_seq_ = 0;
+  std::map<SequenceNumber, Checkpoint> checkpoints_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_CHECKPOINT_H_

@@ -1,0 +1,121 @@
+#include "smr/client.h"
+
+#include "common/logging.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_op.h"
+
+namespace bftlab {
+
+OpGenerator DefaultOpGenerator(size_t value_bytes) {
+  return [value_bytes](ClientId client, RequestTimestamp ts, Rng* rng) {
+    std::string key = "c" + std::to_string(client) + "/k" + std::to_string(ts);
+    std::string value;
+    value.reserve(value_bytes);
+    for (size_t i = 0; i < value_bytes; ++i) {
+      value.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+    }
+    return KvOp::Put(key, value);
+  };
+}
+
+Client::Client(NodeId id, ClientConfig config)
+    : Actor(id), config_(std::move(config)) {
+  if (!config_.op_generator) {
+    config_.op_generator = DefaultOpGenerator();
+  }
+}
+
+std::vector<NodeId> Client::AllReplicas() const {
+  std::vector<NodeId> out;
+  out.reserve(config_.num_replicas);
+  for (ReplicaId r = 0; r < config_.num_replicas; ++r) out.push_back(r);
+  return out;
+}
+
+ReplicaId Client::leader_guess() const {
+  return static_cast<ReplicaId>(highest_view_ % config_.num_replicas);
+}
+
+void Client::Start() { SubmitNext(); }
+
+void Client::SubmitNext() {
+  if (config_.max_requests != 0 && accepted_ >= config_.max_requests) return;
+
+  current_ = ClientRequest();
+  current_.client = static_cast<ClientId>(id());
+  current_.timestamp = next_ts_++;
+  current_.operation = config_.op_generator(current_.client,
+                                            current_.timestamp, &rng());
+  current_.Sign(&crypto());
+
+  in_flight_ = true;
+  submit_time_ = Now();
+  metrics().RecordSubmission(current_.client, current_.timestamp, Now());
+  reply_sets_.clear();
+  SendCurrent(config_.submit_policy == SubmitPolicy::kAll);
+
+  CancelTimer(&retransmit_timer_);
+  retransmit_timer_ = SetTimer(config_.retransmit_timeout_us, kRetransmitTag);
+}
+
+void Client::SendCurrent(bool to_all) {
+  auto msg = std::make_shared<RequestMessage>(current_);
+  if (to_all) {
+    Multicast(AllReplicas(), msg);
+  } else {
+    Send(leader_guess(), msg);
+  }
+}
+
+void Client::OnMessage(NodeId /*from*/, const MessagePtr& msg) {
+  if (msg->type() != kMsgReply) return;
+  const auto& reply = static_cast<const ReplyMessage&>(*msg);
+  HandleReply(reply);
+}
+
+void Client::HandleReply(const ReplyMessage& reply) {
+  if (reply.view() > highest_view_) highest_view_ = reply.view();
+  if (!in_flight_ || reply.timestamp() != current_.timestamp) return;
+
+  std::set<ReplicaId>& voters = reply_sets_[reply.result()];
+  voters.insert(reply.replica());
+  if (voters.size() >= config_.reply_quorum) {
+    AcceptCurrent();
+  }
+}
+
+void Client::AcceptCurrent() {
+  in_flight_ = false;
+  CancelTimer(&retransmit_timer_);
+  ++accepted_;
+  metrics().RecordCommit(current_.timestamp, submit_time_, Now());
+
+  if (config_.max_requests != 0 && accepted_ >= config_.max_requests) return;
+  if (config_.think_time_us == 0) {
+    SubmitNext();
+  } else {
+    SetTimer(config_.think_time_us, kThinkTag);
+  }
+}
+
+void Client::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kRetransmitTag:
+      if (in_flight_) {
+        ++retransmissions_;
+        metrics().Increment("client.retransmissions");
+        SendCurrent(/*to_all=*/true);
+        retransmit_timer_ =
+            SetTimer(config_.retransmit_timeout_us, kRetransmitTag);
+      }
+      break;
+    case kThinkTag:
+      if (!in_flight_) SubmitNext();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace bftlab

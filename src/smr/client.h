@@ -1,0 +1,105 @@
+// Requester client (paper dimension P6): submits signed requests,
+// collects matching replies from a verification quorum, retransmits on
+// timeout (timer τ1), and tracks the current leader from reply views.
+//
+// Speculative (Zyzzyva) and proposer (Q/U) clients subclass this.
+
+#ifndef BFTLAB_SMR_CLIENT_H_
+#define BFTLAB_SMR_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/actor.h"
+#include "smr/request.h"
+
+namespace bftlab {
+
+/// How the client submits its requests.
+enum class SubmitPolicy : uint8_t {
+  kLeaderOnly = 0,  // Send to the current leader guess; all on retransmit.
+  kAll = 1,         // Broadcast every request (robust/fair protocols).
+};
+
+/// Generates the i-th operation for a client.
+using OpGenerator =
+    std::function<Buffer(ClientId client, RequestTimestamp ts, Rng* rng)>;
+
+struct ClientConfig {
+  uint32_t num_replicas = 4;
+  /// Matching replies needed to accept a result (f+1 in PBFT, 2f+1 in
+  /// PoE, 3f+1 in Zyzzyva's fast path).
+  uint32_t reply_quorum = 2;
+  SubmitPolicy submit_policy = SubmitPolicy::kLeaderOnly;
+  /// τ1: retransmit (to all replicas) when no quorum arrives in time.
+  SimTime retransmit_timeout_us = Millis(400);
+  /// Think time between an accepted reply and the next request.
+  SimTime think_time_us = 0;
+  /// Stop after this many accepted requests (0 = no limit).
+  uint64_t max_requests = 0;
+  /// Operation generator; defaults to unique-key PUTs of 64-byte values.
+  OpGenerator op_generator;
+};
+
+/// Closed-loop requester client.
+class Client : public Actor {
+ public:
+  Client(NodeId id, ClientConfig config);
+
+  void Start() override;
+  void OnMessage(NodeId from, const MessagePtr& msg) override;
+  void OnTimer(uint64_t tag) override;
+
+  uint64_t accepted_requests() const { return accepted_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  /// Leader inferred from the highest reply view seen.
+  ReplicaId leader_guess() const;
+
+ protected:
+  /// Timer tags used by the base client (subclasses reuse them).
+  static constexpr uint64_t kRetransmitTag = 1;
+  static constexpr uint64_t kThinkTag = 2;
+
+  /// Builds, signs, and sends the next request.
+  virtual void SubmitNext();
+  /// Sends the current request according to policy. `to_all` forces
+  /// broadcast (used on retransmission).
+  virtual void SendCurrent(bool to_all);
+  /// Handles one reply; accepts the result once `reply_quorum` distinct
+  /// replicas sent matching (timestamp, result) replies.
+  virtual void HandleReply(const ReplyMessage& reply);
+  /// Called when the current request is accepted; records latency and
+  /// schedules the next request.
+  void AcceptCurrent();
+
+  const ClientConfig& config() const { return config_; }
+  const ClientRequest& current_request() const { return current_; }
+  RequestTimestamp current_ts() const { return next_ts_ - 1; }
+  bool in_flight() const { return in_flight_; }
+  SimTime submit_time() const { return submit_time_; }
+  std::vector<NodeId> AllReplicas() const;
+
+  ClientConfig config_;
+  ClientRequest current_;
+  bool in_flight_ = false;
+  SimTime submit_time_ = 0;
+  RequestTimestamp next_ts_ = 1;
+  uint64_t accepted_ = 0;
+  uint64_t retransmissions_ = 0;
+  EventId retransmit_timer_ = kInvalidEvent;
+  ViewNumber highest_view_ = 0;
+
+  /// Matching-reply tracking for the in-flight request:
+  /// result-bytes -> set of replicas that reported it.
+  std::map<Buffer, std::set<ReplicaId>> reply_sets_;
+};
+
+/// Default operation generator: PUT("c<client>/k<ts>", 64-byte value).
+OpGenerator DefaultOpGenerator(size_t value_bytes = 64);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_CLIENT_H_

@@ -1,0 +1,41 @@
+// Key-value operation encoding shared by the KV state machine, workload
+// generators, and the conflict analysis used by Q/U (Design Choice 9).
+
+#ifndef BFTLAB_SMR_KV_OP_H_
+#define BFTLAB_SMR_KV_OP_H_
+
+#include <string>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace bftlab {
+
+/// Opcodes of the replicated key-value store.
+enum class KvOpCode : uint8_t {
+  kPut = 1,   // PUT key value  -> "OK"
+  kGet = 2,   // GET key        -> value | "" (read-only)
+  kDelete = 3,  // DEL key      -> "OK" | "NOTFOUND"
+  kAdd = 4,   // ADD key delta  -> new value (read-modify-write)
+};
+
+/// A decoded KV operation.
+struct KvOp {
+  KvOpCode code = KvOpCode::kGet;
+  std::string key;
+  std::string value;   // kPut only.
+  int64_t delta = 0;   // kAdd only.
+
+  /// Serializes to the state-machine operation payload.
+  Buffer Encode() const;
+  static Result<KvOp> Decode(Slice payload);
+
+  static Buffer Put(const std::string& key, const std::string& value);
+  static Buffer Get(const std::string& key);
+  static Buffer Delete(const std::string& key);
+  static Buffer Add(const std::string& key, int64_t delta);
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_KV_OP_H_

@@ -1,0 +1,225 @@
+#include "smr/kv_state_machine.h"
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace bftlab {
+
+Buffer KvOp::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(code));
+  enc.PutString(key);
+  switch (code) {
+    case KvOpCode::kPut:
+      enc.PutString(value);
+      break;
+    case KvOpCode::kAdd:
+      enc.PutU64(static_cast<uint64_t>(delta));
+      break;
+    default:
+      break;
+  }
+  return enc.Take();
+}
+
+Result<KvOp> KvOp::Decode(Slice payload) {
+  Decoder dec(payload);
+  KvOp op;
+  uint8_t code;
+  BFTLAB_ASSIGN_OR_RETURN(code, dec.GetU8());
+  if (code < 1 || code > 4) return Status::Corruption("bad kv opcode");
+  op.code = static_cast<KvOpCode>(code);
+  BFTLAB_ASSIGN_OR_RETURN(op.key, dec.GetString());
+  switch (op.code) {
+    case KvOpCode::kPut: {
+      BFTLAB_ASSIGN_OR_RETURN(op.value, dec.GetString());
+      break;
+    }
+    case KvOpCode::kAdd: {
+      uint64_t d;
+      BFTLAB_ASSIGN_OR_RETURN(d, dec.GetU64());
+      op.delta = static_cast<int64_t>(d);
+      break;
+    }
+    default:
+      break;
+  }
+  return op;
+}
+
+Buffer KvOp::Put(const std::string& key, const std::string& value) {
+  KvOp op;
+  op.code = KvOpCode::kPut;
+  op.key = key;
+  op.value = value;
+  return op.Encode();
+}
+
+Buffer KvOp::Get(const std::string& key) {
+  KvOp op;
+  op.code = KvOpCode::kGet;
+  op.key = key;
+  return op.Encode();
+}
+
+Buffer KvOp::Delete(const std::string& key) {
+  KvOp op;
+  op.code = KvOpCode::kDelete;
+  op.key = key;
+  return op.Encode();
+}
+
+Buffer KvOp::Add(const std::string& key, int64_t delta) {
+  KvOp op;
+  op.code = KvOpCode::kAdd;
+  op.key = key;
+  op.delta = delta;
+  return op.Encode();
+}
+
+Result<Buffer> KvStateMachine::Apply(Slice operation) {
+  Result<KvOp> decoded = KvOp::Decode(operation);
+  if (!decoded.ok()) return decoded.status();
+  const KvOp& op = *decoded;
+
+  UndoEntry undo;
+  undo.key = op.key;
+  undo.old_digest = digest_;
+  auto it = data_.find(op.key);
+  undo.existed = it != data_.end();
+  if (undo.existed) undo.old_value = it->second;
+
+  Buffer result;
+  auto set_result = [&result](const std::string& s) {
+    result.assign(s.begin(), s.end());
+  };
+
+  switch (op.code) {
+    case KvOpCode::kPut:
+      data_[op.key] = op.value;
+      set_result("OK");
+      break;
+    case KvOpCode::kGet:
+      set_result(undo.existed ? it->second : "");
+      break;
+    case KvOpCode::kDelete:
+      if (undo.existed) {
+        data_.erase(it);
+        set_result("OK");
+      } else {
+        set_result("NOTFOUND");
+      }
+      break;
+    case KvOpCode::kAdd: {
+      int64_t current = 0;
+      if (undo.existed) {
+        current = std::strtoll(it->second.c_str(), nullptr, 10);
+      }
+      current += op.delta;
+      std::string next = std::to_string(current);
+      data_[op.key] = next;
+      set_result(next);
+      break;
+    }
+  }
+
+  ++version_;
+  digest_ = Sha256::Hash2(digest_.AsSlice(), operation);
+  undo.version = version_;
+  undo_log_.push_back(std::move(undo));
+  return result;
+}
+
+bool KvStateMachine::IsReadOnly(Slice operation) const {
+  Result<KvOp> decoded = KvOp::Decode(operation);
+  return decoded.ok() && decoded->code == KvOpCode::kGet;
+}
+
+Result<Buffer> KvStateMachine::ExecuteReadOnly(Slice operation) const {
+  Result<KvOp> decoded = KvOp::Decode(operation);
+  if (!decoded.ok()) return decoded.status();
+  if (decoded->code != KvOpCode::kGet) {
+    return Status::NotSupported("not a read-only operation");
+  }
+  auto it = data_.find(decoded->key);
+  return it == data_.end() ? Buffer{} : Slice(it->second).ToBuffer();
+}
+
+Buffer KvStateMachine::Snapshot() const {
+  Encoder enc;
+  enc.PutU64(version_);
+  enc.PutRaw(digest_.AsSlice());
+  enc.PutU64(data_.size());
+  for (const auto& [k, v] : data_) {
+    enc.PutString(k);
+    enc.PutString(v);
+  }
+  return enc.Take();
+}
+
+Status KvStateMachine::Restore(Slice snapshot) {
+  Decoder dec(snapshot);
+  uint64_t version;
+  BFTLAB_ASSIGN_OR_RETURN(version, dec.GetU64());
+  Buffer digest_bytes;
+  {
+    Result<Buffer> raw = dec.GetRaw(Digest::kSize);
+    if (!raw.ok()) return raw.status();
+    digest_bytes = std::move(raw).value();
+  }
+  uint64_t count;
+  BFTLAB_ASSIGN_OR_RETURN(count, dec.GetU64());
+  std::map<std::string, std::string> data;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string k, v;
+    BFTLAB_ASSIGN_OR_RETURN(k, dec.GetString());
+    BFTLAB_ASSIGN_OR_RETURN(v, dec.GetString());
+    data.emplace(std::move(k), std::move(v));
+  }
+  data_ = std::move(data);
+  version_ = version;
+  std::copy(digest_bytes.begin(), digest_bytes.end(), digest_.data());
+  undo_log_.clear();
+  return Status::Ok();
+}
+
+Status KvStateMachine::Rollback(uint64_t count) {
+  if (count > undo_log_.size()) {
+    return Status::FailedPrecondition("undo history too short");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    UndoEntry undo = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    if (undo.existed) {
+      data_[undo.key] = std::move(undo.old_value);
+    } else {
+      data_.erase(undo.key);
+    }
+    digest_ = undo.old_digest;
+    --version_;
+  }
+  return Status::Ok();
+}
+
+Digest KvStateMachine::ContentDigest() const {
+  Encoder enc;
+  for (const auto& [k, v] : data_) {  // std::map: already sorted.
+    enc.PutString(k);
+    enc.PutString(v);
+  }
+  return Sha256::Hash(enc.buffer());
+}
+
+std::optional<std::string> KvStateMachine::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStateMachine::TrimUndoHistory(uint64_t version) {
+  while (!undo_log_.empty() && undo_log_.front().version <= version) {
+    undo_log_.pop_front();
+  }
+}
+
+}  // namespace bftlab

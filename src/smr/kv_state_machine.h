@@ -1,0 +1,62 @@
+// In-memory versioned key-value state machine with an undo log, the
+// application substrate for all protocol experiments (see DESIGN.md §2).
+
+#ifndef BFTLAB_SMR_KV_STATE_MACHINE_H_
+#define BFTLAB_SMR_KV_STATE_MACHINE_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "smr/kv_op.h"
+#include "smr/state_machine.h"
+
+namespace bftlab {
+
+/// StateMachine over an ordered string->string map.
+///
+/// Maintains a rolling order-sensitive digest
+///   d_{i+1} = SHA256(d_i || op_i)
+/// and an undo log so speculative executions can be rolled back.
+class KvStateMachine : public StateMachine {
+ public:
+  KvStateMachine() = default;
+
+  Result<Buffer> Apply(Slice operation) override;
+  bool IsReadOnly(Slice operation) const override;
+  Result<Buffer> ExecuteReadOnly(Slice operation) const override;
+  uint64_t version() const override { return version_; }
+  Digest StateDigest() const override { return digest_; }
+  Buffer Snapshot() const override;
+  Status Restore(Slice snapshot) override;
+  Status Rollback(uint64_t count) override;
+  void TrimUndoHistory(uint64_t version) override;
+
+  /// Direct read access (tests/examples).
+  std::optional<std::string> Get(const std::string& key) const;
+  size_t Size() const { return data_.size(); }
+
+  /// Order-INsensitive digest over the current contents (sorted pairs).
+  /// Commutative workloads (Q/U) converge on this even though replicas
+  /// applied operations in different orders.
+  Digest ContentDigest() const;
+
+ private:
+  struct UndoEntry {
+    uint64_t version;          // Version after the op was applied.
+    std::string key;
+    bool existed;
+    std::string old_value;
+    Digest old_digest;
+  };
+
+  std::map<std::string, std::string> data_;
+  uint64_t version_ = 0;
+  Digest digest_;  // Zero digest at version 0.
+  std::deque<UndoEntry> undo_log_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_KV_STATE_MACHINE_H_

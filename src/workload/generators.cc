@@ -1,0 +1,31 @@
+#include "workload/generators.h"
+
+#include "smr/kv_op.h"
+#include "workload/zipf.h"
+
+namespace bftlab {
+
+OpGenerator UniqueKeyPuts(size_t value_bytes) {
+  return DefaultOpGenerator(value_bytes);
+}
+
+OpGenerator SharedKeyAdds(uint64_t key_space, double theta) {
+  auto zipf = std::make_shared<ZipfGenerator>(key_space, theta);
+  return [zipf](ClientId /*client*/, RequestTimestamp /*ts*/, Rng* rng) {
+    return KvOp::Add("k" + std::to_string(zipf->Next(rng)), 1);
+  };
+}
+
+OpGenerator ReadWriteMix(double read_fraction, uint64_t key_space,
+                         size_t value_bytes) {
+  OpGenerator writes = UniqueKeyPuts(value_bytes);
+  return [read_fraction, key_space, writes](ClientId client,
+                                            RequestTimestamp ts, Rng* rng) {
+    if (rng->NextBool(read_fraction)) {
+      return KvOp::Get("k" + std::to_string(rng->NextBelow(key_space)));
+    }
+    return writes(client, ts, rng);
+  };
+}
+
+}  // namespace bftlab

@@ -1,0 +1,29 @@
+// Operation generators for the benchmark workloads.
+
+#ifndef BFTLAB_WORKLOAD_GENERATORS_H_
+#define BFTLAB_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "smr/client.h"
+
+namespace bftlab {
+
+/// Unique-key PUTs of `value_bytes` values: the standard no-contention
+/// ordering workload (every request writes its own key).
+OpGenerator UniqueKeyPuts(size_t value_bytes = 64);
+
+/// Commutative ADDs over a shared key space of `key_space` keys sampled
+/// with Zipf skew `theta`. Shrinking the space / raising theta raises
+/// contention (the Q/U crossover knob).
+OpGenerator SharedKeyAdds(uint64_t key_space, double theta = 0.0);
+
+/// Mixed read/write workload: `read_fraction` GETs over `key_space` keys,
+/// the rest unique-key PUTs.
+OpGenerator ReadWriteMix(double read_fraction, uint64_t key_space,
+                         size_t value_bytes = 64);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,25 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bftlab {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  cdf_.reserve(n_);
+  double sum = 0;
+  for (uint64_t k = 0; k < n_; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta_);
+    cdf_.push_back(sum);
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace bftlab

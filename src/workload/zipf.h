@@ -1,0 +1,33 @@
+// Zipf-distributed sampling for skewed key-access workloads.
+
+#ifndef BFTLAB_WORKLOAD_ZIPF_H_
+#define BFTLAB_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bftlab {
+
+/// Samples ranks in [0, n) with P(k) ∝ 1/(k+1)^theta via inverse-CDF
+/// lookup (precomputed; O(log n) per sample).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next rank (0 = most popular).
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_WORKLOAD_ZIPF_H_

@@ -1,0 +1,192 @@
+// Unit tests for the base closed-loop client (reply quorums, retransmit
+// behaviour, leader tracking) and the workload generators.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/keystore.h"
+#include "sim/network.h"
+#include "smr/client.h"
+#include "smr/kv_op.h"
+#include "workload/generators.h"
+#include "workload/zipf.h"
+
+namespace bftlab {
+namespace {
+
+/// Fake replica: executes nothing, just replies with a canned result
+/// after a configurable subset of replicas and an optional delay.
+class FakeReplica : public Actor {
+ public:
+  FakeReplica(NodeId id, bool respond, ViewNumber view = 0)
+      : Actor(id), respond_(respond), view_(view) {}
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    if (msg->type() != kMsgClientRequest || !respond_) return;
+    const auto& req = static_cast<const RequestMessage&>(*msg).request();
+    ++requests_seen_;
+    Send(from, std::make_shared<ReplyMessage>(
+                   view_, static_cast<ReplicaId>(id()), req.client,
+                   req.timestamp, Buffer{'O', 'K'}, false));
+  }
+
+  bool respond_;
+  ViewNumber view_;
+  int requests_seen_ = 0;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void Build(ClientConfig config, std::vector<bool> responders,
+             ViewNumber view = 0) {
+    keystore_ = std::make_unique<KeyStore>(1);
+    network_ = std::make_unique<Network>(&sim_, &metrics_, keystore_.get(),
+                                         Rng(1), NetworkConfig::Lan(),
+                                         CryptoCostModel::Free());
+    config.num_replicas = static_cast<uint32_t>(responders.size());
+    for (size_t i = 0; i < responders.size(); ++i) {
+      replicas_.push_back(std::make_unique<FakeReplica>(
+          static_cast<NodeId>(i), responders[i], view));
+      network_->RegisterActor(replicas_.back().get());
+    }
+    client_ = std::make_unique<Client>(kClientIdBase, config);
+    network_->RegisterActor(client_.get());
+    network_->Start();
+  }
+
+  Simulator sim_;
+  MetricsCollector metrics_;
+  std::unique_ptr<KeyStore> keystore_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<FakeReplica>> replicas_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(ClientTest, AcceptsOnQuorumAndKeepsGoing) {
+  ClientConfig cfg;
+  cfg.reply_quorum = 2;
+  cfg.submit_policy = SubmitPolicy::kAll;
+  cfg.max_requests = 5;
+  Build(cfg, {true, true, true, true});
+  sim_.RunUntil(Seconds(5));
+  EXPECT_EQ(client_->accepted_requests(), 5u);
+  EXPECT_EQ(client_->retransmissions(), 0u);
+  EXPECT_EQ(metrics_.commits(), 5u);
+}
+
+TEST_F(ClientTest, QuorumNeedsDistinctReplicas) {
+  // Only one responder: a quorum of 2 distinct replicas never forms.
+  ClientConfig cfg;
+  cfg.reply_quorum = 2;
+  cfg.submit_policy = SubmitPolicy::kAll;
+  cfg.retransmit_timeout_us = Millis(100);
+  Build(cfg, {true, false, false, false});
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(client_->accepted_requests(), 0u);
+  EXPECT_GT(client_->retransmissions(), 5u);
+}
+
+TEST_F(ClientTest, LeaderOnlyRetransmitsToAllOnTimeout) {
+  // Leader guess (replica 0) is unresponsive; after τ1 the client
+  // broadcasts and reaches the responsive replicas.
+  ClientConfig cfg;
+  cfg.reply_quorum = 2;
+  cfg.submit_policy = SubmitPolicy::kLeaderOnly;
+  cfg.retransmit_timeout_us = Millis(50);
+  cfg.max_requests = 1;
+  Build(cfg, {false, true, true, true});
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(client_->accepted_requests(), 1u);
+  EXPECT_GE(client_->retransmissions(), 1u);
+  EXPECT_EQ(replicas_[0]->requests_seen_, 0);  // Unresponsive, saw it only.
+}
+
+TEST_F(ClientTest, TracksLeaderFromReplyViews) {
+  ClientConfig cfg;
+  cfg.reply_quorum = 2;
+  cfg.submit_policy = SubmitPolicy::kAll;
+  cfg.max_requests = 1;
+  Build(cfg, {true, true, true, true}, /*view=*/6);
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(client_->leader_guess(), 6u % 4u);
+}
+
+TEST_F(ClientTest, ThinkTimeDelaysNextRequest) {
+  ClientConfig cfg;
+  cfg.reply_quorum = 2;
+  cfg.submit_policy = SubmitPolicy::kAll;
+  cfg.think_time_us = Millis(100);
+  Build(cfg, {true, true, true, true});
+  sim_.RunUntil(Millis(350));
+  // ~1 request per 100ms of think time (plus small RTTs).
+  EXPECT_LE(client_->accepted_requests(), 4u);
+  EXPECT_GE(client_->accepted_requests(), 2u);
+}
+
+// --- Workload generators ------------------------------------------------------
+
+TEST(WorkloadTest, UniqueKeyPutsAreDistinct) {
+  OpGenerator gen = UniqueKeyPuts(16);
+  Rng rng(1);
+  Buffer a = gen(kClientIdBase, 1, &rng);
+  Buffer b = gen(kClientIdBase, 2, &rng);
+  Buffer c = gen(kClientIdBase + 1, 1, &rng);
+  EXPECT_NE(KvOp::Decode(a)->key, KvOp::Decode(b)->key);
+  EXPECT_NE(KvOp::Decode(a)->key, KvOp::Decode(c)->key);
+  EXPECT_EQ(KvOp::Decode(a)->code, KvOpCode::kPut);
+  EXPECT_EQ(KvOp::Decode(a)->value.size(), 16u);
+}
+
+TEST(WorkloadTest, SharedKeyAddsStayInKeySpace) {
+  OpGenerator gen = SharedKeyAdds(8);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    Result<KvOp> op = KvOp::Decode(gen(kClientIdBase, i, &rng));
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(op->code, KvOpCode::kAdd);
+    int k = std::stoi(op->key.substr(1));
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 8);
+  }
+}
+
+TEST(WorkloadTest, ReadWriteMixRespectsFraction) {
+  OpGenerator gen = ReadWriteMix(0.7, 16);
+  Rng rng(3);
+  int reads = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Result<KvOp> op = KvOp::Decode(gen(kClientIdBase, i, &rng));
+    if (op->code == KvOpCode::kGet) ++reads;
+  }
+  EXPECT_NEAR(reads / 1000.0, 0.7, 0.06);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next(&rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  ZipfGenerator zipf(100, 0.99);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next(&rng)]++;
+  // Rank 0 dominates and counts decay with rank.
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(ZipfTest, HandlesDegenerateSizes) {
+  ZipfGenerator one(1, 0.99);
+  Rng rng(6);
+  EXPECT_EQ(one.Next(&rng), 0u);
+  ZipfGenerator zero(0, 0.5);  // Clamped to 1.
+  EXPECT_EQ(zero.n(), 1u);
+}
+
+}  // namespace
+}  // namespace bftlab

@@ -1,0 +1,275 @@
+// Unit tests for src/common: Status/Result, codec round-trips, RNG
+// determinism, hex, and slices.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/buffer.h"
+#include "common/codec.h"
+#include "common/hex.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bftlab {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad view");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad view");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad view");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::AuthFailed("x").IsAuthFailed());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(SliceTest, ViewsAndCompares) {
+  Buffer buf = {1, 2, 3, 4};
+  Slice s(buf);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[2], 3);
+  Slice t(buf.data(), 4);
+  EXPECT_EQ(s, t);
+  t.RemovePrefix(1);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_NE(s, t);
+  EXPECT_EQ(t.ToBuffer(), (Buffer{2, 3, 4}));
+}
+
+TEST(SliceTest, FromStringAndCString) {
+  std::string str = "hello";
+  Slice a(str);
+  Slice b("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "hello");
+}
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xab);
+  enc.PutU16(0xbeef);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefULL);
+  enc.PutBool(true);
+  enc.PutBool(false);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetU8().value(), 0xab);
+  EXPECT_EQ(dec.GetU16().value(), 0xbeef);
+  EXPECT_EQ(dec.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(dec.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.GetBool().value());
+  EXPECT_FALSE(dec.GetBool().value());
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,    1,    127,        128,
+                             300,  1u << 20, (1ull << 35) + 17,
+                             ~0ull};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.buffer());
+  for (uint64_t v : values) {
+    Result<uint64_t> got = dec.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, BytesAndStrings) {
+  Encoder enc;
+  enc.PutBytes(Slice("payload"));
+  enc.PutString("");
+  enc.PutString("x");
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetBytes().value(), Slice("payload").ToBuffer());
+  EXPECT_EQ(dec.GetString().value(), "");
+  EXPECT_EQ(dec.GetString().value(), "x");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, TruncatedInputsFailCleanly) {
+  Encoder enc;
+  enc.PutU32(7);
+  Buffer buf = enc.Take();
+  buf.pop_back();
+  Decoder dec(buf);
+  Result<uint32_t> r = dec.GetU32();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CodecTest, TruncatedBytesLengthPrefix) {
+  Encoder enc;
+  enc.PutU32(100);  // Length prefix promising 100 bytes...
+  enc.PutU8(1);     // ...but only 1 present.
+  Decoder dec(enc.buffer());
+  Result<Buffer> r = dec.GetBytes();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CodecTest, BadBoolRejected) {
+  Encoder enc;
+  enc.PutU8(7);
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(dec.GetBool().ok());
+}
+
+TEST(CodecTest, OverlongVarintRejected) {
+  Buffer buf(11, 0xff);  // 11 continuation bytes: > 64 bits.
+  Decoder dec(buf);
+  EXPECT_FALSE(dec.GetVarint().ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbabilityRoughlyHolds) {
+  Rng rng(13);
+  int hits = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(5);
+  parent2.Fork();
+  EXPECT_EQ(parent.Next(), parent2.Next());  // Parents stay in sync.
+  uint64_t c = child.Next();
+  uint64_t p = parent.Next();
+  EXPECT_NE(c, p);
+}
+
+TEST(HexTest, RoundTrip) {
+  Buffer b = {0x00, 0x01, 0xab, 0xff};
+  std::string h = ToHex(b);
+  EXPECT_EQ(h, "0001abff");
+  Result<Buffer> back = FromHex(h);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(HexTest, UppercaseAccepted) {
+  Result<Buffer> r = FromHex("ABCD");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Buffer{0xab, 0xcd}));
+}
+
+TEST(HexTest, RejectsOddLengthAndBadChars) {
+  EXPECT_FALSE(FromHex("abc").ok());
+  EXPECT_FALSE(FromHex("zz").ok());
+}
+
+TEST(TypesTest, ClientNodeIds) {
+  EXPECT_FALSE(IsClientNode(0));
+  EXPECT_FALSE(IsClientNode(kClientIdBase - 1));
+  EXPECT_TRUE(IsClientNode(kClientIdBase));
+}
+
+TEST(TypesTest, DurationHelpers) {
+  EXPECT_EQ(Micros(5), 5u);
+  EXPECT_EQ(Millis(5), 5000u);
+  EXPECT_EQ(Seconds(5), 5000000u);
+}
+
+}  // namespace
+}  // namespace bftlab

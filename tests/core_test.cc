@@ -1,0 +1,317 @@
+// Tests for the design-space layer: descriptors, the 14 design-choice
+// transformations (and their correspondence to registered protocols), the
+// registry, the advisor, and the experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/design_choices.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+
+namespace bftlab {
+namespace {
+
+using namespace design_choices;  // NOLINT
+
+ProtocolDescriptor Pbft() { return GetDescriptor("pbft").value(); }
+
+TEST(DesignSpaceTest, FaultFormula) {
+  EXPECT_EQ((FaultFormula{3, 1}).Eval(1), 4u);
+  EXPECT_EQ((FaultFormula{3, 1}).Eval(2), 7u);
+  EXPECT_EQ((FaultFormula{5, 1}).Eval(2), 11u);
+  EXPECT_EQ((FaultFormula{3, 1}).ToString(), "3f+1");
+  EXPECT_EQ((FaultFormula{5, -1}).ToString(), "5f-1");
+  EXPECT_EQ((FaultFormula{1, 1}).ToString(), "f+1");
+}
+
+TEST(DesignSpaceTest, GoodCaseMessageComplexity) {
+  ProtocolDescriptor pbft = Pbft();
+  // 1 linear + 2 quadratic phases at n=4: 3 + 2*12 = 27.
+  EXPECT_EQ(pbft.GoodCaseMessages(4), 3u + 2 * 12u);
+  ProtocolDescriptor hs = GetDescriptor("hotstuff").value();
+  // All-linear: (n-1) * phases.
+  EXPECT_EQ(hs.GoodCaseMessages(4), 3u * hs.good_case_phases);
+  ProtocolDescriptor qu = GetDescriptor("qu").value();
+  EXPECT_EQ(qu.GoodCaseMessages(6), 0u);
+}
+
+TEST(DesignSpaceTest, DescriptorPrints) {
+  std::string s = Pbft().ToString();
+  EXPECT_NE(s.find("pessimistic"), std::string::npos);
+  EXPECT_NE(s.find("3f+1"), std::string::npos);
+}
+
+// --- Design choices ----------------------------------------------------------
+
+TEST(DesignChoicesTest, Dc1LinearizationMatchesSbftShape) {
+  Result<ProtocolDescriptor> out = Linearize(Pbft());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->agreement, TopologyKind::kStar);
+  EXPECT_EQ(out->auth, AuthScheme::kThreshold);
+  EXPECT_EQ(out->good_case_phases, 5u);  // 1 + 2*2.
+  // Idempotence violation: already-linear protocols are invalid inputs.
+  EXPECT_FALSE(Linearize(*out).ok());
+}
+
+TEST(DesignChoicesTest, Dc2PhaseReductionMatchesFab) {
+  Result<ProtocolDescriptor> out = PhaseReduction(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor fab = GetDescriptor("fab").value();
+  EXPECT_EQ(out->replicas, fab.replicas);
+  EXPECT_EQ(out->agreement_quorum, fab.agreement_quorum);
+  EXPECT_EQ(out->good_case_phases, fab.good_case_phases);
+  // Not applicable twice.
+  EXPECT_FALSE(PhaseReduction(*out).ok());
+}
+
+TEST(DesignChoicesTest, Dc3RotationMatchesHotStuffShape) {
+  Result<ProtocolDescriptor> linear = Linearize(Pbft());
+  ASSERT_TRUE(linear.ok());
+  Result<ProtocolDescriptor> out = RotateLeader(*linear);
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor hs = GetDescriptor("hotstuff").value();
+  EXPECT_EQ(out->leader_policy, hs.leader_policy);
+  EXPECT_EQ(out->separate_view_change_stage, hs.separate_view_change_stage);
+  EXPECT_EQ(out->good_case_phases, hs.good_case_phases);
+  EXPECT_TRUE(out->responsive);
+}
+
+TEST(DesignChoicesTest, Dc4NonResponsiveRotationMatchesTendermint) {
+  Result<ProtocolDescriptor> out = RotateLeaderNonResponsive(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor tm = GetDescriptor("tendermint").value();
+  EXPECT_EQ(out->leader_policy, tm.leader_policy);
+  EXPECT_EQ(out->responsive, tm.responsive);
+  EXPECT_EQ(out->good_case_phases, tm.good_case_phases);  // No extra phase.
+  EXPECT_TRUE(out->HasAssumption(kAssumeSynchrony));
+}
+
+TEST(DesignChoicesTest, Dc5ReplicaReductionMatchesCheapBft) {
+  Result<ProtocolDescriptor> out = OptimisticReplicaReduction(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor cheap = GetDescriptor("cheapbft").value();
+  EXPECT_EQ(out->agreement_quorum, cheap.agreement_quorum);
+  EXPECT_EQ(out->replicas, cheap.replicas);  // n stays 3f+1.
+  EXPECT_TRUE(out->HasAssumption(kAssumeCorrectBackups));
+}
+
+TEST(DesignChoicesTest, Dc6OptimisticPhaseReductionMatchesSbftFastPath) {
+  Result<ProtocolDescriptor> linear = Linearize(Pbft());
+  Result<ProtocolDescriptor> out = OptimisticPhaseReduction(*linear);
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor sbft = GetDescriptor("sbft").value();
+  EXPECT_EQ(out->good_case_phases, sbft.good_case_phases);
+  EXPECT_EQ(out->responsive, sbft.responsive);
+  // Requires a linear input.
+  EXPECT_FALSE(OptimisticPhaseReduction(Pbft()).ok());
+}
+
+TEST(DesignChoicesTest, Dc7SpeculativePhaseReductionMatchesPoe) {
+  Result<ProtocolDescriptor> linear = Linearize(Pbft());
+  Result<ProtocolDescriptor> out = SpeculativePhaseReduction(*linear);
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor poe = GetDescriptor("poe").value();
+  EXPECT_EQ(out->speculation, Speculation::kSpeculative);
+  EXPECT_EQ(out->reply_quorum, poe.reply_quorum);
+  EXPECT_EQ(out->good_case_phases, poe.good_case_phases);
+  EXPECT_TRUE(out->responsive);  // Unlike DC6.
+}
+
+TEST(DesignChoicesTest, Dc8SpeculativeExecutionMatchesZyzzyva) {
+  Result<ProtocolDescriptor> out = SpeculativeExecution(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor zyz = GetDescriptor("zyzzyva").value();
+  EXPECT_EQ(out->good_case_phases, zyz.good_case_phases);
+  EXPECT_EQ(out->reply_quorum, zyz.reply_quorum);
+  EXPECT_TRUE(out->client_roles & kClientRepairer);
+  EXPECT_EQ(out->responsive, zyz.responsive);
+}
+
+TEST(DesignChoicesTest, Dc9ConflictFreeMatchesQu) {
+  Result<ProtocolDescriptor> out = OptimisticConflictFree(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor qu = GetDescriptor("qu").value();
+  EXPECT_EQ(out->good_case_phases, 0u);
+  EXPECT_EQ(out->leader_policy, qu.leader_policy);
+  EXPECT_TRUE(out->client_roles & kClientProposer);
+  EXPECT_EQ(out->replicas, qu.replicas);
+}
+
+TEST(DesignChoicesTest, Dc10ResilienceMatchesZyzzyva5) {
+  Result<ProtocolDescriptor> out =
+      Resilience(GetDescriptor("zyzzyva").value());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor z5 = GetDescriptor("zyzzyva5").value();
+  EXPECT_EQ(out->replicas, z5.replicas);
+  EXPECT_EQ(out->reply_quorum, z5.reply_quorum);
+  // Pessimistic protocols are not valid inputs.
+  EXPECT_FALSE(Resilience(Pbft()).ok());
+}
+
+TEST(DesignChoicesTest, Dc11Authentication) {
+  ProtocolDescriptor macs = Pbft();
+  macs.auth = AuthScheme::kMacs;
+  Result<ProtocolDescriptor> sigs = StrengthenAuthentication(macs);
+  ASSERT_TRUE(sigs.ok());
+  EXPECT_EQ(sigs->auth, AuthScheme::kSignatures);
+  // Signatures -> threshold requires a collector topology.
+  EXPECT_FALSE(StrengthenAuthentication(*sigs).ok());  // Clique agreement.
+  Result<ProtocolDescriptor> linear = Linearize(*sigs);
+  ProtocolDescriptor relinear = *linear;
+  relinear.auth = AuthScheme::kSignatures;
+  Result<ProtocolDescriptor> threshold = StrengthenAuthentication(relinear);
+  ASSERT_TRUE(threshold.ok());
+  EXPECT_EQ(threshold->auth, AuthScheme::kThreshold);
+}
+
+TEST(DesignChoicesTest, Dc12RobustMatchesPrime) {
+  Result<ProtocolDescriptor> out = MakeRobust(Pbft());
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor prime = GetDescriptor("prime").value();
+  EXPECT_EQ(out->commitment, prime.commitment);
+  EXPECT_EQ(out->good_case_phases, prime.good_case_phases);
+  EXPECT_TRUE(out->order_fairness);  // Partial fairness for free.
+  EXPECT_FALSE(MakeRobust(*out).ok());  // Already robust.
+}
+
+TEST(DesignChoicesTest, Dc13FairMatchesThemis) {
+  Result<ProtocolDescriptor> out = MakeFair(Pbft(), 1.0);
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor themis = GetDescriptor("themis").value();
+  EXPECT_TRUE(out->order_fairness);
+  EXPECT_EQ(out->replicas, themis.replicas);  // 4f+1 at gamma -> 1.
+  EXPECT_EQ(out->good_case_phases, themis.good_case_phases);
+  // gamma <= 0.5 needs n > infinity: rejected.
+  EXPECT_FALSE(MakeFair(Pbft(), 0.5).ok());
+  // Lower gamma needs more replicas.
+  Result<ProtocolDescriptor> loose = MakeFair(Pbft(), 0.6);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_GT(loose->replicas.coef, out->replicas.coef);
+}
+
+TEST(DesignChoicesTest, Dc14TreeMatchesKauri) {
+  Result<ProtocolDescriptor> linear = Linearize(Pbft());
+  Result<ProtocolDescriptor> out = TreeLoadBalance(*linear, 2);
+  ASSERT_TRUE(out.ok());
+  ProtocolDescriptor kauri = GetDescriptor("kauri").value();
+  EXPECT_EQ(out->dissemination, kauri.dissemination);
+  EXPECT_EQ(out->load_balancing, kauri.load_balancing);
+  EXPECT_TRUE(out->HasAssumption(kAssumeCorrectInternalNodes));
+  // A protocol with no linear phase anywhere is not a valid input.
+  ProtocolDescriptor all_clique = Pbft();
+  all_clique.dissemination = TopologyKind::kClique;
+  EXPECT_FALSE(TreeLoadBalance(all_clique, 2).ok());
+  EXPECT_FALSE(TreeLoadBalance(*linear, 0).ok());  // Bad branching.
+}
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(RegistryTest, AllProtocolsResolve) {
+  for (const std::string& name : AllProtocolNames()) {
+    Result<ProtocolBuild> build = GetProtocol(name, 1);
+    ASSERT_TRUE(build.ok()) << name;
+    EXPECT_EQ(build->descriptor.name, name);
+    EXPECT_NE(build->replica_factory, nullptr) << name;
+    EXPECT_GE(build->RecommendedN(1), 4u) << name;
+    EXPECT_GE(build->ReplyQuorum(1), 2u) << name;
+  }
+  EXPECT_FALSE(GetProtocol("paxos", 1).ok());
+}
+
+// --- Advisor -------------------------------------------------------------------
+
+TEST(AdvisorTest, FairnessRequirementRanksFairProtocolsFirst) {
+  ApplicationRequirements reqs;
+  reqs.needs_order_fairness = true;
+  std::vector<Recommendation> recs = Advise(reqs);
+  ASSERT_FALSE(recs.empty());
+  ProtocolDescriptor top = GetDescriptor(recs[0].protocol).value();
+  EXPECT_TRUE(top.order_fairness) << recs[0].protocol;
+}
+
+TEST(AdvisorTest, AdversarialEnvironmentPrefersRobust) {
+  ApplicationRequirements reqs;
+  reqs.adversarial = true;
+  reqs.faults_expected = true;
+  std::vector<Recommendation> recs = Advise(reqs);
+  // "prime" (the only robust protocol) must rank above all optimistic
+  // protocols.
+  size_t prime_pos = 0, zyzzyva_pos = 0;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].protocol == "prime") prime_pos = i;
+    if (recs[i].protocol == "zyzzyva") zyzzyva_pos = i;
+  }
+  EXPECT_LT(prime_pos, zyzzyva_pos);
+}
+
+TEST(AdvisorTest, ConflictFreeWorkloadSurfacesQu) {
+  ApplicationRequirements reqs;
+  reqs.conflict_rate = 0.0;
+  reqs.throughput_priority = 0.2;
+  std::vector<Recommendation> recs = Advise(reqs);
+  size_t qu_pos = recs.size();
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].protocol == "qu") qu_pos = i;
+  }
+  EXPECT_LT(qu_pos, 4u);  // Among the top recommendations.
+
+  reqs.conflict_rate = 0.8;
+  recs = Advise(reqs);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].protocol == "qu") qu_pos = i;
+  }
+  EXPECT_GT(qu_pos, recs.size() / 2);  // Falls to the bottom half.
+}
+
+TEST(AdvisorTest, ReportMentionsTopProtocols) {
+  ApplicationRequirements reqs;
+  std::string report = AdviseReport(reqs, 3);
+  EXPECT_NE(report.find("1. "), std::string::npos);
+  EXPECT_NE(report.find("2. "), std::string::npos);
+}
+
+// --- Experiment runner -----------------------------------------------------------
+
+TEST(ExperimentTest, RunsEveryProtocolAndChecksSafety) {
+  for (const std::string& name : AllProtocolNames()) {
+    ExperimentConfig cfg;
+    cfg.protocol = name;
+    cfg.f = 1;
+    cfg.num_clients = 2;
+    cfg.duration_us = Seconds(2);
+    cfg.cost_model = CryptoCostModel::Free();
+    Result<ExperimentResult> result = RunExperiment(cfg);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_GT(result->commits, 0u) << name;
+    EXPECT_GT(result->throughput_rps, 0.0) << name;
+    EXPECT_GT(result->mean_latency_ms, 0.0) << name;
+    EXPECT_FALSE(result->TableRow().empty());
+  }
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  ExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.duration_us = Seconds(2);
+  Result<ExperimentResult> a = RunExperiment(cfg);
+  Result<ExperimentResult> b = RunExperiment(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->commits, b->commits);
+  EXPECT_DOUBLE_EQ(a->mean_latency_ms, b->mean_latency_ms);
+}
+
+TEST(ExperimentTest, CrashScheduleApplies) {
+  ExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.duration_us = Seconds(4);
+  cfg.cost_model = CryptoCostModel::Free();
+  cfg.crash_at[0] = Seconds(1);  // Kill the leader mid-run.
+  Result<ExperimentResult> result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->counters["pbft.view_changes_completed"], 1u);
+  EXPECT_GT(result->commits, 0u);
+}
+
+}  // namespace
+}  // namespace bftlab

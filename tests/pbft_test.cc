@@ -1,0 +1,271 @@
+// Integration tests for PBFT: normal-case ordering, batching, view change
+// on leader failure, Byzantine leader behaviours, checkpoint GC, state
+// transfer, and the safety invariants.
+
+#include <gtest/gtest.h>
+
+#include "protocols/common/cluster.h"
+#include "protocols/pbft/pbft_replica.h"
+
+namespace bftlab {
+namespace {
+
+ClusterConfig BaseConfig(uint32_t n = 4, uint32_t f = 1,
+                         uint32_t clients = 2) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.num_clients = clients;
+  cfg.seed = 7;
+  cfg.cost_model = CryptoCostModel::Free();
+  cfg.replica.checkpoint_interval = 16;
+  cfg.replica.view_change_timeout_us = Millis(200);
+  cfg.replica.batch_size = 4;
+  cfg.client.reply_quorum = f + 1;
+  cfg.client.retransmit_timeout_us = Millis(300);
+  return cfg;
+}
+
+Cluster MakePbft(ClusterConfig cfg) {
+  return Cluster(std::move(cfg), MakePbftReplica);
+}
+
+PbftReplica& Pbft(Cluster& cluster, ReplicaId id) {
+  return static_cast<PbftReplica&>(cluster.replica(id));
+}
+
+TEST(PbftTest, CommitsFaultFree) {
+  Cluster cluster = MakePbft(BaseConfig());
+  ASSERT_TRUE(cluster.RunUntilCommits(50, Seconds(30)));
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+  EXPECT_TRUE(cluster.CheckStateMachines().ok());
+  EXPECT_EQ(cluster.metrics().counter("pbft.view_changes_completed"), 0u);
+}
+
+TEST(PbftTest, AllReplicasExecuteSameHistory) {
+  Cluster cluster = MakePbft(BaseConfig());
+  ASSERT_TRUE(cluster.RunUntilCommits(30, Seconds(30)));
+  // Let in-flight commits settle.
+  cluster.RunFor(Millis(100));
+  SequenceNumber min_final = ~0ull;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    min_final = std::min(min_final, cluster.replica(r).finalized_seq());
+  }
+  EXPECT_GT(min_final, 0u);
+  Status agreement = cluster.CheckAgreement();
+  EXPECT_TRUE(agreement.ok()) << agreement.ToString();
+  Status integrity = cluster.CheckStateMachines();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+}
+
+TEST(PbftTest, SingleClientSequentialRequests) {
+  ClusterConfig cfg = BaseConfig(4, 1, 1);
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(20, Seconds(30)));
+  EXPECT_EQ(cluster.client(0).accepted_requests(), 20u);
+}
+
+TEST(PbftTest, SevenReplicasToleratesTwoCrashes) {
+  ClusterConfig cfg = BaseConfig(7, 2);
+  Cluster cluster = MakePbft(std::move(cfg));
+  cluster.Start();
+  cluster.network().Crash(3);
+  cluster.network().Crash(5);
+  ASSERT_TRUE(cluster.RunUntilCommits(30, Seconds(30)));
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, LeaderCrashTriggersViewChangeAndRecovers) {
+  Cluster cluster = MakePbft(BaseConfig());
+  ASSERT_TRUE(cluster.RunUntilCommits(10, Seconds(30)));
+  uint64_t before = cluster.TotalAccepted();
+
+  cluster.network().Crash(0);  // Leader of view 0.
+  ASSERT_TRUE(cluster.RunUntilCommits(before + 20, Seconds(60)));
+
+  // A view change happened and the new leader is not replica 0.
+  for (ReplicaId r = 1; r < 4; ++r) {
+    EXPECT_GE(Pbft(cluster, r).view(), 1u);
+    EXPECT_NE(Pbft(cluster, r).leader(), 0u);
+  }
+  EXPECT_GE(cluster.metrics().counter("pbft.view_changes_completed"), 1u);
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+  EXPECT_TRUE(cluster.CheckStateMachines().ok());
+}
+
+TEST(PbftTest, ConsecutiveLeaderCrashes) {
+  ClusterConfig cfg = BaseConfig(7, 2);
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(5, Seconds(30)));
+  cluster.network().Crash(0);
+  cluster.network().Crash(1);  // Next leader too.
+  ASSERT_TRUE(cluster.RunUntilCommits(25, Seconds(120)));
+  for (ReplicaId r = 2; r < 7; ++r) {
+    EXPECT_GE(Pbft(cluster, r).view(), 2u);
+  }
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, CommittedPrefixSurvivesViewChange) {
+  Cluster cluster = MakePbft(BaseConfig());
+  ASSERT_TRUE(cluster.RunUntilCommits(15, Seconds(30)));
+  cluster.RunFor(Millis(50));
+  // Record replica 1's finalized history before killing the leader.
+  auto before = cluster.replica(1).finalized_digests();
+  cluster.network().Crash(0);
+  ASSERT_TRUE(cluster.RunUntilCommits(cluster.TotalAccepted() + 10,
+                                      Seconds(60)));
+  // Every previously finalized entry is unchanged afterwards.
+  const auto& after = cluster.replica(1).finalized_digests();
+  for (const auto& [seq, digest] : before) {
+    auto it = after.find(seq);
+    ASSERT_NE(it, after.end());
+    EXPECT_EQ(it->second, digest) << "seq " << seq;
+  }
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, EquivocatingLeaderCannotViolateSafety) {
+  ClusterConfig cfg = BaseConfig();
+  cfg.byzantine[0] = ByzantineSpec{ByzantineMode::kEquivocate, 0, 0};
+  Cluster cluster = MakePbft(std::move(cfg));
+  // Progress may require a view change away from the equivocator; give it
+  // time, then assert safety unconditionally.
+  cluster.RunUntilCommits(20, Seconds(60));
+  Status agreement = cluster.CheckAgreement();
+  EXPECT_TRUE(agreement.ok()) << agreement.ToString();
+  Status integrity = cluster.CheckStateMachines();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+  EXPECT_GE(cluster.metrics().counter("pbft.equivocations"), 0u);
+}
+
+TEST(PbftTest, SilentBackupDoesNotBlockProgress) {
+  ClusterConfig cfg = BaseConfig();
+  cfg.byzantine[2] = ByzantineSpec{ByzantineMode::kSilentBackup, 0, 0};
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(30, Seconds(30)));
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, CensoringLeaderIsEventuallyReplaced) {
+  ClusterConfig cfg = BaseConfig(4, 1, 2);
+  ClientId victim = kClientIdBase;  // Client 0.
+  cfg.byzantine[0] = ByzantineSpec{ByzantineMode::kCensorClient, victim, 0};
+  Cluster cluster = MakePbft(std::move(cfg));
+  cluster.Start();
+  // The victim's requests are censored until backups time out and rotate
+  // the leader; afterwards the victim makes progress.
+  ASSERT_TRUE(cluster.sim().RunUntilPredicate(
+      [&] { return cluster.client(0).accepted_requests() >= 5; },
+      Seconds(120)));
+  EXPECT_GE(cluster.metrics().counter("pbft.view_changes_completed"), 1u);
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, CheckpointsBecomeStableAndGc) {
+  ClusterConfig cfg = BaseConfig();
+  cfg.replica.checkpoint_interval = 8;
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(60, Seconds(60)));
+  cluster.RunFor(Millis(200));
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_GT(cluster.replica(r).checkpoints().stable_seq(), 0u)
+        << "replica " << r;
+  }
+  EXPECT_GT(cluster.metrics().counter("replica.checkpoints_stable"), 0u);
+}
+
+TEST(PbftTest, InDarkReplicaCatchesUpViaStateTransfer) {
+  ClusterConfig cfg = BaseConfig(4, 1, 2);
+  cfg.replica.checkpoint_interval = 8;
+  Cluster cluster = MakePbft(std::move(cfg));
+  cluster.Start();
+  // Replica 3 is partitioned away while the others make progress.
+  cluster.network().Partition({{0, 1, 2, kClientIdBase, kClientIdBase + 1},
+                               {3}},
+                              Seconds(5));
+  ASSERT_TRUE(cluster.RunUntilCommits(60, Seconds(5)));
+  // Heal the partition; replica 3 is far behind and must state-transfer.
+  cluster.RunFor(Seconds(10));
+  EXPECT_GT(cluster.replica(3).finalized_seq(), 0u);
+  EXPECT_GE(cluster.metrics().counter("replica.state_transfers_completed"),
+            1u);
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+  EXPECT_TRUE(cluster.CheckStateMachines().ok());
+}
+
+TEST(PbftTest, MacAuthenticationAlsoCommits) {
+  ClusterConfig cfg = BaseConfig();
+  cfg.replica.auth = AuthScheme::kMacs;
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(30, Seconds(30)));
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+TEST(PbftTest, MessageComplexityIsQuadratic) {
+  // Fault-free run: per committed batch, prepare+commit phases are
+  // all-to-all. Compare total message counts at n=4 vs n=7 for the same
+  // commit count: the ratio should reflect O(n^2) growth.
+  auto run = [](uint32_t n, uint32_t f) {
+    ClusterConfig cfg = BaseConfig(n, f, 1);
+    cfg.client.reply_quorum = f + 1;
+    cfg.replica.batch_size = 1;
+    Cluster cluster(std::move(cfg), MakePbftReplica);
+    EXPECT_TRUE(cluster.RunUntilCommits(20, Seconds(60)));
+    return cluster.metrics().TotalMsgsSent();
+  };
+  uint64_t msgs4 = run(4, 1);
+  uint64_t msgs7 = run(7, 2);
+  // Quadratic growth: (7/4)^2 ≈ 3.06; linear would be 1.75.
+  double ratio = static_cast<double>(msgs7) / static_cast<double>(msgs4);
+  EXPECT_GT(ratio, 2.0);
+}
+
+TEST(PbftTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Cluster cluster = MakePbft(BaseConfig());
+    cluster.RunUntilCommits(20, Seconds(30));
+    return std::make_pair(cluster.sim().now(),
+                          cluster.metrics().TotalMsgsSent());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(PbftTest, ProactiveRecoveryRejuvenatesWithoutLosingLiveness) {
+  // P5: replicas are rejuvenated one by one (crash + restart); the
+  // cluster keeps committing, and rejuvenated replicas catch up via
+  // state transfer. With f = 1 and one replica down at a time, quorums
+  // always survive.
+  ClusterConfig cfg = BaseConfig(4, 1, 2);
+  cfg.replica.checkpoint_interval = 8;
+  Cluster cluster = MakePbft(std::move(cfg));
+  cluster.Start();
+  cluster.EnableProactiveRecovery(/*interval=*/Millis(500),
+                                  /*downtime=*/Millis(100));
+  cluster.RunFor(Seconds(4));
+  cluster.RunFor(Millis(150));  // Let an in-flight rejuvenation finish.
+  EXPECT_GE(cluster.metrics().counter("cluster.rejuvenations"), 4u);
+  EXPECT_GT(cluster.TotalAccepted(), 150u);
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+  EXPECT_TRUE(cluster.CheckStateMachines().ok());
+  // Every replica made it back and kept executing.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_FALSE(cluster.network().IsDown(r)) << "replica " << r;
+  }
+}
+
+TEST(PbftTest, ClientRetransmissionAfterDrop) {
+  ClusterConfig cfg = BaseConfig(4, 1, 1);
+  // Lossy start: messages drop until GST.
+  cfg.net.gst_us = Millis(500);
+  cfg.net.pre_gst_drop_prob = 0.3;
+  Cluster cluster = MakePbft(std::move(cfg));
+  ASSERT_TRUE(cluster.RunUntilCommits(10, Seconds(120)));
+  EXPECT_TRUE(cluster.CheckAgreement().ok());
+}
+
+}  // namespace
+}  // namespace bftlab

@@ -1,0 +1,387 @@
+// Unit tests for src/sim: event queue determinism, timers, the network's
+// synchrony/fault model, CPU and bandwidth accounting, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/keystore.h"
+#include "sim/actor.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace bftlab {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.RunUntil(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, DeadlineStopsExecution) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(10, [&] { ++ran; });
+  sim.Schedule(200, [&] { ++ran; });
+  EXPECT_FALSE(sim.RunUntil(100));
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.RunUntil(300));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int ran = 0;
+  EventId id = sim.ScheduleCancelable(10, [&] { ++ran; });
+  sim.Cancel(id);
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int ran = 0;
+  EventId id = sim.ScheduleCancelable(10, [&] { ++ran; });
+  sim.RunUntil(100);
+  sim.Cancel(id);  // Already fired.
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, EventsScheduledDuringEventsRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.Schedule(10, recurse);
+  };
+  sim.Schedule(0, recurse);
+  sim.RunUntil(1000);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.Schedule(10 * (i + 1), [&] { ++count; });
+  EXPECT_TRUE(sim.RunUntilPredicate([&] { return count == 3; }, 1000));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Network tests.
+
+class PingMessage : public Message {
+ public:
+  explicit PingMessage(uint64_t value, size_t pad = 0)
+      : value_(value), pad_(pad) {}
+  uint64_t value() const { return value_; }
+  uint32_t type() const override { return 900; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU64(value_);
+    enc->PutRaw(Buffer(pad_, 0));
+  }
+  std::string DebugString() const override { return "PING"; }
+
+ private:
+  uint64_t value_;
+  size_t pad_;
+};
+
+class EchoActor : public Actor {
+ public:
+  explicit EchoActor(NodeId id, bool reply = false)
+      : Actor(id), reply_(reply) {}
+
+  void Start() override { started_ = true; }
+
+  void OnMessage(NodeId from, const MessagePtr& msg) override {
+    received_.push_back({from, Now()});
+    last_value_ = static_cast<const PingMessage&>(*msg).value();
+    if (reply_) Send(from, std::make_shared<PingMessage>(last_value_ + 1));
+  }
+
+  void OnTimer(uint64_t tag) override { timer_fires_.push_back(tag); }
+  void OnRestart() override { restarted_ = true; }
+
+  // Test-visible send helpers (Actor's are protected).
+  void SendTo(NodeId to, MessagePtr msg) { Send(to, std::move(msg)); }
+  EventId Arm(SimTime delay, uint64_t tag) { return SetTimer(delay, tag); }
+  void Disarm(EventId* id) { CancelTimer(id); }
+
+  struct Received {
+    NodeId from;
+    SimTime at;
+  };
+  bool started_ = false;
+  bool restarted_ = false;
+  bool reply_;
+  uint64_t last_value_ = 0;
+  std::vector<Received> received_;
+  std::vector<uint64_t> timer_fires_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void Build(NetworkConfig config, int num_nodes = 3) {
+    keystore_ = std::make_unique<KeyStore>(1);
+    network_ = std::make_unique<Network>(&sim_, &metrics_, keystore_.get(),
+                                         Rng(1), config,
+                                         CryptoCostModel::Free());
+    for (int i = 0; i < num_nodes; ++i) {
+      actors_.push_back(std::make_unique<EchoActor>(i));
+      network_->RegisterActor(actors_.back().get());
+    }
+    network_->Start();
+    sim_.RunUntil(0);
+  }
+
+  Simulator sim_;
+  MetricsCollector metrics_;
+  std::unique_ptr<KeyStore> keystore_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<EchoActor>> actors_;
+};
+
+TEST_F(NetworkTest, StartInvoked) {
+  Build(NetworkConfig::Lan());
+  for (auto& a : actors_) EXPECT_TRUE(a->started_);
+}
+
+TEST_F(NetworkTest, DeliversWithinLatencyPlusJitter) {
+  NetworkConfig cfg;
+  cfg.latency_us = 500;
+  cfg.jitter_us = 100;
+  cfg.per_msg_processing_us = 0;
+  Build(cfg);
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(7));
+  sim_.RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1]->received_.size(), 1u);
+  EXPECT_EQ(actors_[1]->last_value_, 7u);
+  SimTime at = actors_[1]->received_[0].at;
+  EXPECT_GE(at, 500u);
+  EXPECT_LE(at, 700u);  // latency + jitter + tx time.
+}
+
+TEST_F(NetworkTest, RequestReplyRoundTrip) {
+  Build(NetworkConfig::Lan());
+  actors_[1]->reply_ = true;
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(10));
+  sim_.RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[0]->received_.size(), 1u);
+  EXPECT_EQ(actors_[0]->last_value_, 11u);
+}
+
+TEST_F(NetworkTest, SelfSendDeliversWithoutStats) {
+  Build(NetworkConfig::Lan());
+  actors_[0]->SendTo(0, std::make_shared<PingMessage>(3));
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(actors_[0]->received_.size(), 1u);
+  EXPECT_EQ(metrics_.node(0).msgs_sent, 0u);
+}
+
+TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
+  Build(NetworkConfig::Lan());
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  actors_[0]->SendTo(2, std::make_shared<PingMessage>(2));
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(metrics_.node(0).msgs_sent, 2u);
+  EXPECT_EQ(metrics_.node(1).msgs_received, 1u);
+  EXPECT_EQ(metrics_.node(2).msgs_received, 1u);
+  // 8-byte body + 40-byte header.
+  EXPECT_EQ(metrics_.node(0).bytes_sent, 2 * (8 + 40u));
+  EXPECT_EQ(metrics_.TotalMsgsSent(), 2u);
+}
+
+TEST_F(NetworkTest, CrashStopsDelivery) {
+  Build(NetworkConfig::Lan());
+  network_->Crash(1);
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(actors_[1]->received_.empty());
+}
+
+TEST_F(NetworkTest, RestartInvokesOnRestartAndResumesDelivery) {
+  Build(NetworkConfig::Lan());
+  network_->Crash(1);
+  sim_.RunUntil(Millis(10));
+  network_->Restart(1);
+  EXPECT_TRUE(actors_[1]->restarted_);
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(4));
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(actors_[1]->received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, BlockedLinkDropsUntilDeadline) {
+  Build(NetworkConfig::Lan());
+  network_->BlockLink(0, 1, Millis(100));
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  sim_.RunUntil(Millis(50));
+  EXPECT_TRUE(actors_[1]->received_.empty());
+  EXPECT_EQ(metrics_.node(0).msgs_dropped, 1u);
+  // After the deadline the link works again.
+  sim_.RunUntil(Millis(200));
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(2));
+  sim_.RunUntil(Millis(300));
+  EXPECT_EQ(actors_[1]->received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionSeparatesGroups) {
+  Build(NetworkConfig::Lan());
+  network_->Partition({{0, 1}, {2}}, Millis(100));
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  actors_[0]->SendTo(2, std::make_shared<PingMessage>(2));
+  sim_.RunUntil(Millis(50));
+  EXPECT_EQ(actors_[1]->received_.size(), 1u);  // Same group: delivered.
+  EXPECT_TRUE(actors_[2]->received_.empty());   // Cross group: dropped.
+}
+
+TEST_F(NetworkTest, PreGstDropsThenPostGstBound) {
+  NetworkConfig cfg;
+  cfg.latency_us = 500;
+  cfg.jitter_us = 0;
+  cfg.gst_us = Millis(100);
+  cfg.delta_us = Millis(10);
+  cfg.pre_gst_drop_prob = 1.0;  // Everything before GST is dropped.
+  Build(cfg);
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  sim_.RunUntil(Millis(99));
+  EXPECT_TRUE(actors_[1]->received_.empty());
+  // After GST messages flow and arrive within delta.
+  sim_.RunUntil(Millis(101));
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(2));
+  sim_.RunUntil(Millis(200));
+  ASSERT_EQ(actors_[1]->received_.size(), 1u);
+  EXPECT_LE(actors_[1]->received_[0].at, Millis(100) + Millis(10) + 1000);
+}
+
+TEST_F(NetworkTest, PreGstExtraDelayIsBoundedByDelta) {
+  NetworkConfig cfg;
+  cfg.latency_us = 100;
+  cfg.jitter_us = 0;
+  cfg.gst_us = Millis(50);
+  cfg.delta_us = Millis(20);
+  cfg.pre_gst_extra_delay_us = Seconds(10);  // Huge adversarial delay...
+  Build(cfg);
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  sim_.RunUntil(Seconds(20));
+  ASSERT_EQ(actors_[1]->received_.size(), 1u);
+  // ...but partial synchrony clamps arrival to GST + delta.
+  EXPECT_LE(actors_[1]->received_[0].at, Millis(50) + Millis(20) + 1000);
+}
+
+TEST_F(NetworkTest, DelayInjectorCanDropAndDelay) {
+  Build(NetworkConfig::Lan());
+  int intercepted = 0;
+  network_->SetDelayInjector(
+      [&](NodeId from, NodeId to, const MessagePtr&, bool* drop) {
+        ++intercepted;
+        if (to == 2) *drop = true;
+        (void)from;
+        return std::nullopt;
+      });
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1));
+  actors_[0]->SendTo(2, std::make_shared<PingMessage>(2));
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(intercepted, 2);
+  EXPECT_EQ(actors_[1]->received_.size(), 1u);
+  EXPECT_TRUE(actors_[2]->received_.empty());
+}
+
+TEST_F(NetworkTest, TimersFireAndCancel) {
+  Build(NetworkConfig::Lan());
+  EventId t1 = actors_[0]->Arm(Millis(10), 42);
+  actors_[0]->Arm(Millis(20), 43);
+  actors_[0]->Disarm(&t1);
+  EXPECT_EQ(t1, kInvalidEvent);
+  sim_.RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[0]->timer_fires_.size(), 1u);
+  EXPECT_EQ(actors_[0]->timer_fires_[0], 43u);
+}
+
+TEST_F(NetworkTest, TimersDoNotFireWhileCrashed) {
+  Build(NetworkConfig::Lan());
+  actors_[0]->Arm(Millis(10), 42);
+  network_->Crash(0);
+  sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(actors_[0]->timer_fires_.empty());
+}
+
+TEST_F(NetworkTest, BandwidthSerializesLargeSends) {
+  NetworkConfig cfg;
+  cfg.latency_us = 0;
+  cfg.jitter_us = 0;
+  cfg.bandwidth_mbps = 8.0;  // 1 byte/us.
+  cfg.per_msg_processing_us = 0;
+  cfg.packet_header_bytes = 0;
+  Build(cfg);
+  // Two 10-KB messages: the second's transmission waits for the first.
+  actors_[0]->SendTo(1, std::make_shared<PingMessage>(1, 9992));
+  actors_[0]->SendTo(2, std::make_shared<PingMessage>(2, 9992));
+  sim_.RunUntil(Seconds(1));
+  ASSERT_EQ(actors_[1]->received_.size(), 1u);
+  ASSERT_EQ(actors_[2]->received_.size(), 1u);
+  SimTime t1 = actors_[1]->received_[0].at;
+  SimTime t2 = actors_[2]->received_[0].at;
+  EXPECT_GE(t2, t1 + 9000);  // Uplink serialization.
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+}
+
+TEST(MetricsTest, CommitAndThroughput) {
+  MetricsCollector m;
+  m.RecordCommit(1, 0, Millis(10));
+  m.RecordCommit(2, Millis(5), Millis(20));
+  EXPECT_EQ(m.commits(), 2u);
+  EXPECT_DOUBLE_EQ(m.commit_latency_us().Mean(),
+                   (Millis(10) + Millis(15)) / 2.0);
+  EXPECT_DOUBLE_EQ(m.Throughput(0, Seconds(1)), 2.0);
+}
+
+TEST(MetricsTest, CountersAndImbalance) {
+  MetricsCollector m;
+  m.Increment("view_changes");
+  m.Increment("view_changes", 2);
+  EXPECT_EQ(m.counter("view_changes"), 3u);
+  EXPECT_EQ(m.counter("unknown"), 0u);
+
+  m.node(0).msgs_sent = 100;
+  m.node(1).msgs_sent = 100;
+  EXPECT_DOUBLE_EQ(m.MsgLoadImbalance(), 0.0);
+  m.node(1).msgs_sent = 300;
+  EXPECT_GT(m.MsgLoadImbalance(), 0.0);
+  EXPECT_EQ(m.MaxNodeMsgLoad(), 300u);
+}
+
+}  // namespace
+}  // namespace bftlab

@@ -1,0 +1,264 @@
+// Unit tests for src/smr: requests/batches, the KV state machine
+// (determinism, rollback, snapshots), and checkpoint storage.
+
+#include <gtest/gtest.h>
+
+#include "crypto/keystore.h"
+#include "smr/checkpoint.h"
+#include "smr/kv_op.h"
+#include "smr/kv_state_machine.h"
+#include "smr/request.h"
+
+namespace bftlab {
+namespace {
+
+// --- Requests --------------------------------------------------------------
+
+class RequestTest : public ::testing::Test {
+ protected:
+  KeyStore keystore_{42};
+  CryptoContext client_ctx_{kClientIdBase, &keystore_,
+                            CryptoCostModel::Free()};
+  CryptoContext replica_ctx_{0, &keystore_, CryptoCostModel::Free()};
+
+  ClientRequest MakeRequest(RequestTimestamp ts) {
+    ClientRequest req;
+    req.client = kClientIdBase;
+    req.timestamp = ts;
+    req.operation = KvOp::Put("k", "v");
+    req.Sign(&client_ctx_);
+    return req;
+  }
+};
+
+TEST_F(RequestTest, EncodeDecodeRoundTrip) {
+  ClientRequest req = MakeRequest(7);
+  Encoder enc;
+  req.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Result<ClientRequest> back = ClientRequest::DecodeFrom(&dec);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, req);
+  EXPECT_EQ(back->signature.signer, req.signature.signer);
+}
+
+TEST_F(RequestTest, DigestIdentifiesContent) {
+  ClientRequest a = MakeRequest(1);
+  ClientRequest b = MakeRequest(2);
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+  EXPECT_EQ(a.ComputeDigest(), MakeRequest(1).ComputeDigest());
+}
+
+TEST_F(RequestTest, SignatureVerifiesAndBindsClient) {
+  ClientRequest req = MakeRequest(1);
+  EXPECT_TRUE(req.VerifySignature(&replica_ctx_));
+  // Tampering with the operation invalidates the signature.
+  ClientRequest tampered = req;
+  tampered.operation = KvOp::Put("k", "evil");
+  EXPECT_FALSE(tampered.VerifySignature(&replica_ctx_));
+  // A signature from a different principal is rejected.
+  ClientRequest wrong_signer = req;
+  wrong_signer.signature.signer = kClientIdBase + 1;
+  EXPECT_FALSE(wrong_signer.VerifySignature(&replica_ctx_));
+}
+
+TEST_F(RequestTest, BatchRoundTripAndDigest) {
+  Batch batch;
+  batch.requests.push_back(MakeRequest(1));
+  batch.requests.push_back(MakeRequest(2));
+  Encoder enc;
+  batch.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  Result<Batch> back = Batch::DecodeFrom(&dec);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->requests.size(), 2u);
+  EXPECT_EQ(back->requests[1], batch.requests[1]);
+  EXPECT_EQ(back->ComputeDigest(), batch.ComputeDigest());
+  EXPECT_GT(batch.WireBytes(), 2 * kSignatureBytes);
+}
+
+TEST_F(RequestTest, ReplyMessageFields) {
+  ReplyMessage reply(3, 1, kClientIdBase, 9, Buffer{'O', 'K'}, true);
+  EXPECT_EQ(reply.type(), kMsgReply);
+  EXPECT_EQ(reply.view(), 3u);
+  EXPECT_EQ(reply.replica(), 1u);
+  EXPECT_TRUE(reply.speculative());
+  EXPECT_GT(reply.WireSize(), 0u);
+  EXPECT_NE(reply.DebugString().find("REPLY"), std::string::npos);
+}
+
+// --- KV operations ----------------------------------------------------------
+
+TEST(KvOpTest, EncodeDecodeAllOps) {
+  for (const Buffer& encoded :
+       {KvOp::Put("key", "value"), KvOp::Get("key"), KvOp::Delete("key"),
+        KvOp::Add("key", -5)}) {
+    Result<KvOp> op = KvOp::Decode(encoded);
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(op->key, "key");
+  }
+  Result<KvOp> add = KvOp::Decode(KvOp::Add("k", -5));
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add->delta, -5);
+}
+
+TEST(KvOpTest, RejectsGarbage) {
+  EXPECT_FALSE(KvOp::Decode(Buffer{99}).ok());
+  EXPECT_FALSE(KvOp::Decode(Buffer{}).ok());
+}
+
+// --- KV state machine --------------------------------------------------------
+
+TEST(KvStateMachineTest, PutGetDelete) {
+  KvStateMachine sm;
+  EXPECT_EQ(sm.Apply(KvOp::Put("a", "1")).value(), Slice("OK").ToBuffer());
+  EXPECT_EQ(sm.Apply(KvOp::Get("a")).value(), Slice("1").ToBuffer());
+  EXPECT_EQ(sm.Apply(KvOp::Delete("a")).value(), Slice("OK").ToBuffer());
+  EXPECT_EQ(sm.Apply(KvOp::Delete("a")).value(),
+            Slice("NOTFOUND").ToBuffer());
+  EXPECT_EQ(sm.Apply(KvOp::Get("a")).value(), Buffer{});
+  EXPECT_EQ(sm.version(), 5u);
+}
+
+TEST(KvStateMachineTest, AddAccumulates) {
+  KvStateMachine sm;
+  EXPECT_EQ(sm.Apply(KvOp::Add("x", 5)).value(), Slice("5").ToBuffer());
+  EXPECT_EQ(sm.Apply(KvOp::Add("x", -2)).value(), Slice("3").ToBuffer());
+  EXPECT_EQ(sm.Get("x").value(), "3");
+}
+
+TEST(KvStateMachineTest, IsReadOnly) {
+  KvStateMachine sm;
+  EXPECT_TRUE(sm.IsReadOnly(KvOp::Get("k")));
+  EXPECT_FALSE(sm.IsReadOnly(KvOp::Put("k", "v")));
+  EXPECT_FALSE(sm.IsReadOnly(KvOp::Add("k", 1)));
+}
+
+TEST(KvStateMachineTest, DigestIsOrderSensitive) {
+  KvStateMachine a, b;
+  a.Apply(KvOp::Put("x", "1"));
+  a.Apply(KvOp::Put("y", "2"));
+  b.Apply(KvOp::Put("y", "2"));
+  b.Apply(KvOp::Put("x", "1"));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+
+  KvStateMachine c;
+  c.Apply(KvOp::Put("x", "1"));
+  c.Apply(KvOp::Put("y", "2"));
+  EXPECT_EQ(a.StateDigest(), c.StateDigest());
+}
+
+TEST(KvStateMachineTest, RollbackRestoresStateAndDigest) {
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+  Digest d1 = sm.StateDigest();
+  sm.Apply(KvOp::Put("a", "2"));
+  sm.Apply(KvOp::Delete("a"));
+  sm.Apply(KvOp::Put("b", "3"));
+
+  ASSERT_TRUE(sm.Rollback(3).ok());
+  EXPECT_EQ(sm.version(), 1u);
+  EXPECT_EQ(sm.StateDigest(), d1);
+  EXPECT_EQ(sm.Get("a").value(), "1");
+  EXPECT_FALSE(sm.Get("b").has_value());
+}
+
+TEST(KvStateMachineTest, RollbackBeyondHistoryFails) {
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+  sm.TrimUndoHistory(1);
+  EXPECT_FALSE(sm.Rollback(1).ok());
+}
+
+TEST(KvStateMachineTest, TrimThenRollbackRecentStillWorks) {
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+  sm.Apply(KvOp::Put("b", "2"));
+  sm.TrimUndoHistory(1);
+  ASSERT_TRUE(sm.Rollback(1).ok());
+  EXPECT_EQ(sm.version(), 1u);
+  EXPECT_FALSE(sm.Get("b").has_value());
+}
+
+TEST(KvStateMachineTest, SnapshotRestoreRoundTrip) {
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+  sm.Apply(KvOp::Put("b", "2"));
+  Buffer snap = sm.Snapshot();
+
+  KvStateMachine other;
+  ASSERT_TRUE(other.Restore(snap).ok());
+  EXPECT_EQ(other.version(), 2u);
+  EXPECT_EQ(other.StateDigest(), sm.StateDigest());
+  EXPECT_EQ(other.Get("a").value(), "1");
+  EXPECT_EQ(other.Get("b").value(), "2");
+
+  // Restored machines continue identically.
+  sm.Apply(KvOp::Put("c", "3"));
+  other.Apply(KvOp::Put("c", "3"));
+  EXPECT_EQ(other.StateDigest(), sm.StateDigest());
+}
+
+TEST(KvStateMachineTest, RestoreRejectsCorruptSnapshot) {
+  KvStateMachine sm;
+  Buffer bad = {1, 2, 3};
+  EXPECT_FALSE(sm.Restore(bad).ok());
+}
+
+TEST(KvStateMachineTest, ApplyRejectsMalformedOp) {
+  KvStateMachine sm;
+  EXPECT_FALSE(sm.Apply(Buffer{0xff, 0x00}).ok());
+  EXPECT_EQ(sm.version(), 0u);  // Failed ops do not advance the version.
+}
+
+// --- Checkpoints --------------------------------------------------------------
+
+TEST(CheckpointStoreTest, IntervalAndPredicate) {
+  CheckpointStore store(10);
+  EXPECT_FALSE(store.IsCheckpointSeq(0));
+  EXPECT_FALSE(store.IsCheckpointSeq(5));
+  EXPECT_TRUE(store.IsCheckpointSeq(10));
+  EXPECT_TRUE(store.IsCheckpointSeq(20));
+}
+
+TEST(CheckpointStoreTest, AddGetMarkStableGc) {
+  CheckpointStore store(10);
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+
+  store.Add(10, sm.StateDigest(), sm.Snapshot());
+  store.Add(20, sm.StateDigest(), sm.Snapshot());
+  store.Add(30, sm.StateDigest(), sm.Snapshot());
+  EXPECT_EQ(store.RetainedCount(), 3u);
+
+  EXPECT_EQ(store.MarkStable(20), 20u);
+  EXPECT_EQ(store.stable_seq(), 20u);
+  // Checkpoints below the stable one are garbage-collected.
+  EXPECT_EQ(store.RetainedCount(), 2u);
+  EXPECT_FALSE(store.Get(10).ok());
+  ASSERT_TRUE(store.GetStable().ok());
+  EXPECT_EQ(store.GetStable()->seq, 20u);
+
+  // Stale stability marks do not regress.
+  EXPECT_EQ(store.MarkStable(10), 20u);
+}
+
+TEST(CheckpointStoreTest, RestoreFromStableCheckpoint) {
+  CheckpointStore store(5);
+  KvStateMachine sm;
+  for (int i = 0; i < 5; ++i) {
+    sm.Apply(KvOp::Add("counter", 1));
+  }
+  store.Add(5, sm.StateDigest(), sm.Snapshot());
+  store.MarkStable(5);
+
+  KvStateMachine trailing;
+  Result<Checkpoint> cp = store.GetStable();
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE(trailing.Restore(cp->snapshot).ok());
+  EXPECT_EQ(trailing.StateDigest(), sm.StateDigest());
+  EXPECT_EQ(trailing.Get("counter").value(), "5");
+}
+
+}  // namespace
+}  // namespace bftlab

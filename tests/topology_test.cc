@@ -1,0 +1,127 @@
+// Unit tests for src/net topology: per-kind neighbor sets, tree layout,
+// re-rooting, and message-complexity counting used by E2/DC14 benches.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "net/topology.h"
+
+namespace bftlab {
+namespace {
+
+TEST(TopologyTest, MakeValidates) {
+  EXPECT_FALSE(Topology::Make(TopologyKind::kStar, 0, 0).ok());
+  EXPECT_FALSE(Topology::Make(TopologyKind::kStar, 4, 4).ok());
+  EXPECT_FALSE(Topology::Make(TopologyKind::kTree, 4, 0, 0).ok());
+  EXPECT_TRUE(Topology::Make(TopologyKind::kTree, 4, 0, 2).ok());
+}
+
+TEST(TopologyTest, StarDownstreamUpstream) {
+  Topology t = Topology::Make(TopologyKind::kStar, 4, 1).value();
+  EXPECT_EQ(t.DownstreamOf(1), (std::vector<ReplicaId>{0, 2, 3}));
+  EXPECT_TRUE(t.DownstreamOf(0).empty());
+  EXPECT_EQ(t.UpstreamOf(0), (std::vector<ReplicaId>{1}));
+  EXPECT_TRUE(t.UpstreamOf(1).empty());
+}
+
+TEST(TopologyTest, CliqueAllToAll) {
+  Topology t = Topology::Make(TopologyKind::kClique, 4, 0).value();
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(t.DownstreamOf(r).size(), 3u);
+    EXPECT_EQ(t.UpstreamOf(r).size(), 3u);
+  }
+}
+
+TEST(TopologyTest, ChainFollowsRotationOrder) {
+  Topology t = Topology::Make(TopologyKind::kChain, 4, 2).value();
+  // Rotation order from root 2: 2, 3, 0, 1.
+  EXPECT_EQ(t.DownstreamOf(2), (std::vector<ReplicaId>{3}));
+  EXPECT_EQ(t.DownstreamOf(3), (std::vector<ReplicaId>{0}));
+  EXPECT_EQ(t.DownstreamOf(0), (std::vector<ReplicaId>{1}));
+  EXPECT_TRUE(t.DownstreamOf(1).empty());
+  EXPECT_EQ(t.UpstreamOf(1), (std::vector<ReplicaId>{0}));
+  EXPECT_TRUE(t.UpstreamOf(2).empty());
+}
+
+TEST(TopologyTest, BinaryTreeLayout) {
+  // 7 nodes, root 0, branching 2: positions = ids.
+  Topology t = Topology::Make(TopologyKind::kTree, 7, 0, 2).value();
+  EXPECT_EQ(t.ChildrenOf(0), (std::vector<ReplicaId>{1, 2}));
+  EXPECT_EQ(t.ChildrenOf(1), (std::vector<ReplicaId>{3, 4}));
+  EXPECT_EQ(t.ChildrenOf(2), (std::vector<ReplicaId>{5, 6}));
+  EXPECT_TRUE(t.ChildrenOf(3).empty());
+  EXPECT_EQ(t.ParentOf(0), kInvalidReplica);
+  EXPECT_EQ(t.ParentOf(4), 1u);
+  EXPECT_EQ(t.DepthOf(0), 0u);
+  EXPECT_EQ(t.DepthOf(2), 1u);
+  EXPECT_EQ(t.DepthOf(6), 2u);
+  EXPECT_EQ(t.Height(), 2u);
+  EXPECT_TRUE(t.IsInternal(1));
+  EXPECT_FALSE(t.IsInternal(5));
+}
+
+TEST(TopologyTest, TreeRerootingIsConsistent) {
+  // Root 3 over 7 nodes: rotation order 3,4,5,6,0,1,2.
+  Topology t = Topology::Make(TopologyKind::kTree, 7, 3, 2).value();
+  EXPECT_EQ(t.ChildrenOf(3), (std::vector<ReplicaId>{4, 5}));
+  EXPECT_EQ(t.ParentOf(4), 3u);
+  EXPECT_EQ(t.ParentOf(0), 4u);  // Position 4's parent is position 1.
+  // Every non-root has exactly one parent, and parent/child agree.
+  for (ReplicaId r = 0; r < 7; ++r) {
+    for (ReplicaId c : t.ChildrenOf(r)) {
+      EXPECT_EQ(t.ParentOf(c), r);
+    }
+  }
+}
+
+TEST(TopologyTest, TreeCoversAllNodesOnce) {
+  for (uint32_t n : {1u, 2u, 5u, 16u, 31u}) {
+    for (uint32_t b : {1u, 2u, 3u, 4u}) {
+      Topology t = Topology::Make(TopologyKind::kTree, n, n / 2, b).value();
+      std::set<ReplicaId> seen = {t.root()};
+      for (ReplicaId r = 0; r < n; ++r) {
+        for (ReplicaId c : t.ChildrenOf(r)) {
+          EXPECT_TRUE(seen.insert(c).second)
+              << "node " << c << " reached twice (n=" << n << ",b=" << b
+              << ")";
+        }
+      }
+      EXPECT_EQ(seen.size(), n);
+    }
+  }
+}
+
+TEST(TopologyTest, MessageComplexityShapes) {
+  // One dissemination round: star O(n), clique O(n^2), tree O(n) total
+  // edges, chain O(n).
+  const uint32_t n = 16;
+  auto count_edges = [n](TopologyKind kind, uint32_t branching = 2) {
+    Topology t = Topology::Make(kind, n, 0, branching).value();
+    size_t edges = 0;
+    for (ReplicaId r = 0; r < n; ++r) edges += t.DownstreamOf(r).size();
+    return edges;
+  };
+  EXPECT_EQ(count_edges(TopologyKind::kStar), n - 1);
+  EXPECT_EQ(count_edges(TopologyKind::kClique), n * (n - 1));
+  EXPECT_EQ(count_edges(TopologyKind::kTree), n - 1);
+  EXPECT_EQ(count_edges(TopologyKind::kChain), n - 1);
+}
+
+TEST(TopologyTest, TreeHeightLogarithmic) {
+  Topology t = Topology::Make(TopologyKind::kTree, 31, 0, 2).value();
+  EXPECT_EQ(t.Height(), 4u);  // 31 nodes binary: height 4.
+  Topology t4 = Topology::Make(TopologyKind::kTree, 21, 0, 4).value();
+  EXPECT_EQ(t4.Height(), 2u);
+}
+
+TEST(TopologyTest, KindNames) {
+  EXPECT_STREQ(TopologyKindName(TopologyKind::kStar), "star");
+  EXPECT_STREQ(TopologyKindName(TopologyKind::kClique), "clique");
+  EXPECT_STREQ(TopologyKindName(TopologyKind::kTree), "tree");
+  EXPECT_STREQ(TopologyKindName(TopologyKind::kChain), "chain");
+}
+
+}  // namespace
+}  // namespace bftlab
