@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lifecycle.dir/bench_fig1_lifecycle.cc.o"
+  "CMakeFiles/bench_fig1_lifecycle.dir/bench_fig1_lifecycle.cc.o.d"
+  "bench_fig1_lifecycle"
+  "bench_fig1_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

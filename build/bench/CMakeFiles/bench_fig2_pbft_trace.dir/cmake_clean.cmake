@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pbft_trace.dir/bench_fig2_pbft_trace.cc.o"
+  "CMakeFiles/bench_fig2_pbft_trace.dir/bench_fig2_pbft_trace.cc.o.d"
+  "bench_fig2_pbft_trace"
+  "bench_fig2_pbft_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pbft_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x10_resilience.dir/bench_x10_resilience.cc.o"
+  "CMakeFiles/bench_x10_resilience.dir/bench_x10_resilience.cc.o.d"
+  "bench_x10_resilience"
+  "bench_x10_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x10_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x11_auth.dir/bench_x11_auth.cc.o"
+  "CMakeFiles/bench_x11_auth.dir/bench_x11_auth.cc.o.d"
+  "bench_x11_auth"
+  "bench_x11_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x11_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x12_robust.dir/bench_x12_robust.cc.o"
+  "CMakeFiles/bench_x12_robust.dir/bench_x12_robust.cc.o.d"
+  "bench_x12_robust"
+  "bench_x12_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x12_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

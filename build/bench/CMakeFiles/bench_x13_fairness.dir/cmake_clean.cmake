@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x13_fairness.dir/bench_x13_fairness.cc.o"
+  "CMakeFiles/bench_x13_fairness.dir/bench_x13_fairness.cc.o.d"
+  "bench_x13_fairness"
+  "bench_x13_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x13_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

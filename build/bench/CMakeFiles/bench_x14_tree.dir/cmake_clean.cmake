@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x14_tree.dir/bench_x14_tree.cc.o"
+  "CMakeFiles/bench_x14_tree.dir/bench_x14_tree.cc.o.d"
+  "bench_x14_tree"
+  "bench_x14_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x14_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

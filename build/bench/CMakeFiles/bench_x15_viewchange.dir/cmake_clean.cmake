@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x15_viewchange.dir/bench_x15_viewchange.cc.o"
+  "CMakeFiles/bench_x15_viewchange.dir/bench_x15_viewchange.cc.o.d"
+  "bench_x15_viewchange"
+  "bench_x15_viewchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x15_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x16_checkpoint.dir/bench_x16_checkpoint.cc.o"
+  "CMakeFiles/bench_x16_checkpoint.dir/bench_x16_checkpoint.cc.o.d"
+  "bench_x16_checkpoint"
+  "bench_x16_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x16_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x17_batching.dir/bench_x17_batching.cc.o"
+  "CMakeFiles/bench_x17_batching.dir/bench_x17_batching.cc.o.d"
+  "bench_x17_batching"
+  "bench_x17_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x17_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

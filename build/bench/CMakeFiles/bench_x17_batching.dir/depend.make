@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x17_batching.
+# This may be replaced when dependencies are built.

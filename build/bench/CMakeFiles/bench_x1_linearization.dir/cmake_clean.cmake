@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x1_linearization.dir/bench_x1_linearization.cc.o"
+  "CMakeFiles/bench_x1_linearization.dir/bench_x1_linearization.cc.o.d"
+  "bench_x1_linearization"
+  "bench_x1_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x1_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_x2_phase_reduction.cc" "bench/CMakeFiles/bench_x2_phase_reduction.dir/bench_x2_phase_reduction.cc.o" "gcc" "bench/CMakeFiles/bench_x2_phase_reduction.dir/bench_x2_phase_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/bft_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

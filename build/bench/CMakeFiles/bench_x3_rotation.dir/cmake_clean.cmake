@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x3_rotation.dir/bench_x3_rotation.cc.o"
+  "CMakeFiles/bench_x3_rotation.dir/bench_x3_rotation.cc.o.d"
+  "bench_x3_rotation"
+  "bench_x3_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x3_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

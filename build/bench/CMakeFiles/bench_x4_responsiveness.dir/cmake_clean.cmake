@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x4_responsiveness.dir/bench_x4_responsiveness.cc.o"
+  "CMakeFiles/bench_x4_responsiveness.dir/bench_x4_responsiveness.cc.o.d"
+  "bench_x4_responsiveness"
+  "bench_x4_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x4_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_x4_responsiveness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x5_replica_reduction.dir/bench_x5_replica_reduction.cc.o"
+  "CMakeFiles/bench_x5_replica_reduction.dir/bench_x5_replica_reduction.cc.o.d"
+  "bench_x5_replica_reduction"
+  "bench_x5_replica_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x5_replica_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

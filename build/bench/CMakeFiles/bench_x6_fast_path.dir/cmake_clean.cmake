@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x6_fast_path.dir/bench_x6_fast_path.cc.o"
+  "CMakeFiles/bench_x6_fast_path.dir/bench_x6_fast_path.cc.o.d"
+  "bench_x6_fast_path"
+  "bench_x6_fast_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x6_fast_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

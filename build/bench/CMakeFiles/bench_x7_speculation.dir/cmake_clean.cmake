@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x7_speculation.dir/bench_x7_speculation.cc.o"
+  "CMakeFiles/bench_x7_speculation.dir/bench_x7_speculation.cc.o.d"
+  "bench_x7_speculation"
+  "bench_x7_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x7_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x7_speculation.
+# This may be replaced when dependencies are built.

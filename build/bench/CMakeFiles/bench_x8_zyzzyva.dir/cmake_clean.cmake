@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x8_zyzzyva.dir/bench_x8_zyzzyva.cc.o"
+  "CMakeFiles/bench_x8_zyzzyva.dir/bench_x8_zyzzyva.cc.o.d"
+  "bench_x8_zyzzyva"
+  "bench_x8_zyzzyva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x8_zyzzyva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x8_zyzzyva.
+# This may be replaced when dependencies are built.

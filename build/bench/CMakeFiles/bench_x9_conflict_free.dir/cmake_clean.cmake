@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x9_conflict_free.dir/bench_x9_conflict_free.cc.o"
+  "CMakeFiles/bench_x9_conflict_free.dir/bench_x9_conflict_free.cc.o.d"
+  "bench_x9_conflict_free"
+  "bench_x9_conflict_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x9_conflict_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

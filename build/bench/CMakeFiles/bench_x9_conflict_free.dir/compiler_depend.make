@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_x9_conflict_free.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_x9_conflict_free.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_ledger.dir/byzantine_ledger.cpp.o"
+  "CMakeFiles/byzantine_ledger.dir/byzantine_ledger.cpp.o.d"
+  "byzantine_ledger"
+  "byzantine_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

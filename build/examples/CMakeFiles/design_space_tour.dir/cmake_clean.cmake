@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_tour.dir/design_space_tour.cpp.o"
+  "CMakeFiles/design_space_tour.dir/design_space_tour.cpp.o.d"
+  "design_space_tour"
+  "design_space_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

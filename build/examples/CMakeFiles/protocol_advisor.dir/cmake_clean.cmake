@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_advisor.dir/protocol_advisor.cpp.o"
+  "CMakeFiles/protocol_advisor.dir/protocol_advisor.cpp.o.d"
+  "protocol_advisor"
+  "protocol_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

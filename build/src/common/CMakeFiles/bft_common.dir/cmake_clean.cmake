@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_common.dir/codec.cc.o"
+  "CMakeFiles/bft_common.dir/codec.cc.o.d"
+  "CMakeFiles/bft_common.dir/hex.cc.o"
+  "CMakeFiles/bft_common.dir/hex.cc.o.d"
+  "CMakeFiles/bft_common.dir/logging.cc.o"
+  "CMakeFiles/bft_common.dir/logging.cc.o.d"
+  "CMakeFiles/bft_common.dir/rng.cc.o"
+  "CMakeFiles/bft_common.dir/rng.cc.o.d"
+  "CMakeFiles/bft_common.dir/status.cc.o"
+  "CMakeFiles/bft_common.dir/status.cc.o.d"
+  "libbft_common.a"
+  "libbft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

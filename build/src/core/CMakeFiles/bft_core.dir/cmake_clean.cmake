@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_core.dir/advisor.cc.o"
+  "CMakeFiles/bft_core.dir/advisor.cc.o.d"
+  "CMakeFiles/bft_core.dir/design_choices.cc.o"
+  "CMakeFiles/bft_core.dir/design_choices.cc.o.d"
+  "CMakeFiles/bft_core.dir/design_space.cc.o"
+  "CMakeFiles/bft_core.dir/design_space.cc.o.d"
+  "CMakeFiles/bft_core.dir/experiment.cc.o"
+  "CMakeFiles/bft_core.dir/experiment.cc.o.d"
+  "CMakeFiles/bft_core.dir/registry.cc.o"
+  "CMakeFiles/bft_core.dir/registry.cc.o.d"
+  "libbft_core.a"
+  "libbft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

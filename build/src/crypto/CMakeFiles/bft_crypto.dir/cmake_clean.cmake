@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_crypto.dir/hmac.cc.o"
+  "CMakeFiles/bft_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/bft_crypto.dir/keystore.cc.o"
+  "CMakeFiles/bft_crypto.dir/keystore.cc.o.d"
+  "CMakeFiles/bft_crypto.dir/sha256.cc.o"
+  "CMakeFiles/bft_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/bft_crypto.dir/threshold.cc.o"
+  "CMakeFiles/bft_crypto.dir/threshold.cc.o.d"
+  "libbft_crypto.a"
+  "libbft_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

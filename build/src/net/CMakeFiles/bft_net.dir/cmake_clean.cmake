@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_net.dir/topology.cc.o"
+  "CMakeFiles/bft_net.dir/topology.cc.o.d"
+  "libbft_net.a"
+  "libbft_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

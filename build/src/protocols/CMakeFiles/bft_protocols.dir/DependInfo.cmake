@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/cheapbft/cheapbft_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/cheapbft/cheapbft_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/cheapbft/cheapbft_replica.cc.o.d"
+  "/root/repo/src/protocols/common/cluster.cc" "src/protocols/CMakeFiles/bft_protocols.dir/common/cluster.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/common/cluster.cc.o.d"
+  "/root/repo/src/protocols/common/replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/common/replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/common/replica.cc.o.d"
+  "/root/repo/src/protocols/fab/fab_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/fab/fab_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/fab/fab_replica.cc.o.d"
+  "/root/repo/src/protocols/hotstuff/hotstuff_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/hotstuff/hotstuff_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/hotstuff/hotstuff_replica.cc.o.d"
+  "/root/repo/src/protocols/kauri/kauri_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/kauri/kauri_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/kauri/kauri_replica.cc.o.d"
+  "/root/repo/src/protocols/pbft/pbft_messages.cc" "src/protocols/CMakeFiles/bft_protocols.dir/pbft/pbft_messages.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/pbft/pbft_messages.cc.o.d"
+  "/root/repo/src/protocols/pbft/pbft_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/pbft/pbft_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/pbft/pbft_replica.cc.o.d"
+  "/root/repo/src/protocols/poe/poe_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/poe/poe_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/poe/poe_replica.cc.o.d"
+  "/root/repo/src/protocols/prime/prime_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/prime/prime_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/prime/prime_replica.cc.o.d"
+  "/root/repo/src/protocols/qu/qu_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/qu/qu_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/qu/qu_replica.cc.o.d"
+  "/root/repo/src/protocols/sbft/sbft_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/sbft/sbft_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/sbft/sbft_replica.cc.o.d"
+  "/root/repo/src/protocols/tendermint/tendermint_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/tendermint/tendermint_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/tendermint/tendermint_replica.cc.o.d"
+  "/root/repo/src/protocols/themis/themis_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/themis/themis_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/themis/themis_replica.cc.o.d"
+  "/root/repo/src/protocols/zyzzyva/zyzzyva_replica.cc" "src/protocols/CMakeFiles/bft_protocols.dir/zyzzyva/zyzzyva_replica.cc.o" "gcc" "src/protocols/CMakeFiles/bft_protocols.dir/zyzzyva/zyzzyva_replica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bft_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/bft_smr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_protocols.dir/cheapbft/cheapbft_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/cheapbft/cheapbft_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/common/cluster.cc.o"
+  "CMakeFiles/bft_protocols.dir/common/cluster.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/common/replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/common/replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/fab/fab_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/fab/fab_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/hotstuff/hotstuff_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/hotstuff/hotstuff_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/kauri/kauri_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/kauri/kauri_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/pbft/pbft_messages.cc.o"
+  "CMakeFiles/bft_protocols.dir/pbft/pbft_messages.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/pbft/pbft_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/pbft/pbft_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/poe/poe_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/poe/poe_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/prime/prime_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/prime/prime_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/qu/qu_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/qu/qu_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/sbft/sbft_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/sbft/sbft_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/tendermint/tendermint_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/tendermint/tendermint_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/themis/themis_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/themis/themis_replica.cc.o.d"
+  "CMakeFiles/bft_protocols.dir/zyzzyva/zyzzyva_replica.cc.o"
+  "CMakeFiles/bft_protocols.dir/zyzzyva/zyzzyva_replica.cc.o.d"
+  "libbft_protocols.a"
+  "libbft_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_sim.dir/actor.cc.o"
+  "CMakeFiles/bft_sim.dir/actor.cc.o.d"
+  "CMakeFiles/bft_sim.dir/metrics.cc.o"
+  "CMakeFiles/bft_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/bft_sim.dir/network.cc.o"
+  "CMakeFiles/bft_sim.dir/network.cc.o.d"
+  "CMakeFiles/bft_sim.dir/simulator.cc.o"
+  "CMakeFiles/bft_sim.dir/simulator.cc.o.d"
+  "libbft_sim.a"
+  "libbft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

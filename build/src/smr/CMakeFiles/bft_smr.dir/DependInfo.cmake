@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smr/checkpoint.cc" "src/smr/CMakeFiles/bft_smr.dir/checkpoint.cc.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/checkpoint.cc.o.d"
+  "/root/repo/src/smr/client.cc" "src/smr/CMakeFiles/bft_smr.dir/client.cc.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/client.cc.o.d"
+  "/root/repo/src/smr/kv_state_machine.cc" "src/smr/CMakeFiles/bft_smr.dir/kv_state_machine.cc.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/kv_state_machine.cc.o.d"
+  "/root/repo/src/smr/request.cc" "src/smr/CMakeFiles/bft_smr.dir/request.cc.o" "gcc" "src/smr/CMakeFiles/bft_smr.dir/request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

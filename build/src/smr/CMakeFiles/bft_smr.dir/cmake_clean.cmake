@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_smr.dir/checkpoint.cc.o"
+  "CMakeFiles/bft_smr.dir/checkpoint.cc.o.d"
+  "CMakeFiles/bft_smr.dir/client.cc.o"
+  "CMakeFiles/bft_smr.dir/client.cc.o.d"
+  "CMakeFiles/bft_smr.dir/kv_state_machine.cc.o"
+  "CMakeFiles/bft_smr.dir/kv_state_machine.cc.o.d"
+  "CMakeFiles/bft_smr.dir/request.cc.o"
+  "CMakeFiles/bft_smr.dir/request.cc.o.d"
+  "libbft_smr.a"
+  "libbft_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bft_smr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bft_smr.
+# This may be replaced when dependencies are built.

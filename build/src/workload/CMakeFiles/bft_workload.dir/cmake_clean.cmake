@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_workload.dir/generators.cc.o"
+  "CMakeFiles/bft_workload.dir/generators.cc.o.d"
+  "CMakeFiles/bft_workload.dir/zipf.cc.o"
+  "CMakeFiles/bft_workload.dir/zipf.cc.o.d"
+  "libbft_workload.a"
+  "libbft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

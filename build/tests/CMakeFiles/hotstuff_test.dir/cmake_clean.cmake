@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotstuff_test.dir/hotstuff_test.cc.o"
+  "CMakeFiles/hotstuff_test.dir/hotstuff_test.cc.o.d"
+  "hotstuff_test"
+  "hotstuff_test.pdb"
+  "hotstuff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotstuff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_test.dir/optimistic_test.cc.o"
+  "CMakeFiles/optimistic_test.dir/optimistic_test.cc.o.d"
+  "optimistic_test"
+  "optimistic_test.pdb"
+  "optimistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbft_test.dir/pbft_test.cc.o"
+  "CMakeFiles/pbft_test.dir/pbft_test.cc.o.d"
+  "pbft_test"
+  "pbft_test.pdb"
+  "pbft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_test.dir/smr_test.cc.o"
+  "CMakeFiles/smr_test.dir/smr_test.cc.o.d"
+  "smr_test"
+  "smr_test.pdb"
+  "smr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

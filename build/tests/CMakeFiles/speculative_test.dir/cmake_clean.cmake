@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculative_test.dir/speculative_test.cc.o"
+  "CMakeFiles/speculative_test.dir/speculative_test.cc.o.d"
+  "speculative_test"
+  "speculative_test.pdb"
+  "speculative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

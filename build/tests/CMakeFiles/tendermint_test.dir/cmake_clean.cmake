@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tendermint_test.dir/tendermint_test.cc.o"
+  "CMakeFiles/tendermint_test.dir/tendermint_test.cc.o.d"
+  "tendermint_test"
+  "tendermint_test.pdb"
+  "tendermint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tendermint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
