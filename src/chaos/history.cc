@@ -1,0 +1,47 @@
+#include "chaos/history.h"
+
+namespace bftlab {
+
+void History::RecordInvoke(ClientId client, RequestTimestamp ts,
+                           const Buffer& operation, SimTime at) {
+  index_[{client, ts}] = ops_.size();
+  HistoryOp op;
+  op.client = client;
+  op.ts = ts;
+  op.operation = operation;
+  op.invoke_us = at;
+  op.invoke_seq = next_event_seq_++;
+  ops_.push_back(std::move(op));
+}
+
+void History::RecordComplete(ClientId client, RequestTimestamp ts,
+                             const Buffer& result, SimTime at) {
+  auto it = index_.find({client, ts});
+  if (it == index_.end()) return;  // Completion without a recorded invoke.
+  HistoryOp& op = ops_[it->second];
+  if (op.completed) return;
+  op.completed = true;
+  op.result = result;
+  op.complete_us = at;
+  op.complete_seq = next_event_seq_++;
+  ++completed_;
+}
+
+std::optional<SimTime> History::FirstCompletionAtOrAfter(SimTime at) const {
+  std::optional<SimTime> first;
+  for (const HistoryOp& op : ops_) {
+    if (!op.completed || op.complete_us < at) continue;
+    if (!first.has_value() || op.complete_us < *first) first = op.complete_us;
+  }
+  return first;
+}
+
+uint64_t History::CompletedAtOrAfter(SimTime at) const {
+  uint64_t n = 0;
+  for (const HistoryOp& op : ops_) {
+    if (op.completed && op.complete_us >= at) ++n;
+  }
+  return n;
+}
+
+}  // namespace bftlab

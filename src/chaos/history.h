@@ -1,0 +1,65 @@
+// Per-run operation history: every client-visible invoke/complete event,
+// recorded through the HistoryRecorder hook in ClientConfig. The
+// linearizability and recovery oracles (src/chaos) consume it.
+
+#ifndef BFTLAB_CHAOS_HISTORY_H_
+#define BFTLAB_CHAOS_HISTORY_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "smr/client.h"
+
+namespace bftlab {
+
+/// One client-observed operation with its real-time interval. Operations
+/// that never completed (still in flight when the run ended) are
+/// "pending": they may or may not have taken effect.
+struct HistoryOp {
+  ClientId client = 0;
+  RequestTimestamp ts = 0;
+  Buffer operation;  // Encoded KvOp payload.
+  Buffer result;     // Valid only when completed.
+  SimTime invoke_us = 0;
+  SimTime complete_us = 0;
+  /// Global event-order positions, tie-breaking equal timestamps: a
+  /// closed-loop client completes op k and invokes op k+1 in the same
+  /// simulated microsecond, yet the completion strictly precedes the
+  /// invocation in the event sequence (and so in real-time order).
+  uint64_t invoke_seq = 0;
+  uint64_t complete_seq = 0;
+  bool completed = false;
+};
+
+/// Append-only record of a run's operations, in invocation order.
+class History : public HistoryRecorder {
+ public:
+  void RecordInvoke(ClientId client, RequestTimestamp ts,
+                    const Buffer& operation, SimTime at) override;
+  void RecordComplete(ClientId client, RequestTimestamp ts,
+                      const Buffer& result, SimTime at) override;
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  size_t completed_count() const { return completed_; }
+  size_t pending_count() const { return ops_.size() - completed_; }
+
+  /// Earliest completion time at or after `at` (recovery oracle);
+  /// nullopt when nothing completed from `at` on.
+  std::optional<SimTime> FirstCompletionAtOrAfter(SimTime at) const;
+  /// Number of operations completed at or after `at`.
+  uint64_t CompletedAtOrAfter(SimTime at) const;
+
+ private:
+  std::vector<HistoryOp> ops_;
+  // (client, ts) -> index into ops_, for completion matching.
+  std::map<std::pair<ClientId, RequestTimestamp>, size_t> index_;
+  size_t completed_ = 0;
+  uint64_t next_event_seq_ = 0;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CHAOS_HISTORY_H_

@@ -1,0 +1,238 @@
+#include "chaos/linearizability.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "smr/kv_op.h"
+
+namespace bftlab {
+namespace {
+
+// One operation projected onto a single key. Real-time precedence uses
+// (time, event-seq) lexicographically: a completion and an invocation in
+// the same simulated microsecond are ordered by which was recorded first
+// (a closed-loop client completes op k and invokes op k+1 at one instant,
+// and the completion happens-before the invocation).
+struct KeyOp {
+  KvOpCode code = KvOpCode::kGet;
+  std::string value;  // kPut.
+  int64_t delta = 0;  // kAdd.
+  std::string result;
+  SimTime invoke = 0;
+  SimTime response = kSimTimeInfinity;  // Infinity = pending.
+  uint64_t invoke_seq = 0;
+  uint64_t response_seq = UINT64_MAX;
+  bool completed = false;
+};
+
+// Sequential model of one key, mirroring KvStateMachine::Apply.
+struct RegState {
+  bool exists = false;
+  std::string value;
+};
+
+std::string ApplyModel(const KeyOp& op, RegState* st) {
+  switch (op.code) {
+    case KvOpCode::kPut:
+      st->exists = true;
+      st->value = op.value;
+      return "OK";
+    case KvOpCode::kGet:
+      return st->exists ? st->value : "";
+    case KvOpCode::kDelete: {
+      bool existed = st->exists;
+      st->exists = false;
+      st->value.clear();
+      return existed ? "OK" : "NOTFOUND";
+    }
+    case KvOpCode::kAdd: {
+      int64_t current =
+          st->exists ? std::strtoll(st->value.c_str(), nullptr, 10) : 0;
+      current += op.delta;
+      st->exists = true;
+      st->value = std::to_string(current);
+      return st->value;
+    }
+  }
+  return "";
+}
+
+// Wing & Gong search: repeatedly pick an operation that no unlinearized
+// completed operation strictly precedes in real time, apply it to the
+// model, and backtrack on result mismatch. Memoizing visited
+// (linearized-set, model-state) configurations keeps the search linear
+// in practice (Lowe's optimization, as used by Knossos/Porcupine).
+// Pending operations are optional: they may be linearized (their effect
+// was applied even though the client never saw a reply) or skipped.
+class KeySearch {
+ public:
+  explicit KeySearch(const std::vector<KeyOp>& ops)
+      : ops_(ops), linearized_(ops.size(), 0) {
+    for (const KeyOp& op : ops_) {
+      if (op.completed) ++remaining_completed_;
+    }
+  }
+
+  bool Linearizable() { return Dfs(); }
+
+ private:
+  bool Dfs() {
+    if (remaining_completed_ == 0) return true;
+    if (!seen_.insert(MemoKey()).second) return false;
+
+    // The first response among unlinearized completed ops bounds what may
+    // still be linearized next: anything invoked after it comes strictly
+    // later in real time.
+    std::pair<SimTime, uint64_t> frontier = {kSimTimeInfinity, UINT64_MAX};
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!linearized_[i] && ops_[i].completed) {
+        frontier = std::min(
+            frontier, std::make_pair(ops_[i].response, ops_[i].response_seq));
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized_[i] ||
+          std::make_pair(ops_[i].invoke, ops_[i].invoke_seq) > frontier) {
+        continue;
+      }
+      RegState saved = state_;
+      std::string result = ApplyModel(ops_[i], &state_);
+      if (!ops_[i].completed || result == ops_[i].result) {
+        linearized_[i] = 1;
+        if (ops_[i].completed) --remaining_completed_;
+        if (Dfs()) return true;
+        linearized_[i] = 0;
+        if (ops_[i].completed) ++remaining_completed_;
+      }
+      state_ = saved;
+    }
+    return false;
+  }
+
+  std::string MemoKey() const {
+    std::string key((ops_.size() + 7) / 8, '\0');
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized_[i]) key[i / 8] |= static_cast<char>(1 << (i % 8));
+    }
+    key.push_back(state_.exists ? '\1' : '\0');
+    key += state_.value;
+    return key;
+  }
+
+  const std::vector<KeyOp>& ops_;
+  std::vector<char> linearized_;
+  size_t remaining_completed_ = 0;
+  RegState state_;
+  std::unordered_set<std::string> seen_;
+};
+
+const char* OpName(KvOpCode code) {
+  switch (code) {
+    case KvOpCode::kPut:
+      return "PUT";
+    case KvOpCode::kGet:
+      return "GET";
+    case KvOpCode::kDelete:
+      return "DEL";
+    case KvOpCode::kAdd:
+      return "ADD";
+  }
+  return "?";
+}
+
+std::string DescribeKey(const std::string& key,
+                        const std::vector<KeyOp>& ops) {
+  std::ostringstream os;
+  os << "key '" << key << "': no valid linearization of " << ops.size()
+     << " ops:";
+  size_t shown = 0;
+  for (const KeyOp& op : ops) {
+    if (++shown > 16) {
+      os << " ...";
+      break;
+    }
+    os << " " << OpName(op.code);
+    if (op.code == KvOpCode::kPut) os << "(" << op.value << ")";
+    if (op.code == KvOpCode::kAdd) os << "(+" << op.delta << ")";
+    if (op.completed) {
+      os << "->'" << op.result << "'[" << op.invoke << "," << op.response
+         << "]";
+    } else {
+      os << "->?[" << op.invoke << ",)";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+LinearizabilityReport CheckLinearizability(const History& history) {
+  LinearizabilityReport report;
+  std::map<std::string, std::vector<KeyOp>> by_key;
+  for (const HistoryOp& op : history.ops()) {
+    Result<KvOp> decoded = KvOp::Decode(op.operation);
+    if (!decoded.ok()) {
+      report.ok = false;
+      report.violation = "undecodable operation in history: " +
+                         decoded.status().ToString();
+      return report;
+    }
+    // A pending read constrains nothing (no observed result, no effect).
+    if (!op.completed && decoded->code == KvOpCode::kGet) continue;
+    KeyOp ko;
+    ko.code = decoded->code;
+    ko.value = decoded->value;
+    ko.delta = decoded->delta;
+    ko.invoke = op.invoke_us;
+    ko.invoke_seq = op.invoke_seq;
+    ko.completed = op.completed;
+    if (op.completed) {
+      ko.response = op.complete_us;
+      ko.response_seq = op.complete_seq;
+      ko.result = Slice(op.result).ToString();
+    }
+    by_key[decoded->key].push_back(std::move(ko));
+    ++report.ops_checked;
+  }
+
+  for (auto& [key, ops] : by_key) {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const KeyOp& a, const KeyOp& b) {
+                       return a.invoke < b.invoke;
+                     });
+    ++report.keys_checked;
+    KeySearch search(ops);
+    if (!search.Linearizable()) {
+      report.ok = false;
+      report.violation = DescribeKey(key, ops);
+      return report;
+    }
+  }
+  return report;
+}
+
+OpGenerator ChaosKvWorkload(uint64_t key_space, double read_fraction,
+                            double add_fraction) {
+  if (key_space == 0) key_space = 1;
+  return [key_space, read_fraction, add_fraction](
+             ClientId client, RequestTimestamp ts, Rng* rng) {
+    std::string key = "ck" + std::to_string(rng->NextBelow(key_space));
+    double roll = rng->NextDouble();
+    if (roll < read_fraction) return KvOp::Get(key);
+    if (roll < read_fraction + add_fraction) {
+      // Counters live in their own keyspace so ADD arithmetic never runs
+      // over free-text PUT values.
+      return KvOp::Add("ctr" + std::to_string(rng->NextBelow(key_space)),
+                       static_cast<int64_t>(1 + rng->NextBelow(5)));
+    }
+    return KvOp::Put(
+        key, "c" + std::to_string(client) + "/t" + std::to_string(ts));
+  };
+}
+
+}  // namespace bftlab

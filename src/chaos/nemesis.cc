@@ -1,0 +1,351 @@
+#include "chaos/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bftlab {
+
+namespace {
+
+// Distinct stream constants so the schedule, burst, and Byzantine RNGs
+// are independent functions of the spec seed.
+constexpr uint64_t kScheduleStream = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kBurstStream = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kByzantineStream = 0x165667B19E3779F9ull;
+
+}  // namespace
+
+const char* NemesisProfileName(NemesisProfile profile) {
+  switch (profile) {
+    case NemesisProfile::kLight:
+      return "light";
+    case NemesisProfile::kPartitionHeavy:
+      return "partition-heavy";
+    case NemesisProfile::kCrashHeavy:
+      return "crash-heavy";
+    case NemesisProfile::kByzantineMix:
+      return "byzantine-mix";
+  }
+  return "unknown";
+}
+
+Nemesis::Nemesis(Cluster* cluster, NemesisSpec spec)
+    : cluster_(cluster),
+      spec_(spec),
+      burst_rng_(spec.seed ^ kBurstStream),
+      down_until_(cluster->config().n, 0) {
+  if (spec_.gst_us <= spec_.start_us) {
+    spec_.gst_us = spec_.start_us + Millis(500);
+  }
+  if (spec_.waves == 0) spec_.waves = 1;
+  BuildSchedule();
+}
+
+SimTime Nemesis::HealBy(SimTime until) const {
+  return std::min(until, spec_.gst_us);
+}
+
+void Nemesis::BuildSchedule() {
+  Rng rng(spec_.seed ^ kScheduleStream);
+  SimTime span = spec_.gst_us - spec_.start_us;
+  SimTime wave_span = std::max<SimTime>(span / spec_.waves, 1);
+
+  std::ostringstream os;
+  os << "nemesis profile=" << NemesisProfileName(spec_.profile)
+     << " seed=" << spec_.seed << " window=[" << spec_.start_us << ","
+     << spec_.gst_us << ")\n";
+  description_ = os.str();
+
+  for (uint32_t w = 0; w < spec_.waves; ++w) {
+    SimTime at = spec_.start_us + w * wave_span +
+                 rng.NextBelow(std::max<SimTime>(wave_span / 4, 1));
+    if (at >= spec_.gst_us) at = spec_.gst_us - 1;
+    uint64_t roll = rng.NextBelow(100);
+    switch (spec_.profile) {
+      case NemesisProfile::kLight:
+        if (roll < 40) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else if (roll < 60) {
+          AddCrashWave(at, wave_span, &rng);
+        } else if (roll < 85) {
+          AddBurst(at, wave_span, &rng);
+        } else {
+          AddPartition(at, wave_span, &rng);
+        }
+        break;
+      case NemesisProfile::kPartitionHeavy:
+        if (roll < 50) {
+          AddPartition(at, wave_span, &rng);
+        } else if (roll < 65) {
+          AddLeaderIsolation(at, wave_span, &rng);
+        } else if (roll < 85) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else {
+          AddBurst(at, wave_span, &rng);
+        }
+        break;
+      case NemesisProfile::kCrashHeavy:
+        if (roll < 55) {
+          AddCrashWave(at, wave_span, &rng);
+        } else if (roll < 75) {
+          AddLeaderIsolation(at, wave_span, &rng);
+        } else if (roll < 90) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else {
+          AddBurst(at, wave_span, &rng);
+        }
+        break;
+      case NemesisProfile::kByzantineMix:
+        // The Byzantine replica consumes the fault budget f, so the
+        // network side stays crash-free.
+        if (roll < 40) {
+          AddBurst(at, wave_span, &rng);
+        } else if (roll < 80) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else {
+          AddPartition(at, wave_span, &rng);
+        }
+        break;
+    }
+  }
+}
+
+void Nemesis::AddCrashWave(SimTime at, SimTime wave_span, Rng* rng) {
+  uint32_t n = cluster_->config().n;
+  uint32_t f = cluster_->config().f;
+  uint32_t victims = 1 + static_cast<uint32_t>(rng->NextBelow(f));
+  for (uint32_t v = 0; v < victims; ++v) {
+    // Linear-probe from a random start for a replica not already planned
+    // down at `at` (never exceed f concurrent crashes).
+    ReplicaId victim = kInvalidReplica;
+    ReplicaId start = static_cast<ReplicaId>(rng->NextBelow(n));
+    for (uint32_t i = 0; i < n; ++i) {
+      ReplicaId r = (start + i) % n;
+      if (down_until_[r] <= at) {
+        victim = r;
+        break;
+      }
+    }
+    if (victim == kInvalidReplica) return;
+    SimTime restart_at = HealBy(
+        at + wave_span / 2 + rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+    if (restart_at <= at) restart_at = at + 1;
+    down_until_[victim] = restart_at;
+
+    std::ostringstream os;
+    os << "t=" << at << "us crash replica " << victim << " (restart at "
+       << restart_at << "us)\n";
+    description_ += os.str();
+    ++faults_planned_;
+    Cluster* cluster = cluster_;
+    faults_.push_back(
+        {at, "crash", [cluster, victim] { cluster->network().Crash(victim); },
+         /*counts=*/true});
+    faults_.push_back({restart_at, "restart",
+                       [cluster, victim] {
+                         if (cluster->network().IsDown(victim)) {
+                           cluster->network().Restart(victim);
+                         }
+                       },
+                       /*counts=*/false});
+  }
+}
+
+void Nemesis::AddPartition(SimTime at, SimTime wave_span, Rng* rng) {
+  uint32_t n = cluster_->config().n;
+  std::vector<ReplicaId> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  for (uint32_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng->NextBelow(i + 1)]);
+  }
+  size_t cut = 1 + rng->NextBelow(n - 1);
+  std::set<NodeId> a(order.begin(), order.begin() + cut);
+  std::set<NodeId> b(order.begin() + cut, order.end());
+  // Every client lands on one side; unlisted nodes would be unreachable
+  // from everyone.
+  for (size_t c = 0; c < cluster_->num_clients(); ++c) {
+    NodeId id = kClientIdBase + static_cast<NodeId>(c);
+    (rng->NextBelow(2) == 0 ? a : b).insert(id);
+  }
+  SimTime until = HealBy(at + wave_span / 2 +
+                         rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+  if (until <= at) until = HealBy(at + 1);
+
+  std::ostringstream os;
+  os << "t=" << at << "us partition {";
+  for (NodeId id : a) os << id << " ";
+  os << "} | {";
+  for (NodeId id : b) os << id << " ";
+  os << "} until " << until << "us\n";
+  description_ += os.str();
+  ++faults_planned_;
+  Cluster* cluster = cluster_;
+  faults_.push_back({at, "partition",
+                     [cluster, a, b, until] {
+                       cluster->network().Partition({a, b}, until);
+                     },
+                     /*counts=*/true});
+}
+
+void Nemesis::AddLinkFlaps(SimTime at, SimTime wave_span, Rng* rng) {
+  uint32_t n = cluster_->config().n;
+  if (n < 2) return;
+  uint32_t flaps = 1 + static_cast<uint32_t>(rng->NextBelow(3));
+  for (uint32_t i = 0; i < flaps; ++i) {
+    ReplicaId x = static_cast<ReplicaId>(rng->NextBelow(n));
+    ReplicaId y = static_cast<ReplicaId>(rng->NextBelow(n - 1));
+    if (y >= x) ++y;
+    SimTime until = HealBy(at + wave_span / 4 +
+                           rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+    if (until <= at) until = HealBy(at + 1);
+
+    std::ostringstream os;
+    os << "t=" << at << "us block link " << x << "<->" << y << " until "
+       << until << "us\n";
+    description_ += os.str();
+    ++faults_planned_;
+    Cluster* cluster = cluster_;
+    faults_.push_back({at, "link-flap",
+                       [cluster, x, y, until] {
+                         cluster->network().BlockLink(x, y, until);
+                       },
+                       /*counts=*/true});
+  }
+}
+
+void Nemesis::AddLeaderIsolation(SimTime at, SimTime wave_span, Rng* rng) {
+  uint32_t n = cluster_->config().n;
+  SimTime until = HealBy(at + wave_span / 3 +
+                         rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+  if (until <= at) until = HealBy(at + 1);
+
+  std::ostringstream os;
+  os << "t=" << at << "us isolate current leader until " << until << "us\n";
+  description_ += os.str();
+  ++faults_planned_;
+  Cluster* cluster = cluster_;
+  // The victim is resolved at fire time (the leader then), which is still
+  // deterministic: the simulation is a pure function of (config, seeds).
+  faults_.push_back({at, "leader-isolate",
+                     [cluster, n, until] {
+                       ReplicaId leader = cluster->replica(0).leader();
+                       if (leader == kInvalidReplica) leader = 0;
+                       leader %= n;
+                       for (ReplicaId r = 0; r < n; ++r) {
+                         if (r != leader) {
+                           cluster->network().BlockLink(leader, r, until);
+                         }
+                       }
+                     },
+                     /*counts=*/true});
+}
+
+void Nemesis::AddBurst(SimTime at, SimTime wave_span, Rng* rng) {
+  Burst burst;
+  burst.begin_us = at;
+  burst.end_us = HealBy(at + wave_span / 4 +
+                        rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+  if (burst.end_us <= at) burst.end_us = HealBy(at + 1);
+  burst.drop_prob = 0.15 + 0.35 * rng->NextDouble();
+  burst.extra_delay_us = Millis(2 + rng->NextBelow(8));
+
+  std::ostringstream os;
+  os << "t=" << at << "us drop/delay burst until " << burst.end_us
+     << "us (p=" << static_cast<int>(burst.drop_prob * 100)
+     << "% +<=" << burst.extra_delay_us << "us)\n";
+  description_ += os.str();
+  ++faults_planned_;
+  bursts_.push_back(burst);
+  faults_.push_back({at, "burst", [] {}, /*counts=*/true});
+}
+
+void Nemesis::Install() {
+  if (installed_) return;
+  installed_ = true;
+  Simulator& sim = cluster_->sim();
+  for (const Fault& fault : faults_) {
+    const Fault* f = &fault;  // faults_ is append-only and outlives the run.
+    SimTime delay = f->at_us > sim.now() ? f->at_us - sim.now() : 0;
+    Cluster* cluster = cluster_;
+    sim.Schedule(delay, [cluster, f] {
+      if (f->counts) cluster->metrics().Increment("chaos.faults_injected");
+      f->apply();
+    });
+  }
+  if (!bursts_.empty()) {
+    Network* net = &cluster_->network();
+    std::vector<Burst> bursts = bursts_;
+    Rng rng = burst_rng_;
+    net->SetDelayInjector(
+        [bursts, net, rng](NodeId /*from*/, NodeId /*to*/,
+                           const MessagePtr& /*msg*/,
+                           bool* drop) mutable -> std::optional<SimTime> {
+          SimTime now = net->now();
+          for (const Burst& b : bursts) {
+            if (now >= b.begin_us && now < b.end_us) {
+              if (rng.NextBool(b.drop_prob)) {
+                *drop = true;
+                return std::nullopt;
+              }
+              return rng.NextBelow(b.extra_delay_us + 1);
+            }
+          }
+          return std::nullopt;
+        });
+  }
+}
+
+uint64_t Nemesis::ScheduleHash() const {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a.
+  for (unsigned char c : description_) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::map<ReplicaId, ByzantineSpec> Nemesis::ByzantineOverrides(
+    const NemesisSpec& spec, uint32_t n, uint32_t f) {
+  std::map<ReplicaId, ByzantineSpec> overrides;
+  if (spec.profile != NemesisProfile::kByzantineMix || n == 0) {
+    return overrides;
+  }
+  Rng rng(spec.seed ^ kByzantineStream);
+  for (uint32_t i = 0; i < f && overrides.size() < n; ++i) {
+    ReplicaId victim = static_cast<ReplicaId>(rng.NextBelow(n));
+    while (overrides.count(victim)) victim = (victim + 1) % n;
+    ByzantineSpec byz;
+    // Performance-degradation attack (bounded proposal delay): slows the
+    // cluster while it holds leadership but never blocks post-GST
+    // progress, so every protocol's recovery oracle stays meaningful.
+    byz.mode = ByzantineMode::kDelayProposals;
+    byz.delay_us = Millis(10 + rng.NextBelow(30));
+    overrides[victim] = byz;
+  }
+  return overrides;
+}
+
+void Nemesis::ApplyNetworkDefaults(const NemesisSpec& spec,
+                                   NetworkConfig* net) {
+  net->gst_us = spec.gst_us;
+  switch (spec.profile) {
+    case NemesisProfile::kLight:
+      net->pre_gst_drop_prob = 0.05;
+      net->pre_gst_extra_delay_us = Millis(2);
+      break;
+    case NemesisProfile::kPartitionHeavy:
+      net->pre_gst_drop_prob = 0.05;
+      net->pre_gst_extra_delay_us = Millis(2);
+      break;
+    case NemesisProfile::kCrashHeavy:
+      net->pre_gst_drop_prob = 0.02;
+      net->pre_gst_extra_delay_us = Millis(1);
+      break;
+    case NemesisProfile::kByzantineMix:
+      net->pre_gst_drop_prob = 0.10;
+      net->pre_gst_extra_delay_us = Millis(5);
+      break;
+  }
+}
+
+}  // namespace bftlab

@@ -1,0 +1,115 @@
+// Nemesis: a seeded chaos scheduler. From (spec, seed) it deterministically
+// composes a timed fault schedule against a running Cluster — crash/restart
+// waves, rolling partitions, link flaps, pre-GST drop/delay bursts, and
+// leader-targeted isolation — under one hard guarantee: every fault is
+// injected before `gst_us` and fully healed (nodes restarted, partitions
+// and links cleared, bursts ended) by `gst_us`. After GST the run is in
+// the paper's post-stabilization regime, so the oracle suite may demand
+// agreement, linearizability, and timely recovery.
+
+#ifndef BFTLAB_CHAOS_NEMESIS_H_
+#define BFTLAB_CHAOS_NEMESIS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "protocols/common/cluster.h"
+
+namespace bftlab {
+
+enum class NemesisProfile : uint8_t {
+  kLight = 0,        // Occasional flaps, one short crash, mild loss.
+  kPartitionHeavy,   // Rolling partitions and leader isolation.
+  kCrashHeavy,       // Crash/restart waves up to f at a time.
+  kByzantineMix,     // Scripted Byzantine replica + network chaos.
+};
+
+const char* NemesisProfileName(NemesisProfile profile);
+
+struct NemesisSpec {
+  NemesisProfile profile = NemesisProfile::kLight;
+  /// Seed of the fault schedule (independent of the cluster seed).
+  uint64_t seed = 1;
+  /// Faults are injected within [start_us, gst_us).
+  SimTime start_us = Millis(300);
+  /// Global stabilization time: all faults cease and heal by here.
+  SimTime gst_us = Seconds(3);
+  /// Number of fault waves composed over the window.
+  uint32_t waves = 4;
+};
+
+/// One seeded chaos run bound to a cluster. Build, Install() once before
+/// running the cluster past `start_us`, then run beyond `gst_us`.
+class Nemesis {
+ public:
+  Nemesis(Cluster* cluster, NemesisSpec spec);
+
+  /// Registers the whole schedule with the cluster's simulator and
+  /// installs the pre-GST burst injector. Call exactly once.
+  void Install();
+
+  /// Human-readable schedule, one line per fault, fixed at construction;
+  /// identical seeds yield identical descriptions (determinism tests).
+  const std::string& Describe() const { return description_; }
+  /// FNV-1a hash of Describe().
+  uint64_t ScheduleHash() const;
+
+  /// Time by which every fault has healed (== gst_us by construction).
+  SimTime last_fault_us() const { return spec_.gst_us; }
+  uint64_t faults_planned() const { return faults_planned_; }
+  const NemesisSpec& spec() const { return spec_; }
+
+  /// Byzantine overrides the profile asks for. Byzantine behaviour is a
+  /// construction-time replica property, so callers apply these to the
+  /// ClusterConfig before building the cluster (RunExperiment does).
+  static std::map<ReplicaId, ByzantineSpec> ByzantineOverrides(
+      const NemesisSpec& spec, uint32_t n, uint32_t f);
+
+  /// Profile-driven synchrony settings: aligns the network's GST with the
+  /// spec and turns on the pre-GST adversary (drop/extra-delay).
+  static void ApplyNetworkDefaults(const NemesisSpec& spec,
+                                   NetworkConfig* net);
+
+ private:
+  struct Fault {
+    SimTime at_us = 0;
+    std::string kind;
+    std::function<void()> apply;
+    /// Heal events (restarts) ride the schedule but are not counted as
+    /// injected faults.
+    bool counts = true;
+  };
+  struct Burst {
+    SimTime begin_us = 0;
+    SimTime end_us = 0;
+    double drop_prob = 0;
+    SimTime extra_delay_us = 0;
+  };
+
+  void BuildSchedule();
+  void AddCrashWave(SimTime at, SimTime wave_span, Rng* rng);
+  void AddPartition(SimTime at, SimTime wave_span, Rng* rng);
+  void AddLinkFlaps(SimTime at, SimTime wave_span, Rng* rng);
+  void AddLeaderIsolation(SimTime at, SimTime wave_span, Rng* rng);
+  void AddBurst(SimTime at, SimTime wave_span, Rng* rng);
+  /// Clamps a heal time into (at, gst].
+  SimTime HealBy(SimTime until) const;
+
+  Cluster* cluster_;
+  NemesisSpec spec_;
+  std::vector<Fault> faults_;
+  std::vector<Burst> bursts_;
+  Rng burst_rng_;
+  std::string description_;
+  uint64_t faults_planned_ = 0;
+  // Planned down-until time per replica, so concurrent crashes never
+  // exceed f (the fault budget the protocols are designed for).
+  std::vector<SimTime> down_until_;
+  bool installed_ = false;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CHAOS_NEMESIS_H_

@@ -45,9 +45,9 @@ class LineBuilder {
 };
 }  // namespace log_internal
 
-#define BFTLAB_LOG(level)                                \
-  if (::bftlab::Logger::level() <= ::bftlab::LogLevel::level) \
-  ::bftlab::log_internal::LineBuilder(::bftlab::LogLevel::level)
+#define BFTLAB_LOG(severity)                                \
+  if (::bftlab::Logger::level() <= ::bftlab::LogLevel::severity) \
+  ::bftlab::log_internal::LineBuilder(::bftlab::LogLevel::severity)
 
 }  // namespace bftlab
 

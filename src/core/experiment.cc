@@ -2,6 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <sstream>
+
+#include "chaos/history.h"
+#include "chaos/linearizability.h"
 
 namespace bftlab {
 
@@ -25,6 +29,10 @@ std::string ExperimentResult::TableRow() const {
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
   if (!build.ok()) return build.status();
+  if (config.nemesis && config.duration_us <= config.nemesis->gst_us) {
+    return Status::InvalidArgument(
+        "chaos runs must extend past GST (duration_us <= nemesis->gst_us)");
+  }
 
   ClusterConfig cc;
   cc.n = config.n_override != 0 ? config.n_override
@@ -38,12 +46,26 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   cc.replica.batch_timeout_us = config.batch_timeout_us;
   cc.replica.checkpoint_interval = config.checkpoint_interval;
   cc.replica.view_change_timeout_us = config.view_change_timeout_us;
+  cc.replica.view_change_timeout_cap_us = config.view_change_timeout_cap_us;
   cc.replica.auth = config.auth_override.value_or(build->descriptor.auth);
   cc.client.reply_quorum = build->ReplyQuorum(config.f);
   cc.client.submit_policy = build->submit_policy;
   cc.client.retransmit_timeout_us = config.client_retransmit_us;
+  cc.client.retransmit_backoff = config.client_backoff;
+  cc.client.retransmit_cap_us = config.client_retransmit_cap_us;
   cc.client.op_generator = config.op_generator;
   cc.byzantine = config.byzantine;
+
+  History history;
+  if (config.nemesis) {
+    Nemesis::ApplyNetworkDefaults(*config.nemesis, &cc.net);
+    // Profile-scripted Byzantine replicas; explicit overrides win.
+    for (const auto& [id, byz] :
+         Nemesis::ByzantineOverrides(*config.nemesis, cc.n, cc.f)) {
+      cc.byzantine.emplace(id, byz);
+    }
+    cc.client.history = &history;
+  }
 
   Cluster cluster(std::move(cc), build->replica_factory,
                   build->client_factory);
@@ -51,6 +73,22 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   for (const auto& [replica, at] : config.crash_at) {
     ReplicaId id = replica;
     cluster.sim().Schedule(at, [&cluster, id] { cluster.network().Crash(id); });
+  }
+  for (const auto& [replica, at] : config.restart_at) {
+    ReplicaId id = replica;
+    cluster.sim().Schedule(at, [&cluster, id] {
+      if (cluster.network().IsDown(id)) cluster.network().Restart(id);
+    });
+  }
+  for (const ExperimentConfig::PartitionWindow& window : config.partitions) {
+    cluster.sim().Schedule(window.at_us, [&cluster, window] {
+      cluster.network().Partition(window.groups, window.until_us);
+    });
+  }
+  std::optional<Nemesis> nemesis;
+  if (config.nemesis) {
+    nemesis.emplace(&cluster, *config.nemesis);
+    nemesis->Install();
   }
   cluster.RunFor(config.duration_us);
 
@@ -98,6 +136,40 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   if (build->descriptor.good_case_phases > 0) {
     Status agreement = cluster.CheckAgreement();
     if (!agreement.ok()) return agreement;
+  }
+
+  // Chaos oracle suite: execution integrity, client-observed per-key
+  // linearizability, and post-GST recovery. Each violation is an error,
+  // never a data point.
+  if (nemesis) {
+    r.counters["chaos.schedule_hash"] = nemesis->ScheduleHash();
+    r.faults_injected = m.counter("chaos.faults_injected");
+    Status integrity = cluster.CheckStateMachines();
+    if (!integrity.ok()) return integrity;
+    if (build->descriptor.good_case_phases > 0) {
+      LinearizabilityReport lin = CheckLinearizability(history);
+      if (!lin.ok) {
+        return Status::Internal("LINEARIZABILITY VIOLATION: " +
+                                lin.violation);
+      }
+    }
+    SimTime gst = nemesis->last_fault_us();
+    std::optional<SimTime> first = history.FirstCompletionAtOrAfter(gst);
+    if (!first.has_value()) {
+      std::ostringstream os;
+      os << "RECOVERY FAILURE: no commits after GST (" << gst << "us) in "
+         << config.duration_us << "us run";
+      return Status::Internal(os.str());
+    }
+    r.recovery_us = *first - gst;
+    if (r.recovery_us > config.recovery_bound_us) {
+      std::ostringstream os;
+      os << "RECOVERY FAILURE: first post-GST commit after " << r.recovery_us
+         << "us exceeds bound " << config.recovery_bound_us << "us";
+      return Status::Internal(os.str());
+    }
+    r.counters["chaos.recovery_us"] = r.recovery_us;
+    r.counters["chaos.post_gst_commits"] = history.CompletedAtOrAfter(gst);
   }
   return r;
 }

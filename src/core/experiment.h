@@ -7,8 +7,11 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "chaos/nemesis.h"
 #include "core/registry.h"
 #include "protocols/common/cluster.h"
 
@@ -30,15 +33,42 @@ struct ExperimentConfig {
   SimTime batch_timeout_us = Millis(2);
   uint64_t checkpoint_interval = 64;
   SimTime view_change_timeout_us = Millis(300);
+  /// Cap for the doubling view-change back-off (0 = 8x the base timeout).
+  SimTime view_change_timeout_cap_us = 0;
   /// Workload; default unique-key 64-byte PUTs.
   OpGenerator op_generator;
   SimTime client_retransmit_us = Millis(500);
+  /// Exponential client retransmission backoff (1.0 = classic fixed τ1).
+  double client_backoff = 1.0;
+  /// Cap the backed-off retransmission timeout saturates at.
+  SimTime client_retransmit_cap_us = Seconds(8);
   /// Byzantine overrides per replica.
   std::map<ReplicaId, ByzantineSpec> byzantine;
   /// Crash these replicas at the given virtual times.
   std::map<ReplicaId, SimTime> crash_at;
+  /// Restart previously crashed replicas at the given virtual times
+  /// (crash-then-rejoin without hand-rolled cluster code).
+  std::map<ReplicaId, SimTime> restart_at;
+  /// Scheduled partition windows. Groups must list every node that should
+  /// stay reachable: replicas are 0..n-1, clients kClientIdBase+i.
+  struct PartitionWindow {
+    std::vector<std::set<NodeId>> groups;
+    SimTime at_us = 0;
+    SimTime until_us = 0;
+  };
+  std::vector<PartitionWindow> partitions;
   /// Overrides the protocol's default authentication scheme (E3 sweeps).
   std::optional<AuthScheme> auth_override;
+  /// Chaos mode: when set, a Nemesis fault schedule derived from this
+  /// spec runs against the cluster (overriding net.gst_us and the pre-GST
+  /// adversary), clients record a History, and after the run the oracle
+  /// suite checks agreement, execution integrity, per-key
+  /// linearizability, and post-GST recovery. Any violation fails the
+  /// experiment with an error instead of returning a result.
+  std::optional<NemesisSpec> nemesis;
+  /// Recovery oracle bound: commits must resume within this much virtual
+  /// time after GST.
+  SimTime recovery_bound_us = Seconds(10);
 };
 
 struct ExperimentResult {
@@ -58,6 +88,10 @@ struct ExperimentResult {
   /// Fraction of clearly-ordered request pairs executed out of submit
   /// order (Q1 fairness; computed with a 1 ms margin).
   double order_inversion_fraction = 0;
+  /// Chaos runs: virtual time from GST to the first post-GST commit.
+  SimTime recovery_us = 0;
+  /// Chaos runs: faults the Nemesis actually injected.
+  uint64_t faults_injected = 0;
   std::map<std::string, uint64_t> counters;
 
   /// One-line table row (pairs with TableHeader()).

@@ -131,7 +131,21 @@ void CheapBftReplica::HandlePrepare(NodeId from,
   ChargeAuthVerify(msg.WireSize());
 
   Instance& inst = instances_[msg.seq()];
-  if (inst.has_prepare) return;
+  if (inst.has_prepare) {
+    // Duplicate prepare: the leader is re-running agreement (epoch change,
+    // or our earlier commit vote was lost while it was unreachable).
+    // Re-vote under the current epoch — returning silently would leave the
+    // leader's instance uncommitted forever even though every backup
+    // already committed it using the prepare as the leader's implicit
+    // vote, wedging the leader's execution and its fill-hole service.
+    if (inst.digest == msg.digest()) {
+      auto commit = std::make_shared<CheapCommitMessage>(
+          epoch_, msg.seq(), inst.digest, config().id);
+      ChargeAuthSend(1, commit->WireSize());
+      Send(from, commit);
+    }
+    return;
+  }
   inst.has_prepare = true;
   inst.batch = msg.batch();
   inst.digest = msg.digest();
@@ -209,8 +223,10 @@ void CheapBftReplica::Reconfigure(ReplicaId failed) {
   std::vector<NodeId> passive = PassiveSet();
   if (passive.empty()) return;
   ReplicaId replacement = static_cast<ReplicaId>(passive.front());
+  std::vector<ReplicaId> next = active_;
+  std::replace(next.begin(), next.end(), failed, replacement);
   auto msg = std::make_shared<CheapReconfigMessage>(epoch_ + 1, failed,
-                                                    replacement);
+                                                    std::move(next));
   ChargeAuthSend(n() - 1, msg->WireSize());
   Multicast(OtherReplicas(), msg);
   HandleReconfig(config().id, *msg);
@@ -219,13 +235,17 @@ void CheapBftReplica::Reconfigure(ReplicaId failed) {
 void CheapBftReplica::HandleReconfig(NodeId from,
                                      const CheapReconfigMessage& msg) {
   if (msg.new_epoch() <= epoch_) return;
-  // Accept reconfiguration from the current leader (itself included).
-  if (from != leader() && from != config().id) return;
+  if (msg.active().size() != active_.size()) return;
+  // Accept from the leader of the announced configuration (reconfigs
+  // replace backups, never the leader itself) or from self.
+  if (from != config().id &&
+      from != static_cast<NodeId>(msg.active().front())) {
+    return;
+  }
   epoch_ = msg.new_epoch();
   ++reconfigs_;
   metrics().Increment("cheapbft.reconfigurations");
-  std::replace(active_.begin(), active_.end(), msg.failed(),
-               msg.replacement());
+  active_ = msg.active();
   set_suppress_replies(IsPassive());
   last_reconfig_at_ = Now();
   // Re-run agreement for in-flight instances under the new epoch.
@@ -251,6 +271,30 @@ void CheapBftReplica::HandleReconfig(NodeId from,
     for (auto& [seq, inst] : instances_) {
       if (!inst.committed) inst.has_prepare = false;
     }
+  }
+}
+
+void CheapBftReplica::OnRestart() {
+  // Timers that came due while the node was down were dropped by the
+  // network; the stored handles are stale. Re-arm the progress watch on
+  // the oldest uncommitted proposal so a restarted leader keeps driving
+  // reconfiguration, and refill the watch if it was cleared.
+  batch_timer_ = kInvalidEvent;
+  progress_timer_ = kInvalidEvent;
+  if (config().id == leader()) {
+    if (watch_seq_ == 0) {
+      for (auto& [s, i] : instances_) {
+        if (!i.committed && i.has_prepare) {
+          watch_seq_ = s;
+          break;
+        }
+      }
+    }
+    if (watch_seq_ != 0) {
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+    }
+    if (HasPending()) ProposeAvailable();
   }
 }
 

@@ -127,36 +127,42 @@ class CheapUpdateMessage : public Message {
   Batch batch_;
 };
 
-/// Epoch change: replaces the failed active replica with a passive one.
+/// Epoch change: announces the full new active set (front() = leader).
+/// Carrying the whole membership rather than a (failed, replacement)
+/// delta makes reconfiguration idempotent — a replica that missed
+/// intermediate epochs (crashed, partitioned) adopts the latest set
+/// wholesale instead of patching a delta onto a stale list, which would
+/// leave active sets permanently divergent.
 class CheapReconfigMessage : public Message {
  public:
   CheapReconfigMessage(uint64_t new_epoch, ReplicaId failed,
-                       ReplicaId replacement)
-      : new_epoch_(new_epoch), failed_(failed), replacement_(replacement) {}
+                       std::vector<ReplicaId> active)
+      : new_epoch_(new_epoch), failed_(failed), active_(std::move(active)) {}
 
   uint64_t new_epoch() const { return new_epoch_; }
   ReplicaId failed() const { return failed_; }
-  ReplicaId replacement() const { return replacement_; }
+  const std::vector<ReplicaId>& active() const { return active_; }
 
   uint32_t type() const override { return kCheapReconfig; }
   void EncodeTo(Encoder* enc) const override {
     enc->PutU32(kCheapReconfig);
     enc->PutU64(new_epoch_);
     enc->PutU32(failed_);
-    enc->PutU32(replacement_);
+    enc->PutU32(static_cast<uint32_t>(active_.size()));
+    for (ReplicaId r : active_) enc->PutU32(r);
   }
   size_t auth_wire_bytes() const override { return kSignatureBytes; }
   std::string DebugString() const override {
     std::ostringstream os;
     os << "CHEAP-RECONFIG{e=" << new_epoch_ << " failed=" << failed_
-       << " replacement=" << replacement_ << "}";
+       << " |active|=" << active_.size() << "}";
     return os.str();
   }
 
  private:
   uint64_t new_epoch_;
   ReplicaId failed_;
-  ReplicaId replacement_;
+  std::vector<ReplicaId> active_;
 };
 
 /// Gap repair: a replica missing committed updates asks the leader to
@@ -200,6 +206,7 @@ class CheapBftReplica : public Replica {
   uint64_t reconfigurations() const { return reconfigs_; }
 
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;

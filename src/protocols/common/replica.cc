@@ -1,5 +1,6 @@
 #include "protocols/common/replica.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -14,6 +15,14 @@ Replica::Replica(ReplicaConfig config,
       config_(config),
       state_machine_(std::move(state_machine)),
       checkpoint_store_(config.checkpoint_interval) {}
+
+SimTime Replica::NextViewChangeBackoff(SimTime current_us) const {
+  SimTime cap = config_.view_change_timeout_cap_us != 0
+                    ? config_.view_change_timeout_cap_us
+                    : 8 * config_.view_change_timeout_us;
+  cap = std::max(cap, config_.view_change_timeout_us);
+  return std::min(current_us * 2, cap);
+}
 
 std::vector<NodeId> Replica::AllReplicas() const {
   std::vector<NodeId> out;

@@ -73,6 +73,12 @@ struct ReplicaConfig {
   uint64_t watermark_window = 512;
   /// τ2: view-change trigger timeout (doubles on consecutive failures).
   SimTime view_change_timeout_us = Millis(300);
+  /// Cap the doubling view-change/pacemaker back-off saturates at
+  /// (0 = 8x view_change_timeout_us). Uncapped doubling is a liveness
+  /// hazard: a pre-GST fault storm can fail enough consecutive view
+  /// changes to push the next leader-replacement attempt beyond any
+  /// horizon, wedging an otherwise-healed cluster after GST.
+  SimTime view_change_timeout_cap_us = 0;
   /// Max requests bundled into one proposal.
   size_t batch_size = 8;
   /// Max time a leader waits to fill a batch before proposing anyway.
@@ -240,6 +246,11 @@ class Replica : public Actor {
   void set_view_change_timeout(SimTime timeout_us) {
     config_.view_change_timeout_us = timeout_us;
   }
+
+  /// Doubles a view-change/pacemaker back-off, saturating at
+  /// view_change_timeout_cap_us so repeated pre-GST failures can never
+  /// defer the next attempt past the post-GST recovery window.
+  SimTime NextViewChangeBackoff(SimTime current_us) const;
 
   std::vector<NodeId> AllReplicas() const;
   std::vector<NodeId> OtherReplicas() const;

@@ -27,6 +27,15 @@ HotStuffReplica::HotStuffReplica(ReplicaConfig config,
 
 void HotStuffReplica::Start() { RestartPacemaker(); }
 
+void HotStuffReplica::OnRestart() {
+  // Timers that came due while the node was down were dropped by the
+  // network; the stored handles are stale. Reset them and restart the
+  // pacemaker, or the replica never again advances views on its own.
+  pacemaker_timer_ = kInvalidEvent;
+  batch_timer_ = kInvalidEvent;
+  RestartPacemaker();
+}
+
 const HsBlock* HotStuffReplica::GetBlock(const Digest& hash) const {
   auto it = blocks_.find(hash);
   return it == blocks_.end() ? nullptr : &it->second;
@@ -210,12 +219,45 @@ void HotStuffReplica::HandleNewView(NodeId /*from*/,
   ChargeAuthVerify(msg.WireSize());
   ProcessQC(msg.high_qc());
   new_views_[msg.view()].insert(msg.replica());
-  if (LeaderOf(msg.view()) != config().id) return;
-  if (msg.view() > view_ && new_views_[msg.view()].size() >= Quorum2f1()) {
-    EnterView(msg.view());
-  } else if (msg.view() == view_) {
-    TryPropose();
+  if (LeaderOf(msg.view()) == config().id) {
+    if (msg.view() > view_ &&
+        new_views_[msg.view()].size() >= Quorum2f1()) {
+      EnterView(msg.view());
+      return;
+    }
+    if (msg.view() == view_) TryPropose();
   }
+  MaybeJoinAdvancedView();
+}
+
+void HotStuffReplica::MaybeJoinAdvancedView() {
+  // Pacemakers drift apart under exponential back-off: replicas end up
+  // split across adjacent views, and no leader ever collects 2f+1
+  // exact-view NEW-VIEWs. Once f+1 distinct replicas (≥1 honest) announce
+  // views above ours, join the smallest such view and re-announce it;
+  // announcements cascade until the cluster re-aligns and a leader can
+  // assemble its quorum.
+  std::set<ReplicaId> ahead;
+  ViewNumber target = 0;
+  for (const auto& [v, senders] : new_views_) {
+    if (v <= view_) continue;
+    if (target == 0) target = v;
+    for (ReplicaId r : senders) {
+      if (r != config().id) ahead.insert(r);
+    }
+  }
+  if (target == 0 || ahead.size() < QuorumF1()) return;
+  metrics().Increment("hotstuff.view_joins");
+  // f+1 announcements arriving means the network is delivering again:
+  // drop the back-off so the cluster re-aligns at the base timeout
+  // instead of creeping one view per capped (8x) period.
+  pacemaker_timeout_us_ = config().view_change_timeout_us;
+  auto nv = std::make_shared<HsNewViewMessage>(target, high_qc_,
+                                               config().id);
+  ChargeAuthSend(n() - 1, nv->WireSize());
+  new_views_[target].insert(config().id);
+  Multicast(OtherReplicas(), std::move(nv));
+  EnterView(target);
 }
 
 // --- View / chain logic -----------------------------------------------------------
@@ -305,10 +347,15 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
       ViewNumber next = view_ + 1;
       auto nv = std::make_shared<HsNewViewMessage>(next, high_qc_,
                                                    config().id);
-      ChargeAuthSend(1, nv->WireSize());
+      // Broadcast rather than target only the next leader: peers use the
+      // announcement as evidence for the f+1 view-join rule, which is
+      // what re-synchronizes pacemakers that drifted apart.
+      ChargeAuthSend(n() - 1, nv->WireSize());
       new_views_[next].insert(config().id);
-      Send(LeaderOf(next), std::move(nv));
-      pacemaker_timeout_us_ *= 2;  // Back-off until progress resumes.
+      Multicast(OtherReplicas(), std::move(nv));
+      // Back-off until progress resumes, capped so a pre-GST fault storm
+      // cannot defer the next attempt past the recovery window.
+      pacemaker_timeout_us_ = NextViewChangeBackoff(pacemaker_timeout_us_);
       EnterView(next);
       break;
     }
@@ -321,10 +368,24 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
   }
 }
 
+namespace {
+// The pacemaker is the ONLY periodic traffic source: after a fault window
+// every replica may be idling on a fully backed-off timer, so the first
+// post-heal resynchronization step costs up to one cap period. The
+// generic 8x cap leaves no headroom inside a bounded recovery window;
+// 4x keeps back-off meaningful while halving that worst-case idle.
+void CapPacemakerBackoff(ReplicaConfig* cfg) {
+  if (cfg->view_change_timeout_cap_us == 0) {
+    cfg->view_change_timeout_cap_us = 4 * cfg->view_change_timeout_us;
+  }
+}
+}  // namespace
+
 std::unique_ptr<Replica> MakeHotStuffReplica(const ReplicaConfig& config) {
   ReplicaConfig cfg = config;
   cfg.auth = AuthScheme::kThreshold;
   cfg.enable_state_transfer = false;  // Catch up via block sync instead.
+  CapPacemakerBackoff(&cfg);
   return std::make_unique<HotStuffReplica>(
       cfg, std::make_unique<KvStateMachine>(), /*two_chain=*/false);
 }
@@ -333,6 +394,7 @@ std::unique_ptr<Replica> MakeHotStuff2Replica(const ReplicaConfig& config) {
   ReplicaConfig cfg = config;
   cfg.auth = AuthScheme::kThreshold;
   cfg.enable_state_transfer = false;
+  CapPacemakerBackoff(&cfg);
   return std::make_unique<HotStuffReplica>(
       cfg, std::make_unique<KvStateMachine>(), /*two_chain=*/true);
 }

@@ -43,6 +43,7 @@ class HotStuffReplica : public Replica {
 
   void Start() override;
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
@@ -63,6 +64,10 @@ class HotStuffReplica : public Replica {
   /// Advances to `v` (if higher), restarts the pacemaker, and proposes if
   /// leader of `v` and justified.
   void EnterView(ViewNumber v);
+  /// Jumps to the smallest announced view above ours once f+1 distinct
+  /// replicas announce higher views, re-broadcasting the announcement so
+  /// drifted pacemakers cascade back into alignment.
+  void MaybeJoinAdvancedView();
   /// Leader: proposes one block for the current view if justified
   /// (QC of view-1, or 2f+1 new-view messages) and not yet proposed.
   void TryPropose();

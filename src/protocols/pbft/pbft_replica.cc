@@ -17,6 +17,29 @@ PbftReplica::PbftReplica(ReplicaConfig config,
 
 void PbftReplica::Start() {}
 
+void PbftReplica::OnRestart() {
+  // Timers that came due while the node was down were silently dropped by
+  // the network, so the stored handles are stale: without this reset the
+  // `already armed` guards would block every future (re)arm and the
+  // replica could never again suspect a faulty leader.
+  view_change_timer_ = kInvalidEvent;
+  batch_timer_ = kInvalidEvent;
+  progress_timer_ = kInvalidEvent;
+  delayed_propose_pending_ = false;
+  if (view_changing_) {
+    // Resume the interrupted view change where the crash left it.
+    if (current_vc_timeout_us_ == 0) {
+      current_vc_timeout_us_ = config().view_change_timeout_us;
+    }
+    view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+  } else if (IsLeader()) {
+    if (HasPending()) ProposeAvailable();
+    ArmProgressTimerIfNeeded();
+  } else {
+    ArmViewChangeTimerIfNeeded();
+  }
+}
+
 // --- Client requests ---------------------------------------------------------
 
 void PbftReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
@@ -124,11 +147,33 @@ void PbftReplica::ProposeBatch(Batch batch) {
   ChargeAuthSend(n() - 1, msg->WireSize());
   Multicast(OtherReplicas(), std::move(msg));
   ArmViewChangeTimerIfNeeded();
+  ArmProgressTimerIfNeeded();
 }
 
 // --- Protocol messages --------------------------------------------------------
 
 void PbftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  // Agreement traffic doubles as view gossip: authenticated messages in a
+  // view above ours are evidence their senders installed a NEW-VIEW we
+  // never received (crashed or partitioned while it was sent).
+  if (from < static_cast<NodeId>(n())) {
+    switch (msg->type()) {
+      case kPbftPrePrepare:
+        NoteViewEvidence(static_cast<ReplicaId>(from),
+                         static_cast<const PrePrepareMessage&>(*msg).view());
+        break;
+      case kPbftPrepare:
+        NoteViewEvidence(static_cast<ReplicaId>(from),
+                         static_cast<const PrepareMessage&>(*msg).view());
+        break;
+      case kPbftCommit:
+        NoteViewEvidence(static_cast<ReplicaId>(from),
+                         static_cast<const CommitMessage&>(*msg).view());
+        break;
+      default:
+        break;
+    }
+  }
   switch (msg->type()) {
     case kPbftPrePrepare:
       HandlePrePrepare(from, static_cast<const PrePrepareMessage&>(*msg));
@@ -165,6 +210,24 @@ void PbftReplica::HandlePrePrepare(NodeId from, const PrePrepareMessage& msg) {
       // Conflicting pre-prepare from the leader (equivocation): keep the
       // first; the quorum intersection argument preserves safety.
       metrics().Increment("pbft.conflicting_pre_prepare");
+      return;
+    }
+    // Duplicate pre-prepare = the leader's progress retransmission: our
+    // earlier votes may have been lost pre-GST and are never re-sent
+    // otherwise. Votes are idempotent, so re-multicast them to let the
+    // stalled instance close.
+    if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+    if (inst.prepare_sent) {
+      auto prepare = std::make_shared<PrepareMessage>(
+          view_, msg.seq(), inst.digest, config().id, AuthBytes());
+      ChargeAuthSend(n() - 1, prepare->WireSize());
+      Multicast(OtherReplicas(), std::move(prepare));
+    }
+    if (inst.commit_sent) {
+      auto commit = std::make_shared<CommitMessage>(
+          view_, msg.seq(), inst.digest, config().id, AuthBytes());
+      ChargeAuthSend(n() - 1, commit->WireSize());
+      Multicast(OtherReplicas(), std::move(commit));
     }
     return;
   }
@@ -288,9 +351,39 @@ void PbftReplica::OnTimer(uint64_t tag) {
       delayed_propose_pending_ = false;
       ProposeAvailable();
       break;
+    case kProgressTimer: {
+      progress_timer_ = kInvalidEvent;
+      if (!IsLeader() || view_changing_) break;
+      SequenceNumber seq = OldestUnexecutedInstance();
+      if (seq == 0) break;
+      const Instance& inst = instance(seq);
+      auto msg = std::make_shared<PrePrepareMessage>(view_, seq, inst.batch,
+                                                     AuthBytes());
+      ChargeAuthSend(n() - 1, msg->WireSize());
+      Multicast(OtherReplicas(), std::move(msg));
+      metrics().Increment("pbft.pre_prepare_retransmits");
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+      break;
+    }
     default:
       break;
   }
+}
+
+SequenceNumber PbftReplica::OldestUnexecutedInstance() const {
+  for (const auto& [seq, inst] : instances_) {
+    if (seq <= last_executed()) continue;
+    if (inst.has_pre_prepare && inst.view == view_) return seq;
+  }
+  return 0;
+}
+
+void PbftReplica::ArmProgressTimerIfNeeded() {
+  if (!IsLeader() || view_changing_) return;
+  if (progress_timer_ != kInvalidEvent) return;
+  if (OldestUnexecutedInstance() == 0) return;
+  progress_timer_ = SetTimer(config().view_change_timeout_us, kProgressTimer);
 }
 
 // --- View change ---------------------------------------------------------------
@@ -298,11 +391,32 @@ void PbftReplica::OnTimer(uint64_t tag) {
 void PbftReplica::StartViewChange(ViewNumber new_view) {
   if (new_view <= view_) return;
   if (view_changing_ && new_view <= target_view_) return;
+  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
+                     << " start view change " << view_ << " -> " << new_view;
   view_changing_ = true;
   target_view_ = new_view;
   CancelTimer(&batch_timer_);
+  CancelTimer(&progress_timer_);
   metrics().Increment("pbft.view_change_started");
 
+  auto vc = BuildViewChange(new_view);
+  ChargeAuthSend(n() - 1, vc->WireSize());
+  view_changes_[new_view].emplace(config().id, *vc);
+  Multicast(OtherReplicas(), std::move(vc));
+
+  // Exponential back-off: if this view change fails too, target +1 later.
+  if (current_vc_timeout_us_ == 0) {
+    current_vc_timeout_us_ = config().view_change_timeout_us;
+  }
+  CancelTimer(&view_change_timer_);
+  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+  current_vc_timeout_us_ = NextViewChangeBackoff(current_vc_timeout_us_);
+
+  if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
+}
+
+std::shared_ptr<ViewChangeMessage> PbftReplica::BuildViewChange(
+    ViewNumber new_view) {
   std::vector<PreparedProof> proofs;
   // Committed-but-not-yet-checkpointed batches first: they are final and
   // must survive any view change (their proof view outranks everything).
@@ -326,35 +440,87 @@ void PbftReplica::StartViewChange(ViewNumber new_view) {
       proofs.push_back(std::move(proof));
     }
   }
+  return std::make_shared<ViewChangeMessage>(new_view, config().id,
+                                             LowWatermark(), std::move(proofs),
+                                             AgreementQuorum());
+}
 
-  auto vc = std::make_shared<ViewChangeMessage>(
-      new_view, config().id, LowWatermark(), std::move(proofs), AgreementQuorum());
-  ChargeAuthSend(n() - 1, vc->WireSize());
-  view_changes_[new_view].emplace(config().id, *vc);
-  Multicast(OtherReplicas(), std::move(vc));
-
-  // Exponential back-off: if this view change fails too, target +1 later.
-  if (current_vc_timeout_us_ == 0) {
-    current_vc_timeout_us_ = config().view_change_timeout_us;
+void PbftReplica::NoteViewEvidence(ReplicaId sender, ViewNumber w) {
+  if (w <= view_ || sender == config().id) return;
+  view_evidence_[w].insert(sender);
+  std::set<ReplicaId> distinct;
+  ViewNumber smallest = 0;
+  for (const auto& [v, senders] : view_evidence_) {
+    if (v <= view_) continue;
+    if (smallest == 0) smallest = v;
+    distinct.insert(senders.begin(), senders.end());
   }
-  CancelTimer(&view_change_timer_);
-  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
-  current_vc_timeout_us_ *= 2;
-
-  if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
+  if (smallest == 0 || distinct.size() < QuorumF1()) return;
+  if (!view_changing_ || smallest > target_view_) {
+    metrics().Increment("pbft.view_evidence_joins");
+    StartViewChange(smallest);
+  } else if (smallest < target_view_ && smallest != asked_view_) {
+    // Already chasing a higher view, but f+1 replicas demonstrably run in
+    // `smallest`: re-announce it so its leader replays the NEW-VIEW we
+    // missed (our earlier escalations target views nobody else wants).
+    asked_view_ = smallest;
+    metrics().Increment("pbft.view_evidence_joins");
+    auto vc = BuildViewChange(smallest);
+    ChargeAuthSend(1, vc->WireSize());
+    Send(LeaderOf(smallest), std::move(vc));
+  }
 }
 
 void PbftReplica::HandleViewChange(NodeId /*from*/,
                                    const ViewChangeMessage& msg) {
-  if (msg.new_view() <= view_) return;
+  if (msg.new_view() <= view_) {
+    // Late joiner: the sender is trying to move the cluster to a view we
+    // already passed, so it missed the NEW-VIEW (down or partitioned when
+    // it was sent). Replay ours if we led the current view.
+    if (last_new_view_ && last_new_view_->new_view() == view_ &&
+        msg.replica() != config().id) {
+      ChargeAuthSend(1, last_new_view_->WireSize());
+      Send(msg.replica(), last_new_view_);
+      metrics().Increment("pbft.new_view_replayed");
+    }
+    return;
+  }
   ChargeAuthVerify(msg.WireSize());
   view_changes_[msg.new_view()].emplace(msg.replica(), msg);
+  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
+                     << " got view-change for " << msg.new_view() << " from r"
+                     << msg.replica() << " (have "
+                     << view_changes_[msg.new_view()].size() << ")";
 
   // Join rule: f+1 replicas already moved to a higher view -> follow them
   // even if our own timer has not fired (liveness under slow timers).
   if ((!view_changing_ || msg.new_view() > target_view_) &&
       view_changes_[msg.new_view()].size() >= QuorumF1()) {
     StartViewChange(msg.new_view());
+  }
+
+  // Castro's complementary liveness rule: once f+1 DISTINCT replicas have
+  // announced views above ours (not necessarily the same view), adopt the
+  // smallest announced view. Without this, replicas whose back-off timers
+  // fire at different times chase disjoint view numbers after a fault
+  // storm and their solo view changes never assemble a quorum.
+  std::map<ReplicaId, ViewNumber> announced;
+  for (const auto& [v, msgs] : view_changes_) {
+    if (v <= view_) continue;
+    for (const auto& [replica, vc] : msgs) {
+      if (replica == config().id) continue;
+      auto [slot, inserted] = announced.emplace(replica, v);
+      if (!inserted) slot->second = std::min(slot->second, v);
+    }
+  }
+  if (announced.size() >= QuorumF1()) {
+    ViewNumber smallest = UINT64_MAX;
+    for (const auto& [replica, v] : announced) {
+      smallest = std::min(smallest, v);
+    }
+    if (!view_changing_ || smallest > target_view_) {
+      StartViewChange(smallest);
+    }
   }
 
   if (view_changing_ && LeaderOf(target_view_) == config().id) {
@@ -399,6 +565,7 @@ void PbftReplica::MaybeAssembleNewView(ViewNumber new_view) {
   }
 
   auto nv = std::make_shared<NewViewMessage>(new_view, proposals, proof_bytes);
+  last_new_view_ = nv;  // Kept for replay to late joiners.
   ChargeAuthSend(n() - 1, nv->WireSize());
   Multicast(OtherReplicas(), std::move(nv));
   metrics().Increment("pbft.new_view_sent");
@@ -415,12 +582,17 @@ void PbftReplica::HandleNewView(NodeId from, const NewViewMessage& msg) {
 void PbftReplica::EnterNewView(
     ViewNumber new_view,
     const std::vector<NewViewMessage::Proposal>& proposals) {
+  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
+                     << " enter view " << new_view;
   view_ = new_view;
   view_changing_ = false;
   target_view_ = new_view;
   instances_.clear();
   view_changes_.erase(view_changes_.begin(),
                       view_changes_.upper_bound(new_view));
+  view_evidence_.erase(view_evidence_.begin(),
+                       view_evidence_.upper_bound(new_view));
+  asked_view_ = 0;
   DisarmViewChangeTimer();
   ++view_changes_completed_;
   metrics().Increment("pbft.view_changes_completed");
@@ -462,6 +634,7 @@ void PbftReplica::EnterNewView(
       ArmViewChangeTimerIfNeeded();
     }
   }
+  ArmProgressTimerIfNeeded();
 }
 
 void PbftReplica::OnCheckpointStable(SequenceNumber seq) {

@@ -40,6 +40,7 @@ class PbftReplica : public Replica {
 
   void Start() override;
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
@@ -53,6 +54,10 @@ class PbftReplica : public Replica {
   static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 0;
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 1;
   static constexpr uint64_t kDelayedProposeTimer = kProtocolTimerBase + 2;
+  /// Leader liveness: while an accepted proposal sits unexecuted, the
+  /// leader periodically re-multicasts its pre-prepare (agreement
+  /// messages lost pre-GST are never re-sent otherwise).
+  static constexpr uint64_t kProgressTimer = kProtocolTimerBase + 3;
 
   // --- Subclass hooks (Themis, Prime) -------------------------------------
 
@@ -102,6 +107,13 @@ class PbftReplica : public Replica {
 
   /// Enters the view-change protocol targeting `new_view`.
   void StartViewChange(ViewNumber new_view);
+  /// Builds this replica's VIEW-CHANGE message (committed + prepared
+  /// proofs) for `new_view` without altering view-change state.
+  std::shared_ptr<ViewChangeMessage> BuildViewChange(ViewNumber new_view);
+  /// Records an authenticated agreement message from `sender` claiming
+  /// view `w`; once f+1 distinct replicas demonstrably operate above our
+  /// view, rejoin them (we may have missed the NEW-VIEW while down).
+  void NoteViewEvidence(ReplicaId sender, ViewNumber w);
   /// New leader: assembles and broadcasts NEW-VIEW once 2f+1 VCs arrive.
   void MaybeAssembleNewView(ViewNumber new_view);
   /// Installs `new_view` with the given re-proposals.
@@ -111,6 +123,10 @@ class PbftReplica : public Replica {
   /// (Re)arms the view-change timer if unexecuted requests exist.
   void ArmViewChangeTimerIfNeeded();
   void DisarmViewChangeTimer();
+  /// Leader: (re)arms the pre-prepare retransmission watch.
+  void ArmProgressTimerIfNeeded();
+  /// Oldest unexecuted current-view proposal (0 = none).
+  SequenceNumber OldestUnexecutedInstance() const;
 
   Instance& instance(SequenceNumber seq) { return instances_[seq]; }
 
@@ -142,6 +158,15 @@ class PbftReplica : public Replica {
   bool delayed_propose_pending_ = false;
   /// Digest of the pooled request the view-change timer watches.
   Digest vc_watch_;
+
+  EventId progress_timer_ = kInvalidEvent;
+  /// Replicas seen sending agreement messages in each view above ours.
+  std::map<ViewNumber, std::set<ReplicaId>> view_evidence_;
+  /// Highest view we already re-announced via the evidence rule.
+  ViewNumber asked_view_ = 0;
+  /// The NEW-VIEW this replica assembled as leader of view_; replayed to
+  /// replicas whose view changes show they missed it.
+  std::shared_ptr<NewViewMessage> last_new_view_;
 };
 
 /// Factory for Cluster.

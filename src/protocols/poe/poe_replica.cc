@@ -205,7 +205,7 @@ void PoeReplica::StartViewChange(ViewNumber new_view) {
 
   CancelTimer(&vc_timer_);
   vc_timer_ = SetTimer(vc_timeout_us_, kViewChangeTimer);
-  vc_timeout_us_ *= 2;
+  vc_timeout_us_ = NextViewChangeBackoff(vc_timeout_us_);
 
   if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
 }
@@ -331,6 +331,20 @@ void PoeReplica::HandleNewView(NodeId from, const PoeNewViewMessage& msg) {
     if (oldest != nullptr) {
       Send(leader(), std::make_shared<RequestMessage>(*oldest));
     }
+    ArmViewChangeTimerIfNeeded();
+  }
+}
+
+void PoeReplica::OnRestart() {
+  // Timers that came due while the node was down were dropped by the
+  // network; the stored handles are stale. Reset them and resume either
+  // the interrupted view change or the request watch.
+  vc_timer_ = kInvalidEvent;
+  batch_timer_ = kInvalidEvent;
+  if (view_changing_) {
+    if (vc_timeout_us_ == 0) vc_timeout_us_ = config().view_change_timeout_us;
+    vc_timer_ = SetTimer(vc_timeout_us_, kViewChangeTimer);
+  } else {
     ArmViewChangeTimerIfNeeded();
   }
 }

@@ -265,6 +265,7 @@ class PoeReplica : public Replica {
   }
 
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;

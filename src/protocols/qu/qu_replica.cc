@@ -86,6 +86,7 @@ void QuClient::HandleReply(const ReplyMessage& reply) {
   // compares object version histories instead).
   ok_replicas_.insert(reply.replica());
   if (ok_replicas_.size() >= config().reply_quorum) {
+    accepted_result_ = reply.result();
     AcceptCurrent();
   }
 }

@@ -23,6 +23,14 @@ void SbftReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
   if (IsClientNode(from)) {
     Send(leader(), std::make_shared<RequestMessage>(request));
   }
+  ArmCatchUpTimerIfNeeded();
+}
+
+void SbftReplica::ArmCatchUpTimerIfNeeded() {
+  if (IsLeader() || catch_up_timer_ != kInvalidEvent) return;
+  if (!HasPending()) return;
+  catch_up_timer_ =
+      SetTimer(config().view_change_timeout_us, kCatchUpTimer);
 }
 
 void SbftReplica::ProposeAvailable() {
@@ -64,6 +72,10 @@ void SbftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
     case kSbftPrepareProof:
     case kSbftCommitProof:
       HandleProof(from, static_cast<const SbftProofMessage&>(*msg));
+      break;
+    case kSbftCatchUpRequest:
+      HandleCatchUpRequest(
+          from, static_cast<const SbftCatchUpRequestMessage&>(*msg));
       break;
     default:
       break;
@@ -132,6 +144,30 @@ void SbftReplica::HandleShare(NodeId /*from*/, const SbftShareMessage& msg) {
   }
 }
 
+void SbftReplica::HandleCatchUpRequest(NodeId from,
+                                       const SbftCatchUpRequestMessage& msg) {
+  if (!IsLeader() || msg.view() != view_) return;
+  ChargeAuthVerify(msg.WireSize());
+  uint32_t sent = 0;
+  for (SequenceNumber seq = msg.low() + 1;
+       seq <= last_executed() && sent < options_.catch_up_limit; ++seq) {
+    auto it = instances_.find(seq);
+    if (it == instances_.end() || !it->second.committed) continue;
+    // Replay the decision: the pre-prepare carries the batch (the backup
+    // may never have seen it) and the commit proof lets it commit.
+    auto pp = std::make_shared<SbftPrePrepareMessage>(view_, seq,
+                                                      it->second.batch);
+    ChargeAuthSend(1, pp->WireSize());
+    Send(from, std::move(pp));
+    auto proof = std::make_shared<SbftProofMessage>(
+        kSbftCommitProof, view_, seq, it->second.digest, false);
+    ChargeAuthSend(1, proof->WireSize());
+    Send(from, std::move(proof));
+    ++sent;
+  }
+  if (sent > 0) metrics().Increment("sbft.catchups_served");
+}
+
 void SbftReplica::SendPrepareProof(SequenceNumber seq, bool full) {
   Instance& inst = instances_[seq];
   if (inst.prepare_proof_sent) return;
@@ -189,10 +225,42 @@ void SbftReplica::Commit(SequenceNumber seq, const Batch& batch, bool fast) {
   Deliver(seq, batch);
 }
 
+void SbftReplica::OnRestart() {
+  // Timers that came due while the node was down were dropped by the
+  // network; the stored handles are stale. The leader's per-instance τ3
+  // timers drive all retransmission, so re-arm them for every in-flight
+  // instance or a restarted leader never completes interrupted slots.
+  batch_timer_ = kInvalidEvent;
+  catch_up_timer_ = kInvalidEvent;
+  for (auto& [seq, inst] : instances_) {
+    inst.fast_timer = kInvalidEvent;
+    if (IsLeader() && inst.has_pre_prepare && !inst.committed) {
+      inst.fast_timer =
+          SetTimer(options_.fast_path_timeout_us, kFastPathTimerBase + seq);
+    }
+  }
+  if (IsLeader() && HasPending()) ProposeAvailable();
+  ArmCatchUpTimerIfNeeded();
+}
+
 void SbftReplica::OnTimer(uint64_t tag) {
   if (tag == kBatchTimer) {
     batch_timer_ = kInvalidEvent;
     ProposeAvailable();
+    return;
+  }
+  if (tag == kCatchUpTimer) {
+    catch_up_timer_ = kInvalidEvent;
+    if (!IsLeader() && HasPending()) {
+      // Still holding unserved requests: the decisions for them (or for
+      // the gap blocking their execution) were lost; ask the collector.
+      metrics().Increment("sbft.catchup_requests");
+      auto req = std::make_shared<SbftCatchUpRequestMessage>(
+          view_, last_executed(), config().id);
+      ChargeAuthSend(1, req->WireSize());
+      Send(leader(), std::move(req));
+      ArmCatchUpTimerIfNeeded();
+    }
     return;
   }
   if (tag >= kFastPathTimerBase) {

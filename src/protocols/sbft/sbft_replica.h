@@ -32,6 +32,7 @@ enum SbftMessageType : uint32_t {
   kSbftPrepareProof = 182,
   kSbftCommitShare = 183,
   kSbftCommitProof = 184,
+  kSbftCatchUpRequest = 185,
 };
 
 class SbftPrePrepareMessage : public Message {
@@ -148,11 +149,48 @@ class SbftProofMessage : public Message {
   bool full_;
 };
 
+/// A backup's request for the committed batches it missed: the collector
+/// replies with pre-prepare + commit-proof pairs for sequence numbers
+/// above `low`. Fire-and-forget proofs plus a lossy pre-GST network mean
+/// backups accumulate execution holes; without this path only the
+/// collector can serve clients and f+1 reply quorums starve.
+class SbftCatchUpRequestMessage : public Message {
+ public:
+  SbftCatchUpRequestMessage(ViewNumber view, SequenceNumber low,
+                            ReplicaId replica)
+      : view_(view), low_(low), replica_(replica) {}
+
+  ViewNumber view() const { return view_; }
+  SequenceNumber low() const { return low_; }
+  ReplicaId replica() const { return replica_; }
+
+  uint32_t type() const override { return kSbftCatchUpRequest; }
+  void EncodeTo(Encoder* enc) const override {
+    enc->PutU32(kSbftCatchUpRequest);
+    enc->PutU64(view_);
+    enc->PutU64(low_);
+    enc->PutU32(replica_);
+  }
+  size_t auth_wire_bytes() const override { return kSignatureBytes; }
+  std::string DebugString() const override {
+    std::ostringstream os;
+    os << "SBFT-CATCHUP{low=" << low_ << " replica=" << replica_ << "}";
+    return os.str();
+  }
+
+ private:
+  ViewNumber view_;
+  SequenceNumber low_;
+  ReplicaId replica_;
+};
+
 struct SbftOptions {
   /// τ3: how long the collector waits for ALL shares before falling back.
   SimTime fast_path_timeout_us = Millis(20);
   /// Force the slow path (for ablation benches).
   bool disable_fast_path = false;
+  /// Committed batches re-sent per catch-up request.
+  uint32_t catch_up_limit = 64;
 };
 
 class SbftReplica : public Replica {
@@ -171,12 +209,16 @@ class SbftReplica : public Replica {
   uint64_t slow_commits() const { return slow_commits_; }
 
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
+  /// Backup liveness: while it holds unserved requests, periodically ask
+  /// the collector for the committed batches it missed.
+  static constexpr uint64_t kCatchUpTimer = kProtocolTimerBase + 1;
   /// τ3 timers are (kFastPathTimerBase + seq).
   static constexpr uint64_t kFastPathTimerBase = kProtocolTimerBase + 1000;
 
@@ -197,14 +239,18 @@ class SbftReplica : public Replica {
   void HandlePrePrepare(NodeId from, const SbftPrePrepareMessage& msg);
   void HandleShare(NodeId from, const SbftShareMessage& msg);
   void HandleProof(NodeId from, const SbftProofMessage& msg);
+  void HandleCatchUpRequest(NodeId from,
+                            const SbftCatchUpRequestMessage& msg);
   void SendPrepareProof(SequenceNumber seq, bool full);
   void Commit(SequenceNumber seq, const Batch& batch, bool fast);
+  void ArmCatchUpTimerIfNeeded();
 
   SbftOptions options_;
   ViewNumber view_ = 0;
   SequenceNumber next_seq_ = 1;
   std::map<SequenceNumber, Instance> instances_;
   EventId batch_timer_ = kInvalidEvent;
+  EventId catch_up_timer_ = kInvalidEvent;
   uint64_t fast_commits_ = 0;
   uint64_t slow_commits_ = 0;
 };

@@ -22,6 +22,8 @@ void TendermintReplica::EnterHeight(SequenceNumber h) {
   locked_ = Digest();
   locked_round_ = 0;
   height_blocks_.clear();
+  round_proposal_.clear();
+  future_round_voters_.clear();
   prevotes_.Clear();
   precommits_.Clear();
   CancelTimer(&propose_timer_);
@@ -117,24 +119,53 @@ void TendermintReplica::MaybeServeCatchUp(NodeId peer,
                                           SequenceNumber stale_height) {
   // A peer is still voting in a height we already decided: send it the
   // decision (with its precommit certificate) so it can rejoin.
-  auto it = decided_log_.find(stale_height);
-  if (it == decided_log_.end()) return;
+  if (decided_log_.find(stale_height) == decided_log_.end()) return;
   if (Now() - last_catch_up_sent_ < Millis(20) && Now() != 0) return;
   last_catch_up_sent_ = Now();
-  metrics().Increment("tendermint.catch_ups_served");
-  Send(peer, std::make_shared<TmDecisionMessage>(stale_height, it->second,
-                                                 Quorum2f1()));
+  // Serve a window of consecutive decisions, not just the one height: a
+  // far-behind replica then needs one exchange per window rather than one
+  // full timeout-driven round trip per height.
+  constexpr SequenceNumber kCatchUpWindow = 8;
+  for (SequenceNumber h = stale_height;
+       h < stale_height + kCatchUpWindow && h < height_; ++h) {
+    auto it = decided_log_.find(h);
+    if (it == decided_log_.end()) break;
+    metrics().Increment("tendermint.catch_ups_served");
+    Send(peer,
+         std::make_shared<TmDecisionMessage>(h, it->second, Quorum2f1()));
+  }
 }
 
 void TendermintReplica::HandleDecision(NodeId /*from*/,
                                        const TmDecisionMessage& msg) {
-  if (msg.height() != height_) return;
+  if (msg.height() < height_) return;
   ChargeAuthVerify(msg.WireSize());
-  metrics().Increment("tendermint.catch_ups_applied");
-  Batch batch = msg.batch();
-  decided_log_[height_] = batch;
-  Deliver(height_, std::move(batch));
-  EnterHeight(height_ + 1);
+  if (msg.height() > height_) {
+    // Catch-up replies can arrive out of order; buffer until the gap
+    // below them is filled (bounded, dropping the farthest heights).
+    pending_decisions_[msg.height()] = msg.batch();
+    while (pending_decisions_.size() > 64) {
+      pending_decisions_.erase(std::prev(pending_decisions_.end()));
+    }
+    return;
+  }
+  ApplyDecisionAndAdvance(msg.batch());
+}
+
+void TendermintReplica::ApplyDecisionAndAdvance(Batch batch) {
+  while (true) {
+    metrics().Increment("tendermint.catch_ups_applied");
+    decided_log_[height_] = batch;
+    while (decided_log_.size() > 64) decided_log_.erase(decided_log_.begin());
+    Deliver(height_, std::move(batch));
+    EnterHeight(height_ + 1);
+    auto it = pending_decisions_.find(height_);
+    if (it == pending_decisions_.end()) break;
+    batch = std::move(it->second);
+    pending_decisions_.erase(it);
+  }
+  pending_decisions_.erase(pending_decisions_.begin(),
+                           pending_decisions_.lower_bound(height_));
   if (HasPending()) ScheduleProposal();
 }
 
@@ -148,9 +179,14 @@ void TendermintReplica::HandleProposal(NodeId from,
   if (from != ProposerOf(msg.height(), msg.round())) return;
   ChargeAuthVerify(msg.WireSize());
   height_blocks_[msg.digest()] = msg.batch();
+  round_proposal_[msg.round()] = msg.digest();
   for (const ClientRequest& r : msg.batch().requests) {
     RemoveFromPool(r.ComputeDigest());
   }
+  // The legitimate proposer of a later round spoke: the cluster has moved
+  // past our round, so jump forward instead of timing out through every
+  // round in between (rounds would otherwise drift apart forever).
+  if (msg.round() > round_) JumpToRound(msg.round());
   ArmRoundTimerIfNeeded();
   if (msg.round() != round_ || prevoted_) return;
   if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
@@ -181,6 +217,14 @@ void TendermintReplica::HandleVote(NodeId from, const TmVoteMessage& msg) {
   }
   if (msg.height() != height_) return;
   if (from != config().id) ChargeAuthVerify(msg.WireSize());
+
+  // Round synchronization: f+1 distinct replicas voting in a round above
+  // ours means at least one correct replica is there — join it.
+  if (from != config().id && msg.round() > round_) {
+    auto& voters = future_round_voters_[msg.round()];
+    voters.insert(msg.replica());
+    if (voters.size() >= QuorumF1()) JumpToRound(msg.round());
+  }
 
   auto key = std::make_tuple(msg.height(), msg.round(), msg.digest());
   if (msg.type() == kTmPrevote) {
@@ -219,6 +263,15 @@ void TendermintReplica::CommitDecision(const Digest& digest) {
 }
 
 void TendermintReplica::AdvanceRound() {
+  // Tendermint's on-timeout rule: prevote nil for the expiring round.
+  // Beyond its role in the lock discipline this is the liveness beacon
+  // for a replica stuck behind — peers that already decided this height
+  // see the stale vote and serve the decision certificate.
+  if (!prevoted_ && byzantine_mode() != ByzantineMode::kSilentBackup &&
+      byzantine_mode() != ByzantineMode::kCrashSilent) {
+    prevoted_ = true;
+    BroadcastVote(kTmPrevote, Digest());
+  }
   ++round_;
   ++rounds_wasted_;
   metrics().Increment("tendermint.rounds_wasted");
@@ -229,13 +282,61 @@ void TendermintReplica::AdvanceRound() {
   if (ProposerOf(height_, round_) == config().id) {
     ScheduleProposal();
   }
+  MaybePrevoteStoredProposal();
   ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::JumpToRound(uint32_t r) {
+  if (r <= round_) return;
+  round_ = r;
+  proposed_ = false;
+  prevoted_ = false;
+  precommitted_ = false;
+  future_round_voters_.erase(future_round_voters_.begin(),
+                             future_round_voters_.upper_bound(round_));
+  CancelTimer(&propose_timer_);
+  CancelTimer(&round_timer_);
+  metrics().Increment("tendermint.round_jumps");
+  if (ProposerOf(height_, round_) == config().id) {
+    ScheduleProposal();
+  }
+  MaybePrevoteStoredProposal();
+  ArmRoundTimerIfNeeded();
+}
+
+void TendermintReplica::MaybePrevoteStoredProposal() {
+  if (prevoted_) return;
+  if (byzantine_mode() == ByzantineMode::kSilentBackup ||
+      byzantine_mode() == ByzantineMode::kCrashSilent) {
+    return;
+  }
+  auto it = round_proposal_.find(round_);
+  if (it == round_proposal_.end()) return;
+  if (!locked_.IsZero() && locked_ != it->second) {
+    prevoted_ = true;
+    BroadcastVote(kTmPrevote, Digest());  // nil: honor the lock.
+    return;
+  }
+  prevoted_ = true;
+  BroadcastVote(kTmPrevote, it->second);
 }
 
 void TendermintReplica::OnStateTransferComplete(SequenceNumber seq) {
   // Heights are sequence numbers: a state transfer to seq means heights
   // <= seq are decided elsewhere; rejoin consensus at the next height.
   if (seq + 1 > height_) EnterHeight(seq + 1);
+}
+
+void TendermintReplica::OnRestart() {
+  // Timers that came due while the node was down were dropped by the
+  // network; the stored handles are stale. Reset them and re-enter the
+  // current round's timer discipline.
+  propose_timer_ = kInvalidEvent;
+  round_timer_ = kInvalidEvent;
+  if (ProposerOf(height_, round_) == config().id && !proposed_) {
+    ScheduleProposal();
+  }
+  ArmRoundTimerIfNeeded();
 }
 
 void TendermintReplica::OnTimer(uint64_t tag) {

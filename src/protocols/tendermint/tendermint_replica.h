@@ -166,6 +166,7 @@ class TendermintReplica : public Replica {
 
   void Start() override;
   void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
@@ -188,6 +189,16 @@ class TendermintReplica : public Replica {
   void ProposeNow();
   void BroadcastVote(uint32_t type_tag, const Digest& digest);
   void AdvanceRound();
+  /// Fast-forwards to round `r` (r > round_) when the cluster has
+  /// provably moved past our round: the legitimate proposer of `r` spoke,
+  /// or f+1 distinct replicas voted in rounds above ours.
+  void JumpToRound(uint32_t r);
+  /// Prevotes a proposal that arrived for this round while we were still
+  /// in an earlier one (stored, but skipped by the round-match check).
+  void MaybePrevoteStoredProposal();
+  /// Applies a decision certificate for the current height, then drains
+  /// any buffered decisions for the heights that follow.
+  void ApplyDecisionAndAdvance(Batch batch);
   void CommitDecision(const Digest& digest);
   void EnterHeight(SequenceNumber h);
   void ArmRoundTimerIfNeeded();
@@ -205,7 +216,14 @@ class TendermintReplica : public Replica {
   bool was_in_last_quorum_ = false;  // For the skip optimization.
 
   std::map<Digest, Batch> height_blocks_;  // Proposals seen this height.
+  std::map<uint32_t, Digest> round_proposal_;  // This height's proposals.
+  /// Distinct replicas seen voting in each round above ours (this
+  /// height); f+1 in one round proves the cluster left ours behind.
+  std::map<uint32_t, std::set<ReplicaId>> future_round_voters_;
   std::map<SequenceNumber, Batch> decided_log_;  // For catch-up service.
+  /// Decisions that arrived for heights we have not reached yet (catch-up
+  /// replies can outrun in-order application).
+  std::map<SequenceNumber, Batch> pending_decisions_;
   SimTime last_catch_up_sent_ = 0;
   QuorumTracker<std::tuple<SequenceNumber, uint32_t, Digest>> prevotes_;
   QuorumTracker<std::tuple<SequenceNumber, uint32_t, Digest>> precommits_;

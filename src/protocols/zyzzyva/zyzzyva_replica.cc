@@ -191,6 +191,7 @@ void ZyzzyvaClient::HandleReply(const ReplyMessage& reply) {
     if (voters.size() >= fast_quorum_) {
       ++fast_commits_;
       metrics().Increment("zyzzyva.fast_path");
+      accepted_result_ = reply.result();
       AcceptCurrent();
     }
     return;
@@ -201,6 +202,7 @@ void ZyzzyvaClient::HandleReply(const ReplyMessage& reply) {
   if (voters.size() >= 2 * f_ + 1) {
     ++repair_commits_;
     metrics().Increment("zyzzyva.repair_path");
+    accepted_result_ = reply.result();
     AcceptCurrent();
   }
 }
@@ -217,8 +219,7 @@ void ZyzzyvaClient::OnTimer(uint64_t tag) {
         auto cert = std::make_shared<ZyzCommitCertMessage>(
             static_cast<ClientId>(id()), max_seq, 2 * f_ + 1);
         Multicast(AllReplicas(), std::move(cert));
-        retransmit_timer_ =
-            SetTimer(config().retransmit_timeout_us, kRetransmitTag);
+        retransmit_timer_ = SetTimer(NextRetransmitDelay(), kRetransmitTag);
         return;
       }
     }

@@ -79,20 +79,21 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   Depart(from, to, std::move(msg), sim_->now());
 }
 
-bool Network::LinkBlocked(NodeId a, NodeId b, SimTime at) const {
+bool Network::LinkExplicitlyBlocked(NodeId a, NodeId b, SimTime at) const {
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   auto it = blocked_links_.find(key);
-  if (it != blocked_links_.end() && at < it->second) return true;
-  if (!partition_.empty() && at < partition_until_) {
-    int group_a = -1, group_b = -1;
-    for (size_t g = 0; g < partition_.size(); ++g) {
-      if (partition_[g].count(a)) group_a = static_cast<int>(g);
-      if (partition_[g].count(b)) group_b = static_cast<int>(g);
-    }
-    // Nodes not listed in any group are unreachable from everyone.
-    if (group_a != group_b || group_a == -1) return true;
+  return it != blocked_links_.end() && at < it->second;
+}
+
+bool Network::PartitionBlocks(NodeId a, NodeId b, SimTime at) const {
+  if (partition_.empty() || at >= partition_until_) return false;
+  int group_a = -1, group_b = -1;
+  for (size_t g = 0; g < partition_.size(); ++g) {
+    if (partition_[g].count(a)) group_a = static_cast<int>(g);
+    if (partition_[g].count(b)) group_b = static_cast<int>(g);
   }
-  return false;
+  // Nodes not listed in any group are unreachable from everyone.
+  return group_a != group_b || group_a == -1;
 }
 
 void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
@@ -129,8 +130,19 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
     auto extra = injector_(from, to, msg, &drop);
     if (extra.has_value()) injected_delay = *extra;
   }
-  if (drop || LinkBlocked(from, to, departure)) {
+  if (drop) {
     sender_stats.msgs_dropped++;
+    metrics_->Increment("net.injector_drops");
+    return;
+  }
+  if (LinkExplicitlyBlocked(from, to, departure)) {
+    sender_stats.msgs_dropped++;
+    metrics_->Increment("net.link_blocked_drops");
+    return;
+  }
+  if (PartitionBlocks(from, to, departure)) {
+    sender_stats.msgs_dropped++;
+    metrics_->Increment("net.partition_drops");
     return;
   }
 
@@ -145,6 +157,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
     // config for termination).
     if (rng_.NextBool(config_.pre_gst_drop_prob)) {
       sender_stats.msgs_dropped++;
+      metrics_->Increment("net.dropped_pre_gst");
       return;
     }
     if (config_.pre_gst_extra_delay_us > 0) {

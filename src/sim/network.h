@@ -146,7 +146,10 @@ class Network {
   void DeliverAt(SimTime arrival, Packet packet);
   void ScheduleProcessing(NodeId node);
   void ProcessNext(NodeId node);
-  bool LinkBlocked(NodeId a, NodeId b, SimTime at) const;
+  /// Drop causes are split so chaos runs can attribute them
+  /// ("net.link_blocked_drops" vs "net.partition_drops").
+  bool LinkExplicitlyBlocked(NodeId a, NodeId b, SimTime at) const;
+  bool PartitionBlocks(NodeId a, NodeId b, SimTime at) const;
 
   Simulator* sim_;
   MetricsCollector* metrics_;

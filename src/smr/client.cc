@@ -1,5 +1,7 @@
 #include "smr/client.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -52,11 +54,28 @@ void Client::SubmitNext() {
   in_flight_ = true;
   submit_time_ = Now();
   metrics().RecordSubmission(current_.client, current_.timestamp, Now());
+  if (config_.history) {
+    config_.history->RecordInvoke(current_.client, current_.timestamp,
+                                  current_.operation, Now());
+  }
   reply_sets_.clear();
   SendCurrent(config_.submit_policy == SubmitPolicy::kAll);
 
   CancelTimer(&retransmit_timer_);
-  retransmit_timer_ = SetTimer(config_.retransmit_timeout_us, kRetransmitTag);
+  current_retransmit_us_ = config_.retransmit_timeout_us;
+  retransmit_timer_ = SetTimer(current_retransmit_us_, kRetransmitTag);
+}
+
+SimTime Client::NextRetransmitDelay() {
+  if (config_.retransmit_backoff > 1.0) {
+    double next = static_cast<double>(current_retransmit_us_) *
+                  config_.retransmit_backoff;
+    if (config_.retransmit_cap_us > 0) {
+      next = std::min(next, static_cast<double>(config_.retransmit_cap_us));
+    }
+    current_retransmit_us_ = static_cast<SimTime>(next);
+  }
+  return current_retransmit_us_;
 }
 
 void Client::SendCurrent(bool to_all) {
@@ -81,6 +100,7 @@ void Client::HandleReply(const ReplyMessage& reply) {
   std::set<ReplicaId>& voters = reply_sets_[reply.result()];
   voters.insert(reply.replica());
   if (voters.size() >= config_.reply_quorum) {
+    accepted_result_ = reply.result();
     AcceptCurrent();
   }
 }
@@ -90,6 +110,10 @@ void Client::AcceptCurrent() {
   CancelTimer(&retransmit_timer_);
   ++accepted_;
   metrics().RecordCommit(current_.timestamp, submit_time_, Now());
+  if (config_.history) {
+    config_.history->RecordComplete(current_.client, current_.timestamp,
+                                    accepted_result_, Now());
+  }
 
   if (config_.max_requests != 0 && accepted_ >= config_.max_requests) return;
   if (config_.think_time_us == 0) {
@@ -106,8 +130,7 @@ void Client::OnTimer(uint64_t tag) {
         ++retransmissions_;
         metrics().Increment("client.retransmissions");
         SendCurrent(/*to_all=*/true);
-        retransmit_timer_ =
-            SetTimer(config_.retransmit_timeout_us, kRetransmitTag);
+        retransmit_timer_ = SetTimer(NextRetransmitDelay(), kRetransmitTag);
       }
       break;
     case kThinkTag:

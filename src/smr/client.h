@@ -28,6 +28,20 @@ enum class SubmitPolicy : uint8_t {
 using OpGenerator =
     std::function<Buffer(ClientId client, RequestTimestamp ts, Rng* rng)>;
 
+/// Sink for client-observed operation events. The chaos oracle suite
+/// (src/chaos/history.h) implements this to build per-run histories that
+/// the linearizability and recovery oracles check.
+class HistoryRecorder {
+ public:
+  virtual ~HistoryRecorder() = default;
+  /// A request entered the network (operation = encoded payload).
+  virtual void RecordInvoke(ClientId client, RequestTimestamp ts,
+                            const Buffer& operation, SimTime at) = 0;
+  /// The request was accepted with `result`.
+  virtual void RecordComplete(ClientId client, RequestTimestamp ts,
+                              const Buffer& result, SimTime at) = 0;
+};
+
 struct ClientConfig {
   uint32_t num_replicas = 4;
   /// Matching replies needed to accept a result (f+1 in PBFT, 2f+1 in
@@ -36,6 +50,14 @@ struct ClientConfig {
   SubmitPolicy submit_policy = SubmitPolicy::kLeaderOnly;
   /// τ1: retransmit (to all replicas) when no quorum arrives in time.
   SimTime retransmit_timeout_us = Millis(400);
+  /// Multiplier applied to the retransmission timeout after every
+  /// unanswered retransmission of the same request; 1.0 keeps the
+  /// classic fixed-τ1 behaviour.
+  double retransmit_backoff = 1.0;
+  /// Upper bound the backed-off timeout saturates at (0 = uncapped).
+  SimTime retransmit_cap_us = Seconds(8);
+  /// Optional per-run history sink (not owned; may be null).
+  HistoryRecorder* history = nullptr;
   /// Think time between an accepted reply and the next request.
   SimTime think_time_us = 0;
   /// Stop after this many accepted requests (0 = no limit).
@@ -72,8 +94,13 @@ class Client : public Actor {
   /// replicas sent matching (timestamp, result) replies.
   virtual void HandleReply(const ReplyMessage& reply);
   /// Called when the current request is accepted; records latency and
-  /// schedules the next request.
+  /// schedules the next request. Accepting paths store the winning result
+  /// in `accepted_result_` first so the history records it.
   void AcceptCurrent();
+
+  /// Current retransmission delay; advances it by the backoff factor
+  /// (saturating at the cap) for the next round.
+  SimTime NextRetransmitDelay();
 
   const ClientConfig& config() const { return config_; }
   const ClientRequest& current_request() const { return current_; }
@@ -90,7 +117,9 @@ class Client : public Actor {
   uint64_t accepted_ = 0;
   uint64_t retransmissions_ = 0;
   EventId retransmit_timer_ = kInvalidEvent;
+  SimTime current_retransmit_us_ = 0;
   ViewNumber highest_view_ = 0;
+  Buffer accepted_result_;
 
   /// Matching-reply tracking for the in-flight request:
   /// result-bytes -> set of replicas that reported it.
