@@ -2,19 +2,51 @@
 //   - the experiment id and the paper claim it reproduces,
 //   - a results table,
 //   - a PASS/MISS verdict on the claim's *shape* (not absolute numbers).
+//
+// Machine-readable telemetry: when the BFTLAB_BENCH_JSON environment
+// variable names a file, every Row() and Verdict() also appends one JSON
+// object per line (JSONL) to that file, so sweeps can be post-processed
+// without scraping the human tables.
 
 #ifndef BFTLAB_BENCH_BENCH_UTIL_H_
 #define BFTLAB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/experiment.h"
+#include "obs/export.h"
 
 namespace bftlab {
 namespace bench {
 
+namespace internal {
+
+inline std::string& CurrentBenchId() {
+  static std::string id;
+  return id;
+}
+
+inline std::ofstream* JsonSink() {
+  static std::ofstream* sink = []() -> std::ofstream* {
+    const char* path = std::getenv("BFTLAB_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return nullptr;
+    static std::ofstream file(path, std::ios::app);
+    return file.good() ? &file : nullptr;
+  }();
+  return sink;
+}
+
+inline void JsonLine(const std::string& line) {
+  if (std::ofstream* sink = JsonSink()) *sink << line << "\n" << std::flush;
+}
+
+}  // namespace internal
+
 inline void Title(const std::string& id, const std::string& claim) {
+  internal::CurrentBenchId() = id;
   std::printf("==============================================================="
               "=================\n");
   std::printf("%s\n", id.c_str());
@@ -29,12 +61,21 @@ inline void Header() {
 
 inline void Row(const ExperimentResult& r, const std::string& note = "") {
   std::printf("%s  %s\n", r.TableRow().c_str(), note.c_str());
+  internal::JsonLine("{\"bench\":\"" +
+                     JsonEscape(internal::CurrentBenchId()) + "\",\"note\":\"" +
+                     JsonEscape(note) + "\",\"result\":" + r.Json() + "}");
 }
 
 inline void Verdict(bool holds, const std::string& what) {
   std::printf("---------------------------------------------------------------"
               "-----------------\n");
   std::printf("[%s] %s\n\n", holds ? "SHAPE-OK" : "SHAPE-MISS", what.c_str());
+  internal::JsonLine("{\"bench\":\"" +
+                     JsonEscape(internal::CurrentBenchId()) +
+                     "\",\"verdict\":\"" +
+                     (holds ? std::string("SHAPE-OK")
+                            : std::string("SHAPE-MISS")) +
+                     "\",\"what\":\"" + JsonEscape(what) + "\"}");
 }
 
 /// Runs or dies (benches are scripts; a failed config is a bug).

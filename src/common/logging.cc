@@ -7,6 +7,7 @@ namespace bftlab {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+LogContext g_context;  // Single-threaded simulator: no synchronization.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,8 +36,37 @@ void Logger::set_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void Logger::SetContext(uint64_t node, uint64_t sim_time_us,
+                        uint64_t trace_event) {
+  g_context.active = true;
+  g_context.node = node;
+  g_context.sim_time_us = sim_time_us;
+  g_context.trace_event = trace_event;
+}
+
+void Logger::ClearContext() { g_context = LogContext{}; }
+
+const LogContext& Logger::context() { return g_context; }
+
+std::string Logger::ContextPrefix() {
+  if (!g_context.active) return "";
+  char buf[96];
+  if (g_context.trace_event != 0) {
+    std::snprintf(buf, sizeof(buf), "[n=%llu t=%lluus e=%llu] ",
+                  static_cast<unsigned long long>(g_context.node),
+                  static_cast<unsigned long long>(g_context.sim_time_us),
+                  static_cast<unsigned long long>(g_context.trace_event));
+  } else {
+    std::snprintf(buf, sizeof(buf), "[n=%llu t=%lluus] ",
+                  static_cast<unsigned long long>(g_context.node),
+                  static_cast<unsigned long long>(g_context.sim_time_us));
+  }
+  return buf;
+}
+
 void Logger::Write(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s] %s%s\n", LevelName(level),
+               ContextPrefix().c_str(), message.c_str());
 }
 
 }  // namespace bftlab

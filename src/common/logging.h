@@ -1,11 +1,22 @@
 // Minimal leveled logger. Defaults to warnings-only so tests and benches
 // stay quiet; simulations can turn on kDebug to trace protocol messages.
+//
+// Lines carry an optional execution context prefix — the node whose
+// handler is running, the virtual time, and the causal trace event id —
+// stamped by the Network around every handler, so replica logs are
+// greppable per node and correlate 1:1 with obs/ trace events. Use the
+// Kv() helper for structured key=value fields:
+//
+//   BFTLAB_LOG(kDebug) << "pre-prepare" << Kv("view", v) << Kv("seq", n);
+//   => [DEBUG] [n=2 t=1500us e=77] pre-prepare view=1 seq=4
 
 #ifndef BFTLAB_COMMON_LOGGING_H_
 #define BFTLAB_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bftlab {
 
@@ -18,15 +29,51 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
+/// Per-handler execution context prepended to log lines while set.
+struct LogContext {
+  bool active = false;
+  uint64_t node = 0;
+  uint64_t sim_time_us = 0;
+  uint64_t trace_event = 0;  // 0 = no correlated trace event.
+};
+
 /// Process-wide log sink configuration.
 class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel level);
 
+  /// Stamps the current handler's context onto subsequent log lines.
+  /// Set by Network::RunHandler; tests may set it directly.
+  static void SetContext(uint64_t node, uint64_t sim_time_us,
+                         uint64_t trace_event);
+  static void ClearContext();
+  static const LogContext& context();
+
+  /// Formats the context prefix of one line ("[n=2 t=1500us e=77] ", or
+  /// "" when no context is active). Exposed for tests.
+  static std::string ContextPrefix();
+
   /// Writes one formatted line to stderr. Used via the BFTLAB_LOG macro.
   static void Write(LogLevel level, const std::string& message);
 };
+
+/// Structured field: streams as " key=value". Returned by Kv().
+template <typename T>
+struct KvField {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+KvField<T> Kv(std::string_view key, const T& value) {
+  return KvField<T>{key, value};
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvField<T>& field) {
+  return os << ' ' << field.key << '=' << field.value;
+}
 
 namespace log_internal {
 class LineBuilder {

@@ -6,6 +6,7 @@
 
 #include "chaos/history.h"
 #include "chaos/linearizability.h"
+#include "obs/export.h"
 
 namespace bftlab {
 
@@ -24,6 +25,40 @@ std::string ExperimentResult::TableRow() const {
                 msgs_per_commit, kib_per_commit, leader_load_share * 100,
                 load_imbalance);
   return buf;
+}
+
+std::string ExperimentResult::Json() const {
+  std::ostringstream os;
+  os << "{\"protocol\":\"" << JsonEscape(protocol) << "\",\"n\":" << n
+     << ",\"f\":" << f << ",\"commits\":" << commits
+     << ",\"throughput_rps\":" << throughput_rps
+     << ",\"mean_latency_ms\":" << mean_latency_ms
+     << ",\"p50_latency_ms\":" << p50_latency_ms
+     << ",\"p99_latency_ms\":" << p99_latency_ms
+     << ",\"msgs_per_commit\":" << msgs_per_commit
+     << ",\"kib_per_commit\":" << kib_per_commit
+     << ",\"leader_load_share\":" << leader_load_share
+     << ",\"load_imbalance\":" << load_imbalance
+     << ",\"max_node_msgs\":" << max_node_msgs
+     << ",\"order_inversion_fraction\":" << order_inversion_fraction
+     << ",\"recovery_us\":" << recovery_us
+     << ",\"faults_injected\":" << faults_injected;
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"msgs_by_type\":{";
+  first = true;
+  for (const auto& [type, count] : msgs_by_type) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << type << "\":" << count;
+  }
+  os << "}}";
+  return os.str();
 }
 
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
@@ -55,6 +90,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   cc.client.retransmit_cap_us = config.client_retransmit_cap_us;
   cc.client.op_generator = config.op_generator;
   cc.byzantine = config.byzantine;
+  cc.tracer = config.tracer;
 
   History history;
   if (config.nemesis) {
@@ -127,6 +163,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   r.max_node_msgs = m.MaxNodeMsgLoad();
   r.order_inversion_fraction = m.OrderInversionFraction(Millis(1));
   r.counters = m.counters();
+  r.msgs_by_type = m.msgs_by_type();
 
   // Safety is checked on every run: an experiment that violates agreement
   // is reported as an error, never as a data point. Protocols without a

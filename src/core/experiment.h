@@ -69,6 +69,9 @@ struct ExperimentConfig {
   /// Recovery oracle bound: commits must resume within this much virtual
   /// time after GST.
   SimTime recovery_bound_us = Seconds(10);
+  /// Optional causal event tracer (obs/trace.h) attached to the run's
+  /// network. Not owned; null = tracing disabled (zero overhead).
+  Tracer* tracer = nullptr;
 };
 
 struct ExperimentResult {
@@ -93,10 +96,16 @@ struct ExperimentResult {
   /// Chaos runs: faults the Nemesis actually injected.
   uint64_t faults_injected = 0;
   std::map<std::string, uint64_t> counters;
+  /// Messages sent per Message::type() across the run.
+  std::map<uint32_t, uint64_t> msgs_by_type;
 
   /// One-line table row (pairs with TableHeader()).
   std::string TableRow() const;
   static std::string TableHeader();
+
+  /// The full result as one JSON object (machine-readable telemetry; see
+  /// DESIGN.md §8). Always well-formed per obs/export.h JsonWellFormed.
+  std::string Json() const;
 };
 
 /// Runs one experiment; deterministic in (config, seed).

@@ -1,0 +1,324 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace bftlab {
+
+namespace {
+
+bool IsInfrastructure(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSpanBegin:
+    case TraceEventKind::kSpanEnd:
+    case TraceEventKind::kMark:
+      return false;  // Protocol annotations may be emitted retroactively.
+    default:
+      return true;
+  }
+}
+
+bool IsHandlerAnchor(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kDeliver:
+    case TraceEventKind::kTimerFire:
+    case TraceEventKind::kStart:
+    case TraceEventKind::kRestart:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Span> AssembleSpans(const std::vector<TraceEvent>& events) {
+  std::vector<Span> spans;
+  std::map<uint64_t, size_t> open;  // begin event id -> index in spans.
+  SimTime last_at = 0;
+  for (const TraceEvent& e : events) {
+    last_at = std::max(last_at, e.at);
+    if (e.kind == TraceEventKind::kSpanBegin) {
+      Span s;
+      s.node = e.node;
+      s.label = e.label;
+      s.view = e.view;
+      s.seq = e.seq;
+      s.begin_us = e.at;
+      s.begin_event = e.id;
+      open[e.id] = spans.size();
+      spans.push_back(std::move(s));
+    } else if (e.kind == TraceEventKind::kSpanEnd) {
+      auto it = open.find(e.aux);
+      if (it == open.end()) continue;  // Dangling end; checker flags it.
+      Span& s = spans[it->second];
+      s.end_us = e.at;
+      s.end_event = e.id;
+      s.closed = true;
+      open.erase(it);
+    }
+  }
+  for (auto& [id, idx] : open) {
+    (void)id;
+    spans[idx].end_us = last_at;  // Still open when the trace ended.
+  }
+  return spans;
+}
+
+std::vector<CriticalPath> ExtractCriticalPaths(
+    const std::vector<TraceEvent>& events, NodeId node) {
+  std::vector<Span> all_spans = AssembleSpans(events);
+
+  // Group this node's seq-keyed spans; a path exists for every seq whose
+  // execute span closed here.
+  std::map<SequenceNumber, std::vector<const Span*>> by_seq;
+  for (const Span& s : all_spans) {
+    if (s.node != node || s.seq == 0) continue;
+    by_seq[s.seq].push_back(&s);
+  }
+
+  std::vector<CriticalPath> paths;
+  for (auto& [seq, spans] : by_seq) {
+    const Span* execute = nullptr;
+    for (const Span* s : spans) {
+      if (s->closed && (s->label == "execute" || s->label == "execute_spec")) {
+        execute = s;
+        break;
+      }
+    }
+    if (execute == nullptr) continue;
+
+    CriticalPath path;
+    path.seq = seq;
+    path.node = node;
+    path.end_us = execute->end_us;
+    path.begin_us = execute->begin_us;
+    for (const Span* s : spans) {
+      path.begin_us = std::min(path.begin_us, s->begin_us);
+    }
+
+    // Partition [begin, end] at every span boundary; each segment belongs
+    // to the latest-begun span covering it, or "wait" if uncovered.
+    std::set<SimTime> cuts{path.begin_us, path.end_us};
+    for (const Span* s : spans) {
+      SimTime b = std::clamp(s->begin_us, path.begin_us, path.end_us);
+      SimTime e = std::clamp(s->end_us, path.begin_us, path.end_us);
+      cuts.insert(b);
+      cuts.insert(e);
+    }
+    std::vector<SimTime> edges(cuts.begin(), cuts.end());
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+      SimTime t0 = edges[i], t1 = edges[i + 1];
+      const Span* owner = nullptr;
+      for (const Span* s : spans) {
+        if (s->begin_us > t0 || s->end_us < t1) continue;
+        if (owner == nullptr || s->begin_us > owner->begin_us ||
+            (s->begin_us == owner->begin_us &&
+             s->begin_event > owner->begin_event)) {
+          owner = s;
+        }
+      }
+      std::string label = owner ? owner->label : "wait";
+      if (!path.slices.empty() && path.slices.back().label == label) {
+        path.slices.back().end_us = t1;
+      } else {
+        PhaseSlice slice;
+        slice.label = std::move(label);
+        slice.begin_us = t0;
+        slice.end_us = t1;
+        path.slices.push_back(std::move(slice));
+      }
+    }
+
+    // Split each slice's wall time into handler CPU, observed wire
+    // transmit, and residual wait using the infrastructure events that
+    // landed on this node inside the slice.
+    for (PhaseSlice& slice : path.slices) {
+      for (const TraceEvent& e : events) {
+        if (e.node != node || !IsHandlerAnchor(e.kind)) continue;
+        bool inside = e.at > slice.begin_us && e.at <= slice.end_us;
+        if (e.at == path.begin_us && slice.begin_us == path.begin_us) {
+          inside = true;  // Include the boundary event that opened the path.
+        }
+        if (!inside) continue;
+        slice.cpu_us += e.cpu_us;
+        if (e.kind == TraceEventKind::kDeliver && e.parent != 0 &&
+            e.parent <= events.size()) {
+          const TraceEvent& send = events[e.parent - 1];
+          if (send.kind == TraceEventKind::kSend && send.at <= e.at) {
+            slice.transmit_us += static_cast<double>(e.at - send.at);
+          }
+        }
+      }
+      double residual = static_cast<double>(slice.DurationUs()) -
+                        slice.cpu_us - slice.transmit_us;
+      slice.wait_us = std::max(0.0, residual);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::map<std::string, double> AggregatePhaseTotals(
+    const std::vector<CriticalPath>& paths) {
+  std::map<std::string, double> totals;
+  for (const CriticalPath& p : paths) {
+    for (const PhaseSlice& s : p.slices) {
+      totals[s.label] += static_cast<double>(s.DurationUs());
+    }
+  }
+  return totals;
+}
+
+std::string TraceCheckResult::Summary() const {
+  if (ok) return "trace invariants OK";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  for (size_t i = 0; i < violations.size() && i < 5; ++i) {
+    os << "\n  " << violations[i];
+  }
+  if (violations.size() > 5) os << "\n  ...";
+  return os.str();
+}
+
+TraceCheckResult CheckTraceInvariants(const std::vector<TraceEvent>& events) {
+  TraceCheckResult result;
+  auto fail = [&result](std::string v) {
+    result.ok = false;
+    result.violations.push_back(std::move(v));
+  };
+
+  SimTime last_infra_at = 0;
+  std::set<uint64_t> open_spans;  // begin ids not yet ended.
+  std::map<NodeId, SequenceNumber> exec_watermark;
+  std::set<std::pair<NodeId, SequenceNumber>> commit_marks;
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::ostringstream who;
+    who << "event " << e.id << " (" << TraceEventKindName(e.kind) << " '"
+        << e.label << "' node " << e.node << " at " << e.at << ")";
+
+    if (e.id != i + 1) {
+      fail(who.str() + ": id not dense (expected " +
+           std::to_string(i + 1) + ")");
+      continue;  // Parent lookups below would be unreliable.
+    }
+    if (e.parent >= e.id) {
+      fail(who.str() + ": parent " + std::to_string(e.parent) +
+           " not earlier than event");
+      continue;
+    }
+    if (IsInfrastructure(e.kind)) {
+      if (e.at < last_infra_at) {
+        fail(who.str() + ": time moved backwards (last " +
+             std::to_string(last_infra_at) + ")");
+      }
+      last_infra_at = std::max(last_infra_at, e.at);
+    }
+
+    switch (e.kind) {
+      case TraceEventKind::kDeliver: {
+        if (e.parent == 0) {
+          fail(who.str() + ": deliver without causal send");
+          break;
+        }
+        const TraceEvent& send = events[e.parent - 1];
+        if (send.kind != TraceEventKind::kSend) {
+          fail(who.str() + ": parent is not a send");
+        } else {
+          if (send.at > e.at) {
+            fail(who.str() + ": delivered before sent (send at " +
+                 std::to_string(send.at) + ")");
+          }
+          if (send.node != e.peer || send.peer != e.node) {
+            fail(who.str() + ": endpoints do not mirror the send");
+          }
+          if (send.msg_type != e.msg_type) {
+            fail(who.str() + ": message type changed in flight");
+          }
+        }
+        break;
+      }
+      case TraceEventKind::kDrop: {
+        if (e.parent != 0 &&
+            events[e.parent - 1].kind != TraceEventKind::kSend) {
+          fail(who.str() + ": drop parent is not a send");
+        }
+        break;
+      }
+      case TraceEventKind::kTimerFire:
+      case TraceEventKind::kTimerCancel: {
+        if (e.parent == 0) {
+          fail(who.str() + ": timer event without a timer_set parent");
+          break;
+        }
+        const TraceEvent& set = events[e.parent - 1];
+        if (set.kind != TraceEventKind::kTimerSet) {
+          fail(who.str() + ": parent is not a timer_set");
+        } else if (set.node != e.node) {
+          fail(who.str() + ": timer fired on a different node than set");
+        } else if (set.at > e.at) {
+          fail(who.str() + ": timer fired before it was set");
+        }
+        break;
+      }
+      case TraceEventKind::kSpanBegin:
+        open_spans.insert(e.id);
+        break;
+      case TraceEventKind::kSpanEnd: {
+        if (e.aux == 0 || e.aux >= e.id) {
+          fail(who.str() + ": span end without valid begin reference");
+          break;
+        }
+        const TraceEvent& begin = events[e.aux - 1];
+        if (begin.kind != TraceEventKind::kSpanBegin) {
+          fail(who.str() + ": span end references a non-begin event");
+          break;
+        }
+        if (!open_spans.erase(e.aux)) {
+          fail(who.str() + ": span closed twice");
+          break;
+        }
+        if (begin.node != e.node || begin.label != e.label ||
+            begin.view != e.view || begin.seq != e.seq) {
+          fail(who.str() + ": span end key mismatches its begin");
+        }
+        if (begin.at > e.at) {
+          fail(who.str() + ": span ends before it begins");
+        }
+        if (e.label == "execute" || e.label == "execute_spec") {
+          SequenceNumber& mark = exec_watermark[e.node];
+          if (e.seq <= mark) {
+            fail(who.str() + ": executed out of order (watermark " +
+                 std::to_string(mark) + ")");
+          }
+          mark = e.seq;
+          if (e.label == "execute" &&
+              !commit_marks.count({e.node, e.seq})) {
+            fail(who.str() + ": executed before commit");
+          }
+        }
+        break;
+      }
+      case TraceEventKind::kMark: {
+        if (e.label == "commit") {
+          commit_marks.insert({e.node, e.seq});
+        } else if (e.label == "rollback") {
+          SequenceNumber& mark = exec_watermark[e.node];
+          mark = std::min(mark, e.seq);
+        } else if (e.label == "state_transfer") {
+          SequenceNumber& mark = exec_watermark[e.node];
+          mark = std::max(mark, e.seq);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bftlab

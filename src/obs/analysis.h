@@ -1,0 +1,91 @@
+// Trace analyzers: span assembly, commit critical-path extraction, and
+// the trace-invariant checker used by tier-1 tests.
+
+#ifndef BFTLAB_OBS_ANALYSIS_H_
+#define BFTLAB_OBS_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bftlab {
+
+/// A protocol phase interval reconstructed from a kSpanBegin/kSpanEnd
+/// pair. Spans still open when the trace ended have closed == false and
+/// end_us == the timestamp of the last trace event.
+struct Span {
+  NodeId node = 0;
+  std::string label;
+  ViewNumber view = 0;
+  SequenceNumber seq = 0;
+  SimTime begin_us = 0;
+  SimTime end_us = 0;
+  uint64_t begin_event = 0;
+  uint64_t end_event = 0;
+  bool closed = false;
+};
+
+std::vector<Span> AssembleSpans(const std::vector<TraceEvent>& events);
+
+/// One segment of a sequence's commit timeline, attributed to the phase
+/// span covering it (innermost, i.e. latest-begun, wins; gaps between
+/// spans surface as "wait"). Within the segment the wall time is further
+/// split into handler CPU, wire transmit observed at this node, and
+/// residual wait. duration_us == cpu_us + transmit_us + wait_us except
+/// when cpu+transmit overshoot the wall segment (overlapping accounting),
+/// in which case wait clamps at 0.
+struct PhaseSlice {
+  std::string label;
+  SimTime begin_us = 0;
+  SimTime end_us = 0;
+  double cpu_us = 0.0;
+  double transmit_us = 0.0;
+  double wait_us = 0.0;
+  SimTime DurationUs() const { return end_us - begin_us; }
+};
+
+/// Where one committed sequence spent its time at one node, from the
+/// first phase span mentioning the sequence to the end of its execute
+/// span. Slices partition [begin_us, end_us] exactly, so
+/// sum(slice durations) == end_us - begin_us by construction.
+struct CriticalPath {
+  SequenceNumber seq = 0;
+  NodeId node = 0;
+  SimTime begin_us = 0;
+  SimTime end_us = 0;
+  std::vector<PhaseSlice> slices;
+  SimTime TotalUs() const { return end_us - begin_us; }
+};
+
+/// Extracts the commit critical path of every sequence that finished an
+/// "execute" or "execute_spec" span at `node`, ordered by seq.
+std::vector<CriticalPath> ExtractCriticalPaths(
+    const std::vector<TraceEvent>& events, NodeId node);
+
+/// Sums slice durations across paths by phase label (values in us).
+std::map<std::string, double> AggregatePhaseTotals(
+    const std::vector<CriticalPath>& paths);
+
+struct TraceCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::string Summary() const;
+};
+
+/// Structural invariants every genuine trace must satisfy:
+///  - ids are dense (event k has id k+1) and timestamps non-decreasing;
+///  - every deliver's parent is a send of the same message type with
+///    swapped endpoints and an earlier-or-equal timestamp;
+///  - every timer fire/cancel's parent is a timer set on the same node;
+///  - every span end references an open span begin with a matching
+///    (node, label, view, seq) key;
+///  - per node, non-speculative "execute" spans close in strictly
+///    increasing seq order ("rollback" / "state_transfer" marks move the
+///    watermark), and each is preceded by a "commit" mark for that seq.
+TraceCheckResult CheckTraceInvariants(const std::vector<TraceEvent>& events);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_OBS_ANALYSIS_H_

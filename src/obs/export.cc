@@ -1,0 +1,310 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+namespace bftlab {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared writer for one trace_event record. `extra` is appended verbatim
+// inside the object (must start with ",").
+void WriteRecord(std::ostream& out, bool& first, const char* ph,
+                 const std::string& name, const std::string& cat,
+                 NodeId node, SimTime ts, const std::string& extra) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "{\"ph\":\"" << ph << "\",\"name\":\"" << JsonEscape(name)
+      << "\",\"cat\":\"" << cat << "\",\"pid\":" << node << ",\"tid\":0"
+      << ",\"ts\":" << ts << extra << "}";
+}
+
+std::string SpanName(const TraceEvent& e) {
+  std::string name = e.label;
+  if (e.view != 0 || e.seq != 0) {
+    name += " v" + std::to_string(e.view) + "/s" + std::to_string(e.seq);
+  }
+  return name;
+}
+
+}  // namespace
+
+void ExportChromeTrace(const std::vector<TraceEvent>& events,
+                       std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  std::set<NodeId> nodes;
+  for (const TraceEvent& e : events) nodes.insert(e.node);
+  for (NodeId n : nodes) {
+    std::string name = IsClientNode(n)
+                           ? "client " + std::to_string(n - kClientIdBase)
+                           : "replica " + std::to_string(n);
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << n
+        << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    char idbuf[64];
+    std::snprintf(idbuf, sizeof(idbuf), ",\"id\":\"0x%llx\"",
+                  static_cast<unsigned long long>(
+                      e.kind == TraceEventKind::kSpanEnd ? e.aux : e.id));
+    std::string args = ",\"args\":{\"event\":" + std::to_string(e.id) +
+                       ",\"parent\":" + std::to_string(e.parent) + "}";
+    switch (e.kind) {
+      case TraceEventKind::kSpanBegin:
+        WriteRecord(out, first, "b", SpanName(e), "phase", e.node, e.at,
+                    idbuf + args);
+        break;
+      case TraceEventKind::kSpanEnd:
+        WriteRecord(out, first, "e", SpanName(e), "phase", e.node, e.at,
+                    idbuf + args);
+        break;
+      case TraceEventKind::kMark:
+        WriteRecord(out, first, "i", SpanName(e), "mark", e.node, e.at,
+                    ",\"s\":\"t\"" + args);
+        break;
+      case TraceEventKind::kCrash:
+      case TraceEventKind::kRestart:
+        WriteRecord(out, first, "i", TraceEventKindName(e.kind), "fault",
+                    e.node, e.at, ",\"s\":\"p\"" + args);
+        break;
+      case TraceEventKind::kDeliver:
+      case TraceEventKind::kTimerFire:
+      case TraceEventKind::kStart: {
+        if (e.cpu_us > 0.0) {
+          char dur[64];
+          std::snprintf(dur, sizeof(dur), ",\"dur\":%.3f", e.cpu_us);
+          std::string name =
+              e.kind == TraceEventKind::kDeliver
+                  ? "handle msg." + std::to_string(e.msg_type)
+                  : TraceEventKindName(e.kind);
+          WriteRecord(out, first, "X", name, "handler", e.node, e.at,
+                      dur + args);
+        }
+        if (e.kind == TraceEventKind::kDeliver && e.parent != 0) {
+          char flow[64];
+          std::snprintf(flow, sizeof(flow), ",\"id\":\"0x%llx\"",
+                        static_cast<unsigned long long>(e.parent));
+          WriteRecord(out, first, "f", "msg." + std::to_string(e.msg_type),
+                      "flow", e.node, e.at,
+                      std::string(flow) + ",\"bp\":\"e\"" + args);
+        }
+        break;
+      }
+      case TraceEventKind::kSend:
+        WriteRecord(out, first, "s", "msg." + std::to_string(e.msg_type),
+                    "flow", e.node, e.at, idbuf + args);
+        break;
+      case TraceEventKind::kDrop:
+        WriteRecord(out, first, "i", "drop:" + e.label, "fault", e.node,
+                    e.at, ",\"s\":\"t\"" + args);
+        break;
+      default:
+        break;
+    }
+  }
+  out << "\n]}\n";
+}
+
+void ExportJsonl(const std::vector<TraceEvent>& events, std::ostream& out) {
+  for (const TraceEvent& e : events) {
+    out << "{\"id\":" << e.id << ",\"parent\":" << e.parent << ",\"kind\":\""
+        << TraceEventKindName(e.kind) << "\",\"at\":" << e.at
+        << ",\"node\":" << e.node << ",\"peer\":" << e.peer
+        << ",\"msg_type\":" << e.msg_type << ",\"bytes\":" << e.bytes
+        << ",\"cpu_us\":" << e.cpu_us << ",\"aux\":" << e.aux
+        << ",\"view\":" << e.view << ",\"seq\":" << e.seq << ",\"label\":\""
+        << JsonEscape(e.label) << "\"}\n";
+  }
+}
+
+namespace {
+
+// Recursive-descent JSON parser over [p, end); advances p past the parsed
+// value. Depth-bounded to keep adversarial inputs from smashing the stack.
+class JsonParser {
+ public:
+  JsonParser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool ParseValue(int depth) {
+    if (depth > 200) return Fail("nesting too deep");
+    SkipWs();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return ParseString();
+      case 't': return ParseLiteral("true");
+      case 'f': return ParseLiteral("false");
+      case 'n': return ParseLiteral("null");
+      default: return ParseNumber();
+    }
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  const char* pos() const { return p_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  bool ParseObject(int depth) {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+    while (true) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      if (!ParseString()) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':'");
+      ++p_;
+      if (!ParseValue(depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == '}') { ++p_; return true; }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(int depth) {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+    while (true) {
+      if (!ParseValue(depth + 1)) return false;
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') { ++p_; continue; }
+      if (*p_ == ']') { ++p_; return true; }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString() {
+    ++p_;  // opening quote
+    while (p_ != end_) {
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') { ++p_; return true; }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("dangling escape");
+        switch (*p_) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            ++p_;
+            break;
+          case 'u': {
+            ++p_;
+            for (int i = 0; i < 4; ++i, ++p_) {
+              if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+                return Fail("bad \\u escape");
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else {
+        ++p_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseLiteral(const char* lit) {
+    for (const char* q = lit; *q; ++q, ++p_) {
+      if (p_ == end_ || *p_ != *q) return Fail("bad literal");
+    }
+    return true;
+  }
+
+  bool ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return Fail("bad number");
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return Fail("bad fraction");
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return Fail("bad exponent");
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return p_ != start;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonWellFormed(std::string_view text, std::string* error) {
+  JsonParser parser(text.data(), text.data() + text.size());
+  bool ok = parser.ParseValue(0);
+  if (ok) {
+    parser.SkipWs();
+    if (parser.pos() != text.data() + text.size()) {
+      ok = false;
+      if (error) {
+        *error = "trailing garbage at byte " +
+                 std::to_string(parser.pos() - text.data());
+      }
+      return false;
+    }
+  }
+  if (!ok && error) {
+    *error = parser.error().empty() ? "parse error" : parser.error();
+    *error += " at byte " + std::to_string(parser.pos() - text.data());
+  }
+  return ok;
+}
+
+}  // namespace bftlab

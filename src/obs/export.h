@@ -1,0 +1,43 @@
+// Trace exporters: Chrome trace_event JSON (loadable in chrome://tracing
+// and Perfetto), JSONL event dumps, and a dependency-free JSON
+// well-formedness validator used by tests and the bench reporter.
+
+#ifndef BFTLAB_OBS_EXPORT_H_
+#define BFTLAB_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bftlab {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Writes the Chrome trace_event "JSON Object Format":
+///  - one metadata "M" record naming each node's pseudo-process;
+///  - phase spans as async nestable "b"/"e" pairs (ids overlap freely, so
+///    pipelined sequences do not need stack discipline);
+///  - marks, crashes, and restarts as instant "i" events;
+///  - handler executions (deliver/timer-fire with nonzero cpu cost) as
+///    complete "X" slices;
+///  - message sends/delivers as flow "s"/"f" arrows keyed by send id.
+/// Timestamps are virtual microseconds, which is what the format expects.
+void ExportChromeTrace(const std::vector<TraceEvent>& events,
+                       std::ostream& out);
+
+/// Writes one self-contained JSON object per line, every field of every
+/// event, for ad-hoc jq/grep analysis and replay evidence.
+void ExportJsonl(const std::vector<TraceEvent>& events, std::ostream& out);
+
+/// Minimal recursive-descent JSON validator (objects, arrays, strings,
+/// numbers, true/false/null; rejects trailing garbage). On failure sets
+/// `*error` (if non-null) to a byte-offset diagnostic.
+bool JsonWellFormed(std::string_view text, std::string* error = nullptr);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_OBS_EXPORT_H_

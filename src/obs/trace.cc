@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+namespace bftlab {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSend: return "send";
+    case TraceEventKind::kDeliver: return "deliver";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kTimerSet: return "timer_set";
+    case TraceEventKind::kTimerFire: return "timer_fire";
+    case TraceEventKind::kTimerCancel: return "timer_cancel";
+    case TraceEventKind::kCrash: return "crash";
+    case TraceEventKind::kRestart: return "restart";
+    case TraceEventKind::kStart: return "start";
+    case TraceEventKind::kSpanBegin: return "span_begin";
+    case TraceEventKind::kSpanEnd: return "span_end";
+    case TraceEventKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+uint64_t Tracer::Record(TraceEvent event) {
+  event.id = next_id_++;
+  if (event.parent == 0) event.parent = context_;
+  events_.push_back(std::move(event));
+  return events_.back().id;
+}
+
+void Tracer::SetHandlerCost(uint64_t id, double cpu_us) {
+  if (id == 0 || id > events_.size()) return;
+  events_[id - 1].cpu_us = cpu_us;  // ids are 1-based vector offsets.
+}
+
+uint64_t Tracer::SpanBegin(NodeId node, const std::string& label,
+                           ViewNumber view, SequenceNumber seq, SimTime at) {
+  SpanKey key{node, label, view, seq};
+  if (open_spans_.count(key)) return 0;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSpanBegin;
+  e.at = at;
+  e.node = node;
+  e.view = view;
+  e.seq = seq;
+  e.label = label;
+  uint64_t id = Record(std::move(e));
+  open_spans_[key] = id;
+  return id;
+}
+
+uint64_t Tracer::SpanEnd(NodeId node, const std::string& label,
+                         ViewNumber view, SequenceNumber seq, SimTime at) {
+  SpanKey key{node, label, view, seq};
+  auto it = open_spans_.find(key);
+  if (it == open_spans_.end()) return 0;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSpanEnd;
+  e.at = at;
+  e.node = node;
+  e.view = view;
+  e.seq = seq;
+  e.label = label;
+  e.aux = it->second;
+  open_spans_.erase(it);
+  return Record(std::move(e));
+}
+
+uint64_t Tracer::Mark(NodeId node, const std::string& label, ViewNumber view,
+                      SequenceNumber seq, SimTime at) {
+  TraceEvent e;
+  e.kind = TraceEventKind::kMark;
+  e.at = at;
+  e.node = node;
+  e.view = view;
+  e.seq = seq;
+  e.label = label;
+  return Record(std::move(e));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  open_spans_.clear();
+  next_id_ = 1;
+  context_ = 0;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,115 @@
+// Causal event tracing for the deterministic simulator.
+//
+// A Tracer records every observable action in a run — message sends,
+// deliveries, drops, timer set/fire/cancel, node crash/restart — plus
+// protocol-level phase spans and markers, as a flat append-only log of
+// TraceEvents. Events carry monotonically increasing ids and a `parent`
+// id establishing causality: a deliver's parent is the send that put the
+// packet on the wire; every event recorded while a handler runs has the
+// handler's triggering event (the deliver, timer fire, or restart) as its
+// parent. The resulting DAG supports critical-path extraction
+// (obs/analysis.h) and replayable export (obs/export.h).
+//
+// The tracer is attached to the Network with Network::set_tracer(); when
+// no tracer is attached every instrumentation site is a single untaken
+// branch, so disabled runs pay (close to) nothing.
+
+#ifndef BFTLAB_OBS_TRACE_H_
+#define BFTLAB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bftlab {
+
+enum class TraceEventKind : uint8_t {
+  kSend = 0,     // node -> peer, msg_type/bytes filled.
+  kDeliver,      // node received; parent = the matching kSend.
+  kDrop,         // packet lost; label = cause; parent = the kSend.
+  kTimerSet,     // aux = protocol timer tag.
+  kTimerFire,    // parent = the kTimerSet.
+  kTimerCancel,  // parent = the kTimerSet.
+  kCrash,
+  kRestart,
+  kStart,      // per-node Start() handler anchor.
+  kSpanBegin,  // label = phase name; (view, seq) key the span.
+  kSpanEnd,    // aux = id of the matching kSpanBegin.
+  kMark,       // instantaneous protocol annotation.
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  uint64_t id = 0;      // Monotonic, 1-based; 0 = "no event".
+  uint64_t parent = 0;  // Causal predecessor id, 0 if root.
+  TraceEventKind kind = TraceEventKind::kMark;
+  SimTime at = 0;        // Virtual time (us) the event occurred.
+  NodeId node = 0;       // Node the event happened on.
+  NodeId peer = 0;       // Other endpoint for send/deliver/drop.
+  uint32_t msg_type = 0; // Message::type() for send/deliver/drop.
+  uint64_t bytes = 0;    // Wire bytes for send/deliver/drop.
+  double cpu_us = 0.0;   // Handler CPU cost, patched onto the anchor
+                         // event after the handler finishes.
+  uint64_t aux = 0;      // Timer tag (kTimerSet) or begin id (kSpanEnd).
+  ViewNumber view = 0;   // Span/mark key.
+  SequenceNumber seq = 0;
+  std::string label;     // Span phase name, mark name, or drop cause.
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends `event`, assigning its id (and its parent, from the current
+  /// handler context, unless the caller set one). Returns the id.
+  uint64_t Record(TraceEvent event);
+
+  /// Sets the causal parent for subsequently recorded events (the id of
+  /// the deliver/timer-fire/start event whose handler is running). 0
+  /// clears the context.
+  void SetContext(uint64_t event_id) { context_ = event_id; }
+  uint64_t context() const { return context_; }
+
+  /// Patches the measured handler CPU cost onto event `id` after the
+  /// handler body has run (costs are only known once the handler's
+  /// crypto charges drain).
+  void SetHandlerCost(uint64_t id, double cpu_us);
+
+  /// Opens a phase span keyed by (node, label, view, seq). If a span with
+  /// that key is already open this is a no-op returning 0 — protocols may
+  /// reach the same phase transition via several paths (retransmits,
+  /// new-view replays) and only the first begin counts.
+  uint64_t SpanBegin(NodeId node, const std::string& label, ViewNumber view,
+                     SequenceNumber seq, SimTime at);
+  /// Closes the matching open span; no-op returning 0 if none is open
+  /// (e.g. a replica that joins a view change late ends a span it never
+  /// began).
+  uint64_t SpanEnd(NodeId node, const std::string& label, ViewNumber view,
+                   SequenceNumber seq, SimTime at);
+  /// Records an instantaneous protocol marker.
+  uint64_t Mark(NodeId node, const std::string& label, ViewNumber view,
+                SequenceNumber seq, SimTime at);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear();
+
+ private:
+  using SpanKey = std::tuple<NodeId, std::string, ViewNumber, SequenceNumber>;
+
+  std::vector<TraceEvent> events_;
+  uint64_t next_id_ = 1;
+  uint64_t context_ = 0;
+  std::map<SpanKey, uint64_t> open_spans_;  // key -> begin event id.
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_OBS_TRACE_H_

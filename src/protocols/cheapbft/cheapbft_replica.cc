@@ -66,6 +66,8 @@ void CheapBftReplica::ProposeAvailable() {
     inst.digest = batch.ComputeDigest();
     inst.has_prepare = true;
     inst.commits.insert(config().id);
+    TraceMark("propose", epoch_, seq);
+    TraceSpanBegin("agree", epoch_, seq);
 
     auto msg = std::make_shared<CheapPrepareMessage>(epoch_, seq,
                                                      std::move(batch));
@@ -149,6 +151,7 @@ void CheapBftReplica::HandlePrepare(NodeId from,
   inst.has_prepare = true;
   inst.batch = msg.batch();
   inst.digest = msg.digest();
+  TraceSpanBegin("agree", epoch_, msg.seq());
   // The prepare doubles as the leader's commit vote.
   inst.commits.insert(from);
   for (const ClientRequest& r : msg.batch().requests) {
@@ -184,6 +187,7 @@ void CheapBftReplica::CheckCommitted(SequenceNumber seq) {
   if (inst.commits.size() < active_.size()) return;
   inst.committed = true;
   metrics().Increment("cheapbft.committed");
+  TraceSpanEnd("agree", epoch_, seq);
   Deliver(seq, inst.batch);
 
   // Leader ships the committed batch to the passive replicas.
@@ -216,6 +220,7 @@ void CheapBftReplica::HandleUpdate(NodeId from,
   if (from != leader()) return;
   ChargeAuthVerify(msg.WireSize());
   metrics().Increment("cheapbft.passive_updates");
+  TraceMark("passive_update", epoch_, msg.seq());
   Deliver(msg.seq(), msg.batch());
 }
 
@@ -245,6 +250,7 @@ void CheapBftReplica::HandleReconfig(NodeId from,
   epoch_ = msg.new_epoch();
   ++reconfigs_;
   metrics().Increment("cheapbft.reconfigurations");
+  TraceMark("reconfig", epoch_);
   active_ = msg.active();
   set_suppress_replies(IsPassive());
   last_reconfig_at_ = Now();

@@ -10,6 +10,7 @@ Cluster::Cluster(ClusterConfig config, ReplicaFactory replica_factory,
   network_ = std::make_unique<Network>(&sim_, &metrics_, &keystore_,
                                        Rng(config_.seed), config_.net,
                                        config_.cost_model);
+  network_->set_tracer(config_.tracer);
 
   for (ReplicaId r = 0; r < config_.n; ++r) {
     ReplicaConfig rc = config_.replica;

@@ -34,6 +34,9 @@ struct ClusterConfig {
   ClientConfig client;    // Template: num_replicas filled from n.
   /// Byzantine overrides per replica id (others get replica.byzantine).
   std::map<ReplicaId, ByzantineSpec> byzantine;
+  /// Optional causal event tracer (obs/trace.h), attached to the network
+  /// before any actor starts. Not owned; null = tracing disabled.
+  Tracer* tracer = nullptr;
 };
 
 /// One simulated deployment of a protocol.

@@ -127,6 +127,7 @@ void Replica::HandleClientRequest(NodeId from, const RequestMessage& msg) {
     }
   }
   if (AdmitRequest(from, msg.request())) {
+    TraceMark("request", view());
     OnClientRequest(from, msg.request());
   }
 }
@@ -215,6 +216,10 @@ void Replica::ResendCachedReply(ClientId client, SequenceNumber seq) {
 
 void Replica::Deliver(SequenceNumber seq, Batch batch, bool speculative) {
   if (seq <= last_executed_) return;  // Already executed.
+  // Non-speculative delivery IS the commit decision for this sequence;
+  // the trace-invariant checker requires it before a (non-speculative)
+  // execute span can close.
+  if (!speculative) TraceMark("commit", view(), seq);
   pending_executions_.emplace(seq, std::make_pair(std::move(batch),
                                                   speculative));
   DrainExecutions();
@@ -234,6 +239,8 @@ void Replica::DrainExecutions() {
 }
 
 void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
+  const char* exec_span = speculative ? "execute_spec" : "execute";
+  TraceSpanBegin(exec_span, view(), seq);
   ExecutedBatch record;
   record.seq = seq;
   record.digest = batch.ComputeDigest();
@@ -283,6 +290,7 @@ void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
 
   last_executed_ = seq;
   exec_history_.push_back(std::move(record));
+  TraceSpanEnd(exec_span, view(), seq);
 
   if (!speculative) {
     FinalizeUpTo(seq);
@@ -290,6 +298,9 @@ void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
 }
 
 void Replica::FinalizeUpTo(SequenceNumber seq) {
+  if (!exec_history_.empty() && exec_history_.front().seq <= seq) {
+    TraceMark("finalize", view(), std::min(seq, exec_history_.back().seq));
+  }
   while (!exec_history_.empty() && exec_history_.front().seq <= seq) {
     ExecutedBatch& record = exec_history_.front();
     finalized_ = record.seq;
@@ -360,6 +371,7 @@ Status Replica::RollbackTo(SequenceNumber seq) {
   }
   ++rollbacks_;
   metrics().Increment("replica.rollbacks");
+  TraceMark("rollback", view(), seq);
   return Status::Ok();
 }
 
@@ -368,6 +380,7 @@ void Replica::MaybeTakeCheckpoint(SequenceNumber seq) {
   Digest digest = state_machine_->StateDigest();
   checkpoint_store_.Add(seq, digest, state_machine_->Snapshot());
   metrics().Increment("replica.checkpoints_taken");
+  TraceMark("checkpoint", view(), seq);
   auto msg = std::make_shared<CheckpointMessage>(seq, digest, config_.id);
   ChargeAuthSend(config_.n - 1, msg->WireSize());
   Multicast(OtherReplicas(), msg);
@@ -438,6 +451,7 @@ void Replica::HandleStateResponse(NodeId /*from*/,
   checkpoint_store_.MarkStable(msg.seq());
   state_transfer_target_ = 0;
   metrics().Increment("replica.state_transfers_completed");
+  TraceMark("state_transfer", view(), msg.seq());
   OnStateTransferComplete(msg.seq());
   DrainExecutions();
 }

@@ -37,6 +37,8 @@ void FabReplica::ProposeAvailable() {
     inst.has_proposal = true;
     inst.accept_sent = true;
     inst.accepts[inst.digest].insert(config().id);
+    TraceMark("propose", view_, seq);
+    TraceSpanBegin("accept", view_, seq);
 
     auto msg = std::make_shared<FabProposeMessage>(view_, seq,
                                                    std::move(batch));
@@ -80,6 +82,7 @@ void FabReplica::HandlePropose(NodeId from, const FabProposeMessage& msg) {
   inst.has_proposal = true;
   inst.batch = msg.batch();
   inst.digest = msg.digest();
+  TraceSpanBegin("accept", view_, msg.seq());
   for (const ClientRequest& r : msg.batch().requests) {
     RemoveFromPool(r.ComputeDigest());
   }
@@ -113,6 +116,7 @@ void FabReplica::CheckCommitted(SequenceNumber seq) {
   if (inst.accepts[inst.digest].size() < FastQuorum()) return;
   inst.committed = true;
   metrics().Increment("fab.committed");
+  TraceSpanEnd("accept", view_, seq);
   Deliver(seq, inst.batch);
 }
 

@@ -83,6 +83,8 @@ void HotStuffReplica::TryPropose() {
                            block.justify);
   blocks_[block.hash] = block;
   proposed_in_view_ = true;
+  TraceMark("propose", view_);
+  if (tracer()) block_seen_at_[block.hash] = Now();
 
   auto msg = std::make_shared<HsProposalMessage>(block);
   ChargeAuthSend(n() - 1, msg->WireSize());
@@ -137,6 +139,9 @@ void HotStuffReplica::HandleBlockResponse(NodeId /*from*/,
   }
   ChargeAuthVerify(msg.WireSize());
   blocks_.emplace(block.hash, block);
+  if (tracer() && !block_seen_at_.count(block.hash)) {
+    block_seen_at_[block.hash] = Now();
+  }
   if (!pending_commit_.IsZero()) {
     Digest target = pending_commit_;
     pending_commit_ = Digest();
@@ -154,6 +159,9 @@ void HotStuffReplica::HandleProposal(NodeId from,
   }
   ChargeAuthVerify(msg.WireSize());
   blocks_.emplace(block.hash, block);
+  if (tracer() && !block_seen_at_.count(block.hash)) {
+    block_seen_at_[block.hash] = Now();
+  }
 
   // These requests are in flight; stop re-proposing them from the pool
   // (client retransmission recovers them if the chain stalls).
@@ -206,6 +214,7 @@ void HotStuffReplica::HandleVote(NodeId /*from*/, const HsVoteMessage& msg) {
   qc.view = msg.view();
   qc.block = msg.block();
   metrics().Increment("hotstuff.qcs_formed");
+  TraceMark("qc", msg.view());
   ProcessQC(qc);
   if (msg.view() + 1 > view_) {
     EnterView(msg.view() + 1);
@@ -264,6 +273,7 @@ void HotStuffReplica::MaybeJoinAdvancedView() {
 
 void HotStuffReplica::EnterView(ViewNumber v) {
   if (v <= view_) return;
+  TraceMark("enter_view", v);
   view_ = v;
   proposed_in_view_ = false;
   CancelTimer(&batch_timer_);
@@ -332,7 +342,17 @@ void HotStuffReplica::CommitChain(const Digest& block_hash) {
     committed_blocks_.insert((*it)->hash);
     last_committed_view_ = (*it)->view;
     metrics().Increment("hotstuff.blocks_committed");
-    Deliver(next_commit_seq_++, (*it)->batch);
+    SequenceNumber seq = next_commit_seq_++;
+    if (tracer()) {
+      // The block's sequence number is only known here, so the ordering
+      // phase (block first seen -> chain rule committed it) is emitted as
+      // a retroactive span.
+      auto seen = block_seen_at_.find((*it)->hash);
+      TraceSpanAt("order", seen != block_seen_at_.end() ? seen->second : Now(),
+                  (*it)->view, seq);
+      block_seen_at_.erase((*it)->hash);
+    }
+    Deliver(seq, (*it)->batch);
   }
   // Progress: reset the pacemaker back-off.
   pacemaker_timeout_us_ = config().view_change_timeout_us;
@@ -344,6 +364,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
       pacemaker_timer_ = kInvalidEvent;
       ++pacemaker_timeouts_;
       metrics().Increment("hotstuff.pacemaker_timeouts");
+      TraceMark("pacemaker_timeout", view_);
       ViewNumber next = view_ + 1;
       auto nv = std::make_shared<HsNewViewMessage>(next, high_qc_,
                                                    config().id);

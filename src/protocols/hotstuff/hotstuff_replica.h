@@ -91,6 +91,10 @@ class HotStuffReplica : public Replica {
   ViewNumber last_committed_view_ = 0;
   SequenceNumber next_commit_seq_ = 1;
 
+  /// Local receipt time per block, for the retroactive "order" trace
+  /// span emitted at commit. Only populated while tracing is enabled.
+  std::map<Digest, SimTime> block_seen_at_;
+
   bool proposed_in_view_ = false;
   // Vote collection at the NEXT leader: (view, block) -> voters.
   std::map<std::pair<ViewNumber, Digest>, std::set<ReplicaId>> votes_;

@@ -100,6 +100,8 @@ void KauriReplica::ProposeAvailable() {
     inst.digest = batch.ComputeDigest();
     inst.has_proposal = true;
     inst.votes.insert(config().id);
+    TraceMark("propose", epoch_, seq);
+    TraceSpanBegin("aggregate", epoch_, seq);
 
     // Dissemination: only to the root's children (load O(branching)).
     auto msg = std::make_shared<KauriProposalMessage>(epoch_, seq,
@@ -161,6 +163,7 @@ void KauriReplica::HandleProposal(NodeId from,
   inst.batch = msg.batch();
   inst.digest = msg.digest();
   inst.votes.insert(config().id);
+  TraceSpanBegin("aggregate", epoch_, msg.seq());
   for (const ClientRequest& r : msg.batch().requests) {
     RemoveFromPool(r.ComputeDigest());
   }
@@ -232,6 +235,7 @@ void KauriReplica::CommitAndPropagate(SequenceNumber seq) {
   inst.committed = true;
   CancelTimer(&inst.agg_timer);
   metrics().Increment("kauri.committed");
+  TraceSpanEnd("aggregate", epoch_, seq);
   Deliver(seq, inst.batch);
 
   // Commit wave down the tree.
@@ -271,6 +275,7 @@ void KauriReplica::HandleReconfig(NodeId from,
   tree_ = KauriTree(msg.order(), options_.branching);
   ++reconfigs_;
   metrics().Increment("kauri.reconfigurations");
+  TraceMark("reconfig", epoch_);
 
   // The root re-runs all in-flight instances over the new tree.
   if (config().id == leader()) {
@@ -341,6 +346,7 @@ void KauriReplica::OnTimer(uint64_t tag) {
     if (config().id != leader()) {
       // Internal node: children were slow; forward what we have.
       metrics().Increment("kauri.partial_aggregates");
+      TraceMark("partial_aggregate", epoch_, seq);
       FlushUp(seq, /*force=*/true);
       return;
     }

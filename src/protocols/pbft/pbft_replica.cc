@@ -141,6 +141,8 @@ void PbftReplica::ProposeBatch(Batch batch) {
   inst.has_pre_prepare = true;
   inst.digest = batch.ComputeDigest();
   inst.batch = batch;
+  TraceMark("propose", view_, seq);
+  TraceSpanBegin("preprepare", view_, seq);
 
   auto msg = std::make_shared<PrePrepareMessage>(view_, seq, std::move(batch),
                                                  AuthBytes());
@@ -235,6 +237,7 @@ void PbftReplica::HandlePrePrepare(NodeId from, const PrePrepareMessage& msg) {
   inst.has_pre_prepare = true;
   inst.digest = msg.digest();
   inst.batch = msg.batch();
+  TraceSpanBegin("preprepare", view_, msg.seq());
 
   // Requests stay pooled until executed so the view-change timer (τ2)
   // keeps watching them even while they are in flight.
@@ -270,6 +273,8 @@ void PbftReplica::CheckPrepared(SequenceNumber seq) {
   // (the sender's own prepare counts; the leader sends none).
   if (inst.prepare_votes[inst.digest].size() < AgreementQuorum() - 1) return;
   inst.prepared = true;
+  TraceSpanEnd("preprepare", view_, seq);
+  TraceSpanBegin("prepare", view_, seq);
 
   if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
   if (!inst.commit_sent) {
@@ -298,6 +303,7 @@ void PbftReplica::CheckCommitted(SequenceNumber seq) {
   if (inst.committed || !inst.prepared) return;
   if (inst.commit_votes[inst.digest].size() < AgreementQuorum()) return;
   inst.committed = true;
+  TraceSpanEnd("prepare", view_, seq);
   metrics().Increment("pbft.committed");
   committed_log_[seq] = std::make_pair(inst.digest, inst.batch);
   Deliver(seq, inst.batch);
@@ -391,8 +397,9 @@ void PbftReplica::ArmProgressTimerIfNeeded() {
 void PbftReplica::StartViewChange(ViewNumber new_view) {
   if (new_view <= view_) return;
   if (view_changing_ && new_view <= target_view_) return;
-  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
-                     << " start view change " << view_ << " -> " << new_view;
+  BFTLAB_LOG(kDebug) << "pbft start view change" << Kv("from", view_)
+                     << Kv("to", new_view);
+  TraceSpanBegin("viewchange", new_view);
   view_changing_ = true;
   target_view_ = new_view;
   CancelTimer(&batch_timer_);
@@ -487,10 +494,10 @@ void PbftReplica::HandleViewChange(NodeId /*from*/,
   }
   ChargeAuthVerify(msg.WireSize());
   view_changes_[msg.new_view()].emplace(msg.replica(), msg);
-  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
-                     << " got view-change for " << msg.new_view() << " from r"
-                     << msg.replica() << " (have "
-                     << view_changes_[msg.new_view()].size() << ")";
+  BFTLAB_LOG(kDebug) << "pbft view-change vote"
+                     << Kv("new_view", msg.new_view())
+                     << Kv("voter", msg.replica())
+                     << Kv("have", view_changes_[msg.new_view()].size());
 
   // Join rule: f+1 replicas already moved to a higher view -> follow them
   // even if our own timer has not fired (liveness under slow timers).
@@ -582,8 +589,8 @@ void PbftReplica::HandleNewView(NodeId from, const NewViewMessage& msg) {
 void PbftReplica::EnterNewView(
     ViewNumber new_view,
     const std::vector<NewViewMessage::Proposal>& proposals) {
-  BFTLAB_LOG(kDebug) << "pbft r" << config().id << " t=" << Now()
-                     << " enter view " << new_view;
+  BFTLAB_LOG(kDebug) << "pbft enter view" << Kv("view", new_view);
+  TraceSpanEnd("viewchange", new_view);
   view_ = new_view;
   view_changing_ = false;
   target_view_ = new_view;
@@ -606,6 +613,7 @@ void PbftReplica::EnterNewView(
     inst.has_pre_prepare = true;
     inst.batch = p.batch;
     inst.digest = p.digest;
+    TraceSpanBegin("preprepare", new_view, p.seq);
     for (const ClientRequest& r : p.batch.requests) {
       RemoveFromPool(r.ComputeDigest());
     }

@@ -42,6 +42,8 @@ void PoeReplica::ProposeAvailable() {
     inst.digest = batch.ComputeDigest();
     inst.has_proposal = true;
     inst.supports.insert(config().id);
+    TraceMark("propose", view_, seq);
+    TraceSpanBegin("certify", view_, seq);
 
     auto msg = std::make_shared<PoeProposeMessage>(view_, seq,
                                                    std::move(batch));
@@ -85,6 +87,7 @@ void PoeReplica::HandlePropose(NodeId from, const PoeProposeMessage& msg) {
   inst.has_proposal = true;
   inst.batch = msg.batch();
   inst.digest = msg.digest();
+  TraceSpanBegin("certify", view_, msg.seq());
   ArmViewChangeTimerIfNeeded();
 
   // Linear support phase: signed share to the leader only.
@@ -135,6 +138,7 @@ void PoeReplica::HandleCertify(NodeId from, const PoeCertifyMessage& msg) {
   if (inst.certified) return;
   inst.certified = true;
   metrics().Increment("poe.certified");
+  TraceSpanEnd("certify", view_, msg.seq());
   // Speculative execution on the 2f+1 certificate (Design Choice 7).
   Deliver(msg.seq(), inst.batch, /*speculative=*/true);
   MaybeStabilize();
@@ -156,6 +160,7 @@ void PoeReplica::HandleStabilize(NodeId from, const PoeStabilizeMessage& msg) {
   auto key = std::make_pair(msg.seq(), msg.state_digest());
   if (stabilize_votes_.Add(key, msg.replica()) == Quorum2f1()) {
     if (last_executed() >= msg.seq() && finalized_seq() < msg.seq()) {
+      TraceMark("stabilized", view_, msg.seq());
       FinalizeUpTo(msg.seq());
       metrics().Increment("poe.stabilized");
     }
@@ -190,6 +195,7 @@ void PoeReplica::StartViewChange(ViewNumber new_view) {
   target_view_ = new_view;
   CancelTimer(&batch_timer_);
   metrics().Increment("poe.view_change_started");
+  TraceSpanBegin("viewchange", new_view);
 
   std::vector<PoeCertifiedEntry> certified;
   for (const auto& [seq, inst] : instances_) {
@@ -278,6 +284,7 @@ void PoeReplica::HandleNewView(NodeId from, const PoeNewViewMessage& msg) {
   vc_timeout_us_ = config().view_change_timeout_us;
   CancelTimer(&vc_timer_);
   metrics().Increment("poe.view_changes_completed");
+  TraceSpanEnd("viewchange", msg.new_view());
 
   // Reconcile speculative history with the new view's decision: find the
   // first divergent sequence number, roll back to just before it, then

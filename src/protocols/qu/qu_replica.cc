@@ -32,6 +32,7 @@ void QuReplica::OnClientRequest(NodeId /*from*/,
   if (conflict) {
     ++conflicts_;
     metrics().Increment("qu.conflicts");
+    TraceMark("conflict");
     // Reject without applying; the request leaves the pool so a backoff
     // retry is re-admitted and re-evaluated.
     RemoveFromPool(request.ComputeDigest());
@@ -45,6 +46,8 @@ void QuReplica::OnClientRequest(NodeId /*from*/,
   Batch batch;
   batch.requests.push_back(request);
   metrics().Increment("qu.executed");
+  // No ordering phases: acceptance IS the (local) commit decision.
+  TraceMark("accept", view(), local_seq_ + 1);
   // Local order only: replicas may interleave different clients'
   // operations differently (hence the commutative-workload requirement).
   Deliver(++local_seq_, std::move(batch));

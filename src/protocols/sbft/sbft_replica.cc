@@ -46,6 +46,8 @@ void SbftReplica::ProposeAvailable() {
     inst.has_pre_prepare = true;
     // The leader's own share.
     inst.prepare_shares.insert(config().id);
+    TraceMark("propose", view_, seq);
+    TraceSpanBegin("agree", view_, seq);
 
     auto msg = std::make_shared<SbftPrePrepareMessage>(view_, seq,
                                                        std::move(batch));
@@ -93,6 +95,7 @@ void SbftReplica::HandlePrePrepare(NodeId from,
     inst.has_pre_prepare = true;
     inst.batch = msg.batch();
     inst.digest = msg.digest();
+    TraceSpanBegin("agree", view_, msg.seq());
     for (const ClientRequest& r : msg.batch().requests) {
       RemoveFromPool(r.ComputeDigest());
     }
@@ -215,12 +218,15 @@ void SbftReplica::Commit(SequenceNumber seq, const Batch& batch, bool fast) {
   if (inst.committed) return;
   inst.committed = true;
   CancelTimer(&inst.fast_timer);
+  TraceSpanEnd("agree", view_, seq);
   if (fast) {
     ++fast_commits_;
     metrics().Increment("sbft.fast_commits");
+    TraceMark("fast_commit", view_, seq);
   } else {
     ++slow_commits_;
     metrics().Increment("sbft.slow_commits");
+    TraceMark("slow_commit", view_, seq);
   }
   Deliver(seq, batch);
 }

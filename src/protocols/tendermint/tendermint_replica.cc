@@ -29,6 +29,7 @@ void TendermintReplica::EnterHeight(SequenceNumber h) {
   CancelTimer(&propose_timer_);
   CancelTimer(&round_timer_);
   height_entered_at_ = Now();
+  TraceSpanBegin("decide", 0, height_);
   if (ProposerOf(height_, round_) == config().id) ScheduleProposal();
   ArmRoundTimerIfNeeded();
 }
@@ -67,6 +68,7 @@ void TendermintReplica::ProposeNow() {
   if (batch.requests.empty() && locked_.IsZero()) return;
 
   proposed_ = true;
+  TraceMark("propose", round_, height_);
   auto msg =
       std::make_shared<TmProposalMessage>(height_, round_, std::move(batch));
   height_blocks_[msg->digest()] = msg->batch();
@@ -155,6 +157,7 @@ void TendermintReplica::HandleDecision(NodeId /*from*/,
 void TendermintReplica::ApplyDecisionAndAdvance(Batch batch) {
   while (true) {
     metrics().Increment("tendermint.catch_ups_applied");
+    TraceSpanEnd("decide", 0, height_);
     decided_log_[height_] = batch;
     while (decided_log_.size() > 64) decided_log_.erase(decided_log_.begin());
     Deliver(height_, std::move(batch));
@@ -235,6 +238,7 @@ void TendermintReplica::HandleVote(NodeId from, const TmVoteMessage& msg) {
       locked_ = msg.digest();
       locked_round_ = msg.round();
       precommitted_ = true;
+      TraceMark("polka", msg.round(), height_);
       if (byzantine_mode() != ByzantineMode::kSilentBackup) {
         BroadcastVote(kTmPrecommit, msg.digest());
       }
@@ -253,6 +257,7 @@ void TendermintReplica::CommitDecision(const Digest& digest) {
   auto it = height_blocks_.find(digest);
   if (it == height_blocks_.end()) return;  // Block body not yet seen.
   metrics().Increment("tendermint.heights_decided");
+  TraceSpanEnd("decide", 0, height_);
   decided_log_[height_] = it->second;
   // Bounded catch-up history.
   while (decided_log_.size() > 64) decided_log_.erase(decided_log_.begin());
@@ -275,6 +280,7 @@ void TendermintReplica::AdvanceRound() {
   ++round_;
   ++rounds_wasted_;
   metrics().Increment("tendermint.rounds_wasted");
+  TraceMark("round_timeout", round_, height_);
   proposed_ = false;
   prevoted_ = false;
   precommitted_ = false;
@@ -297,6 +303,7 @@ void TendermintReplica::JumpToRound(uint32_t r) {
   CancelTimer(&propose_timer_);
   CancelTimer(&round_timer_);
   metrics().Increment("tendermint.round_jumps");
+  TraceMark("round_jump", round_, height_);
   if (ProposerOf(height_, round_) == config().id) {
     ScheduleProposal();
   }

@@ -32,6 +32,7 @@ void ZyzzyvaReplica::ProposeAvailable() {
     Batch batch = TakeBatch();
     if (batch.requests.empty()) continue;
     SequenceNumber seq = next_seq_++;
+    TraceMark("propose", view_, seq);
     order_log_[seq] = batch;
     for (const ClientRequest& r : batch.requests) {
       ordered_at_[{r.client, r.timestamp}] = seq;
@@ -130,6 +131,7 @@ void ZyzzyvaReplica::MaybeStabilize() {
   SequenceNumber head = last_executed();
   if (head < last_stabilize_sent_ + config().checkpoint_interval) return;
   last_stabilize_sent_ = head;
+  TraceMark("stabilize_vote", view_, head);
   auto vote = std::make_shared<ZyzCommitVoteMessage>(
       head, state_machine().StateDigest(), config().id);
   ChargeAuthSend(n() - 1, vote->WireSize());
@@ -143,6 +145,7 @@ void ZyzzyvaReplica::HandleCommitVote(NodeId from,
   auto key = std::make_pair(msg.seq(), msg.state_digest());
   if (commit_votes_.Add(key, msg.replica()) == Quorum2f1()) {
     if (last_executed() >= msg.seq() && finalized_seq() < msg.seq()) {
+      TraceMark("stabilized", view_, msg.seq());
       FinalizeUpTo(msg.seq());
       metrics().Increment("zyzzyva.stabilized");
     }
@@ -154,7 +157,10 @@ void ZyzzyvaReplica::HandleCommitCert(NodeId /*from*/,
                                       const ZyzCommitCertMessage& msg) {
   ChargeAuthVerify(msg.WireSize());
   if (last_executed() < msg.seq()) return;  // Missing history; client retries.
-  if (finalized_seq() < msg.seq()) FinalizeUpTo(msg.seq());
+  if (finalized_seq() < msg.seq()) {
+    TraceMark("commit_cert", view_, msg.seq());
+    FinalizeUpTo(msg.seq());
+  }
   metrics().Increment("zyzzyva.commit_certs");
   ResendCachedReply(msg.client(), msg.seq());
 }

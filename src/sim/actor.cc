@@ -1,5 +1,7 @@
 #include "sim/actor.h"
 
+#include <algorithm>
+
 #include "sim/network.h"
 
 namespace bftlab {
@@ -28,5 +30,36 @@ void Actor::CancelTimer(EventId* id) {
 SimTime Actor::Now() const { return network_->now(); }
 
 MetricsCollector& Actor::metrics() { return network_->metrics(); }
+
+Tracer* Actor::tracer() const { return network_->tracer(); }
+
+void Actor::TraceSpanBegin(const char* phase, ViewNumber view,
+                           SequenceNumber seq) {
+  if (Tracer* t = network_->tracer()) {
+    t->SpanBegin(id_, phase, view, seq, network_->now());
+  }
+}
+
+void Actor::TraceSpanEnd(const char* phase, ViewNumber view,
+                         SequenceNumber seq) {
+  if (Tracer* t = network_->tracer()) {
+    t->SpanEnd(id_, phase, view, seq, network_->now());
+  }
+}
+
+void Actor::TraceSpanAt(const char* phase, SimTime begin_at, ViewNumber view,
+                        SequenceNumber seq) {
+  if (Tracer* t = network_->tracer()) {
+    SimTime now = network_->now();
+    t->SpanBegin(id_, phase, view, seq, std::min(begin_at, now));
+    t->SpanEnd(id_, phase, view, seq, now);
+  }
+}
+
+void Actor::TraceMark(const char* label, ViewNumber view, SequenceNumber seq) {
+  if (Tracer* t = network_->tracer()) {
+    t->Mark(id_, label, view, seq, network_->now());
+  }
+}
 
 }  // namespace bftlab

@@ -18,6 +18,7 @@ namespace bftlab {
 
 class Network;
 class MetricsCollector;
+class Tracer;
 
 /// A node in the simulation. Lifecycle: constructed, registered with a
 /// Network (which binds crypto/rng), Start()ed, then driven by messages
@@ -62,6 +63,21 @@ class Actor {
   Rng& rng() { return *rng_; }
   MetricsCollector& metrics();
   Network* network() { return network_; }
+
+  /// The network's tracer, or null when tracing is disabled. The span
+  /// helpers below are no-ops without a tracer, so protocol code can
+  /// annotate phases unconditionally.
+  Tracer* tracer() const;
+  void TraceSpanBegin(const char* phase, ViewNumber view = 0,
+                      SequenceNumber seq = 0);
+  void TraceSpanEnd(const char* phase, ViewNumber view = 0,
+                    SequenceNumber seq = 0);
+  /// Retroactive span for phases whose key (e.g. the commit sequence
+  /// number) is only known at the end: begins at `begin_at`, ends now.
+  void TraceSpanAt(const char* phase, SimTime begin_at, ViewNumber view,
+                   SequenceNumber seq);
+  void TraceMark(const char* label, ViewNumber view = 0,
+                 SequenceNumber seq = 0);
 
  private:
   friend class Network;

@@ -44,8 +44,14 @@ void MetricsCollector::RecordCommit(SequenceNumber /*seq*/,
                                     SimTime submit_time,
                                     SimTime commit_time) {
   ++commits_;
-  if (first_commit_ == 0) first_commit_ = commit_time;
-  last_commit_ = std::max(last_commit_, commit_time);
+  if (!has_commits_) {
+    has_commits_ = true;
+    first_commit_ = commit_time;
+    last_commit_ = commit_time;
+  } else {
+    first_commit_ = std::min(first_commit_, commit_time);
+    last_commit_ = std::max(last_commit_, commit_time);
+  }
   latency_us_.Add(static_cast<double>(commit_time - submit_time));
 }
 

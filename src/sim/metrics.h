@@ -19,7 +19,10 @@ namespace bftlab {
 /// raw samples; quantiles are exact).
 class Histogram {
  public:
-  void Add(double v) { samples_.push_back(v); }
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;  // A quantile query may have sorted the prefix.
+  }
   size_t count() const { return samples_.size(); }
   double Mean() const;
   double Percentile(double p) const;  // p in [0, 100].
@@ -62,6 +65,10 @@ class MetricsCollector {
 
   uint64_t commits() const { return commits_; }
   const Histogram& commit_latency_us() const { return latency_us_; }
+  bool has_commits() const { return has_commits_; }
+  /// Commit-time window; only meaningful when has_commits().
+  SimTime first_commit_time() const { return first_commit_; }
+  SimTime last_commit_time() const { return last_commit_; }
 
   /// Throughput in commits/second over [start, end] simulated time.
   double Throughput(SimTime start, SimTime end) const;
@@ -113,6 +120,7 @@ class MetricsCollector {
   std::map<NodeId, NodeStats> node_stats_;
   Histogram latency_us_;
   uint64_t commits_ = 0;
+  bool has_commits_ = false;  // Explicit: commit_time 0 is a valid sample.
   SimTime first_commit_ = 0;
   SimTime last_commit_ = 0;
   std::map<std::string, uint64_t> counters_;

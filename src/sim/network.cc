@@ -31,7 +31,15 @@ void Network::Start() {
     Actor* actor = rt.actor;
     sim_->Schedule(0, [this, node, actor] {
       if (down_.count(node)) return;
-      SimTime done = RunHandler(node, [actor] { actor->Start(); });
+      uint64_t ctx = 0;
+      if (tracer_) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kStart;
+        e.at = sim_->now();
+        e.node = node;
+        ctx = tracer_->Record(std::move(e));
+      }
+      SimTime done = RunHandler(node, [actor] { actor->Start(); }, ctx);
       runtime(node).cpu_free = done;
     });
   }
@@ -48,10 +56,13 @@ Actor* Network::actor(NodeId id) const {
   return it == runtimes_.end() ? nullptr : it->second.actor;
 }
 
-SimTime Network::RunHandler(NodeId node, const std::function<void()>& body) {
+SimTime Network::RunHandler(NodeId node, const std::function<void()>& body,
+                            uint64_t trace_ctx) {
   assert(!in_handler_.has_value() && "nested handler");
   in_handler_ = node;
   pending_sends_.clear();
+  if (tracer_) tracer_->SetContext(trace_ctx);
+  Logger::SetContext(node, sim_->now(), trace_ctx);
 
   body();
 
@@ -60,14 +71,19 @@ SimTime Network::RunHandler(NodeId node, const std::function<void()>& body) {
   double cost_us = crypto.DrainConsumedUs() + config_.per_msg_processing_us;
   SimTime completion = sim_->now() + static_cast<SimTime>(cost_us);
   metrics_->node(node).crypto_cpu_us += cost_us;
+  if (tracer_ && trace_ctx != 0) tracer_->SetHandlerCost(trace_ctx, cost_us);
 
   std::vector<Packet> sends;
   sends.swap(pending_sends_);
   in_handler_.reset();
 
+  // The tracer context stays live through the departure flush so the
+  // buffered sends inherit the handler as their causal parent.
   for (Packet& p : sends) {
     Depart(p.from, p.to, std::move(p.msg), completion);
   }
+  if (tracer_) tracer_->SetContext(0);
+  Logger::ClearContext();
   return completion;
 }
 
@@ -99,11 +115,35 @@ bool Network::PartitionBlocks(NodeId a, NodeId b, SimTime at) const {
 void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   if (down_.count(from)) return;
 
+  uint64_t send_id = 0;
+  if (tracer_) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kSend;
+    e.at = sim_->now();
+    e.node = from;
+    e.peer = to;
+    e.msg_type = msg->type();
+    e.bytes = from == to ? 0 : msg->WireSize() + config_.packet_header_bytes;
+    send_id = tracer_->Record(std::move(e));
+  }
+  auto trace_drop = [this, send_id, from, to, &msg](const char* cause) {
+    if (!tracer_) return;
+    TraceEvent e;
+    e.kind = TraceEventKind::kDrop;
+    e.parent = send_id;
+    e.at = sim_->now();
+    e.node = from;
+    e.peer = to;
+    e.msg_type = msg->type();
+    e.label = cause;
+    tracer_->Record(std::move(e));
+  };
+
   // Self-delivery: local, free, no stats.
   if (from == to) {
     SimTime arrival = t_ready;
     SimTime delay = arrival > sim_->now() ? arrival - sim_->now() : 0;
-    Packet packet{from, to, std::move(msg)};
+    Packet packet{from, to, std::move(msg), send_id};
     sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
       DeliverAt(arrival, std::move(packet));
     });
@@ -133,16 +173,19 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   if (drop) {
     sender_stats.msgs_dropped++;
     metrics_->Increment("net.injector_drops");
+    trace_drop("injector");
     return;
   }
   if (LinkExplicitlyBlocked(from, to, departure)) {
     sender_stats.msgs_dropped++;
     metrics_->Increment("net.link_blocked_drops");
+    trace_drop("link_blocked");
     return;
   }
   if (PartitionBlocks(from, to, departure)) {
     sender_stats.msgs_dropped++;
     metrics_->Increment("net.partition_drops");
+    trace_drop("partition");
     return;
   }
 
@@ -158,6 +201,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
     if (rng_.NextBool(config_.pre_gst_drop_prob)) {
       sender_stats.msgs_dropped++;
       metrics_->Increment("net.dropped_pre_gst");
+      trace_drop("pre_gst");
       return;
     }
     if (config_.pre_gst_extra_delay_us > 0) {
@@ -169,7 +213,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   SimTime bound = std::max(departure, config_.gst_us) + config_.delta_us;
   arrival = std::max(physical_arrival, std::min(arrival, bound));
 
-  Packet packet{from, to, std::move(msg)};
+  Packet packet{from, to, std::move(msg), send_id};
   SimTime delay = arrival - sim_->now();
   sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
     DeliverAt(arrival, std::move(packet));
@@ -177,7 +221,20 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
 }
 
 void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
-  if (down_.count(packet.to) || down_.count(packet.from)) return;
+  if (down_.count(packet.to) || down_.count(packet.from)) {
+    if (tracer_) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDrop;
+      e.parent = packet.trace_send;
+      e.at = sim_->now();
+      e.node = packet.from;
+      e.peer = packet.to;
+      e.msg_type = packet.msg->type();
+      e.label = "node_down";
+      tracer_->Record(std::move(e));
+    }
+    return;
+  }
   auto it = runtimes_.find(packet.to);
   if (it == runtimes_.end()) return;
   Runtime& rt = it->second;
@@ -206,7 +263,7 @@ void Network::ProcessNext(NodeId node) {
   Runtime& rt = runtime(node);
   rt.processing_scheduled = false;
   if (down_.count(node)) {
-    rt.inbox.clear();
+    DropInboxTraced(rt, "crashed_inbox");
     return;
   }
   if (rt.inbox.empty()) return;
@@ -214,10 +271,25 @@ void Network::ProcessNext(NodeId node) {
   Packet packet = std::move(rt.inbox.front());
   rt.inbox.pop_front();
 
+  uint64_t ctx = 0;
+  if (tracer_) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kDeliver;
+    e.parent = packet.trace_send;
+    e.at = sim_->now();
+    e.node = node;
+    e.peer = packet.from;
+    e.msg_type = packet.msg->type();
+    e.bytes = packet.from == node
+                  ? 0
+                  : packet.msg->WireSize() + config_.packet_header_bytes;
+    ctx = tracer_->Record(std::move(e));
+  }
+
   Actor* actor = rt.actor;
   SimTime completion = RunHandler(node, [actor, &packet] {
     actor->OnMessage(packet.from, packet.msg);
-  });
+  }, ctx);
   rt.cpu_free = completion;
 
   if (!rt.inbox.empty()) {
@@ -228,18 +300,77 @@ void Network::ProcessNext(NodeId node) {
 }
 
 EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
-  return sim_->ScheduleCancelable(delay, [this, node, tag] {
-    if (down_.count(node)) return;
-    Runtime& rt = runtime(node);
-    Actor* actor = rt.actor;
-    SimTime completion = RunHandler(node, [actor, tag] { actor->OnTimer(tag); });
-    rt.cpu_free = std::max(rt.cpu_free, completion);
-  });
+  if (!tracer_) {
+    return sim_->ScheduleCancelable(delay, [this, node, tag] {
+      if (down_.count(node)) return;
+      Runtime& rt = runtime(node);
+      Actor* actor = rt.actor;
+      SimTime completion =
+          RunHandler(node, [actor, tag] { actor->OnTimer(tag); });
+      rt.cpu_free = std::max(rt.cpu_free, completion);
+    });
+  }
+
+  TraceEvent set;
+  set.kind = TraceEventKind::kTimerSet;
+  set.at = sim_->now();
+  set.node = node;
+  set.aux = tag;
+  uint64_t set_id = tracer_->Record(std::move(set));
+  // The fire lambda must retire its own timer_trace_ entry, but the
+  // EventId only exists once ScheduleCancelable returns — thread it
+  // through a shared slot.
+  auto id_slot = std::make_shared<EventId>(kInvalidEvent);
+  EventId id =
+      sim_->ScheduleCancelable(delay, [this, node, tag, set_id, id_slot] {
+        if (*id_slot != kInvalidEvent) timer_trace_.erase(*id_slot);
+        if (down_.count(node)) return;
+        uint64_t ctx = 0;
+        if (tracer_) {
+          TraceEvent fire;
+          fire.kind = TraceEventKind::kTimerFire;
+          fire.parent = set_id;
+          fire.at = sim_->now();
+          fire.node = node;
+          fire.aux = tag;
+          ctx = tracer_->Record(std::move(fire));
+        }
+        Runtime& rt = runtime(node);
+        Actor* actor = rt.actor;
+        SimTime completion =
+            RunHandler(node, [actor, tag] { actor->OnTimer(tag); }, ctx);
+        rt.cpu_free = std::max(rt.cpu_free, completion);
+      });
+  *id_slot = id;
+  timer_trace_[id] = TimerTrace{set_id, node};
+  return id;
+}
+
+void Network::CancelTimer(EventId id) {
+  sim_->Cancel(id);
+  if (tracer_ == nullptr) return;
+  auto it = timer_trace_.find(id);
+  if (it == timer_trace_.end()) return;  // Already fired (or untraced).
+  TraceEvent e;
+  e.kind = TraceEventKind::kTimerCancel;
+  e.parent = it->second.set_id;
+  e.at = sim_->now();
+  e.node = it->second.node;
+  tracer_->Record(std::move(e));
+  timer_trace_.erase(it);
 }
 
 void Network::Crash(NodeId node) {
   down_.insert(node);
-  runtime(node).inbox.clear();
+  Runtime& rt = runtime(node);
+  DropInboxTraced(rt, "crashed_inbox");
+  if (tracer_) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCrash;
+    e.at = sim_->now();
+    e.node = node;
+    tracer_->Record(std::move(e));
+  }
 }
 
 void Network::Restart(NodeId node) {
@@ -247,10 +378,35 @@ void Network::Restart(NodeId node) {
   Runtime& rt = runtime(node);
   rt.cpu_free = sim_->now();
   rt.uplink_free = sim_->now();
+  uint64_t ctx = 0;
+  if (tracer_) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRestart;
+    e.at = sim_->now();
+    e.node = node;
+    ctx = tracer_->Record(std::move(e));
+  }
   Actor* actor = rt.actor;
   SimTime completion =
-      RunHandler(node, [actor] { actor->OnRestart(); });
+      RunHandler(node, [actor] { actor->OnRestart(); }, ctx);
   rt.cpu_free = completion;
+}
+
+void Network::DropInboxTraced(Runtime& rt, const char* cause) {
+  if (tracer_) {
+    for (const Packet& p : rt.inbox) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDrop;
+      e.parent = p.trace_send;
+      e.at = sim_->now();
+      e.node = p.from;
+      e.peer = p.to;
+      e.msg_type = p.msg->type();
+      e.label = cause;
+      tracer_->Record(std::move(e));
+    }
+  }
+  rt.inbox.clear();
 }
 
 void Network::BlockLink(NodeId a, NodeId b, SimTime until) {

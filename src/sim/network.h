@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "crypto/keystore.h"
+#include "obs/trace.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
@@ -86,7 +87,7 @@ class Network {
 
   /// Schedules a timer firing Actor::OnTimer(tag) after `delay`.
   EventId SetTimer(NodeId node, SimTime delay, uint64_t tag);
-  void CancelTimer(EventId id) { sim_->Cancel(id); }
+  void CancelTimer(EventId id);
 
   // --- Fault and adversary controls -------------------------------------
 
@@ -112,6 +113,15 @@ class Network {
     injector_ = std::move(injector);
   }
 
+  // --- Observability -----------------------------------------------------
+
+  /// Attaches a causal event tracer (obs/trace.h). Every message
+  /// send/deliver/drop, timer set/fire/cancel, and crash/restart is
+  /// recorded with parent links. Null detaches; with no tracer attached
+  /// every instrumentation site is one untaken branch.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   // --- Accessors ---------------------------------------------------------
 
   Simulator* sim() { return sim_; }
@@ -126,6 +136,7 @@ class Network {
     NodeId from;
     NodeId to;
     MessagePtr msg;
+    uint64_t trace_send = 0;  // Trace id of the kSend that launched it.
   };
   struct Runtime {
     Actor* actor = nullptr;
@@ -140,12 +151,18 @@ class Network {
   Runtime& runtime(NodeId id);
   /// Runs a handler (Start / OnMessage / OnTimer) for `node`, buffering
   /// its sends and charging its crypto cost; returns the completion time.
-  SimTime RunHandler(NodeId node, const std::function<void()>& body);
+  /// `trace_ctx` is the trace id of the event that triggered the handler
+  /// (deliver, timer fire, start, restart): it becomes the causal parent
+  /// of everything the handler emits and receives the measured CPU cost.
+  SimTime RunHandler(NodeId node, const std::function<void()>& body,
+                     uint64_t trace_ctx = 0);
   /// Departure-side path: bandwidth, link/partition checks, synchrony.
   void Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready);
   void DeliverAt(SimTime arrival, Packet packet);
   void ScheduleProcessing(NodeId node);
   void ProcessNext(NodeId node);
+  /// Clears `rt`'s inbox, recording a traced drop for each packet.
+  void DropInboxTraced(Runtime& rt, const char* cause);
   /// Drop causes are split so chaos runs can attribute them
   /// ("net.link_blocked_drops" vs "net.partition_drops").
   bool LinkExplicitlyBlocked(NodeId a, NodeId b, SimTime at) const;
@@ -164,6 +181,13 @@ class Network {
   std::vector<std::set<NodeId>> partition_;
   SimTime partition_until_ = 0;
   DelayInjector injector_;
+
+  Tracer* tracer_ = nullptr;
+  struct TimerTrace {
+    uint64_t set_id;
+    NodeId node;
+  };
+  std::map<EventId, TimerTrace> timer_trace_;  // Only populated when tracing.
 
   // Send-buffering while a handler runs.
   std::optional<NodeId> in_handler_;

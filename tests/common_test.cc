@@ -9,6 +9,7 @@
 #include "common/buffer.h"
 #include "common/codec.h"
 #include "common/hex.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -269,6 +270,29 @@ TEST(TypesTest, DurationHelpers) {
   EXPECT_EQ(Micros(5), 5u);
   EXPECT_EQ(Millis(5), 5000u);
   EXPECT_EQ(Seconds(5), 5000000u);
+}
+
+TEST(LoggingTest, KvStreamsAsKeyValue) {
+  std::ostringstream os;
+  os << "pre-prepare" << Kv("view", 1) << Kv("seq", 4) << Kv("who", "r2");
+  EXPECT_EQ(os.str(), "pre-prepare view=1 seq=4 who=r2");
+}
+
+TEST(LoggingTest, ContextPrefixCorrelatesWithTrace) {
+  Logger::ClearContext();
+  EXPECT_EQ(Logger::ContextPrefix(), "");
+
+  Logger::SetContext(/*node=*/2, /*sim_time_us=*/1500, /*trace_event=*/77);
+  EXPECT_TRUE(Logger::context().active);
+  EXPECT_EQ(Logger::ContextPrefix(), "[n=2 t=1500us e=77] ");
+
+  // Trace event 0 means "no correlated event": the e= field is omitted.
+  Logger::SetContext(3, 250, 0);
+  EXPECT_EQ(Logger::ContextPrefix(), "[n=3 t=250us] ");
+
+  Logger::ClearContext();
+  EXPECT_FALSE(Logger::context().active);
+  EXPECT_EQ(Logger::ContextPrefix(), "");
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+// Tier-1 tests for the observability layer (src/obs): causal tracing
+// through the network, span assembly, critical-path extraction, the
+// trace-invariant oracle, and the exporters. End-to-end runs use the real
+// experiment harness so the traces exercised here are the ones benches
+// and CI consume.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/linearizability.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace bftlab {
+namespace {
+
+ExperimentConfig TracedConfig(const std::string& protocol, Tracer* tracer) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.seed = 11;
+  cfg.duration_us = Millis(500);
+  cfg.tracer = tracer;
+  return cfg;
+}
+
+ExperimentResult MustRun(const ExperimentConfig& cfg) {
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// --- Tracer unit behavior ----------------------------------------------------
+
+TEST(TracerTest, AssignsDenseIdsAndContextParents) {
+  Tracer tracer;
+  TraceEvent send;
+  send.kind = TraceEventKind::kSend;
+  send.at = 10;
+  send.node = 0;
+  send.peer = 1;
+  uint64_t send_id = tracer.Record(send);
+  EXPECT_EQ(send_id, 1u);
+
+  TraceEvent deliver;
+  deliver.kind = TraceEventKind::kDeliver;
+  deliver.at = 20;
+  deliver.node = 1;
+  deliver.peer = 0;
+  deliver.parent = send_id;
+  uint64_t deliver_id = tracer.Record(deliver);
+  EXPECT_EQ(deliver_id, 2u);
+
+  // Events recorded under a handler context inherit it as parent.
+  tracer.SetContext(deliver_id);
+  uint64_t mark_id = tracer.Mark(1, "m", 0, 0, 20);
+  tracer.SetContext(0);
+  EXPECT_EQ(tracer.events()[mark_id - 1].parent, deliver_id);
+}
+
+TEST(TracerTest, SpanBeginDeduplicatesOpenSpans) {
+  Tracer tracer;
+  uint64_t first = tracer.SpanBegin(0, "prepare", 1, 5, 100);
+  EXPECT_NE(first, 0u);
+  // Re-begin of an open span (retransmission path) is suppressed.
+  EXPECT_EQ(tracer.SpanBegin(0, "prepare", 1, 5, 110), 0u);
+  // Ending a never-opened span is a no-op.
+  EXPECT_EQ(tracer.SpanEnd(0, "prepare", 2, 5, 120), 0u);
+  uint64_t end = tracer.SpanEnd(0, "prepare", 1, 5, 130);
+  ASSERT_NE(end, 0u);
+  EXPECT_EQ(tracer.events()[end - 1].aux, first);
+  // After a close the key can open again.
+  EXPECT_NE(tracer.SpanBegin(0, "prepare", 1, 5, 140), 0u);
+}
+
+// --- End-to-end causality ----------------------------------------------------
+
+TEST(ObsTest, PbftTraceSatisfiesInvariants) {
+  Tracer tracer;
+  ExperimentResult r = MustRun(TracedConfig("pbft", &tracer));
+  ASSERT_GT(r.commits, 0u);
+  ASSERT_GT(tracer.size(), 0u);
+
+  TraceCheckResult check = CheckTraceInvariants(tracer.events());
+  EXPECT_TRUE(check.ok) << check.Summary();
+
+  // Every deliver is causally linked to its send.
+  size_t delivers = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.kind != TraceEventKind::kDeliver) continue;
+    ++delivers;
+    ASSERT_NE(e.parent, 0u);
+    const TraceEvent& send = tracer.events()[e.parent - 1];
+    EXPECT_EQ(send.kind, TraceEventKind::kSend);
+    EXPECT_EQ(send.node, e.peer);
+    EXPECT_EQ(send.peer, e.node);
+    EXPECT_LE(send.at, e.at);
+  }
+  EXPECT_GT(delivers, 0u);
+}
+
+TEST(ObsTest, TracingIsDeterministic) {
+  Tracer a, b;
+  MustRun(TracedConfig("pbft", &a));
+  MustRun(TracedConfig("pbft", &b));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].label, b.events()[i].label);
+  }
+}
+
+TEST(ObsTest, DisabledTracingChangesNothing) {
+  Tracer tracer;
+  ExperimentResult traced = MustRun(TracedConfig("pbft", &tracer));
+  ExperimentResult plain = MustRun(TracedConfig("pbft", nullptr));
+  EXPECT_EQ(traced.commits, plain.commits);
+  EXPECT_EQ(traced.p50_latency_ms, plain.p50_latency_ms);
+}
+
+// --- Span assembly -----------------------------------------------------------
+
+TEST(ObsTest, PbftSpansCoverOrderingPhases) {
+  Tracer tracer;
+  MustRun(TracedConfig("pbft", &tracer));
+  std::set<std::string> closed_at_node0;
+  for (const Span& s : AssembleSpans(tracer.events())) {
+    if (s.node == 0 && s.closed) closed_at_node0.insert(s.label);
+    if (s.closed) EXPECT_LE(s.begin_us, s.end_us);
+  }
+  EXPECT_TRUE(closed_at_node0.count("preprepare"));
+  EXPECT_TRUE(closed_at_node0.count("prepare"));
+  EXPECT_TRUE(closed_at_node0.count("execute"));
+}
+
+TEST(ObsTest, HotStuffSpansCoverOrderingPhases) {
+  Tracer tracer;
+  MustRun(TracedConfig("hotstuff", &tracer));
+  std::set<std::string> closed_at_node0;
+  for (const Span& s : AssembleSpans(tracer.events())) {
+    if (s.node == 0 && s.closed) closed_at_node0.insert(s.label);
+  }
+  // HotStuff's seq-keyed ordering span is emitted retroactively at commit
+  // (the chain rule assigns sequence numbers only then).
+  EXPECT_TRUE(closed_at_node0.count("order"));
+  EXPECT_TRUE(closed_at_node0.count("execute"));
+}
+
+// --- Critical paths ----------------------------------------------------------
+
+TEST(ObsTest, CriticalPathSlicesSumToCommitLatency) {
+  Tracer tracer;
+  MustRun(TracedConfig("pbft", &tracer));
+  std::vector<CriticalPath> paths = ExtractCriticalPaths(tracer.events(), 0);
+  ASSERT_FALSE(paths.empty());
+  for (const CriticalPath& path : paths) {
+    double sum = 0;
+    for (const PhaseSlice& slice : path.slices) {
+      sum += static_cast<double>(slice.DurationUs());
+      EXPECT_LE(slice.begin_us, slice.end_us);
+      EXPECT_GE(slice.wait_us, 0.0);
+    }
+    double total = static_cast<double>(path.TotalUs());
+    // Acceptance bar is 1%; the partition is exact by construction.
+    EXPECT_NEAR(sum, total, total * 0.01 + 1e-9);
+  }
+  std::map<std::string, double> totals = AggregatePhaseTotals(paths);
+  EXPECT_GT(totals.count("preprepare") + totals.count("prepare"), 0u);
+}
+
+// --- Invariant oracle on synthetic traces ------------------------------------
+
+TEST(ObsTest, CheckerRejectsDeliverBeforeSend) {
+  Tracer tracer;
+  TraceEvent send;
+  send.kind = TraceEventKind::kSend;
+  send.at = 100;
+  send.node = 0;
+  send.peer = 1;
+  send.msg_type = 7;
+  uint64_t send_id = tracer.Record(send);
+
+  TraceEvent deliver;
+  deliver.kind = TraceEventKind::kDeliver;
+  deliver.at = 50;  // Before the send: impossible.
+  deliver.node = 1;
+  deliver.peer = 0;
+  deliver.msg_type = 7;
+  deliver.parent = send_id;
+  tracer.Record(deliver);
+
+  TraceCheckResult check = CheckTraceInvariants(tracer.events());
+  EXPECT_FALSE(check.ok);
+}
+
+TEST(ObsTest, CheckerRejectsDeliverWithNonSendParent) {
+  Tracer tracer;
+  uint64_t mark = tracer.Mark(0, "m", 0, 0, 10);
+  TraceEvent deliver;
+  deliver.kind = TraceEventKind::kDeliver;
+  deliver.at = 20;
+  deliver.node = 1;
+  deliver.peer = 0;
+  deliver.parent = mark;
+  tracer.Record(deliver);
+  EXPECT_FALSE(CheckTraceInvariants(tracer.events()).ok);
+}
+
+TEST(ObsTest, CheckerRequiresCommitBeforeExecute) {
+  Tracer tracer;
+  tracer.SpanBegin(0, "execute", 1, 1, 10);
+  tracer.SpanEnd(0, "execute", 1, 1, 20);
+  EXPECT_FALSE(CheckTraceInvariants(tracer.events()).ok);
+
+  Tracer good;
+  good.Mark(0, "commit", 1, 1, 5);
+  good.SpanBegin(0, "execute", 1, 1, 10);
+  good.SpanEnd(0, "execute", 1, 1, 20);
+  EXPECT_TRUE(CheckTraceInvariants(good.events()).ok);
+}
+
+TEST(ObsTest, CheckerRequiresMonotonicExecutionOrder) {
+  Tracer tracer;
+  tracer.Mark(0, "commit", 1, 2, 5);
+  tracer.SpanBegin(0, "execute", 1, 2, 10);
+  tracer.SpanEnd(0, "execute", 1, 2, 20);
+  tracer.Mark(0, "commit", 1, 1, 25);
+  tracer.SpanBegin(0, "execute", 1, 1, 30);  // Backwards without rollback.
+  tracer.SpanEnd(0, "execute", 1, 1, 40);
+  EXPECT_FALSE(CheckTraceInvariants(tracer.events()).ok);
+
+  // A rollback mark lowers the watermark and legitimizes re-execution.
+  Tracer rolled;
+  rolled.Mark(0, "commit", 1, 2, 5);
+  rolled.SpanBegin(0, "execute", 1, 2, 10);
+  rolled.SpanEnd(0, "execute", 1, 2, 20);
+  rolled.Mark(0, "rollback", 1, 0, 25);
+  rolled.Mark(0, "commit", 1, 1, 26);
+  rolled.SpanBegin(0, "execute", 1, 1, 30);
+  rolled.SpanEnd(0, "execute", 1, 1, 40);
+  EXPECT_TRUE(CheckTraceInvariants(rolled.events()).ok)
+      << CheckTraceInvariants(rolled.events()).Summary();
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+TEST(ObsTest, ChromeTraceExportIsWellFormedJson) {
+  Tracer tracer;
+  MustRun(TracedConfig("pbft", &tracer));
+  std::ostringstream os;
+  ExportChromeTrace(tracer.events(), os);
+  std::string error;
+  EXPECT_TRUE(JsonWellFormed(os.str(), &error)) << error;
+}
+
+TEST(ObsTest, JsonlExportLinesAreWellFormed) {
+  Tracer tracer;
+  MustRun(TracedConfig("hotstuff", &tracer));
+  std::ostringstream os;
+  ExportJsonl(tracer.events(), os);
+  std::istringstream lines(os.str());
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    std::string error;
+    ASSERT_TRUE(JsonWellFormed(line, &error)) << error << "\n" << line;
+  }
+  EXPECT_EQ(count, tracer.size());
+}
+
+TEST(ObsTest, ExperimentResultJsonIsWellFormed) {
+  ExperimentResult r = MustRun(TracedConfig("pbft", nullptr));
+  r.protocol = "quote\"backslash\\tab\t";  // Exercise escaping.
+  std::string error;
+  EXPECT_TRUE(JsonWellFormed(r.Json(), &error)) << error;
+}
+
+TEST(ObsTest, JsonWellFormedRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonWellFormed("{"));
+  EXPECT_FALSE(JsonWellFormed("{\"a\":}"));
+  EXPECT_FALSE(JsonWellFormed("{} trailing"));
+  EXPECT_FALSE(JsonWellFormed("\"bad \\x escape\""));
+  EXPECT_FALSE(JsonWellFormed("[1,2,"));
+  EXPECT_TRUE(JsonWellFormed("{\"a\":[1,2.5,-3e2,true,null,\"s\"]}"));
+}
+
+// --- All protocols under chaos ----------------------------------------------
+
+TEST(ObsTest, AllProtocolTracesPassInvariantsUnderPartitions) {
+  // Chaos-hardened families must also survive the run itself (the X18
+  // bar); for the rest only the trace's causal integrity is asserted.
+  const std::set<std::string> chaos_hardened = {
+      "pbft", "hotstuff", "hotstuff2", "tendermint", "sbft", "cheapbft"};
+  for (const std::string& protocol : AllProtocolNames()) {
+    Tracer tracer;
+    ExperimentConfig cfg;
+    cfg.protocol = protocol;
+    cfg.num_clients = 3;
+    cfg.seed = 3;
+    cfg.cost_model = CryptoCostModel::Free();
+    cfg.checkpoint_interval = 32;
+    cfg.view_change_timeout_us = Millis(300);
+    cfg.client_retransmit_us = Millis(200);
+    cfg.client_backoff = 1.5;
+    cfg.client_retransmit_cap_us = Seconds(2);
+    cfg.op_generator = ChaosKvWorkload(4);
+    NemesisSpec spec;
+    spec.profile = NemesisProfile::kPartitionHeavy;
+    spec.seed = 3;
+    spec.start_us = Millis(300);
+    spec.gst_us = Seconds(3);
+    cfg.nemesis = spec;
+    cfg.duration_us = Seconds(7);
+    cfg.recovery_bound_us = Seconds(3);
+    cfg.tracer = &tracer;
+
+    Result<ExperimentResult> r = RunExperiment(cfg);
+    if (chaos_hardened.count(protocol)) {
+      EXPECT_TRUE(r.ok()) << protocol << ": " << r.status().ToString();
+    }
+    ASSERT_GT(tracer.size(), 0u) << protocol;
+    TraceCheckResult check = CheckTraceInvariants(tracer.events());
+    EXPECT_TRUE(check.ok) << protocol << ": " << check.Summary();
+  }
+}
+
+}  // namespace
+}  // namespace bftlab

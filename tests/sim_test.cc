@@ -383,5 +383,33 @@ TEST(MetricsTest, CountersAndImbalance) {
   EXPECT_EQ(m.MaxNodeMsgLoad(), 300u);
 }
 
+TEST(MetricsTest, HistogramStaysSortedAcrossInterleavedAdds) {
+  Histogram h;
+  h.Add(5);
+  h.Add(1);
+  h.Add(3);
+  EXPECT_EQ(h.Percentile(100), 5);
+  // A quantile query sorts the samples; later adds must not silently
+  // append past the sorted prefix.
+  h.Add(10);
+  h.Add(0);
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), 10);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 10);
+}
+
+TEST(MetricsTest, CommitAtTimeZeroIsAValidFirstCommit) {
+  MetricsCollector m;
+  EXPECT_FALSE(m.has_commits());
+  m.RecordCommit(1, 0, 0);  // Virtual time 0 is a legitimate commit time.
+  EXPECT_TRUE(m.has_commits());
+  EXPECT_EQ(m.first_commit_time(), 0u);
+  EXPECT_EQ(m.last_commit_time(), 0u);
+  m.RecordCommit(2, 100, 500);
+  EXPECT_EQ(m.first_commit_time(), 0u);
+  EXPECT_EQ(m.last_commit_time(), 500u);
+}
+
 }  // namespace
 }  // namespace bftlab
