@@ -1,0 +1,232 @@
+// PERF: the regression + determinism harness for the simulator hot path
+// and the parallel sweep runner. Three measurements:
+//
+//   1. Single-run engine speed: one PBFT run, events/sec of wall time
+//      (best of repeats). The number the checked-in baseline guards.
+//   2. Sweep scaling: every registered protocol x seeds, run once with
+//      jobs=1 (serial) and once with the resolved parallel job count;
+//      wall-clock speedup is reported, and with >= 4 cores must be >= 3x.
+//   3. Determinism across schedulers: the serial and parallel sweeps must
+//      produce bit-identical ExperimentResult::Digest() for every cell —
+//      parallelism lives between runs, never inside one.
+//
+// Flags:
+//   --smoke            short runs (CI).
+//   --json <path>      write BENCH_perf.json (validated with
+//                      JsonWellFormed before writing).
+//   --baseline <path>  read {"events_per_sec": N} and exit nonzero if the
+//                      single-run measurement regresses more than 20%.
+//
+// Exit status: nonzero on digest divergence, on a missed speedup gate
+// (>= 4 cores only), or on a baseline regression — so CI fails loudly.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/registry.h"
+#include "core/sweep.h"
+#include "obs/export.h"
+
+namespace bftlab {
+namespace {
+
+double Now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+ExperimentConfig SingleRunConfig(bool smoke) {
+  ExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.f = 1;
+  cfg.duration_us = smoke ? Millis(500) : Seconds(5);
+  return cfg;
+}
+
+std::vector<ExperimentConfig> SweepCells(bool smoke) {
+  std::vector<ExperimentConfig> cells;
+  for (uint64_t seed : {1ull, 2ull}) {
+    for (const std::string& protocol : AllProtocolNames()) {
+      ExperimentConfig cfg;
+      cfg.protocol = protocol;
+      cfg.seed = seed;
+      cfg.duration_us = smoke ? Millis(300) : Seconds(1);
+      cells.push_back(cfg);
+    }
+  }
+  return cells;
+}
+
+/// Reads {"events_per_sec": N} with a string scan (no JSON parser in the
+/// bench layer; the file is one line we wrote ourselves).
+double ReadBaseline(const char* path) {
+  std::ifstream in(path);
+  if (!in.good()) return 0;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  size_t key = text.find("\"events_per_sec\"");
+  if (key == std::string::npos) return 0;
+  size_t colon = text.find(':', key);
+  if (colon == std::string::npos) return 0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+void Run(bool smoke, const char* json_path, const char* baseline_path) {
+  bench::Title(
+      "PERF: engine events/sec + parallel sweep speedup + determinism",
+      "the hot-path optimizations hold their events/sec baseline, the "
+      "sweep runner scales near-linearly across cores, and serial vs "
+      "parallel sweeps are bit-identical per cell");
+
+  // 1. Single-run engine speed (best of repeats: the min-noise estimate).
+  const int repeats = smoke ? 2 : 3;
+  ExperimentConfig single = SingleRunConfig(smoke);
+  uint64_t single_events = 0;
+  double best_wall = 0, events_per_sec = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    double t0 = Now();
+    ExperimentResult r = bench::MustRun(single);
+    double wall = Now() - t0;
+    double eps = wall > 0 ? static_cast<double>(r.sim_events) / wall : 0;
+    if (eps > events_per_sec) {
+      events_per_sec = eps;
+      best_wall = wall;
+      single_events = r.sim_events;
+    }
+  }
+  std::printf("single run: pbft f=1, %" PRIu64
+              " events in %.3fs -> %.0f events/sec (best of %d)\n",
+              single_events, best_wall, events_per_sec, repeats);
+
+  // 2 + 3. Sweep scaling and cross-scheduler determinism.
+  std::vector<ExperimentConfig> cells = SweepCells(smoke);
+  unsigned hw = std::thread::hardware_concurrency();
+  unsigned jobs = ResolveSweepJobs(0, cells.size());
+
+  SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  double t0 = Now();
+  std::vector<Result<ExperimentResult>> serial = RunSweep(cells, serial_opts);
+  double serial_s = Now() - t0;
+
+  SweepOptions parallel_opts;
+  parallel_opts.jobs = jobs;
+  t0 = Now();
+  std::vector<Result<ExperimentResult>> parallel =
+      RunSweep(cells, parallel_opts);
+  double parallel_s = Now() - t0;
+
+  double speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  std::printf("sweep: %zu cells, serial %.3fs vs %u jobs %.3fs -> %.2fx "
+              "(%u cores)\n",
+              cells.size(), serial_s, jobs, parallel_s, speedup, hw);
+
+  size_t divergent = 0, failed = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!serial[i].ok() || !parallel[i].ok()) {
+      ++failed;
+      std::printf("cell %zu (%s seed %" PRIu64 ") FAILED: %s\n", i,
+                  cells[i].protocol.c_str(), cells[i].seed,
+                  (!serial[i].ok() ? serial[i] : parallel[i])
+                      .status()
+                      .ToString()
+                      .c_str());
+      continue;
+    }
+    if (serial[i]->Digest() != parallel[i]->Digest()) {
+      ++divergent;
+      std::printf("cell %zu (%s seed %" PRIu64 ") DIGEST DIVERGED: "
+                  "serial %.16s vs parallel %.16s\n",
+                  i, cells[i].protocol.c_str(), cells[i].seed,
+                  serial[i]->Digest().c_str(), parallel[i]->Digest().c_str());
+    }
+  }
+  bool digests_identical = failed == 0 && divergent == 0;
+  std::printf("determinism: %zu cells, %zu failed, %zu divergent digests\n",
+              cells.size(), failed, divergent);
+
+  // The 3x gate only binds where the acceptance criterion defines it:
+  // >= 4 cores and >= 4 workers. One-core boxes still check determinism.
+  bool speedup_gated = hw >= 4 && jobs >= 4;
+  bool speedup_ok = !speedup_gated || speedup >= 3.0;
+  if (speedup_gated) {
+    std::printf("speedup gate (>=4 cores): %.2fx %s 3.00x\n", speedup,
+                speedup >= 3.0 ? ">=" : "<");
+  } else {
+    std::printf("speedup gate skipped (%u cores, %u jobs)\n", hw, jobs);
+  }
+
+  double baseline = 0;
+  bool baseline_ok = true;
+  if (baseline_path != nullptr) {
+    baseline = ReadBaseline(baseline_path);
+    if (baseline > 0) {
+      baseline_ok = events_per_sec >= 0.8 * baseline;
+      std::printf("baseline: %.0f events/sec, measured %.0f (%.0f%%) -> %s\n",
+                  baseline, events_per_sec, 100 * events_per_sec / baseline,
+                  baseline_ok ? "ok" : "REGRESSION >20%");
+    } else {
+      std::printf("baseline: unreadable or missing events_per_sec in %s\n",
+                  baseline_path);
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"bench\":\"perf\",\"smoke\":" << (smoke ? "true" : "false")
+     << ",\"hardware_concurrency\":" << hw
+     << ",\"single\":{\"protocol\":\"pbft\",\"sim_events\":" << single_events
+     << ",\"wall_s\":" << best_wall
+     << ",\"events_per_sec\":" << events_per_sec << "}"
+     << ",\"sweep\":{\"cells\":" << cells.size() << ",\"jobs\":" << jobs
+     << ",\"serial_s\":" << serial_s << ",\"parallel_s\":" << parallel_s
+     << ",\"speedup\":" << speedup << ",\"digests_identical\":"
+     << (digests_identical ? "true" : "false") << "}"
+     << ",\"baseline_events_per_sec\":" << baseline << "}";
+  std::string report = os.str();
+  std::string json_error;
+  bool json_ok = JsonWellFormed(report, &json_error);
+  if (!json_ok) std::printf("JSON report malformed: %s\n", json_error.c_str());
+  if (json_path != nullptr && json_ok) {
+    std::ofstream out(json_path);
+    out << report << "\n";
+    std::printf("json report: %s\n", json_path);
+  }
+
+  bench::Verdict(digests_identical && speedup_ok && baseline_ok && json_ok,
+                 "serial and parallel sweeps produce bit-identical digests "
+                 "for every protocol, the sweep speedup meets 3x where >=4 "
+                 "cores exist, and single-run events/sec holds the baseline "
+                 "within 20%");
+  if (!(digests_identical && speedup_ok && baseline_ok && json_ok)) {
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace bftlab
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  bftlab::Run(smoke, json_path, baseline_path);
+}

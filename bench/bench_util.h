@@ -15,8 +15,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "obs/export.h"
 
 namespace bftlab {
@@ -87,6 +90,64 @@ inline ExperimentResult MustRun(const ExperimentConfig& cfg) {
     std::exit(1);
   }
   return std::move(r).value();
+}
+
+/// Progress callback for sweeps: one carriage-return-overwritten counter
+/// line on stderr (stdout stays clean for the tables CI greps).
+inline void ProgressLine(size_t done, size_t total, size_t /*index*/,
+                         const Result<ExperimentResult>& /*result*/) {
+  std::fprintf(stderr, "\r[sweep] %zu/%zu", done, total);
+  if (done == total) std::fprintf(stderr, "\n");
+}
+
+/// Runs all cells through the parallel sweep runner (BFTLAB_JOBS workers;
+/// results in input order). Errors are returned per cell, not fatal —
+/// chaos benches treat violations as data.
+inline std::vector<Result<ExperimentResult>> Sweep(
+    const std::vector<ExperimentConfig>& cells) {
+  SweepOptions opts;
+  opts.progress = ProgressLine;
+  return RunSweep(cells, opts);
+}
+
+/// Sweeps or dies on the first failed cell (benches are scripts).
+inline std::vector<ExperimentResult> MustSweep(
+    const std::vector<ExperimentConfig>& cells) {
+  std::vector<Result<ExperimentResult>> results = Sweep(cells);
+  std::vector<ExperimentResult> out;
+  out.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "sweep cell %zu ('%s') failed: %s\n", i,
+                   cells[i].protocol.c_str(),
+                   results[i].status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(results[i]).value());
+  }
+  return out;
+}
+
+/// One labelled cell of a results table.
+struct Cell {
+  ExperimentConfig cfg;
+  std::string note;
+};
+
+/// The shared table printer: sweeps all cells in parallel, then prints
+/// the standard header plus one Row per cell (input order). Dies on the
+/// first failed cell.
+inline std::vector<ExperimentResult> SweepTable(
+    const std::vector<Cell>& cells) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(cells.size());
+  for (const Cell& c : cells) configs.push_back(c.cfg);
+  std::vector<ExperimentResult> results = MustSweep(configs);
+  Header();
+  for (size_t i = 0; i < results.size(); ++i) {
+    Row(results[i], cells[i].note);
+  }
+  return results;
 }
 
 }  // namespace bench

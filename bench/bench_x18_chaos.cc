@@ -6,6 +6,7 @@
 // The paper's partial-synchrony liveness claim, stress-tested end to end.
 
 #include <cinttypes>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -50,27 +51,6 @@ struct CellResult {
   std::vector<std::string> violations;
 };
 
-CellResult RunCell(const std::string& protocol, NemesisProfile profile) {
-  CellResult cell;
-  for (uint64_t seed : kSeeds) {
-    ++cell.runs;
-    Result<ExperimentResult> r =
-        RunExperiment(ChaosConfig(protocol, profile, seed));
-    if (!r.ok()) {
-      cell.violations.push_back(protocol + "/" +
-                                NemesisProfileName(profile) + " seed " +
-                                std::to_string(seed) + ": " +
-                                r.status().ToString());
-      continue;
-    }
-    ++cell.survived;
-    cell.faults += r->faults_injected;
-    cell.worst_recovery = std::max(cell.worst_recovery, r->recovery_us);
-    cell.post_gst_commits += r->counters["chaos.post_gst_commits"];
-  }
-  return cell;
-}
-
 void Run() {
   bench::Title(
       "X18: Chaos survival — Nemesis schedules vs the protocol families",
@@ -84,14 +64,43 @@ void Run() {
       NemesisProfile::kLight, NemesisProfile::kPartitionHeavy,
       NemesisProfile::kCrashHeavy, NemesisProfile::kByzantineMix};
 
+  // The full protocol x profile x seed grid runs as one parallel sweep.
+  // Oracle violations come back as per-cell errors (data, not crashes),
+  // so this uses RunSweep directly rather than MustSweep.
+  std::vector<ExperimentConfig> cells;
+  for (const std::string& protocol : protocols) {
+    for (NemesisProfile profile : profiles) {
+      for (uint64_t seed : kSeeds) {
+        cells.push_back(ChaosConfig(protocol, profile, seed));
+      }
+    }
+  }
+  std::vector<Result<ExperimentResult>> sweep = bench::Sweep(cells);
+
   std::printf("%-12s %-16s %9s %8s %14s %16s\n", "protocol", "profile",
               "survived", "faults", "recovery(ms)", "post-gst commits");
   uint32_t total_runs = 0, total_survived = 0;
   SimTime worst_recovery = 0;
   std::vector<std::string> violations;
+  size_t i = 0;
   for (const std::string& protocol : protocols) {
     for (NemesisProfile profile : profiles) {
-      CellResult cell = RunCell(protocol, profile);
+      CellResult cell;
+      for (uint64_t seed : kSeeds) {
+        Result<ExperimentResult>& r = sweep[i++];
+        ++cell.runs;
+        if (!r.ok()) {
+          cell.violations.push_back(protocol + "/" +
+                                    NemesisProfileName(profile) + " seed " +
+                                    std::to_string(seed) + ": " +
+                                    r.status().ToString());
+          continue;
+        }
+        ++cell.survived;
+        cell.faults += r->faults_injected;
+        cell.worst_recovery = std::max(cell.worst_recovery, r->recovery_us);
+        cell.post_gst_commits += r->counters["chaos.post_gst_commits"];
+      }
       total_runs += cell.runs;
       total_survived += cell.survived;
       worst_recovery = std::max(worst_recovery, cell.worst_recovery);
@@ -110,24 +119,23 @@ void Run() {
   }
 
   // Determinism spot-check: an identical (config, seed) pair must replay
-  // to the identical schedule and result.
+  // to a byte-identical result — Digest() covers the full Json() including
+  // the commit-history hash chain and the Nemesis schedule hash.
   ExperimentConfig cfg =
       ChaosConfig("pbft", NemesisProfile::kCrashHeavy, kSeeds[1]);
-  ExperimentResult a = bench::MustRun(cfg);
-  ExperimentResult b = bench::MustRun(cfg);
-  bool deterministic =
-      a.counters["chaos.schedule_hash"] == b.counters["chaos.schedule_hash"] &&
-      a.commits == b.commits && a.recovery_us == b.recovery_us;
+  std::vector<ExperimentResult> replay = bench::MustSweep({cfg, cfg});
+  bool deterministic = replay[0].Digest() == replay[1].Digest();
   std::printf("determinism replay: schedule_hash=%016" PRIx64
-              " commits=%" PRIu64 " -> %s\n",
-              a.counters["chaos.schedule_hash"], a.commits,
+              " commits=%" PRIu64 " digest=%.16s -> %s\n",
+              replay[0].counters["chaos.schedule_hash"], replay[0].commits,
+              replay[0].Digest().c_str(),
               deterministic ? "identical" : "DIVERGED");
 
   bench::Verdict(total_survived == total_runs && violations.empty() &&
                      worst_recovery <= kRecoveryBound && deterministic,
                  "all runs survive with zero oracle violations, recovery "
                  "stays within the 3s bound, and identical seeds replay "
-                 "identically");
+                 "to identical digests");
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 // roughly doubles PBFT's ordering cost per commit (quadratic prepare
 // round) while HotStuff's pipelined linear collection stays flat.
 //
+// All cells — every protocol at its recommended n, plus the n=16 growth
+// cells in full mode — run as one parallel sweep with one Tracer per
+// cell; analysis happens after the sweep, in input order.
+//
 // Flags:
 //   --smoke          short runs (CI): invariants + attribution only.
 //   --json <path>    write the machine-readable report (validated with
@@ -45,20 +49,21 @@ struct ProtocolBreakdown {
   std::map<std::string, double> phase_mean_us;  // Per-commit phase cost.
 };
 
-ProtocolBreakdown RunOne(const std::string& protocol, bool smoke,
-                         uint32_t n_override,
-                         const char* chrome_trace_path) {
-  Tracer tracer;
+ExperimentConfig TracedConfig(const std::string& protocol, bool smoke,
+                              uint32_t n_override, Tracer* tracer) {
   ExperimentConfig cfg;
   cfg.protocol = protocol;
   cfg.n_override = n_override;
   cfg.seed = 7;
   cfg.duration_us = smoke ? Millis(400) : Seconds(2);
-  cfg.tracer = &tracer;
-  ExperimentResult r = bench::MustRun(cfg);
+  cfg.tracer = tracer;
+  return cfg;
+}
 
+ProtocolBreakdown Analyze(const ExperimentResult& r, const Tracer& tracer,
+                          const char* chrome_trace_path) {
   ProtocolBreakdown out;
-  out.protocol = protocol;
+  out.protocol = r.protocol;
   out.n = r.n;
   out.commits = r.commits;
   out.trace_events = tracer.size();
@@ -92,7 +97,7 @@ ProtocolBreakdown RunOne(const std::string& protocol, bool smoke,
   if (chrome_trace_path != nullptr) {
     std::ofstream file(chrome_trace_path);
     ExportChromeTrace(tracer.events(), file);
-    std::printf("chrome trace (%s): %s (%zu events)\n", protocol.c_str(),
+    std::printf("chrome trace (%s): %s (%zu events)\n", out.protocol.c_str(),
                 chrome_trace_path, tracer.size());
   }
   return out;
@@ -163,13 +168,32 @@ void Run(bool smoke, const char* json_path, const char* trace_path) {
       "growing n=4 -> n=16 roughly doubles PBFT's quadratic ordering cost "
       "while HotStuff's linear collection stays flat");
 
+  // Cell list: every protocol at recommended n, then (full mode) the two
+  // n=16 growth cells. One Tracer per cell, owned here; the vector is
+  // sized once up front so the pointers handed to the configs are stable.
+  const std::vector<std::string> protocols = AllProtocolNames();
+  std::vector<std::pair<std::string, uint32_t>> jobs;
+  for (const std::string& protocol : protocols) jobs.emplace_back(protocol, 0);
+  if (!smoke) {
+    jobs.emplace_back("pbft", 16);
+    jobs.emplace_back("hotstuff", 16);
+  }
+  std::vector<Tracer> tracers(jobs.size());
+  std::vector<ExperimentConfig> cells;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    cells.push_back(
+        TracedConfig(jobs[i].first, smoke, jobs[i].second, &tracers[i]));
+  }
+  std::vector<ExperimentResult> results = bench::MustSweep(cells);
+
   std::printf("%-12s %3s %9s %8s %6s %10s %6s  %s\n", "protocol", "n",
               "commits", "events", "paths", "path(us)", "inv", "phases(us)");
   std::vector<ProtocolBreakdown> rows;
   bool all_ok = true;
-  for (const std::string& protocol : AllProtocolNames()) {
-    ProtocolBreakdown b = RunOne(protocol, smoke, /*n_override=*/0,
-                                 protocol == "pbft" ? trace_path : nullptr);
+  for (size_t i = 0; i < protocols.size(); ++i) {
+    ProtocolBreakdown b =
+        Analyze(results[i], tracers[i],
+                jobs[i].first == "pbft" ? trace_path : nullptr);
     std::printf("%-12s %3u %9" PRIu64 " %8zu %6zu %10.1f %6s  %s\n",
                 b.protocol.c_str(), b.n, b.commits, b.trace_events, b.paths,
                 b.mean_path_us, b.invariants_ok ? "ok" : "FAIL",
@@ -195,8 +219,11 @@ void Run(bool smoke, const char* json_path, const char* trace_path) {
       if (b.protocol == "pbft") pbft4 = OrderingUs(b);
       if (b.protocol == "hotstuff") hotstuff4 = OrderingUs(b);
     }
-    ProtocolBreakdown pbft16 = RunOne("pbft", smoke, 16, nullptr);
-    ProtocolBreakdown hs16 = RunOne("hotstuff", smoke, 16, nullptr);
+    size_t growth_base = protocols.size();
+    ProtocolBreakdown pbft16 =
+        Analyze(results[growth_base], tracers[growth_base], nullptr);
+    ProtocolBreakdown hs16 =
+        Analyze(results[growth_base + 1], tracers[growth_base + 1], nullptr);
     if (pbft4 > 0) pbft_growth = OrderingUs(pbft16) / pbft4;
     if (hotstuff4 > 0) hotstuff_growth = OrderingUs(hs16) / hotstuff4;
     std::printf("ordering growth n=4 -> n=16: pbft=%.2fx hotstuff=%.2fx\n",

@@ -4,36 +4,59 @@
 // message complexity O(n^2) -> O(n); extra phases cost latency,
 // especially on WAN links.
 
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 
 namespace bftlab {
+namespace {
+
+constexpr const char* kNets[] = {"lan", "wan"};
+constexpr uint32_t kFs[] = {1u, 2u, 4u, 8u};
+constexpr const char* kProtos[] = {"pbft", "sbft", "hotstuff"};
+
+ExperimentConfig MakeCell(const std::string& net, uint32_t f,
+                          const std::string& proto) {
+  ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.f = f;
+  cfg.num_clients = 8;
+  cfg.duration_us = Seconds(5);
+  cfg.net = net == "wan" ? NetworkConfig::Wan() : NetworkConfig::Lan();
+  if (net == "wan") {
+    cfg.view_change_timeout_us = Seconds(2);
+    cfg.client_retransmit_us = Seconds(3);
+  }
+  return cfg;
+}
 
 void Run() {
-  using bench::MustRun;
   bench::Title("X1: Linearization (DC1) — PBFT vs SBFT vs HotStuff",
                "linear protocols trade latency (more phases) for message "
                "complexity O(n) instead of O(n^2)");
 
+  // The full grid runs as one parallel sweep; tables print afterwards in
+  // input order, so the output is identical to the old serial loops.
+  std::vector<ExperimentConfig> cells;
+  for (const char* net : kNets) {
+    for (uint32_t f : kFs) {
+      for (const char* proto : kProtos) {
+        cells.push_back(MakeCell(net, f, proto));
+      }
+    }
+  }
+  std::vector<ExperimentResult> results = bench::MustSweep(cells);
+
   double pbft_wan_latency = 0, hs_wan_latency = 0;
   double pbft_msgs_25 = 0, sbft_msgs_25 = 0;
-
-  for (const char* net : {"lan", "wan"}) {
+  size_t i = 0;
+  for (const char* net : kNets) {
     std::printf("--- %s ---\n", net);
     bench::Header();
-    for (uint32_t f : {1u, 2u, 4u, 8u}) {
-      for (const char* proto : {"pbft", "sbft", "hotstuff"}) {
-        ExperimentConfig cfg;
-        cfg.protocol = proto;
-        cfg.f = f;
-        cfg.num_clients = 8;
-        cfg.duration_us = Seconds(5);
-        cfg.net = std::string(net) == "wan" ? NetworkConfig::Wan()
-                                            : NetworkConfig::Lan();
-        if (std::string(net) == "wan") {
-          cfg.view_change_timeout_us = Seconds(2);
-          cfg.client_retransmit_us = Seconds(3);
-        }
-        ExperimentResult r = MustRun(cfg);
+    for (uint32_t f : kFs) {
+      for (const char* proto : kProtos) {
+        const ExperimentResult& r = results[i++];
         bench::Row(r);
         if (std::string(net) == "wan" && f == 1) {
           if (std::string(proto) == "pbft") pbft_wan_latency = r.mean_latency_ms;
@@ -54,6 +77,7 @@ void Run() {
                  "latency (HotStuff mean > PBFT mean)");
 }
 
+}  // namespace
 }  // namespace bftlab
 
 int main() { bftlab::Run(); }

@@ -3,25 +3,25 @@
 namespace bftlab {
 
 void History::RecordInvoke(ClientId client, RequestTimestamp ts,
-                           const Buffer& operation, SimTime at) {
+                           Slice operation, SimTime at) {
   index_[{client, ts}] = ops_.size();
   HistoryOp op;
   op.client = client;
   op.ts = ts;
-  op.operation = operation;
+  op.operation = operation.ToBuffer();
   op.invoke_us = at;
   op.invoke_seq = next_event_seq_++;
   ops_.push_back(std::move(op));
 }
 
 void History::RecordComplete(ClientId client, RequestTimestamp ts,
-                             const Buffer& result, SimTime at) {
+                             Slice result, SimTime at) {
   auto it = index_.find({client, ts});
   if (it == index_.end()) return;  // Completion without a recorded invoke.
   HistoryOp& op = ops_[it->second];
   if (op.completed) return;
   op.completed = true;
-  op.result = result;
+  op.result = result.ToBuffer();
   op.complete_us = at;
   op.complete_seq = next_event_seq_++;
   ++completed_;

@@ -37,10 +37,10 @@ struct HistoryOp {
 /// Append-only record of a run's operations, in invocation order.
 class History : public HistoryRecorder {
  public:
-  void RecordInvoke(ClientId client, RequestTimestamp ts,
-                    const Buffer& operation, SimTime at) override;
-  void RecordComplete(ClientId client, RequestTimestamp ts,
-                      const Buffer& result, SimTime at) override;
+  void RecordInvoke(ClientId client, RequestTimestamp ts, Slice operation,
+                    SimTime at) override;
+  void RecordComplete(ClientId client, RequestTimestamp ts, Slice result,
+                      SimTime at) override;
 
   const std::vector<HistoryOp>& ops() const { return ops_; }
   size_t completed_count() const { return completed_; }

@@ -1,5 +1,6 @@
-// Slice (non-owning byte view) and Buffer (owning byte vector) used by the
-// codec, crypto, and message layers.
+// Slice (non-owning byte view), Buffer (owning byte vector), and
+// SharedBuffer (immutable refcounted payload) used by the codec, crypto,
+// and message layers.
 
 #ifndef BFTLAB_COMMON_BUFFER_H_
 #define BFTLAB_COMMON_BUFFER_H_
@@ -7,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,36 @@ class Slice {
  private:
   const uint8_t* data_;
   size_t size_;
+};
+
+/// Immutable byte payload shared by reference count. Copying a
+/// SharedBuffer — and therefore any request, batch, or message that
+/// embeds one — bumps a refcount instead of duplicating the bytes, so a
+/// payload batched, re-proposed, and retransmitted across the cluster is
+/// allocated exactly once.
+class SharedBuffer {
+ public:
+  SharedBuffer() = default;
+  SharedBuffer(Buffer bytes)  // NOLINT(runtime/explicit)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const Buffer>(std::move(bytes))) {}
+
+  const uint8_t* data() const { return data_ ? data_->data() : nullptr; }
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  Slice slice() const { return Slice(data(), size()); }
+  operator Slice() const { return slice(); }  // NOLINT(runtime/explicit)
+
+  /// Copies the viewed bytes into an owning Buffer.
+  Buffer ToBuffer() const { return slice().ToBuffer(); }
+
+  bool operator==(const SharedBuffer& o) const { return slice() == o.slice(); }
+  bool operator!=(const SharedBuffer& o) const { return !(*this == o); }
+
+ private:
+  std::shared_ptr<const Buffer> data_;
 };
 
 }  // namespace bftlab

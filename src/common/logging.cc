@@ -7,7 +7,10 @@ namespace bftlab {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-LogContext g_context;  // Single-threaded simulator: no synchronization.
+// One simulation is single-threaded, but the sweep runner (core/sweep.h)
+// executes independent simulations on concurrent workers; thread-local
+// context keeps their log prefixes from interleaving.
+thread_local LogContext g_context;
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -6,6 +6,7 @@
 
 #include "chaos/history.h"
 #include "chaos/linearizability.h"
+#include "crypto/sha256.h"
 #include "obs/export.h"
 
 namespace bftlab {
@@ -42,7 +43,9 @@ std::string ExperimentResult::Json() const {
      << ",\"max_node_msgs\":" << max_node_msgs
      << ",\"order_inversion_fraction\":" << order_inversion_fraction
      << ",\"recovery_us\":" << recovery_us
-     << ",\"faults_injected\":" << faults_injected;
+     << ",\"faults_injected\":" << faults_injected
+     << ",\"sim_events\":" << sim_events
+     << ",\"commit_chain\":\"" << JsonEscape(commit_chain) << "\"";
   os << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters) {
@@ -59,6 +62,10 @@ std::string ExperimentResult::Json() const {
   }
   os << "}}";
   return os.str();
+}
+
+std::string ExperimentResult::Digest() const {
+  return Sha256::Hash(Json()).ToHex();
 }
 
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
@@ -162,8 +169,25 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   r.load_imbalance = m.MsgLoadImbalance();
   r.max_node_msgs = m.MaxNodeMsgLoad();
   r.order_inversion_fraction = m.OrderInversionFraction(Millis(1));
+  r.sim_events = cluster.sim().events_processed();
   r.counters = m.counters();
   r.msgs_by_type = m.msgs_by_type();
+
+  // Commit-history hash: chain the lowest-id correct replica's finalized
+  // (seq, digest) pairs so Digest() changes if any ordering decision did.
+  {
+    std::vector<ReplicaId> correct = cluster.CorrectReplicas();
+    ReplicaId witness = correct.empty() ? 0 : correct.front();
+    Sha256 h;
+    for (const auto& [seq, digest] :
+         cluster.replica(witness).finalized_digests()) {
+      Encoder enc;
+      enc.PutU64(seq);
+      enc.PutRaw(digest.AsSlice());
+      h.Update(enc.buffer());
+    }
+    r.commit_chain = h.Finalize().ToHex();
+  }
 
   // Safety is checked on every run: an experiment that violates agreement
   // is reported as an error, never as a data point. Protocols without a

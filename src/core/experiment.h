@@ -95,6 +95,12 @@ struct ExperimentResult {
   SimTime recovery_us = 0;
   /// Chaos runs: faults the Nemesis actually injected.
   uint64_t faults_injected = 0;
+  /// Simulator events executed during the run (the perf-harness metric).
+  uint64_t sim_events = 0;
+  /// Hash chain over the lowest-id correct replica's finalized
+  /// (seq, digest) history — the run's commit history in one value, so
+  /// two runs that ordered anything differently cannot share a Digest().
+  std::string commit_chain;
   std::map<std::string, uint64_t> counters;
   /// Messages sent per Message::type() across the run.
   std::map<uint32_t, uint64_t> msgs_by_type;
@@ -106,6 +112,11 @@ struct ExperimentResult {
   /// The full result as one JSON object (machine-readable telemetry; see
   /// DESIGN.md §8). Always well-formed per obs/export.h JsonWellFormed.
   std::string Json() const;
+
+  /// Stable SHA-256 (hex) over Json(): two runs produced byte-identical
+  /// results — including the commit history — iff their digests match.
+  /// What the determinism harness compares across serial/parallel sweeps.
+  std::string Digest() const;
 };
 
 /// Runs one experiment; deterministic in (config, seed).

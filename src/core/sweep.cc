@@ -1,0 +1,82 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace bftlab {
+
+namespace {
+
+Result<ExperimentResult> RunCellIsolated(const ExperimentConfig& cell) {
+  try {
+    return RunExperiment(cell);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("cell threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("cell threw a non-exception");
+  }
+}
+
+}  // namespace
+
+unsigned ResolveSweepJobs(unsigned requested, size_t cells) {
+  unsigned jobs = requested;
+  if (jobs == 0) {
+    if (const char* env = std::getenv("BFTLAB_JOBS");
+        env != nullptr && *env != '\0') {
+      long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) jobs = static_cast<unsigned>(parsed);
+    }
+  }
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (cells > 0 && jobs > cells) jobs = static_cast<unsigned>(cells);
+  return jobs;
+}
+
+std::vector<Result<ExperimentResult>> RunSweep(
+    const std::vector<ExperimentConfig>& cells, SweepOptions options) {
+  // Result slots are preallocated so each worker writes only its own
+  // index; input order in = result order out, whatever finishes first.
+  std::vector<Result<ExperimentResult>> results(
+      cells.size(), Status::Internal("cell never ran"));
+  if (cells.empty()) return results;
+
+  unsigned jobs = ResolveSweepJobs(options.jobs, cells.size());
+  if (jobs <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = RunCellIsolated(cells[i]);
+      if (options.progress) {
+        options.progress(i + 1, cells.size(), i, results[i]);
+      }
+    }
+    return results;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mu;
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      results[i] = RunCellIsolated(cells[i]);
+      size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        options.progress(finished, cells.size(), i, results[i]);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,51 @@
+// Parallel sweep runner: executes independent experiment cells on a
+// worker pool. Every cell is one RunExperiment call, and a run is a pure
+// function of its (config, seed) — simulations share no mutable state —
+// so executing cells concurrently cannot change any result, only the
+// wall-clock time to produce all of them. Results are returned in input
+// order regardless of completion order, which makes a parallel sweep
+// byte-identical to a serial one (the determinism harness asserts this).
+//
+// Parallelism lives strictly *between* runs, never inside one: each
+// simulation stays a single-threaded event loop (see DESIGN.md §9).
+
+#ifndef BFTLAB_CORE_SWEEP_H_
+#define BFTLAB_CORE_SWEEP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace bftlab {
+
+struct SweepOptions {
+  /// Worker threads. 0 = the BFTLAB_JOBS environment variable if set,
+  /// else the hardware thread count. 1 runs every cell inline on the
+  /// calling thread (a true serial sweep, bit-for-bit the baseline).
+  unsigned jobs = 0;
+  /// Progress callback, invoked after each finished cell — serialized
+  /// (never concurrently) but from whichever worker finished:
+  /// (cells finished so far, total cells, index of the finished cell,
+  /// its result).
+  std::function<void(size_t done, size_t total, size_t index,
+                     const Result<ExperimentResult>& result)>
+      progress;
+};
+
+/// Resolves the effective worker count for a sweep of `cells` cells:
+/// explicit `requested` > BFTLAB_JOBS > hardware concurrency, then
+/// clamped to [1, cells].
+unsigned ResolveSweepJobs(unsigned requested, size_t cells);
+
+/// Runs every cell, each on its own single-threaded simulator, spreading
+/// cells over the worker pool. Per-cell error isolation: a failed or
+/// throwing cell yields an error Result at its index and the remaining
+/// cells still run.
+std::vector<Result<ExperimentResult>> RunSweep(
+    const std::vector<ExperimentConfig>& cells, SweepOptions options = {});
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SWEEP_H_

@@ -2,41 +2,67 @@
 
 namespace bftlab {
 
-EventId Simulator::ScheduleCancelable(SimTime delay, std::function<void()> fn) {
-  EventId id = next_event_id_++;
+void Simulator::Push(SimTime delay, uint32_t slot, SimTask fn) {
   Event ev;
   ev.time = now_ + delay;
   ev.seq = next_seq_++;
-  ev.id = id;
+  ev.slot = slot;
   ev.fn = std::move(fn);
   queue_.push(std::move(ev));
-  live_.insert(id);
-  return id;
+  ++live_count_;
+}
+
+EventId Simulator::ScheduleCancelable(SimTime delay, SimTask fn) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.generation;
+  s.pending = true;
+  s.canceled = false;
+  Push(delay, slot, std::move(fn));
+  return (static_cast<EventId>(slot) + 1) << 32 | s.generation;
 }
 
 void Simulator::Cancel(EventId id) {
   if (id == kInvalidEvent) return;
-  // Only events still in the queue can be canceled; a Cancel after the
-  // event fired is a harmless no-op.
-  auto it = live_.find(id);
-  if (it == live_.end()) return;
-  live_.erase(it);
-  canceled_.insert(id);
+  uint32_t slot = static_cast<uint32_t>(id >> 32) - 1;
+  uint32_t generation = static_cast<uint32_t>(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // A stale handle (event already fired or canceled, slot possibly
+  // recycled) fails one of these checks; canceling it is a harmless no-op.
+  if (!s.pending || s.canceled || s.generation != generation) return;
+  s.canceled = true;
+  --live_count_;
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.pending = false;
+  s.canceled = false;
+  free_slots_.push_back(slot);
 }
 
 bool Simulator::Step(SimTime deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (canceled_.count(top.id)) {
-      canceled_.erase(top.id);
-      queue_.pop();
+    if (top.slot != kNoSlot && slots_[top.slot].canceled) {
+      ReleaseSlot(top.slot);
+      queue_.pop();  // live_count_ already dropped in Cancel().
       continue;
     }
     if (top.time > deadline) return false;
     // Move out before popping; pop invalidates the reference.
     Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
-    live_.erase(ev.id);
+    if (ev.slot != kNoSlot) ReleaseSlot(ev.slot);
+    --live_count_;
     now_ = ev.time;
     ++events_processed_;
     ev.fn();
@@ -62,7 +88,5 @@ bool Simulator::RunUntilPredicate(const std::function<bool()>& pred,
   if (now_ < deadline && Idle()) now_ = deadline;
   return pred();
 }
-
-bool Simulator::Idle() const { return live_.empty(); }
 
 }  // namespace bftlab

@@ -1,23 +1,118 @@
 // Deterministic discrete-event simulator. A run is a pure function of
 // (configuration, seed): the event queue orders by (time, insertion seq),
 // and all randomness flows from one seeded Rng.
+//
+// Hot-path design: the loop avoids per-event heap traffic. Closures are
+// stored in SimTask (a move-only callable with inline storage sized for
+// the network's delivery lambdas, where std::function would heap-allocate
+// every capture larger than two pointers), and cancellation is an O(1)
+// slot/generation tombstone instead of hash-set bookkeeping: cancelable
+// events carry a slot index into a reusable slab, Cancel() flips one flag,
+// and stale handles are rejected by generation mismatch.
 
 #ifndef BFTLAB_SIM_SIMULATOR_H_
 #define BFTLAB_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace bftlab {
 
-/// Handle for cancelable events (timers).
+/// Handle for cancelable events (timers). Encodes (slot, generation); a
+/// handle goes stale the moment its event fires or is canceled, and stale
+/// handles are harmless no-ops forever after.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Move-only callable with inline storage for small captures. The event
+/// loop's replacement for std::function: delivery closures (a Packet plus
+/// an arrival time) fit in the inline buffer, so scheduling a message
+/// send allocates nothing.
+class SimTask {
+ public:
+  static constexpr size_t kInlineBytes = 64;
+
+  SimTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SimTask>>>
+  SimTask(F&& fn) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      new (storage_) Fn(std::forward<F>(fn));
+      vtable_ = &kInlineVtable<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      vtable_ = &kHeapVtable<Fn>;
+    }
+  }
+
+  SimTask(SimTask&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->relocate(storage_, other.storage_);
+    other.vtable_ = nullptr;
+  }
+
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this == &other) return *this;
+    if (vtable_ != nullptr) vtable_->destroy(storage_);
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) vtable_->relocate(storage_, other.storage_);
+    other.vtable_ = nullptr;
+    return *this;
+  }
+
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+
+  ~SimTask() {
+    if (vtable_ != nullptr) vtable_->destroy(storage_);
+  }
+
+  void operator()() { vtable_->invoke(storage_); }
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVtable = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVtable = {
+      [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
 
 /// Single-threaded virtual-time event loop.
 class Simulator {
@@ -29,13 +124,15 @@ class Simulator {
   /// Current virtual time in microseconds.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` microseconds from now.
-  void Schedule(SimTime delay, std::function<void()> fn) {
-    ScheduleCancelable(delay, std::move(fn));
+  /// Schedules `fn` to run `delay` microseconds from now. Non-cancelable:
+  /// skips the tombstone slab entirely (the bulk of all events — message
+  /// deliveries — take this path).
+  void Schedule(SimTime delay, SimTask fn) {
+    Push(delay, kNoSlot, std::move(fn));
   }
 
   /// Schedules `fn` and returns a handle usable with Cancel().
-  EventId ScheduleCancelable(SimTime delay, std::function<void()> fn);
+  EventId ScheduleCancelable(SimTime delay, SimTask fn);
 
   /// Cancels a pending event; no-op if it already fired or was canceled.
   void Cancel(EventId id);
@@ -53,14 +150,23 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
 
   /// True when no pending (non-canceled) events remain.
-  bool Idle() const;
+  bool Idle() const { return live_count_ == 0; }
+
+  /// Pending (non-canceled) events.
+  size_t live_events() const { return live_count_; }
+
+  /// Size of the cancelable-event slab: bounded by the peak number of
+  /// concurrently pending cancelable events, never by churn volume.
+  size_t cancelable_slots() const { return slots_.size(); }
 
  private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   struct Event {
     SimTime time;
     uint64_t seq;   // Tie-break: FIFO among same-time events.
-    EventId id;
-    std::function<void()> fn;
+    uint32_t slot;  // kNoSlot for non-cancelable events.
+    SimTask fn;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -68,6 +174,17 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  /// Cancellation state of one cancelable event. Slots are recycled via a
+  /// free list; the generation distinguishes the current occupant from
+  /// stale EventId handles of previous ones.
+  struct Slot {
+    uint32_t generation = 0;
+    bool pending = false;   // An event in the queue references this slot.
+    bool canceled = false;
+  };
+
+  void Push(SimTime delay, uint32_t slot, SimTask fn);
+  void ReleaseSlot(uint32_t slot);
 
   /// Pops and runs one event; returns false when the queue is empty or the
   /// next event is past the deadline.
@@ -75,11 +192,11 @@ class Simulator {
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
-  EventId next_event_id_ = 1;
   uint64_t events_processed_ = 0;
+  size_t live_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> live_;      // Scheduled, not yet fired/canceled.
-  std::unordered_set<EventId> canceled_;  // Canceled, not yet popped.
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace bftlab

@@ -36,10 +36,10 @@ class HistoryRecorder {
   virtual ~HistoryRecorder() = default;
   /// A request entered the network (operation = encoded payload).
   virtual void RecordInvoke(ClientId client, RequestTimestamp ts,
-                            const Buffer& operation, SimTime at) = 0;
+                            Slice operation, SimTime at) = 0;
   /// The request was accepted with `result`.
   virtual void RecordComplete(ClientId client, RequestTimestamp ts,
-                              const Buffer& result, SimTime at) = 0;
+                              Slice result, SimTime at) = 0;
 };
 
 struct ClientConfig {

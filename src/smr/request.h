@@ -28,7 +28,10 @@ enum SmrMessageType : uint32_t {
 struct ClientRequest {
   ClientId client = 0;
   RequestTimestamp timestamp = 0;  // Per-client, strictly increasing.
-  Buffer operation;                // State-machine opcode payload.
+  /// State-machine opcode payload. Shared and immutable: copying the
+  /// request into batches, proposals, and retransmissions shares one
+  /// allocation instead of duplicating the bytes.
+  SharedBuffer operation;
   Signature signature;             // Client's signature over the body.
 
   /// Encodes the signed body (everything except the signature).

@@ -1,0 +1,194 @@
+// The determinism contract (DESIGN.md §9), enforced: a run is a pure
+// function of (config, seed). Every registered protocol must replay to a
+// byte-identical ExperimentResult — Json() and Digest() — whether run
+// twice back-to-back, serially, or on the parallel sweep runner's worker
+// pool; chaos (Nemesis) and tracer-attached configs included.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos/linearizability.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "core/sweep.h"
+#include "obs/trace.h"
+
+namespace bftlab {
+namespace {
+
+ExperimentConfig ShortConfig(const std::string& protocol, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.seed = seed;
+  cfg.duration_us = Millis(300);
+  return cfg;
+}
+
+ExperimentConfig ChaosConfig() {
+  ExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.num_clients = 3;
+  cfg.seed = 11;
+  cfg.cost_model = CryptoCostModel::Free();
+  cfg.checkpoint_interval = 32;
+  cfg.view_change_timeout_us = Millis(300);
+  cfg.client_retransmit_us = Millis(200);
+  cfg.client_backoff = 1.5;
+  cfg.client_retransmit_cap_us = Seconds(2);
+  cfg.op_generator = ChaosKvWorkload(4);
+  NemesisSpec spec;
+  spec.profile = NemesisProfile::kCrashHeavy;
+  spec.seed = 11;
+  spec.start_us = Millis(300);
+  spec.gst_us = Millis(1500);
+  cfg.nemesis = spec;
+  cfg.duration_us = Seconds(4);
+  cfg.recovery_bound_us = Seconds(3);
+  return cfg;
+}
+
+// Every protocol, run twice back-to-back in-process: byte-identical
+// Json() (and therefore Digest()). Catches any leaked mutable state
+// between runs — globals, statics, iteration-order dependence.
+TEST(DeterminismTest, EveryProtocolReplaysByteIdentical) {
+  for (const std::string& protocol : AllProtocolNames()) {
+    Result<ExperimentResult> a = RunExperiment(ShortConfig(protocol, 5));
+    Result<ExperimentResult> b = RunExperiment(ShortConfig(protocol, 5));
+    ASSERT_TRUE(a.ok()) << protocol << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << protocol << ": " << b.status().ToString();
+    EXPECT_GT(a->commits, 0u) << protocol;
+    EXPECT_EQ(a->Json(), b->Json()) << protocol;
+    EXPECT_EQ(a->Digest(), b->Digest()) << protocol;
+  }
+}
+
+// The core sweep contract: the parallel worker pool produces exactly the
+// results a serial loop does, per cell, in input order. Cells cover every
+// protocol at two seeds so scheduling has real work to interleave.
+TEST(DeterminismTest, SerialAndParallelSweepsMatchPerCell) {
+  std::vector<ExperimentConfig> cells;
+  for (const std::string& protocol : AllProtocolNames()) {
+    cells.push_back(ShortConfig(protocol, 1));
+    cells.push_back(ShortConfig(protocol, 2));
+  }
+  SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  SweepOptions parallel_opts;
+  parallel_opts.jobs = 4;
+  std::vector<Result<ExperimentResult>> serial = RunSweep(cells, serial_opts);
+  std::vector<Result<ExperimentResult>> parallel =
+      RunSweep(cells, parallel_opts);
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok())
+        << cells[i].protocol << ": " << serial[i].status().ToString();
+    ASSERT_TRUE(parallel[i].ok())
+        << cells[i].protocol << ": " << parallel[i].status().ToString();
+    EXPECT_EQ(serial[i]->protocol, cells[i].protocol) << "order broke at " << i;
+    EXPECT_EQ(serial[i]->Json(), parallel[i]->Json()) << cells[i].protocol;
+    EXPECT_EQ(serial[i]->Digest(), parallel[i]->Digest()) << cells[i].protocol;
+  }
+}
+
+// Chaos runs carry the most schedule-sensitive state (Nemesis fault
+// timeline, client histories, recovery measurement); they too must be
+// bit-identical across the worker pool.
+TEST(DeterminismTest, ChaosRunsReplayIdenticallyOnWorkerPool) {
+  ExperimentConfig cfg = ChaosConfig();
+  std::vector<ExperimentConfig> cells = {cfg, cfg};
+  SweepOptions opts;
+  opts.jobs = 2;
+  std::vector<Result<ExperimentResult>> r = RunSweep(cells, opts);
+  ASSERT_TRUE(r[0].ok()) << r[0].status().ToString();
+  ASSERT_TRUE(r[1].ok()) << r[1].status().ToString();
+  EXPECT_GT(r[0]->faults_injected, 0u);
+  EXPECT_EQ(r[0]->counters["chaos.schedule_hash"],
+            r[1]->counters["chaos.schedule_hash"]);
+  EXPECT_EQ(r[0]->Json(), r[1]->Json());
+  EXPECT_EQ(r[0]->Digest(), r[1]->Digest());
+}
+
+// Attaching a tracer must not perturb the run (same digest as untraced),
+// and two traced runs must record identical event streams.
+TEST(DeterminismTest, TracerAttachedRunsAreDeterministic) {
+  ExperimentConfig plain = ShortConfig("pbft", 7);
+  Result<ExperimentResult> untraced = RunExperiment(plain);
+  ASSERT_TRUE(untraced.ok());
+
+  Tracer ta, tb;
+  ExperimentConfig cfga = plain;
+  cfga.tracer = &ta;
+  ExperimentConfig cfgb = plain;
+  cfgb.tracer = &tb;
+  SweepOptions opts;
+  opts.jobs = 2;
+  std::vector<Result<ExperimentResult>> r = RunSweep({cfga, cfgb}, opts);
+  ASSERT_TRUE(r[0].ok()) << r[0].status().ToString();
+  ASSERT_TRUE(r[1].ok()) << r[1].status().ToString();
+  EXPECT_EQ(r[0]->Digest(), r[1]->Digest());
+  EXPECT_EQ(r[0]->Digest(), untraced->Digest());
+  EXPECT_GT(ta.size(), 0u);
+  EXPECT_EQ(ta.size(), tb.size());
+}
+
+// Per-cell error isolation: a bad cell reports its error in its own slot;
+// neighbours run to completion unaffected.
+TEST(DeterminismTest, SweepIsolatesFailingCells) {
+  std::vector<ExperimentConfig> cells = {ShortConfig("pbft", 1),
+                                         ShortConfig("no-such-protocol", 1),
+                                         ShortConfig("hotstuff", 1)};
+  SweepOptions opts;
+  opts.jobs = 3;
+  std::vector<Result<ExperimentResult>> r = RunSweep(cells, opts);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r[0].ok());
+  EXPECT_FALSE(r[1].ok());
+  EXPECT_TRUE(r[2].ok());
+  EXPECT_EQ(r[0]->protocol, "pbft");
+  EXPECT_EQ(r[2]->protocol, "hotstuff");
+}
+
+// Progress callbacks: `done` counts each completion exactly once up to
+// the total, and the reported per-cell results are final.
+TEST(DeterminismTest, SweepProgressCountsEveryCell) {
+  std::vector<ExperimentConfig> cells(4, ShortConfig("pbft", 3));
+  std::vector<size_t> dones;
+  size_t ok_cells = 0;
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = [&](size_t done, size_t total, size_t index,
+                      const Result<ExperimentResult>& r) {
+    EXPECT_EQ(total, cells.size());
+    EXPECT_LT(index, cells.size());
+    dones.push_back(done);
+    if (r.ok()) ++ok_cells;
+  };
+  RunSweep(cells, opts);
+  ASSERT_EQ(dones.size(), cells.size());
+  // The callback is serialized under a mutex; done values are the
+  // sequence 1..N in completion order.
+  std::sort(dones.begin(), dones.end());
+  for (size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i + 1);
+  EXPECT_EQ(ok_cells, cells.size());
+}
+
+// BFTLAB_JOBS resolution order: explicit option beats the env var beats
+// hardware_concurrency; everything clamps to the cell count.
+TEST(DeterminismTest, ResolveSweepJobsHonorsEnvAndClamp) {
+  ::setenv("BFTLAB_JOBS", "3", 1);
+  EXPECT_EQ(ResolveSweepJobs(0, 100), 3u);
+  EXPECT_EQ(ResolveSweepJobs(5, 100), 5u);  // Explicit wins over env.
+  EXPECT_EQ(ResolveSweepJobs(0, 2), 2u);    // Clamped to cells.
+  ::setenv("BFTLAB_JOBS", "not-a-number", 1);
+  EXPECT_GE(ResolveSweepJobs(0, 100), 1u);  // Garbage env falls through.
+  ::unsetenv("BFTLAB_JOBS");
+  EXPECT_GE(ResolveSweepJobs(0, 100), 1u);
+}
+
+}  // namespace
+}  // namespace bftlab

@@ -70,6 +70,116 @@ TEST(SimulatorTest, CancelAfterFireIsNoop) {
   EXPECT_TRUE(sim.Idle());
 }
 
+TEST(SimulatorTest, StaleEventIdAfterSlotReuseIsSafe) {
+  // Slots recycle through a free list, so a fired timer's EventId may
+  // name a slot now owned by a newer timer. The generation stamp must
+  // make the stale handle a no-op instead of killing the new timer.
+  Simulator sim;
+  int a_fires = 0, b_fires = 0;
+  EventId a = sim.ScheduleCancelable(10, [&] { ++a_fires; });
+  sim.RunUntil(20);
+  EXPECT_EQ(a_fires, 1);
+  EventId b = sim.ScheduleCancelable(10, [&] { ++b_fires; });
+  EXPECT_NE(a, b);  // Same slot, different generation.
+  sim.Cancel(a);    // Stale: must not touch b.
+  sim.Cancel(a);    // Idempotent on stale handles too.
+  sim.RunUntil(40);
+  EXPECT_EQ(b_fires, 1);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, DoubleCancelAndInvalidCancelAreNoops) {
+  Simulator sim;
+  int ran = 0;
+  EventId id = sim.ScheduleCancelable(10, [&] { ++ran; });
+  sim.Cancel(id);
+  sim.Cancel(id);             // Second cancel of a tombstone.
+  sim.Cancel(kInvalidEvent);  // Null handle.
+  sim.Cancel(~EventId{0});    // Out-of-range slot.
+  EXPECT_EQ(sim.live_events(), 0u);
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 0);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, RearmChurnOnlyLastArmedTimerFires) {
+  // The network-timer pattern: one logical timer disarmed and rearmed
+  // many times. Exactly the final arming may fire. Tombstones hold their
+  // slot until their scheduled time passes, so after a full drain the
+  // pool is recycled: a second churn round allocates no new slots.
+  Simulator sim;
+  int fires = 0;
+  EventId id = kInvalidEvent;
+  for (int i = 0; i < 1000; ++i) {
+    sim.Cancel(id);
+    id = sim.ScheduleCancelable(50, [&] { ++fires; });
+  }
+  sim.RunUntil(100);
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.live_events(), 0u);
+  size_t pool = sim.cancelable_slots();
+  id = kInvalidEvent;
+  for (int i = 0; i < 1000; ++i) {
+    sim.Cancel(id);
+    id = sim.ScheduleCancelable(50, [&] { ++fires; });
+  }
+  sim.RunUntil(200);
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.cancelable_slots(), pool);
+}
+
+TEST(SimulatorTest, ChurnStressHundredThousandTimers) {
+  // 100k schedule/cancel/rearm operations with RunUntil interleaved.
+  // EventIds recycle, so fires are tracked per unique token, never by id.
+  Simulator sim;
+  Rng rng(42);
+  constexpr size_t kTimers = 100000;
+  struct Armed {
+    EventId id;
+    size_t token;
+  };
+  std::vector<Armed> armed;
+  std::vector<char> fired(kTimers, 0);
+  std::vector<char> canceled(kTimers, 0);
+  uint64_t expected_fires = 0;
+  for (size_t token = 0; token < kTimers; ++token) {
+    SimTime delay = 1 + rng.NextBelow(1000);
+    EventId id = sim.ScheduleCancelable(delay, [&fired, token] {
+      ASSERT_FALSE(fired[token]) << "timer " << token << " fired twice";
+      fired[token] = 1;
+    });
+    armed.push_back({id, token});
+    if (rng.NextBool(0.4)) {
+      // Cancel a random earlier timer; its id may be stale (already
+      // fired, slot reused) — Cancel must only take on the live one.
+      const Armed& victim = armed[rng.NextBelow(armed.size())];
+      sim.Cancel(victim.id);
+      if (!fired[victim.token] && !canceled[victim.token]) {
+        canceled[victim.token] = 1;
+      }
+    }
+    if (token % 1024 == 0) sim.RunUntil(sim.now() + 500);
+  }
+  sim.RunUntil(sim.now() + 1001);  // All delays <= 1000: full drain.
+
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.live_events(), 0u);
+  for (size_t token = 0; token < kTimers; ++token) {
+    ASSERT_EQ(fired[token] != 0, canceled[token] == 0)
+        << "timer " << token << (canceled[token] ? " fired after cancel"
+                                                 : " never fired");
+    if (!canceled[token]) ++expected_fires;
+  }
+  // Canceled events never execute, and events_processed counts exactly
+  // the fired ones.
+  EXPECT_EQ(sim.events_processed(), expected_fires);
+  // Tombstone memory: the slot pool tracks peak concurrency, not total
+  // churn — with periodic drains it must stay far below 100k slots.
+  EXPECT_LE(sim.cancelable_slots(), kTimers / 10);
+}
+
 TEST(SimulatorTest, EventsScheduledDuringEventsRun) {
   Simulator sim;
   int depth = 0;
