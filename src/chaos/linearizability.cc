@@ -9,20 +9,31 @@
 #include <vector>
 
 #include "smr/kv_op.h"
+#include "smr/kv_txn.h"
 
 namespace bftlab {
 namespace {
 
-// One operation projected onto a single key. Real-time precedence uses
-// (time, event-seq) lexicographically: a completion and an invocation in
-// the same simulated microsecond are ordered by which was recorded first
-// (a closed-loop client completes op k and invokes op k+1 at one instant,
-// and the completion happens-before the invocation).
-struct KeyOp {
+// One sequential step projected onto a key; `check`/`expect` carry the
+// client-observed result for completed operations.
+struct KeyEffect {
   KvOpCode code = KvOpCode::kGet;
   std::string value;  // kPut.
   int64_t delta = 0;  // kAdd.
-  std::string result;
+  bool check = false;
+  std::string expect;
+};
+
+// One operation projected onto a single key: a single KvOp contributes
+// one effect; a committed transaction contributes its same-key sub-ops
+// as an atomic effect sequence (all linearize at one point, so no
+// partial transaction is ever visible within a key). Real-time
+// precedence uses (time, event-seq) lexicographically: a completion and
+// an invocation in the same simulated microsecond are ordered by which
+// was recorded first (a closed-loop client completes op k and invokes op
+// k+1 at one instant, and the completion happens-before the invocation).
+struct KeyOp {
+  std::vector<KeyEffect> effects;
   SimTime invoke = 0;
   SimTime response = kSimTimeInfinity;  // Infinity = pending.
   uint64_t invoke_seq = 0;
@@ -36,11 +47,11 @@ struct RegState {
   std::string value;
 };
 
-std::string ApplyModel(const KeyOp& op, RegState* st) {
-  switch (op.code) {
+std::string ApplyEffect(const KeyEffect& e, RegState* st) {
+  switch (e.code) {
     case KvOpCode::kPut:
       st->exists = true;
-      st->value = op.value;
+      st->value = e.value;
       return "OK";
     case KvOpCode::kGet:
       return st->exists ? st->value : "";
@@ -53,13 +64,23 @@ std::string ApplyModel(const KeyOp& op, RegState* st) {
     case KvOpCode::kAdd: {
       int64_t current =
           st->exists ? std::strtoll(st->value.c_str(), nullptr, 10) : 0;
-      current += op.delta;
+      current += e.delta;
       st->exists = true;
       st->value = std::to_string(current);
       return st->value;
     }
   }
   return "";
+}
+
+// Applies the whole (atomic) effect sequence; false on any observed
+// result mismatching the model.
+bool ApplyModel(const KeyOp& op, RegState* st) {
+  for (const KeyEffect& e : op.effects) {
+    std::string result = ApplyEffect(e, st);
+    if (e.check && result != e.expect) return false;
+  }
+  return true;
 }
 
 // Wing & Gong search: repeatedly pick an operation that no unlinearized
@@ -101,8 +122,8 @@ class KeySearch {
         continue;
       }
       RegState saved = state_;
-      std::string result = ApplyModel(ops_[i], &state_);
-      if (!ops_[i].completed || result == ops_[i].result) {
+      bool consistent = ApplyModel(ops_[i], &state_);
+      if (consistent) {
         linearized_[i] = 1;
         if (ops_[i].completed) --remaining_completed_;
         if (Dfs()) return true;
@@ -156,17 +177,44 @@ std::string DescribeKey(const std::string& key,
       os << " ...";
       break;
     }
-    os << " " << OpName(op.code);
-    if (op.code == KvOpCode::kPut) os << "(" << op.value << ")";
-    if (op.code == KvOpCode::kAdd) os << "(+" << op.delta << ")";
+    if (op.effects.size() > 1) os << " txn[";
+    for (size_t i = 0; i < op.effects.size(); ++i) {
+      const KeyEffect& e = op.effects[i];
+      os << (i ? " " : "") << OpName(e.code);
+      if (e.code == KvOpCode::kPut) os << "(" << e.value << ")";
+      if (e.code == KvOpCode::kAdd) os << "(+" << e.delta << ")";
+      if (e.check) os << "->'" << e.expect << "'";
+    }
+    if (op.effects.size() > 1) os << "]";
     if (op.completed) {
-      os << "->'" << op.result << "'[" << op.invoke << "," << op.response
-         << "]";
+      os << "[" << op.invoke << "," << op.response << "]";
     } else {
       os << "->?[" << op.invoke << ",)";
     }
   }
   return os.str();
+}
+
+// Stamps the history timing fields shared by every projection of one
+// HistoryOp.
+KeyOp MakeKeyOp(const HistoryOp& op) {
+  KeyOp ko;
+  ko.invoke = op.invoke_us;
+  ko.invoke_seq = op.invoke_seq;
+  ko.completed = op.completed;
+  if (op.completed) {
+    ko.response = op.complete_us;
+    ko.response_seq = op.complete_seq;
+  }
+  return ko;
+}
+
+KeyEffect MakeEffect(const KvOp& op) {
+  KeyEffect e;
+  e.code = op.code;
+  e.value = op.value;
+  e.delta = op.delta;
+  return e;
 }
 
 }  // namespace
@@ -175,6 +223,51 @@ LinearizabilityReport CheckLinearizability(const History& history) {
   LinearizabilityReport report;
   std::map<std::string, std::vector<KeyOp>> by_key;
   for (const HistoryOp& op : history.ops()) {
+    if (KvTxn::IsTxn(op.operation)) {
+      Result<KvTxn> txn = KvTxn::Decode(op.operation);
+      if (!txn.ok()) {
+        report.ok = false;
+        report.violation = "undecodable transaction in history: " +
+                           txn.status().ToString();
+        return report;
+      }
+      KvTxnResult result;
+      if (op.completed) {
+        Result<KvTxnResult> decoded = KvTxnResult::Decode(op.result);
+        if (!decoded.ok()) {
+          // Protocol-level rejection (e.g. Q/U's CONFLICT): the txn was
+          // never executed, so it constrains nothing.
+          continue;
+        }
+        result = std::move(decoded).value();
+        // A completed abort is all-or-nothing with "nothing" observed:
+        // it changed no data and constrains nothing.
+        if (!result.committed) continue;
+      }
+      // Project the (atomic) txn onto each key it touches; same-key
+      // sub-ops stay one indivisible effect sequence, so a linearization
+      // can never expose a partial transaction within a key. A pending
+      // txn may or may not have applied — the search treats it as
+      // optional, atomically per key.
+      std::map<std::string, KeyOp> per_key;
+      for (size_t i = 0; i < txn->ops.size(); ++i) {
+        const KvOp& sub = txn->ops[i];
+        if (!op.completed && !sub.IsWrite()) continue;
+        auto [it, inserted] = per_key.emplace(sub.key, MakeKeyOp(op));
+        KeyEffect e = MakeEffect(sub);
+        if (op.completed && i < result.results.size()) {
+          e.check = true;
+          e.expect = result.results[i];
+        }
+        it->second.effects.push_back(std::move(e));
+      }
+      for (auto& [key, ko] : per_key) {
+        if (ko.effects.empty()) continue;
+        by_key[key].push_back(std::move(ko));
+      }
+      ++report.ops_checked;
+      continue;
+    }
     Result<KvOp> decoded = KvOp::Decode(op.operation);
     if (!decoded.ok()) {
       report.ok = false;
@@ -184,18 +277,13 @@ LinearizabilityReport CheckLinearizability(const History& history) {
     }
     // A pending read constrains nothing (no observed result, no effect).
     if (!op.completed && decoded->code == KvOpCode::kGet) continue;
-    KeyOp ko;
-    ko.code = decoded->code;
-    ko.value = decoded->value;
-    ko.delta = decoded->delta;
-    ko.invoke = op.invoke_us;
-    ko.invoke_seq = op.invoke_seq;
-    ko.completed = op.completed;
+    KeyOp ko = MakeKeyOp(op);
+    KeyEffect e = MakeEffect(*decoded);
     if (op.completed) {
-      ko.response = op.complete_us;
-      ko.response_seq = op.complete_seq;
-      ko.result = Slice(op.result).ToString();
+      e.check = true;
+      e.expect = Slice(op.result).ToString();
     }
+    ko.effects.push_back(std::move(e));
     by_key[decoded->key].push_back(std::move(ko));
     ++report.ops_checked;
   }

@@ -45,6 +45,9 @@ std::string ExperimentResult::Json() const {
      << ",\"recovery_us\":" << recovery_us
      << ",\"faults_injected\":" << faults_injected
      << ",\"sim_events\":" << sim_events
+     << ",\"txn_commits\":" << txn_commits
+     << ",\"txn_aborts\":" << txn_aborts
+     << ",\"txn_rejects\":" << txn_rejects
      << ",\"commit_chain\":\"" << JsonEscape(commit_chain) << "\"";
   os << ",\"counters\":{";
   bool first = true;
@@ -172,6 +175,9 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   r.sim_events = cluster.sim().events_processed();
   r.counters = m.counters();
   r.msgs_by_type = m.msgs_by_type();
+  r.txn_commits = m.counter("txn.commits");
+  r.txn_aborts = m.counter("txn.aborts");
+  r.txn_rejects = m.counter("txn.rejects");
 
   // Commit-history hash: chain the lowest-id correct replica's finalized
   // (seq, digest) pairs so Digest() changes if any ordering decision did.

@@ -97,6 +97,12 @@ struct ExperimentResult {
   uint64_t faults_injected = 0;
   /// Simulator events executed during the run (the perf-harness metric).
   uint64_t sim_events = 0;
+  /// Transactional workloads (KvTxn payloads): replicated outcomes as
+  /// observed at replica 0, plus protocol-level rejections (Q/U's
+  /// CONFLICT answers, which never reach execution).
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t txn_rejects = 0;
   /// Hash chain over the lowest-id correct replica's finalized
   /// (seq, digest) history — the run's commit history in one value, so
   /// two runs that ordered anything differently cannot share a Digest().

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
+#include "smr/kv_txn.h"
 
 namespace bftlab {
 
@@ -262,6 +263,17 @@ void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
         result.ok() ? std::move(result).value()
                     : Slice(result.status().ToString()).ToBuffer();
     if (result.ok()) ++record.op_count;
+
+    if (KvTxn::IsTxn(request.operation)) {
+      const bool committed =
+          result.ok() && !KvTxnResult::IsAbort(result_bytes);
+      // Replica 0 reports txn outcomes (like RecordExecution below) so
+      // counters reflect the replicated decision once, not n times.
+      if (config_.id == 0) {
+        metrics().Increment(committed ? "txn.commits" : "txn.aborts");
+      }
+      OnTxnExecuted(request, committed, speculative);
+    }
 
     // Reply-cache undo information for speculative rollback.
     auto cached = reply_cache_.find(request.client);

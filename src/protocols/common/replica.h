@@ -159,6 +159,16 @@ class Replica : public Actor {
     (void)speculative;
   }
 
+  /// A transactional request (KvTxn payload) was executed with the given
+  /// outcome. Protocols with a conflict path (Zyzzyva's speculative
+  /// aborts) hook their own accounting here.
+  virtual void OnTxnExecuted(const ClientRequest& request, bool committed,
+                             bool speculative) {
+    (void)request;
+    (void)committed;
+    (void)speculative;
+  }
+
   /// Later batches are buffered because the batch at `missing_seq` never
   /// arrived (e.g. lost pre-GST). Protocols with a fill-hole/
   /// retransmission subprotocol trigger it here.

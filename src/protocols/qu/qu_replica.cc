@@ -16,22 +16,52 @@ QuReplica::QuReplica(ReplicaConfig config,
                      QuOptions options)
     : Replica(config, std::move(state_machine)), options_(options) {}
 
+bool QuReplica::HasConflict(const PayloadKeys& keys, ClientId client,
+                            SimTime now) const {
+  auto recent = [&](ClientId who, SimTime at) {
+    return who != 0 && who != client &&
+           now - at < options_.conflict_window_us;
+  };
+  // Writes conflict with any recent access by another client; reads only
+  // with recent writes (read sharing is conflict-free).
+  for (const std::string& k : keys.writes) {
+    auto it = key_states_.find(k);
+    if (it == key_states_.end()) continue;
+    if (recent(it->second.last_writer, it->second.last_write_at) ||
+        recent(it->second.last_reader, it->second.last_read_at)) {
+      return true;
+    }
+  }
+  for (const std::string& k : keys.reads) {
+    auto it = key_states_.find(k);
+    if (it == key_states_.end()) continue;
+    if (recent(it->second.last_writer, it->second.last_write_at)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void QuReplica::OnClientRequest(NodeId /*from*/,
                                 const ClientRequest& request) {
   // No ordering phases at all: classify, then either execute or reject.
-  Result<KvOp> op = KvOp::Decode(request.operation);
-  if (!op.ok()) {
+  // Real key-set analysis (single ops AND multi-op transactions), not a
+  // whole-payload single-key heuristic.
+  Result<PayloadKeys> keys = ExtractPayloadKeys(request.operation);
+  if (!keys.ok()) {
     RemoveFromPool(request.ComputeDigest());
     return;
   }
 
-  KeyState& key = key_states_[op->key];
-  bool conflict = key.last_client != 0 &&
-                  key.last_client != request.client &&
-                  Now() - key.last_at < options_.conflict_window_us;
-  if (conflict) {
+  const SimTime now = Now();
+  if (HasConflict(*keys, request.client, now)) {
     ++conflicts_;
     metrics().Increment("qu.conflicts");
+    // Txn-level rejection counts toward the abort rate; replica-0-only
+    // like the txn.commits/aborts counters in the base execution path.
+    if (config().id == 0 && KvTxn::IsTxn(request.operation)) {
+      metrics().Increment("txn.rejects");
+    }
     TraceMark("conflict");
     // Reject without applying; the request leaves the pool so a backoff
     // retry is re-admitted and re-evaluated.
@@ -40,8 +70,16 @@ void QuReplica::OnClientRequest(NodeId /*from*/,
               /*speculative=*/false);
     return;
   }
-  key.last_client = request.client;
-  key.last_at = Now();
+  for (const std::string& k : keys->writes) {
+    KeyState& s = key_states_[k];
+    s.last_writer = request.client;
+    s.last_write_at = now;
+  }
+  for (const std::string& k : keys->reads) {
+    KeyState& s = key_states_[k];
+    s.last_reader = request.client;
+    s.last_read_at = now;
+  }
 
   Batch batch;
   batch.requests.push_back(request);

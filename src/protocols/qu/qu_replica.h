@@ -21,12 +21,14 @@
 #include "protocols/common/cluster.h"
 #include "protocols/common/replica.h"
 #include "smr/client.h"
+#include "smr/kv_txn.h"
 
 namespace bftlab {
 
 struct QuOptions {
-  /// Two same-key operations by different clients within this window
-  /// conflict.
+  /// Two operations by different clients whose key sets overlap within
+  /// this window conflict (write-write, write-read, or read-write; reads
+  /// never conflict with reads).
   SimTime conflict_window_us = Millis(2);
 };
 
@@ -45,10 +47,20 @@ class QuReplica : public Replica {
   void OnProtocolMessage(NodeId /*from*/, const MessagePtr& /*msg*/) override {}
 
  private:
+  // Per-key access history for conflict classification: Q/U's
+  // per-object replica histories collapse to "who touched this key last,
+  // and how" (DESIGN.md §10).
   struct KeyState {
-    ClientId last_client = 0;
-    SimTime last_at = 0;
+    ClientId last_writer = 0;
+    SimTime last_write_at = 0;
+    ClientId last_reader = 0;
+    SimTime last_read_at = 0;
   };
+
+  /// True when the payload's key sets clash with another client's recent
+  /// accesses.
+  bool HasConflict(const PayloadKeys& keys, ClientId client,
+                   SimTime now) const;
 
   QuOptions options_;
   std::map<std::string, KeyState> key_states_;

@@ -101,6 +101,17 @@ void ZyzzyvaReplica::OnDuplicateRequest(const ClientRequest& request) {
                                  view_, batch->first, batch->second));
 }
 
+void ZyzzyvaReplica::OnTxnExecuted(const ClientRequest& /*request*/,
+                                   bool committed, bool speculative) {
+  // Zyzzyva's conflict path: the abort is decided during speculative
+  // execution, so the client learns it from the speculative reply and the
+  // repair round can only confirm it.
+  if (committed || !speculative) return;
+  ++spec_txn_aborts_;
+  if (config().id == 0) metrics().Increment("zyzzyva.spec_txn_aborts");
+  TraceMark("txn_abort", view());
+}
+
 void ZyzzyvaReplica::OnCheckpointStable(SequenceNumber seq) {
   for (auto it = order_log_.begin();
        it != order_log_.end() && it->first <= seq;) {

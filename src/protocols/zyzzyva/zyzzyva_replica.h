@@ -176,12 +176,18 @@ class ZyzzyvaReplica : public Replica {
 
   void OnTimer(uint64_t tag) override;
 
+  /// Transactions aborted during speculative execution (the conflict
+  /// shows up before the history stabilizes).
+  uint64_t spec_txn_aborts() const { return spec_txn_aborts_; }
+
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
   void OnExecutionGap(SequenceNumber missing_seq) override;
   void OnDuplicateRequest(const ClientRequest& request) override;
   void OnCheckpointStable(SequenceNumber seq) override;
+  void OnTxnExecuted(const ClientRequest& request, bool committed,
+                     bool speculative) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
 
@@ -206,6 +212,7 @@ class ZyzzyvaReplica : public Replica {
   std::map<std::pair<ClientId, RequestTimestamp>, SequenceNumber>
       ordered_at_;
   SimTime last_fill_hole_sent_ = 0;
+  uint64_t spec_txn_aborts_ = 0;
 };
 
 /// Zyzzyva's speculative client: accepts on `fast_quorum` matching

@@ -14,8 +14,14 @@ void CheckpointStore::Add(SequenceNumber seq, Digest state_digest,
 SequenceNumber CheckpointStore::MarkStable(SequenceNumber seq) {
   if (seq > stable_seq_) {
     stable_seq_ = seq;
-    // Garbage-collect checkpoints strictly below the stable one.
-    checkpoints_.erase(checkpoints_.begin(), checkpoints_.lower_bound(seq));
+    // Garbage-collect below the newest retained checkpoint at or below the
+    // stable mark. When no checkpoint was recorded at `seq` itself (e.g.
+    // stability proven for a seq whose local snapshot is still pending),
+    // the older checkpoint backs GetStable() instead of vanishing.
+    auto it = checkpoints_.upper_bound(seq);
+    if (it != checkpoints_.begin()) {
+      checkpoints_.erase(checkpoints_.begin(), std::prev(it));
+    }
   }
   return stable_seq_;
 }
@@ -26,6 +32,16 @@ Result<Checkpoint> CheckpointStore::Get(SequenceNumber seq) const {
     return Status::NotFound("no checkpoint at seq " + std::to_string(seq));
   }
   return it->second;
+}
+
+Result<Checkpoint> CheckpointStore::GetStable() const {
+  // Newest retained checkpoint at or below the stable mark (exactly
+  // stable_seq_ when one was recorded there).
+  auto it = checkpoints_.upper_bound(stable_seq_);
+  if (it == checkpoints_.begin()) {
+    return Status::NotFound("no stable checkpoint yet");
+  }
+  return std::prev(it)->second;
 }
 
 }  // namespace bftlab

@@ -49,8 +49,10 @@ class CheckpointStore {
   /// Fetches the checkpoint at `seq`.
   Result<Checkpoint> Get(SequenceNumber seq) const;
 
-  /// Latest stable checkpoint, if any.
-  Result<Checkpoint> GetStable() const { return Get(stable_seq_); }
+  /// Latest stable checkpoint: the newest retained checkpoint at or
+  /// below stable_seq() (stability can be proven for a seq with no local
+  /// snapshot; the preceding checkpoint then serves state transfer).
+  Result<Checkpoint> GetStable() const;
 
   /// Number of retained checkpoints (tests observe GC through this).
   size_t RetainedCount() const { return checkpoints_.size(); }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/buffer.h"
+#include "common/codec.h"
 #include "common/result.h"
 
 namespace bftlab {
@@ -26,9 +27,17 @@ struct KvOp {
   std::string value;   // kPut only.
   int64_t delta = 0;   // kAdd only.
 
+  /// True for opcodes that mutate the store.
+  bool IsWrite() const { return code != KvOpCode::kGet; }
+
   /// Serializes to the state-machine operation payload.
   Buffer Encode() const;
+  void EncodeTo(Encoder* enc) const;
+  /// Decodes a full payload; rejects trailing unconsumed bytes.
   static Result<KvOp> Decode(Slice payload);
+  /// Decodes one op from an open decoder (transaction sub-ops); the
+  /// caller owns the trailing-bytes check.
+  static Result<KvOp> DecodeFrom(Decoder* dec);
 
   static Buffer Put(const std::string& key, const std::string& value);
   static Buffer Get(const std::string& key);

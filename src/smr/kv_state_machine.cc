@@ -7,37 +7,48 @@ namespace bftlab {
 
 Buffer KvOp::Encode() const {
   Encoder enc;
-  enc.PutU8(static_cast<uint8_t>(code));
-  enc.PutString(key);
+  EncodeTo(&enc);
+  return enc.Take();
+}
+
+void KvOp::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(code));
+  enc->PutString(key);
   switch (code) {
     case KvOpCode::kPut:
-      enc.PutString(value);
+      enc->PutString(value);
       break;
     case KvOpCode::kAdd:
-      enc.PutU64(static_cast<uint64_t>(delta));
+      enc->PutU64(static_cast<uint64_t>(delta));
       break;
     default:
       break;
   }
-  return enc.Take();
 }
 
 Result<KvOp> KvOp::Decode(Slice payload) {
   Decoder dec(payload);
+  Result<KvOp> op = DecodeFrom(&dec);
+  if (!op.ok()) return op;
+  if (!dec.Done()) return Status::Corruption("trailing bytes after kv op");
+  return op;
+}
+
+Result<KvOp> KvOp::DecodeFrom(Decoder* dec) {
   KvOp op;
   uint8_t code;
-  BFTLAB_ASSIGN_OR_RETURN(code, dec.GetU8());
+  BFTLAB_ASSIGN_OR_RETURN(code, dec->GetU8());
   if (code < 1 || code > 4) return Status::Corruption("bad kv opcode");
   op.code = static_cast<KvOpCode>(code);
-  BFTLAB_ASSIGN_OR_RETURN(op.key, dec.GetString());
+  BFTLAB_ASSIGN_OR_RETURN(op.key, dec->GetString());
   switch (op.code) {
     case KvOpCode::kPut: {
-      BFTLAB_ASSIGN_OR_RETURN(op.value, dec.GetString());
+      BFTLAB_ASSIGN_OR_RETURN(op.value, dec->GetString());
       break;
     }
     case KvOpCode::kAdd: {
       uint64_t d;
-      BFTLAB_ASSIGN_OR_RETURN(d, dec.GetU64());
+      BFTLAB_ASSIGN_OR_RETURN(d, dec->GetU64());
       op.delta = static_cast<int64_t>(d);
       break;
     }
@@ -77,65 +88,142 @@ Buffer KvOp::Add(const std::string& key, int64_t delta) {
   return op.Encode();
 }
 
-Result<Buffer> KvStateMachine::Apply(Slice operation) {
-  Result<KvOp> decoded = KvOp::Decode(operation);
-  if (!decoded.ok()) return decoded.status();
-  const KvOp& op = *decoded;
-
-  UndoEntry undo;
+void KvStateMachine::RecordKeyUndo(const KvOp& op, UndoEntry* entry) {
+  for (const KeyUndo& u : entry->keys) {
+    if (u.key == op.key) return;  // First touch already captured.
+  }
+  KeyUndo undo;
   undo.key = op.key;
-  undo.old_digest = digest_;
   auto it = data_.find(op.key);
   undo.existed = it != data_.end();
   if (undo.existed) undo.old_value = it->second;
+  entry->keys.push_back(std::move(undo));
+}
 
-  Buffer result;
-  auto set_result = [&result](const std::string& s) {
-    result.assign(s.begin(), s.end());
-  };
-
+std::string KvStateMachine::ApplySubOp(const KvOp& op, UndoEntry* entry) {
+  if (op.IsWrite()) RecordKeyUndo(op, entry);
+  auto it = data_.find(op.key);
+  const bool exists = it != data_.end();
   switch (op.code) {
     case KvOpCode::kPut:
       data_[op.key] = op.value;
-      set_result("OK");
-      break;
+      return "OK";
     case KvOpCode::kGet:
-      set_result(undo.existed ? it->second : "");
-      break;
+      return exists ? it->second : "";
     case KvOpCode::kDelete:
-      if (undo.existed) {
-        data_.erase(it);
-        set_result("OK");
-      } else {
-        set_result("NOTFOUND");
-      }
-      break;
+      if (!exists) return "NOTFOUND";
+      data_.erase(it);
+      return "OK";
     case KvOpCode::kAdd: {
       int64_t current = 0;
-      if (undo.existed) {
-        current = std::strtoll(it->second.c_str(), nullptr, 10);
-      }
+      if (exists) current = std::strtoll(it->second.c_str(), nullptr, 10);
       current += op.delta;
       std::string next = std::to_string(current);
       data_[op.key] = next;
-      set_result(next);
+      return next;
+    }
+  }
+  return "";
+}
+
+Result<Buffer> KvStateMachine::Apply(Slice operation) {
+  if (KvTxn::IsTxn(operation)) {
+    Result<KvTxn> txn = KvTxn::Decode(operation);
+    if (!txn.ok()) return txn.status();
+    return ApplyTxn(operation, *txn);
+  }
+
+  Result<KvOp> decoded = KvOp::Decode(operation);
+  if (!decoded.ok()) return decoded.status();
+
+  UndoEntry entry;
+  entry.old_digest = digest_;
+  std::string s = ApplySubOp(*decoded, &entry);
+  Buffer result(s.begin(), s.end());
+
+  ++version_;
+  digest_ = Sha256::Hash2(digest_.AsSlice(), operation);
+  entry.version = version_;
+  undo_log_.push_back(std::move(entry));
+  return result;
+}
+
+Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
+  UndoEntry entry;
+  entry.old_digest = digest_;
+
+  // Write-write conflict scan before touching any state: abort if another
+  // client's transaction wrote any of our write keys within the window.
+  const std::string* conflict_key = nullptr;
+  for (const KvOp& op : txn.ops) {
+    if (!op.IsWrite()) continue;
+    auto it = last_writes_.find(op.key);
+    if (it == last_writes_.end()) continue;
+    const LastWrite& lw = it->second;
+    if (lw.client != 0 && lw.client != txn.owner &&
+        version_ - lw.version < conflict_window_) {
+      conflict_key = &op.key;
       break;
     }
   }
 
+  KvTxnResult out;
+  if (conflict_key != nullptr) {
+    out.committed = false;
+    out.abort_reason = "ww-conflict on " + *conflict_key;
+    ++txn_aborts_;
+  } else {
+    out.committed = true;
+    out.results.reserve(txn.ops.size());
+    for (const KvOp& op : txn.ops) {
+      out.results.push_back(ApplySubOp(op, &entry));
+    }
+    // entry.keys holds each distinct write key once (first touch); stamp
+    // this txn as the last writer and remember what it displaced.
+    for (KeyUndo& undo : entry.keys) {
+      undo.touched_writer = true;
+      auto it = last_writes_.find(undo.key);
+      undo.had_writer = it != last_writes_.end();
+      if (undo.had_writer) undo.old_writer = it->second;
+      last_writes_[undo.key] = LastWrite{txn.owner, version_ + 1};
+    }
+    ++txn_commits_;
+  }
+
+  // Aborts advance the chain too: the abort decision is replicated state
+  // and every replica must agree on it.
   ++version_;
   digest_ = Sha256::Hash2(digest_.AsSlice(), operation);
-  undo.version = version_;
-  undo_log_.push_back(std::move(undo));
-  return result;
+  entry.version = version_;
+  undo_log_.push_back(std::move(entry));
+  return out.Encode();
 }
 
 bool KvStateMachine::IsReadOnly(Slice operation) const {
+  if (KvTxn::IsTxn(operation)) {
+    Result<KvTxn> txn = KvTxn::Decode(operation);
+    return txn.ok() && txn->IsReadOnly();
+  }
   Result<KvOp> decoded = KvOp::Decode(operation);
   return decoded.ok() && decoded->code == KvOpCode::kGet;
 }
 
 Result<Buffer> KvStateMachine::ExecuteReadOnly(Slice operation) const {
+  if (KvTxn::IsTxn(operation)) {
+    Result<KvTxn> txn = KvTxn::Decode(operation);
+    if (!txn.ok()) return txn.status();
+    if (!txn->IsReadOnly()) {
+      return Status::NotSupported("not a read-only transaction");
+    }
+    KvTxnResult out;
+    out.committed = true;
+    out.results.reserve(txn->ops.size());
+    for (const KvOp& op : txn->ops) {
+      auto it = data_.find(op.key);
+      out.results.push_back(it == data_.end() ? "" : it->second);
+    }
+    return out.Encode();
+  }
   Result<KvOp> decoded = KvOp::Decode(operation);
   if (!decoded.ok()) return decoded.status();
   if (decoded->code != KvOpCode::kGet) {
@@ -153,6 +241,14 @@ Buffer KvStateMachine::Snapshot() const {
   for (const auto& [k, v] : data_) {
     enc.PutString(k);
     enc.PutString(v);
+  }
+  // Last-writer map: part of replicated state (feeds the deterministic
+  // abort decision), so state transfer must carry it.
+  enc.PutU64(last_writes_.size());
+  for (const auto& [k, lw] : last_writes_) {
+    enc.PutString(k);
+    enc.PutU32(lw.client);
+    enc.PutU64(lw.version);
   }
   return enc.Take();
 }
@@ -176,7 +272,19 @@ Status KvStateMachine::Restore(Slice snapshot) {
     BFTLAB_ASSIGN_OR_RETURN(v, dec.GetString());
     data.emplace(std::move(k), std::move(v));
   }
+  uint64_t writer_count;
+  BFTLAB_ASSIGN_OR_RETURN(writer_count, dec.GetU64());
+  std::map<std::string, LastWrite> last_writes;
+  for (uint64_t i = 0; i < writer_count; ++i) {
+    std::string k;
+    LastWrite lw;
+    BFTLAB_ASSIGN_OR_RETURN(k, dec.GetString());
+    BFTLAB_ASSIGN_OR_RETURN(lw.client, dec.GetU32());
+    BFTLAB_ASSIGN_OR_RETURN(lw.version, dec.GetU64());
+    last_writes.emplace(std::move(k), lw);
+  }
   data_ = std::move(data);
+  last_writes_ = std::move(last_writes);
   version_ = version;
   std::copy(digest_bytes.begin(), digest_bytes.end(), digest_.data());
   undo_log_.clear();
@@ -188,14 +296,23 @@ Status KvStateMachine::Rollback(uint64_t count) {
     return Status::FailedPrecondition("undo history too short");
   }
   for (uint64_t i = 0; i < count; ++i) {
-    UndoEntry undo = std::move(undo_log_.back());
+    UndoEntry entry = std::move(undo_log_.back());
     undo_log_.pop_back();
-    if (undo.existed) {
-      data_[undo.key] = std::move(undo.old_value);
-    } else {
-      data_.erase(undo.key);
+    for (auto kit = entry.keys.rbegin(); kit != entry.keys.rend(); ++kit) {
+      if (kit->existed) {
+        data_[kit->key] = std::move(kit->old_value);
+      } else {
+        data_.erase(kit->key);
+      }
+      if (kit->touched_writer) {
+        if (kit->had_writer) {
+          last_writes_[kit->key] = kit->old_writer;
+        } else {
+          last_writes_.erase(kit->key);
+        }
+      }
     }
-    digest_ = undo.old_digest;
+    digest_ = entry.old_digest;
     --version_;
   }
   return Status::Ok();

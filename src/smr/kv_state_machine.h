@@ -8,8 +8,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "smr/kv_op.h"
+#include "smr/kv_txn.h"
 #include "smr/state_machine.h"
 
 namespace bftlab {
@@ -19,6 +21,13 @@ namespace bftlab {
 /// Maintains a rolling order-sensitive digest
 ///   d_{i+1} = SHA256(d_i || op_i)
 /// and an undo log so speculative executions can be rolled back.
+///
+/// Payloads are either single KvOps or KvTxn transactions (DESIGN.md
+/// §10). A transaction executes all-or-nothing: sub-ops observe earlier
+/// writes of the same transaction, and a write-write conflict with
+/// another client's recent transaction aborts the whole payload. An
+/// aborted transaction still advances the version/digest chain (the
+/// abort decision is part of replicated state) but changes no data.
 class KvStateMachine : public StateMachine {
  public:
   KvStateMachine() = default;
@@ -42,19 +51,58 @@ class KvStateMachine : public StateMachine {
   /// applied operations in different orders.
   Digest ContentDigest() const;
 
+  /// A transaction whose write set overlaps a key written by a
+  /// *different* client within the last `versions` applies aborts.
+  void set_conflict_window(uint64_t versions) { conflict_window_ = versions; }
+  uint64_t conflict_window() const { return conflict_window_; }
+
+  /// Transactions committed/aborted by this state machine instance.
+  uint64_t txn_commits() const { return txn_commits_; }
+  uint64_t txn_aborts() const { return txn_aborts_; }
+
  private:
-  struct UndoEntry {
-    uint64_t version;          // Version after the op was applied.
-    std::string key;
-    bool existed;
-    std::string old_value;
-    Digest old_digest;
+  struct LastWrite {
+    ClientId client = 0;
+    uint64_t version = 0;  // version_ after the writing txn applied.
   };
+
+  // Per-key undo record. `touched_writer` is set for transactional
+  // writes, which also maintain the last-writer conflict map.
+  struct KeyUndo {
+    std::string key;
+    bool existed = false;
+    std::string old_value;
+    bool touched_writer = false;
+    bool had_writer = false;
+    LastWrite old_writer;
+  };
+
+  // One entry per successful Apply (single op or whole transaction), the
+  // unit Replica::RollbackTo counts in.
+  struct UndoEntry {
+    uint64_t version = 0;  // Version after the apply.
+    Digest old_digest;
+    std::vector<KeyUndo> keys;
+  };
+
+  Result<Buffer> ApplyTxn(Slice operation, const KvTxn& txn);
+  // Applies one sub-op against data_, recording a first-touch KeyUndo in
+  // `entry` for writes. Returns the sub-op result string.
+  std::string ApplySubOp(const KvOp& op, UndoEntry* entry);
+  void RecordKeyUndo(const KvOp& op, UndoEntry* entry);
 
   std::map<std::string, std::string> data_;
   uint64_t version_ = 0;
   Digest digest_;  // Zero digest at version 0.
   std::deque<UndoEntry> undo_log_;
+
+  // key -> last transactional writer; part of replicated state (it feeds
+  // the deterministic abort decision) so it is snapshotted/restored and
+  // rolled back alongside data_.
+  std::map<std::string, LastWrite> last_writes_;
+  uint64_t conflict_window_ = 8;
+  uint64_t txn_commits_ = 0;
+  uint64_t txn_aborts_ = 0;
 };
 
 }  // namespace bftlab

@@ -1,0 +1,128 @@
+#include "smr/kv_txn.h"
+
+#include <algorithm>
+
+namespace bftlab {
+
+namespace {
+
+// Result payloads: [u8 'T'][u8 committed][committed: u32 n + n strings |
+// aborted: string reason]. The leading marker keeps txn results
+// distinguishable from plain single-op results like "OK".
+constexpr uint8_t kTxnResultTag = 'T';
+
+}  // namespace
+
+Buffer KvTxn::Encode() const {
+  Encoder enc;
+  enc.PutU8(kKvTxnTag);
+  enc.PutU32(owner);
+  enc.PutU32(static_cast<uint32_t>(ops.size()));
+  for (const KvOp& op : ops) op.EncodeTo(&enc);
+  return enc.Take();
+}
+
+Result<KvTxn> KvTxn::Decode(Slice payload) {
+  Decoder dec(payload);
+  uint8_t tag;
+  BFTLAB_ASSIGN_OR_RETURN(tag, dec.GetU8());
+  if (tag != kKvTxnTag) return Status::Corruption("not a txn payload");
+  KvTxn txn;
+  BFTLAB_ASSIGN_OR_RETURN(txn.owner, dec.GetU32());
+  uint32_t count;
+  BFTLAB_ASSIGN_OR_RETURN(count, dec.GetU32());
+  if (count == 0) return Status::Corruption("empty txn");
+  if (count > kMaxTxnOps) return Status::Corruption("txn op count too large");
+  txn.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Result<KvOp> op = KvOp::DecodeFrom(&dec);
+    if (!op.ok()) return op.status();
+    txn.ops.push_back(std::move(op).value());
+  }
+  if (!dec.Done()) return Status::Corruption("trailing bytes after txn");
+  return txn;
+}
+
+bool KvTxn::IsReadOnly() const {
+  return std::all_of(ops.begin(), ops.end(),
+                     [](const KvOp& op) { return !op.IsWrite(); });
+}
+
+Buffer KvTxnResult::Encode() const {
+  Encoder enc;
+  enc.PutU8(kTxnResultTag);
+  enc.PutBool(committed);
+  if (committed) {
+    enc.PutU32(static_cast<uint32_t>(results.size()));
+    for (const std::string& r : results) enc.PutString(r);
+  } else {
+    enc.PutString(abort_reason);
+  }
+  return enc.Take();
+}
+
+Result<KvTxnResult> KvTxnResult::Decode(Slice bytes) {
+  Decoder dec(bytes);
+  uint8_t tag;
+  BFTLAB_ASSIGN_OR_RETURN(tag, dec.GetU8());
+  if (tag != kTxnResultTag) return Status::Corruption("not a txn result");
+  KvTxnResult out;
+  BFTLAB_ASSIGN_OR_RETURN(out.committed, dec.GetBool());
+  if (out.committed) {
+    uint32_t count;
+    BFTLAB_ASSIGN_OR_RETURN(count, dec.GetU32());
+    if (count > kMaxTxnOps) return Status::Corruption("txn result too large");
+    out.results.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string r;
+      BFTLAB_ASSIGN_OR_RETURN(r, dec.GetString());
+      out.results.push_back(std::move(r));
+    }
+  } else {
+    BFTLAB_ASSIGN_OR_RETURN(out.abort_reason, dec.GetString());
+  }
+  if (!dec.Done()) return Status::Corruption("trailing bytes in txn result");
+  return out;
+}
+
+bool KvTxnResult::IsTxnResult(Slice bytes) {
+  return !bytes.empty() && bytes[0] == kTxnResultTag;
+}
+
+bool KvTxnResult::IsAbort(Slice bytes) {
+  return bytes.size() >= 2 && bytes[0] == kTxnResultTag && bytes[1] == 0;
+}
+
+namespace {
+
+void AddKey(std::vector<std::string>* keys, const std::string& key) {
+  if (std::find(keys->begin(), keys->end(), key) == keys->end()) {
+    keys->push_back(key);
+  }
+}
+
+void CollectOp(const KvOp& op, PayloadKeys* out) {
+  if (op.IsWrite()) {
+    AddKey(&out->writes, op.key);
+  } else {
+    AddKey(&out->reads, op.key);
+  }
+}
+
+}  // namespace
+
+Result<PayloadKeys> ExtractPayloadKeys(Slice payload) {
+  PayloadKeys out;
+  if (KvTxn::IsTxn(payload)) {
+    Result<KvTxn> txn = KvTxn::Decode(payload);
+    if (!txn.ok()) return txn.status();
+    for (const KvOp& op : txn->ops) CollectOp(op, &out);
+    return out;
+  }
+  Result<KvOp> op = KvOp::Decode(payload);
+  if (!op.ok()) return op.status();
+  CollectOp(*op, &out);
+  return out;
+}
+
+}  // namespace bftlab

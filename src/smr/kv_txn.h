@@ -1,0 +1,79 @@
+// Multi-operation transactions over the KV state machine, plus the
+// key-set extraction API protocols use for conflict analysis
+// (DESIGN.md §10). A transaction is an ordered list of KvOps executed
+// all-or-nothing: reads observe earlier writes of the same transaction,
+// and a write-write conflict with another client's recent transaction
+// aborts the whole payload with an abort result surfaced to the client.
+
+#ifndef BFTLAB_SMR_KV_TXN_H_
+#define BFTLAB_SMR_KV_TXN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "smr/kv_op.h"
+
+namespace bftlab {
+
+/// Payload tag distinguishing transactions from single KvOps (whose
+/// first byte is a KvOpCode in [1, 4]).
+inline constexpr uint8_t kKvTxnTag = 5;
+
+/// Upper bound on ops per transaction (wire-level sanity check).
+inline constexpr uint32_t kMaxTxnOps = 1024;
+
+/// An atomic multi-op transaction. `owner` identifies the submitting
+/// client for write-write conflict detection: the paper's untrusted
+/// setting identifies transactions by their signed client, and the
+/// state machine substitutes the id stamped here (the request signature
+/// already binds the payload to the client).
+struct KvTxn {
+  ClientId owner = 0;
+  std::vector<KvOp> ops;
+
+  Buffer Encode() const;
+  static Result<KvTxn> Decode(Slice payload);
+
+  /// Cheap payload classification (no decode).
+  static bool IsTxn(Slice payload) {
+    return !payload.empty() && payload[0] == kKvTxnTag;
+  }
+
+  /// True when no sub-op writes (the whole txn is read-only).
+  bool IsReadOnly() const;
+};
+
+/// Client-visible outcome of a transaction.
+struct KvTxnResult {
+  bool committed = false;
+  std::string abort_reason;           // Set when aborted.
+  std::vector<std::string> results;   // Per-sub-op results when committed.
+
+  Buffer Encode() const;
+  static Result<KvTxnResult> Decode(Slice bytes);
+
+  /// Cheap classification of a reply payload.
+  static bool IsTxnResult(Slice bytes);
+  /// True iff `bytes` is a txn result reporting an abort.
+  static bool IsAbort(Slice bytes);
+};
+
+/// Keys a state-machine payload touches, split by access mode. Reads
+/// and writes are reported in first-touch order; a key both read and
+/// written appears in both lists.
+struct PayloadKeys {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+/// Extracts the read/write key sets of any payload (single op or
+/// transaction). This is what protocols/qu uses for real conflict
+/// analysis instead of whole-payload single-key heuristics.
+Result<PayloadKeys> ExtractPayloadKeys(Slice payload);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_KV_TXN_H_

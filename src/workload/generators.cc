@@ -18,13 +18,14 @@ OpGenerator SharedKeyAdds(uint64_t key_space, double theta) {
 
 OpGenerator ReadWriteMix(double read_fraction, uint64_t key_space,
                          size_t value_bytes) {
-  OpGenerator writes = UniqueKeyPuts(value_bytes);
-  return [read_fraction, key_space, writes](ClientId client,
-                                            RequestTimestamp ts, Rng* rng) {
-    if (rng->NextBool(read_fraction)) {
-      return KvOp::Get("k" + std::to_string(rng->NextBelow(key_space)));
-    }
-    return writes(client, ts, rng);
+  // Reads and writes sample the same key population; otherwise GETs
+  // never observe a written value and the mix degenerates into two
+  // disjoint workloads.
+  return [read_fraction, key_space, value_bytes](
+             ClientId /*client*/, RequestTimestamp /*ts*/, Rng* rng) {
+    std::string key = "k" + std::to_string(rng->NextBelow(key_space));
+    if (rng->NextBool(read_fraction)) return KvOp::Get(key);
+    return KvOp::Put(key, std::string(value_bytes, 'v'));
   };
 }
 

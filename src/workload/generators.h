@@ -19,8 +19,9 @@ OpGenerator UniqueKeyPuts(size_t value_bytes = 64);
 /// contention (the Q/U crossover knob).
 OpGenerator SharedKeyAdds(uint64_t key_space, double theta = 0.0);
 
-/// Mixed read/write workload: `read_fraction` GETs over `key_space` keys,
-/// the rest unique-key PUTs.
+/// Mixed read/write workload: `read_fraction` GETs, the rest PUTs, both
+/// sampling the same uniform `key_space` population so reads observe
+/// written values.
 OpGenerator ReadWriteMix(double read_fraction, uint64_t key_space,
                          size_t value_bytes = 64);
 

@@ -1,0 +1,103 @@
+#include "workload/ycsb.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "smr/kv_op.h"
+#include "smr/kv_txn.h"
+#include "workload/zipf.h"
+
+namespace bftlab {
+
+namespace {
+
+std::string ZipfKey(const ZipfGenerator& zipf, Rng* rng) {
+  return "k" + std::to_string(zipf.Next(rng));
+}
+
+OpGenerator ReadUpdateMix(uint64_t key_space, double theta,
+                          double read_fraction, size_t value_bytes) {
+  auto zipf = std::make_shared<ZipfGenerator>(key_space, theta);
+  return [zipf, read_fraction, value_bytes](ClientId /*client*/,
+                                            RequestTimestamp /*ts*/,
+                                            Rng* rng) {
+    std::string key = ZipfKey(*zipf, rng);
+    if (rng->NextBool(read_fraction)) return KvOp::Get(key);
+    return KvOp::Put(key, std::string(value_bytes, 'v'));
+  };
+}
+
+}  // namespace
+
+OpGenerator YcsbA(uint64_t key_space, double theta, size_t value_bytes) {
+  return ReadUpdateMix(key_space, theta, 0.5, value_bytes);
+}
+
+OpGenerator YcsbB(uint64_t key_space, double theta, size_t value_bytes) {
+  return ReadUpdateMix(key_space, theta, 0.95, value_bytes);
+}
+
+OpGenerator YcsbC(uint64_t key_space, double theta) {
+  auto zipf = std::make_shared<ZipfGenerator>(key_space, theta);
+  return [zipf](ClientId /*client*/, RequestTimestamp /*ts*/, Rng* rng) {
+    return KvOp::Get(ZipfKey(*zipf, rng));
+  };
+}
+
+OpGenerator YcsbD(double read_fraction, size_t value_bytes) {
+  // Per-client insert counters live in the generator closure; clients are
+  // driven from the single simulation thread, so a plain map suffices and
+  // stays deterministic.
+  auto latest = std::make_shared<std::map<ClientId, uint64_t>>();
+  return [latest, read_fraction, value_bytes](ClientId client,
+                                              RequestTimestamp /*ts*/,
+                                              Rng* rng) {
+    uint64_t& counter = (*latest)[client];
+    std::string prefix = "c" + std::to_string(client) + "/i";
+    if (counter > 0 && rng->NextBool(read_fraction)) {
+      return KvOp::Get(prefix + std::to_string(counter - 1));
+    }
+    return KvOp::Put(prefix + std::to_string(counter++),
+                     std::string(value_bytes, 'v'));
+  };
+}
+
+OpGenerator YcsbF(uint64_t key_space, double theta) {
+  auto zipf = std::make_shared<ZipfGenerator>(key_space, theta);
+  return [zipf](ClientId client, RequestTimestamp /*ts*/, Rng* rng) {
+    std::string key = ZipfKey(*zipf, rng);
+    KvTxn txn;
+    txn.owner = client;
+    txn.ops.resize(2);
+    txn.ops[0].code = KvOpCode::kGet;
+    txn.ops[0].key = key;
+    txn.ops[1].code = KvOpCode::kAdd;
+    txn.ops[1].key = key;
+    txn.ops[1].delta = 1;
+    return txn.Encode();
+  };
+}
+
+OpGenerator HotKeyTxns(const TxnMixOptions& opts) {
+  auto zipf = std::make_shared<ZipfGenerator>(opts.key_space, opts.theta);
+  return [zipf, opts](ClientId client, RequestTimestamp /*ts*/, Rng* rng) {
+    KvTxn txn;
+    txn.owner = client;
+    txn.ops.reserve(opts.ops_per_txn);
+    for (uint32_t i = 0; i < opts.ops_per_txn; ++i) {
+      KvOp op;
+      op.key = ZipfKey(*zipf, rng);
+      if (rng->NextBool(opts.read_fraction)) {
+        op.code = KvOpCode::kGet;
+      } else {
+        op.code = KvOpCode::kPut;
+        op.value = std::string(opts.value_bytes, 'v');
+      }
+      txn.ops.push_back(std::move(op));
+    }
+    return txn.Encode();
+  };
+}
+
+}  // namespace bftlab

@@ -1,0 +1,51 @@
+// YCSB-style workload suite (mixes A-F, minus scans) over the shared
+// Zipf-skewed key population, plus hot-key multi-op transactions — the
+// contention knobs behind the X20 crossover experiment (EXPERIMENTS.md).
+
+#ifndef BFTLAB_WORKLOAD_YCSB_H_
+#define BFTLAB_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+
+#include "smr/client.h"
+
+namespace bftlab {
+
+/// Knobs shared by the YCSB-style mixes and the transactional workload.
+struct TxnMixOptions {
+  uint64_t key_space = 1024;  // Keys "k0".."k<key_space-1>".
+  double theta = 0.99;        // Zipf skew (0 = uniform).
+  uint32_t ops_per_txn = 4;   // Sub-ops per transaction (HotKeyTxns).
+  double read_fraction = 0.5; // GET share of sub-ops / single ops.
+  size_t value_bytes = 64;    // PUT value size.
+};
+
+/// Workload A: 50/50 read/update over Zipf-skewed keys.
+OpGenerator YcsbA(uint64_t key_space, double theta = 0.99,
+                  size_t value_bytes = 64);
+
+/// Workload B: 95/5 read/update (read-heavy).
+OpGenerator YcsbB(uint64_t key_space, double theta = 0.99,
+                  size_t value_bytes = 64);
+
+/// Workload C: 100% reads.
+OpGenerator YcsbC(uint64_t key_space, double theta = 0.99);
+
+/// Workload D: each client inserts fresh keys and reads its latest
+/// insert (read-latest, scan-less).
+OpGenerator YcsbD(double read_fraction = 0.95, size_t value_bytes = 64);
+
+/// Workload F: read-modify-write, issued as a 2-op transaction
+/// [GET k, ADD k 1] so the RMW is atomic.
+OpGenerator YcsbF(uint64_t key_space, double theta = 0.99);
+
+/// Hot-key transactions: each request is a KvTxn of `opts.ops_per_txn`
+/// sub-ops whose keys are Zipf-sampled from the shared population;
+/// `opts.read_fraction` of sub-ops are GETs, the rest PUTs. Raising
+/// theta / shrinking key_space / growing ops_per_txn raises the
+/// write-write conflict rate.
+OpGenerator HotKeyTxns(const TxnMixOptions& opts);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_WORKLOAD_YCSB_H_

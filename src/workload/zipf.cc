@@ -16,10 +16,14 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
   for (double& v : cdf_) v /= sum;
 }
 
-uint64_t ZipfGenerator::Next(Rng* rng) const {
-  double u = rng->NextDouble();
+uint64_t ZipfGenerator::RankFor(double u) const {
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  // Floating-point normalization can leave cdf_.back() slightly below
+  // 1.0; a draw above it must clamp to the last bucket, not index n_.
+  if (it == cdf_.end()) return n_ - 1;
   return static_cast<uint64_t>(it - cdf_.begin());
 }
+
+uint64_t ZipfGenerator::Next(Rng* rng) const { return RankFor(rng->NextDouble()); }
 
 }  // namespace bftlab

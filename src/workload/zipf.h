@@ -19,6 +19,10 @@ class ZipfGenerator {
   /// Next rank (0 = most popular).
   uint64_t Next(Rng* rng) const;
 
+  /// Rank for a uniform draw u in [0, 1]; always in [0, n). Exposed so
+  /// tests can hammer the CDF boundary without an Rng.
+  uint64_t RankFor(double u) const;
+
   uint64_t n() const { return n_; }
   double theta() const { return theta_; }
 

@@ -3,13 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <string>
 
 #include "crypto/keystore.h"
 #include "sim/network.h"
 #include "smr/client.h"
 #include "smr/kv_op.h"
+#include "smr/kv_state_machine.h"
+#include "smr/kv_txn.h"
 #include "workload/generators.h"
+#include "workload/ycsb.h"
 #include "workload/zipf.h"
 
 namespace bftlab {
@@ -186,6 +191,121 @@ TEST(ZipfTest, HandlesDegenerateSizes) {
   EXPECT_EQ(one.Next(&rng), 0u);
   ZipfGenerator zero(0, 0.5);  // Clamped to 1.
   EXPECT_EQ(zero.n(), 1u);
+}
+
+TEST(ZipfTest, NeverReturnsOutOfRangeAtCdfBoundary) {
+  // Regression: a uniform draw at or above cdf_.back() (floating-point
+  // rounding can leave the final CDF entry a hair under 1.0) used to
+  // land one past the last bucket and return n_. Hammer the boundary
+  // directly and via Next() across sizes/thetas.
+  for (double theta : {0.0, 0.5, 0.99, 1.2}) {
+    for (uint64_t n : {1ull, 2ull, 7ull, 100ull, 4096ull}) {
+      ZipfGenerator zipf(n, theta);
+      EXPECT_LT(zipf.RankFor(1.0), n) << "n=" << n << " theta=" << theta;
+      EXPECT_LT(zipf.RankFor(0.9999999999999999), n);
+      EXPECT_LT(zipf.RankFor(std::nextafter(1.0, 0.0)), n);
+      EXPECT_EQ(zipf.RankFor(0.0), 0u);
+    }
+  }
+  ZipfGenerator zipf(64, 0.99);
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) ASSERT_LT(zipf.Next(&rng), 64u);
+}
+
+TEST(WorkloadTest, ReadWriteMixReadsHitWrittenKeys) {
+  // Regression: reads and writes used to sample disjoint key
+  // populations ("r<k>" vs "w<k>"), so no GET could ever observe a PUT.
+  // Drive a state machine with the mix and require real read hits.
+  OpGenerator gen = ReadWriteMix(0.5, /*key_space=*/16, /*value_bytes=*/8);
+  KvStateMachine sm;
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Buffer op = gen(kClientIdBase, i, &rng);
+    Result<Buffer> result = sm.Apply(op);
+    ASSERT_TRUE(result.ok());
+    if (KvOp::Decode(op)->code == KvOpCode::kGet && !result->empty()) ++hits;
+  }
+  EXPECT_GT(hits, 100);
+}
+
+// --- YCSB-style suite ---------------------------------------------------------
+
+TEST(YcsbTest, MixesDecodeAndRespectReadShares) {
+  Rng rng(9);
+  auto read_share = [&rng](const OpGenerator& gen) {
+    int reads = 0;
+    for (int i = 0; i < 2000; ++i) {
+      Result<KvOp> op = KvOp::Decode(gen(kClientIdBase, i, &rng));
+      EXPECT_TRUE(op.ok());
+      if (op.ok() && op->code == KvOpCode::kGet) ++reads;
+    }
+    return reads / 2000.0;
+  };
+  EXPECT_NEAR(read_share(YcsbA(256)), 0.50, 0.05);
+  EXPECT_NEAR(read_share(YcsbB(256)), 0.95, 0.03);
+  EXPECT_DOUBLE_EQ(read_share(YcsbC(256)), 1.0);
+}
+
+TEST(YcsbTest, WorkloadDReadsLatestInsert) {
+  OpGenerator gen = YcsbD(/*read_fraction=*/0.5);
+  KvStateMachine sm;
+  Rng rng(10);
+  int hits = 0, reads = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Buffer op = gen(kClientIdBase, i, &rng);
+    Result<Buffer> result = sm.Apply(op);
+    ASSERT_TRUE(result.ok());
+    if (KvOp::Decode(op)->code == KvOpCode::kGet) {
+      ++reads;
+      if (!result->empty()) ++hits;
+    }
+  }
+  // Read-latest in a sequential run: every read after the first insert
+  // observes that client's newest key.
+  EXPECT_GT(reads, 300);
+  EXPECT_EQ(hits, reads);
+}
+
+TEST(YcsbTest, WorkloadFIsAtomicReadModifyWrite) {
+  OpGenerator gen = YcsbF(64, /*theta=*/0.9);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    Buffer payload = gen(kClientIdBase + 3, i, &rng);
+    ASSERT_TRUE(KvTxn::IsTxn(payload));
+    Result<KvTxn> txn = KvTxn::Decode(payload);
+    ASSERT_TRUE(txn.ok());
+    EXPECT_EQ(txn->owner, kClientIdBase + 3);
+    ASSERT_EQ(txn->ops.size(), 2u);
+    EXPECT_EQ(txn->ops[0].code, KvOpCode::kGet);
+    EXPECT_EQ(txn->ops[1].code, KvOpCode::kAdd);
+    EXPECT_EQ(txn->ops[0].key, txn->ops[1].key);  // Same-key RMW.
+  }
+}
+
+TEST(YcsbTest, HotKeyTxnsStayInKeySpaceWithOwner) {
+  TxnMixOptions opts;
+  opts.key_space = 32;
+  opts.theta = 1.1;
+  opts.ops_per_txn = 6;
+  opts.read_fraction = 0.4;
+  OpGenerator gen = HotKeyTxns(opts);
+  Rng rng(12);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    Result<KvTxn> txn = KvTxn::Decode(gen(kClientIdBase + 1, i, &rng));
+    ASSERT_TRUE(txn.ok());
+    EXPECT_EQ(txn->owner, kClientIdBase + 1);
+    ASSERT_EQ(txn->ops.size(), 6u);
+    for (const KvOp& op : txn->ops) {
+      int k = std::stoi(op.key.substr(1));
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, 32);
+      ++total;
+      if (op.code == KvOpCode::kGet) ++reads;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.4, 0.05);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "core/registry.h"
 #include "core/sweep.h"
 #include "obs/trace.h"
+#include "workload/ycsb.h"
 
 namespace bftlab {
 namespace {
@@ -111,6 +112,51 @@ TEST(DeterminismTest, ChaosRunsReplayIdenticallyOnWorkerPool) {
             r[1]->counters["chaos.schedule_hash"]);
   EXPECT_EQ(r[0]->Json(), r[1]->Json());
   EXPECT_EQ(r[0]->Digest(), r[1]->Digest());
+}
+
+// Transactional workloads add new schedule-sensitive state (conflict
+// windows, abort decisions, per-client backoff after CONFLICT replies);
+// the abort pattern must still be a pure function of (config, seed) —
+// serially and on the worker pool — for ordered protocols, speculative
+// execution, and Q/U's orderless admission control alike.
+TEST(DeterminismTest, TransactionalRunsReplayByteIdentical) {
+  TxnMixOptions opts;
+  opts.key_space = 32;
+  opts.theta = 1.1;
+  opts.ops_per_txn = 4;
+  std::vector<ExperimentConfig> cells;
+  for (const char* protocol : {"pbft", "zyzzyva", "qu"}) {
+    ExperimentConfig cfg = ShortConfig(protocol, 9);
+    cfg.num_clients = 4;
+    cfg.client_retransmit_us = Millis(40);
+    cfg.op_generator = HotKeyTxns(opts);
+    cells.push_back(cfg);
+    cells.push_back(cfg);
+  }
+  SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  SweepOptions parallel_opts;
+  parallel_opts.jobs = 3;
+  std::vector<Result<ExperimentResult>> serial =
+      RunSweep(cells, serial_opts);
+  std::vector<Result<ExperimentResult>> parallel =
+      RunSweep(cells, parallel_opts);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok())
+        << cells[i].protocol << ": " << serial[i].status().ToString();
+    ASSERT_TRUE(parallel[i].ok())
+        << cells[i].protocol << ": " << parallel[i].status().ToString();
+    EXPECT_GT(serial[i]->txn_commits, 0u) << cells[i].protocol;
+    EXPECT_EQ(serial[i]->Json(), parallel[i]->Json()) << cells[i].protocol;
+    EXPECT_EQ(serial[i]->Digest(), parallel[i]->Digest())
+        << cells[i].protocol;
+  }
+  // Paired duplicate cells replay identically too (run-to-run, not just
+  // serial-vs-parallel).
+  for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+    EXPECT_EQ(serial[i]->Json(), serial[i + 1]->Json())
+        << cells[i].protocol;
+  }
 }
 
 // Attaching a tracer must not perturb the run (same digest as untraced),

@@ -7,6 +7,7 @@
 #include "smr/checkpoint.h"
 #include "smr/kv_op.h"
 #include "smr/kv_state_machine.h"
+#include "smr/kv_txn.h"
 #include "smr/request.h"
 
 namespace bftlab {
@@ -211,6 +212,233 @@ TEST(KvStateMachineTest, ApplyRejectsMalformedOp) {
   EXPECT_EQ(sm.version(), 0u);  // Failed ops do not advance the version.
 }
 
+TEST(KvOpTest, RejectsTrailingGarbage) {
+  Buffer ok = KvOp::Put("key", "value");
+  ASSERT_TRUE(KvOp::Decode(ok).ok());
+  Buffer extended = ok;
+  extended.push_back(0x00);
+  EXPECT_FALSE(KvOp::Decode(extended).ok());
+}
+
+// --- Transactions -----------------------------------------------------------
+
+KvTxn MakeTxn(ClientId owner, std::vector<KvOp> ops) {
+  KvTxn txn;
+  txn.owner = owner;
+  txn.ops = std::move(ops);
+  return txn;
+}
+
+KvOp TxnPut(const std::string& key, const std::string& value) {
+  KvOp op;
+  op.code = KvOpCode::kPut;
+  op.key = key;
+  op.value = value;
+  return op;
+}
+
+KvOp TxnGet(const std::string& key) {
+  KvOp op;
+  op.code = KvOpCode::kGet;
+  op.key = key;
+  return op;
+}
+
+KvOp TxnAdd(const std::string& key, int64_t delta) {
+  KvOp op;
+  op.code = KvOpCode::kAdd;
+  op.key = key;
+  op.delta = delta;
+  return op;
+}
+
+KvTxnResult MustTxnResult(const Result<Buffer>& applied) {
+  EXPECT_TRUE(applied.ok());
+  Result<KvTxnResult> result = KvTxnResult::Decode(*applied);
+  EXPECT_TRUE(result.ok());
+  return *result;
+}
+
+TEST(KvTxnTest, EncodeDecodeRoundTrip) {
+  KvTxn txn = MakeTxn(kClientIdBase,
+                      {TxnGet("a"), TxnPut("b", "v"), TxnAdd("c", -3)});
+  Buffer encoded = txn.Encode();
+  EXPECT_TRUE(KvTxn::IsTxn(encoded));
+  EXPECT_FALSE(KvTxn::IsTxn(KvOp::Put("a", "b")));
+  Result<KvTxn> back = KvTxn::Decode(encoded);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->owner, txn.owner);
+  ASSERT_EQ(back->ops.size(), 3u);
+  EXPECT_EQ(back->ops[1].key, "b");
+  EXPECT_EQ(back->ops[2].delta, -3);
+}
+
+TEST(KvTxnTest, DecodeRejectsEmptyAndTrailingBytes) {
+  KvTxn empty;
+  empty.owner = 1;
+  EXPECT_FALSE(KvTxn::Decode(empty.Encode()).ok());
+
+  Buffer extended = MakeTxn(1, {TxnGet("a")}).Encode();
+  extended.push_back(0x7);
+  EXPECT_FALSE(KvTxn::Decode(extended).ok());
+}
+
+TEST(KvTxnTest, CommitsAtomicallyWithReadYourWrites) {
+  KvStateMachine sm;
+  KvTxnResult result = MustTxnResult(sm.Apply(
+      MakeTxn(kClientIdBase,
+              {TxnPut("a", "1"), TxnGet("a"), TxnAdd("ctr", 2), TxnGet("b")})
+          .Encode()));
+  EXPECT_TRUE(result.committed);
+  ASSERT_EQ(result.results.size(), 4u);
+  EXPECT_EQ(result.results[0], "OK");
+  EXPECT_EQ(result.results[1], "1");  // Read-your-writes inside the txn.
+  EXPECT_EQ(result.results[2], "2");
+  EXPECT_EQ(result.results[3], "");
+  // One Apply = one version step, whatever the op count.
+  EXPECT_EQ(sm.version(), 1u);
+  EXPECT_EQ(sm.txn_commits(), 1u);
+}
+
+TEST(KvTxnTest, WriteWriteConflictAbortsWholeTxn) {
+  KvStateMachine sm;
+  ASSERT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase, {TxnPut("hot", "1")}).Encode()))
+                  .committed);
+
+  // Another client writing the same key inside the window aborts, and the
+  // abort is all-or-nothing: its other key is untouched too.
+  KvTxnResult aborted = MustTxnResult(sm.Apply(
+      MakeTxn(kClientIdBase + 1, {TxnPut("other", "x"), TxnPut("hot", "2")})
+          .Encode()));
+  EXPECT_FALSE(aborted.committed);
+  EXPECT_NE(aborted.abort_reason.find("hot"), std::string::npos);
+  EXPECT_EQ(sm.Get("hot").value(), "1");
+  EXPECT_FALSE(sm.Get("other").has_value());
+  EXPECT_EQ(sm.txn_aborts(), 1u);
+  // The abort decision is replicated state: the chain still advanced.
+  EXPECT_EQ(sm.version(), 2u);
+
+  // The owner itself may keep writing (no self-conflict).
+  EXPECT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase, {TxnPut("hot", "3")}).Encode()))
+                  .committed);
+}
+
+TEST(KvTxnTest, ConflictWindowExpires) {
+  KvStateMachine sm;
+  sm.set_conflict_window(2);
+  ASSERT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase, {TxnPut("hot", "1")}).Encode()))
+                  .committed);
+  // Push the writer out of the 2-version window with unrelated single ops.
+  ASSERT_TRUE(sm.Apply(KvOp::Put("x", "1")).ok());
+  ASSERT_TRUE(sm.Apply(KvOp::Put("y", "1")).ok());
+  EXPECT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase + 1, {TxnPut("hot", "2")}).Encode()))
+                  .committed);
+}
+
+TEST(KvTxnTest, RollbackRestoresDataDigestAndConflictState) {
+  KvStateMachine sm;
+  ASSERT_TRUE(sm.Apply(KvOp::Put("a", "0")).ok());
+  Digest before = sm.StateDigest();
+  Buffer snap_before = sm.Snapshot();
+
+  ASSERT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase,
+                          {TxnPut("a", "1"), TxnPut("b", "2"), TxnAdd("a", 5)})
+                      .Encode()))
+                  .committed);
+  ASSERT_TRUE(sm.Rollback(1).ok());
+  EXPECT_EQ(sm.version(), 1u);
+  EXPECT_EQ(sm.StateDigest(), before);
+  EXPECT_EQ(sm.Get("a").value(), "0");
+  EXPECT_FALSE(sm.Get("b").has_value());
+  // Conflict metadata rolled back too: a different client's write to "a"
+  // commits because the rolled-back txn no longer counts as last writer.
+  EXPECT_EQ(sm.Snapshot(), snap_before);
+  EXPECT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase + 1, {TxnPut("a", "9")}).Encode()))
+                  .committed);
+}
+
+TEST(KvTxnTest, SnapshotCarriesConflictState) {
+  KvStateMachine sm;
+  ASSERT_TRUE(MustTxnResult(sm.Apply(
+                  MakeTxn(kClientIdBase, {TxnPut("hot", "1")}).Encode()))
+                  .committed);
+
+  KvStateMachine restored;
+  ASSERT_TRUE(restored.Restore(sm.Snapshot()).ok());
+  EXPECT_EQ(restored.StateDigest(), sm.StateDigest());
+  // The restored machine makes the same abort decision as the original.
+  Buffer rival =
+      MakeTxn(kClientIdBase + 1, {TxnPut("hot", "2")}).Encode();
+  EXPECT_FALSE(MustTxnResult(restored.Apply(rival)).committed);
+}
+
+TEST(KvTxnTest, ReadOnlyTxnFastPath) {
+  KvStateMachine sm;
+  ASSERT_TRUE(sm.Apply(KvOp::Put("a", "1")).ok());
+  Buffer ro = MakeTxn(kClientIdBase, {TxnGet("a"), TxnGet("b")}).Encode();
+  EXPECT_TRUE(sm.IsReadOnly(ro));
+  EXPECT_FALSE(sm.IsReadOnly(
+      MakeTxn(kClientIdBase, {TxnGet("a"), TxnPut("b", "2")}).Encode()));
+  Result<Buffer> result = sm.ExecuteReadOnly(ro);
+  ASSERT_TRUE(result.ok());
+  Result<KvTxnResult> decoded = KvTxnResult::Decode(*result);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->committed);
+  ASSERT_EQ(decoded->results.size(), 2u);
+  EXPECT_EQ(decoded->results[0], "1");
+  EXPECT_EQ(decoded->results[1], "");
+  EXPECT_EQ(sm.version(), 1u);  // Read-only execution is side-effect free.
+}
+
+TEST(KvTxnTest, ResultEncodingClassifies) {
+  KvTxnResult committed;
+  committed.committed = true;
+  committed.results = {"OK", "7"};
+  Buffer enc = committed.Encode();
+  EXPECT_TRUE(KvTxnResult::IsTxnResult(enc));
+  EXPECT_FALSE(KvTxnResult::IsAbort(enc));
+
+  KvTxnResult aborted;
+  aborted.committed = false;
+  aborted.abort_reason = "ww-conflict on k";
+  Buffer abort_enc = aborted.Encode();
+  EXPECT_TRUE(KvTxnResult::IsAbort(abort_enc));
+  Result<KvTxnResult> back = KvTxnResult::Decode(abort_enc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->abort_reason, "ww-conflict on k");
+
+  EXPECT_FALSE(KvTxnResult::IsTxnResult(Slice("OK")));
+  EXPECT_FALSE(KvTxnResult::IsAbort(Slice("CONFLICT")));
+}
+
+TEST(ExtractPayloadKeysTest, SingleOpsAndTxns) {
+  Result<PayloadKeys> get = ExtractPayloadKeys(KvOp::Get("a"));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->reads, std::vector<std::string>{"a"});
+  EXPECT_TRUE(get->writes.empty());
+
+  Result<PayloadKeys> put = ExtractPayloadKeys(KvOp::Put("a", "v"));
+  ASSERT_TRUE(put.ok());
+  EXPECT_TRUE(put->reads.empty());
+  EXPECT_EQ(put->writes, std::vector<std::string>{"a"});
+
+  Result<PayloadKeys> txn = ExtractPayloadKeys(
+      MakeTxn(1, {TxnGet("r1"), TxnPut("w1", "v"), TxnGet("r1"),
+                  TxnAdd("w2", 1), TxnPut("w1", "v2")})
+          .Encode());
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->reads, std::vector<std::string>{"r1"});
+  EXPECT_EQ(txn->writes, (std::vector<std::string>{"w1", "w2"}));
+
+  EXPECT_FALSE(ExtractPayloadKeys(Buffer{0xee}).ok());
+}
+
 // --- Checkpoints --------------------------------------------------------------
 
 TEST(CheckpointStoreTest, IntervalAndPredicate) {
@@ -241,6 +469,41 @@ TEST(CheckpointStoreTest, AddGetMarkStableGc) {
 
   // Stale stability marks do not regress.
   EXPECT_EQ(store.MarkStable(10), 20u);
+}
+
+TEST(CheckpointStoreTest, MarkStableWithoutExactCheckpointBackfills) {
+  // Regression: a stability proof can arrive for a sequence the replica
+  // never snapshotted (e.g. it was recovering while peers checkpointed).
+  // stable_seq_ must still advance without stranding GetStable() on
+  // NotFound — the newest retained checkpoint at or below the mark backs
+  // it.
+  CheckpointStore store(10);
+  KvStateMachine sm;
+  sm.Apply(KvOp::Put("a", "1"));
+  store.Add(10, sm.StateDigest(), sm.Snapshot());
+
+  // No checkpoint was recorded at 30; the one at 10 must survive GC.
+  EXPECT_EQ(store.MarkStable(30), 30u);
+  EXPECT_EQ(store.stable_seq(), 30u);
+  EXPECT_EQ(store.RetainedCount(), 1u);
+  ASSERT_TRUE(store.GetStable().ok());
+  EXPECT_EQ(store.GetStable()->seq, 10u);
+
+  // A later checkpoint above the mark is unaffected and becomes the
+  // stable one once marked.
+  sm.Apply(KvOp::Put("b", "2"));
+  store.Add(40, sm.StateDigest(), sm.Snapshot());
+  EXPECT_EQ(store.MarkStable(40), 40u);
+  ASSERT_TRUE(store.GetStable().ok());
+  EXPECT_EQ(store.GetStable()->seq, 40u);
+  EXPECT_EQ(store.RetainedCount(), 1u);
+
+  // Marking stable with nothing retained at all still never strands a
+  // previously stable checkpoint... there is none; GetStable reports
+  // NotFound rather than a stale or invalid snapshot.
+  CheckpointStore empty(10);
+  EXPECT_EQ(empty.MarkStable(20), 20u);
+  EXPECT_FALSE(empty.GetStable().ok());
 }
 
 TEST(CheckpointStoreTest, RestoreFromStableCheckpoint) {

@@ -11,6 +11,7 @@
 #include "crypto/keystore.h"
 #include "protocols/pbft/pbft_messages.h"
 #include "smr/kv_op.h"
+#include "smr/kv_txn.h"
 
 namespace bftlab {
 namespace {
@@ -288,6 +289,84 @@ TEST_F(WirePropertyTest, KvOpRoundTripWithRandomKeysAndValues) {
     EXPECT_EQ(back->key, op.key);
     EXPECT_EQ(back->value, op.value);
     EXPECT_EQ(back->delta, op.delta);
+  }
+}
+
+// Builds a random KvOp; shared by the op and txn wire properties.
+KvOp RandomKvOp(Rng* rng) {
+  KvOp op;
+  op.key = "k" + std::to_string(rng->Next());
+  switch (rng->NextBelow(4)) {
+    case 0: {
+      op.code = KvOpCode::kPut;
+      Buffer v = RandomPayload(rng, rng->NextBelow(64));
+      op.value.assign(v.begin(), v.end());
+      break;
+    }
+    case 1:
+      op.code = KvOpCode::kGet;
+      break;
+    case 2:
+      op.code = KvOpCode::kDelete;
+      break;
+    default:
+      op.code = KvOpCode::kAdd;
+      op.delta = static_cast<int64_t>(rng->Next());
+      break;
+  }
+  return op;
+}
+
+TEST_F(WirePropertyTest, KvOpRejectsTruncationAndExtension) {
+  // An operation payload is exactly one op: any strict prefix fails to
+  // decode, and any trailing byte — even a plausible-looking one — is
+  // rejected rather than silently ignored (a replica must never accept
+  // two different byte strings as the same replicated op).
+  Rng rng(7007);
+  for (int rep = 0; rep < 32; ++rep) {
+    Buffer wire = RandomKvOp(&rng).Encode();
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+      Buffer truncated(wire.begin(), wire.begin() + cut);
+      EXPECT_FALSE(KvOp::Decode(truncated).ok()) << "cut=" << cut;
+    }
+    for (uint8_t extra : {0x00, 0x01, 0xff}) {
+      Buffer extended = wire;
+      extended.push_back(extra);
+      EXPECT_FALSE(KvOp::Decode(extended).ok())
+          << "extra=" << static_cast<int>(extra);
+    }
+    EXPECT_TRUE(KvOp::Decode(wire).ok());
+  }
+}
+
+TEST_F(WirePropertyTest, KvTxnRoundTripTruncationAndExtension) {
+  Rng rng(8008);
+  for (int rep = 0; rep < 24; ++rep) {
+    KvTxn txn;
+    txn.owner = kClientIdBase + static_cast<ClientId>(rng.NextBelow(16));
+    size_t n = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < n; ++i) txn.ops.push_back(RandomKvOp(&rng));
+
+    Buffer wire = txn.Encode();
+    Result<KvTxn> back = KvTxn::Decode(wire);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->owner, txn.owner);
+    ASSERT_EQ(back->ops.size(), txn.ops.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(back->ops[i].code, txn.ops[i].code);
+      EXPECT_EQ(back->ops[i].key, txn.ops[i].key);
+      EXPECT_EQ(back->ops[i].value, txn.ops[i].value);
+      EXPECT_EQ(back->ops[i].delta, txn.ops[i].delta);
+    }
+
+    size_t stride = wire.size() > 256 ? 13 : 1;
+    for (size_t cut = 0; cut < wire.size(); cut += stride) {
+      Buffer truncated(wire.begin(), wire.begin() + cut);
+      EXPECT_FALSE(KvTxn::Decode(truncated).ok()) << "cut=" << cut;
+    }
+    Buffer extended = wire;
+    extended.push_back(0x07);
+    EXPECT_FALSE(KvTxn::Decode(extended).ok());
   }
 }
 
