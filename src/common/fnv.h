@@ -1,0 +1,38 @@
+// FNV-1a 64-bit hashing, shared by schedule hashes, state digests, and
+// event fingerprints. Not cryptographic — collision resistance here only
+// needs to beat the handful of billions of values a long exploration run
+// produces, and speed on short inputs matters more.
+
+#ifndef BFTLAB_COMMON_FNV_H_
+#define BFTLAB_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bftlab {
+
+inline constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+inline uint64_t FnvBytes(const void* data, size_t size,
+                         uint64_t h = kFnvBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvMix(uint64_t h, uint64_t value) {
+  return FnvBytes(&value, sizeof(value), h);
+}
+
+inline uint64_t FnvString(const std::string& s, uint64_t h = kFnvBasis) {
+  return FnvBytes(s.data(), s.size(), h);
+}
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_COMMON_FNV_H_

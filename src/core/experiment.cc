@@ -111,6 +111,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       cc.byzantine.emplace(id, byz);
     }
     cc.client.history = &history;
+  } else if (config.check_linearizability) {
+    cc.client.history = &history;
   }
 
   Cluster cluster(std::move(cc), build->replica_factory,
@@ -203,6 +205,24 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   if (build->descriptor.good_case_phases > 0) {
     Status agreement = cluster.CheckAgreement();
     if (!agreement.ok()) return agreement;
+  }
+
+  // Standalone linearizability oracle (Byzantine matrix runs): execution
+  // integrity plus client-observed per-key linearizability, without the
+  // Nemesis recovery machinery. Both are order-sensitive, so the Q/U
+  // exemption above applies to them too.
+  if (!nemesis && config.check_linearizability) {
+    if (build->descriptor.good_case_phases > 0) {
+      Status integrity = cluster.CheckStateMachines();
+      if (!integrity.ok()) return integrity;
+      LinearizabilityReport lin = CheckLinearizability(history);
+      if (!lin.ok) {
+        return Status::Internal("LINEARIZABILITY VIOLATION: " +
+                                lin.violation);
+      }
+      r.counters["lin.ops_checked"] = lin.ops_checked;
+      r.counters["lin.keys_checked"] = lin.keys_checked;
+    }
   }
 
   // Chaos oracle suite: execution integrity, client-observed per-key

@@ -69,6 +69,11 @@ struct ExperimentConfig {
   /// Recovery oracle bound: commits must resume within this much virtual
   /// time after GST.
   SimTime recovery_bound_us = Seconds(10);
+  /// Record client histories and run the per-key linearizability oracle
+  /// even without a Nemesis (Byzantine coverage matrix runs, which script
+  /// adversaries via `byzantine` instead of chaos profiles). A violation
+  /// fails the experiment with an error instead of returning a result.
+  bool check_linearizability = false;
   /// Optional causal event tracer (obs/trace.h) attached to the run's
   /// network. Not owned; null = tracing disabled (zero overhead).
   Tracer* tracer = nullptr;

@@ -1,0 +1,517 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "chaos/history.h"
+#include "chaos/linearizability.h"
+#include "common/fnv.h"
+#include "common/rng.h"
+#include "explore/state_digest.h"
+
+namespace bftlab {
+namespace {
+
+/// decide() may return this to abort the schedule (replay of a trace
+/// whose recorded index is out of range for the live choice set).
+constexpr size_t kAbortChoice = static_cast<size_t>(-1);
+
+using DecideFn = std::function<size_t(
+    uint64_t point, uint64_t steps, const std::vector<SimEventInfo>&)>;
+/// Called at every decision point with the state digest; returning false
+/// prunes the schedule (duplicate state).
+using StateHook = std::function<bool(uint64_t point, uint64_t digest)>;
+
+/// Everything one executed schedule produced.
+struct ScheduleOutcome {
+  bool violated = false;
+  bool pruned = false;
+  bool aborted = false;
+  std::string oracle;
+  std::string detail;
+  uint64_t violation_point = 0;
+  uint64_t violation_step = 0;
+  uint64_t steps = 0;
+  uint64_t points = 0;
+  /// Every decision taken: (point, chosen index into the choice list).
+  std::vector<std::pair<uint64_t, size_t>> decisions;
+  /// Choice-set size at each decision point (for the decision hash).
+  std::vector<uint64_t> arity;
+};
+
+Status CheckStepInvariants(Cluster& cluster, bool check_agreement,
+                           bool check_lin, const History& history,
+                           size_t* lin_seen, std::string* oracle) {
+  if (check_agreement) {
+    Status s = cluster.CheckAgreement();
+    if (!s.ok()) {
+      *oracle = "agreement";
+      return s;
+    }
+  }
+  Status integrity = cluster.CheckStateMachines();
+  if (!integrity.ok()) {
+    *oracle = "integrity";
+    return integrity;
+  }
+  Status ckpt = cluster.CheckCheckpoints();
+  if (!ckpt.ok()) {
+    *oracle = "checkpoint";
+    return ckpt;
+  }
+  // Linearizability is the only oracle whose cost grows with history
+  // length; only re-check when a new completion extended the history.
+  if (check_lin && history.completed_count() != *lin_seen) {
+    *lin_seen = history.completed_count();
+    LinearizabilityReport lin = CheckLinearizability(history);
+    if (!lin.ok) {
+      *oracle = "linearizability";
+      return Status::Internal(lin.violation);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Runs one complete schedule from scratch under `decide`. Invariants
+/// are checked after every event past `check_from_step` (a DFS replaying
+/// an already-validated prefix skips re-checking it).
+ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
+                            const ProtocolBuild& build,
+                            const DecideFn& decide, const StateHook& hook,
+                            uint64_t check_from_step,
+                            std::unordered_set<uint64_t>* visited = nullptr) {
+  History history;
+  ClusterConfig cc;
+  cc.n = cfg.n_override != 0 ? cfg.n_override : build.RecommendedN(cfg.f);
+  cc.f = cfg.f;
+  cc.num_clients = cfg.num_clients;
+  cc.seed = cfg.seed;
+  cc.net = cfg.net;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.replica.batch_size = cfg.batch_size;
+  cc.replica.checkpoint_interval = cfg.checkpoint_interval;
+  cc.replica.view_change_timeout_us = cfg.view_change_timeout_us;
+  cc.client.reply_quorum = build.ReplyQuorum(cfg.f);
+  cc.client.submit_policy = build.submit_policy;
+  cc.client.retransmit_timeout_us = cfg.client_retransmit_us;
+  cc.client.max_requests = cfg.max_requests;
+  // Keys are revisited so the linearizability oracle has real
+  // read-after-write constraints to check.
+  cc.client.op_generator = ChaosKvWorkload(2);
+  cc.client.history = &history;
+  cc.byzantine = cfg.byzantine;
+
+  ReplicaFactory factory = cfg.replica_factory_override
+                               ? cfg.replica_factory_override
+                               : build.replica_factory;
+  Cluster cluster(std::move(cc), factory, build.client_factory);
+  cluster.sim().SetControlled(true);
+  cluster.Start();
+
+  const uint64_t goal = cfg.max_requests * cfg.num_clients;
+  const bool check_agreement = build.descriptor.good_case_phases > 0;
+  const bool check_lin =
+      cfg.check_linearizability && build.descriptor.good_case_phases > 0;
+  ScheduleOutcome out;
+  size_t lin_seen = 0;
+  while (true) {
+    if (goal > 0 && cluster.TotalAccepted() >= goal) break;
+    if (out.steps >= cfg.max_steps) break;
+    std::vector<SimEventInfo> choices = cluster.sim().Choices();
+    if (choices.empty()) break;
+    // Every state entered counts toward coverage, not just branching
+    // ones. States inside a replayed prefix were counted when that
+    // prefix was first explored (deterministic replay revisits them
+    // bit-identically), so skip the digest work there.
+    if (visited != nullptr && out.steps >= check_from_step) {
+      visited->insert(ClusterStateDigest(cluster, choices));
+    }
+    size_t pick = 0;
+    if (choices.size() > 1) {
+      if (hook && !hook(out.points, ClusterStateDigest(cluster, choices))) {
+        out.pruned = true;
+        break;
+      }
+      pick = decide(out.points, out.steps, choices);
+      if (pick == kAbortChoice) {
+        out.aborted = true;
+        break;
+      }
+      if (pick >= choices.size()) pick = 0;
+      out.decisions.emplace_back(out.points, pick);
+      out.arity.push_back(choices.size());
+      ++out.points;
+    }
+    cluster.sim().RunChoice(choices[pick].id);
+    ++out.steps;
+    if (out.steps <= check_from_step) continue;
+    std::string oracle;
+    Status s = CheckStepInvariants(cluster, check_agreement, check_lin,
+                                   history, &lin_seen, &oracle);
+    if (!s.ok()) {
+      out.violated = true;
+      out.oracle = oracle;
+      out.detail = s.message();
+      out.violation_point = out.points;
+      out.violation_step = out.steps;
+      break;
+    }
+  }
+  return out;
+}
+
+/// DFS branch set at one decision point: the first max_branch choices in
+/// (time, seq) order, plus the earliest timer if none made the cut (so
+/// timer-vs-quorum races are explored even at wide points).
+std::vector<size_t> BranchSet(const std::vector<SimEventInfo>& choices,
+                              size_t max_branch) {
+  size_t limit = std::min(choices.size(), std::max<size_t>(1, max_branch));
+  std::vector<size_t> out;
+  out.reserve(limit + 1);
+  for (size_t i = 0; i < limit; ++i) out.push_back(i);
+  bool have_timer = false;
+  for (size_t i = 0; i < limit; ++i) {
+    have_timer |= choices[i].label.kind == SimEventKind::kTimer;
+  }
+  if (!have_timer) {
+    for (size_t i = limit; i < choices.size(); ++i) {
+      if (choices[i].label.kind == SimEventKind::kTimer) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void FoldOutcome(const ScheduleOutcome& out, uint64_t* h) {
+  for (size_t i = 0; i < out.decisions.size(); ++i) {
+    *h = FnvMix(*h, out.decisions[i].first);
+    *h = FnvMix(*h, out.arity[i]);
+    *h = FnvMix(*h, out.decisions[i].second);
+  }
+  *h = FnvMix(*h, out.steps);
+}
+
+void BuildTrace(const ExploreConfig& cfg, uint32_t n, const char* mode,
+                const ScheduleOutcome& out, CounterexampleTrace* t) {
+  t->protocol = cfg.protocol;
+  t->n = n;
+  t->f = cfg.f;
+  t->num_clients = cfg.num_clients;
+  t->seed = cfg.seed;
+  t->max_requests = cfg.max_requests;
+  t->batch_size = cfg.batch_size;
+  t->byzantine.clear();
+  for (const auto& [id, spec] : cfg.byzantine) {
+    t->byzantine.emplace_back(id, static_cast<uint32_t>(spec.mode));
+  }
+  t->mode = mode;
+  t->oracle = out.oracle;
+  t->detail = out.detail;
+  t->violation_point = out.violation_point;
+  t->violation_step = out.violation_step;
+  t->points = out.points;
+  t->decisions.clear();
+  for (const auto& [point, pick] : out.decisions) {
+    if (pick != 0) t->decisions.push_back({point, pick});
+  }
+}
+
+uint64_t OutcomeHash(const ExploreReport& report) {
+  uint64_t h = report.decision_hash;
+  h = FnvMix(h, report.violation_found ? 1 : 0);
+  if (report.violation_found) {
+    h = FnvString(report.counterexample.oracle, h);
+    h = FnvMix(h, report.counterexample.violation_point);
+    h = FnvMix(h, report.counterexample.violation_step);
+  }
+  return h;
+}
+
+/// Weighted random choice for walk mode. Deliveries sharing their
+/// destination with another pending delivery weigh 3 (same-inbox
+/// reorderings), timers weigh 2 while any delivery is pending (timer vs
+/// quorum-completion races), everything else weighs 1.
+size_t WeightedPick(const std::vector<SimEventInfo>& choices, Rng* rng) {
+  bool any_deliver = false;
+  for (const SimEventInfo& c : choices) {
+    any_deliver |= c.label.kind == SimEventKind::kDeliver;
+  }
+  std::vector<uint32_t> weight(choices.size(), 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (choices[i].label.kind == SimEventKind::kDeliver) {
+      for (size_t j = 0; j < choices.size(); ++j) {
+        if (j != i && choices[j].label.kind == SimEventKind::kDeliver &&
+            choices[j].label.node == choices[i].label.node) {
+          weight[i] = 3;
+          break;
+        }
+      }
+    } else if (choices[i].label.kind == SimEventKind::kTimer &&
+               any_deliver) {
+      weight[i] = 2;
+    }
+    total += weight[i];
+  }
+  uint64_t r = rng->NextBelow(total);
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (r < weight[i]) return i;
+    r -= weight[i];
+  }
+  return choices.size() - 1;
+}
+
+void FinishReport(const ExploreConfig& cfg, ExploreReport* report) {
+  report->outcome_hash = OutcomeHash(*report);
+  if (report->violation_found && cfg.minimize) {
+    Result<CounterexampleTrace> min =
+        MinimizeTrace(cfg, report->counterexample);
+    report->minimized = min.ok() ? *min : report->counterexample;
+  }
+}
+
+}  // namespace
+
+Status StampTraceConfig(const ExploreConfig& config,
+                        CounterexampleTrace* trace) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+  ScheduleOutcome empty;
+  BuildTrace(config,
+             config.n_override != 0 ? config.n_override
+                                    : build->RecommendedN(config.f),
+             trace->mode.c_str(), empty, trace);
+  return Status::Ok();
+}
+
+Result<ExploreReport> ExploreDfs(const ExploreConfig& config) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+  const uint32_t n = config.n_override != 0 ? config.n_override
+                                            : build->RecommendedN(config.f);
+
+  /// One committed decision along the current DFS prefix.
+  struct Frame {
+    std::vector<size_t> branches;  // Choice indices to try, in order.
+    size_t pos = 0;                // Branch currently committed.
+    uint64_t events_at_point = 0;  // Events executed before this point.
+  };
+  std::vector<Frame> stack;
+  std::unordered_set<uint64_t> seen;     // Decision-point frontier (pruning).
+  std::unordered_set<uint64_t> visited;  // Every state entered (coverage).
+  ExploreReport report;
+
+  while (report.stats.schedules < config.max_schedules) {
+    const size_t prefix_len = stack.size();
+    // Events up to the last prefix decision were invariant-checked when
+    // that prefix was first explored; determinism makes them identical
+    // on replay.
+    const uint64_t check_from =
+        prefix_len > 0 ? stack[prefix_len - 1].events_at_point : 0;
+
+    StateHook hook = [&](uint64_t point, uint64_t digest) {
+      if (point < prefix_len) return true;  // Replaying the prefix.
+      if (point >= config.max_decisions) return true;  // Not branching.
+      // Frontier: a state already reached by another schedule cannot
+      // yield anything new — every continuation from it was or will be
+      // explored from its first visit.
+      return seen.insert(digest).second;
+    };
+    DecideFn decide = [&](uint64_t point, uint64_t steps,
+                          const std::vector<SimEventInfo>& choices)
+        -> size_t {
+      if (point < stack.size()) {
+        const Frame& fr = stack[point];
+        return fr.branches[fr.pos];
+      }
+      if (point >= config.max_decisions) return 0;  // Beyond depth cap.
+      Frame fr;
+      fr.branches = BranchSet(choices, config.max_branch);
+      fr.events_at_point = steps;
+      stack.push_back(std::move(fr));
+      return stack.back().branches[0];
+    };
+
+    ScheduleOutcome out =
+        RunSchedule(config, *build, decide, hook, check_from, &visited);
+    ++report.stats.schedules;
+    report.stats.events += out.steps;
+    report.stats.decision_points += out.points;
+    report.stats.max_depth =
+        std::max<uint64_t>(report.stats.max_depth, stack.size());
+    if (out.pruned) ++report.stats.pruned;
+    FoldOutcome(out, &report.decision_hash);
+
+    if (out.violated) {
+      report.violation_found = true;
+      BuildTrace(config, n, "dfs", out, &report.counterexample);
+      break;
+    }
+
+    // Backtrack: advance the deepest frame with untried branches.
+    while (!stack.empty() &&
+           stack.back().pos + 1 >= stack.back().branches.size()) {
+      stack.pop_back();
+    }
+    if (stack.empty()) break;  // Bounded space exhausted.
+    ++stack.back().pos;
+  }
+
+  report.stats.distinct_states = visited.size();
+  FinishReport(config, &report);
+  return report;
+}
+
+Result<ExploreReport> ExploreRandomWalks(const ExploreConfig& config) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+  const uint32_t n = config.n_override != 0 ? config.n_override
+                                            : build->RecommendedN(config.f);
+
+  std::unordered_set<uint64_t> states;
+  std::unordered_set<uint64_t> schedule_hashes;
+  ExploreReport report;
+  for (uint64_t walk = 0; walk < config.walks; ++walk) {
+    Rng rng(FnvMix(FnvMix(kFnvBasis, config.seed), walk));
+    DecideFn decide = [&](uint64_t point, uint64_t,
+                          const std::vector<SimEventInfo>& choices)
+        -> size_t {
+      if (point >= config.max_decisions) return 0;
+      return WeightedPick(choices, &rng);
+    };
+    // Walks never prune; states only feed coverage accounting.
+    ScheduleOutcome out =
+        RunSchedule(config, *build, decide, nullptr, 0, &states);
+    ++report.stats.schedules;
+    report.stats.events += out.steps;
+    report.stats.decision_points += out.points;
+    report.stats.max_depth =
+        std::max<uint64_t>(report.stats.max_depth, out.points);
+    uint64_t sched = kFnvBasis;
+    FoldOutcome(out, &sched);
+    schedule_hashes.insert(sched);
+    FoldOutcome(out, &report.decision_hash);
+    if (out.violated) {
+      report.violation_found = true;
+      BuildTrace(config, n, "walk", out, &report.counterexample);
+      break;
+    }
+  }
+  report.stats.distinct_states = states.size();
+  report.stats.distinct_schedules = schedule_hashes.size();
+  FinishReport(config, &report);
+  return report;
+}
+
+Result<ReplayReport> ReplayTrace(const ExploreConfig& config,
+                                 const CounterexampleTrace& trace) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+  CounterexampleTrace expect;
+  Status stamp = StampTraceConfig(config, &expect);
+  if (!stamp.ok()) return stamp;
+  if (expect.protocol != trace.protocol || expect.n != trace.n ||
+      expect.f != trace.f || expect.num_clients != trace.num_clients ||
+      expect.seed != trace.seed ||
+      expect.max_requests != trace.max_requests ||
+      expect.batch_size != trace.batch_size ||
+      expect.byzantine != trace.byzantine) {
+    return Status::InvalidArgument(
+        "trace was recorded against a different configuration");
+  }
+
+  std::map<uint64_t, uint64_t> sparse;
+  for (const ScheduleDecision& d : trace.decisions) sparse[d.point] = d.index;
+  std::string range_error;
+  DecideFn decide = [&](uint64_t point, uint64_t,
+                        const std::vector<SimEventInfo>& choices) -> size_t {
+    auto it = sparse.find(point);
+    if (it == sparse.end()) return 0;
+    if (it->second >= choices.size()) {
+      range_error = "trace decision index " + std::to_string(it->second) +
+                    " out of range at point " + std::to_string(point) +
+                    " (only " + std::to_string(choices.size()) +
+                    " choices)";
+      return kAbortChoice;
+    }
+    return static_cast<size_t>(it->second);
+  };
+  ScheduleOutcome out = RunSchedule(config, *build, decide, nullptr, 0);
+  if (out.aborted) return Status::Corruption(range_error);
+  ReplayReport r;
+  r.violated = out.violated;
+  r.oracle = out.oracle;
+  r.detail = out.detail;
+  r.violation_point = out.violation_point;
+  r.violation_step = out.violation_step;
+  return r;
+}
+
+Result<CounterexampleTrace> MinimizeTrace(const ExploreConfig& config,
+                                          const CounterexampleTrace& trace) {
+  Result<ProtocolBuild> build = GetProtocol(config.protocol, config.f);
+  if (!build.ok()) return build.status();
+  const uint32_t n = config.n_override != 0 ? config.n_override
+                                            : build->RecommendedN(config.f);
+
+  // Reproduce check: same oracle violated, with whatever subset of the
+  // deviations survives. Indices that fall out of range after removals
+  // degrade to the default choice rather than aborting — minimization
+  // shifts later choice sets, and "this deviation no longer applies" is
+  // exactly what removal is probing for.
+  auto run_with = [&](const std::vector<ScheduleDecision>& devs) {
+    std::map<uint64_t, uint64_t> sparse;
+    for (const ScheduleDecision& d : devs) sparse[d.point] = d.index;
+    DecideFn decide = [&](uint64_t point, uint64_t,
+                          const std::vector<SimEventInfo>& choices)
+        -> size_t {
+      auto it = sparse.find(point);
+      if (it == sparse.end() || it->second >= choices.size()) return 0;
+      return static_cast<size_t>(it->second);
+    };
+    return RunSchedule(config, *build, decide, nullptr, 0);
+  };
+
+  std::vector<ScheduleDecision> devs = trace.decisions;
+  ScheduleOutcome last = run_with(devs);
+  if (!last.violated || last.oracle != trace.oracle) {
+    return Status::FailedPrecondition(
+        "trace does not reproduce its violation; cannot minimize");
+  }
+
+  // ddmin: remove chunks of deviations while the violation persists,
+  // halving the chunk size when a full pass removes nothing.
+  size_t chunk = std::max<size_t>(1, devs.size() / 2);
+  while (!devs.empty()) {
+    bool reduced = false;
+    for (size_t start = 0; start < devs.size();) {
+      std::vector<ScheduleDecision> candidate;
+      candidate.reserve(devs.size());
+      for (size_t i = 0; i < devs.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(devs[i]);
+      }
+      ScheduleOutcome out = run_with(candidate);
+      if (out.violated && out.oracle == trace.oracle) {
+        devs = std::move(candidate);
+        last = std::move(out);
+        reduced = true;  // Same start now points at the next chunk.
+      } else {
+        start += chunk;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+
+  CounterexampleTrace min;
+  BuildTrace(config, n, "minimized", last, &min);
+  return min;
+}
+
+}  // namespace bftlab

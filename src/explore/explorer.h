@@ -1,0 +1,130 @@
+// Schedule explorer: systematic state-space search over the simulator's
+// message-delivery / timer-firing orders (DESIGN.md §11).
+//
+// The simulator's controlled mode exposes the runnable event set; a
+// schedule is the sequence of indices chosen at each decision point (a
+// step where more than one delivery/timer is runnable). The explorer
+// re-runs the cluster from scratch per schedule — the DSLabs/dsnet
+// stateless-model-checking recipe, cheap here because a whole n=4 run is
+// a few hundred events — and checks the chaos oracles after every step.
+// On violation it records a replayable counterexample trace and
+// delta-debugs it to a minimal schedule.
+
+#ifndef BFTLAB_EXPLORE_EXPLORER_H_
+#define BFTLAB_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/registry.h"
+#include "explore/trace.h"
+#include "sim/network.h"
+
+namespace bftlab {
+
+/// Configuration of one exploration (DFS or random-walk).
+struct ExploreConfig {
+  std::string protocol = "pbft";
+  uint32_t f = 1;
+  /// 0 = the protocol's recommended n for f.
+  uint32_t n_override = 0;
+  uint32_t num_clients = 1;
+  uint64_t seed = 1;
+  /// Requests each client submits before the run's goal is reached.
+  uint64_t max_requests = 2;
+  size_t batch_size = 1;
+  uint64_t checkpoint_interval = 2;
+  SimTime view_change_timeout_us = Millis(100);
+  SimTime client_retransmit_us = Millis(200);
+  NetworkConfig net = NetworkConfig::Lan();
+  /// Scripted adversaries, as in ExperimentConfig.
+  std::map<ReplicaId, ByzantineSpec> byzantine;
+  /// Overrides the registered replica factory (seeded-bug validation).
+  ReplicaFactory replica_factory_override;
+
+  // --- Budget ---
+  /// Decision points that may branch; deeper points take the default.
+  size_t max_decisions = 40;
+  /// DFS: branches tried per decision point (first max_branch choices,
+  /// plus the earliest timer if none made the cut).
+  size_t max_branch = 3;
+  /// DFS: schedules executed before giving up.
+  uint64_t max_schedules = 20000;
+  /// Events per schedule (caps timer-rearm livelocks).
+  uint64_t max_steps = 1500;
+  /// Random-walk mode: schedules sampled.
+  uint64_t walks = 1000;
+
+  // --- Invariants ---
+  /// Check client-observed per-key linearizability (needs a KV workload
+  /// that revisits keys to be meaningful).
+  bool check_linearizability = true;
+  /// Delta-debug any counterexample to a minimal schedule.
+  bool minimize = true;
+};
+
+/// Aggregate search statistics.
+struct ExploreStats {
+  uint64_t schedules = 0;        // Complete schedules executed.
+  uint64_t distinct_states = 0;  // Distinct cluster states entered.
+  uint64_t pruned = 0;           // Schedules cut at a duplicate state.
+  uint64_t decision_points = 0;  // Decisions taken across all schedules.
+  uint64_t events = 0;           // Simulator events across all schedules.
+  uint64_t max_depth = 0;        // Deepest branching prefix reached.
+  uint64_t distinct_schedules = 0;  // Walk mode: distinct decision seqs.
+};
+
+/// Result of one exploration.
+struct ExploreReport {
+  bool violation_found = false;
+  /// The recorded violating schedule (valid when violation_found).
+  CounterexampleTrace counterexample;
+  /// Delta-debugged schedule (valid when violation_found && minimize).
+  CounterexampleTrace minimized;
+  ExploreStats stats;
+  /// Order-sensitive hash of every (point, arity, choice) across the
+  /// search: two runs explored identically iff these match.
+  uint64_t decision_hash = 0;
+  /// decision_hash folded with the violation outcome.
+  uint64_t outcome_hash = 0;
+};
+
+/// Bounded exhaustive DFS over schedules with duplicate-state pruning.
+Result<ExploreReport> ExploreDfs(const ExploreConfig& config);
+
+/// Guided random walks: config.walks schedules, decisions weighted
+/// toward reordering same-destination deliveries and racing timers
+/// against in-flight quorum traffic.
+Result<ExploreReport> ExploreRandomWalks(const ExploreConfig& config);
+
+/// Outcome of replaying a recorded trace.
+struct ReplayReport {
+  bool violated = false;
+  std::string oracle;
+  std::string detail;
+  uint64_t violation_point = 0;
+  uint64_t violation_step = 0;
+};
+
+/// Replays `trace` against `config`. Fails with InvalidArgument if the
+/// trace's config identity does not match, and Corruption if a recorded
+/// decision index is out of range for its choice set.
+Result<ReplayReport> ReplayTrace(const ExploreConfig& config,
+                                 const CounterexampleTrace& trace);
+
+/// ddmin-style minimization: drops non-default decisions while the
+/// violation (same oracle) still reproduces. Returns the minimal trace,
+/// re-validated by a final replay.
+Result<CounterexampleTrace> MinimizeTrace(const ExploreConfig& config,
+                                          const CounterexampleTrace& trace);
+
+/// Fills a trace's config-identity fields from `config` (n resolved via
+/// the registry). Exposed for tests that hand-build traces.
+Status StampTraceConfig(const ExploreConfig& config,
+                        CounterexampleTrace* trace);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_EXPLORE_EXPLORER_H_

@@ -1,0 +1,35 @@
+// Deliberately broken PBFT used to validate the explorer itself: a
+// replica that "authenticates" prepare/commit votes without checking the
+// digest they vote for, crediting every vote to its own local instance
+// digest. Under an equivocating leader this breaks quorum intersection —
+// two correct replicas commit different batches at the same sequence —
+// which the explorer must catch and minimize. Test/bench only; never
+// registered in the protocol registry.
+
+#ifndef BFTLAB_EXPLORE_SEEDED_BUG_H_
+#define BFTLAB_EXPLORE_SEEDED_BUG_H_
+
+#include <memory>
+
+#include "protocols/pbft/pbft_replica.h"
+
+namespace bftlab {
+
+/// PBFT with vote digest checking disabled (see file comment).
+class UncheckedVotePbftReplica : public PbftReplica {
+ public:
+  using PbftReplica::PbftReplica;
+
+  std::string name() const override { return "pbft-unchecked-vote"; }
+
+ protected:
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+};
+
+/// Factory for ExploreConfig::replica_factory_override.
+std::unique_ptr<Replica> MakeUncheckedVotePbftReplica(
+    const ReplicaConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_EXPLORE_SEEDED_BUG_H_

@@ -1,0 +1,36 @@
+#include "explore/state_digest.h"
+
+#include "common/fnv.h"
+
+namespace bftlab {
+
+uint64_t ClusterStateDigest(Cluster& cluster,
+                            const std::vector<SimEventInfo>& pending) {
+  uint64_t h = kFnvBasis;
+  for (ReplicaId r = 0; r < static_cast<ReplicaId>(cluster.num_replicas());
+       ++r) {
+    h = FnvMix(h, cluster.replica(r).StateFingerprint());
+  }
+  for (size_t c = 0; c < cluster.num_clients(); ++c) {
+    h = FnvMix(h, cluster.client(c).StateFingerprint());
+  }
+  // In-flight events as a commutative multiset: addition is
+  // order-independent, and each element hash covers content but not
+  // scheduled time (two schedules reaching the same message multiset at
+  // different virtual times are behaviorally identical to the explorer).
+  uint64_t multiset = 0;
+  for (const SimEventInfo& ev : pending) {
+    uint64_t e = kFnvBasis;
+    e = FnvMix(e, static_cast<uint64_t>(ev.label.kind));
+    e = FnvMix(e, ev.label.node);
+    e = FnvMix(e, ev.label.peer);
+    e = FnvMix(e, ev.label.tag);
+    e = FnvMix(e, ev.label.fingerprint);
+    multiset += e;
+  }
+  h = FnvMix(h, multiset);
+  h = FnvMix(h, pending.size());
+  return h;
+}
+
+}  // namespace bftlab

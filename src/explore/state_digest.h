@@ -1,0 +1,30 @@
+// Cluster state digest for duplicate-state pruning (DESIGN.md §11): one
+// 64-bit value summarizing everything that determines how the cluster
+// reacts to future schedule choices — per-replica behavior fingerprints,
+// per-client fingerprints, and the multiset of in-flight labeled events.
+
+#ifndef BFTLAB_EXPLORE_STATE_DIGEST_H_
+#define BFTLAB_EXPLORE_STATE_DIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/common/cluster.h"
+#include "sim/simulator.h"
+
+namespace bftlab {
+
+/// Digest of the cluster + pending-event state at a schedule decision
+/// point. `pending` is the simulator's current choice set (at a decision
+/// point it is exactly the pending labeled events — internal events are
+/// never pending there, or the point would be forced). The in-flight
+/// component is commutative (a sum of per-event hashes of
+/// kind/node/peer/tag/fingerprint, times excluded), so two schedules that
+/// put the same message multiset in flight digest equal regardless of
+/// the order events were scheduled in.
+uint64_t ClusterStateDigest(Cluster& cluster,
+                            const std::vector<SimEventInfo>& pending);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_EXPLORE_STATE_DIGEST_H_

@@ -1,0 +1,196 @@
+#include "explore/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/fnv.h"
+
+namespace bftlab {
+
+namespace {
+
+constexpr char kMagic[] = "bftlab-counterexample v1";
+
+/// Parses an unsigned decimal, rejecting trailing garbage.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t next = v * 10 + static_cast<uint64_t>(c - '0');
+    if (next < v) return false;  // Overflow.
+    v = next;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string CounterexampleTrace::Encode() const {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "protocol " << protocol << "\n";
+  os << "n " << n << "\n";
+  os << "f " << f << "\n";
+  os << "clients " << num_clients << "\n";
+  os << "seed " << seed << "\n";
+  os << "requests " << max_requests << "\n";
+  os << "batch " << batch_size << "\n";
+  for (const auto& [id, byz_mode] : byzantine) {
+    os << "byzantine " << id << " " << byz_mode << "\n";
+  }
+  os << "mode " << mode << "\n";
+  os << "oracle " << oracle << "\n";
+  os << "detail " << detail << "\n";
+  os << "violation_point " << violation_point << "\n";
+  os << "violation_step " << violation_step << "\n";
+  os << "points " << points << "\n";
+  for (const ScheduleDecision& d : decisions) {
+    os << "decision " << d.point << " " << d.index << "\n";
+  }
+  std::string body = os.str();
+  char sum[32];
+  std::snprintf(sum, sizeof(sum), "checksum %016" PRIx64 "\n",
+                FnvString(body));
+  return body + sum;
+}
+
+Result<CounterexampleTrace> CounterexampleTrace::Decode(
+    const std::string& text) {
+  // Split into lines; require the final line to be the checksum over
+  // everything before it, so truncation anywhere is detected.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      return Status::Corruption("trace truncated: missing final newline");
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.size() < 2) return Status::Corruption("trace truncated: no body");
+  const std::string& last = lines.back();
+  if (last.rfind("checksum ", 0) != 0) {
+    return Status::Corruption("trace truncated: no checksum line");
+  }
+  std::string body = text.substr(0, text.size() - last.size() - 1);
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "checksum %016" PRIx64,
+                FnvString(body));
+  if (last != expect) {
+    return Status::Corruption("trace checksum mismatch (corrupted file)");
+  }
+  lines.pop_back();
+
+  if (lines[0] != kMagic) {
+    return Status::Corruption("not a bftlab counterexample trace");
+  }
+
+  CounterexampleTrace t;
+  uint64_t last_decision_point = 0;
+  bool have_decision = false;
+  // Required scalar fields, tracked so a checksum-valid but field-missing
+  // hand-edited file is still rejected.
+  bool have_protocol = false, have_points = false, have_oracle = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      return Status::Corruption("malformed trace line: " + line);
+    }
+    std::string key = line.substr(0, sp);
+    std::string rest = line.substr(sp + 1);
+    uint64_t v = 0;
+    if (key == "protocol") {
+      t.protocol = rest;
+      have_protocol = true;
+    } else if (key == "mode") {
+      t.mode = rest;
+    } else if (key == "oracle") {
+      t.oracle = rest;
+      have_oracle = true;
+    } else if (key == "detail") {
+      t.detail = rest;
+    } else if (key == "n" || key == "f" || key == "clients" ||
+               key == "seed" || key == "requests" || key == "batch" ||
+               key == "violation_point" || key == "violation_step" ||
+               key == "points") {
+      if (!ParseU64(rest, &v)) {
+        return Status::Corruption("bad number in trace line: " + line);
+      }
+      if (key == "n") t.n = static_cast<uint32_t>(v);
+      if (key == "f") t.f = static_cast<uint32_t>(v);
+      if (key == "clients") t.num_clients = static_cast<uint32_t>(v);
+      if (key == "seed") t.seed = v;
+      if (key == "requests") t.max_requests = v;
+      if (key == "batch") t.batch_size = v;
+      if (key == "violation_point") t.violation_point = v;
+      if (key == "violation_step") t.violation_step = v;
+      if (key == "points") {
+        t.points = v;
+        have_points = true;
+      }
+    } else if (key == "byzantine") {
+      size_t sp2 = rest.find(' ');
+      uint64_t id = 0, byz_mode = 0;
+      if (sp2 == std::string::npos || !ParseU64(rest.substr(0, sp2), &id) ||
+          !ParseU64(rest.substr(sp2 + 1), &byz_mode)) {
+        return Status::Corruption("bad byzantine trace line: " + line);
+      }
+      t.byzantine.emplace_back(static_cast<uint32_t>(id),
+                               static_cast<uint32_t>(byz_mode));
+    } else if (key == "decision") {
+      size_t sp2 = rest.find(' ');
+      uint64_t point = 0, index = 0;
+      if (sp2 == std::string::npos ||
+          !ParseU64(rest.substr(0, sp2), &point) ||
+          !ParseU64(rest.substr(sp2 + 1), &index)) {
+        return Status::Corruption("bad decision trace line: " + line);
+      }
+      if (have_decision && point <= last_decision_point) {
+        return Status::Corruption("decisions out of order in trace");
+      }
+      if (index == 0) {
+        return Status::Corruption("default decision recorded in trace");
+      }
+      last_decision_point = point;
+      have_decision = true;
+      t.decisions.push_back({point, index});
+    } else {
+      return Status::Corruption("unknown trace key: " + key);
+    }
+  }
+  if (!have_protocol || !have_points || !have_oracle) {
+    return Status::Corruption("trace missing required fields");
+  }
+  for (const ScheduleDecision& d : t.decisions) {
+    if (d.point >= t.points) {
+      return Status::Corruption("decision past the schedule's end");
+    }
+  }
+  return t;
+}
+
+Status CounterexampleTrace::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << Encode();
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<CounterexampleTrace> CounterexampleTrace::ReadFrom(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open trace: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Decode(buf.str());
+}
+
+}  // namespace bftlab

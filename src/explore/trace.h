@@ -1,0 +1,67 @@
+// Replayable counterexample traces. A schedule is fully determined by
+// the decisions taken at its decision points (each an index into the
+// simulator's deterministically sorted choice list; index 0 is the
+// default/natural schedule), so a trace stores only the sparse
+// non-default decisions plus enough configuration to rebuild the run.
+// The text format is line-oriented with a trailing FNV checksum;
+// Decode() rejects truncated or corrupted files with a Status error.
+
+#ifndef BFTLAB_EXPLORE_TRACE_H_
+#define BFTLAB_EXPLORE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace bftlab {
+
+/// One non-default schedule decision: at decision point `point`, choice
+/// `index` (into the sorted choice list) was taken instead of 0.
+struct ScheduleDecision {
+  uint64_t point = 0;
+  uint64_t index = 0;
+};
+
+/// A recorded schedule that violated an invariant, with the config
+/// identity needed to replay it bit-exactly.
+struct CounterexampleTrace {
+  // --- Config identity (replay refuses a mismatched config) ---
+  std::string protocol;
+  uint32_t n = 0;
+  uint32_t f = 0;
+  uint32_t num_clients = 0;
+  uint64_t seed = 0;
+  uint64_t max_requests = 0;
+  uint64_t batch_size = 0;
+  /// (replica id, ByzantineMode as int) pairs, sorted by id.
+  std::vector<std::pair<uint32_t, uint32_t>> byzantine;
+
+  // --- The violation ---
+  std::string mode;    // "dfs" | "walk" | "replay".
+  std::string oracle;  // Violated invariant ("agreement", ...).
+  std::string detail;  // Oracle error message.
+  uint64_t violation_point = 0;  // Decision points consumed at violation.
+  uint64_t violation_step = 0;   // Events executed at violation.
+  uint64_t points = 0;           // Total decision points in the schedule.
+
+  /// Sparse non-default decisions, ordered by point.
+  std::vector<ScheduleDecision> decisions;
+
+  /// Serializes to the line-oriented text format (with checksum).
+  std::string Encode() const;
+  /// Parses Encode() output. Returns Corruption for truncated, reordered,
+  /// or checksum-failing input — never crashes on garbage.
+  static Result<CounterexampleTrace> Decode(const std::string& text);
+
+  /// Convenience file I/O wrappers around Encode()/Decode().
+  Status WriteTo(const std::string& path) const;
+  static Result<CounterexampleTrace> ReadFrom(const std::string& path);
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_EXPLORE_TRACE_H_

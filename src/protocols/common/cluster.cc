@@ -132,6 +132,27 @@ Status Cluster::CheckStateMachines() const {
   return Status::Ok();
 }
 
+Status Cluster::CheckCheckpoints() const {
+  // Stable checkpoints are quorum-certified prefixes of the execution
+  // history; two correct replicas with a stable checkpoint at the same
+  // sequence number must therefore hold the same state digest there.
+  std::map<SequenceNumber, std::pair<ReplicaId, Digest>> by_seq;
+  for (ReplicaId r : CorrectReplicas()) {
+    Result<Checkpoint> stable = replicas_[r]->checkpoints().GetStable();
+    if (!stable.ok()) continue;  // No stable checkpoint yet.
+    auto [it, inserted] = by_seq.emplace(
+        stable->seq, std::make_pair(r, stable->state_digest));
+    if (!inserted && it->second.second != stable->state_digest) {
+      std::ostringstream os;
+      os << "CHECKPOINT DIVERGENCE at seq " << stable->seq << ": replicas "
+         << it->second.first << " and " << r
+         << " certify different state digests";
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::Ok();
+}
+
 bool Cluster::AllFinalizedAtLeast(SequenceNumber seq) const {
   for (ReplicaId r : CorrectReplicas()) {
     if (replicas_[r]->finalized_seq() < seq) return false;

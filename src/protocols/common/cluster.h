@@ -90,6 +90,11 @@ class Cluster {
   /// (subsumed by CheckAgreement).
   Status CheckStateMachines() const;
 
+  /// Checkpoint consistency: correct replicas whose stable checkpoints
+  /// cover the same sequence number agree on that checkpoint's state
+  /// digest. Returns an error naming the divergence otherwise.
+  Status CheckCheckpoints() const;
+
   /// Correct replicas' finalized sequence numbers all reach `seq`.
   bool AllFinalizedAtLeast(SequenceNumber seq) const;
 

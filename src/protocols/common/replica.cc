@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/codec.h"
+#include "common/fnv.h"
 #include "common/logging.h"
+#include "crypto/sha256.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "smr/kv_txn.h"
@@ -387,10 +390,48 @@ Status Replica::RollbackTo(SequenceNumber seq) {
   return Status::Ok();
 }
 
+Buffer Replica::EncodeCheckpointPayload() const {
+  Encoder enc;
+  // The reply cache rides along with the application snapshot: after a
+  // state transfer the receiver must suppress duplicates exactly like
+  // replicas that executed the prefix themselves, or a request
+  // re-proposed across a view change re-executes and diverges state.
+  // The speculative flag is deliberately excluded so payloads (and thus
+  // checkpoint digests) agree between replicas that executed the same
+  // prefix speculatively vs. finally.
+  enc.PutU64(reply_cache_.size());
+  for (const auto& [client, cached] : reply_cache_) {
+    enc.PutU64(client);
+    enc.PutU64(cached.timestamp);
+    enc.PutBytes(cached.result);
+  }
+  enc.PutBytes(state_machine_->Snapshot());
+  return enc.Take();
+}
+
+Status Replica::RestoreCheckpointPayload(const Buffer& payload) {
+  Decoder dec{Slice(payload)};
+  BFTLAB_ASSIGN_OR_RETURN(uint64_t count, dec.GetU64());
+  std::map<ClientId, CachedReply> cache;
+  for (uint64_t i = 0; i < count; ++i) {
+    BFTLAB_ASSIGN_OR_RETURN(uint64_t client, dec.GetU64());
+    CachedReply cached;
+    BFTLAB_ASSIGN_OR_RETURN(cached.timestamp, dec.GetU64());
+    BFTLAB_ASSIGN_OR_RETURN(cached.result, dec.GetBytes());
+    cached.speculative = false;  // Checkpointed state is final.
+    cache[static_cast<ClientId>(client)] = std::move(cached);
+  }
+  BFTLAB_ASSIGN_OR_RETURN(Buffer snapshot, dec.GetBytes());
+  BFTLAB_RETURN_IF_ERROR(state_machine_->Restore(snapshot));
+  reply_cache_ = std::move(cache);
+  return Status::Ok();
+}
+
 void Replica::MaybeTakeCheckpoint(SequenceNumber seq) {
   if (!checkpoint_store_.IsCheckpointSeq(seq)) return;
-  Digest digest = state_machine_->StateDigest();
-  checkpoint_store_.Add(seq, digest, state_machine_->Snapshot());
+  Buffer payload = EncodeCheckpointPayload();
+  Digest digest = Sha256::Hash(payload);
+  checkpoint_store_.Add(seq, digest, std::move(payload));
   metrics().Increment("replica.checkpoints_taken");
   TraceMark("checkpoint", view(), seq);
   auto msg = std::make_shared<CheckpointMessage>(seq, digest, config_.id);
@@ -447,9 +488,12 @@ void Replica::HandleStateResponse(NodeId /*from*/,
     metrics().Increment("replica.state_transfer_rejected");
     return;
   }
-  if (!state_machine_->Restore(msg.snapshot()).ok()) return;
-  if (state_machine_->StateDigest() != msg.state_digest()) {
-    // Snapshot did not match the certified digest: discard.
+  // Verify against the certified digest before mutating any state.
+  if (Sha256::Hash(msg.snapshot()) != msg.state_digest()) {
+    metrics().Increment("replica.state_transfer_corrupt");
+    return;
+  }
+  if (!RestoreCheckpointPayload(msg.snapshot()).ok()) {
     metrics().Increment("replica.state_transfer_corrupt");
     return;
   }
@@ -466,6 +510,49 @@ void Replica::HandleStateResponse(NodeId /*from*/,
   TraceMark("state_transfer", view(), msg.seq());
   OnStateTransferComplete(msg.seq());
   DrainExecutions();
+}
+
+uint64_t Replica::StateFingerprint() const {
+  // Folds exactly the state that drives future handler behavior; pure
+  // counters (metrics, rollbacks_) and anything time-valued stay out so
+  // two schedules reaching the same protocol state digest equal even when
+  // they took different virtual-time paths.
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, config_.id);
+  h = FnvMix(h, view());
+  h = FnvMix(h, leader());
+  h = FnvMix(h, last_executed_);
+  h = FnvMix(h, finalized_);
+  for (const auto& [seq, digest] : finalized_digests_) {
+    h = FnvMix(h, seq);
+    h = FnvBytes(digest.data(), Digest::kSize, h);
+  }
+  h = FnvMix(h, state_machine_->version());
+  Digest sm = state_machine_->StateDigest();
+  h = FnvBytes(sm.data(), Digest::kSize, h);
+  for (const Digest& d : pool_order_) {
+    h = FnvBytes(d.data(), Digest::kSize, h);
+  }
+  for (const auto& [client, cached] : reply_cache_) {
+    h = FnvMix(h, client);
+    h = FnvMix(h, cached.timestamp);
+    h = FnvMix(h, cached.speculative ? 1 : 0);
+  }
+  for (const auto& [seq, pending] : pending_executions_) {
+    h = FnvMix(h, seq);
+    Digest d = pending.first.ComputeDigest();
+    h = FnvBytes(d.data(), Digest::kSize, h);
+    h = FnvMix(h, pending.second ? 1 : 0);
+  }
+  for (const ExecutedBatch& eb : exec_history_) {
+    h = FnvMix(h, eb.seq);
+    h = FnvBytes(eb.digest.data(), Digest::kSize, h);
+    h = FnvMix(h, eb.speculative ? 1 : 0);
+  }
+  h = FnvMix(h, checkpoint_store_.stable_seq());
+  h = FnvMix(h, state_transfer_target_);
+  h = FnvMix(h, ProtocolStateFingerprint());
+  return h;
 }
 
 }  // namespace bftlab

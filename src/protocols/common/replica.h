@@ -132,6 +132,15 @@ class Replica : public Actor {
   size_t pending_requests() const { return pool_order_.size(); }
   uint64_t rollbacks() const { return rollbacks_; }
 
+  /// FNV-1a digest of the replica's behavior-relevant state (view,
+  /// execution frontier, finalized digests, state-machine digest, pool,
+  /// reply cache, buffered executions, stable checkpoint) folded with the
+  /// protocol subclass's ProtocolStateFingerprint(). Used by the schedule
+  /// explorer's duplicate-state pruning: two replicas with equal
+  /// fingerprints react identically to any future event, up to state the
+  /// subclass chose not to fold in (see DESIGN.md §11 soundness caveats).
+  uint64_t StateFingerprint() const;
+
   // --- Actor ---------------------------------------------------------------
 
   void OnMessage(NodeId from, const MessagePtr& msg) final;
@@ -182,6 +191,12 @@ class Replica : public Actor {
   virtual void OnDuplicateRequest(const ClientRequest& request) {
     (void)request;
   }
+
+  /// Folds protocol-specific ordering state (votes, per-instance flags,
+  /// pacemaker position) into StateFingerprint(). The default covers no
+  /// subclass state; protocols override to tighten duplicate-state
+  /// pruning soundness in the explorer.
+  virtual uint64_t ProtocolStateFingerprint() const { return 0; }
 
   // --- Execution pipeline ---------------------------------------------------
 
@@ -314,6 +329,11 @@ class Replica : public Actor {
   void HandleCheckpoint(NodeId from, const CheckpointMessage& msg);
   void HandleStateRequest(NodeId from, const StateRequestMessage& msg);
   void HandleStateResponse(NodeId from, const StateResponseMessage& msg);
+  /// Serializes reply cache + state-machine snapshot; the checkpoint
+  /// digest certifies this whole payload, so a state transfer restores
+  /// duplicate suppression along with application state.
+  Buffer EncodeCheckpointPayload() const;
+  Status RestoreCheckpointPayload(const Buffer& payload);
   /// Executes buffered batches while they are contiguous.
   void DrainExecutions();
   void ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -657,6 +658,48 @@ void PbftReplica::OnStateTransferComplete(SequenceNumber seq) {
   committed_log_.erase(committed_log_.begin(),
                        committed_log_.upper_bound(seq));
   next_seq_ = std::max(next_seq_, seq + 1);
+}
+
+uint64_t PbftReplica::ProtocolStateFingerprint() const {
+  // Everything ordering-relevant: per-instance vote sets and phase flags,
+  // the committed log, and view-change progress. Timer handles and
+  // timeout values are excluded — they are time-valued, and the explorer
+  // fires timers as schedule choices regardless of their deadline.
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, view_);
+  h = FnvMix(h, next_seq_);
+  h = FnvMix(h, view_changing_ ? 1 : 0);
+  h = FnvMix(h, target_view_);
+  h = FnvMix(h, asked_view_);
+  for (const auto& [seq, inst] : instances_) {
+    h = FnvMix(h, seq);
+    h = FnvMix(h, inst.view);
+    h = FnvMix(h, (inst.has_pre_prepare ? 1 : 0) | (inst.prepared ? 2 : 0) |
+                      (inst.committed ? 4 : 0) | (inst.prepare_sent ? 8 : 0) |
+                      (inst.commit_sent ? 16 : 0));
+    h = FnvBytes(inst.digest.data(), Digest::kSize, h);
+    for (const auto& [digest, voters] : inst.prepare_votes) {
+      h = FnvBytes(digest.data(), Digest::kSize, h);
+      for (ReplicaId r : voters) h = FnvMix(h, r);
+    }
+    for (const auto& [digest, voters] : inst.commit_votes) {
+      h = FnvBytes(digest.data(), Digest::kSize, h);
+      for (ReplicaId r : voters) h = FnvMix(h, r);
+    }
+  }
+  for (const auto& [seq, entry] : committed_log_) {
+    h = FnvMix(h, seq);
+    h = FnvBytes(entry.first.data(), Digest::kSize, h);
+  }
+  for (const auto& [target, msgs] : view_changes_) {
+    h = FnvMix(h, target);
+    for (const auto& [replica, vc] : msgs) h = FnvMix(h, replica);
+  }
+  for (const auto& [w, senders] : view_evidence_) {
+    h = FnvMix(h, w);
+    for (ReplicaId r : senders) h = FnvMix(h, r);
+  }
+  return h;
 }
 
 std::unique_ptr<Replica> MakePbftReplica(const ReplicaConfig& config) {

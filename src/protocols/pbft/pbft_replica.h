@@ -49,6 +49,7 @@ class PbftReplica : public Replica {
   void OnRequestExecuted(const ClientRequest& request,
                          bool speculative) override;
   void OnStateTransferComplete(SequenceNumber seq) override;
+  uint64_t ProtocolStateFingerprint() const override;
 
   // Timer tags.
   static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 0;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "sim/actor.h"
 
@@ -215,7 +216,20 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
 
   Packet packet{from, to, std::move(msg), send_id};
   SimTime delay = arrival - sim_->now();
-  sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
+  // Remote deliveries are the schedule explorer's choice points. The
+  // payload fingerprint (controlled mode only — encoding costs) lets
+  // state digests see in-flight contents, not just endpoints.
+  SimEventLabel label;
+  label.kind = SimEventKind::kDeliver;
+  label.node = to;
+  label.peer = from;
+  label.tag = packet.msg->type();
+  if (sim_->controlled()) {
+    Buffer body = packet.msg->EncodedBody();
+    label.fingerprint = FnvBytes(body.data(), body.size());
+  }
+  sim_->Schedule(delay,
+                 label, [this, packet = std::move(packet), arrival]() mutable {
     DeliverAt(arrival, std::move(packet));
   });
 }
@@ -300,8 +314,12 @@ void Network::ProcessNext(NodeId node) {
 }
 
 EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
+  SimEventLabel timer_label;
+  timer_label.kind = SimEventKind::kTimer;
+  timer_label.node = node;
+  timer_label.tag = tag;
   if (!tracer_) {
-    return sim_->ScheduleCancelable(delay, [this, node, tag] {
+    return sim_->ScheduleCancelable(delay, timer_label, [this, node, tag] {
       if (down_.count(node)) return;
       Runtime& rt = runtime(node);
       Actor* actor = rt.actor;
@@ -321,8 +339,8 @@ EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
   // EventId only exists once ScheduleCancelable returns — thread it
   // through a shared slot.
   auto id_slot = std::make_shared<EventId>(kInvalidEvent);
-  EventId id =
-      sim_->ScheduleCancelable(delay, [this, node, tag, set_id, id_slot] {
+  EventId id = sim_->ScheduleCancelable(
+      delay, timer_label, [this, node, tag, set_id, id_slot] {
         if (*id_slot != kInvalidEvent) timer_trace_.erase(*id_slot);
         if (down_.count(node)) return;
         uint64_t ctx = 0;

@@ -1,8 +1,22 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace bftlab {
 
-void Simulator::Push(SimTime delay, uint32_t slot, SimTask fn) {
+void Simulator::Push(SimTime delay, uint32_t slot, const SimEventLabel& label,
+                     SimTask fn) {
+  if (controlled_) {
+    ControlledEvent ev;
+    ev.time = now_ + delay;
+    ev.seq = next_seq_++;
+    ev.slot = slot;
+    ev.label = label;
+    ev.fn = std::move(fn);
+    controlled_events_.push_back(std::move(ev));
+    ++live_count_;
+    return;
+  }
   Event ev;
   ev.time = now_ + delay;
   ev.seq = next_seq_++;
@@ -12,7 +26,9 @@ void Simulator::Push(SimTime delay, uint32_t slot, SimTask fn) {
   ++live_count_;
 }
 
-EventId Simulator::ScheduleCancelable(SimTime delay, SimTask fn) {
+EventId Simulator::ScheduleCancelable(SimTime delay,
+                                      const SimEventLabel& label,
+                                      SimTask fn) {
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -25,7 +41,7 @@ EventId Simulator::ScheduleCancelable(SimTime delay, SimTask fn) {
   ++s.generation;
   s.pending = true;
   s.canceled = false;
-  Push(delay, slot, std::move(fn));
+  Push(delay, slot, label, std::move(fn));
   return (static_cast<EventId>(slot) + 1) << 32 | s.generation;
 }
 
@@ -50,6 +66,7 @@ void Simulator::ReleaseSlot(uint32_t slot) {
 }
 
 bool Simulator::Step(SimTime deadline) {
+  if (controlled_) return StepControlled(deadline);
   while (!queue_.empty()) {
     const Event& top = queue_.top();
     if (top.slot != kNoSlot && slots_[top.slot].canceled) {
@@ -87,6 +104,121 @@ bool Simulator::RunUntilPredicate(const std::function<bool()>& pred,
   }
   if (now_ < deadline && Idle()) now_ = deadline;
   return pred();
+}
+
+// --- Controlled mode ----------------------------------------------------
+
+void Simulator::SetControlled(bool on) {
+  if (controlled_ == on) return;
+  // Flipping with events pending would strand them in the wrong store.
+  PruneControlled();
+  if (live_count_ != 0) return;
+  controlled_ = on;
+}
+
+void Simulator::PruneControlled() {
+  size_t w = 0;
+  for (size_t r = 0; r < controlled_events_.size(); ++r) {
+    ControlledEvent& ev = controlled_events_[r];
+    if (ev.slot != kNoSlot && slots_[ev.slot].canceled) {
+      ReleaseSlot(ev.slot);  // live_count_ already dropped in Cancel().
+      continue;
+    }
+    if (w != r) controlled_events_[w] = std::move(ev);
+    ++w;
+  }
+  controlled_events_.resize(w);
+}
+
+std::vector<SimEventInfo> Simulator::Choices() {
+  PruneControlled();
+  auto info_of = [this](const ControlledEvent& ev) {
+    SimEventInfo info;
+    info.id = ev.slot != kNoSlot
+                  ? ((static_cast<uint64_t>(ev.slot) + 1) << 32 |
+                     slots_[ev.slot].generation)
+                  : ev.seq;
+    info.time = ev.time;
+    info.seq = ev.seq;
+    info.label = ev.label;
+    return info;
+  };
+  // Internal events (handler continuations, actor start, self-delivery)
+  // are forced in (time, seq) order: they are deterministic machinery,
+  // not schedule choices. Only when none are pending do deliveries and
+  // timers become pickable.
+  const ControlledEvent* forced = nullptr;
+  for (const ControlledEvent& ev : controlled_events_) {
+    if (ev.label.kind != SimEventKind::kInternal) continue;
+    if (forced == nullptr || ev.time < forced->time ||
+        (ev.time == forced->time && ev.seq < forced->seq)) {
+      forced = &ev;
+    }
+  }
+  std::vector<SimEventInfo> out;
+  if (forced != nullptr) {
+    out.push_back(info_of(*forced));
+    return out;
+  }
+  out.reserve(controlled_events_.size());
+  for (const ControlledEvent& ev : controlled_events_) {
+    out.push_back(info_of(ev));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SimEventInfo& a, const SimEventInfo& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void Simulator::RunControlledAt(size_t i) {
+  ControlledEvent ev = std::move(controlled_events_[i]);
+  controlled_events_.erase(controlled_events_.begin() +
+                           static_cast<ptrdiff_t>(i));
+  if (ev.slot != kNoSlot) ReleaseSlot(ev.slot);
+  --live_count_;
+  // An event may run "early" (before later-timestamped peers) but time
+  // never goes backwards: its own scheduled time is a lower bound.
+  now_ = std::max(now_, ev.time);
+  ++events_processed_;
+  ev.fn();
+}
+
+bool Simulator::RunChoice(uint64_t id) {
+  PruneControlled();
+  for (size_t i = 0; i < controlled_events_.size(); ++i) {
+    const ControlledEvent& ev = controlled_events_[i];
+    uint64_t ev_id = ev.slot != kNoSlot
+                         ? ((static_cast<uint64_t>(ev.slot) + 1) << 32 |
+                            slots_[ev.slot].generation)
+                         : ev.seq;
+    if (ev_id == id) {
+      RunControlledAt(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Simulator::StepControlled(SimTime deadline) {
+  PruneControlled();
+  if (controlled_events_.empty()) return false;
+  // Default choice: exactly the event normal mode would run next —
+  // global (time, seq) order — so RunUntil behaves identically in both
+  // modes when no external scheduler intervenes.
+  size_t best = 0;
+  for (size_t i = 1; i < controlled_events_.size(); ++i) {
+    const ControlledEvent& ev = controlled_events_[i];
+    if (ev.time < controlled_events_[best].time ||
+        (ev.time == controlled_events_[best].time &&
+         ev.seq < controlled_events_[best].seq)) {
+      best = i;
+    }
+  }
+  if (controlled_events_[best].time > deadline) return false;
+  RunControlledAt(best);
+  return true;
 }
 
 }  // namespace bftlab

@@ -32,6 +32,52 @@ namespace bftlab {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// What a scheduled event represents, from the scheduler's point of view.
+/// kInternal events are deterministic machinery (handler continuations,
+/// actor start, self-delivery) that controlled mode never reorders;
+/// kDeliver and kTimer events are the externally reorderable ones — the
+/// points where a network adversary may interleave.
+enum class SimEventKind : uint8_t {
+  kInternal = 0,
+  kDeliver = 1,
+  kTimer = 2,
+};
+
+/// Semantic label attached to an event at scheduling time. The default
+/// (kInternal, all zero) is what the plain Schedule() overloads use; the
+/// Network labels message deliveries and timer firings so the schedule
+/// explorer can present meaningful choices.
+struct SimEventLabel {
+  SimEventKind kind = SimEventKind::kInternal;
+  /// Node whose handler the event drives (delivery destination / timer
+  /// owner).
+  NodeId node = 0;
+  /// Delivery source (kDeliver only).
+  NodeId peer = 0;
+  /// Timer tag (kTimer) or message type (kDeliver).
+  uint64_t tag = 0;
+  /// Content fingerprint of the payload (kDeliver, controlled mode only):
+  /// lets state digests treat in-flight messages as a multiset of
+  /// contents rather than opaque closures.
+  uint64_t fingerprint = 0;
+};
+
+/// One pending event as exposed by controlled mode. `id` is the event's
+/// stable identity — for cancelable events it IS the EventId handle
+/// (slot/generation) that SetTimer returned and that the Network's timer
+/// bookkeeping and the Tracer already key on, so the explorer shares one
+/// event-naming scheme with them; for non-cancelable events it is the
+/// insertion sequence number (the FIFO tie-break), which never collides
+/// with a handle in practice (handles have a nonzero slot in the top 32
+/// bits; insertion numbers reaching 2^32 would need four billion events
+/// in one explored schedule).
+struct SimEventInfo {
+  uint64_t id = 0;
+  SimTime time = 0;
+  uint64_t seq = 0;
+  SimEventLabel label;
+};
+
 /// Move-only callable with inline storage for small captures. The event
 /// loop's replacement for std::function: delivery closures (a Packet plus
 /// an arrival time) fit in the inline buffer, so scheduling a message
@@ -128,11 +174,23 @@ class Simulator {
   /// skips the tombstone slab entirely (the bulk of all events — message
   /// deliveries — take this path).
   void Schedule(SimTime delay, SimTask fn) {
-    Push(delay, kNoSlot, std::move(fn));
+    Push(delay, kNoSlot, SimEventLabel{}, std::move(fn));
+  }
+
+  /// Labeled variant: tags the event so controlled mode can expose it as
+  /// a schedule choice. Identical to Schedule() when not controlled.
+  void Schedule(SimTime delay, const SimEventLabel& label, SimTask fn) {
+    Push(delay, kNoSlot, label, std::move(fn));
   }
 
   /// Schedules `fn` and returns a handle usable with Cancel().
-  EventId ScheduleCancelable(SimTime delay, SimTask fn);
+  EventId ScheduleCancelable(SimTime delay, SimTask fn) {
+    return ScheduleCancelable(delay, SimEventLabel{}, std::move(fn));
+  }
+
+  /// Labeled variant of ScheduleCancelable().
+  EventId ScheduleCancelable(SimTime delay, const SimEventLabel& label,
+                             SimTask fn);
 
   /// Cancels a pending event; no-op if it already fired or was canceled.
   void Cancel(EventId id);
@@ -159,6 +217,41 @@ class Simulator {
   /// concurrently pending cancelable events, never by churn volume.
   size_t cancelable_slots() const { return slots_.size(); }
 
+  // --- Controlled scheduling (schedule exploration) ---------------------
+  //
+  // In controlled mode the simulator stops executing events in strict
+  // (time, seq) order and instead exposes the runnable set: Choices()
+  // lists the pending events an external scheduler may pick among, and
+  // RunChoice() executes one of them, advancing virtual time to
+  // max(now, event.time). Running an event "early" relative to later-
+  // timestamped peers models a legal asynchronous-network behavior: an
+  // event's scheduled time is only the earliest the environment could
+  // produce it, and the adversary may defer everything else. Internal
+  // (unlabeled) events are never offered as choices — Choices() forces
+  // the earliest one when any is pending — so handler continuations and
+  // actor startup retain their deterministic order and decision points
+  // only arise between deliveries and timers. The default mode is
+  // untouched: events live in the same priority queue and Step() runs
+  // exactly as before.
+
+  /// Switches between normal and controlled scheduling. Only legal while
+  /// no events are pending (flip before wiring actors / after draining).
+  void SetControlled(bool on);
+  bool controlled() const { return controlled_; }
+
+  /// Pending events an external scheduler may pick among, sorted by
+  /// (time, seq). If any internal event is pending, returns exactly the
+  /// earliest internal event (a forced choice); otherwise returns all
+  /// pending deliveries and timers. Empty iff Idle(). Controlled mode
+  /// only. Canceled timers are pruned (and their slots recycled) as a
+  /// side effect, so every returned entry is live.
+  std::vector<SimEventInfo> Choices();
+
+  /// Executes the pending event with stable identity `id`, advancing
+  /// now() to max(now(), event.time). Returns false if no live pending
+  /// event has that id. Controlled mode only.
+  bool RunChoice(uint64_t id);
+
  private:
   static constexpr uint32_t kNoSlot = 0xffffffffu;
 
@@ -166,6 +259,17 @@ class Simulator {
     SimTime time;
     uint64_t seq;   // Tie-break: FIFO among same-time events.
     uint32_t slot;  // kNoSlot for non-cancelable events.
+    SimTask fn;
+  };
+  /// Controlled-mode storage: label rides along, and events live in a
+  /// flat vector (scanned by Choices/RunChoice) instead of the heap.
+  /// Controlled configs are tiny (n=4, a handful of in-flight events),
+  /// so O(pending) scans beat maintaining an ordered index.
+  struct ControlledEvent {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+    SimEventLabel label;
     SimTask fn;
   };
   struct EventLater {
@@ -183,18 +287,29 @@ class Simulator {
     bool canceled = false;
   };
 
-  void Push(SimTime delay, uint32_t slot, SimTask fn);
+  void Push(SimTime delay, uint32_t slot, const SimEventLabel& label,
+            SimTask fn);
   void ReleaseSlot(uint32_t slot);
 
   /// Pops and runs one event; returns false when the queue is empty or the
   /// next event is past the deadline.
   bool Step(SimTime deadline);
 
+  /// Drops canceled controlled events, recycling their slots.
+  void PruneControlled();
+  /// Executes controlled event at index `i` (removes it first).
+  void RunControlledAt(size_t i);
+  /// Controlled-mode Step(): runs the default choice (earliest internal
+  /// event if any, else earliest labeled event).
+  bool StepControlled(SimTime deadline);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
   size_t live_count_ = 0;
+  bool controlled_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<ControlledEvent> controlled_events_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -139,6 +140,24 @@ void Client::OnTimer(uint64_t tag) {
     default:
       break;
   }
+}
+
+uint64_t Client::StateFingerprint() const {
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, id());
+  h = FnvMix(h, next_ts_);
+  h = FnvMix(h, in_flight_ ? 1 : 0);
+  h = FnvMix(h, accepted_);
+  h = FnvMix(h, highest_view_);
+  if (in_flight_) {
+    Digest d = current_.ComputeDigest();
+    h = FnvBytes(d.data(), Digest::kSize, h);
+  }
+  for (const auto& [result, replicas] : reply_sets_) {
+    h = FnvBytes(result.data(), result.size(), h);
+    for (ReplicaId r : replicas) h = FnvMix(h, r);
+  }
+  return h;
 }
 
 }  // namespace bftlab

@@ -80,6 +80,11 @@ class Client : public Actor {
   /// Leader inferred from the highest reply view seen.
   ReplicaId leader_guess() const;
 
+  /// FNV-1a digest of behavior-relevant client state (in-flight request,
+  /// reply quorum progress, view tracking) for the schedule explorer's
+  /// duplicate-state pruning. Excludes times and pure counters.
+  virtual uint64_t StateFingerprint() const;
+
  protected:
   /// Timer tags used by the base client (subclasses reuse them).
   static constexpr uint64_t kRetransmitTag = 1;

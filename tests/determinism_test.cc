@@ -13,6 +13,7 @@
 
 #include "chaos/linearizability.h"
 #include "core/experiment.h"
+#include "explore/explorer.h"
 #include "core/registry.h"
 #include "core/sweep.h"
 #include "obs/trace.h"
@@ -221,6 +222,44 @@ TEST(DeterminismTest, SweepProgressCountsEveryCell) {
   std::sort(dones.begin(), dones.end());
   for (size_t i = 0; i < dones.size(); ++i) EXPECT_EQ(dones[i], i + 1);
   EXPECT_EQ(ok_cells, cells.size());
+}
+
+// The schedule explorer is part of the determinism contract too: the
+// same (config, seed) must visit the exact same decision points with the
+// same choice sets and outcomes — DFS and guided walks alike — or
+// counterexample replay could not work. decision_hash folds every
+// (point, arity, choice) triple across the whole search.
+TEST(DeterminismTest, ScheduleExplorerReplaysIdentically) {
+  ExploreConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.seed = 21;
+  cfg.max_requests = 2;
+  cfg.batch_size = 1;
+  cfg.max_decisions = 10;
+  cfg.max_branch = 2;
+  cfg.max_schedules = 120;
+  cfg.walks = 60;
+  Result<ExploreReport> dfs_a = ExploreDfs(cfg);
+  Result<ExploreReport> dfs_b = ExploreDfs(cfg);
+  ASSERT_TRUE(dfs_a.ok()) << dfs_a.status().ToString();
+  ASSERT_TRUE(dfs_b.ok()) << dfs_b.status().ToString();
+  EXPECT_GT(dfs_a->stats.decision_points, 0u);
+  EXPECT_EQ(dfs_a->decision_hash, dfs_b->decision_hash);
+  EXPECT_EQ(dfs_a->outcome_hash, dfs_b->outcome_hash);
+  EXPECT_EQ(dfs_a->stats.schedules, dfs_b->stats.schedules);
+
+  Result<ExploreReport> walk_a = ExploreRandomWalks(cfg);
+  Result<ExploreReport> walk_b = ExploreRandomWalks(cfg);
+  ASSERT_TRUE(walk_a.ok()) << walk_a.status().ToString();
+  ASSERT_TRUE(walk_b.ok()) << walk_b.status().ToString();
+  EXPECT_EQ(walk_a->decision_hash, walk_b->decision_hash);
+  EXPECT_EQ(walk_a->outcome_hash, walk_b->outcome_hash);
+  // A different seed must explore differently (the hash is not vacuous).
+  ExploreConfig other = cfg;
+  other.seed = 22;
+  Result<ExploreReport> walk_c = ExploreRandomWalks(other);
+  ASSERT_TRUE(walk_c.ok()) << walk_c.status().ToString();
+  EXPECT_NE(walk_a->decision_hash, walk_c->decision_hash);
 }
 
 // BFTLAB_JOBS resolution order: explicit option beats the env var beats

@@ -201,6 +201,109 @@ TEST(SimulatorTest, RunUntilPredicate) {
 }
 
 // ---------------------------------------------------------------------------
+// Controlled scheduling (schedule-explorer hook).
+
+SimEventLabel DeliverLabel(NodeId node) {
+  SimEventLabel label;
+  label.kind = SimEventKind::kDeliver;
+  label.node = node;
+  return label;
+}
+
+TEST(SimulatorTest, ControlledModeExposesAndRunsChoices) {
+  Simulator sim;
+  sim.SetControlled(true);
+  std::vector<int> order;
+  sim.Schedule(10, DeliverLabel(1), [&] { order.push_back(1); });
+  sim.Schedule(20, DeliverLabel(2), [&] { order.push_back(2); });
+  sim.Schedule(30, DeliverLabel(3), [&] { order.push_back(3); });
+  std::vector<SimEventInfo> choices = sim.Choices();
+  ASSERT_EQ(choices.size(), 3u);
+  // Sorted by (time, seq); label survives the round trip.
+  EXPECT_EQ(choices[0].label.node, 1u);
+  EXPECT_EQ(choices[2].label.node, 3u);
+  // Run the latest first: time jumps to its scheduled time and never
+  // goes backwards when the earlier events run afterwards.
+  EXPECT_TRUE(sim.RunChoice(choices[2].id));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_TRUE(sim.RunChoice(choices[0].id));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_TRUE(sim.RunChoice(choices[1].id));
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_TRUE(sim.Choices().empty());
+}
+
+TEST(SimulatorTest, ControlledModeForcesInternalEventsFirst) {
+  Simulator sim;
+  sim.SetControlled(true);
+  std::vector<int> order;
+  sim.Schedule(10, DeliverLabel(1), [&] { order.push_back(1); });
+  sim.Schedule(50, [&] { order.push_back(0); });  // Unlabeled = internal.
+  std::vector<SimEventInfo> choices = sim.Choices();
+  // The internal event is the only choice offered, even though a
+  // delivery is scheduled earlier: internal machinery is never a
+  // decision point.
+  ASSERT_EQ(choices.size(), 1u);
+  EXPECT_EQ(choices[0].label.kind, SimEventKind::kInternal);
+  EXPECT_TRUE(sim.RunChoice(choices[0].id));
+  choices = sim.Choices();
+  ASSERT_EQ(choices.size(), 1u);
+  EXPECT_EQ(choices[0].label.kind, SimEventKind::kDeliver);
+}
+
+TEST(SimulatorTest, ControlledChoiceIdMatchesTimerHandle) {
+  // Cancelable events expose their EventId handle as the choice id, so
+  // the explorer, the network's timer bookkeeping, and the tracer all
+  // name the same event the same way — and cancellation composes.
+  Simulator sim;
+  sim.SetControlled(true);
+  int fired = 0;
+  SimEventLabel label;
+  label.kind = SimEventKind::kTimer;
+  label.node = 2;
+  label.tag = 7;
+  EventId id = sim.ScheduleCancelable(10, label, [&] { ++fired; });
+  std::vector<SimEventInfo> choices = sim.Choices();
+  ASSERT_EQ(choices.size(), 1u);
+  EXPECT_EQ(choices[0].id, id);
+  EXPECT_EQ(choices[0].label.tag, 7u);
+  sim.Cancel(id);
+  EXPECT_TRUE(sim.Choices().empty());  // Canceled timers are pruned.
+  EXPECT_FALSE(sim.RunChoice(id));     // Stale id: rejected, not run.
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ControlledStepRunsDefaultScheduleIdentically) {
+  // RunUntil in controlled mode (no external scheduler) must reproduce
+  // the normal-mode order: index 0 is the natural schedule.
+  std::vector<int> normal, controlled;
+  auto drive = [](Simulator& sim, std::vector<int>& order) {
+    sim.Schedule(20, DeliverLabel(2), [&] { order.push_back(2); });
+    sim.Schedule(10, DeliverLabel(1), [&] { order.push_back(1); });
+    sim.ScheduleCancelable(15, [&] { order.push_back(15); });
+    EXPECT_TRUE(sim.RunUntil(100));
+  };
+  Simulator a;
+  drive(a, normal);
+  Simulator b;
+  b.SetControlled(true);
+  drive(b, controlled);
+  EXPECT_EQ(normal, controlled);
+  EXPECT_EQ(a.now(), b.now());
+}
+
+TEST(SimulatorTest, SetControlledRefusedWithPendingEvents) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  sim.SetControlled(true);  // Must refuse: events already pending.
+  EXPECT_FALSE(sim.controlled());
+  sim.RunUntil(100);
+  sim.SetControlled(true);  // Drained: now legal.
+  EXPECT_TRUE(sim.controlled());
+}
+
+// ---------------------------------------------------------------------------
 // Network tests.
 
 class PingMessage : public Message {
