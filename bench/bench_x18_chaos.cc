@@ -62,7 +62,8 @@ void Run() {
       "pbft", "hotstuff", "hotstuff2", "tendermint", "sbft", "cheapbft"};
   const std::vector<NemesisProfile> profiles = {
       NemesisProfile::kLight, NemesisProfile::kPartitionHeavy,
-      NemesisProfile::kCrashHeavy, NemesisProfile::kByzantineMix};
+      NemesisProfile::kCrashHeavy, NemesisProfile::kByzantineMix,
+      NemesisProfile::kCensoringLeader};
 
   // The full protocol x profile x seed grid runs as one parallel sweep.
   // Oracle violations come back as per-cell errors (data, not crashes),

@@ -25,6 +25,8 @@ const char* NemesisProfileName(NemesisProfile profile) {
       return "crash-heavy";
     case NemesisProfile::kByzantineMix:
       return "byzantine-mix";
+    case NemesisProfile::kCensoringLeader:
+      return "censoring-leader";
   }
   return "unknown";
 }
@@ -101,6 +103,18 @@ void Nemesis::BuildSchedule() {
         if (roll < 40) {
           AddBurst(at, wave_span, &rng);
         } else if (roll < 80) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else {
+          AddPartition(at, wave_span, &rng);
+        }
+        break;
+      case NemesisProfile::kCensoringLeader:
+        // The censoring leader consumes the fault budget; the network
+        // side only supplies light noise that masks the censorship (the
+        // victim's timeouts look like ordinary loss).
+        if (roll < 55) {
+          AddBurst(at, wave_span, &rng);
+        } else if (roll < 90) {
           AddLinkFlaps(at, wave_span, &rng);
         } else {
           AddPartition(at, wave_span, &rng);
@@ -307,7 +321,18 @@ uint64_t Nemesis::ScheduleHash() const {
 std::map<ReplicaId, ByzantineSpec> Nemesis::ByzantineOverrides(
     const NemesisSpec& spec, uint32_t n, uint32_t f) {
   std::map<ReplicaId, ByzantineSpec> overrides;
-  if (spec.profile != NemesisProfile::kByzantineMix || n == 0) {
+  if (n == 0) return overrides;
+  if (spec.profile == NemesisProfile::kCensoringLeader) {
+    // The initial leader censors client 0 for the whole run: a fairness
+    // attack no network healing fixes — other clients keep committing,
+    // the victim starves whenever replica 0 holds leadership.
+    ByzantineSpec byz;
+    byz.mode = ByzantineMode::kCensorClient;
+    byz.censor_target = kClientIdBase;
+    overrides[0] = byz;
+    return overrides;
+  }
+  if (spec.profile != NemesisProfile::kByzantineMix) {
     return overrides;
   }
   Rng rng(spec.seed ^ kByzantineStream);
@@ -344,6 +369,10 @@ void Nemesis::ApplyNetworkDefaults(const NemesisSpec& spec,
     case NemesisProfile::kByzantineMix:
       net->pre_gst_drop_prob = 0.10;
       net->pre_gst_extra_delay_us = Millis(5);
+      break;
+    case NemesisProfile::kCensoringLeader:
+      net->pre_gst_drop_prob = 0.05;
+      net->pre_gst_extra_delay_us = Millis(2);
       break;
   }
 }

@@ -24,6 +24,9 @@ enum class NemesisProfile : uint8_t {
   kPartitionHeavy,   // Rolling partitions and leader isolation.
   kCrashHeavy,       // Crash/restart waves up to f at a time.
   kByzantineMix,     // Scripted Byzantine replica + network chaos.
+  kCensoringLeader,  // Stealthy request-censoring leader + mild chaos:
+                     // replica 0 never proposes the target client's
+                     // requests while network noise masks the attack.
 };
 
 const char* NemesisProfileName(NemesisProfile profile);

@@ -43,6 +43,17 @@ void Score(const ProtocolDescriptor& d, const ApplicationRequirements& reqs,
     add(-1.0, "quadratic phases hurt at large n");
   }
 
+  // E3: authentication CPU cost. MAC authenticators cost two orders of
+  // magnitude less CPU than signatures, which dominates once replicas
+  // are CPU-bound; threshold schemes pay extra at the share-combiner.
+  if (d.auth == AuthScheme::kMacs) {
+    add(reqs.throughput_priority * 1.0,
+        "MAC authenticators: cheap symmetric crypto per message");
+  } else if (d.auth == AuthScheme::kThreshold) {
+    add(reqs.throughput_priority * -0.5,
+        "threshold signatures: costly share signing and combining");
+  }
+
   // Replica budget.
   if (reqs.replica_budget_tight && d.replicas.coef > 3) {
     add(-1.5, "needs " + d.replicas.ToString() + " replicas");

@@ -49,6 +49,13 @@ std::string ExperimentResult::Json() const {
      << ",\"txn_aborts\":" << txn_aborts
      << ",\"txn_rejects\":" << txn_rejects
      << ",\"commit_chain\":\"" << JsonEscape(commit_chain) << "\"";
+  os << ",\"final_protocol\":\"" << JsonEscape(final_protocol) << "\"";
+  os << ",\"switches\":[";
+  for (size_t i = 0; i < switches.size(); ++i) {
+    if (i > 0) os << ",";
+    os << switches[i].Json();
+  }
+  os << "]";
   os << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters) {
@@ -99,6 +106,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   cc.client.retransmit_backoff = config.client_backoff;
   cc.client.retransmit_cap_us = config.client_retransmit_cap_us;
   cc.client.op_generator = config.op_generator;
+  cc.client.op_phases = config.op_phases;
   cc.byzantine = config.byzantine;
   cc.tracer = config.tracer;
 
@@ -117,6 +125,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
 
   Cluster cluster(std::move(cc), build->replica_factory,
                   build->client_factory);
+  std::optional<SwitchManager> switcher;
+  if (config.adaptive) {
+    switcher.emplace(&cluster, config.protocol, *config.adaptive);
+    switcher->Install();
+  }
   cluster.Start();
   for (const auto& [replica, at] : config.crash_at) {
     ReplicaId id = replica;
@@ -133,12 +146,36 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       cluster.network().Partition(window.groups, window.until_us);
     });
   }
+  if (!config.slow_windows.empty() && !config.nemesis) {
+    // Scheduled slow-node attack: extra network delay on everything the
+    // target sends while its window is open (the nemesis burst injector
+    // owns the single DelayInjector slot on chaos runs).
+    std::vector<ExperimentConfig::SlowNodeWindow> windows =
+        config.slow_windows;
+    Network* net = &cluster.network();
+    net->SetDelayInjector(
+        [windows, net](NodeId from, NodeId /*to*/, const MessagePtr& /*msg*/,
+                       bool* /*drop*/) -> std::optional<SimTime> {
+          const SimTime now = net->now();
+          for (const ExperimentConfig::SlowNodeWindow& w : windows) {
+            if (from == w.node && now >= w.at_us && now < w.until_us) {
+              return w.extra_delay_us;
+            }
+          }
+          return std::nullopt;
+        });
+  }
   std::optional<Nemesis> nemesis;
   if (config.nemesis) {
     nemesis.emplace(&cluster, *config.nemesis);
     nemesis->Install();
   }
   cluster.RunFor(config.duration_us);
+
+  // Switch-machinery failures (handoff digest divergence, bad target)
+  // are errors, never data points.
+  if (switcher && !switcher->status().ok()) return switcher->status();
+  if (switcher) switcher->FinalizeTelemetry();
 
   MetricsCollector& m = cluster.metrics();
   ExperimentResult r;
@@ -180,6 +217,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   r.txn_commits = m.counter("txn.commits");
   r.txn_aborts = m.counter("txn.aborts");
   r.txn_rejects = m.counter("txn.rejects");
+  if (switcher) {
+    r.switches = switcher->records();
+    r.final_protocol = switcher->current_protocol();
+  }
 
   // Commit-history hash: chain the lowest-id correct replica's finalized
   // (seq, digest) pairs so Digest() changes if any ordering decision did.

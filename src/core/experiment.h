@@ -13,6 +13,7 @@
 
 #include "chaos/nemesis.h"
 #include "core/registry.h"
+#include "core/switch/manager.h"
 #include "protocols/common/cluster.h"
 
 namespace bftlab {
@@ -37,6 +38,12 @@ struct ExperimentConfig {
   SimTime view_change_timeout_cap_us = 0;
   /// Workload; default unique-key 64-byte PUTs.
   OpGenerator op_generator;
+  /// Time-phased workload (see ClientConfig::OpPhase): each submission
+  /// uses the generator of the last phase whose `from_us` has passed,
+  /// falling back to `op_generator` before the first phase. Drives
+  /// phase-structured runs (contention spike, then calm) against one
+  /// continuous cluster.
+  std::vector<ClientConfig::OpPhase> op_phases;
   SimTime client_retransmit_us = Millis(500);
   /// Exponential client retransmission backoff (1.0 = classic fixed τ1).
   double client_backoff = 1.0;
@@ -57,6 +64,19 @@ struct ExperimentConfig {
     SimTime until_us = 0;
   };
   std::vector<PartitionWindow> partitions;
+  /// Scheduled slow-node windows: during [at_us, until_us) every message
+  /// *sent by* `node` picks up `extra_delay_us` in the network. The
+  /// protocol-agnostic stealthy performance-degradation attack: an extra
+  /// delay below the view-change timeout never triggers leader
+  /// replacement, yet end-to-end latency collapses while the slow node
+  /// leads. Ignored when `nemesis` is set (one DelayInjector slot).
+  struct SlowNodeWindow {
+    NodeId node = 0;
+    SimTime at_us = 0;
+    SimTime until_us = 0;
+    SimTime extra_delay_us = 0;
+  };
+  std::vector<SlowNodeWindow> slow_windows;
   /// Overrides the protocol's default authentication scheme (E3 sweeps).
   std::optional<AuthScheme> auth_override;
   /// Chaos mode: when set, a Nemesis fault schedule derived from this
@@ -77,6 +97,12 @@ struct ExperimentConfig {
   /// Optional causal event tracer (obs/trace.h) attached to the run's
   /// network. Not owned; null = tracing disabled (zero overhead).
   Tracer* tracer = nullptr;
+  /// Live protocol switching: when set, a SwitchManager runs alongside
+  /// the cluster — the degradation controller (and/or scripted forced
+  /// switches) can replace the protocol at an agreed checkpoint cut
+  /// mid-run. `protocol` is the starting protocol. A handoff digest
+  /// divergence or bad target fails the experiment with an error.
+  std::optional<AdaptiveSpec> adaptive;
 };
 
 struct ExperimentResult {
@@ -115,6 +141,10 @@ struct ExperimentResult {
   std::map<std::string, uint64_t> counters;
   /// Messages sent per Message::type() across the run.
   std::map<uint32_t, uint64_t> msgs_by_type;
+  /// Adaptive runs: per-switch telemetry, in switch order.
+  std::vector<SwitchRecord> switches;
+  /// Adaptive runs: the protocol running when the experiment ended.
+  std::string final_protocol;
 
   /// One-line table row (pairs with TableHeader()).
   std::string TableRow() const;

@@ -1,0 +1,229 @@
+#include "core/switch/controller.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/advisor.h"
+#include "core/registry.h"
+
+namespace bftlab {
+namespace {
+
+// Per-protocol fault-suspicion counters: any of these ticking means the
+// deployed protocol itself believes its leader/round is misbehaving.
+// Unknown names simply read as zero deltas.
+constexpr const char* kSuspicionCounters[] = {
+    "pbft.view_change_started",   "poe.view_change_started",
+    "hotstuff.pacemaker_timeouts", "tendermint.round_jumps",
+    "cheapbft.suspected",          "sbft.fallbacks",
+    "kauri.reconfigurations",
+};
+
+}  // namespace
+
+const char* DegradationSignatureName(DegradationSignature sig) {
+  switch (sig) {
+    case DegradationSignature::kNone:
+      return "none";
+    case DegradationSignature::kContention:
+      return "contention";
+    case DegradationSignature::kLeaderFault:
+      return "leader_fault";
+    case DegradationSignature::kCalm:
+      return "calm";
+  }
+  return "unknown";
+}
+
+DegradationController::DegradationController(ControllerConfig config,
+                                             std::string current_protocol,
+                                             uint32_t f, uint32_t n)
+    : config_(config),
+      current_(std::move(current_protocol)),
+      f_(f),
+      n_(n),
+      switchable_(SwitchableProtocols(f, n)) {}
+
+std::vector<std::string> DegradationController::SwitchableProtocols(
+    uint32_t f, uint32_t n) {
+  std::vector<std::string> out;
+  for (const std::string& name : AllProtocolNames()) {
+    Result<ProtocolBuild> build = GetProtocol(name, f);
+    if (!build.ok()) continue;
+    // Live switching reuses the running default clients and the existing
+    // replica slots, so the target must work with both.
+    if (build->client_factory) continue;
+    if (build->RecommendedN(f) != n) continue;
+    out.push_back(name);
+  }
+  return out;
+}
+
+DegradationSignature DegradationController::Classify(
+    const WindowStats& window, std::string* reason) const {
+  std::ostringstream os;
+
+  // Leader-fault evidence first: a stalled or censoring leader also
+  // starves transactions, so its symptoms dominate contention's.
+  uint64_t suspicion = 0;
+  for (const char* name : kSuspicionCounters) {
+    suspicion += window.Counter(name);
+  }
+  const uint64_t retransmissions = window.Counter("client.retransmissions");
+  if (window.commits == 0 && retransmissions > 0) {
+    os << "commit_stall retransmissions=" << retransmissions;
+    *reason = os.str();
+    return DegradationSignature::kLeaderFault;
+  }
+  if (suspicion >= config_.suspicion_events) {
+    os << "suspicion_events=" << suspicion;
+    *reason = os.str();
+    return DegradationSignature::kLeaderFault;
+  }
+  if (window.commits > 0) {
+    const double per_commit = static_cast<double>(retransmissions) /
+                              static_cast<double>(window.commits);
+    if (per_commit > config_.retransmit_ratio) {
+      os << "retransmit_ratio=" << per_commit;
+      *reason = os.str();
+      return DegradationSignature::kLeaderFault;
+    }
+    if (calm_p99_us_ > 0 &&
+        window.latency_p99_us > config_.latency_blowup * calm_p99_us_) {
+      os << "p99_blowup=" << window.latency_p99_us / calm_p99_us_
+         << "x baseline=" << calm_p99_us_ << "us";
+      *reason = os.str();
+      return DegradationSignature::kLeaderFault;
+    }
+  }
+
+  // Contention: what fraction of transactional outcomes aborted. The
+  // counters tick once per replica per outcome, which cancels in the
+  // ratio.
+  const uint64_t aborts = window.Counter("txn.aborts");
+  const uint64_t outcomes = aborts + window.Counter("txn.commits");
+  if (outcomes >= config_.min_txn_outcomes) {
+    const double abort_ratio =
+        static_cast<double>(aborts) / static_cast<double>(outcomes);
+    if (abort_ratio > config_.abort_ratio_threshold) {
+      os << "abort_ratio=" << abort_ratio;
+      *reason = os.str();
+      return DegradationSignature::kContention;
+    }
+  }
+
+  *reason = "quiet_window";
+  return DegradationSignature::kCalm;
+}
+
+std::optional<SwitchProposal> DegradationController::Observe(
+    const WindowStats& window) {
+  std::string reason;
+  const DegradationSignature sig = Classify(window, &reason);
+
+  // Track the healthy-latency baseline from calm windows only, so a
+  // degraded stretch cannot inflate its own comparison point.
+  if (sig == DegradationSignature::kCalm && window.commits > 0 &&
+      window.latency_p99_us > 0) {
+    calm_p99_us_ = calm_p99_us_ == 0
+                       ? window.latency_p99_us
+                       : std::min(calm_p99_us_, window.latency_p99_us);
+  }
+
+  if (sig == last_signature_) {
+    ++streak_;
+  } else {
+    last_signature_ = sig;
+    streak_ = 1;
+  }
+  const bool probing = probe_grace_left_ > 0;
+  if (probing && --probe_grace_left_ == 0) {
+    // The probe stuck: a whole grace period passed without the fault
+    // re-firing, so the regime really healed. Forgive past failures.
+    calm_penalty_ = 1.0;
+  }
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return std::nullopt;
+  }
+  uint32_t needed;
+  if (sig == DegradationSignature::kCalm) {
+    needed = static_cast<uint32_t>(
+        static_cast<double>(config_.calm_windows) * calm_penalty_);
+  } else {
+    needed = probing ? config_.probe_trigger_windows : config_.trigger_windows;
+  }
+  if (streak_ < needed) return std::nullopt;
+
+  const std::string target = TargetFor(sig);
+  if (target.empty() || target == current_) return std::nullopt;
+
+  const bool escalation = sig == DegradationSignature::kLeaderFault ||
+                          sig == DegradationSignature::kContention;
+  if (escalation) {
+    if (probing && sig == last_escalation_) {
+      // Failed probe: the very fault we de-escalated to test is back.
+      // Back off the next probe so a persistent fault is re-probed ever
+      // more rarely instead of flapping.
+      calm_penalty_ = std::min(calm_penalty_ * config_.calm_backoff,
+                               config_.calm_backoff_cap);
+    } else if (sig != last_escalation_) {
+      // A different fault signature means the regime changed; the old
+      // probe history says nothing about the new fault.
+      calm_penalty_ = 1.0;
+    }
+    last_escalation_ = sig;
+    probe_grace_left_ = 0;
+  }
+  return SwitchProposal{target, sig, reason};
+}
+
+void DegradationController::NoteSwitchStarted(const std::string& target,
+                                              DegradationSignature trigger) {
+  current_ = target;
+  streak_ = 0;
+  last_signature_ = DegradationSignature::kNone;
+  if (trigger == DegradationSignature::kCalm) {
+    // De-escalation probe: short cool-down, hair trigger, watched grace.
+    cooldown_left_ = config_.probe_cooldown_windows;
+    probe_grace_left_ = config_.probe_grace_windows;
+  } else {
+    cooldown_left_ = config_.cooldown_windows;
+    probe_grace_left_ = 0;
+  }
+}
+
+std::string DegradationController::TargetFor(DegradationSignature sig) const {
+  ApplicationRequirements reqs;
+  reqs.expected_cluster_size = n_;
+  switch (sig) {
+    case DegradationSignature::kLeaderFault:
+      // Active attack/fault underway: pay for robustness.
+      reqs.adversarial = true;
+      reqs.faults_expected = true;
+      break;
+    case DegradationSignature::kContention:
+      // Hot keys abort optimistic/speculative paths; prefer conservative
+      // ordering that still keeps throughput.
+      reqs.conflict_rate = 1.0;
+      reqs.faults_expected = true;
+      reqs.throughput_priority = 0.8;
+      break;
+    case DegradationSignature::kCalm:
+      // Fault-free steady state: cheapest protocol wins.
+      reqs.conflict_rate = 0.1;
+      reqs.throughput_priority = 0.7;
+      break;
+    default:
+      return "";
+  }
+  for (const Recommendation& rec : Advise(reqs)) {
+    if (std::find(switchable_.begin(), switchable_.end(), rec.protocol) !=
+        switchable_.end()) {
+      return rec.protocol;
+    }
+  }
+  return "";
+}
+
+}  // namespace bftlab

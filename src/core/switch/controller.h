@@ -1,0 +1,148 @@
+// Degradation controller: watches windowed runtime metrics and decides
+// when the deployed protocol no longer fits the observed fault/workload
+// regime. Classification is deterministic in the window sequence, gated
+// by hysteresis (a signature must persist for several windows) and a
+// cool-down after every switch so the system cannot flap.
+//
+// The controller only *proposes*; the SwitchManager (manager.h) owns the
+// agreed cut-over mechanics.
+
+#ifndef BFTLAB_CORE_SWITCH_CONTROLLER_H_
+#define BFTLAB_CORE_SWITCH_CONTROLLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace bftlab {
+
+/// What the current window sequence looks like, in degradation terms.
+enum class DegradationSignature : uint8_t {
+  kNone = 0,
+  /// Transactional abort ratio above threshold: hot-key contention.
+  kContention,
+  /// Commit stall, latency blow-up vs the calm baseline, retransmission
+  /// storm, or protocol fault-suspicion events: a faulty/slow leader.
+  kLeaderFault,
+  /// Nothing wrong for a sustained run of windows.
+  kCalm,
+};
+
+const char* DegradationSignatureName(DegradationSignature sig);
+
+struct ControllerConfig {
+  /// Windows a degraded signature must persist before a switch fires.
+  uint32_t trigger_windows = 2;
+  /// Calm must persist this long before easing back to the calm pick
+  /// (longer than trigger_windows: recovering is cheap to delay, being
+  /// degraded is not).
+  uint32_t calm_windows = 5;
+  /// Windows suppressed after a switch starts (flap damping).
+  uint32_t cooldown_windows = 8;
+  /// kContention: aborts / (aborts + commits) over the window.
+  double abort_ratio_threshold = 0.35;
+  /// Minimum transactional outcomes in a window before the abort ratio
+  /// is trusted at all.
+  uint64_t min_txn_outcomes = 8;
+  /// kLeaderFault: window p99 latency vs the tracked calm baseline.
+  double latency_blowup = 3.0;
+  /// kLeaderFault: client retransmissions per committed request.
+  double retransmit_ratio = 0.5;
+  /// kLeaderFault: fault-suspicion events (view changes started,
+  /// pacemaker timeouts, round jumps, ...) in one window.
+  uint64_t suspicion_events = 2;
+  /// A calm-triggered de-escalation is a *probe*: a robust protocol can
+  /// mask the fault it was deployed against (e.g. prime routes around a
+  /// slow node after one adaptive view change, after which every signal
+  /// goes quiet), so the only way to learn whether the regime healed is
+  /// to ease back and watch. Probes therefore run with a short cool-down
+  /// and a hair trigger, and each failed probe multiplies the calm
+  /// hysteresis so the controller re-probes a persistent fault ever more
+  /// rarely instead of flapping.
+  uint32_t probe_cooldown_windows = 1;
+  /// Trigger hysteresis while a probe is in flight (re-escalation must
+  /// be fast: every degraded window during a failed probe is lost work).
+  uint32_t probe_trigger_windows = 1;
+  /// Windows a probe is watched. If no escalation fires within the
+  /// grace, the probe stuck: the regime really is calm and the backoff
+  /// penalty resets.
+  uint32_t probe_grace_windows = 8;
+  /// Calm-hysteresis multiplier applied when a probe fails (the same
+  /// fault signature re-fires during the grace). Reset when a probe
+  /// sticks or the regime changes signature.
+  double calm_backoff = 4.0;
+  double calm_backoff_cap = 8.0;
+};
+
+struct SwitchProposal {
+  std::string target;
+  DegradationSignature signature = DegradationSignature::kNone;
+  /// Human-readable trigger evidence, e.g. "abort_ratio=0.62".
+  std::string reason;
+};
+
+/// Deterministic hysteresis classifier + advisor-backed target mapping.
+class DegradationController {
+ public:
+  DegradationController(ControllerConfig config, std::string current_protocol,
+                        uint32_t f, uint32_t n);
+
+  /// Feeds one metrics window; returns a proposal when a signature has
+  /// persisted past its hysteresis gate, the cool-down has expired, and
+  /// the advisor's pick differs from the running protocol.
+  std::optional<SwitchProposal> Observe(const WindowStats& window);
+
+  /// Must be called when a switch actually starts (proposed here or
+  /// forced externally): re-bases the current protocol and arms the
+  /// cool-down. `trigger` is the signature that drove the switch
+  /// (kNone for forced/scripted switches): calm-triggered switches arm
+  /// the short probe cool-down instead of the full one.
+  void NoteSwitchStarted(
+      const std::string& target,
+      DegradationSignature trigger = DegradationSignature::kNone);
+
+  /// Advisor pick for a signature, restricted to live-switchable
+  /// protocols ("" = keep current). Exposed for tests.
+  std::string TargetFor(DegradationSignature sig) const;
+
+  /// Protocols that can be switched to at runtime: default client,
+  /// recommended cluster size n at this f.
+  static std::vector<std::string> SwitchableProtocols(uint32_t f, uint32_t n);
+
+  DegradationSignature last_signature() const { return last_signature_; }
+  uint32_t cooldown_remaining() const { return cooldown_left_; }
+  const std::string& current_protocol() const { return current_; }
+  /// True while a calm de-escalation probe is being watched.
+  bool probing() const { return probe_grace_left_ > 0; }
+  /// Current calm-hysteresis multiplier (1 = no failed probes pending).
+  double calm_penalty() const { return calm_penalty_; }
+
+ private:
+  DegradationSignature Classify(const WindowStats& window,
+                                std::string* reason) const;
+
+  ControllerConfig config_;
+  std::string current_;
+  uint32_t f_;
+  uint32_t n_;
+  std::vector<std::string> switchable_;
+  DegradationSignature last_signature_ = DegradationSignature::kNone;
+  uint32_t streak_ = 0;
+  uint32_t cooldown_left_ = 0;
+  /// Windows left on the active de-escalation probe (0 = not probing).
+  uint32_t probe_grace_left_ = 0;
+  /// The escalated signature the probe is testing against; a probe fails
+  /// only when the *same* fault signature re-fires.
+  DegradationSignature last_escalation_ = DegradationSignature::kNone;
+  double calm_penalty_ = 1.0;
+  /// Lowest p99 seen in any calm window: the "healthy" latency baseline
+  /// the blow-up rule compares against.
+  double calm_p99_us_ = 0;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SWITCH_CONTROLLER_H_

@@ -9,6 +9,7 @@
 #include "chaos/linearizability.h"
 #include "common/fnv.h"
 #include "common/rng.h"
+#include "core/switch/manager.h"
 #include "explore/state_digest.h"
 
 namespace bftlab {
@@ -35,6 +36,8 @@ struct ScheduleOutcome {
   uint64_t violation_step = 0;
   uint64_t steps = 0;
   uint64_t points = 0;
+  /// forced_switch mode: the live switch completed within the schedule.
+  bool switched = false;
   /// Every decision taken: (point, chosen index into the choice list).
   std::vector<std::pair<uint64_t, size_t>> decisions;
   /// Choice-set size at each decision point (for the decision hash).
@@ -107,8 +110,39 @@ ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
                                ? cfg.replica_factory_override
                                : build.replica_factory;
   Cluster cluster(std::move(cc), factory, build.client_factory);
+
+  // Live-switch harness: a manually-driven SwitchManager (no poll timers
+  // in the event space). The directive, its retransmissions, filler ops,
+  // and reply traffic all enter the simulator as ordinary events — the
+  // schedule under exploration permutes them against view-change timers
+  // and quorum completions directly.
+  std::optional<SwitchManager> switcher;
+  bool switch_armed = false;
+  if (cfg.forced_switch) {
+    AdaptiveSpec sw;
+    sw.controller_enabled = false;
+    sw.manual = true;
+    sw.handoff_timeout_us = cfg.forced_switch->handoff_timeout_us;
+    sw.forced.push_back({cfg.forced_switch->target, 0});
+    switcher.emplace(&cluster, cfg.protocol, sw);
+    switcher->Install();
+  }
+
   cluster.sim().SetControlled(true);
   cluster.Start();
+
+  // Switch-manager progress folds into the state digest: two states with
+  // identical cluster contents but different handoff progress must not
+  // alias in the DFS frontier.
+  auto state_digest = [&](const std::vector<SimEventInfo>& choices) {
+    uint64_t d = ClusterStateDigest(cluster, choices);
+    if (switcher) {
+      d = FnvMix(d, switch_armed ? 1 : 0);
+      d = FnvMix(d, switcher->switch_in_progress() ? 1 : 0);
+      d = FnvMix(d, switcher->switches_completed());
+    }
+    return d;
+  };
 
   const uint64_t goal = cfg.max_requests * cfg.num_clients;
   const bool check_agreement = build.descriptor.good_case_phases > 0;
@@ -117,7 +151,13 @@ ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
   ScheduleOutcome out;
   size_t lin_seen = 0;
   while (true) {
-    if (goal > 0 && cluster.TotalAccepted() >= goal) break;
+    // With a switch point configured the schedule runs on past the
+    // workload goal until the handoff completes (max_steps still bounds
+    // schedules where it cannot).
+    if (goal > 0 && cluster.TotalAccepted() >= goal &&
+        (!switcher || switcher->switches_completed() > 0)) {
+      break;
+    }
     if (out.steps >= cfg.max_steps) break;
     std::vector<SimEventInfo> choices = cluster.sim().Choices();
     if (choices.empty()) break;
@@ -126,11 +166,11 @@ ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
     // prefix was first explored (deterministic replay revisits them
     // bit-identically), so skip the digest work there.
     if (visited != nullptr && out.steps >= check_from_step) {
-      visited->insert(ClusterStateDigest(cluster, choices));
+      visited->insert(state_digest(choices));
     }
     size_t pick = 0;
     if (choices.size() > 1) {
-      if (hook && !hook(out.points, ClusterStateDigest(cluster, choices))) {
+      if (hook && !hook(out.points, state_digest(choices))) {
         out.pruned = true;
         break;
       }
@@ -146,6 +186,27 @@ ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
     }
     cluster.sim().RunChoice(choices[pick].id);
     ++out.steps;
+    // Drive the switch harness between events (outside any handler):
+    // arm once the workload prefix has committed, then poll the handoff
+    // after every event so the swap happens at whatever point this
+    // schedule's interleaving reaches the cut.
+    if (switcher) {
+      if (!switch_armed &&
+          cluster.TotalAccepted() >= cfg.forced_switch->after_accepted) {
+        switch_armed = true;
+      }
+      if (switch_armed) {
+        switcher->Step();
+        if (!switcher->status().ok()) {
+          out.violated = true;
+          out.oracle = "switch";
+          out.detail = switcher->status().message();
+          out.violation_point = out.points;
+          out.violation_step = out.steps;
+          break;
+        }
+      }
+    }
     if (out.steps <= check_from_step) continue;
     std::string oracle;
     Status s = CheckStepInvariants(cluster, check_agreement, check_lin,
@@ -159,6 +220,7 @@ ScheduleOutcome RunSchedule(const ExploreConfig& cfg,
       break;
     }
   }
+  out.switched = switcher && switcher->switches_completed() > 0;
   return out;
 }
 
@@ -234,7 +296,10 @@ uint64_t OutcomeHash(const ExploreReport& report) {
 /// Weighted random choice for walk mode. Deliveries sharing their
 /// destination with another pending delivery weigh 3 (same-inbox
 /// reorderings), timers weigh 2 while any delivery is pending (timer vs
-/// quorum-completion races), everything else weighs 1.
+/// quorum-completion races), everything else weighs 1. Control-client
+/// events (SWITCH directives, their retransmissions, fillers, replies)
+/// weigh 4 so walks sample SWITCH-vs-timer/quorum races densely when a
+/// switch point is configured.
 size_t WeightedPick(const std::vector<SimEventInfo>& choices, Rng* rng) {
   bool any_deliver = false;
   for (const SimEventInfo& c : choices) {
@@ -243,7 +308,10 @@ size_t WeightedPick(const std::vector<SimEventInfo>& choices, Rng* rng) {
   std::vector<uint32_t> weight(choices.size(), 1);
   uint64_t total = 0;
   for (size_t i = 0; i < choices.size(); ++i) {
-    if (choices[i].label.kind == SimEventKind::kDeliver) {
+    if (choices[i].label.node == kSwitchControlClientId ||
+        choices[i].label.peer == kSwitchControlClientId) {
+      weight[i] = 4;
+    } else if (choices[i].label.kind == SimEventKind::kDeliver) {
       for (size_t j = 0; j < choices.size(); ++j) {
         if (j != i && choices[j].label.kind == SimEventKind::kDeliver &&
             choices[j].label.node == choices[i].label.node) {
@@ -344,6 +412,7 @@ Result<ExploreReport> ExploreDfs(const ExploreConfig& config) {
     report.stats.max_depth =
         std::max<uint64_t>(report.stats.max_depth, stack.size());
     if (out.pruned) ++report.stats.pruned;
+    if (out.switched) ++report.stats.switched;
     FoldOutcome(out, &report.decision_hash);
 
     if (out.violated) {
@@ -391,6 +460,7 @@ Result<ExploreReport> ExploreRandomWalks(const ExploreConfig& config) {
     report.stats.decision_points += out.points;
     report.stats.max_depth =
         std::max<uint64_t>(report.stats.max_depth, out.points);
+    if (out.switched) ++report.stats.switched;
     uint64_t sched = kFnvBasis;
     FoldOutcome(out, &sched);
     schedule_hashes.insert(sched);

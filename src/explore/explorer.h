@@ -44,6 +44,23 @@ struct ExploreConfig {
   /// Overrides the registered replica factory (seeded-bug validation).
   ReplicaFactory replica_factory_override;
 
+  /// Live-switch exploration: once `after_accepted` workload ops have
+  /// completed, a SWITCH directive to `target` enters through the switch
+  /// manager's control client and the handoff is polled between steps —
+  /// the directive's ordering, the quiesce at the cut, and the client
+  /// cut-over all race the timers and quorum traffic the explorer is
+  /// already permuting. The walk picker additionally biases toward
+  /// control-client traffic so SWITCH-vs-timer/quorum races are sampled
+  /// densely.
+  struct SwitchPoint {
+    std::string target;
+    /// Completed workload ops before the directive is injected.
+    uint64_t after_accepted = 1;
+    /// Laggard force-seed budget once the first correct replica is ready.
+    SimTime handoff_timeout_us = Millis(400);
+  };
+  std::optional<SwitchPoint> forced_switch;
+
   // --- Budget ---
   /// Decision points that may branch; deeper points take the default.
   size_t max_decisions = 40;
@@ -74,6 +91,8 @@ struct ExploreStats {
   uint64_t events = 0;           // Simulator events across all schedules.
   uint64_t max_depth = 0;        // Deepest branching prefix reached.
   uint64_t distinct_schedules = 0;  // Walk mode: distinct decision seqs.
+  uint64_t switched = 0;  // Schedules whose live switch completed
+                          // (forced_switch mode only).
 };
 
 /// Result of one exploration.

@@ -42,6 +42,18 @@ void Cluster::Start() {
   network_->Start();
 }
 
+Client* Cluster::AddClient(std::unique_ptr<Client> client) {
+  Client* raw = client.get();
+  extra_clients_.push_back(std::move(client));
+  network_->RegisterActor(raw);
+  return raw;
+}
+
+void Cluster::ReplaceReplica(ReplicaId id, std::unique_ptr<Replica> next) {
+  network_->ReplaceActor(next.get());
+  replicas_[id] = std::move(next);
+}
+
 uint64_t Cluster::TotalAccepted() const {
   uint64_t total = 0;
   for (const auto& c : clients_) total += c->accepted_requests();
@@ -96,6 +108,15 @@ Status Cluster::CheckAgreement() const {
   for (size_t i = 0; i < correct.size(); ++i) {
     const auto& a = replicas_[correct[i]]->finalized_digests();
     for (size_t j = i + 1; j < correct.size(); ++j) {
+      // Sequence numbering restarts per protocol epoch; mid-handoff, a
+      // not-yet-switched replica's seq 1 and a new-epoch replica's seq 1
+      // name different batches. Same-epoch pairs carry the agreement
+      // oracle; cross-epoch agreement is enforced at the cut by the
+      // switch manager's digest cross-check (and by CheckStateMachines,
+      // which keys on the epoch-spanning state-machine version).
+      if (replicas_[correct[i]]->epoch() != replicas_[correct[j]]->epoch()) {
+        continue;
+      }
       const auto& b = replicas_[correct[j]]->finalized_digests();
       // Compare on common sequence numbers.
       for (const auto& [seq, digest] : a) {
@@ -136,12 +157,16 @@ Status Cluster::CheckCheckpoints() const {
   // Stable checkpoints are quorum-certified prefixes of the execution
   // history; two correct replicas with a stable checkpoint at the same
   // sequence number must therefore hold the same state digest there.
-  std::map<SequenceNumber, std::pair<ReplicaId, Digest>> by_seq;
+  // Keyed by (epoch, seq): checkpoint seqs restart with each protocol
+  // epoch, so only same-epoch checkpoints are comparable.
+  std::map<std::pair<uint64_t, SequenceNumber>, std::pair<ReplicaId, Digest>>
+      by_seq;
   for (ReplicaId r : CorrectReplicas()) {
     Result<Checkpoint> stable = replicas_[r]->checkpoints().GetStable();
     if (!stable.ok()) continue;  // No stable checkpoint yet.
     auto [it, inserted] = by_seq.emplace(
-        stable->seq, std::make_pair(r, stable->state_digest));
+        std::make_pair(replicas_[r]->epoch(), stable->seq),
+        std::make_pair(r, stable->state_digest));
     if (!inserted && it->second.second != stable->state_digest) {
       std::ostringstream os;
       os << "CHECKPOINT DIVERGENCE at seq " << stable->seq << ": replicas "

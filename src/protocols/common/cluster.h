@@ -74,6 +74,17 @@ class Cluster {
   Client& client(size_t i) { return *clients_[i]; }
   size_t num_clients() const { return clients_.size(); }
 
+  /// Registers an auxiliary client (e.g. the switch manager's control
+  /// client) before Start(). Kept out of clients_ so workload accounting
+  /// (TotalAccepted, client(i)) is unaffected. Returns the raw pointer.
+  Client* AddClient(std::unique_ptr<Client> client);
+
+  /// Swaps the replica at `id` for a new (typically next-epoch) instance
+  /// in place: the network drops its queued deliveries, retires its
+  /// timers and in-flight protocol messages via the epoch bump, and
+  /// starts the new actor. The old instance is destroyed.
+  void ReplaceReplica(ReplicaId id, std::unique_ptr<Replica> next);
+
   /// Total requests accepted across clients.
   uint64_t TotalAccepted() const;
 
@@ -111,6 +122,7 @@ class Cluster {
 
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Client>> extra_clients_;
   bool started_ = false;
   SimTime recovery_interval_us_ = 0;
   SimTime recovery_downtime_us_ = 0;

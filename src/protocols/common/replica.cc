@@ -10,6 +10,7 @@
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "smr/kv_txn.h"
+#include "smr/switch_op.h"
 
 namespace bftlab {
 
@@ -234,6 +235,11 @@ void Replica::Deliver(SequenceNumber seq, Batch batch, bool speculative) {
 
 void Replica::DrainExecutions() {
   while (true) {
+    // Quiesce: nothing executes past the agreed cut in this epoch. The
+    // successor epoch starts from the cut's checkpoint payload, so any
+    // batch ordered beyond it is simply abandoned (its clients re-submit
+    // into the new epoch).
+    if (switch_pending_ && last_executed_ >= switch_cut_seq_) break;
     auto it = pending_executions_.find(last_executed_ + 1);
     if (it == pending_executions_.end()) break;
     auto [batch, speculative] = std::move(it->second);
@@ -260,6 +266,14 @@ void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
       RemoveFromPool(request.ComputeDigest());
       OnRequestExecuted(request, speculative);
       continue;
+    }
+    // Every correct replica executes the directive at the same sequence
+    // number (it was ordered like any other request), so all derive the
+    // same cut. Speculative executions schedule too; a rollback across
+    // the directive unschedules (see RollbackTo).
+    if (std::optional<SwitchDirective> directive =
+            DecodeSwitchDirective(request.operation)) {
+      ScheduleSwitch(directive->epoch, directive->target, seq);
     }
     Result<Buffer> result = state_machine_->Apply(request.operation);
     Buffer result_bytes =
@@ -387,10 +401,49 @@ Status Replica::RollbackTo(SequenceNumber seq) {
   ++rollbacks_;
   metrics().Increment("replica.rollbacks");
   TraceMark("rollback", view(), seq);
+  // A rollback across the directive's execution point revokes the
+  // schedule: the final ordering may place the directive elsewhere (or
+  // nowhere), and re-execution will re-derive the cut from it.
+  if (switch_pending_ && last_executed_ < switch_sched_seq_) {
+    switch_pending_ = false;
+    switch_target_.clear();
+    switch_target_epoch_ = 0;
+    switch_sched_seq_ = 0;
+    switch_cut_seq_ = 0;
+    metrics().Increment("switch.unscheduled");
+  }
   return Status::Ok();
 }
 
-Buffer Replica::EncodeCheckpointPayload() const {
+void Replica::ScheduleSwitch(uint64_t target_epoch, const std::string& target,
+                             SequenceNumber sched_seq) {
+  if (switch_pending_ || target_epoch != config_.epoch + 1) return;
+  switch_pending_ = true;
+  switch_target_epoch_ = target_epoch;
+  switch_target_ = target;
+  switch_sched_seq_ = sched_seq;
+  switch_cut_seq_ = SwitchCutFor(sched_seq, config_.checkpoint_interval);
+  metrics().Increment("switch.scheduled");
+  TraceMark("switch_scheduled", view(), switch_cut_seq_);
+  OnSwitchScheduled(switch_cut_seq_);
+}
+
+Status Replica::SeedFromPayload(const Buffer& payload, const Digest& digest) {
+  if (Sha256::Hash(payload) != digest) {
+    return Status::InvalidArgument("handoff payload digest mismatch");
+  }
+  BFTLAB_RETURN_IF_ERROR(RestoreCheckpointPayload(payload));
+  // The payload encodes the very switch that created this replica; do
+  // not re-adopt it as a pending switch out of our own epoch.
+  switch_pending_ = false;
+  switch_target_.clear();
+  switch_target_epoch_ = 0;
+  switch_sched_seq_ = 0;
+  switch_cut_seq_ = 0;
+  return Status::Ok();
+}
+
+Buffer Replica::EncodeCheckpointPayload(SequenceNumber seq) const {
   Encoder enc;
   // The reply cache rides along with the application snapshot: after a
   // state transfer the receiver must suppress duplicates exactly like
@@ -406,6 +459,18 @@ Buffer Replica::EncodeCheckpointPayload() const {
     enc.PutBytes(cached.result);
   }
   enc.PutBytes(state_machine_->Snapshot());
+  // Pending-switch state is a pure function of the executed prefix: the
+  // directive either did or did not execute by `seq`, identically on
+  // every replica that reached this checkpoint. Folding it into the
+  // agreed payload means a replica that catches up via state transfer
+  // also learns it must quiesce at the cut instead of sailing past it.
+  const bool pending = switch_pending_ && switch_sched_seq_ <= seq;
+  enc.PutU64(pending ? switch_target_epoch_ : 0);
+  if (pending) {
+    enc.PutBytes(Slice(switch_target_).ToBuffer());
+    enc.PutU64(switch_sched_seq_);
+    enc.PutU64(switch_cut_seq_);
+  }
   return enc.Take();
 }
 
@@ -422,14 +487,33 @@ Status Replica::RestoreCheckpointPayload(const Buffer& payload) {
     cache[static_cast<ClientId>(client)] = std::move(cached);
   }
   BFTLAB_ASSIGN_OR_RETURN(Buffer snapshot, dec.GetBytes());
+  BFTLAB_ASSIGN_OR_RETURN(uint64_t sw_epoch, dec.GetU64());
+  std::string sw_target;
+  SequenceNumber sw_sched = 0, sw_cut = 0;
+  if (sw_epoch != 0) {
+    BFTLAB_ASSIGN_OR_RETURN(Buffer target_bytes, dec.GetBytes());
+    sw_target.assign(reinterpret_cast<const char*>(target_bytes.data()),
+                     target_bytes.size());
+    BFTLAB_ASSIGN_OR_RETURN(sw_sched, dec.GetU64());
+    BFTLAB_ASSIGN_OR_RETURN(sw_cut, dec.GetU64());
+  }
   BFTLAB_RETURN_IF_ERROR(state_machine_->Restore(snapshot));
   reply_cache_ = std::move(cache);
+  if (sw_epoch == config_.epoch + 1 && !switch_pending_) {
+    switch_pending_ = true;
+    switch_target_epoch_ = sw_epoch;
+    switch_target_ = std::move(sw_target);
+    switch_sched_seq_ = sw_sched;
+    switch_cut_seq_ = sw_cut;
+    metrics().Increment("switch.adopted_via_state_transfer");
+    OnSwitchScheduled(switch_cut_seq_);
+  }
   return Status::Ok();
 }
 
 void Replica::MaybeTakeCheckpoint(SequenceNumber seq) {
   if (!checkpoint_store_.IsCheckpointSeq(seq)) return;
-  Buffer payload = EncodeCheckpointPayload();
+  Buffer payload = EncodeCheckpointPayload(seq);
   Digest digest = Sha256::Hash(payload);
   checkpoint_store_.Add(seq, digest, std::move(payload));
   metrics().Increment("replica.checkpoints_taken");
@@ -551,6 +635,12 @@ uint64_t Replica::StateFingerprint() const {
   }
   h = FnvMix(h, checkpoint_store_.stable_seq());
   h = FnvMix(h, state_transfer_target_);
+  h = FnvMix(h, config_.epoch);
+  if (switch_pending_) {
+    h = FnvMix(h, switch_target_epoch_);
+    h = FnvMix(h, switch_cut_seq_);
+    h = FnvBytes(switch_target_.data(), switch_target_.size(), h);
+  }
   h = FnvMix(h, ProtocolStateFingerprint());
   return h;
 }

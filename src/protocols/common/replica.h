@@ -65,6 +65,11 @@ struct ReplicaConfig {
   ReplicaId id = 0;
   uint32_t n = 4;
   uint32_t f = 1;
+  /// Protocol epoch this replica incarnation belongs to. Live protocol
+  /// switching replaces replicas in place with epoch+1 instances;
+  /// sequence numbering restarts per epoch while the state machine
+  /// version continues.
+  uint64_t epoch = 0;
   AuthScheme auth = AuthScheme::kSignatures;
   /// P4: distance between checkpoints.
   uint64_t checkpoint_interval = 64;
@@ -132,6 +137,30 @@ class Replica : public Actor {
   size_t pending_requests() const { return pool_order_.size(); }
   uint64_t rollbacks() const { return rollbacks_; }
 
+  // --- Live protocol switching (core/switch) ------------------------------
+
+  uint64_t epoch() const { return config_.epoch; }
+  /// True once this replica executed a SWITCH directive for epoch+1 and
+  /// is quiescing toward the cut.
+  bool switch_pending() const { return switch_pending_; }
+  const std::string& switch_target() const { return switch_target_; }
+  uint64_t switch_target_epoch() const { return switch_target_epoch_; }
+  /// The agreed cut: the checkpoint boundary execution stops at.
+  SequenceNumber switch_cut_seq() const { return switch_cut_seq_; }
+  /// True when the replica finalized through the cut and holds the
+  /// checkpoint whose payload seeds its successor.
+  bool ReadyToSwitch() const {
+    return switch_pending_ && finalized_ >= switch_cut_seq_ &&
+           checkpoint_store_.Get(switch_cut_seq_).ok();
+  }
+
+  /// Seeds a freshly-built next-epoch replica from a digest-verified
+  /// checkpoint payload of its predecessor: application snapshot plus
+  /// reply cache, so requests executed before the cut are answered from
+  /// cache instead of re-executing. Sequence numbering starts at 0 in
+  /// the new epoch; the state-machine version continues.
+  Status SeedFromPayload(const Buffer& payload, const Digest& digest);
+
   /// FNV-1a digest of the replica's behavior-relevant state (view,
   /// execution frontier, finalized digests, state-machine digest, pool,
   /// reply cache, buffered executions, stable checkpoint) folded with the
@@ -167,6 +196,12 @@ class Replica : public Actor {
     (void)request;
     (void)speculative;
   }
+
+  /// A SWITCH directive executed and the replica committed to quiesce at
+  /// `cut_seq`. The base class already stops ordering past the cut
+  /// (HighWatermark clamps there) and stops executing beyond it;
+  /// protocols may additionally park batch timers or drain speculation.
+  virtual void OnSwitchScheduled(SequenceNumber cut_seq) { (void)cut_seq; }
 
   /// A transactional request (KvTxn payload) was executed with the given
   /// outcome. Protocols with a conflict path (Zyzzyva's speculative
@@ -294,9 +329,13 @@ class Replica : public Actor {
   const ByzantineSpec& byzantine_spec() const { return config_.byzantine; }
 
   /// Low/high watermarks (P4): proposals allowed in (low, low+window].
+  /// A pending switch clamps the high watermark to the cut: nothing may
+  /// be ordered in the old epoch past the agreed handoff boundary.
   SequenceNumber LowWatermark() const { return checkpoint_store_.stable_seq(); }
   SequenceNumber HighWatermark() const {
-    return LowWatermark() + config_.watermark_window;
+    SequenceNumber hw = LowWatermark() + config_.watermark_window;
+    if (switch_pending_ && switch_cut_seq_ < hw) hw = switch_cut_seq_;
+    return hw;
   }
 
   /// Timer tags below this value are reserved for the base class.
@@ -329,15 +368,20 @@ class Replica : public Actor {
   void HandleCheckpoint(NodeId from, const CheckpointMessage& msg);
   void HandleStateRequest(NodeId from, const StateRequestMessage& msg);
   void HandleStateResponse(NodeId from, const StateResponseMessage& msg);
-  /// Serializes reply cache + state-machine snapshot; the checkpoint
-  /// digest certifies this whole payload, so a state transfer restores
-  /// duplicate suppression along with application state.
-  Buffer EncodeCheckpointPayload() const;
+  /// Serializes reply cache + state-machine snapshot (+ pending-switch
+  /// state as of `seq`); the checkpoint digest certifies this whole
+  /// payload, so a state transfer restores duplicate suppression along
+  /// with application state.
+  Buffer EncodeCheckpointPayload(SequenceNumber seq) const;
   Status RestoreCheckpointPayload(const Buffer& payload);
-  /// Executes buffered batches while they are contiguous.
+  /// Executes buffered batches while they are contiguous (and, during a
+  /// pending switch, at or below the cut).
   void DrainExecutions();
   void ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative);
   void MaybeTakeCheckpoint(SequenceNumber seq);
+  /// Adopts an executed SWITCH directive: derives the cut and quiesces.
+  void ScheduleSwitch(uint64_t target_epoch, const std::string& target,
+                      SequenceNumber sched_seq);
 
   ReplicaConfig config_;
   std::unique_ptr<StateMachine> state_machine_;
@@ -365,6 +409,13 @@ class Replica : public Actor {
 
   uint64_t rollbacks_ = 0;
   bool suppress_replies_ = false;
+
+  // Pending-switch state (set when a SWITCH directive executes).
+  bool switch_pending_ = false;
+  uint64_t switch_target_epoch_ = 0;
+  std::string switch_target_;
+  SequenceNumber switch_sched_seq_ = 0;  // Where the directive executed.
+  SequenceNumber switch_cut_seq_ = 0;    // Agreed handoff boundary.
 };
 
 }  // namespace bftlab

@@ -1,43 +1,67 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace bftlab {
 
+namespace {
+
+/// Linear-interpolated percentile over an already-sorted vector.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 void Histogram::EnsureSorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (sorted_dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
   }
 }
 
-double Histogram::Mean() const {
-  if (samples_.empty()) return 0;
-  double sum = 0;
-  for (double v : samples_) sum += v;
-  return sum / static_cast<double>(samples_.size());
-}
+double Histogram::Mean() const { return RangeMean(0, samples_.size()); }
 
 double Histogram::Percentile(double p) const {
-  if (samples_.empty()) return 0;
   EnsureSorted();
-  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, samples_.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  return SortedPercentile(sorted_, p);
 }
 
 double Histogram::Min() const {
   if (samples_.empty()) return 0;
   EnsureSorted();
-  return samples_.front();
+  return sorted_.front();
 }
 
 double Histogram::Max() const {
   if (samples_.empty()) return 0;
   EnsureSorted();
-  return samples_.back();
+  return sorted_.back();
+}
+
+double Histogram::RangeMean(size_t begin, size_t end) const {
+  end = std::min(end, samples_.size());
+  if (begin >= end) return 0;
+  double sum = 0;
+  for (size_t i = begin; i < end; ++i) sum += samples_[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+double Histogram::RangePercentile(size_t begin, size_t end, double p) const {
+  end = std::min(end, samples_.size());
+  if (begin >= end) return 0;
+  std::vector<double> window(samples_.begin() + static_cast<std::ptrdiff_t>(begin),
+                             samples_.begin() + static_cast<std::ptrdiff_t>(end));
+  std::sort(window.begin(), window.end());
+  return SortedPercentile(window, p);
 }
 
 void MetricsCollector::RecordCommit(SequenceNumber /*seq*/,
@@ -52,7 +76,30 @@ void MetricsCollector::RecordCommit(SequenceNumber /*seq*/,
     first_commit_ = std::min(first_commit_, commit_time);
     last_commit_ = std::max(last_commit_, commit_time);
   }
+  commit_times_.push_back(commit_time);
   latency_us_.Add(static_cast<double>(commit_time - submit_time));
+}
+
+WindowStats MetricsWindowCursor::Advance(SimTime now) {
+  WindowStats w;
+  w.window_start_us = last_advance_;
+  w.window_end_us = now;
+  last_advance_ = now;
+
+  const size_t total = metrics_->commit_latency_us().count();
+  w.commits = total - commit_mark_;
+  const Histogram& lat = metrics_->commit_latency_us();
+  w.latency_mean_us = lat.RangeMean(commit_mark_, total);
+  w.latency_p50_us = lat.RangePercentile(commit_mark_, total, 50);
+  w.latency_p99_us = lat.RangePercentile(commit_mark_, total, 99);
+  commit_mark_ = total;
+
+  for (const auto& [name, value] : metrics_->counters()) {
+    uint64_t& mark = counter_marks_[name];
+    if (value > mark) w.counter_deltas[name] = value - mark;
+    mark = value;
+  }
+  return w;
 }
 
 double MetricsCollector::Throughput(SimTime start, SimTime end) const {

@@ -16,12 +16,15 @@
 namespace bftlab {
 
 /// Simple sample-keeping histogram (simulations are small enough to keep
-/// raw samples; quantiles are exact).
+/// raw samples; quantiles are exact). Samples stay in arrival order so
+/// index ranges mean "everything recorded between two instants";
+/// quantile queries sort a lazily rebuilt copy instead of the samples
+/// themselves.
 class Histogram {
  public:
   void Add(double v) {
     samples_.push_back(v);
-    sorted_ = false;  // A quantile query may have sorted the prefix.
+    sorted_dirty_ = true;
   }
   size_t count() const { return samples_.size(); }
   double Mean() const;
@@ -29,9 +32,16 @@ class Histogram {
   double Min() const;
   double Max() const;
 
+  // --- Windowed queries ---------------------------------------------------
+  // [begin, end) are arrival-order indices; `end` clamps to count().
+  // Empty ranges return 0.
+  double RangeMean(size_t begin, size_t end) const;
+  double RangePercentile(size_t begin, size_t end, double p) const;
+
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;         // Arrival order, append-only.
+  mutable std::vector<double> sorted_;  // Lazy sorted copy for quantiles.
+  mutable bool sorted_dirty_ = true;
   void EnsureSorted() const;
 };
 
@@ -69,6 +79,10 @@ class MetricsCollector {
   /// Commit-time window; only meaningful when has_commits().
   SimTime first_commit_time() const { return first_commit_; }
   SimTime last_commit_time() const { return last_commit_; }
+  /// Commit times in arrival order (index i = the i-th accepted request);
+  /// the switch telemetry uses this to measure the commit gap spanning a
+  /// protocol handoff.
+  const std::vector<SimTime>& commit_times() const { return commit_times_; }
 
   /// Throughput in commits/second over [start, end] simulated time.
   double Throughput(SimTime start, SimTime end) const;
@@ -123,10 +137,52 @@ class MetricsCollector {
   bool has_commits_ = false;  // Explicit: commit_time 0 is a valid sample.
   SimTime first_commit_ = 0;
   SimTime last_commit_ = 0;
+  std::vector<SimTime> commit_times_;
   std::map<std::string, uint64_t> counters_;
   std::map<uint32_t, uint64_t> msgs_by_type_;
   std::map<std::pair<ClientId, RequestTimestamp>, SimTime> submissions_;
   std::vector<std::pair<ClientId, RequestTimestamp>> execution_order_;
+};
+
+/// One window's worth of deltas as cut by MetricsWindowCursor: what
+/// happened between two consecutive Advance() calls, not since the start
+/// of the run.
+struct WindowStats {
+  SimTime window_start_us = 0;
+  SimTime window_end_us = 0;
+  uint64_t commits = 0;
+  /// Latency distribution of exactly this window's commits.
+  double latency_mean_us = 0;
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  /// Per-counter deltas; only counters that moved appear.
+  std::map<std::string, uint64_t> counter_deltas;
+
+  uint64_t Counter(const std::string& name) const {
+    auto it = counter_deltas.find(name);
+    return it == counter_deltas.end() ? 0 : it->second;
+  }
+};
+
+/// Converts the collector's cumulative totals into per-interval rates.
+/// Each Advance(now) returns exactly what was recorded since the previous
+/// Advance: the commit count, the latency distribution of just those
+/// commits (arrival-order histogram ranges make this exact), and the
+/// delta of every counter that moved. Degradation triggers read these
+/// windows instead of cumulative totals, which drift: a counter that
+/// spiked ten seconds ago should not keep a trigger armed forever.
+class MetricsWindowCursor {
+ public:
+  explicit MetricsWindowCursor(const MetricsCollector* metrics)
+      : metrics_(metrics) {}
+
+  WindowStats Advance(SimTime now);
+
+ private:
+  const MetricsCollector* metrics_;
+  SimTime last_advance_ = 0;
+  size_t commit_mark_ = 0;  // Latency sample index == commit count.
+  std::map<std::string, uint64_t> counter_marks_;
 };
 
 }  // namespace bftlab

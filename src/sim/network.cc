@@ -144,7 +144,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   if (from == to) {
     SimTime arrival = t_ready;
     SimTime delay = arrival > sim_->now() ? arrival - sim_->now() : 0;
-    Packet packet{from, to, std::move(msg), send_id};
+    Packet packet{from, to, std::move(msg), send_id, node_epoch(from)};
     sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
       DeliverAt(arrival, std::move(packet));
     });
@@ -214,7 +214,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   SimTime bound = std::max(departure, config_.gst_us) + config_.delta_us;
   arrival = std::max(physical_arrival, std::min(arrival, bound));
 
-  Packet packet{from, to, std::move(msg), send_id};
+  Packet packet{from, to, std::move(msg), send_id, node_epoch(from)};
   SimTime delay = arrival - sim_->now();
   // Remote deliveries are the schedule explorer's choice points. The
   // payload fingerprint (controlled mode only — encoding costs) lets
@@ -245,6 +245,25 @@ void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
       e.peer = packet.to;
       e.msg_type = packet.msg->type();
       e.label = "node_down";
+      tracer_->Record(std::move(e));
+    }
+    return;
+  }
+  // Epoch guard: a packet launched by one protocol incarnation must not
+  // reach another. Client traffic crosses epochs freely (requests get
+  // re-executed or answered from the carried reply cache).
+  if (!IsClientNode(packet.from) && !IsClientNode(packet.to) &&
+      packet.epoch != node_epoch(packet.to)) {
+    metrics_->Increment("switch.stale_epoch_drops");
+    if (tracer_) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDrop;
+      e.parent = packet.trace_send;
+      e.at = sim_->now();
+      e.node = packet.from;
+      e.peer = packet.to;
+      e.msg_type = packet.msg->type();
+      e.label = "stale_epoch";
       tracer_->Record(std::move(e));
     }
     return;
@@ -318,9 +337,13 @@ EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
   timer_label.kind = SimEventKind::kTimer;
   timer_label.node = node;
   timer_label.tag = tag;
+  // Timers armed by one protocol incarnation must not fire into its
+  // replacement: capture the epoch at set time, no-op on mismatch.
+  const uint64_t epoch = node_epoch(node);
   if (!tracer_) {
-    return sim_->ScheduleCancelable(delay, timer_label, [this, node, tag] {
-      if (down_.count(node)) return;
+    return sim_->ScheduleCancelable(delay, timer_label,
+                                    [this, node, tag, epoch] {
+      if (down_.count(node) || node_epoch(node) != epoch) return;
       Runtime& rt = runtime(node);
       Actor* actor = rt.actor;
       SimTime completion =
@@ -340,9 +363,9 @@ EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
   // through a shared slot.
   auto id_slot = std::make_shared<EventId>(kInvalidEvent);
   EventId id = sim_->ScheduleCancelable(
-      delay, timer_label, [this, node, tag, set_id, id_slot] {
+      delay, timer_label, [this, node, tag, epoch, set_id, id_slot] {
         if (*id_slot != kInvalidEvent) timer_trace_.erase(*id_slot);
-        if (down_.count(node)) return;
+        if (down_.count(node) || node_epoch(node) != epoch) return;
         uint64_t ctx = 0;
         if (tracer_) {
           TraceEvent fire;
@@ -376,6 +399,30 @@ void Network::CancelTimer(EventId id) {
   e.node = it->second.node;
   tracer_->Record(std::move(e));
   timer_trace_.erase(it);
+}
+
+void Network::ReplaceActor(Actor* actor) {
+  assert(!in_handler_.has_value() && "ReplaceActor inside a handler");
+  NodeId node = actor->id();
+  Runtime& rt = runtime(node);
+  DropInboxTraced(rt, "epoch_switch");
+  rt.actor = actor;
+  actor->Bind(this, std::make_unique<CryptoContext>(node, keystore_,
+                                                    cost_model_),
+              rng_.Fork());
+  node_epoch_[node]++;
+  metrics_->Increment("switch.actor_replacements");
+  if (down_.count(node)) return;  // A down node comes up via Restart().
+  uint64_t ctx = 0;
+  if (tracer_) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kStart;
+    e.at = sim_->now();
+    e.node = node;
+    ctx = tracer_->Record(std::move(e));
+  }
+  SimTime done = RunHandler(node, [actor] { actor->Start(); }, ctx);
+  rt.cpu_free = std::max(rt.cpu_free, done);
 }
 
 void Network::Crash(NodeId node) {

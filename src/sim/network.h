@@ -81,6 +81,26 @@ class Network {
   /// Invokes Start() on all registered actors (in id order).
   void Start();
 
+  /// Replaces the actor bound to `actor->id()` in place: drops queued
+  /// deliveries, binds a fresh crypto context and rng stream, bumps the
+  /// node's protocol epoch (which retires every timer the old actor
+  /// armed and every in-flight replica-to-replica packet addressed to
+  /// it), and runs the new actor's Start() unless the node is down (a
+  /// down node comes up through Restart() instead). Live protocol
+  /// switching replaces replicas through this; must not be called from
+  /// inside a message/timer handler.
+  void ReplaceActor(Actor* actor);
+
+  /// Protocol epoch of a node; bumped by ReplaceActor. Replica-to-
+  /// replica messages deliver only when the sender's epoch at departure
+  /// matches the receiver's at delivery — a quorum message from the old
+  /// protocol must never reach the new protocol's state machine. Client
+  /// traffic is exempt: clients span epochs by design.
+  uint64_t node_epoch(NodeId id) const {
+    auto it = node_epoch_.find(id);
+    return it == node_epoch_.end() ? 0 : it->second;
+  }
+
   /// Sends a message; called via Actor::Send. Self-sends are delivered
   /// locally without network cost or stats.
   void Send(NodeId from, NodeId to, MessagePtr msg);
@@ -137,6 +157,7 @@ class Network {
     NodeId to;
     MessagePtr msg;
     uint64_t trace_send = 0;  // Trace id of the kSend that launched it.
+    uint64_t epoch = 0;       // Sender's protocol epoch at departure.
   };
   struct Runtime {
     Actor* actor = nullptr;
@@ -176,6 +197,7 @@ class Network {
   CryptoCostModel cost_model_;
 
   std::map<NodeId, Runtime> runtimes_;
+  std::map<NodeId, uint64_t> node_epoch_;
   std::set<NodeId> down_;
   std::map<std::pair<NodeId, NodeId>, SimTime> blocked_links_;
   std::vector<std::set<NodeId>> partition_;

@@ -48,13 +48,18 @@ void Client::SubmitNext() {
   current_ = ClientRequest();
   current_.client = static_cast<ClientId>(id());
   current_.timestamp = next_ts_++;
-  current_.operation = config_.op_generator(current_.client,
-                                            current_.timestamp, &rng());
+  const OpGenerator* gen = &config_.op_generator;
+  for (const ClientConfig::OpPhase& phase : config_.op_phases) {
+    if (Now() >= phase.from_us) gen = &phase.gen;
+  }
+  current_.operation = (*gen)(current_.client, current_.timestamp, &rng());
   current_.Sign(&crypto());
 
   in_flight_ = true;
   submit_time_ = Now();
-  metrics().RecordSubmission(current_.client, current_.timestamp, Now());
+  if (config_.record_metrics) {
+    metrics().RecordSubmission(current_.client, current_.timestamp, Now());
+  }
   if (config_.history) {
     config_.history->RecordInvoke(current_.client, current_.timestamp,
                                   current_.operation, Now());
@@ -64,19 +69,36 @@ void Client::SubmitNext() {
 
   CancelTimer(&retransmit_timer_);
   current_retransmit_us_ = config_.retransmit_timeout_us;
-  retransmit_timer_ = SetTimer(current_retransmit_us_, kRetransmitTag);
+  if (config_.retransmit_cap_us > 0) {
+    current_retransmit_us_ =
+        std::min(current_retransmit_us_, config_.retransmit_cap_us);
+  }
+  retransmit_timer_ = SetTimer(WithJitter(current_retransmit_us_),
+                               kRetransmitTag);
 }
 
 SimTime Client::NextRetransmitDelay() {
   if (config_.retransmit_backoff > 1.0) {
-    double next = static_cast<double>(current_retransmit_us_) *
-                  config_.retransmit_backoff;
-    if (config_.retransmit_cap_us > 0) {
-      next = std::min(next, static_cast<double>(config_.retransmit_cap_us));
-    }
-    current_retransmit_us_ = static_cast<SimTime>(next);
+    current_retransmit_us_ =
+        static_cast<SimTime>(static_cast<double>(current_retransmit_us_) *
+                             config_.retransmit_backoff);
   }
-  return current_retransmit_us_;
+  // The cap is a hard bound on the delay itself, not just on the backoff
+  // product: it holds even with backoff disabled.
+  if (config_.retransmit_cap_us > 0) {
+    current_retransmit_us_ =
+        std::min(current_retransmit_us_, config_.retransmit_cap_us);
+  }
+  return WithJitter(current_retransmit_us_);
+}
+
+SimTime Client::WithJitter(SimTime delay) {
+  if (config_.retransmit_jitter <= 0) return delay;
+  SimTime span =
+      static_cast<SimTime>(static_cast<double>(delay) *
+                           config_.retransmit_jitter);
+  if (span == 0) return delay;
+  return delay + rng().NextBelow(span + 1);
 }
 
 void Client::SendCurrent(bool to_all) {
@@ -110,7 +132,9 @@ void Client::AcceptCurrent() {
   in_flight_ = false;
   CancelTimer(&retransmit_timer_);
   ++accepted_;
-  metrics().RecordCommit(current_.timestamp, submit_time_, Now());
+  if (config_.record_metrics) {
+    metrics().RecordCommit(current_.timestamp, submit_time_, Now());
+  }
   if (config_.history) {
     config_.history->RecordComplete(current_.client, current_.timestamp,
                                     accepted_result_, Now());
@@ -121,6 +145,29 @@ void Client::AcceptCurrent() {
     SubmitNext();
   } else {
     SetTimer(config_.think_time_us, kThinkTag);
+  }
+}
+
+void Client::AdoptEpoch(uint64_t epoch, uint32_t reply_quorum,
+                        SubmitPolicy policy) {
+  if (epoch <= epoch_) return;
+  epoch_ = epoch;
+  config_.reply_quorum = reply_quorum;
+  config_.submit_policy = policy;
+  // View numbers restart with the new protocol; a stale high view would
+  // misdirect the leader guess forever.
+  highest_view_ = 0;
+  metrics().Increment("client.epoch_adoptions");
+  if (in_flight_) {
+    // Replies already collected may mix protocols; restart the quorum in
+    // the new epoch. Replicas that executed the request before the cut
+    // answer from the carried-over reply cache, so re-sending is safe.
+    reply_sets_.clear();
+    SendCurrent(/*to_all=*/true);
+    CancelTimer(&retransmit_timer_);
+    current_retransmit_us_ = config_.retransmit_timeout_us;
+    retransmit_timer_ = SetTimer(WithJitter(current_retransmit_us_),
+                                 kRetransmitTag);
   }
 }
 

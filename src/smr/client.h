@@ -54,16 +54,39 @@ struct ClientConfig {
   /// unanswered retransmission of the same request; 1.0 keeps the
   /// classic fixed-τ1 behaviour.
   double retransmit_backoff = 1.0;
-  /// Upper bound the backed-off timeout saturates at (0 = uncapped).
+  /// Upper bound the retransmission timeout saturates at (0 = uncapped).
+  /// Enforced regardless of backoff so a misconfigured base timeout
+  /// cannot exceed it either.
   SimTime retransmit_cap_us = Seconds(8);
+  /// Fraction of the retransmission delay added as deterministic seeded
+  /// jitter (drawn from the client's forked rng, so runs stay pure
+  /// functions of the seed). Desynchronizes clients that timed out
+  /// together: a synchronized retransmit burst looks like a contention
+  /// spike to the degradation controller. 0 disables.
+  double retransmit_jitter = 0.1;
   /// Optional per-run history sink (not owned; may be null).
   HistoryRecorder* history = nullptr;
+  /// Whether accepted requests feed the run's commit metrics. Control
+  /// clients (switch directives, fillers) turn this off so harness
+  /// traffic does not pollute throughput and latency numbers.
+  bool record_metrics = true;
   /// Think time between an accepted reply and the next request.
   SimTime think_time_us = 0;
   /// Stop after this many accepted requests (0 = no limit).
   uint64_t max_requests = 0;
   /// Operation generator; defaults to unique-key PUTs of 64-byte values.
   OpGenerator op_generator;
+  /// Time-phased workload: when non-empty, each submission uses the
+  /// generator of the last phase whose `from_us` has passed (falling
+  /// back to `op_generator` before the first phase). Phases must be
+  /// sorted by `from_us`. Survives live protocol switches — the client
+  /// object persists across epochs, so a phase boundary mid-handoff
+  /// behaves like any other submission.
+  struct OpPhase {
+    SimTime from_us = 0;
+    OpGenerator gen;
+  };
+  std::vector<OpPhase> op_phases;
 };
 
 /// Closed-loop requester client.
@@ -79,6 +102,14 @@ class Client : public Actor {
   uint64_t retransmissions() const { return retransmissions_; }
   /// Leader inferred from the highest reply view seen.
   ReplicaId leader_guess() const;
+
+  /// Cuts the client over to a new protocol epoch: adopts the target
+  /// protocol's reply quorum and submit policy, forgets the old
+  /// protocol's view tracking, and re-submits any in-flight request into
+  /// the new epoch (replicas answer re-executions from the carried-over
+  /// reply cache, so this is idempotent).
+  void AdoptEpoch(uint64_t epoch, uint32_t reply_quorum, SubmitPolicy policy);
+  uint64_t epoch() const { return epoch_; }
 
   /// FNV-1a digest of behavior-relevant client state (in-flight request,
   /// reply quorum progress, view tracking) for the schedule explorer's
@@ -106,6 +137,9 @@ class Client : public Actor {
   /// Current retransmission delay; advances it by the backoff factor
   /// (saturating at the cap) for the next round.
   SimTime NextRetransmitDelay();
+  /// Adds the configured jitter fraction to `delay` (deterministic, from
+  /// the client's forked rng).
+  SimTime WithJitter(SimTime delay);
 
   const ClientConfig& config() const { return config_; }
   const ClientRequest& current_request() const { return current_; }
@@ -124,6 +158,7 @@ class Client : public Actor {
   EventId retransmit_timer_ = kInvalidEvent;
   SimTime current_retransmit_us_ = 0;
   ViewNumber highest_view_ = 0;
+  uint64_t epoch_ = 0;
   Buffer accepted_result_;
 
   /// Matching-reply tracking for the in-flight request:

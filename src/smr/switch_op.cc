@@ -1,0 +1,29 @@
+#include "smr/switch_op.h"
+
+#include <cstdlib>
+
+#include "smr/kv_op.h"
+
+namespace bftlab {
+
+Buffer EncodeSwitchDirective(const SwitchDirective& directive) {
+  return KvOp::Put(kSwitchDirectiveKey,
+                   std::to_string(directive.epoch) + ":" + directive.target);
+}
+
+std::optional<SwitchDirective> DecodeSwitchDirective(Slice operation) {
+  Result<KvOp> op = KvOp::Decode(operation);
+  if (!op.ok() || op->code != KvOpCode::kPut ||
+      op->key != kSwitchDirectiveKey) {
+    return std::nullopt;
+  }
+  size_t colon = op->value.find(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  SwitchDirective d;
+  d.epoch = std::strtoull(op->value.substr(0, colon).c_str(), nullptr, 10);
+  d.target = op->value.substr(colon + 1);
+  if (d.epoch == 0 || d.target.empty()) return std::nullopt;
+  return d;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,47 @@
+// SWITCH directive encoding for live protocol switching. The directive
+// rides through the current protocol as an ordinary client operation — a
+// PUT on a reserved key — so it is totally ordered against all other
+// requests by the very machinery whose replacement it announces. Every
+// correct replica therefore learns the directive at the same sequence
+// number and derives the same cut: the first checkpoint boundary at or
+// after that sequence.
+
+#ifndef BFTLAB_SMR_SWITCH_OP_H_
+#define BFTLAB_SMR_SWITCH_OP_H_
+
+#include <optional>
+#include <string>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace bftlab {
+
+/// Reserved key that carries switch directives. The '!' prefix keeps it
+/// out of every workload generator's keyspace.
+inline constexpr char kSwitchDirectiveKey[] = "!bftlab/switch";
+
+/// An agreed protocol-switch decision: "cut over to `target` as epoch
+/// `epoch` at the first checkpoint boundary at or after the sequence
+/// number this directive executes at".
+struct SwitchDirective {
+  uint64_t epoch = 0;    // The epoch being switched INTO.
+  std::string target;    // Registry name of the next protocol.
+};
+
+/// Encodes the directive as a KvOp::Put on the reserved key.
+Buffer EncodeSwitchDirective(const SwitchDirective& directive);
+
+/// Recognizes a switch directive inside an operation payload. Returns
+/// nullopt for every ordinary operation (including transactions and
+/// malformed payloads): replicas probe every executed request with this.
+std::optional<SwitchDirective> DecodeSwitchDirective(Slice operation);
+
+/// First checkpoint boundary at or after `seq` — the agreed cut.
+inline SequenceNumber SwitchCutFor(SequenceNumber seq, uint64_t interval) {
+  return (seq + interval - 1) / interval * interval;
+}
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_SWITCH_OP_H_

@@ -228,6 +228,86 @@ TEST(ExploreTest, DecodeRejectsTruncationAndCorruption) {
             Status::Code::kNotFound);
 }
 
+// --- Live-switch exploration -------------------------------------------------
+
+/// SmallConfig plus a mid-run switch point: after the first op commits,
+/// a SWITCH directive to `target` enters the event space and the walks
+/// permute it against timers and quorum traffic.
+ExploreConfig SwitchConfig(const std::string& target) {
+  ExploreConfig cfg = SmallConfig();
+  cfg.forced_switch.emplace();
+  cfg.forced_switch->target = target;
+  cfg.forced_switch->after_accepted = 1;
+  return cfg;
+}
+
+// Walks over the switch point: the directive ordering, the quiesce at
+// the cut, the per-replica swap, and the client cut-over all happen at
+// whatever point each schedule's interleaving reaches — every oracle
+// (agreement, integrity, checkpoint, linearizability) must hold in every
+// schedule, and the switch must actually complete in most of them.
+TEST(ExploreTest, SwitchPointWalksHoldOraclesAcrossHandoff) {
+  ExploreConfig cfg = SwitchConfig("hotstuff");
+  cfg.walks = 150;
+  Result<ExploreReport> r = ExploreRandomWalks(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->violation_found)
+      << r->counterexample.oracle << ": " << r->counterexample.detail;
+  EXPECT_GE(r->stats.switched, 140u)
+      << "the live switch completed in too few walks";
+}
+
+// The switch point composes with a view-change-prone target and an
+// equivocating leader attacking the source protocol during the handoff.
+TEST(ExploreTest, SwitchPointWalksSurviveEquivocationDuringHandoff) {
+  ExploreConfig cfg = SwitchConfig("prime");
+  cfg.byzantine[0].mode = ByzantineMode::kEquivocate;
+  cfg.walks = 100;
+  Result<ExploreReport> r = ExploreRandomWalks(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->violation_found)
+      << r->counterexample.oracle << ": " << r->counterexample.detail;
+}
+
+// Switch-point search is bit-deterministic, like every other mode.
+TEST(ExploreTest, SwitchPointWalksAreDeterministic) {
+  ExploreConfig cfg = SwitchConfig("tendermint");
+  cfg.walks = 60;
+  Result<ExploreReport> a = ExploreRandomWalks(cfg);
+  Result<ExploreReport> b = ExploreRandomWalks(cfg);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->decision_hash, b->decision_hash);
+  EXPECT_EQ(a->outcome_hash, b->outcome_hash);
+  EXPECT_EQ(a->stats.switched, b->stats.switched);
+}
+
+// Bounded DFS drives the switch point too (systematic coverage of the
+// SWITCH-vs-timer/quorum branch neighborhood, not just sampled walks).
+TEST(ExploreTest, SwitchPointDfsFindsNoViolation) {
+  ExploreConfig cfg = SwitchConfig("hotstuff");
+  cfg.max_decisions = 16;
+  cfg.max_branch = 2;
+  cfg.max_schedules = 400;
+  Result<ExploreReport> r = ExploreDfs(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->violation_found)
+      << r->counterexample.oracle << ": " << r->counterexample.detail;
+  EXPECT_GT(r->stats.switched, 0u);
+}
+
+// A non-switchable target (custom client protocol) surfaces as a switch
+// oracle failure, not a crash or a silent no-op.
+TEST(ExploreTest, SwitchPointRejectsNonSwitchableTarget) {
+  ExploreConfig cfg = SwitchConfig("zyzzyva");
+  cfg.walks = 1;
+  cfg.minimize = false;
+  Result<ExploreReport> r = ExploreRandomWalks(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->violation_found);
+  EXPECT_EQ(r->counterexample.oracle, "switch");
+}
+
 // Other protocols drive under the controlled scheduler too: a short walk
 // budget on a rotating-leader and a speculative protocol, violation-free.
 TEST(ExploreTest, WalksCoverOtherProtocols) {

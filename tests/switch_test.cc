@@ -1,0 +1,446 @@
+// Tests for adaptive runtime protocol switching: directive encoding and
+// cut derivation, windowed metrics, the degradation controller's
+// hysteresis/cool-down, and full live switches under adverse schedules —
+// racing view changes, mid-state-transfer replicas, crashes during the
+// handoff, and controller-driven escapes from a degrading leader.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "core/switch/controller.h"
+#include "core/switch/manager.h"
+#include "sim/metrics.h"
+#include "smr/kv_op.h"
+#include "smr/switch_op.h"
+
+namespace bftlab {
+namespace {
+
+// --- Directive encoding / cut derivation -----------------------------------
+
+TEST(SwitchOpTest, DirectiveRoundTrips) {
+  Buffer op = EncodeSwitchDirective({3, "prime"});
+  std::optional<SwitchDirective> d = DecodeSwitchDirective(Slice(op));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->epoch, 3u);
+  EXPECT_EQ(d->target, "prime");
+}
+
+TEST(SwitchOpTest, OrdinaryOpsAreNotDirectives) {
+  EXPECT_FALSE(DecodeSwitchDirective(Slice(KvOp::Put("a/b", "v"))));
+  EXPECT_FALSE(
+      DecodeSwitchDirective(Slice(KvOp::Put(kSwitchDirectiveKey, "junk"))));
+  Buffer empty;
+  EXPECT_FALSE(DecodeSwitchDirective(Slice(empty)));
+}
+
+TEST(SwitchOpTest, CutIsNextCheckpointBoundary) {
+  EXPECT_EQ(SwitchCutFor(1, 16), 16u);
+  EXPECT_EQ(SwitchCutFor(16, 16), 16u);
+  EXPECT_EQ(SwitchCutFor(17, 16), 32u);
+  EXPECT_EQ(SwitchCutFor(64, 64), 64u);
+}
+
+// --- Windowed metrics -------------------------------------------------------
+
+TEST(MetricsWindowTest, CursorReturnsPerWindowDeltas) {
+  MetricsCollector m;
+  MetricsWindowCursor cursor(&m);
+
+  m.RecordCommit(1, 0, 100);
+  m.RecordCommit(2, 0, 300);
+  m.Increment("client.retransmissions", 2);
+  WindowStats w1 = cursor.Advance(1000);
+  EXPECT_EQ(w1.window_start_us, 0u);
+  EXPECT_EQ(w1.window_end_us, 1000u);
+  EXPECT_EQ(w1.commits, 2u);
+  EXPECT_DOUBLE_EQ(w1.latency_mean_us, 200.0);
+  EXPECT_EQ(w1.Counter("client.retransmissions"), 2u);
+
+  // Nothing happened: the next window is all zeros, not carried totals.
+  WindowStats w2 = cursor.Advance(2000);
+  EXPECT_EQ(w2.commits, 0u);
+  EXPECT_EQ(w2.Counter("client.retransmissions"), 0u);
+  EXPECT_DOUBLE_EQ(w2.latency_mean_us, 0.0);
+
+  // Only this window's commits shape the latency distribution.
+  m.RecordCommit(3, 0, 1000);
+  m.Increment("client.retransmissions");
+  WindowStats w3 = cursor.Advance(3000);
+  EXPECT_EQ(w3.commits, 1u);
+  EXPECT_DOUBLE_EQ(w3.latency_mean_us, 1000.0);
+  EXPECT_DOUBLE_EQ(w3.latency_p99_us, 1000.0);
+  EXPECT_EQ(w3.Counter("client.retransmissions"), 1u);
+}
+
+TEST(MetricsWindowTest, RangeQueriesAreExactAndTotalsUnchanged) {
+  Histogram h;
+  for (double v : {5.0, 1.0, 9.0, 3.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.RangeMean(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(h.RangeMean(2, 4), 6.0);
+  EXPECT_DOUBLE_EQ(h.RangePercentile(2, 4, 100), 9.0);
+  EXPECT_DOUBLE_EQ(h.RangePercentile(2, 4, 0), 3.0);
+  // Whole-histogram queries still see everything, sorted.
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.5);
+}
+
+// --- Degradation controller -------------------------------------------------
+
+WindowStats CalmWindow() {
+  WindowStats w;
+  w.commits = 50;
+  w.latency_mean_us = 2000;
+  w.latency_p50_us = 2000;
+  w.latency_p99_us = 4000;
+  return w;
+}
+
+WindowStats StallWindow() {
+  WindowStats w;
+  w.commits = 0;
+  w.counter_deltas["client.retransmissions"] = 20;
+  return w;
+}
+
+ControllerConfig FastTrigger() {
+  ControllerConfig cfg;
+  cfg.trigger_windows = 2;
+  cfg.calm_windows = 3;
+  cfg.cooldown_windows = 4;
+  return cfg;
+}
+
+TEST(ControllerTest, SwitchableSetAtF1N4) {
+  std::vector<std::string> s = DegradationController::SwitchableProtocols(1, 4);
+  auto has = [&s](const char* name) {
+    return std::find(s.begin(), s.end(), name) != s.end();
+  };
+  EXPECT_TRUE(has("pbft"));
+  EXPECT_TRUE(has("hotstuff"));
+  EXPECT_TRUE(has("prime"));
+  EXPECT_TRUE(has("cheapbft"));
+  // Custom clients (speculative/proposer) and different cluster sizes
+  // cannot be switched to live.
+  EXPECT_FALSE(has("zyzzyva"));
+  EXPECT_FALSE(has("qu"));
+  EXPECT_FALSE(has("fab"));
+  EXPECT_FALSE(has("themis"));
+}
+
+TEST(ControllerTest, HysteresisRequiresPersistentSignature) {
+  DegradationController ctl(FastTrigger(), "pbft", 1, 4);
+  // One bad window is noise, not a trigger.
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  // A calm window in between resets the streak: flapping signatures
+  // never accumulate.
+  EXPECT_FALSE(ctl.Observe(CalmWindow()).has_value());
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  EXPECT_FALSE(ctl.Observe(CalmWindow()).has_value());
+  // Two consecutive bad windows cross the gate.
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  std::optional<SwitchProposal> p = ctl.Observe(StallWindow());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->signature, DegradationSignature::kLeaderFault);
+  EXPECT_NE(p->target, "pbft");
+}
+
+TEST(ControllerTest, CooldownSuppressesFlapping) {
+  DegradationController ctl(FastTrigger(), "pbft", 1, 4);
+  ctl.Observe(StallWindow());
+  std::optional<SwitchProposal> p = ctl.Observe(StallWindow());
+  ASSERT_TRUE(p.has_value());
+  ctl.NoteSwitchStarted(p->target);
+  // Degradation persisting through the cool-down proposes nothing.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(ctl.Observe(StallWindow()).has_value())
+        << "window " << i << " inside cooldown";
+  }
+  EXPECT_EQ(ctl.cooldown_remaining(), 0u);
+  // The current protocol is already the leader-fault pick, so persistent
+  // stall proposes no further switch: no flapping.
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+}
+
+TEST(ControllerTest, CalmEasesBackAfterLongQuietRun) {
+  DegradationController ctl(FastTrigger(), "pbft", 1, 4);
+  ctl.NoteSwitchStarted("prime");  // As if a fault drove us robust.
+  std::optional<SwitchProposal> back;
+  // Cool-down (4) plus calm hysteresis (3) windows of quiet.
+  for (int i = 0; i < 12 && !back; ++i) back = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->signature, DegradationSignature::kCalm);
+  EXPECT_NE(back->target, "prime");
+}
+
+TEST(ControllerTest, FailedProbeFastReescalatesAndBacksOff) {
+  DegradationController ctl(FastTrigger(), "pbft", 1, 4);
+  ctl.Observe(StallWindow());
+  std::optional<SwitchProposal> up = ctl.Observe(StallWindow());
+  ASSERT_TRUE(up.has_value());
+  ctl.NoteSwitchStarted(up->target, DegradationSignature::kLeaderFault);
+
+  // Quiet run crosses cooldown (4) + calm hysteresis (3): a probe fires.
+  std::optional<SwitchProposal> probe;
+  for (int i = 0; i < 12 && !probe; ++i) probe = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(probe.has_value());
+  ctl.NoteSwitchStarted(probe->target, DegradationSignature::kCalm);
+  EXPECT_TRUE(ctl.probing());
+
+  // The fault is still there. One window of probe cool-down, then a
+  // SINGLE degraded window re-escalates: probes run on a hair trigger,
+  // not the normal two-window hysteresis.
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  std::optional<SwitchProposal> re = ctl.Observe(StallWindow());
+  ASSERT_TRUE(re.has_value());
+  EXPECT_EQ(re->signature, DegradationSignature::kLeaderFault);
+  EXPECT_GT(ctl.calm_penalty(), 1.0);  // The failed probe left a mark.
+  ctl.NoteSwitchStarted(re->target, DegradationSignature::kLeaderFault);
+
+  // The next de-escalation needs calm_windows * penalty quiet windows:
+  // the streak that used to suffice no longer proposes.
+  std::optional<SwitchProposal> early;
+  for (int i = 0; i < 7 && !early; ++i) early = ctl.Observe(CalmWindow());
+  EXPECT_FALSE(early.has_value());
+  std::optional<SwitchProposal> later;
+  for (int i = 0; i < 20 && !later; ++i) later = ctl.Observe(CalmWindow());
+  EXPECT_TRUE(later.has_value());
+}
+
+TEST(ControllerTest, StuckProbeResetsBackoffPenalty) {
+  DegradationController ctl(FastTrigger(), "pbft", 1, 4);
+  ctl.Observe(StallWindow());
+  std::optional<SwitchProposal> up = ctl.Observe(StallWindow());
+  ASSERT_TRUE(up.has_value());
+  ctl.NoteSwitchStarted(up->target, DegradationSignature::kLeaderFault);
+  std::optional<SwitchProposal> probe;
+  for (int i = 0; i < 12 && !probe; ++i) probe = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(probe.has_value());
+  ctl.NoteSwitchStarted(probe->target, DegradationSignature::kCalm);
+  // Fail the probe, escalate again, then probe again.
+  ctl.Observe(StallWindow());
+  std::optional<SwitchProposal> re = ctl.Observe(StallWindow());
+  ASSERT_TRUE(re.has_value());
+  ctl.NoteSwitchStarted(re->target, DegradationSignature::kLeaderFault);
+  EXPECT_GT(ctl.calm_penalty(), 1.0);
+  std::optional<SwitchProposal> probe2;
+  for (int i = 0; i < 30 && !probe2; ++i) probe2 = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(probe2.has_value());
+  ctl.NoteSwitchStarted(probe2->target, DegradationSignature::kCalm);
+  // This time the regime really healed: the whole grace passes quietly,
+  // so the backoff penalty is forgiven.
+  for (int i = 0; i < 10; ++i) ctl.Observe(CalmWindow());
+  EXPECT_FALSE(ctl.probing());
+  EXPECT_DOUBLE_EQ(ctl.calm_penalty(), 1.0);
+}
+
+TEST(ControllerTest, ContentionSignatureFiresOnAbortRatio) {
+  DegradationController ctl(FastTrigger(), "cheapbft", 1, 4);
+  WindowStats w = CalmWindow();
+  w.counter_deltas["txn.commits"] = 40;
+  w.counter_deltas["txn.aborts"] = 60;
+  EXPECT_FALSE(ctl.Observe(w).has_value());
+  std::optional<SwitchProposal> p = ctl.Observe(w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->signature, DegradationSignature::kContention);
+  EXPECT_NE(p->target, "cheapbft");
+}
+
+TEST(ControllerTest, LatencyBlowupAgainstCalmBaseline) {
+  ControllerConfig cfg = FastTrigger();
+  cfg.calm_windows = 100;  // Keep calm from proposing in this test.
+  DegradationController ctl(cfg, "pbft", 1, 4);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(ctl.Observe(CalmWindow()));
+  WindowStats slow = CalmWindow();
+  slow.latency_p99_us = 40000;  // 10x the calm p99.
+  EXPECT_FALSE(ctl.Observe(slow).has_value());
+  std::optional<SwitchProposal> p = ctl.Observe(slow);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->signature, DegradationSignature::kLeaderFault);
+}
+
+// --- End-to-end live switches ----------------------------------------------
+
+ExperimentConfig AdaptiveBase(const std::string& protocol, uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.f = 1;
+  cfg.num_clients = 4;
+  cfg.seed = seed;
+  cfg.duration_us = Seconds(6);
+  cfg.cost_model = CryptoCostModel::Free();
+  cfg.checkpoint_interval = 16;
+  cfg.check_linearizability = true;
+  cfg.adaptive.emplace();
+  cfg.adaptive->controller_enabled = false;
+  return cfg;
+}
+
+TEST(SwitchTest, ForcedSwitchCompletesWithOraclesIntact) {
+  ExperimentConfig cfg = AdaptiveBase("pbft", 7);
+  cfg.adaptive->forced.push_back({"prime", Seconds(2)});
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->switches.size(), 1u);
+  const SwitchRecord& rec = r->switches[0];
+  EXPECT_GT(rec.completed_at_us, rec.decided_at_us);
+  EXPECT_GT(rec.cut_seq, 0u);
+  EXPECT_GT(rec.handoff_bytes, 0u);
+  EXPECT_EQ(rec.from_protocol, "pbft");
+  EXPECT_EQ(rec.to_protocol, "prime");
+  EXPECT_EQ(r->final_protocol, "prime");
+  EXPECT_EQ(r->counters.at("switch.completed"), 1u);
+  // The run kept committing after the cut-over.
+  EXPECT_GT(r->commits, 100u);
+}
+
+TEST(SwitchTest, ChainedSwitchesAcrossThreeProtocols) {
+  ExperimentConfig cfg = AdaptiveBase("pbft", 11);
+  cfg.duration_us = Seconds(9);
+  cfg.adaptive->forced.push_back({"hotstuff", Seconds(2)});
+  cfg.adaptive->forced.push_back({"tendermint", Seconds(5)});
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->switches.size(), 2u);
+  EXPECT_EQ(r->switches[0].to_epoch, 1u);
+  EXPECT_EQ(r->switches[1].to_epoch, 2u);
+  EXPECT_EQ(r->final_protocol, "tendermint");
+  EXPECT_GT(r->switches[1].completed_at_us, 0u);
+}
+
+TEST(SwitchTest, SwitchRacesLeaderCrashAndViewChange) {
+  // The pbft leader dies right as the directive is being ordered: the
+  // switch must ride through the view change (or the view change through
+  // the switch) without violating agreement or linearizability.
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    ExperimentConfig cfg = AdaptiveBase("pbft", seed);
+    cfg.view_change_timeout_us = Millis(200);
+    cfg.adaptive->forced.push_back({"tendermint", Seconds(2)});
+    cfg.crash_at[0] = Seconds(2);  // Initial leader.
+    Result<ExperimentResult> r = RunExperiment(cfg);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    ASSERT_EQ(r->switches.size(), 1u) << "seed " << seed;
+    EXPECT_GT(r->switches[0].completed_at_us, 0u) << "seed " << seed;
+    EXPECT_EQ(r->final_protocol, "tendermint") << "seed " << seed;
+    EXPECT_GT(r->commits, 50u) << "seed " << seed;
+  }
+}
+
+TEST(SwitchTest, SwitchWhileReplicaMidStateTransfer) {
+  // Replica 3 is down for 1.5s, restarts just before the switch fires,
+  // and has to catch up across the cut: either it adopts the pending
+  // switch via checkpoint state transfer or the manager force-seeds it.
+  ExperimentConfig cfg = AdaptiveBase("pbft", 5);
+  cfg.crash_at[3] = Millis(500);
+  cfg.restart_at[3] = Millis(1950);
+  cfg.adaptive->forced.push_back({"prime", Seconds(2)});
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->switches.size(), 1u);
+  EXPECT_GT(r->switches[0].completed_at_us, 0u);
+  EXPECT_GT(r->commits, 100u);
+}
+
+TEST(SwitchTest, CrashDuringHandoffRestartsIntoNewEpoch) {
+  // Replica 2 crashes moments before the switch decision and stays down
+  // through the whole handoff. The manager force-seeds its successor
+  // while it is down; on restart it must come up inside the new epoch
+  // and keep agreeing.
+  Result<ProtocolBuild> build = GetProtocol("pbft", 1);
+  ASSERT_TRUE(build.ok());
+  ClusterConfig cc;
+  cc.n = 4;
+  cc.f = 1;
+  cc.num_clients = 4;
+  cc.seed = 21;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.replica.checkpoint_interval = 16;
+  cc.replica.auth = build->descriptor.auth;
+  cc.client.reply_quorum = build->ReplyQuorum(1);
+  cc.client.submit_policy = build->submit_policy;
+  Cluster cluster(std::move(cc), build->replica_factory,
+                  build->client_factory);
+
+  AdaptiveSpec spec;
+  spec.controller_enabled = false;
+  spec.handoff_timeout_us = Millis(400);
+  spec.forced.push_back({"hotstuff", Seconds(2)});
+  SwitchManager manager(&cluster, "pbft", spec);
+  manager.Install();
+
+  cluster.sim().Schedule(Millis(1900), [&] { cluster.network().Crash(2); });
+  cluster.sim().Schedule(Millis(4500), [&] { cluster.network().Restart(2); });
+  cluster.RunFor(Seconds(7));
+  manager.FinalizeTelemetry();
+
+  ASSERT_TRUE(manager.status().ok()) << manager.status().ToString();
+  ASSERT_EQ(manager.records().size(), 1u);
+  EXPECT_GT(manager.records()[0].completed_at_us, 0u);
+  EXPECT_GE(manager.records()[0].force_seeded, 1u);
+  EXPECT_EQ(manager.epoch(), 1u);
+  // The crashed slot restarted straight into the new epoch.
+  EXPECT_EQ(cluster.replica(2).epoch(), 1u);
+  EXPECT_GT(cluster.replica(2).finalized_seq(), 0u);
+  EXPECT_TRUE(cluster.CheckAgreement().ok())
+      << cluster.CheckAgreement().ToString();
+  EXPECT_TRUE(cluster.CheckStateMachines().ok())
+      << cluster.CheckStateMachines().ToString();
+  EXPECT_GT(cluster.TotalAccepted(), 100u);
+}
+
+TEST(SwitchTest, ControllerEscapesDegradingLeader) {
+  // Replica 0 stealth-delays every proposal below the view-change
+  // timeout: pbft itself never rotates, but clients retransmit on every
+  // request. The controller must read that signature and switch to the
+  // advisor's robust pick.
+  ExperimentConfig cfg = AdaptiveBase("pbft", 3);
+  cfg.duration_us = Seconds(8);
+  cfg.view_change_timeout_us = Millis(400);
+  cfg.client_retransmit_us = Millis(100);
+  cfg.byzantine[0] = {ByzantineMode::kDelayProposals, 0, Millis(200)};
+  cfg.adaptive->controller_enabled = true;
+  cfg.adaptive->controller.trigger_windows = 2;
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GE(r->switches.size(), 1u);
+  EXPECT_EQ(r->switches[0].trigger, "leader_fault");
+  EXPECT_GT(r->switches[0].completed_at_us, 0u);
+  EXPECT_NE(r->final_protocol, "pbft");
+}
+
+// --- Client retransmission hardening (jitter + hard cap) --------------------
+
+TEST(SwitchTest, RetransmitCapBoundsBackoffGrowth) {
+  // All replicas dead: the client retransmits forever. With backoff 2.0
+  // capped at 400ms (+10% jitter), 10 virtual seconds fit ~24 rounds; an
+  // uncapped doubling schedule would manage ~7.
+  Result<ProtocolBuild> build = GetProtocol("pbft", 1);
+  ASSERT_TRUE(build.ok());
+  ClusterConfig cc;
+  cc.n = 4;
+  cc.f = 1;
+  cc.num_clients = 1;
+  cc.seed = 9;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.client.reply_quorum = 2;
+  cc.client.retransmit_timeout_us = Millis(100);
+  cc.client.retransmit_backoff = 2.0;
+  cc.client.retransmit_cap_us = Millis(400);
+  cc.client.retransmit_jitter = 0.1;
+  Cluster cluster(std::move(cc), build->replica_factory);
+  cluster.Start();
+  for (ReplicaId r = 0; r < 4; ++r) cluster.network().Crash(r);
+  cluster.RunFor(Seconds(10));
+  uint64_t retransmissions =
+      cluster.metrics().counter("client.retransmissions");
+  EXPECT_GE(retransmissions, 15u);   // Cap held (uncapped ~7).
+  EXPECT_LE(retransmissions, 110u);  // Backoff + jitter still applied.
+}
+
+}  // namespace
+}  // namespace bftlab
