@@ -137,13 +137,20 @@ std::optional<SwitchProposal> DegradationController::Observe(
     streak_ = 1;
   }
   const bool probing = probe_grace_left_ > 0;
-  if (probing && --probe_grace_left_ == 0) {
-    // The probe stuck: a whole grace period passed without the fault
-    // re-firing, so the regime really healed. Forgive past failures.
-    calm_penalty_ = 1.0;
-  }
+  // When the grace expires the probe stuck: a whole grace period passed
+  // without the fault re-firing, so the regime really healed and past
+  // failures are forgiven. The forgiveness is deferred to the
+  // no-escalation exits below because the grace boundary can coincide
+  // with the probed fault's escalation (probe_trigger_windows=1 makes
+  // the last grace window also the trigger window) — resetting first
+  // would wipe the accumulated backoff exactly when it must compound.
+  const bool grace_expired = probing && --probe_grace_left_ == 0;
+  const auto forgive = [&] {
+    if (grace_expired) calm_penalty_ = 1.0;
+  };
   if (cooldown_left_ > 0) {
     --cooldown_left_;
+    forgive();
     return std::nullopt;
   }
   uint32_t needed;
@@ -153,13 +160,20 @@ std::optional<SwitchProposal> DegradationController::Observe(
   } else {
     needed = probing ? config_.probe_trigger_windows : config_.trigger_windows;
   }
-  if (streak_ < needed) return std::nullopt;
+  if (streak_ < needed) {
+    forgive();
+    return std::nullopt;
+  }
 
   const std::string target = TargetFor(sig);
-  if (target.empty() || target == current_) return std::nullopt;
+  if (target.empty() || target == current_) {
+    forgive();
+    return std::nullopt;
+  }
 
   const bool escalation = sig == DegradationSignature::kLeaderFault ||
                           sig == DegradationSignature::kContention;
+  if (!escalation) forgive();  // A calm proposal cannot fail the probe.
   if (escalation) {
     if (probing && sig == last_escalation_) {
       // Failed probe: the very fault we de-escalated to test is back.

@@ -88,6 +88,23 @@ bool SwitchManager::IsCorrectSlot(ReplicaId id) const {
 
 void SwitchManager::Install() {
   const ClusterConfig& cc = cluster_->config();
+  // The live switch keeps the running default clients across the
+  // cut-over, so the *source* protocol must be switchable away from,
+  // mirroring the target-side check in StartSwitch: a custom-client
+  // initial protocol (e.g. zyzzyva's speculative client) would be
+  // AdoptEpoch'd into a protocol whose replies it cannot parse and the
+  // run would stall at zero throughput instead of failing loudly.
+  Result<ProtocolBuild> initial = GetProtocol(current_protocol_, cc.f);
+  if (!initial.ok()) {
+    status_ = initial.status();
+    return;
+  }
+  if (initial->client_factory || initial->RecommendedN(cc.f) != cc.n) {
+    status_ = Status::InvalidArgument(
+        "initial protocol '" + current_protocol_ +
+        "' is not live-switchable at n=" + std::to_string(cc.n));
+    return;
+  }
   ClientConfig ctl;
   ctl.num_replicas = cc.n;
   ctl.reply_quorum = cc.f + 1;
@@ -131,9 +148,12 @@ void SwitchManager::Evaluate(SimTime now) {
   WindowStats window = cursor_.Advance(now);
   std::optional<SwitchProposal> proposal = controller_->Observe(window);
   if (!proposal) return;
-  if (records_.size() >= spec_.max_switches) return;
+  // The budget guards controller-triggered switches only; scripted
+  // (forced) switches are the harness's business and must not consume it.
+  if (controller_switches_ >= spec_.max_switches) return;
   StartSwitch(proposal->target, DegradationSignatureName(proposal->signature),
               proposal->reason, proposal->signature);
+  if (in_progress_) ++controller_switches_;
 }
 
 void SwitchManager::StartSwitch(const std::string& target,
@@ -183,14 +203,23 @@ void SwitchManager::PollHandoff(SimTime now) {
   SwitchRecord& rec = records_.back();
   const size_t n = cluster_->num_replicas();
 
-  // Learn the cut from the first correct replica that executed the
-  // directive.
+  // Learn the cut from the first correct replica that *finalized* the
+  // directive's execution. A speculative execution (PoE, Zyzzyva)
+  // schedules the switch too, but RollbackTo revokes that schedule and
+  // the final ordering may place the directive at a different seq with a
+  // different cut. Latching a revocable cut could hang the handoff (real
+  // cut lower: Get(cut_seq_) never succeeds) or seed successors from an
+  // earlier checkpoint than replicas finalized (real cut higher). Once
+  // finalized_seq covers switch_sched_seq the schedule is irrevocable,
+  // and agreement on the finalized order fixes the same cut on every
+  // correct replica.
   if (cut_seq_ == 0) {
     for (ReplicaId r = 0; r < n; ++r) {
       if (!IsCorrectSlot(r)) continue;
       const Replica& rep = cluster_->replica(r);
       if (rep.epoch() == epoch_ && rep.switch_pending() &&
-          rep.switch_target_epoch() == epoch_ + 1) {
+          rep.switch_target_epoch() == epoch_ + 1 &&
+          rep.finalized_seq() >= rep.switch_sched_seq()) {
         cut_seq_ = rep.switch_cut_seq();
         rec.cut_seq = cut_seq_;
         rec.cut_learned_at_us = now;

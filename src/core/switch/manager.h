@@ -141,6 +141,9 @@ class SwitchManager {
   Status status_ = Status::Ok();
   SimTime next_eval_at_ = 0;
   size_t next_forced_ = 0;
+  /// Controller-triggered switches started (spec_.max_switches budget;
+  /// scripted switches are excluded).
+  uint64_t controller_switches_ = 0;
   uint64_t filler_counter_ = 0;
   std::vector<SwitchRecord> records_;
 

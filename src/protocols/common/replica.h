@@ -147,6 +147,9 @@ class Replica : public Actor {
   uint64_t switch_target_epoch() const { return switch_target_epoch_; }
   /// The agreed cut: the checkpoint boundary execution stops at.
   SequenceNumber switch_cut_seq() const { return switch_cut_seq_; }
+  /// Where the directive executed. The schedule (and with it the cut) is
+  /// revocable by RollbackTo until finalized_seq() reaches this.
+  SequenceNumber switch_sched_seq() const { return switch_sched_seq_; }
   /// True when the replica finalized through the cut and holds the
   /// checkpoint whose payload seeds its successor.
   bool ReadyToSwitch() const {

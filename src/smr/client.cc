@@ -176,7 +176,14 @@ void Client::OnTimer(uint64_t tag) {
     case kRetransmitTag:
       if (in_flight_) {
         ++retransmissions_;
-        metrics().Increment("client.retransmissions");
+        // The degradation controller reads client.retransmissions as
+        // leader-fault evidence, so harness control traffic (directive /
+        // filler retransmissions during a handoff) must not feed it — it
+        // could fail a calm de-escalation probe with the switch's own
+        // noise. Control clients get a separate observability counter.
+        metrics().Increment(config_.record_metrics
+                                ? "client.retransmissions"
+                                : "client.control_retransmissions");
         SendCurrent(/*to_all=*/true);
         retransmit_timer_ = SetTimer(NextRetransmitDelay(), kRetransmitTag);
       }

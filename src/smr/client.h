@@ -66,9 +66,12 @@ struct ClientConfig {
   double retransmit_jitter = 0.1;
   /// Optional per-run history sink (not owned; may be null).
   HistoryRecorder* history = nullptr;
-  /// Whether accepted requests feed the run's commit metrics. Control
-  /// clients (switch directives, fillers) turn this off so harness
-  /// traffic does not pollute throughput and latency numbers.
+  /// Whether this client feeds the run's workload metrics (commit
+  /// throughput/latency and the client.retransmissions counter the
+  /// degradation controller classifies on). Control clients (switch
+  /// directives, fillers) turn this off so harness traffic pollutes
+  /// neither the numbers nor the controller's trigger rules; their
+  /// retransmissions land in client.control_retransmissions instead.
   bool record_metrics = true;
   /// Think time between an accepted reply and the next request.
   SimTime think_time_us = 0;

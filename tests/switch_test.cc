@@ -239,6 +239,45 @@ TEST(ControllerTest, StuckProbeResetsBackoffPenalty) {
   EXPECT_DOUBLE_EQ(ctl.calm_penalty(), 1.0);
 }
 
+TEST(ControllerTest, GraceBoundaryEscalationCompoundsBackoff) {
+  // The probed fault can re-fire in the very window the probe grace
+  // expires (probe_trigger_windows=1 makes the last grace window also
+  // the trigger window). The probe-stuck forgiveness must not reset the
+  // accumulated backoff first, or a persistent fault is re-probed at the
+  // base cadence forever.
+  ControllerConfig cfg = FastTrigger();
+  cfg.probe_grace_windows = 2;
+  cfg.calm_backoff_cap = 64.0;
+  DegradationController ctl(cfg, "pbft", 1, 4);
+
+  ctl.Observe(StallWindow());
+  std::optional<SwitchProposal> up = ctl.Observe(StallWindow());
+  ASSERT_TRUE(up.has_value());
+  ctl.NoteSwitchStarted(up->target, DegradationSignature::kLeaderFault);
+
+  // First probe: fault re-fires exactly when the grace runs out.
+  std::optional<SwitchProposal> probe;
+  for (int i = 0; i < 40 && !probe; ++i) probe = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(probe.has_value());
+  ctl.NoteSwitchStarted(probe->target, DegradationSignature::kCalm);
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());  // Probe cool-down.
+  std::optional<SwitchProposal> re = ctl.Observe(StallWindow());
+  ASSERT_TRUE(re.has_value());
+  EXPECT_DOUBLE_EQ(ctl.calm_penalty(), 4.0);
+  ctl.NoteSwitchStarted(re->target, DegradationSignature::kLeaderFault);
+
+  // Second probe, same boundary collision: the penalty must compound
+  // (4 -> 16), not reset to 1 and re-multiply back to 4.
+  probe.reset();
+  for (int i = 0; i < 60 && !probe; ++i) probe = ctl.Observe(CalmWindow());
+  ASSERT_TRUE(probe.has_value());
+  ctl.NoteSwitchStarted(probe->target, DegradationSignature::kCalm);
+  EXPECT_FALSE(ctl.Observe(StallWindow()).has_value());
+  re = ctl.Observe(StallWindow());
+  ASSERT_TRUE(re.has_value());
+  EXPECT_DOUBLE_EQ(ctl.calm_penalty(), 16.0);
+}
+
 TEST(ControllerTest, ContentionSignatureFiresOnAbortRatio) {
   DegradationController ctl(FastTrigger(), "cheapbft", 1, 4);
   WindowStats w = CalmWindow();
@@ -393,6 +432,61 @@ TEST(SwitchTest, CrashDuringHandoffRestartsIntoNewEpoch) {
   EXPECT_GT(cluster.TotalAccepted(), 100u);
 }
 
+TEST(SwitchTest, NonSwitchableInitialProtocolIsRejected) {
+  // The source protocol is validated like the target: zyzzyva's
+  // speculative clients cannot be AdoptEpoch'd into another protocol, so
+  // an adaptive run starting from it must fail loudly at configuration
+  // time instead of stalling at zero throughput after the first switch.
+  ExperimentConfig cfg = AdaptiveBase("zyzzyva", 13);
+  cfg.duration_us = Seconds(2);
+  cfg.adaptive->forced.push_back({"pbft", Seconds(1)});
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SwitchTest, SpeculativeSourceSwitchLearnsFinalizedCutOnly) {
+  // poe executes speculatively: the SWITCH directive can execute, derive
+  // a cut, then be rolled back across an equivocation-triggered view
+  // change and re-execute elsewhere. The manager must only latch a cut
+  // that is finalized (non-revocable), or the handoff can hang on a cut
+  // that never materializes / seed successors from a stale checkpoint.
+  for (uint64_t seed : {2ull, 8ull}) {
+    ExperimentConfig cfg = AdaptiveBase("poe", seed);
+    cfg.view_change_timeout_us = Millis(300);
+    cfg.byzantine[0] = {ByzantineMode::kEquivocate, 0, 0};
+    cfg.adaptive->forced.push_back({"pbft", Seconds(2)});
+    Result<ExperimentResult> r = RunExperiment(cfg);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    ASSERT_EQ(r->switches.size(), 1u) << "seed " << seed;
+    EXPECT_GT(r->switches[0].completed_at_us, 0u) << "seed " << seed;
+    EXPECT_EQ(r->final_protocol, "pbft") << "seed " << seed;
+    EXPECT_GT(r->commits, 50u) << "seed " << seed;
+  }
+}
+
+TEST(SwitchTest, ScriptedSwitchesDoNotConsumeControllerBudget) {
+  // One scripted switch plus max_switches=1: the budget is documented as
+  // a guard rail on *controller-triggered* switches, so the controller
+  // must still get its escape from the degrading leader afterwards.
+  ExperimentConfig cfg = AdaptiveBase("pbft", 3);
+  cfg.duration_us = Seconds(8);
+  cfg.view_change_timeout_us = Millis(400);
+  cfg.client_retransmit_us = Millis(100);
+  cfg.byzantine[0] = {ByzantineMode::kDelayProposals, 0, Millis(200)};
+  cfg.adaptive->controller_enabled = true;
+  cfg.adaptive->controller.trigger_windows = 2;
+  cfg.adaptive->max_switches = 1;
+  // Fires before the controller's first window closes; pbft -> pbft is a
+  // legal (if pointless) scripted switch that keeps the regime intact.
+  cfg.adaptive->forced.push_back({"pbft", Millis(100)});
+  Result<ExperimentResult> r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GE(r->switches.size(), 2u);
+  EXPECT_EQ(r->switches[0].trigger, "forced");
+  EXPECT_EQ(r->switches[1].trigger, "leader_fault");
+  EXPECT_NE(r->final_protocol, "pbft");
+}
+
 TEST(SwitchTest, ControllerEscapesDegradingLeader) {
   // Replica 0 stealth-delays every proposal below the view-change
   // timeout: pbft itself never rotates, but clients retransmit on every
@@ -440,6 +534,30 @@ TEST(SwitchTest, RetransmitCapBoundsBackoffGrowth) {
       cluster.metrics().counter("client.retransmissions");
   EXPECT_GE(retransmissions, 15u);   // Cap held (uncapped ~7).
   EXPECT_LE(retransmissions, 110u);  // Backoff + jitter still applied.
+}
+
+TEST(SwitchTest, ControlClientRetransmissionsStayOffTheControllerSignal) {
+  // The controller classifies kLeaderFault from client.retransmissions;
+  // clients with record_metrics=false (the switch manager's control
+  // client) must not feed it, or directive/filler retransmissions during
+  // a handoff can fail the next de-escalation probe.
+  Result<ProtocolBuild> build = GetProtocol("pbft", 1);
+  ASSERT_TRUE(build.ok());
+  ClusterConfig cc;
+  cc.n = 4;
+  cc.f = 1;
+  cc.num_clients = 1;
+  cc.seed = 4;
+  cc.cost_model = CryptoCostModel::Free();
+  cc.client.reply_quorum = 2;
+  cc.client.retransmit_timeout_us = Millis(100);
+  cc.client.record_metrics = false;
+  Cluster cluster(std::move(cc), build->replica_factory);
+  cluster.Start();
+  for (ReplicaId r = 0; r < 4; ++r) cluster.network().Crash(r);
+  cluster.RunFor(Seconds(2));
+  EXPECT_EQ(cluster.metrics().counter("client.retransmissions"), 0u);
+  EXPECT_GE(cluster.metrics().counter("client.control_retransmissions"), 5u);
 }
 
 }  // namespace
