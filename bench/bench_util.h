@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/shard/runner.h"
 #include "core/sweep.h"
 #include "obs/export.h"
 
@@ -62,11 +63,34 @@ inline void Header() {
   std::printf("%s\n", ExperimentResult::TableHeader().c_str());
 }
 
-inline void Row(const ExperimentResult& r, const std::string& note = "") {
+/// `shard_count` tags the JSONL line so sharded sweeps (X23) and the
+/// single-cluster benches land in one post-processable stream; classic
+/// benches are one logical shard.
+inline void Row(const ExperimentResult& r, const std::string& note = "",
+                uint32_t shard_count = 1) {
   std::printf("%s  %s\n", r.TableRow().c_str(), note.c_str());
   internal::JsonLine("{\"bench\":\"" +
                      JsonEscape(internal::CurrentBenchId()) + "\",\"note\":\"" +
-                     JsonEscape(note) + "\",\"result\":" + r.Json() + "}");
+                     JsonEscape(note) + "\",\"shard_count\":" +
+                     std::to_string(shard_count) + ",\"result\":" + r.Json() +
+                     "}");
+}
+
+/// Row printer for sharded results (ShardedResult::Json carries
+/// shard_count itself; the wrapper repeats it for uniform filtering).
+inline void ShardRow(const ShardedResult& r, const std::string& note = "") {
+  std::printf("  shards=%-2u tput=%9.1f txn/s  mean=%8.1fus  p99=%8.1fus  "
+              "commit=%llu abort=%llu 2pc=%llu fast=%llu  %s\n",
+              r.shard_count, r.aggregate_tput, r.mean_latency_us,
+              r.p99_latency_us, static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.aborted),
+              static_cast<unsigned long long>(r.two_pc),
+              static_cast<unsigned long long>(r.fast_path), note.c_str());
+  internal::JsonLine("{\"bench\":\"" +
+                     JsonEscape(internal::CurrentBenchId()) + "\",\"note\":\"" +
+                     JsonEscape(note) + "\",\"shard_count\":" +
+                     std::to_string(r.shard_count) +
+                     ",\"result\":" + r.Json() + "}");
 }
 
 inline void Verdict(bool holds, const std::string& what) {

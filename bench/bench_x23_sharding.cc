@@ -1,0 +1,142 @@
+// X23: sharded cross-cluster transactions (DESIGN.md §13).
+//
+// Two shapes in one bench:
+//
+//  1. Weak scaling — K independent BFT clusters (one per shard, workers
+//     scale with K) on a 0%-cross-shard YCSB mix. Each shard orders only
+//     its own traffic, so aggregate committed throughput grows near-
+//     linearly: 4 shards must clear >= 2.5x the single-shard aggregate.
+//
+//  2. Cross-shard tax — fixed 2 shards while the cross-shard fraction
+//     sweeps 0 -> 1. Cross-shard transactions pay coordinator hops and,
+//     when dependent, the full 2PC-over-BFT slow path (two ordered
+//     rounds per participant), so mean committed latency rises
+//     monotonically with the fraction.
+//
+// Every cell also runs the full oracle suite (per-shard linearizability
+// of the logical history + cross-shard atomicity); an oracle violation
+// fails the bench outright.
+//
+// Flags:
+//   --smoke   short runs (CI).
+//
+// Telemetry: rows stream to BFTLAB_BENCH_JSON (JSONL) like every bench;
+// sharded rows carry shard_count and the full ShardedResult.
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/ycsb.h"
+
+namespace bftlab {
+namespace {
+
+ShardedExperimentConfig BaseConfig(uint32_t shards, double cross_fraction,
+                                   bool smoke) {
+  ShardedExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.f = 1;
+  cfg.topology.num_shards = shards;
+  cfg.workers_per_shard = 3;  // Weak scaling: total workers = 3 * shards.
+  cfg.duration_us = smoke ? Millis(400) : Seconds(2);
+  cfg.settle_us = Millis(400);
+  cfg.seed = 23;
+  ShardMixOptions mix;
+  mix.num_shards = shards;
+  mix.cross_shard_fraction = cross_fraction;
+  mix.dependent_fraction = 0.5;
+  mix.ops_per_txn = 3;
+  mix.keys_per_shard = 256;
+  cfg.txn_generator = MultiShardTxns(mix);
+  return cfg;
+}
+
+ShardedResult MustRunSharded(const ShardedExperimentConfig& cfg,
+                             const std::string& what) {
+  Result<ShardedResult> r = RunShardedExperiment(cfg);
+  if (!r.ok()) {
+    std::fprintf(stderr, "sharded cell '%s' failed: %s\n", what.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (!r->atomic || !r->linearizable) {
+    std::fprintf(stderr, "ORACLE VIOLATION in '%s': %s\n", what.c_str(),
+                 r->violation.c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void Run(bool smoke) {
+  bench::Title(
+      "X23: Sharded cross-cluster transactions — scaling and tax (§13)",
+      "independent per-shard ordering scales aggregate throughput "
+      "near-linearly (>=2.5x at 4 shards on a 0%-cross-shard mix) while "
+      "the cross-shard fraction buys a monotone latency tax (2PC slow "
+      "path + coordinator hops)");
+
+  // --- Part 1: weak scaling at 0% cross-shard ---------------------------
+  std::printf("Weak scaling (cross-shard fraction 0, workers = 3/shard):\n");
+  const std::vector<uint32_t> shard_counts = {1, 2, 4};
+  std::vector<ShardedResult> scaling;
+  for (uint32_t shards : shard_counts) {
+    std::ostringstream note;
+    note << "scaling shards=" << shards;
+    ShardedResult r =
+        MustRunSharded(BaseConfig(shards, 0.0, smoke), note.str());
+    bench::ShardRow(r, note.str());
+    scaling.push_back(std::move(r));
+  }
+  const double base_tput = scaling.front().aggregate_tput;
+  const double four_tput = scaling.back().aggregate_tput;
+  const double speedup = base_tput > 0 ? four_tput / base_tput : 0;
+  std::printf("  4-shard speedup over 1 shard: %.2fx\n", speedup);
+  bench::Verdict(speedup >= 2.5,
+                 "aggregate throughput at 4 shards >= 2.5x the 1-shard "
+                 "baseline on the 0%-cross-shard mix (measured " +
+                     std::to_string(speedup) + "x)");
+
+  // --- Part 2: cross-shard tax at 2 shards ------------------------------
+  std::printf("Cross-shard tax (2 shards, fraction sweep):\n");
+  const std::vector<double> fractions = {0.0, 0.2, 0.5, 1.0};
+  std::vector<ShardedResult> tax;
+  for (double fraction : fractions) {
+    std::ostringstream note;
+    note << "tax cross=" << fraction;
+    ShardedResult r =
+        MustRunSharded(BaseConfig(2, fraction, smoke), note.str());
+    bench::ShardRow(r, note.str());
+    tax.push_back(std::move(r));
+  }
+  bool latency_monotone = true;
+  for (size_t i = 1; i < tax.size(); ++i) {
+    // Monotone within 2%: the committed-txn mix shifts slightly with the
+    // fraction, but the 2PC share strictly grows.
+    if (tax[i].mean_latency_us < tax[i - 1].mean_latency_us * 0.98) {
+      latency_monotone = false;
+    }
+  }
+  const double tax_ratio = tax.front().mean_latency_us > 0
+                               ? tax.back().mean_latency_us /
+                                     tax.front().mean_latency_us
+                               : 0;
+  std::printf("  latency tax at 100%% cross-shard: %.2fx\n", tax_ratio);
+  bench::Verdict(latency_monotone && tax_ratio > 1.0,
+                 "mean committed latency rises monotonically (eps 2%) with "
+                 "the cross-shard fraction and the 100% point pays a real "
+                 "tax over the 0% baseline");
+}
+
+}  // namespace
+}  // namespace bftlab
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bftlab::Run(smoke);
+}

@@ -1,0 +1,98 @@
+#include "core/shard/atomicity.h"
+
+namespace bftlab {
+
+namespace {
+
+bool IsEffect(const KvStateMachine::ShardOutcome& o) {
+  return o.kind == ShardTxnOutcome::kCommitted ||
+         o.kind == ShardTxnOutcome::kFastApplied;
+}
+
+std::string Describe(const ShardTxnId& id) { return id.ToString(); }
+
+}  // namespace
+
+AtomicityReport CheckCrossShardAtomicity(
+    const std::vector<ShardTxnRecord>& records,
+    const std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>>&
+        outcomes,
+    const std::vector<size_t>& prepared_left, bool expect_quiescent) {
+  AtomicityReport report;
+
+  // Decision uniformity, shard-side: scan every outcome table pair.
+  // Sound regardless of what coordinators reported (or lied about).
+  std::map<ShardTxnId, std::pair<bool, uint32_t>> seen;  // id -> (effect, shard)
+  for (uint32_t s = 0; s < outcomes.size(); ++s) {
+    for (const auto& [id, o] : outcomes[s]) {
+      const bool effect = IsEffect(o);
+      auto it = seen.find(id);
+      if (it == seen.end()) {
+        seen.emplace(id, std::make_pair(effect, s));
+      } else if (it->second.first != effect) {
+        report.ok = false;
+        report.violation = "mixed decision for " + Describe(id) + ": shard " +
+                           std::to_string(it->second.second) + " says " +
+                           (it->second.first ? "commit" : "abort") +
+                           ", shard " + std::to_string(s) + " says " +
+                           (effect ? "commit" : "abort");
+        return report;
+      }
+    }
+  }
+
+  // All-or-nothing against the host-side records.
+  for (const ShardTxnRecord& rec : records) {
+    ++report.txns_checked;
+    if (rec.participants.size() < 2) continue;
+    ++report.cross_shard_checked;
+    const bool known_committed =
+        (rec.completed || rec.recovered) && rec.committed && !rec.uncertain;
+    const bool known_aborted =
+        (rec.completed || rec.recovered) && !rec.committed && !rec.uncertain;
+    if (known_committed) {
+      for (uint32_t p : rec.participants) {
+        if (p >= outcomes.size()) continue;
+        auto it = outcomes[p].find(rec.id);
+        if (it == outcomes[p].end() || !IsEffect(it->second)) {
+          report.ok = false;
+          report.violation = "partial commit: " + Describe(rec.id) +
+                             " committed but has no effect on shard " +
+                             std::to_string(p);
+          return report;
+        }
+      }
+    } else if (known_aborted) {
+      for (uint32_t p : rec.participants) {
+        if (p >= outcomes.size()) continue;
+        auto it = outcomes[p].find(rec.id);
+        if (it != outcomes[p].end() && IsEffect(it->second)) {
+          report.ok = false;
+          report.violation = "ghost commit: " + Describe(rec.id) +
+                             " aborted but took effect on shard " +
+                             std::to_string(p);
+          return report;
+        }
+      }
+    }
+    // Pending / uncertain transactions: the uniformity scan above is the
+    // only sound claim about them.
+  }
+
+  if (expect_quiescent) {
+    for (size_t s = 0; s < prepared_left.size(); ++s) {
+      if (prepared_left[s] != 0) {
+        report.ok = false;
+        report.violation = "leaked locks: shard " + std::to_string(s) +
+                           " still holds " +
+                           std::to_string(prepared_left[s]) +
+                           " undecided prepared txn(s) after settle";
+        return report;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bftlab

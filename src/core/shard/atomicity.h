@@ -1,0 +1,49 @@
+// Cross-shard atomic-commit oracle (DESIGN.md §13).
+//
+// Extends the chaos oracle suite to sharded runs. The Wing & Gong
+// linearizability checker already covers per-key correctness of the
+// worker-level history (the runner feeds it logical transactions with
+// coordinator-assembled results); this oracle adds the specifically
+// cross-shard invariants it cannot see:
+//
+//   all-or-nothing — a committed multi-shard transaction took effect on
+//     every participant shard; an aborted one on none.
+//   decision uniformity — no transaction is committed on one shard and
+//     aborted on another, whatever the coordinator did.
+//   quiescence — no prepared transaction still holds locks once the
+//     run settled (a leaked lock blocks a shard forever).
+//
+// Inputs come from replicated state (each shard's replica-0 outcome
+// table) plus the host-side transaction records, so the oracle observes
+// what the shards durably decided, not what coordinators claim.
+
+#ifndef BFTLAB_CORE_SHARD_ATOMICITY_H_
+#define BFTLAB_CORE_SHARD_ATOMICITY_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/shard/runner.h"
+
+namespace bftlab {
+
+struct AtomicityReport {
+  bool ok = true;
+  std::string violation;  // First violation found; empty when ok.
+  size_t txns_checked = 0;
+  size_t cross_shard_checked = 0;
+};
+
+/// `expect_quiescent` enables the leaked-lock check (off when a run
+/// deliberately leaves orphans behind, e.g. recovery disabled).
+AtomicityReport CheckCrossShardAtomicity(
+    const std::vector<ShardTxnRecord>& records,
+    const std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>>&
+        outcomes,
+    const std::vector<size_t>& prepared_left, bool expect_quiescent);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SHARD_ATOMICITY_H_

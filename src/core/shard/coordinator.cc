@@ -1,0 +1,331 @@
+#include "core/shard/coordinator.h"
+
+namespace bftlab {
+
+TxnCoordinator::TxnCoordinator(ShardTxnId id, TxnRouting routing,
+                               std::optional<MultiStamp> stamps,
+                               CoordOptions opts)
+    : id_(id),
+      routing_(std::move(routing)),
+      stamps_(std::move(stamps)),
+      opts_(opts) {
+  participants_ = routing_.participants;
+  if (routing_.subs.empty()) {
+    path_ = Path::kRecovery;
+  } else if (!routing_.multi_shard) {
+    path_ = Path::kSingle;
+  } else if (!routing_.dependent && stamps_.has_value()) {
+    path_ = Path::kFast;
+  } else {
+    // Dependent transactions — or any multi-shard transaction the
+    // sequencer refused to stamp — take the 2PC slow path.
+    path_ = Path::kTwoPC;
+  }
+}
+
+TxnCoordinator TxnCoordinator::MakeRecovery(
+    ShardTxnId id, std::vector<uint32_t> participants, CoordOptions opts) {
+  TxnCoordinator c(id, TxnRouting{}, std::nullopt, opts);
+  c.path_ = Path::kRecovery;
+  c.participants_ = std::move(participants);
+  return c;
+}
+
+const Buffer* TxnCoordinator::StampedPayloadFor(uint32_t shard) const {
+  if (!stamps_.has_value()) return nullptr;
+  auto it = states_.find(shard);
+  if (it == states_.end() || it->second.request.empty()) return nullptr;
+  if (!ShardOp::IsShardOp(Slice(it->second.request))) return nullptr;
+  return &it->second.request;
+}
+
+std::vector<CoordSend> TxnCoordinator::Start() {
+  std::vector<CoordSend> sends;
+  if (path_ == Path::kRecovery) {
+    for (uint32_t shard : participants_) {
+      ShardOp op;
+      op.type = ShardOpType::kCancel;
+      op.txn = id_;
+      op.shard = shard;
+      ShardState& st = states_[shard];
+      st.request = op.Encode();
+      sends.push_back({shard, st.request, 0});
+    }
+    return sends;
+  }
+
+  for (const TxnRouting::SubTxn& sub : routing_.subs) {
+    ShardState& st = states_[sub.shard];
+    if (path_ == Path::kSingle && !stamps_.has_value()) {
+      // Censored single-shard fallback: a plain KvTxn through the
+      // legacy path (one round, full local semantics, no slot).
+      st.request = sub.txn.Encode();
+    } else {
+      ShardOp op;
+      op.txn = id_;
+      op.shard = sub.shard;
+      op.participants = participants_;
+      op.sub = sub.txn;
+      if (path_ == Path::kTwoPC) {
+        op.type = ShardOpType::kPrepare;
+        op.stamp =
+            stamps_.has_value() ? stamps_->stamps.at(sub.shard) : 0;
+      } else {
+        op.type = ShardOpType::kStamped;
+        op.stamp = stamps_->stamps.at(sub.shard);
+      }
+      st.request = op.Encode();
+    }
+    sends.push_back({sub.shard, st.request, 0});
+  }
+  return sends;
+}
+
+Buffer TxnCoordinator::DecisionPayload(
+    uint32_t shard, bool commit, const std::vector<ShardVote>& cert) const {
+  ShardOp op;
+  op.type = ShardOpType::kDecision;
+  op.txn = id_;
+  op.shard = shard;
+  op.commit = commit;
+  op.cert = cert;
+  return op.Encode();
+}
+
+std::vector<CoordSend> TxnCoordinator::EnterDecisionPhase() {
+  bool commit = true;
+  for (uint32_t shard : participants_) {
+    ShardState& st = states_[shard];
+    if (st.decided_seen) {
+      // A shard already holds the decision (prior coordinator attempt
+      // got that far): adopt it — decisions are immutable.
+      commit = st.decided_commit;
+      break;
+    }
+  }
+  bool any_decided = false;
+  for (uint32_t shard : participants_) {
+    if (states_[shard].decided_seen) any_decided = true;
+  }
+  if (!any_decided) {
+    for (uint32_t shard : participants_) {
+      if (!states_[shard].vote_commit) commit = false;
+    }
+  }
+
+  cert_.clear();
+  if (commit) {
+    for (uint32_t shard : participants_) {
+      cert_.push_back({shard, true, states_[shard].token});
+    }
+  } else {
+    for (uint32_t shard : participants_) {
+      const ShardState& st = states_[shard];
+      if (st.vote_known && !st.vote_commit && st.token != 0) {
+        cert_.push_back({shard, false, st.token});
+      }
+    }
+    if (cert_.empty()) {
+      // Should be impossible: every abort decision traces back to an
+      // abort vote some participant recorded. Fail closed.
+      done_ = true;
+      committed_ = false;
+      uncertain_ = true;
+      return {};
+    }
+  }
+
+  decision_commit_ = commit;
+  in_decision_phase_ = true;
+  decision_sent_ = true;
+  std::vector<CoordSend> sends;
+
+  if (opts_.equivocate && commit) {
+    // Byzantine coordinator: genuine commit to the lowest participant,
+    // certificate-less abort to everyone else, then walk away. The
+    // participants reject the uncertified abort; recovery later
+    // re-derives commit from the immutable votes.
+    for (size_t i = 0; i < participants_.size(); ++i) {
+      const uint32_t shard = participants_[i];
+      if (i == 0) {
+        sends.push_back({shard, DecisionPayload(shard, true, cert_), 0});
+      } else {
+        sends.push_back({shard, DecisionPayload(shard, false, {}), 0});
+      }
+    }
+    done_ = true;
+    committed_ = true;
+    return sends;
+  }
+
+  for (uint32_t shard : participants_) {
+    ShardState& st = states_[shard];
+    // Shards that already hold the decision, and shards that abort-voted
+    // (their abort outcome is pinned at vote time), need no decision.
+    const bool needs_decision =
+        !st.decided_seen && (commit || (st.vote_known && st.vote_commit));
+    st.responded = !needs_decision;
+    if (needs_decision) {
+      st.request = DecisionPayload(shard, commit, cert_);
+      sends.push_back({shard, st.request, 0});
+    }
+  }
+  bool all = true;
+  for (uint32_t shard : participants_) {
+    if (!states_[shard].responded) all = false;
+  }
+  if (all) {
+    done_ = true;
+    committed_ = commit;
+  }
+  return sends;
+}
+
+std::vector<CoordSend> TxnCoordinator::OnResult(uint32_t shard,
+                                                Slice result_bytes) {
+  if (done_) return {};
+  auto sit = states_.find(shard);
+  if (sit == states_.end()) return {};
+  ShardState& st = sit->second;
+  if (st.responded) return {};
+
+  if (!ShardOpResult::IsShardOpResult(result_bytes)) {
+    // Censored single-shard fallback: a plain KvTxnResult.
+    Result<KvTxnResult> r = KvTxnResult::Decode(result_bytes);
+    if (!r.ok()) return {};
+    st.responded = true;
+    st.sub_result = std::move(r).value();
+    done_ = true;
+    committed_ = st.sub_result.committed;
+    return {};
+  }
+
+  Result<ShardOpResult> decoded = ShardOpResult::Decode(result_bytes);
+  if (!decoded.ok()) return {};
+  const ShardOpResult& res = *decoded;
+
+  switch (res.status) {
+    case ShardOpStatus::kStampGap: {
+      ++gap_retries_;
+      return {{shard, st.request, opts_.gap_retry_us}};
+    }
+    case ShardOpStatus::kBlocked: {
+      ++blocked_retries_;
+      return {{shard, st.request, opts_.blocked_retry_us}};
+    }
+    case ShardOpStatus::kStampStale: {
+      if (path_ == Path::kTwoPC && !in_decision_phase_) {
+        // Our prepare's slot evaporated (e.g. a rollback raced the
+        // retry); fall back to an unstamped prepare.
+        Result<ShardOp> op = ShardOp::Decode(Slice(st.request));
+        if (op.ok()) {
+          op->stamp = 0;
+          st.request = op->Encode();
+          return {{shard, st.request, opts_.gap_retry_us}};
+        }
+        return {};
+      }
+      // Fast/single path: the slot executed but its result was evicted.
+      // The effects are durable; the outcome is unknown to us.
+      st.responded = true;
+      uncertain_ = true;
+      st.sub_result.committed = true;
+      break;
+    }
+    case ShardOpStatus::kApplied: {
+      st.responded = true;
+      Result<KvTxnResult> r = KvTxnResult::Decode(Slice(res.txn_result));
+      if (r.ok()) st.sub_result = std::move(r).value();
+      break;
+    }
+    case ShardOpStatus::kVote: {
+      st.responded = true;
+      st.vote_known = true;
+      st.vote_commit = res.commit;
+      st.token = res.token;
+      if (res.commit) {
+        Result<KvTxnResult> r = KvTxnResult::Decode(Slice(res.txn_result));
+        if (r.ok()) st.sub_result = std::move(r).value();
+      } else {
+        st.sub_result.committed = false;
+        st.sub_result.abort_reason = res.reason;
+      }
+      break;
+    }
+    case ShardOpStatus::kDecided: {
+      st.responded = true;
+      if (in_decision_phase_) break;  // Decision ack.
+      st.decided_seen = true;
+      st.decided_commit = res.commit;
+      st.vote_known = res.token != 0;
+      st.vote_commit = res.vote_commit;
+      st.token = res.token;
+      break;
+    }
+    case ShardOpStatus::kRejected: {
+      // Honest coordinators never produce invalid certificates; treat
+      // as a terminal ack so the harness's recovery daemon takes over.
+      st.responded = true;
+      break;
+    }
+    case ShardOpStatus::kUnknown: {
+      st.responded = true;
+      break;
+    }
+  }
+
+  // Phase-completion check.
+  bool all = true;
+  for (uint32_t p : participants_) {
+    if (!states_[p].responded) all = false;
+  }
+  if (!all) return {};
+
+  if (in_decision_phase_) {
+    done_ = true;
+    committed_ = decision_commit_;
+    return {};
+  }
+  if (path_ == Path::kSingle || path_ == Path::kFast) {
+    done_ = true;
+    committed_ = true;
+    for (uint32_t p : participants_) {
+      if (!states_[p].sub_result.committed) committed_ = false;
+    }
+    return {};
+  }
+  // 2PC / recovery: all votes (or prior decisions) collected.
+  return EnterDecisionPhase();
+}
+
+KvTxnResult TxnCoordinator::Assemble() const {
+  KvTxnResult out;
+  out.committed = committed_;
+  if (!committed_) {
+    for (uint32_t p : participants_) {
+      auto it = states_.find(p);
+      if (it != states_.end() && !it->second.sub_result.abort_reason.empty()) {
+        out.abort_reason = it->second.sub_result.abort_reason;
+        break;
+      }
+    }
+    if (out.abort_reason.empty()) out.abort_reason = "aborted";
+    return out;
+  }
+  size_t total_ops = 0;
+  for (const TxnRouting::SubTxn& sub : routing_.subs) {
+    total_ops += sub.op_indices.size();
+  }
+  out.results.resize(total_ops);
+  for (const TxnRouting::SubTxn& sub : routing_.subs) {
+    auto it = states_.find(sub.shard);
+    if (it == states_.end()) continue;
+    const std::vector<std::string>& rs = it->second.sub_result.results;
+    for (size_t i = 0; i < sub.op_indices.size(); ++i) {
+      out.results[sub.op_indices[i]] = i < rs.size() ? rs[i] : "";
+    }
+  }
+  return out;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,143 @@
+// Per-transaction coordinator engine (DESIGN.md §13).
+//
+// A pure, host-driven state machine: Start() and OnResult() return the
+// shard-op payloads to submit next, and the embedding harness decides
+// how they travel (the sharded runner injects them into per-shard BFT
+// clusters through gate clients; the schedule explorer applies them
+// directly to KvStateMachines). Keeping the engine free of any
+// simulator dependency is what lets the explorer enumerate tens of
+// thousands of cross-shard schedules per second.
+//
+// Paths:
+//   kSingle — one stamped sub-txn (or a plain KvTxn when the sequencer
+//             censored us); done after one apply.
+//   kFast   — Eris fast path: stamped blind-write sub-txns, one per
+//             participant; done when every shard applied its slot.
+//   kTwoPC  — prepare on every participant, collect votes, then a
+//             decision carrying the vote certificate.
+//
+// Recovery: MakeRecovery() builds a coordinator that resolves an
+// abandoned 2PC transaction from only (id, participants) — it Cancels
+// every participant (forcing an abort vote where nothing is prepared,
+// retrieving the immutable vote or prior decision otherwise), derives
+// the unique decision those votes admit, and broadcasts it. Decisions
+// are a pure function of immutable votes, so a crashed — or
+// equivocating — original coordinator can never make recovery unsafe.
+
+#ifndef BFTLAB_CORE_SHARD_COORDINATOR_H_
+#define BFTLAB_CORE_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "core/shard/partition.h"
+#include "core/shard/sequencer.h"
+#include "smr/shard_op.h"
+
+namespace bftlab {
+
+/// A payload the harness should submit to `shard` after `delay_us`.
+struct CoordSend {
+  uint32_t shard = 0;
+  Buffer payload;
+  SimTime delay_us = 0;
+};
+
+struct CoordOptions {
+  /// Backoff before resubmitting a stamped op that hit a stamp gap.
+  SimTime gap_retry_us = Millis(1);
+  /// Backoff before resubmitting an op bounced off a prepared lock.
+  SimTime blocked_retry_us = Millis(1);
+  /// Byzantine fault injection: after collecting all-commit votes, send
+  /// the genuine commit decision to the lowest participant only and a
+  /// certificate-less abort to the rest, then walk away.
+  bool equivocate = false;
+};
+
+class TxnCoordinator {
+ public:
+  enum class Path { kSingle, kFast, kTwoPC, kRecovery };
+
+  /// `stamps` is the sequencer's multi-stamp; nullopt = censored, which
+  /// forces the unstamped fallback (plain txn when single-shard,
+  /// unstamped 2PC otherwise — including blind-write transactions,
+  /// which lose their fast path without slots).
+  TxnCoordinator(ShardTxnId id, TxnRouting routing,
+                 std::optional<MultiStamp> stamps, CoordOptions opts);
+
+  static TxnCoordinator MakeRecovery(ShardTxnId id,
+                                     std::vector<uint32_t> participants,
+                                     CoordOptions opts);
+
+  std::vector<CoordSend> Start();
+  /// Feeds one shard's reply (an encoded ShardOpResult, or a plain
+  /// KvTxnResult on the censored single-shard fallback).
+  std::vector<CoordSend> OnResult(uint32_t shard, Slice result_bytes);
+
+  bool done() const { return done_; }
+  /// Valid once done(): did the transaction commit?
+  bool committed() const { return committed_; }
+  /// True when a stamped slot's result was evicted before we read it:
+  /// the transaction executed but its outcome is unknown to us. The
+  /// runner leaves such ops pending in the history (unconstrained).
+  bool uncertain() const { return uncertain_; }
+  /// Client-facing result, assembled from per-shard sub-results mapped
+  /// back to the original op order. Valid once done().
+  KvTxnResult Assemble() const;
+
+  Path path() const { return path_; }
+  const ShardTxnId& id() const { return id_; }
+  const std::vector<uint32_t>& participants() const { return participants_; }
+  bool decision_sent() const { return decision_sent_; }
+
+  uint64_t gap_retries() const { return gap_retries_; }
+  uint64_t blocked_retries() const { return blocked_retries_; }
+
+  /// The stamped payload for `shard`, if this coordinator sent one
+  /// (registered with the sequencer for gap re-injection).
+  const Buffer* StampedPayloadFor(uint32_t shard) const;
+
+ private:
+  struct ShardState {
+    Buffer request;            // Last payload sent to this shard.
+    bool responded = false;    // Current phase's reply arrived.
+    bool vote_known = false;
+    bool vote_commit = false;
+    uint64_t token = 0;
+    KvTxnResult sub_result;    // Per-op results for this shard.
+    bool decided_seen = false; // Recovery: shard reported kDecided.
+    bool decided_commit = false;
+  };
+
+  std::vector<CoordSend> EnterDecisionPhase();
+  Buffer DecisionPayload(uint32_t shard, bool commit,
+                         const std::vector<ShardVote>& cert) const;
+  ShardState& state(uint32_t shard) { return states_[shard]; }
+
+  ShardTxnId id_;
+  TxnRouting routing_;
+  std::optional<MultiStamp> stamps_;
+  CoordOptions opts_;
+  Path path_ = Path::kSingle;
+  std::vector<uint32_t> participants_;
+
+  std::map<uint32_t, ShardState> states_;
+  bool in_decision_phase_ = false;
+  bool decision_sent_ = false;
+  bool decision_commit_ = false;
+  std::vector<ShardVote> cert_;
+  bool done_ = false;
+  bool committed_ = false;
+  bool uncertain_ = false;
+  uint64_t gap_retries_ = 0;
+  uint64_t blocked_retries_ = 0;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SHARD_COORDINATOR_H_

@@ -1,0 +1,286 @@
+#include "core/shard/explorer.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/fnv.h"
+#include "common/rng.h"
+#include "core/shard/atomicity.h"
+#include "core/shard/coordinator.h"
+#include "core/shard/sequencer.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+namespace {
+
+struct Engine {
+  std::unique_ptr<TxnCoordinator> coord;
+  bool crashed = false;
+  bool is_recovery = false;
+  size_t rec_index = 0;
+};
+
+/// One coordinator->shard payload awaiting delivery.
+struct PendingSend {
+  size_t engine = 0;
+  uint32_t shard = 0;
+  Buffer payload;
+};
+
+std::string ShardKey(uint32_t shard, uint32_t key) {
+  return "s" + std::to_string(shard) + "/k" + std::to_string(key);
+}
+
+/// Behavioral digest of the whole cross-shard state: shard stamp
+/// cursors, lock tables, durable outcome tables, coordinator progress,
+/// and the in-flight payload multiset (commutative, order-free).
+uint64_t FoldState(const std::vector<std::unique_ptr<KvStateMachine>>& shards,
+                   const std::vector<Engine>& engines,
+                   const std::vector<PendingSend>& pending) {
+  uint64_t h = kFnvBasis;
+  for (const auto& sm : shards) {
+    h = FnvMix(h, sm->next_stamp());
+    h = FnvMix(h, sm->prepared_count());
+    h = FnvMix(h, sm->txn_commits());
+    h = FnvMix(h, sm->txn_aborts());
+    uint64_t outcomes = 0;
+    for (const auto& [id, o] : sm->shard_outcomes()) {
+      uint64_t e = kFnvBasis;
+      e = FnvMix(e, id.owner);
+      e = FnvMix(e, id.seq);
+      e = FnvMix(e, static_cast<uint64_t>(o.kind));
+      outcomes += e;  // Commutative: map order is already canonical,
+                      // but addition keeps it robust to future reorders.
+    }
+    h = FnvMix(h, outcomes);
+  }
+  for (const Engine& eng : engines) {
+    uint64_t e = kFnvBasis;
+    e = FnvMix(e, eng.crashed ? 1 : 0);
+    e = FnvMix(e, eng.coord->done() ? 1 : 0);
+    e = FnvMix(e, eng.coord->committed() ? 1 : 0);
+    e = FnvMix(e, eng.coord->decision_sent() ? 1 : 0);
+    h = FnvMix(h, e);
+  }
+  uint64_t multiset = 0;
+  for (const PendingSend& p : pending) {
+    uint64_t e = FnvMix(kFnvBasis, p.shard);
+    e = FnvBytes(p.payload.data(), p.payload.size(), e);
+    multiset += e;
+  }
+  h = FnvMix(h, multiset);
+  h = FnvMix(h, pending.size());
+  return h;
+}
+
+}  // namespace
+
+Result<ShardExploreReport> ExploreShardSchedules(
+    const ShardExploreConfig& cfg) {
+  if (cfg.num_shards == 0 || cfg.num_txns == 0) {
+    return Status::InvalidArgument("need at least one shard and one txn");
+  }
+  ShardExploreReport report;
+  std::unordered_set<uint64_t> states;
+  const KeyPartitioner part(ShardTopology{cfg.num_shards, ShardPolicy::kPrefix});
+
+  for (uint64_t schedule = 0; schedule < cfg.schedules; ++schedule) {
+    Rng rng(cfg.seed * 2654435761ull + schedule);
+
+    std::vector<std::unique_ptr<KvStateMachine>> shards;
+    for (uint32_t s = 0; s < cfg.num_shards; ++s) {
+      shards.push_back(std::make_unique<KvStateMachine>());
+    }
+    Sequencer seq(cfg.num_shards);
+    std::vector<Engine> engines;
+    std::vector<ShardTxnRecord> records;
+    std::vector<PendingSend> pending;
+
+    const uint32_t n_single = cfg.num_shards < 2
+                                  ? cfg.num_txns
+                                  : static_cast<uint32_t>(
+                                        cfg.num_txns * cfg.single_fraction);
+    const uint32_t n_dep =
+        cfg.num_shards < 2 ? 0
+                           : static_cast<uint32_t>(cfg.num_txns *
+                                                   cfg.dependent_fraction);
+
+    for (uint32_t i = 0; i < cfg.num_txns; ++i) {
+      KvTxn txn;
+      txn.owner = static_cast<ClientId>(kClientIdBase + i);
+      const std::string val = "v" + std::to_string(i);
+      if (i < n_single) {
+        const uint32_t s = static_cast<uint32_t>(rng.NextBelow(cfg.num_shards));
+        KvOp put;
+        put.code = KvOpCode::kPut;
+        put.key = ShardKey(s, static_cast<uint32_t>(
+                                  rng.NextBelow(cfg.keys_per_shard)));
+        put.value = val;
+        KvOp add;
+        add.code = KvOpCode::kAdd;
+        add.key = ShardKey(s, static_cast<uint32_t>(
+                                  rng.NextBelow(cfg.keys_per_shard)));
+        add.delta = 1;
+        txn.ops = {put, add};
+      } else {
+        const uint32_t a = static_cast<uint32_t>(rng.NextBelow(cfg.num_shards));
+        uint32_t b = static_cast<uint32_t>(rng.NextBelow(cfg.num_shards - 1));
+        if (b >= a) ++b;
+        KvOp first;
+        first.key =
+            ShardKey(a, static_cast<uint32_t>(rng.NextBelow(cfg.keys_per_shard)));
+        KvOp second;
+        second.code = KvOpCode::kPut;
+        second.key =
+            ShardKey(b, static_cast<uint32_t>(rng.NextBelow(cfg.keys_per_shard)));
+        second.value = val;
+        if (i < n_single + n_dep) {
+          // Dependent: a cross-shard read forces the 2PC slow path.
+          first.code = KvOpCode::kGet;
+        } else {
+          // Blind writes only: Eris fast path.
+          first.code = KvOpCode::kPut;
+          first.value = val;
+        }
+        txn.ops = {first, second};
+      }
+
+      Result<TxnRouting> routing = RouteTxn(txn, part);
+      if (!routing.ok()) return routing.status();
+      const ShardTxnId id{txn.owner, 1};
+      std::optional<MultiStamp> stamps = seq.Assign(txn.owner,
+                                                    routing->participants);
+
+      ShardTxnRecord rec;
+      rec.id = id;
+      rec.participants = routing->participants;
+      Engine eng;
+      eng.coord = std::make_unique<TxnCoordinator>(
+          id, std::move(*routing), std::move(stamps), CoordOptions{});
+      rec.path = eng.coord->path();
+      eng.rec_index = records.size();
+      records.push_back(rec);
+
+      for (CoordSend& s : eng.coord->Start()) {
+        pending.push_back({engines.size(), s.shard, std::move(s.payload)});
+      }
+      engines.push_back(std::move(eng));
+    }
+
+    // --- Random walk over the delivery order --------------------------
+    uint64_t step = 0;
+    bool truncated = false;
+    while (!pending.empty()) {
+      if (++step > cfg.max_steps) {
+        truncated = true;
+        ++report.truncated;
+        break;
+      }
+      const size_t choice = static_cast<size_t>(rng.NextBelow(pending.size()));
+      report.decision_hash = FnvMix(report.decision_hash, schedule);
+      report.decision_hash = FnvMix(report.decision_hash, step);
+      report.decision_hash = FnvMix(report.decision_hash, choice);
+      report.decision_hash = FnvMix(report.decision_hash, pending.size());
+
+      PendingSend ev = std::move(pending[choice]);
+      pending[choice] = std::move(pending.back());
+      pending.pop_back();
+
+      Result<Buffer> result = shards[ev.shard]->Apply(Slice(ev.payload));
+      if (!result.ok()) {
+        report.violation_found = true;
+        report.violation = "shard " + std::to_string(ev.shard) +
+                           " rejected a payload: " + result.status().ToString();
+        report.violating_schedule = schedule;
+        break;
+      }
+      if (rng.NextDouble() < cfg.duplicate_prob) {
+        ++report.duplicates_injected;
+        pending.push_back({ev.engine, ev.shard, ev.payload});
+      }
+
+      Engine& eng = engines[ev.engine];
+      if (!eng.crashed && !eng.coord->done()) {
+        const bool decision_before = eng.coord->decision_sent();
+        std::vector<CoordSend> sends =
+            eng.coord->OnResult(ev.shard, Slice(*result));
+        const bool at_decision_boundary = !decision_before &&
+                                          eng.coord->decision_sent() &&
+                                          !eng.coord->done();
+        if (at_decision_boundary && !eng.is_recovery &&
+            rng.NextDouble() < cfg.crash_prob) {
+          // Coordinator dies with the decision computed but unsent;
+          // participants hold their locks until recovery resolves it.
+          ++report.crashes_injected;
+          ++report.recoveries_run;
+          eng.crashed = true;
+          Engine rec_eng;
+          rec_eng.coord = std::make_unique<TxnCoordinator>(
+              TxnCoordinator::MakeRecovery(eng.coord->id(),
+                                           eng.coord->participants(),
+                                           CoordOptions{}));
+          rec_eng.is_recovery = true;
+          rec_eng.rec_index = eng.rec_index;
+          for (CoordSend& s : rec_eng.coord->Start()) {
+            pending.push_back(
+                {engines.size(), s.shard, std::move(s.payload)});
+          }
+          engines.push_back(std::move(rec_eng));
+          // `eng` may now dangle (vector growth): stop touching it.
+        } else {
+          for (CoordSend& s : sends) {
+            pending.push_back({ev.engine, s.shard, std::move(s.payload)});
+          }
+          if (eng.coord->done()) {
+            ShardTxnRecord& rec = records[eng.rec_index];
+            if (eng.is_recovery) {
+              rec.recovered = true;
+            } else {
+              rec.completed = true;
+            }
+            rec.committed = eng.coord->committed();
+            rec.uncertain = eng.coord->uncertain();
+          }
+        }
+      }
+
+      ++report.steps;
+      if (states.insert(FoldState(shards, engines, pending)).second) {
+        ++report.distinct_states;
+      }
+      if (report.violation_found) break;
+    }
+    ++report.schedules;
+    if (report.violation_found) break;
+
+    for (const ShardTxnRecord& rec : records) {
+      if (!rec.completed && !rec.recovered) continue;
+      if (rec.committed) {
+        ++report.committed;
+      } else {
+        ++report.aborted;
+      }
+    }
+
+    std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes;
+    std::vector<size_t> prepared_left;
+    for (const auto& sm : shards) {
+      outcomes.push_back(sm->shard_outcomes());
+      prepared_left.push_back(sm->prepared_count());
+    }
+    AtomicityReport atom = CheckCrossShardAtomicity(
+        records, outcomes, prepared_left, /*expect_quiescent=*/!truncated);
+    if (!atom.ok) {
+      report.violation_found = true;
+      report.violation = atom.violation;
+      report.violating_schedule = schedule;
+      break;
+    }
+  }
+
+  return report;
+}
+
+}  // namespace bftlab

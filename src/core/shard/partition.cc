@@ -1,0 +1,78 @@
+#include "core/shard/partition.h"
+
+#include <algorithm>
+
+#include "common/fnv.h"
+
+namespace bftlab {
+
+uint32_t KeyPartitioner::ShardOf(const std::string& key) const {
+  if (topology_.num_shards <= 1) return 0;
+  if (topology_.policy == ShardPolicy::kPrefix && key.size() >= 2 &&
+      key[0] == 's') {
+    // Parse "s<k>/...": digits up to the first '/'.
+    uint64_t shard = 0;
+    size_t i = 1;
+    bool any = false;
+    for (; i < key.size() && key[i] >= '0' && key[i] <= '9'; ++i) {
+      shard = shard * 10 + static_cast<uint64_t>(key[i] - '0');
+      any = true;
+      if (shard >= topology_.num_shards) break;
+    }
+    if (any && i < key.size() && key[i] == '/' &&
+        shard < topology_.num_shards) {
+      return static_cast<uint32_t>(shard);
+    }
+  }
+  return static_cast<uint32_t>(FnvString(key) % topology_.num_shards);
+}
+
+const TxnRouting::SubTxn* TxnRouting::SubForShard(uint32_t shard) const {
+  for (const SubTxn& sub : subs) {
+    if (sub.shard == shard) return &sub;
+  }
+  return nullptr;
+}
+
+Result<TxnRouting> RouteTxn(const KvTxn& txn, const KeyPartitioner& part) {
+  if (txn.ops.empty()) {
+    return Status::InvalidArgument("cannot route an empty transaction");
+  }
+  TxnRouting routing;
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    const KvOp& op = txn.ops[i];
+    const uint32_t shard = part.ShardOf(op.key);
+    TxnRouting::SubTxn* sub = nullptr;
+    for (TxnRouting::SubTxn& s : routing.subs) {
+      if (s.shard == shard) {
+        sub = &s;
+        break;
+      }
+    }
+    if (sub == nullptr) {
+      routing.subs.emplace_back();
+      sub = &routing.subs.back();
+      sub->shard = shard;
+      sub->txn.owner = txn.owner;
+    }
+    sub->txn.ops.push_back(op);
+    sub->op_indices.push_back(i);
+    if (op.code == KvOpCode::kGet || op.code == KvOpCode::kAdd) {
+      routing.dependent = true;  // Provisional; single-shard resets below.
+    }
+  }
+  std::sort(routing.subs.begin(), routing.subs.end(),
+            [](const TxnRouting::SubTxn& a, const TxnRouting::SubTxn& b) {
+              return a.shard < b.shard;
+            });
+  for (const TxnRouting::SubTxn& sub : routing.subs) {
+    routing.participants.push_back(sub.shard);
+  }
+  routing.multi_shard = routing.subs.size() > 1;
+  // A single-shard transaction is always "independent": one stamped
+  // sub-txn with full local KvTxn semantics, no coordination needed.
+  if (!routing.multi_shard) routing.dependent = false;
+  return routing;
+}
+
+}  // namespace bftlab

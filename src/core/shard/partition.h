@@ -1,0 +1,76 @@
+// Key-space partitioning and transaction routing (DESIGN.md §13).
+//
+// A sharded deployment splits the key space across independent BFT
+// clusters. The partitioner maps each key to its shard; the router
+// splits a KvTxn into per-shard sub-transactions by its read/write key
+// sets and classifies it for the fast/slow path decision:
+//
+//   single-shard            -> one stamped sub-txn, one ordering round
+//   multi-shard independent -> stamped sub-txns, one round per shard
+//                              (blind writes only, commits everywhere)
+//   multi-shard dependent   -> 2PC-over-BFT (any cross-shard read)
+
+#ifndef BFTLAB_CORE_SHARD_PARTITION_H_
+#define BFTLAB_CORE_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "smr/kv_txn.h"
+
+namespace bftlab {
+
+/// How keys map onto shards.
+enum class ShardPolicy : uint8_t {
+  /// Keys of the form "s<k>/..." route to shard k (workload-controlled
+  /// placement; what workload/ycsb MultiShardTxns emits). Keys without
+  /// the prefix fall back to hashing.
+  kPrefix = 0,
+  /// FNV hash of the whole key, mod shard count.
+  kHash = 1,
+};
+
+struct ShardTopology {
+  uint32_t num_shards = 1;
+  ShardPolicy policy = ShardPolicy::kPrefix;
+};
+
+class KeyPartitioner {
+ public:
+  explicit KeyPartitioner(ShardTopology topology) : topology_(topology) {}
+
+  uint32_t ShardOf(const std::string& key) const;
+  uint32_t num_shards() const { return topology_.num_shards; }
+  const ShardTopology& topology() const { return topology_; }
+
+ private:
+  ShardTopology topology_;
+};
+
+/// A transaction split into per-shard pieces, ready for the coordinator.
+struct TxnRouting {
+  struct SubTxn {
+    uint32_t shard = 0;
+    KvTxn txn;  // Owner copied from the parent; ops in original order.
+    /// For each op in `txn.ops`, its index in the parent transaction —
+    /// lets the coordinator reassemble per-op results in order.
+    std::vector<size_t> op_indices;
+  };
+
+  std::vector<SubTxn> subs;            // Sorted by shard id.
+  std::vector<uint32_t> participants;  // Shard ids, ascending.
+  bool multi_shard = false;
+  /// True when the transaction needs the 2PC slow path: it spans shards
+  /// and at least one op reads (kGet, or kAdd's read-modify-write).
+  bool dependent = false;
+
+  const SubTxn* SubForShard(uint32_t shard) const;
+};
+
+Result<TxnRouting> RouteTxn(const KvTxn& txn, const KeyPartitioner& part);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SHARD_PARTITION_H_

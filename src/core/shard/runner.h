@@ -1,0 +1,151 @@
+// Multi-cluster sharded execution harness (DESIGN.md §13).
+//
+// Drives K independent BFT clusters — one per shard, each with its own
+// Simulator — in deterministic lockstep: all shard simulators advance
+// in fixed time quanta, and a host-side event queue carries coordinator
+// traffic between them (sequencer calls, sub-txn injections, replies).
+// Cross-shard hops pay `cross_shard_latency_us` and are quantized up by
+// at most one quantum; everything is a pure function of (config, seed).
+//
+// Host-side actors:
+//   workers    — closed-loop logical clients; each owns one gate client
+//                per shard and runs a TxnCoordinator per transaction.
+//   sequencer  — hands out multi-stamps; registers stamped payloads so
+//                abandoned slots can be re-injected.
+//   recovery   — daemon that resolves orphaned 2PC transactions (crashed
+//                or equivocating coordinators) and fills abandoned
+//                sequencer slots so shards never stall on a gap.
+
+#ifndef BFTLAB_CORE_SHARD_RUNNER_H_
+#define BFTLAB_CORE_SHARD_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/history.h"
+#include "core/shard/coordinator.h"
+#include "core/shard/partition.h"
+#include "core/shard/sequencer.h"
+#include "sim/network.h"
+#include "smr/client.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+struct ShardedExperimentConfig {
+  std::string protocol = "pbft";
+  uint32_t f = 1;
+  ShardTopology topology;
+  /// Workers scale with shards (weak scaling): total = shards * this.
+  uint32_t workers_per_shard = 2;
+  SimTime duration_us = Seconds(1);
+  /// Extra lockstep time after duration so in-flight transactions and
+  /// recovery settle before the oracles run (workers stop submitting).
+  SimTime settle_us = Millis(400);
+  /// Lockstep quantum all shard simulators advance by.
+  SimTime quantum_us = 100;
+  /// One-way host<->shard-cluster latency for coordinator traffic.
+  SimTime cross_shard_latency_us = 200;
+  uint64_t seed = 1;
+  NetworkConfig net = NetworkConfig::Lan();
+  size_t batch_size = 8;
+  SimTime batch_timeout_us = Millis(2);
+  uint64_t checkpoint_interval = 64;
+  SimTime client_retransmit_us = Millis(200);
+
+  /// Generates the i-th logical transaction of a worker (an encoded
+  /// KvTxn; the runner stamps the owner). Defaults to single-shard PUTs.
+  OpGenerator txn_generator;
+
+  SimTime gap_retry_us = Millis(1);
+  SimTime blocked_retry_us = Millis(1);
+  SimTime recovery_check_us = Millis(20);
+  /// Age after which an unfinished 2PC coordinator is declared dead and
+  /// recovery takes over; also the stall threshold for slot re-injection.
+  SimTime recovery_timeout_us = Millis(60);
+  bool enable_recovery = true;
+
+  // --- Fault injection --------------------------------------------------
+  /// Censoring sequencer: refuses stamps to matching workers.
+  std::function<bool(ClientId)> sequencer_censor;
+  /// Equivocating coordinator: matching (owner, seq) transactions send a
+  /// genuine commit to one participant and a bogus abort to the rest.
+  std::function<bool(ClientId, uint64_t)> equivocate;
+  /// Coordinator crash between prepare and commit: matching transactions
+  /// collect votes, then drop their decision messages and the worker
+  /// stops submitting (recovery resolves the orphan).
+  std::function<bool(ClientId, uint64_t)> crash_after_prepare;
+  /// Worker crash after stamp acquisition: matching fast-path
+  /// transactions register their stamped payloads with the sequencer but
+  /// never submit them (slot re-injection fills the gap).
+  std::function<bool(ClientId, uint64_t)> drop_fast_sends;
+  /// Replica crash/restart schedule per shard (view changes mid-2PC).
+  struct ShardFault {
+    uint32_t shard = 0;
+    ReplicaId replica = 0;
+    SimTime crash_at = 0;
+    SimTime restart_at = 0;  // 0 = never restarts.
+  };
+  std::vector<ShardFault> faults;
+
+  bool check_linearizability = true;
+  /// Per-shard causal tracers (index = shard id); may be shorter than
+  /// the shard count or empty.
+  std::vector<Tracer*> tracers;
+};
+
+/// Host-side record of one logical transaction, the oracle's unit.
+struct ShardTxnRecord {
+  ShardTxnId id;
+  std::vector<uint32_t> participants;
+  TxnCoordinator::Path path = TxnCoordinator::Path::kSingle;
+  bool completed = false;  // Coordinator reached a final outcome.
+  bool committed = false;
+  bool uncertain = false;
+  bool equivocated = false;
+  bool abandoned = false;  // Coordinator crashed before deciding.
+  bool recovered = false;  // Outcome determined by the recovery daemon.
+  SimTime invoke_us = 0;
+  SimTime complete_us = 0;
+};
+
+struct ShardedResult {
+  uint32_t shard_count = 1;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t single_shard = 0;
+  uint64_t fast_path = 0;
+  uint64_t two_pc = 0;
+  uint64_t cross_shard_committed = 0;
+  uint64_t gap_retries = 0;
+  uint64_t blocked_retries = 0;
+  uint64_t recovery_takeovers = 0;
+  uint64_t slot_reinjections = 0;
+  uint64_t censored = 0;
+  double aggregate_tput = 0;     // Committed txns per second.
+  double mean_latency_us = 0;    // Over committed txns.
+  double p99_latency_us = 0;
+  std::vector<uint64_t> per_shard_commits;  // Replica-0 txn_commits.
+  bool linearizable = true;
+  bool atomic = true;
+  std::string violation;
+
+  std::vector<ShardTxnRecord> records;
+  /// Worker-level history of logical transactions (for W&G).
+  History history;
+  /// Replica-0 shard outcome tables, per shard (for the oracle).
+  std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes;
+  /// Undecided prepared txns left per shard (should settle to 0).
+  std::vector<size_t> prepared_left;
+
+  std::string Json() const;
+};
+
+Result<ShardedResult> RunShardedExperiment(const ShardedExperimentConfig&);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SHARD_RUNNER_H_

@@ -1,0 +1,29 @@
+#include "core/shard/sequencer.h"
+
+namespace bftlab {
+
+std::optional<MultiStamp> Sequencer::Assign(
+    ClientId owner, const std::vector<uint32_t>& participants) {
+  if (censor_ && censor_(owner)) {
+    ++censored_;
+    return std::nullopt;
+  }
+  MultiStamp ms;
+  for (uint32_t shard : participants) {
+    if (shard >= next_.size()) return std::nullopt;
+    ms.stamps[shard] = next_[shard]++;
+  }
+  return ms;
+}
+
+void Sequencer::RegisterPayload(uint32_t shard, uint64_t stamp,
+                                Buffer payload) {
+  payloads_[{shard, stamp}] = std::move(payload);
+}
+
+const Buffer* Sequencer::PayloadFor(uint32_t shard, uint64_t stamp) const {
+  auto it = payloads_.find({shard, stamp});
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bftlab

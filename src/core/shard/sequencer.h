@@ -1,0 +1,69 @@
+// Eris-style sequencer / timeserver (DESIGN.md §13).
+//
+// Hands out multi-stamps: for each participant shard of a transaction,
+// the next slot in that shard's stamp sequence. Shards execute stamped
+// operations exactly at their slot, so independent transactions commit
+// in one ordering round per shard while preserving a single global
+// serialization consistent across shards.
+//
+// The sequencer is untrusted for safety — it can censor clients (the
+// coordinator falls back to unstamped 2PC, see coordinator.h) or crash
+// and lose nothing that safety depends on: a stamp is only a slot
+// reservation, and the payload registry below lets a recovery daemon
+// fill abandoned slots so shards never stall forever on a gap.
+
+#ifndef BFTLAB_CORE_SHARD_SEQUENCER_H_
+#define BFTLAB_CORE_SHARD_SEQUENCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "smr/shard_op.h"
+
+namespace bftlab {
+
+/// One slot per participant shard.
+struct MultiStamp {
+  std::map<uint32_t, uint64_t> stamps;
+};
+
+class Sequencer {
+ public:
+  explicit Sequencer(uint32_t num_shards) : next_(num_shards, 1) {}
+
+  /// Assigns the next slot of every participant shard, atomically.
+  /// Returns nullopt when the sequencer censors `owner` (fault
+  /// injection; see set_censor).
+  std::optional<MultiStamp> Assign(ClientId owner,
+                                   const std::vector<uint32_t>& participants);
+
+  /// Next slot a shard would be assigned (== slots handed out + 1).
+  uint64_t next_stamp(uint32_t shard) const { return next_[shard]; }
+
+  /// Registers the stamped payload occupying (shard, stamp) so a
+  /// recovery daemon can re-inject it if the owner dies mid-flight.
+  void RegisterPayload(uint32_t shard, uint64_t stamp, Buffer payload);
+  const Buffer* PayloadFor(uint32_t shard, uint64_t stamp) const;
+
+  /// Byzantine fault injection: a censoring sequencer refuses stamps to
+  /// clients selected by the predicate.
+  void set_censor(std::function<bool(ClientId)> censor) {
+    censor_ = std::move(censor);
+  }
+  uint64_t censored_requests() const { return censored_; }
+
+ private:
+  std::vector<uint64_t> next_;
+  std::map<std::pair<uint32_t, uint64_t>, Buffer> payloads_;
+  std::function<bool(ClientId)> censor_;
+  uint64_t censored_ = 0;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CORE_SHARD_SEQUENCER_H_

@@ -10,6 +10,7 @@
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "smr/kv_txn.h"
+#include "smr/shard_op.h"
 #include "smr/switch_op.h"
 
 namespace bftlab {
@@ -255,6 +256,18 @@ void Replica::ExecuteBatch(SequenceNumber seq, Batch batch, bool speculative) {
   record.seq = seq;
   record.digest = batch.ComputeDigest();
   record.speculative = speculative;
+
+  // Stamped shard ops (smr/shard_op.h) execute at a sequencer-assigned
+  // slot; sorting them into slot order within the agreed batch turns
+  // most same-batch stamp inversions into clean applies instead of
+  // gap-retry round trips. Non-shard requests all key to 0, so a stable
+  // sort leaves legacy batches untouched. Deterministic across replicas
+  // because the agreed batch content fully determines the order.
+  std::stable_sort(batch.requests.begin(), batch.requests.end(),
+                   [](const ClientRequest& a, const ClientRequest& b) {
+                     return ShardOp::StampOf(a.operation) <
+                            ShardOp::StampOf(b.operation);
+                   });
 
   for (const ClientRequest& request : batch.requests) {
     // A request may be ordered twice (e.g. re-proposed across a view

@@ -127,6 +127,11 @@ std::string KvStateMachine::ApplySubOp(const KvOp& op, UndoEntry* entry) {
 }
 
 Result<Buffer> KvStateMachine::Apply(Slice operation) {
+  if (ShardOp::IsShardOp(operation)) {
+    Result<ShardOp> op = ShardOp::Decode(operation);
+    if (!op.ok()) return op.status();
+    return ApplyShardOp(operation, *op);
+  }
   if (KvTxn::IsTxn(operation)) {
     Result<KvTxn> txn = KvTxn::Decode(operation);
     if (!txn.ok()) return txn.status();
@@ -148,13 +153,9 @@ Result<Buffer> KvStateMachine::Apply(Slice operation) {
   return result;
 }
 
-Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
-  UndoEntry entry;
-  entry.old_digest = digest_;
-
+const std::string* KvStateMachine::FindWwConflict(const KvTxn& txn) const {
   // Write-write conflict scan before touching any state: abort if another
   // client's transaction wrote any of our write keys within the window.
-  const std::string* conflict_key = nullptr;
   for (const KvOp& op : txn.ops) {
     if (!op.IsWrite()) continue;
     auto it = last_writes_.find(op.key);
@@ -162,11 +163,30 @@ Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
     const LastWrite& lw = it->second;
     if (lw.client != 0 && lw.client != txn.owner &&
         version_ - lw.version < conflict_window_) {
-      conflict_key = &op.key;
-      break;
+      return &op.key;
     }
   }
+  return nullptr;
+}
 
+void KvStateMachine::StampLastWrites(ClientId owner, UndoEntry* entry) {
+  // entry->keys holds each distinct write key once (first touch); stamp
+  // this txn as the last writer and remember what it displaced.
+  for (KeyUndo& undo : entry->keys) {
+    if (undo.touched_writer) continue;
+    undo.touched_writer = true;
+    auto it = last_writes_.find(undo.key);
+    undo.had_writer = it != last_writes_.end();
+    if (undo.had_writer) undo.old_writer = it->second;
+    last_writes_[undo.key] = LastWrite{owner, version_ + 1};
+  }
+}
+
+Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
+  UndoEntry entry;
+  entry.old_digest = digest_;
+
+  const std::string* conflict_key = FindWwConflict(txn);
   KvTxnResult out;
   if (conflict_key != nullptr) {
     out.committed = false;
@@ -178,15 +198,7 @@ Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
     for (const KvOp& op : txn.ops) {
       out.results.push_back(ApplySubOp(op, &entry));
     }
-    // entry.keys holds each distinct write key once (first touch); stamp
-    // this txn as the last writer and remember what it displaced.
-    for (KeyUndo& undo : entry.keys) {
-      undo.touched_writer = true;
-      auto it = last_writes_.find(undo.key);
-      undo.had_writer = it != last_writes_.end();
-      if (undo.had_writer) undo.old_writer = it->second;
-      last_writes_[undo.key] = LastWrite{txn.owner, version_ + 1};
-    }
+    StampLastWrites(txn.owner, &entry);
     ++txn_commits_;
   }
 
@@ -197,6 +209,428 @@ Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
   entry.version = version_;
   undo_log_.push_back(std::move(entry));
   return out.Encode();
+}
+
+Result<Buffer> KvStateMachine::ApplyShardOp(Slice operation,
+                                            const ShardOp& op) {
+  UndoEntry entry;
+  entry.old_digest = digest_;
+  entry.shard.emplace();
+  entry.shard->txn = op.txn;
+
+  ShardOpResult res;
+  switch (op.type) {
+    case ShardOpType::kStamped:
+      res = ExecuteStamped(op, &entry);
+      break;
+    case ShardOpType::kPrepare:
+      res = ExecutePrepare(op, &entry);
+      break;
+    case ShardOpType::kDecision:
+      res = ExecuteDecision(op, &entry);
+      break;
+    case ShardOpType::kCancel:
+      res = ExecuteResolve(op, &entry, /*force_abort=*/true);
+      break;
+    case ShardOpType::kQuery:
+      res = ExecuteResolve(op, &entry, /*force_abort=*/false);
+      break;
+  }
+
+  // Every shard op advances the chain — gap/blocked/rejected outcomes
+  // are replicated decisions all replicas must agree on.
+  ++version_;
+  digest_ = Sha256::Hash2(digest_.AsSlice(), operation);
+  entry.version = version_;
+  undo_log_.push_back(std::move(entry));
+  return res.Encode();
+}
+
+ShardOpResult KvStateMachine::DecidedResult(const ShardOutcome& o) const {
+  ShardOpResult res;
+  res.status = ShardOpStatus::kDecided;
+  res.commit = o.kind != ShardTxnOutcome::kAborted;
+  res.vote_commit = o.vote_commit;
+  res.token = o.token;
+  return res;
+}
+
+void KvStateMachine::RecordStampResult(uint64_t stamp, const Buffer& result,
+                                       UndoEntry* entry) {
+  ShardUndo& su = *entry->shard;
+  su.stamp = stamp;
+  su.stamp_result_recorded = true;
+  stamp_results_[stamp] = result;
+  if (stamp > kStampResultWindow) {
+    auto old = stamp_results_.find(stamp - kStampResultWindow);
+    if (old != stamp_results_.end()) {
+      su.evicted = true;
+      su.evicted_stamp = old->first;
+      su.evicted_result = std::move(old->second);
+      stamp_results_.erase(old);
+    }
+  }
+}
+
+ShardOpResult KvStateMachine::ExecuteStamped(const ShardOp& op,
+                                             UndoEntry* entry) {
+  ShardUndo& su = *entry->shard;
+  ShardOpResult res;
+  if (op.stamp < next_stamp_) {
+    // Slot already consumed: replay the recorded result if still inside
+    // the retention window (idempotent retries / duplicate deliveries).
+    auto it = stamp_results_.find(op.stamp);
+    if (it != stamp_results_.end()) {
+      res.status = ShardOpStatus::kApplied;
+      res.commit = !KvTxnResult::IsAbort(Slice(it->second));
+      res.txn_result = it->second;
+    } else {
+      res.status = ShardOpStatus::kStampStale;
+      res.next_stamp = next_stamp_;
+    }
+    return res;
+  }
+  if (op.stamp > next_stamp_) {
+    res.status = ShardOpStatus::kStampGap;
+    res.next_stamp = next_stamp_;
+    return res;
+  }
+  if (!prepared_.empty()) {
+    // Eris-style shard pause: an undecided prepared transaction must see
+    // no intervening writes between its prepare and its decision.
+    res.status = ShardOpStatus::kBlocked;
+    res.next_stamp = next_stamp_;
+    res.reason = "undecided prepared txn";
+    return res;
+  }
+
+  const bool multi = op.participants.size() > 1;
+  KvTxnResult out;
+  if (multi) {
+    // Multi-shard fast path carries blind writes only: it must commit on
+    // every participant, so the conflict check is disabled by design.
+    out.committed = true;
+    out.results.reserve(op.sub.ops.size());
+    for (const KvOp& sub_op : op.sub.ops) {
+      out.results.push_back(ApplySubOp(sub_op, entry));
+    }
+    StampLastWrites(op.sub.owner, entry);
+    ++txn_commits_;
+    if (outcomes_.emplace(op.txn, ShardOutcome{ShardTxnOutcome::kFastApplied,
+                                               false, 0})
+            .second) {
+      su.outcome_inserted = true;
+    }
+  } else {
+    // Single-shard stamped txns keep full KvTxn semantics including the
+    // first-committer-wins abort.
+    const std::string* conflict_key = FindWwConflict(op.sub);
+    if (conflict_key != nullptr) {
+      out.committed = false;
+      out.abort_reason = "ww-conflict on " + *conflict_key;
+      ++txn_aborts_;
+    } else {
+      out.committed = true;
+      out.results.reserve(op.sub.ops.size());
+      for (const KvOp& sub_op : op.sub.ops) {
+        out.results.push_back(ApplySubOp(sub_op, entry));
+      }
+      StampLastWrites(op.sub.owner, entry);
+      ++txn_commits_;
+    }
+  }
+
+  su.stamp_advanced = true;
+  ++next_stamp_;
+  Buffer encoded = out.Encode();
+  RecordStampResult(op.stamp, encoded, entry);
+  res.status = ShardOpStatus::kApplied;
+  res.commit = out.committed;
+  res.txn_result = std::move(encoded);
+  return res;
+}
+
+ShardOpResult KvStateMachine::ExecutePrepare(const ShardOp& op,
+                                             UndoEntry* entry) {
+  ShardUndo& su = *entry->shard;
+  ShardOpResult res;
+  auto decided = outcomes_.find(op.txn);
+  if (decided != outcomes_.end()) return DecidedResult(decided->second);
+  auto prep = prepared_.find(op.txn);
+  if (prep != prepared_.end()) {
+    // Duplicate prepare: the vote is immutable, return it verbatim.
+    res.status = ShardOpStatus::kVote;
+    res.commit = true;
+    res.vote_commit = true;
+    res.token = prep->second.token;
+    res.txn_result = prep->second.vote_result;
+    return res;
+  }
+
+  if (op.stamp != 0) {
+    // Stamped prepare occupies its sequencer slot like any stamped op.
+    // (Unstamped prepares — the censored-sequencer fallback — skip slot
+    // accounting entirely.)
+    if (op.stamp < next_stamp_) {
+      res.status = ShardOpStatus::kStampStale;
+      res.next_stamp = next_stamp_;
+      return res;
+    }
+    if (op.stamp > next_stamp_) {
+      res.status = ShardOpStatus::kStampGap;
+      res.next_stamp = next_stamp_;
+      return res;
+    }
+  }
+
+  // Vote. Prepares never wait on other prepares (no distributed
+  // deadlock): any overlap with an undecided prepared txn's lock set is
+  // an immediate abort vote.
+  std::string conflict_reason;
+  for (const auto& [other_id, other] : prepared_) {
+    for (const std::string& locked : other.write_keys) {
+      for (const KvOp& sub_op : op.sub.ops) {
+        if (sub_op.key == locked) {
+          conflict_reason = "lock conflict on " + locked + " held by " +
+                            other_id.ToString();
+          break;
+        }
+      }
+      if (!conflict_reason.empty()) break;
+    }
+    if (!conflict_reason.empty()) break;
+  }
+  if (conflict_reason.empty()) {
+    const std::string* ww = FindWwConflict(op.sub);
+    if (ww != nullptr) conflict_reason = "ww-conflict on " + *ww;
+  }
+
+  const bool stamped = op.stamp != 0;
+  if (!conflict_reason.empty()) {
+    // Abort vote: recorded as a final outcome immediately — the
+    // coordinator cannot commit without this shard's commit token.
+    const uint64_t token = ShardVoteToken(op.txn, op.shard, false);
+    if (outcomes_
+            .emplace(op.txn,
+                     ShardOutcome{ShardTxnOutcome::kAborted, false, token})
+            .second) {
+      su.outcome_inserted = true;
+    }
+    ++txn_aborts_;
+    if (stamped) {
+      su.stamp_advanced = true;
+      ++next_stamp_;
+    }
+    res.status = ShardOpStatus::kVote;
+    res.commit = false;
+    res.token = token;
+    res.reason = conflict_reason;
+    return res;
+  }
+
+  // Commit vote: execute reads against the current state (plus this
+  // txn's own earlier writes) and buffer write effects for the decision.
+  PreparedTxn pt;
+  pt.owner = op.sub.owner;
+  pt.token = ShardVoteToken(op.txn, op.shard, true);
+  pt.participants = op.participants;
+  KvTxnResult vote_out;
+  vote_out.committed = true;
+  vote_out.results.reserve(op.sub.ops.size());
+  std::map<std::string, std::optional<std::string>> overlay;
+  auto read = [&](const std::string& key) -> std::optional<std::string> {
+    auto ov = overlay.find(key);
+    if (ov != overlay.end()) return ov->second;
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  };
+  for (const KvOp& sub_op : op.sub.ops) {
+    switch (sub_op.code) {
+      case KvOpCode::kGet: {
+        auto v = read(sub_op.key);
+        vote_out.results.push_back(v ? *v : "");
+        break;
+      }
+      case KvOpCode::kPut:
+        overlay[sub_op.key] = sub_op.value;
+        pt.writes.push_back(sub_op);
+        vote_out.results.push_back("OK");
+        break;
+      case KvOpCode::kDelete: {
+        auto v = read(sub_op.key);
+        overlay[sub_op.key] = std::nullopt;
+        pt.writes.push_back(sub_op);
+        vote_out.results.push_back(v ? "OK" : "NOTFOUND");
+        break;
+      }
+      case KvOpCode::kAdd: {
+        auto v = read(sub_op.key);
+        int64_t current =
+            v ? std::strtoll(v->c_str(), nullptr, 10) : 0;
+        current += sub_op.delta;
+        std::string next = std::to_string(current);
+        overlay[sub_op.key] = next;
+        // Buffer the computed value as a literal PUT so the decision
+        // replays it without re-reading state.
+        KvOp put;
+        put.code = KvOpCode::kPut;
+        put.key = sub_op.key;
+        put.value = next;
+        pt.writes.push_back(std::move(put));
+        vote_out.results.push_back(next);
+        break;
+      }
+    }
+  }
+  for (const KvOp& w : pt.writes) {
+    bool seen = false;
+    for (const std::string& k : pt.write_keys) {
+      if (k == w.key) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) pt.write_keys.push_back(w.key);
+  }
+  pt.vote_result = vote_out.Encode();
+
+  res.status = ShardOpStatus::kVote;
+  res.commit = true;
+  res.vote_commit = true;
+  res.token = pt.token;
+  res.txn_result = pt.vote_result;
+  prepared_.emplace(op.txn, std::move(pt));
+  su.prepared_inserted = true;
+  if (stamped) {
+    su.stamp_advanced = true;
+    ++next_stamp_;
+  }
+  return res;
+}
+
+ShardOpResult KvStateMachine::ExecuteDecision(const ShardOp& op,
+                                              UndoEntry* entry) {
+  ShardUndo& su = *entry->shard;
+  ShardOpResult res;
+  auto decided = outcomes_.find(op.txn);
+  if (decided != outcomes_.end()) {
+    if (decided->second.kind == ShardTxnOutcome::kFastApplied) {
+      res.status = ShardOpStatus::kRejected;
+      res.reason = "decision for fast-path txn";
+      return res;
+    }
+    return DecidedResult(decided->second);
+  }
+
+  auto prep = prepared_.find(op.txn);
+  if (op.commit) {
+    // Commit requires a certificate of genuine commit-vote tokens from
+    // every participant — an equivocating coordinator cannot mint one.
+    if (prep == prepared_.end()) {
+      res.status = ShardOpStatus::kRejected;
+      res.reason = "commit decision for unprepared txn";
+      return res;
+    }
+    for (uint32_t p : prep->second.participants) {
+      bool found = false;
+      for (const ShardVote& v : op.cert) {
+        if (v.shard == p && v.commit &&
+            v.token == ShardVoteToken(op.txn, p, true)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        res.status = ShardOpStatus::kRejected;
+        res.reason = "invalid commit certificate";
+        return res;
+      }
+    }
+    PreparedTxn pt = std::move(prep->second);
+    prepared_.erase(prep);
+    su.prepared_erased = true;
+    for (const KvOp& w : pt.writes) ApplySubOp(w, entry);
+    StampLastWrites(pt.owner, entry);
+    ++txn_commits_;
+    outcomes_.emplace(
+        op.txn, ShardOutcome{ShardTxnOutcome::kCommitted, true, pt.token});
+    su.outcome_inserted = true;
+    su.erased_prepared = std::move(pt);
+    res.status = ShardOpStatus::kDecided;
+    res.commit = true;
+    res.vote_commit = true;
+    res.token = su.erased_prepared.token;
+    return res;
+  }
+
+  // Abort requires at least one genuine abort-vote token.
+  bool valid = false;
+  for (const ShardVote& v : op.cert) {
+    if (!v.commit && v.token == ShardVoteToken(op.txn, v.shard, false)) {
+      valid = true;
+      break;
+    }
+  }
+  if (!valid) {
+    res.status = ShardOpStatus::kRejected;
+    res.reason = "invalid abort certificate";
+    return res;
+  }
+  bool vote_commit = false;
+  uint64_t token = 0;
+  if (prep != prepared_.end()) {
+    vote_commit = true;
+    token = prep->second.token;
+    su.prepared_erased = true;
+    su.erased_prepared = std::move(prep->second);
+    prepared_.erase(prep);
+  }
+  ++txn_aborts_;
+  outcomes_.emplace(op.txn,
+                    ShardOutcome{ShardTxnOutcome::kAborted, vote_commit, token});
+  su.outcome_inserted = true;
+  res.status = ShardOpStatus::kDecided;
+  res.commit = false;
+  res.vote_commit = vote_commit;
+  res.token = token;
+  return res;
+}
+
+ShardOpResult KvStateMachine::ExecuteResolve(const ShardOp& op,
+                                             UndoEntry* entry,
+                                             bool force_abort) {
+  ShardUndo& su = *entry->shard;
+  ShardOpResult res;
+  auto decided = outcomes_.find(op.txn);
+  if (decided != outcomes_.end()) return DecidedResult(decided->second);
+  auto prep = prepared_.find(op.txn);
+  if (prep != prepared_.end()) {
+    // A recorded commit vote is immutable — Cancel cannot revoke it.
+    res.status = ShardOpStatus::kVote;
+    res.commit = true;
+    res.vote_commit = true;
+    res.token = prep->second.token;
+    res.txn_result = prep->second.vote_result;
+    return res;
+  }
+  if (!force_abort) {
+    res.status = ShardOpStatus::kUnknown;
+    return res;
+  }
+  // Cancel of a never-prepared txn: vote abort so a recovery coordinator
+  // obtains a certificate, and pin the outcome so a late prepare cannot
+  // resurrect the transaction.
+  const uint64_t token = ShardVoteToken(op.txn, op.shard, false);
+  outcomes_.emplace(op.txn,
+                    ShardOutcome{ShardTxnOutcome::kAborted, false, token});
+  su.outcome_inserted = true;
+  ++txn_aborts_;
+  res.status = ShardOpStatus::kVote;
+  res.commit = false;
+  res.token = token;
+  res.reason = "canceled before prepare";
+  return res;
 }
 
 bool KvStateMachine::IsReadOnly(Slice operation) const {
@@ -250,6 +684,35 @@ Buffer KvStateMachine::Snapshot() const {
     enc.PutU32(lw.client);
     enc.PutU64(lw.version);
   }
+  // Sharded transaction state: slot counter, retained stamped results,
+  // undecided prepared txns (their locks survive state transfer — this
+  // is what lets coordinator recovery lean on checkpoints), outcomes.
+  enc.PutU64(next_stamp_);
+  enc.PutU64(stamp_results_.size());
+  for (const auto& [stamp, result] : stamp_results_) {
+    enc.PutU64(stamp);
+    enc.PutBytes(Slice(result));
+  }
+  enc.PutU64(prepared_.size());
+  for (const auto& [txn, pt] : prepared_) {
+    enc.PutU32(txn.owner);
+    enc.PutU64(txn.seq);
+    enc.PutU32(pt.owner);
+    enc.PutU64(pt.token);
+    enc.PutBytes(Slice(pt.vote_result));
+    enc.PutU32(static_cast<uint32_t>(pt.participants.size()));
+    for (uint32_t p : pt.participants) enc.PutU32(p);
+    enc.PutU32(static_cast<uint32_t>(pt.writes.size()));
+    for (const KvOp& w : pt.writes) enc.PutBytes(Slice(w.Encode()));
+  }
+  enc.PutU64(outcomes_.size());
+  for (const auto& [txn, o] : outcomes_) {
+    enc.PutU32(txn.owner);
+    enc.PutU64(txn.seq);
+    enc.PutU8(static_cast<uint8_t>(o.kind));
+    enc.PutBool(o.vote_commit);
+    enc.PutU64(o.token);
+  }
   return enc.Take();
 }
 
@@ -283,11 +746,82 @@ Status KvStateMachine::Restore(Slice snapshot) {
     BFTLAB_ASSIGN_OR_RETURN(lw.version, dec.GetU64());
     last_writes.emplace(std::move(k), lw);
   }
+  uint64_t next_stamp;
+  BFTLAB_ASSIGN_OR_RETURN(next_stamp, dec.GetU64());
+  uint64_t stamp_count;
+  BFTLAB_ASSIGN_OR_RETURN(stamp_count, dec.GetU64());
+  std::map<uint64_t, Buffer> stamp_results;
+  for (uint64_t i = 0; i < stamp_count; ++i) {
+    uint64_t stamp;
+    Buffer result;
+    BFTLAB_ASSIGN_OR_RETURN(stamp, dec.GetU64());
+    BFTLAB_ASSIGN_OR_RETURN(result, dec.GetBytes());
+    stamp_results.emplace(stamp, std::move(result));
+  }
+  uint64_t prepared_count;
+  BFTLAB_ASSIGN_OR_RETURN(prepared_count, dec.GetU64());
+  std::map<ShardTxnId, PreparedTxn> prepared;
+  for (uint64_t i = 0; i < prepared_count; ++i) {
+    ShardTxnId txn;
+    PreparedTxn pt;
+    BFTLAB_ASSIGN_OR_RETURN(txn.owner, dec.GetU32());
+    BFTLAB_ASSIGN_OR_RETURN(txn.seq, dec.GetU64());
+    BFTLAB_ASSIGN_OR_RETURN(pt.owner, dec.GetU32());
+    BFTLAB_ASSIGN_OR_RETURN(pt.token, dec.GetU64());
+    BFTLAB_ASSIGN_OR_RETURN(pt.vote_result, dec.GetBytes());
+    uint32_t np;
+    BFTLAB_ASSIGN_OR_RETURN(np, dec.GetU32());
+    for (uint32_t j = 0; j < np; ++j) {
+      uint32_t p;
+      BFTLAB_ASSIGN_OR_RETURN(p, dec.GetU32());
+      pt.participants.push_back(p);
+    }
+    uint32_t nw;
+    BFTLAB_ASSIGN_OR_RETURN(nw, dec.GetU32());
+    for (uint32_t j = 0; j < nw; ++j) {
+      Buffer op_bytes;
+      BFTLAB_ASSIGN_OR_RETURN(op_bytes, dec.GetBytes());
+      Result<KvOp> w = KvOp::Decode(Slice(op_bytes));
+      if (!w.ok()) return w.status();
+      pt.writes.push_back(std::move(w).value());
+    }
+    for (const KvOp& w : pt.writes) {
+      bool seen = false;
+      for (const std::string& k : pt.write_keys) {
+        if (k == w.key) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) pt.write_keys.push_back(w.key);
+    }
+    prepared.emplace(txn, std::move(pt));
+  }
+  uint64_t outcome_count;
+  BFTLAB_ASSIGN_OR_RETURN(outcome_count, dec.GetU64());
+  std::map<ShardTxnId, ShardOutcome> outcomes;
+  for (uint64_t i = 0; i < outcome_count; ++i) {
+    ShardTxnId txn;
+    ShardOutcome o;
+    BFTLAB_ASSIGN_OR_RETURN(txn.owner, dec.GetU32());
+    BFTLAB_ASSIGN_OR_RETURN(txn.seq, dec.GetU64());
+    uint8_t kind;
+    BFTLAB_ASSIGN_OR_RETURN(kind, dec.GetU8());
+    if (kind < 1 || kind > 3) return Status::Corruption("bad outcome kind");
+    o.kind = static_cast<ShardTxnOutcome>(kind);
+    BFTLAB_ASSIGN_OR_RETURN(o.vote_commit, dec.GetBool());
+    BFTLAB_ASSIGN_OR_RETURN(o.token, dec.GetU64());
+    outcomes.emplace(txn, o);
+  }
   data_ = std::move(data);
   last_writes_ = std::move(last_writes);
   version_ = version;
   std::copy(digest_bytes.begin(), digest_bytes.end(), digest_.data());
   undo_log_.clear();
+  next_stamp_ = next_stamp;
+  stamp_results_ = std::move(stamp_results);
+  prepared_ = std::move(prepared);
+  outcomes_ = std::move(outcomes);
   return Status::Ok();
 }
 
@@ -311,6 +845,19 @@ Status KvStateMachine::Rollback(uint64_t count) {
           last_writes_.erase(kit->key);
         }
       }
+    }
+    if (entry.shard) {
+      ShardUndo& su = *entry.shard;
+      if (su.outcome_inserted) outcomes_.erase(su.txn);
+      if (su.prepared_inserted) prepared_.erase(su.txn);
+      if (su.prepared_erased) {
+        prepared_[su.txn] = std::move(su.erased_prepared);
+      }
+      if (su.stamp_result_recorded) stamp_results_.erase(su.stamp);
+      if (su.evicted) {
+        stamp_results_[su.evicted_stamp] = std::move(su.evicted_result);
+      }
+      if (su.stamp_advanced) --next_stamp_;
     }
     digest_ = entry.old_digest;
     --version_;

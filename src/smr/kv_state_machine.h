@@ -12,6 +12,7 @@
 
 #include "smr/kv_op.h"
 #include "smr/kv_txn.h"
+#include "smr/shard_op.h"
 #include "smr/state_machine.h"
 
 namespace bftlab {
@@ -60,6 +61,39 @@ class KvStateMachine : public StateMachine {
   uint64_t txn_commits() const { return txn_commits_; }
   uint64_t txn_aborts() const { return txn_aborts_; }
 
+  // --- Sharded transaction state (DESIGN.md §13) ------------------------
+  //
+  // Shard-op payloads (smr/shard_op.h) execute through the same ordered
+  // Apply path: stamped fast-path sub-txns run exactly at their slot
+  // (`next_stamp_`), 2PC prepares lock keys and vote, decisions apply or
+  // discard buffered writes against a vote certificate. All of it is
+  // replicated state: snapshotted, restored and rolled back like data_.
+
+  /// Final per-transaction outcome on this shard. `vote_commit`/`token`
+  /// preserve this shard's own 2PC vote so a recovery coordinator can
+  /// reassemble a certificate after the decision already landed here.
+  struct ShardOutcome {
+    ShardTxnOutcome kind = ShardTxnOutcome::kAborted;
+    bool vote_commit = false;
+    uint64_t token = 0;
+  };
+
+  /// Next fast-path slot this shard will execute.
+  uint64_t next_stamp() const { return next_stamp_; }
+  /// Undecided prepared (commit-voted) transactions holding locks.
+  size_t prepared_count() const { return prepared_.size(); }
+  bool IsPrepared(const ShardTxnId& txn) const {
+    return prepared_.count(txn) > 0;
+  }
+  /// Decided transaction outcomes. Deliberately untrimmed: bounded lab
+  /// runs only, and the cross-shard atomicity oracle reads it post-run.
+  const std::map<ShardTxnId, ShardOutcome>& shard_outcomes() const {
+    return outcomes_;
+  }
+
+  /// Retained stamped-slot results (idempotent stamped retries).
+  static constexpr uint64_t kStampResultWindow = 128;
+
  private:
   struct LastWrite {
     ClientId client = 0;
@@ -77,12 +111,41 @@ class KvStateMachine : public StateMachine {
     LastWrite old_writer;
   };
 
+  // A 2PC transaction that commit-voted here and awaits its decision.
+  // Writes are buffered pre-transformed (ADD becomes a literal PUT of
+  // the value computed at prepare time) so the decision applies them
+  // deterministically; write_keys are the lock set.
+  struct PreparedTxn {
+    ClientId owner = 0;
+    uint64_t token = 0;           // This shard's commit-vote token.
+    std::vector<KvOp> writes;     // Buffered effects, applied on commit.
+    std::vector<std::string> write_keys;
+    std::vector<uint32_t> participants;
+    Buffer vote_result;           // Encoded KvTxnResult returned with the vote.
+  };
+
+  // Shard-state mutations of one Apply, for Rollback.
+  struct ShardUndo {
+    ShardTxnId txn;
+    bool stamp_advanced = false;
+    bool stamp_result_recorded = false;
+    uint64_t stamp = 0;
+    bool evicted = false;  // A stamp result left the retention window.
+    uint64_t evicted_stamp = 0;
+    Buffer evicted_result;
+    bool prepared_inserted = false;
+    bool prepared_erased = false;
+    PreparedTxn erased_prepared;
+    bool outcome_inserted = false;
+  };
+
   // One entry per successful Apply (single op or whole transaction), the
   // unit Replica::RollbackTo counts in.
   struct UndoEntry {
     uint64_t version = 0;  // Version after the apply.
     Digest old_digest;
     std::vector<KeyUndo> keys;
+    std::optional<ShardUndo> shard;
   };
 
   Result<Buffer> ApplyTxn(Slice operation, const KvTxn& txn);
@@ -90,6 +153,23 @@ class KvStateMachine : public StateMachine {
   // `entry` for writes. Returns the sub-op result string.
   std::string ApplySubOp(const KvOp& op, UndoEntry* entry);
   void RecordKeyUndo(const KvOp& op, UndoEntry* entry);
+
+  // Shard-op execution (smr/shard_op.h). Each fills `entry` and returns
+  // the deterministic result; ApplyShardOp advances the chain.
+  Result<Buffer> ApplyShardOp(Slice operation, const ShardOp& op);
+  ShardOpResult ExecuteStamped(const ShardOp& op, UndoEntry* entry);
+  ShardOpResult ExecutePrepare(const ShardOp& op, UndoEntry* entry);
+  ShardOpResult ExecuteDecision(const ShardOp& op, UndoEntry* entry);
+  ShardOpResult ExecuteResolve(const ShardOp& op, UndoEntry* entry,
+                               bool force_abort);
+  ShardOpResult DecidedResult(const ShardOutcome& outcome) const;
+  // First write key of `txn` conflicting with another client's recent
+  // committed write (nullptr when none).
+  const std::string* FindWwConflict(const KvTxn& txn) const;
+  // Stamps `entry`'s write keys with `owner` in last_writes_.
+  void StampLastWrites(ClientId owner, UndoEntry* entry);
+  void RecordStampResult(uint64_t stamp, const Buffer& result,
+                         UndoEntry* entry);
 
   std::map<std::string, std::string> data_;
   uint64_t version_ = 0;
@@ -103,6 +183,12 @@ class KvStateMachine : public StateMachine {
   uint64_t conflict_window_ = 8;
   uint64_t txn_commits_ = 0;
   uint64_t txn_aborts_ = 0;
+
+  // Sharded transaction state — all replicated (snapshot/restore/undo).
+  uint64_t next_stamp_ = 1;
+  std::map<uint64_t, Buffer> stamp_results_;
+  std::map<ShardTxnId, PreparedTxn> prepared_;
+  std::map<ShardTxnId, ShardOutcome> outcomes_;
 };
 
 }  // namespace bftlab

@@ -1,0 +1,196 @@
+#include "smr/shard_op.h"
+
+#include "common/codec.h"
+#include "common/fnv.h"
+
+namespace bftlab {
+
+namespace {
+// Domain-separation salts so a commit token can never collide with an
+// abort token for the same (txn, shard).
+constexpr uint64_t kCommitSalt = 0x73686172642D6331ull;  // "shard-c1"
+constexpr uint64_t kAbortSalt = 0x73686172642D6130ull;   // "shard-a0"
+
+constexpr uint32_t kMaxParticipants = 1024;
+}  // namespace
+
+std::string ShardTxnId::ToString() const {
+  return "txn(c" + std::to_string(owner) + "/" + std::to_string(seq) + ")";
+}
+
+uint64_t ShardVoteToken(const ShardTxnId& txn, uint32_t shard, bool commit) {
+  uint64_t h = FnvMix(kFnvBasis, commit ? kCommitSalt : kAbortSalt);
+  h = FnvMix(h, txn.owner);
+  h = FnvMix(h, txn.seq);
+  h = FnvMix(h, shard);
+  return h;
+}
+
+Buffer ShardOp::Encode() const {
+  Encoder enc;
+  // Fixed-offset header; StampOf() depends on this exact layout.
+  enc.PutU8(kShardOpTag);
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutU32(txn.owner);
+  enc.PutU64(txn.seq);
+  enc.PutU32(shard);
+  enc.PutU64(stamp);
+  enc.PutU32(static_cast<uint32_t>(participants.size()));
+  for (uint32_t p : participants) enc.PutU32(p);
+  // Decisions/cancels/queries carry no sub-txn; encode nothing rather
+  // than a zero-op KvTxn (which the txn codec rejects as corrupt).
+  if (sub.ops.empty()) {
+    enc.PutBytes(Slice());
+  } else {
+    enc.PutBytes(Slice(sub.Encode()));
+  }
+  enc.PutBool(commit);
+  enc.PutU32(static_cast<uint32_t>(cert.size()));
+  for (const ShardVote& v : cert) {
+    enc.PutU32(v.shard);
+    enc.PutBool(v.commit);
+    enc.PutU64(v.token);
+  }
+  return enc.Take();
+}
+
+Result<ShardOp> ShardOp::Decode(Slice payload) {
+  Decoder dec(payload);
+  auto tag = dec.GetU8();
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != kShardOpTag) {
+    return Status::Corruption("not a shard op payload");
+  }
+  ShardOp op;
+  auto type = dec.GetU8();
+  if (!type.ok()) return type.status();
+  if (type.value() < 1 || type.value() > 5) {
+    return Status::Corruption("bad shard op type");
+  }
+  op.type = static_cast<ShardOpType>(type.value());
+  auto owner = dec.GetU32();
+  auto seq = dec.GetU64();
+  auto shard = dec.GetU32();
+  auto stamp = dec.GetU64();
+  if (!owner.ok() || !seq.ok() || !shard.ok() || !stamp.ok()) {
+    return Status::Corruption("truncated shard op header");
+  }
+  op.txn.owner = owner.value();
+  op.txn.seq = seq.value();
+  op.shard = shard.value();
+  op.stamp = stamp.value();
+  auto np = dec.GetU32();
+  if (!np.ok()) return np.status();
+  if (np.value() > kMaxParticipants) {
+    return Status::Corruption("too many participants");
+  }
+  for (uint32_t i = 0; i < np.value(); ++i) {
+    auto p = dec.GetU32();
+    if (!p.ok()) return p.status();
+    op.participants.push_back(p.value());
+  }
+  auto sub_bytes = dec.GetBytes();
+  if (!sub_bytes.ok()) return sub_bytes.status();
+  if (!sub_bytes.value().empty()) {
+    auto sub = KvTxn::Decode(Slice(sub_bytes.value()));
+    if (!sub.ok()) return sub.status();
+    op.sub = std::move(sub).value();
+  }
+  auto commit = dec.GetBool();
+  if (!commit.ok()) return commit.status();
+  op.commit = commit.value();
+  auto nv = dec.GetU32();
+  if (!nv.ok()) return nv.status();
+  if (nv.value() > kMaxParticipants) {
+    return Status::Corruption("oversized vote certificate");
+  }
+  for (uint32_t i = 0; i < nv.value(); ++i) {
+    ShardVote v;
+    auto vs = dec.GetU32();
+    auto vc = dec.GetBool();
+    auto vt = dec.GetU64();
+    if (!vs.ok() || !vc.ok() || !vt.ok()) {
+      return Status::Corruption("truncated vote certificate");
+    }
+    v.shard = vs.value();
+    v.commit = vc.value();
+    v.token = vt.value();
+    op.cert.push_back(v);
+  }
+  if (!dec.Done()) return Status::Corruption("trailing bytes in shard op");
+  return op;
+}
+
+uint64_t ShardOp::StampOf(Slice payload) {
+  // Header layout: tag(1) type(1) owner(4) seq(8) shard(4) stamp(8).
+  constexpr size_t kStampOffset = 18;
+  if (payload.size() < kStampOffset + 8) return 0;
+  if (payload[0] != kShardOpTag) return 0;
+  uint8_t type = payload[1];
+  if (type != static_cast<uint8_t>(ShardOpType::kStamped) &&
+      type != static_cast<uint8_t>(ShardOpType::kPrepare)) {
+    return 0;
+  }
+  uint64_t stamp = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    stamp |= static_cast<uint64_t>(payload[kStampOffset + i]) << (8 * i);
+  }
+  return stamp;
+}
+
+// Encoded ShardOpResults start with 0xE6, disjoint from KvTxnResult
+// encodings (which begin with a bool byte in {0, 1}).
+
+Buffer ShardOpResult::Encode() const {
+  Encoder enc;
+  enc.PutU8(0xE6);
+  enc.PutU8(static_cast<uint8_t>(status));
+  enc.PutBool(commit);
+  enc.PutBool(vote_commit);
+  enc.PutU64(token);
+  enc.PutU64(next_stamp);
+  enc.PutBytes(Slice(txn_result));
+  enc.PutString(reason);
+  return enc.Take();
+}
+
+Result<ShardOpResult> ShardOpResult::Decode(Slice bytes) {
+  Decoder dec(bytes);
+  auto tag = dec.GetU8();
+  if (!tag.ok()) return tag.status();
+  if (tag.value() != 0xE6) {
+    return Status::Corruption("not a shard op result");
+  }
+  ShardOpResult r;
+  auto status = dec.GetU8();
+  if (!status.ok()) return status.status();
+  if (status.value() < 1 || status.value() > 8) {
+    return Status::Corruption("bad shard result status");
+  }
+  r.status = static_cast<ShardOpStatus>(status.value());
+  auto commit = dec.GetBool();
+  auto vote_commit = dec.GetBool();
+  auto token = dec.GetU64();
+  auto next = dec.GetU64();
+  if (!commit.ok() || !vote_commit.ok() || !token.ok() || !next.ok()) {
+    return Status::Corruption("truncated shard result");
+  }
+  r.commit = commit.value();
+  r.vote_commit = vote_commit.value();
+  r.token = token.value();
+  r.next_stamp = next.value();
+  auto txn_result = dec.GetBytes();
+  if (!txn_result.ok()) return txn_result.status();
+  r.txn_result = std::move(txn_result).value();
+  auto reason = dec.GetString();
+  if (!reason.ok()) return reason.status();
+  r.reason = std::move(reason).value();
+  if (!dec.Done()) return Status::Corruption("trailing bytes in shard result");
+  return r;
+}
+
+bool ShardOpResult::IsShardOpResult(Slice bytes) {
+  return !bytes.empty() && bytes[0] == 0xE6;
+}
+
+}  // namespace bftlab

@@ -1,0 +1,141 @@
+// Wire formats for cross-shard transaction processing (DESIGN.md §13).
+//
+// A sharded deployment routes each KvTxn to one or more independent BFT
+// clusters ("shards"). Independent transactions — single-shard, or
+// multi-shard with blind writes only — ride the Eris-style fast path: a
+// host-side sequencer assigns them one multi-stamp (a per-shard slot
+// number per participant) and each shard orders the stamped sub-txn in
+// a single ordering round, executing it exactly at its slot. Dependent
+// multi-shard transactions (any cross-shard read) fall back to
+// 2PC-over-BFT: a Prepare locks the sub-txn's keys and votes, a
+// Decision carrying a vote certificate commits or aborts.
+//
+// All of these travel as ordinary client request payloads tagged
+// kShardOpTag so the existing replication stack orders them like any
+// other operation; the KvStateMachine recognizes the tag and executes
+// the shard semantics deterministically on every replica.
+
+#ifndef BFTLAB_SMR_SHARD_OP_H_
+#define BFTLAB_SMR_SHARD_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "smr/kv_txn.h"
+
+namespace bftlab {
+
+/// Payload tag for shard operations (kKvTxnTag is 5).
+inline constexpr uint8_t kShardOpTag = 6;
+
+/// Globally unique transaction identity: the owning client plus a
+/// per-owner sequence number chosen by the coordinator.
+struct ShardTxnId {
+  ClientId owner = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const ShardTxnId& o) const {
+    return owner == o.owner && seq == o.seq;
+  }
+  bool operator<(const ShardTxnId& o) const {
+    return owner != o.owner ? owner < o.owner : seq < o.seq;
+  }
+  std::string ToString() const;
+};
+
+/// One participant's vote on a 2PC transaction. The token is a
+/// deterministic MAC-like witness over (txn, shard, vote): the repo's
+/// Byzantine model assumes scripted adversaries cannot forge
+/// signatures (see ByzantineMode in protocols/common/replica.h), and
+/// the token plays the signature's role — a Decision is only accepted
+/// with a certificate of genuine vote tokens, so an equivocating
+/// coordinator cannot fabricate a conflicting decision.
+struct ShardVote {
+  uint32_t shard = 0;
+  bool commit = false;
+  uint64_t token = 0;
+};
+
+/// Deterministic vote witness (FNV over txn id, shard, vote, salt).
+uint64_t ShardVoteToken(const ShardTxnId& txn, uint32_t shard, bool commit);
+
+enum class ShardOpType : uint8_t {
+  kStamped = 1,   // Fast path: execute sub-txn exactly at `stamp`.
+  kPrepare = 2,   // 2PC phase 1: lock keys, vote commit/abort.
+  kDecision = 3,  // 2PC phase 2: commit/abort with a vote certificate.
+  kCancel = 4,    // Coordinator recovery: force a vote (abort if none).
+  kQuery = 5,     // Read recorded vote/decision without mutating.
+};
+
+/// A shard operation payload. Field usage by type:
+///  - kStamped:  txn, shard, stamp, participants, sub
+///  - kPrepare:  txn, shard, stamp (0 = unstamped fallback),
+///               participants, sub
+///  - kDecision: txn, shard, commit, cert
+///  - kCancel / kQuery: txn, shard
+struct ShardOp {
+  ShardOpType type = ShardOpType::kStamped;
+  ShardTxnId txn;
+  uint32_t shard = 0;
+  uint64_t stamp = 0;
+  std::vector<uint32_t> participants;
+  KvTxn sub;
+  bool commit = false;
+  std::vector<ShardVote> cert;
+
+  Buffer Encode() const;
+  static Result<ShardOp> Decode(Slice payload);
+
+  /// Cheap payload classification (no decode).
+  static bool IsShardOp(Slice payload) {
+    return !payload.empty() && payload[0] == kShardOpTag;
+  }
+
+  /// Stamp of a stamped shard op, 0 otherwise. Cheap fixed-offset peek
+  /// used by Replica::ExecuteBatch to sort stamped requests within a
+  /// batch into slot order (cuts stamp-gap retries; deterministic on
+  /// every replica because the agreed batch content determines it).
+  static uint64_t StampOf(Slice payload);
+};
+
+enum class ShardOpStatus : uint8_t {
+  kApplied = 1,     // Stamped sub-txn executed at its slot.
+  kStampGap = 2,    // Stamp is ahead of the shard's next slot; retry.
+  kBlocked = 3,     // An undecided prepared txn pauses the shard; retry.
+  kStampStale = 4,  // Slot already consumed and result evicted.
+  kVote = 5,        // Prepare/Cancel outcome: this shard's vote.
+  kDecided = 6,     // Transaction already decided on this shard.
+  kRejected = 7,    // Invalid certificate or impossible transition.
+  kUnknown = 8,     // Query for a transaction this shard never saw.
+};
+
+/// Replicated, deterministic result of a shard operation.
+struct ShardOpResult {
+  ShardOpStatus status = ShardOpStatus::kUnknown;
+  bool commit = false;       // kVote: the vote. kDecided: the decision.
+  bool vote_commit = false;  // kDecided: this shard's own recorded vote.
+  uint64_t token = 0;        // Own vote token (kVote / kDecided).
+  uint64_t next_stamp = 0;   // Shard's next expected slot (gap/blocked).
+  Buffer txn_result;         // Encoded KvTxnResult (kApplied, commit kVote).
+  std::string reason;
+
+  Buffer Encode() const;
+  static Result<ShardOpResult> Decode(Slice bytes);
+  static bool IsShardOpResult(Slice bytes);
+};
+
+/// Final outcome of a transaction on one shard, recorded in replicated
+/// state for idempotent retries and for the cross-shard atomicity
+/// oracle (core/shard/atomicity.h).
+enum class ShardTxnOutcome : uint8_t {
+  kCommitted = 1,   // 2PC decision: commit applied.
+  kAborted = 2,     // Abort vote recorded or abort decision applied.
+  kFastApplied = 3, // Multi-shard fast-path sub-txn executed.
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_SMR_SHARD_OP_H_

@@ -100,4 +100,56 @@ OpGenerator HotKeyTxns(const TxnMixOptions& opts) {
   };
 }
 
+OpGenerator MultiShardTxns(const ShardMixOptions& opts) {
+  auto zipf = std::make_shared<ZipfGenerator>(opts.keys_per_shard, opts.theta);
+  const uint32_t shards = opts.num_shards == 0 ? 1 : opts.num_shards;
+  return [zipf, opts, shards](ClientId client, RequestTimestamp /*ts*/,
+                              Rng* rng) {
+    auto key = [&](uint32_t shard) {
+      return "s" + std::to_string(shard) + "/k" +
+             std::to_string(zipf->Next(rng));
+    };
+    KvTxn txn;
+    txn.owner = client;
+    txn.ops.reserve(opts.ops_per_txn);
+    const bool cross = shards > 1 && rng->NextBool(opts.cross_shard_fraction);
+    if (!cross) {
+      const uint32_t home = static_cast<uint32_t>(rng->NextBelow(shards));
+      for (uint32_t i = 0; i < opts.ops_per_txn; ++i) {
+        KvOp op;
+        op.key = key(home);
+        if (rng->NextBool(opts.read_fraction)) {
+          op.code = KvOpCode::kGet;
+        } else {
+          op.code = KvOpCode::kPut;
+          op.value = std::string(opts.value_bytes, 'v');
+        }
+        txn.ops.push_back(std::move(op));
+      }
+      return txn.Encode();
+    }
+    const uint32_t a = static_cast<uint32_t>(rng->NextBelow(shards));
+    uint32_t b = static_cast<uint32_t>(rng->NextBelow(shards - 1));
+    if (b >= a) ++b;
+    const bool dependent = rng->NextBool(opts.dependent_fraction);
+    for (uint32_t i = 0; i < opts.ops_per_txn; ++i) {
+      KvOp op;
+      op.key = key(i % 2 == 0 ? a : b);  // Alternate so both shards appear.
+      if (dependent && rng->NextBool(opts.read_fraction)) {
+        op.code = KvOpCode::kGet;
+      } else {
+        op.code = KvOpCode::kPut;
+        op.value = std::string(opts.value_bytes, 'v');
+      }
+      txn.ops.push_back(std::move(op));
+    }
+    if (dependent) {
+      // Guarantee the read that makes the transaction dependent.
+      txn.ops[0].code = KvOpCode::kGet;
+      txn.ops[0].value.clear();
+    }
+    return txn.Encode();
+  };
+}
+
 }  // namespace bftlab

@@ -46,6 +46,31 @@ OpGenerator YcsbF(uint64_t key_space, double theta = 0.99);
 /// write-write conflict rate.
 OpGenerator HotKeyTxns(const TxnMixOptions& opts);
 
+/// Knobs for the sharded transaction mix (X23).
+struct ShardMixOptions {
+  uint32_t num_shards = 2;
+  /// Fraction of transactions spanning two shards; the rest stay on the
+  /// submitting worker's home shard (uniform over shards per txn).
+  double cross_shard_fraction = 0.2;
+  /// Of the cross-shard transactions, the fraction carrying a read
+  /// (GET/ADD) — these take the 2PC slow path; the rest are blind
+  /// writes eligible for the Eris fast path.
+  double dependent_fraction = 0.5;
+  uint32_t ops_per_txn = 4;
+  uint64_t keys_per_shard = 256;  // Keys "s<i>/k0".."s<i>/k<n-1>".
+  double theta = 0.6;             // Zipf skew within a shard.
+  /// GET share of sub-ops in single-shard and dependent transactions.
+  double read_fraction = 0.35;
+  size_t value_bytes = 64;
+};
+
+/// Sharded YCSB-style transactions over prefix-partitioned keys
+/// ("s<shard>/k<i>", matching ShardPolicy::kPrefix). Emits encoded
+/// KvTxns; cross_shard_fraction = 0 yields a pure per-shard workload
+/// (the near-linear-scaling baseline), higher values raise the
+/// cross-shard coordination tax.
+OpGenerator MultiShardTxns(const ShardMixOptions& opts);
+
 }  // namespace bftlab
 
 #endif  // BFTLAB_WORKLOAD_YCSB_H_

@@ -15,7 +15,9 @@
 #include "chaos/linearizability.h"
 #include "core/experiment.h"
 #include "core/registry.h"
+#include "core/shard/runner.h"
 #include "core/switch/controller.h"
+#include "workload/ycsb.h"
 
 namespace bftlab {
 namespace {
@@ -215,6 +217,112 @@ TEST_P(SwitchMatrixTest, OraclesHoldAcrossForcedMidRunSwitch) {
 
 INSTANTIATE_TEST_SUITE_P(SwitchMatrix, SwitchMatrixTest,
                          ::testing::ValuesIn(SwitchableCases()), CaseName);
+
+// --- Shard column -----------------------------------------------------------
+// Cross-shard fault modes (DESIGN.md §13) against every protocol the
+// sharded runner supports (base-client protocols). The adversaries sit
+// ABOVE the clusters — a Byzantine coordinator or sequencer — so the
+// invariant under test is cross-shard: decision uniformity and
+// all-or-nothing atomicity, enforced by vote-token certificates and
+// the recovery daemon, whatever the faulty host-side actor does.
+
+std::vector<std::string> ShardableProtocols() {
+  std::vector<std::string> out;
+  for (const std::string& name : AllProtocolNames()) {
+    Result<ProtocolBuild> build = GetProtocol(name, 1);
+    if (build.ok() && build->client_factory == nullptr) out.push_back(name);
+  }
+  return out;
+}
+
+class ShardByzantineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardByzantineTest, EquivocatingCoordinatorIsContainedByRecovery) {
+  // The coordinator of every 3rd transaction of worker 0 collects
+  // all-commit votes, then sends the genuine commit decision to one
+  // participant and a certificate-less abort to the rest. Shards must
+  // reject the bogus abort (invalid certificate), recovery must finish
+  // the transaction, and both shards must land on the same decision.
+  ShardedExperimentConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.f = 1;
+  cfg.topology.num_shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.duration_us = Millis(250);
+  cfg.settle_us = Millis(400);
+  cfg.seed = 31;
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 1.0;
+  mix.dependent_fraction = 1.0;  // All 2PC: every txn has a decision.
+  mix.ops_per_txn = 2;
+  mix.keys_per_shard = 64;
+  cfg.txn_generator = MultiShardTxns(mix);
+  cfg.equivocate = [](ClientId c, uint64_t seq) {
+    return c == kClientIdBase && seq % 3 == 1;
+  };
+  Result<ShardedResult> r = RunShardedExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << GetParam() << ": " << r.status().ToString();
+  EXPECT_TRUE(r->atomic) << GetParam() << ": " << r->violation;
+  EXPECT_TRUE(r->linearizable) << GetParam() << ": " << r->violation;
+  size_t equivocated = 0;
+  for (const ShardTxnRecord& rec : r->records) {
+    if (!rec.equivocated) continue;
+    ++equivocated;
+    EXPECT_TRUE(rec.recovered)
+        << GetParam() << ": equivocated " << rec.id.ToString()
+        << " never resolved by recovery";
+  }
+  EXPECT_GT(equivocated, 0u) << GetParam();
+  EXPECT_GE(r->recovery_takeovers, equivocated) << GetParam();
+  // No shard left holding locks for the walked-away coordinator.
+  for (size_t left : r->prepared_left) EXPECT_EQ(left, 0u) << GetParam();
+  // Honest workers kept committing throughout.
+  EXPECT_GT(r->committed, 10u) << GetParam();
+}
+
+TEST_P(ShardByzantineTest, CensoringSequencerDegradesButNeverStalls) {
+  // The sequencer refuses stamps to worker 0. Safety never depended on
+  // the sequencer; the worker's coordinators fall back to the unstamped
+  // path (plain txn single-shard, unstamped 2PC cross-shard) and keep
+  // committing, while stamped traffic from the other workers proceeds.
+  ShardedExperimentConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.f = 1;
+  cfg.topology.num_shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.duration_us = Millis(250);
+  cfg.settle_us = Millis(400);
+  cfg.seed = 37;
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 0.5;
+  mix.dependent_fraction = 0.3;
+  mix.ops_per_txn = 2;
+  mix.keys_per_shard = 64;
+  cfg.txn_generator = MultiShardTxns(mix);
+  cfg.sequencer_censor = [](ClientId c) { return c == kClientIdBase; };
+  Result<ShardedResult> r = RunShardedExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << GetParam() << ": " << r.status().ToString();
+  EXPECT_TRUE(r->atomic) << GetParam() << ": " << r->violation;
+  EXPECT_TRUE(r->linearizable) << GetParam() << ": " << r->violation;
+  EXPECT_GT(r->censored, 0u) << GetParam();
+  // Liveness for the censored worker: its transactions still commit.
+  uint64_t censored_commits = 0;
+  for (const ShardTxnRecord& rec : r->records) {
+    if (rec.id.owner == kClientIdBase && rec.committed) ++censored_commits;
+  }
+  EXPECT_GT(censored_commits, 0u)
+      << GetParam() << ": censored worker starved";
+  // The uncensored workers still ride the fast path.
+  EXPECT_GT(r->fast_path + r->single_shard, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardMatrix, ShardByzantineTest,
+                         ::testing::ValuesIn(ShardableProtocols()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
 
 }  // namespace
 }  // namespace bftlab

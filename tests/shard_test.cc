@@ -1,0 +1,1045 @@
+// Sharded cross-cluster transactions: the atomic-commit test battery
+// (DESIGN.md §13).
+//
+// Layers under test, bottom-up:
+//   - key partitioning / transaction routing (fast vs slow path rule)
+//   - shard-op wire codec and vote tokens
+//   - the sequencer's multi-stamps and payload registry
+//   - KvStateMachine shard semantics: stamped slots, 2PC prepare locks,
+//     decision certificates, cancel/query, snapshot/rollback coverage
+//   - the TxnCoordinator engine (driven directly against machines)
+//   - the cross-shard atomicity oracle (must catch seeded violations)
+//   - the multi-cluster sharded runner: fast path, 2PC, stamp-gap
+//     retries, coordinator crash recovery, view change mid-2PC,
+//     sequencer slot re-injection, chaos hammer
+//   - the cross-shard schedule explorer (≥10k schedules, zero
+//     violations, deterministic decision hash)
+
+#include <gtest/gtest.h>
+
+#include "core/shard/atomicity.h"
+#include "core/shard/coordinator.h"
+#include "core/shard/explorer.h"
+#include "core/shard/partition.h"
+#include "core/shard/runner.h"
+#include "core/shard/sequencer.h"
+#include "smr/kv_op.h"
+#include "smr/kv_state_machine.h"
+#include "smr/kv_txn.h"
+#include "smr/shard_op.h"
+#include "workload/ycsb.h"
+
+namespace bftlab {
+namespace {
+
+KvOp Put(const std::string& key, const std::string& value) {
+  KvOp op;
+  op.code = KvOpCode::kPut;
+  op.key = key;
+  op.value = value;
+  return op;
+}
+
+KvOp Get(const std::string& key) {
+  KvOp op;
+  op.code = KvOpCode::kGet;
+  op.key = key;
+  return op;
+}
+
+KvOp Add(const std::string& key, int64_t delta) {
+  KvOp op;
+  op.code = KvOpCode::kAdd;
+  op.key = key;
+  op.delta = delta;
+  return op;
+}
+
+KvTxn MakeTxn(ClientId owner, std::vector<KvOp> ops) {
+  KvTxn txn;
+  txn.owner = owner;
+  txn.ops = std::move(ops);
+  return txn;
+}
+
+std::string Val(const KvStateMachine& sm, const std::string& key) {
+  Result<Buffer> v = sm.ExecuteReadOnly(Slice(KvOp::Get(key)));
+  EXPECT_TRUE(v.ok());
+  return v.ok() ? std::string(v->begin(), v->end()) : "";
+}
+
+ShardOpResult MustApply(KvStateMachine* sm, const ShardOp& op) {
+  Result<Buffer> raw = sm->Apply(Slice(op.Encode()));
+  EXPECT_TRUE(raw.ok()) << raw.status().ToString();
+  Result<ShardOpResult> res = ShardOpResult::Decode(Slice(*raw));
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? *res : ShardOpResult{};
+}
+
+ShardOp Stamped(ShardTxnId id, uint32_t shard, uint64_t stamp, KvTxn sub,
+                std::vector<uint32_t> participants = {}) {
+  ShardOp op;
+  op.type = ShardOpType::kStamped;
+  op.txn = id;
+  op.shard = shard;
+  op.stamp = stamp;
+  op.participants = participants.empty() ? std::vector<uint32_t>{shard}
+                                         : std::move(participants);
+  op.sub = std::move(sub);
+  return op;
+}
+
+ShardOp Prepare(ShardTxnId id, uint32_t shard, uint64_t stamp, KvTxn sub,
+                std::vector<uint32_t> participants) {
+  ShardOp op;
+  op.type = ShardOpType::kPrepare;
+  op.txn = id;
+  op.shard = shard;
+  op.stamp = stamp;
+  op.participants = std::move(participants);
+  op.sub = std::move(sub);
+  return op;
+}
+
+ShardOp Decision(ShardTxnId id, uint32_t shard, bool commit,
+                 std::vector<ShardVote> cert) {
+  ShardOp op;
+  op.type = ShardOpType::kDecision;
+  op.txn = id;
+  op.shard = shard;
+  op.commit = commit;
+  op.cert = std::move(cert);
+  return op;
+}
+
+ShardOp Cancel(ShardTxnId id, uint32_t shard) {
+  ShardOp op;
+  op.type = ShardOpType::kCancel;
+  op.txn = id;
+  op.shard = shard;
+  return op;
+}
+
+// --- Partitioning and routing ---------------------------------------------
+
+TEST(ShardPartitionTest, PrefixKeysRouteToNamedShard) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  EXPECT_EQ(part.ShardOf("s0/k1"), 0u);
+  EXPECT_EQ(part.ShardOf("s3/abc"), 3u);
+  // Out-of-range prefix and unprefixed keys fall back to hashing.
+  EXPECT_LT(part.ShardOf("s9/k1"), 4u);
+  EXPECT_LT(part.ShardOf("plain-key"), 4u);
+}
+
+TEST(ShardPartitionTest, HashPolicyIsDeterministicAndInRange) {
+  KeyPartitioner part(ShardTopology{3, ShardPolicy::kHash});
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "key" + std::to_string(i);
+    uint32_t s = part.ShardOf(key);
+    EXPECT_LT(s, 3u);
+    EXPECT_EQ(s, part.ShardOf(key));
+  }
+}
+
+TEST(ShardRoutingTest, SingleShardTxnIsNotMultiShard) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  KvTxn txn = MakeTxn(7, {Put("s1/a", "x"), Get("s1/b"), Add("s1/c", 1)});
+  Result<TxnRouting> r = RouteTxn(txn, part);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->multi_shard);
+  EXPECT_FALSE(r->dependent);
+  ASSERT_EQ(r->subs.size(), 1u);
+  EXPECT_EQ(r->participants, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(r->subs[0].txn.ops.size(), 3u);
+}
+
+TEST(ShardRoutingTest, BlindCrossShardWritesAreIndependent) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  KvTxn txn = MakeTxn(7, {Put("s0/a", "x"), Put("s2/b", "y")});
+  Result<TxnRouting> r = RouteTxn(txn, part);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->multi_shard);
+  EXPECT_FALSE(r->dependent);  // Fast-path eligible.
+  EXPECT_EQ(r->participants, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ShardRoutingTest, CrossShardReadOrAddIsDependent) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  Result<TxnRouting> with_get =
+      RouteTxn(MakeTxn(7, {Get("s0/a"), Put("s1/b", "y")}), part);
+  ASSERT_TRUE(with_get.ok());
+  EXPECT_TRUE(with_get->dependent);
+  Result<TxnRouting> with_add =
+      RouteTxn(MakeTxn(7, {Add("s0/a", 1), Put("s1/b", "y")}), part);
+  ASSERT_TRUE(with_add.ok());
+  EXPECT_TRUE(with_add->dependent);
+}
+
+TEST(ShardRoutingTest, OpIndicesMapBackToParentOrder) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  KvTxn txn = MakeTxn(
+      7, {Put("s1/a", "1"), Put("s0/b", "2"), Put("s1/c", "3")});
+  Result<TxnRouting> r = RouteTxn(txn, part);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->subs.size(), 2u);
+  const TxnRouting::SubTxn* s0 = r->SubForShard(0);
+  const TxnRouting::SubTxn* s1 = r->SubForShard(1);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->op_indices, (std::vector<size_t>{1}));
+  EXPECT_EQ(s1->op_indices, (std::vector<size_t>{0, 2}));
+}
+
+TEST(ShardRoutingTest, EmptyTxnIsRejected) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  EXPECT_FALSE(RouteTxn(MakeTxn(7, {}), part).ok());
+}
+
+// --- Shard-op codec -------------------------------------------------------
+
+TEST(ShardOpCodecTest, RoundTripsAllFields) {
+  ShardOp op;
+  op.type = ShardOpType::kDecision;
+  op.txn = {kClientIdBase + 3, 42};
+  op.shard = 2;
+  op.stamp = 7;
+  op.participants = {0, 2, 5};
+  op.sub = MakeTxn(kClientIdBase + 3, {Put("s2/k", "v"), Add("s2/j", -4)});
+  op.commit = true;
+  op.cert = {{0, true, 111}, {2, true, 222}};
+  Buffer bytes = op.Encode();
+  ASSERT_TRUE(ShardOp::IsShardOp(Slice(bytes)));
+  Result<ShardOp> back = ShardOp::Decode(Slice(bytes));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->type, op.type);
+  EXPECT_EQ(back->txn, op.txn);
+  EXPECT_EQ(back->shard, op.shard);
+  EXPECT_EQ(back->stamp, op.stamp);
+  EXPECT_EQ(back->participants, op.participants);
+  EXPECT_EQ(back->sub.ops.size(), 2u);
+  EXPECT_EQ(back->sub.ops[1].delta, -4);
+  EXPECT_TRUE(back->commit);
+  ASSERT_EQ(back->cert.size(), 2u);
+  EXPECT_EQ(back->cert[1].token, 222u);
+}
+
+TEST(ShardOpCodecTest, StampOfPeeksWithoutFullDecode) {
+  ShardOp op = Stamped({kClientIdBase, 1}, 3, 99,
+                       MakeTxn(kClientIdBase, {Put("s3/k", "v")}));
+  EXPECT_EQ(ShardOp::StampOf(Slice(op.Encode())), 99u);
+  // Non-shard payloads and decisions report stamp 0 (legacy ordering).
+  EXPECT_EQ(ShardOp::StampOf(Slice(KvOp::Put("k", "v"))), 0u);
+  ShardOp dec = Decision({kClientIdBase, 1}, 3, true, {});
+  EXPECT_EQ(ShardOp::StampOf(Slice(dec.Encode())), 0u);
+}
+
+TEST(ShardOpCodecTest, ResultRoundTripsAndTagsDetect) {
+  ShardOpResult res;
+  res.status = ShardOpStatus::kVote;
+  res.commit = false;
+  res.vote_commit = false;
+  res.token = 0xDEADBEEF;
+  res.next_stamp = 12;
+  res.txn_result = KvOp::Put("k", "v");
+  res.reason = "lock conflict";
+  Buffer bytes = res.Encode();
+  ASSERT_TRUE(ShardOpResult::IsShardOpResult(Slice(bytes)));
+  Result<ShardOpResult> back = ShardOpResult::Decode(Slice(bytes));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status, ShardOpStatus::kVote);
+  EXPECT_EQ(back->token, 0xDEADBEEFu);
+  EXPECT_EQ(back->next_stamp, 12u);
+  EXPECT_EQ(back->reason, "lock conflict");
+}
+
+TEST(ShardOpCodecTest, VoteTokensAreDomainSeparated) {
+  const ShardTxnId id{kClientIdBase + 1, 5};
+  const uint64_t commit0 = ShardVoteToken(id, 0, true);
+  EXPECT_NE(commit0, ShardVoteToken(id, 0, false));
+  EXPECT_NE(commit0, ShardVoteToken(id, 1, true));
+  EXPECT_NE(commit0, ShardVoteToken({kClientIdBase + 1, 6}, 0, true));
+  EXPECT_EQ(commit0, ShardVoteToken(id, 0, true));  // Deterministic.
+}
+
+// --- Sequencer ------------------------------------------------------------
+
+TEST(SequencerTest, AssignsContiguousPerShardStamps) {
+  Sequencer seq(3);
+  auto a = seq.Assign(kClientIdBase, {0, 2});
+  auto b = seq.Assign(kClientIdBase + 1, {0});
+  auto c = seq.Assign(kClientIdBase + 2, {0, 1, 2});
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->stamps.at(0), 1u);
+  EXPECT_EQ(a->stamps.at(2), 1u);
+  EXPECT_EQ(b->stamps.at(0), 2u);
+  EXPECT_EQ(c->stamps.at(0), 3u);
+  EXPECT_EQ(c->stamps.at(1), 1u);
+  EXPECT_EQ(c->stamps.at(2), 2u);
+  EXPECT_EQ(seq.next_stamp(0), 4u);
+  EXPECT_EQ(seq.next_stamp(1), 2u);
+}
+
+TEST(SequencerTest, CensoredClientsGetNoStamps) {
+  Sequencer seq(2);
+  seq.set_censor([](ClientId c) { return c == kClientIdBase; });
+  EXPECT_FALSE(seq.Assign(kClientIdBase, {0, 1}).has_value());
+  EXPECT_EQ(seq.censored_requests(), 1u);
+  // Censorship must not burn slots for honest clients.
+  auto honest = seq.Assign(kClientIdBase + 1, {0, 1});
+  ASSERT_TRUE(honest.has_value());
+  EXPECT_EQ(honest->stamps.at(0), 1u);
+}
+
+TEST(SequencerTest, PayloadRegistryServesRecovery) {
+  Sequencer seq(2);
+  Buffer payload = KvOp::Put("k", "v");
+  seq.RegisterPayload(1, 7, payload);
+  ASSERT_NE(seq.PayloadFor(1, 7), nullptr);
+  EXPECT_EQ(*seq.PayloadFor(1, 7), payload);
+  EXPECT_EQ(seq.PayloadFor(1, 8), nullptr);
+  EXPECT_EQ(seq.PayloadFor(0, 7), nullptr);
+}
+
+// --- KvStateMachine: stamped execution ------------------------------------
+
+TEST(ShardStateMachineTest, StampedOpsExecuteExactlyAtTheirSlot) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+
+  // Stamp 2 before stamp 1: gap.
+  ShardOpResult gap = MustApply(
+      &sm, Stamped(t2, 0, 2, MakeTxn(t2.owner, {Put("s0/b", "2")})));
+  EXPECT_EQ(gap.status, ShardOpStatus::kStampGap);
+  EXPECT_EQ(gap.next_stamp, 1u);
+
+  ShardOpResult ok1 = MustApply(
+      &sm, Stamped(t1, 0, 1, MakeTxn(t1.owner, {Put("s0/a", "1")})));
+  EXPECT_EQ(ok1.status, ShardOpStatus::kApplied);
+  EXPECT_TRUE(ok1.commit);
+
+  ShardOpResult ok2 = MustApply(
+      &sm, Stamped(t2, 0, 2, MakeTxn(t2.owner, {Put("s0/b", "2")})));
+  EXPECT_EQ(ok2.status, ShardOpStatus::kApplied);
+  EXPECT_EQ(sm.next_stamp(), 3u);
+  EXPECT_EQ(Val(sm, "s0/a"), "1");
+  EXPECT_EQ(Val(sm, "s0/b"), "2");
+}
+
+TEST(ShardStateMachineTest, DuplicateStampedOpReplaysRecordedResult) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1};
+  ShardOp op = Stamped(t1, 0, 1, MakeTxn(t1.owner, {Add("s0/ctr", 5)}));
+  ShardOpResult first = MustApply(&sm, op);
+  ShardOpResult dup = MustApply(&sm, op);
+  EXPECT_EQ(dup.status, ShardOpStatus::kApplied);
+  EXPECT_EQ(dup.txn_result, first.txn_result);
+  // The ADD must not have run twice.
+  EXPECT_EQ(Val(sm, "s0/ctr"), "5");
+  EXPECT_EQ(sm.txn_commits(), 1u);
+}
+
+TEST(ShardStateMachineTest, MultiShardStampedIsBlindAndAlwaysCommits) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1};
+  // Seed a conflicting write so a single-shard txn would ww-abort.
+  MustApply(&sm, Stamped({kClientIdBase + 9, 1}, 0, 1,
+                         MakeTxn(kClientIdBase + 9, {Put("s0/hot", "x")})));
+  ShardOpResult res = MustApply(
+      &sm, Stamped(t1, 0, 2, MakeTxn(t1.owner, {Put("s0/hot", "y")}), {0, 1}));
+  EXPECT_EQ(res.status, ShardOpStatus::kApplied);
+  EXPECT_TRUE(res.commit);
+  EXPECT_EQ(Val(sm, "s0/hot"), "y");
+  auto outcome = sm.shard_outcomes().find(t1);
+  ASSERT_NE(outcome, sm.shard_outcomes().end());
+  EXPECT_EQ(outcome->second.kind, ShardTxnOutcome::kFastApplied);
+}
+
+// --- KvStateMachine: 2PC --------------------------------------------------
+
+TEST(ShardStateMachineTest, PrepareBuffersWritesUntilDecision) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardOpResult vote = MustApply(
+      &sm, Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v"), Add("s0/c", 3)}),
+                   {0, 1}));
+  EXPECT_EQ(vote.status, ShardOpStatus::kVote);
+  EXPECT_TRUE(vote.vote_commit);
+  EXPECT_EQ(vote.token, ShardVoteToken(t, 0, true));
+  EXPECT_EQ(Val(sm, "s0/k"), "");  // Nothing visible yet.
+  EXPECT_EQ(sm.prepared_count(), 1u);
+
+  std::vector<ShardVote> cert = {{0, true, ShardVoteToken(t, 0, true)},
+                                 {1, true, ShardVoteToken(t, 1, true)}};
+  ShardOpResult dec = MustApply(&sm, Decision(t, 0, true, cert));
+  EXPECT_EQ(dec.status, ShardOpStatus::kDecided);
+  EXPECT_TRUE(dec.commit);
+  EXPECT_EQ(Val(sm, "s0/k"), "v");
+  EXPECT_EQ(Val(sm, "s0/c"), "3");
+  EXPECT_EQ(sm.prepared_count(), 0u);
+}
+
+TEST(ShardStateMachineTest, DuplicatePrepareIsIdempotent) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardOp prepare =
+      Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1});
+  ShardOpResult first = MustApply(&sm, prepare);
+  ShardOpResult dup = MustApply(&sm, prepare);
+  EXPECT_EQ(dup.status, ShardOpStatus::kVote);
+  EXPECT_TRUE(dup.vote_commit);
+  EXPECT_EQ(dup.token, first.token);
+  EXPECT_EQ(dup.txn_result, first.txn_result);
+  EXPECT_EQ(sm.prepared_count(), 1u);  // Still one lock, not two.
+}
+
+TEST(ShardStateMachineTest, ConflictingPrepareVotesAbortImmediately) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  MustApply(&sm,
+            Prepare(t1, 0, 0, MakeTxn(t1.owner, {Put("s0/k", "a")}), {0, 1}));
+  // Second prepare touching the locked key: immediate abort vote, no
+  // blocking (no distributed deadlock by construction).
+  ShardOpResult vote = MustApply(
+      &sm, Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/k", "b")}), {0, 2}));
+  EXPECT_EQ(vote.status, ShardOpStatus::kVote);
+  EXPECT_FALSE(vote.vote_commit);
+  EXPECT_EQ(vote.token, ShardVoteToken(t2, 0, false));
+  // The abort outcome is pinned: a late duplicate prepare cannot flip it.
+  ShardOpResult late = MustApply(
+      &sm, Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/k", "b")}), {0, 2}));
+  EXPECT_EQ(late.status, ShardOpStatus::kDecided);
+  EXPECT_FALSE(late.commit);
+}
+
+TEST(ShardStateMachineTest, StampedOpsBlockBehindUndecidedPrepare) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  MustApply(&sm,
+            Prepare(t1, 0, 0, MakeTxn(t1.owner, {Put("s0/k", "a")}), {0, 1}));
+  ShardOpResult blocked = MustApply(
+      &sm, Stamped(t2, 0, 1, MakeTxn(t2.owner, {Put("s0/other", "b")})));
+  EXPECT_EQ(blocked.status, ShardOpStatus::kBlocked);
+  // Decide the prepared txn; the stamped op then proceeds.
+  std::vector<ShardVote> cert = {{0, false, ShardVoteToken(t1, 0, false)}};
+  MustApply(&sm, Decision(t1, 0, false, cert));
+  ShardOpResult ok = MustApply(
+      &sm, Stamped(t2, 0, 1, MakeTxn(t2.owner, {Put("s0/other", "b")})));
+  EXPECT_EQ(ok.status, ShardOpStatus::kApplied);
+}
+
+TEST(ShardStateMachineTest, CommitDecisionRequiresFullCertificate) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  MustApply(&sm,
+            Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  // Missing shard 1's token: rejected, state unchanged.
+  std::vector<ShardVote> partial = {{0, true, ShardVoteToken(t, 0, true)}};
+  ShardOpResult rej = MustApply(&sm, Decision(t, 0, true, partial));
+  EXPECT_EQ(rej.status, ShardOpStatus::kRejected);
+  EXPECT_EQ(sm.prepared_count(), 1u);
+  EXPECT_EQ(Val(sm, "s0/k"), "");
+  // Forged token for shard 1: also rejected.
+  std::vector<ShardVote> forged = {{0, true, ShardVoteToken(t, 0, true)},
+                                   {1, true, 12345}};
+  EXPECT_EQ(MustApply(&sm, Decision(t, 0, true, forged)).status,
+            ShardOpStatus::kRejected);
+  // Genuine certificate commits.
+  std::vector<ShardVote> cert = {{0, true, ShardVoteToken(t, 0, true)},
+                                 {1, true, ShardVoteToken(t, 1, true)}};
+  EXPECT_EQ(MustApply(&sm, Decision(t, 0, true, cert)).status,
+            ShardOpStatus::kDecided);
+  EXPECT_EQ(Val(sm, "s0/k"), "v");
+}
+
+TEST(ShardStateMachineTest, AbortDecisionRequiresGenuineAbortToken) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  MustApply(&sm,
+            Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  // Certificate-less abort (the equivocation payload): rejected.
+  ShardOpResult rej = MustApply(&sm, Decision(t, 0, false, {}));
+  EXPECT_EQ(rej.status, ShardOpStatus::kRejected);
+  EXPECT_EQ(sm.prepared_count(), 1u);
+  // An abort backed by shard 1's genuine abort vote is honored even
+  // though this shard voted commit.
+  std::vector<ShardVote> cert = {{1, false, ShardVoteToken(t, 1, false)}};
+  ShardOpResult dec = MustApply(&sm, Decision(t, 0, false, cert));
+  EXPECT_EQ(dec.status, ShardOpStatus::kDecided);
+  EXPECT_FALSE(dec.commit);
+  EXPECT_TRUE(dec.vote_commit);  // Our own (immutable) vote was commit.
+  EXPECT_EQ(sm.prepared_count(), 0u);
+  EXPECT_EQ(Val(sm, "s0/k"), "");
+}
+
+TEST(ShardStateMachineTest, DecisionIsIdempotent) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  MustApply(&sm,
+            Prepare(t, 0, 0, MakeTxn(t.owner, {Add("s0/c", 2)}), {0, 1}));
+  std::vector<ShardVote> cert = {{0, true, ShardVoteToken(t, 0, true)},
+                                 {1, true, ShardVoteToken(t, 1, true)}};
+  MustApply(&sm, Decision(t, 0, true, cert));
+  ShardOpResult dup = MustApply(&sm, Decision(t, 0, true, cert));
+  EXPECT_EQ(dup.status, ShardOpStatus::kDecided);
+  EXPECT_TRUE(dup.commit);
+  EXPECT_EQ(Val(sm, "s0/c"), "2");  // Applied once, not twice.
+  EXPECT_EQ(sm.txn_commits(), 1u);
+}
+
+TEST(ShardStateMachineTest, CancelPinsAbortBeforePrepareArrives) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardOpResult vote = MustApply(&sm, Cancel(t, 0));
+  EXPECT_EQ(vote.status, ShardOpStatus::kVote);
+  EXPECT_FALSE(vote.commit);
+  EXPECT_EQ(vote.token, ShardVoteToken(t, 0, false));
+  // The late prepare finds the pinned abort and cannot lock anything.
+  ShardOpResult late = MustApply(
+      &sm, Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  EXPECT_EQ(late.status, ShardOpStatus::kDecided);
+  EXPECT_FALSE(late.commit);
+  EXPECT_EQ(sm.prepared_count(), 0u);
+}
+
+TEST(ShardStateMachineTest, CancelOfPreparedTxnReturnsImmutableVote) {
+  KvStateMachine sm;
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardOpResult vote = MustApply(
+      &sm, Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  ShardOpResult cancel = MustApply(&sm, Cancel(t, 0));
+  EXPECT_EQ(cancel.status, ShardOpStatus::kVote);
+  EXPECT_TRUE(cancel.vote_commit);  // Cannot revoke the commit vote.
+  EXPECT_EQ(cancel.token, vote.token);
+  EXPECT_EQ(sm.prepared_count(), 1u);  // Lock stays until a decision.
+}
+
+TEST(ShardStateMachineTest, SnapshotRestoreCarriesShardState) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  MustApply(&sm, Stamped(t1, 0, 1, MakeTxn(t1.owner, {Put("s0/a", "1")})));
+  MustApply(&sm,
+            Prepare(t2, 0, 0, MakeTxn(t2.owner, {Add("s0/c", 7)}), {0, 1}));
+  Buffer snap = sm.Snapshot();
+
+  KvStateMachine fresh;
+  ASSERT_TRUE(fresh.Restore(Slice(snap)).ok());
+  EXPECT_EQ(fresh.next_stamp(), sm.next_stamp());
+  EXPECT_EQ(fresh.prepared_count(), 1u);
+  EXPECT_EQ(fresh.StateDigest(), sm.StateDigest());
+  // The restored replica can decide the carried-over prepared txn.
+  std::vector<ShardVote> cert = {{0, true, ShardVoteToken(t2, 0, true)},
+                                 {1, true, ShardVoteToken(t2, 1, true)}};
+  ShardOpResult dec = MustApply(&fresh, Decision(t2, 0, true, cert));
+  EXPECT_EQ(dec.status, ShardOpStatus::kDecided);
+  EXPECT_EQ(Val(fresh, "s0/c"), "7");
+}
+
+TEST(ShardStateMachineTest, RollbackRestoresShardStateExactly) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  MustApply(&sm, Stamped(t1, 0, 1, MakeTxn(t1.owner, {Put("s0/a", "1")})));
+  const uint64_t mark = sm.version();
+  const Digest digest_at_mark = sm.StateDigest();
+
+  MustApply(&sm,
+            Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/b", "2")}), {0, 1}));
+  std::vector<ShardVote> cert = {{0, true, ShardVoteToken(t2, 0, true)},
+                                 {1, true, ShardVoteToken(t2, 1, true)}};
+  MustApply(&sm, Decision(t2, 0, true, cert));
+  MustApply(&sm, Stamped({kClientIdBase + 2, 1}, 0, 2,
+                         MakeTxn(kClientIdBase + 2, {Put("s0/d", "4")})));
+  EXPECT_EQ(Val(sm, "s0/b"), "2");
+
+  ASSERT_TRUE(sm.Rollback(sm.version() - mark).ok());
+  EXPECT_EQ(sm.version(), mark);
+  EXPECT_EQ(sm.StateDigest(), digest_at_mark);
+  EXPECT_EQ(sm.next_stamp(), 2u);
+  EXPECT_EQ(sm.prepared_count(), 0u);
+  EXPECT_EQ(sm.shard_outcomes().count(t2), 0u);
+  EXPECT_EQ(Val(sm, "s0/b"), "");
+  EXPECT_EQ(Val(sm, "s0/d"), "");
+}
+
+// --- Coordinator engine (direct-drive, no clusters) -----------------------
+
+/// Delivers every outstanding send directly to the machines, feeding
+/// results back, until the coordinator finishes. FIFO order.
+void DriveToCompletion(TxnCoordinator* coord,
+                       std::vector<KvStateMachine>* machines,
+                       std::vector<CoordSend> pending) {
+  size_t guard = 0;
+  while (!coord->done() && !pending.empty()) {
+    ASSERT_LT(++guard, 1000u) << "coordinator did not converge";
+    CoordSend s = std::move(pending.front());
+    pending.erase(pending.begin());
+    Result<Buffer> res = (*machines)[s.shard].Apply(Slice(s.payload));
+    ASSERT_TRUE(res.ok());
+    std::vector<CoordSend> next = coord->OnResult(s.shard, Slice(*res));
+    for (CoordSend& n : next) pending.push_back(std::move(n));
+  }
+}
+
+TEST(CoordinatorEngineTest, FastPathCommitsOnBothShards) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  Sequencer seq(2);
+  std::vector<KvStateMachine> machines(2);
+  KvTxn txn =
+      MakeTxn(kClientIdBase, {Put("s0/a", "x"), Put("s1/b", "y")});
+  Result<TxnRouting> routing = RouteTxn(txn, part);
+  ASSERT_TRUE(routing.ok());
+  TxnCoordinator coord({txn.owner, 1}, std::move(*routing),
+                       seq.Assign(txn.owner, {0, 1}), CoordOptions{});
+  EXPECT_EQ(coord.path(), TxnCoordinator::Path::kFast);
+  DriveToCompletion(&coord, &machines, coord.Start());
+  ASSERT_TRUE(coord.done());
+  EXPECT_TRUE(coord.committed());
+  EXPECT_EQ(Val(machines[0], "s0/a"), "x");
+  EXPECT_EQ(Val(machines[1], "s1/b"), "y");
+  KvTxnResult assembled = coord.Assemble();
+  EXPECT_TRUE(assembled.committed);
+  EXPECT_EQ(assembled.results, (std::vector<std::string>{"OK", "OK"}));
+}
+
+TEST(CoordinatorEngineTest, TwoPcCommitsDependentTxnWithReadResults) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  Sequencer seq(2);
+  std::vector<KvStateMachine> machines(2);
+  // Seed a value on shard 0 the transaction will read.
+  ASSERT_TRUE(machines[0]
+                  .Apply(Slice(KvOp::Put("s0/seed", "42")))
+                  .ok());
+  KvTxn txn =
+      MakeTxn(kClientIdBase, {Get("s0/seed"), Put("s1/out", "z")});
+  Result<TxnRouting> routing = RouteTxn(txn, part);
+  ASSERT_TRUE(routing.ok());
+  ASSERT_TRUE(routing->dependent);
+  TxnCoordinator coord({txn.owner, 1}, std::move(*routing),
+                       seq.Assign(txn.owner, {0, 1}), CoordOptions{});
+  EXPECT_EQ(coord.path(), TxnCoordinator::Path::kTwoPC);
+  DriveToCompletion(&coord, &machines, coord.Start());
+  ASSERT_TRUE(coord.done());
+  EXPECT_TRUE(coord.committed());
+  KvTxnResult assembled = coord.Assemble();
+  // Reads mapped back to original op order.
+  EXPECT_EQ(assembled.results, (std::vector<std::string>{"42", "OK"}));
+  EXPECT_EQ(Val(machines[1], "s1/out"), "z");
+  EXPECT_EQ(machines[0].prepared_count(), 0u);
+  EXPECT_EQ(machines[1].prepared_count(), 0u);
+}
+
+TEST(CoordinatorEngineTest, TwoPcAbortsUniformlyOnLockConflict) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  Sequencer seq(2);
+  std::vector<KvStateMachine> machines(2);
+  // A prepared txn holds s0/hot on shard 0.
+  const ShardTxnId blocker{kClientIdBase + 9, 1};
+  MustApply(&machines[0],
+            Prepare(blocker, 0, 0,
+                    MakeTxn(blocker.owner, {Put("s0/hot", "held")}), {0, 1}));
+  KvTxn txn =
+      MakeTxn(kClientIdBase, {Get("s1/r"), Put("s0/hot", "mine")});
+  Result<TxnRouting> routing = RouteTxn(txn, part);
+  ASSERT_TRUE(routing.ok());
+  TxnCoordinator coord({txn.owner, 1}, std::move(*routing),
+                       seq.Assign(txn.owner, {0, 1}), CoordOptions{});
+  DriveToCompletion(&coord, &machines, coord.Start());
+  ASSERT_TRUE(coord.done());
+  EXPECT_FALSE(coord.committed());
+  // Uniform abort: shard 1 must not keep its prepared lock.
+  EXPECT_EQ(machines[1].prepared_count(), 0u);
+  auto o1 = machines[1].shard_outcomes().find(coord.id());
+  ASSERT_NE(o1, machines[1].shard_outcomes().end());
+  EXPECT_EQ(o1->second.kind, ShardTxnOutcome::kAborted);
+  EXPECT_FALSE(coord.Assemble().committed);
+}
+
+TEST(CoordinatorEngineTest, RecoveryResolvesOrphanedPreparedTxnToCommit) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  Sequencer seq(2);
+  std::vector<KvStateMachine> machines(2);
+  const ShardTxnId t{kClientIdBase, 1};
+  // Both shards prepared (commit votes recorded), then the coordinator
+  // vanished without sending a decision.
+  MustApply(&machines[0],
+            Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  MustApply(&machines[1],
+            Prepare(t, 1, 0, MakeTxn(t.owner, {Put("s1/k", "w")}), {0, 1}));
+
+  TxnCoordinator rec =
+      TxnCoordinator::MakeRecovery(t, {0, 1}, CoordOptions{});
+  DriveToCompletion(&rec, &machines, rec.Start());
+  ASSERT_TRUE(rec.done());
+  // Both votes were commit, so the only safe decision is commit.
+  EXPECT_TRUE(rec.committed());
+  EXPECT_EQ(Val(machines[0], "s0/k"), "v");
+  EXPECT_EQ(Val(machines[1], "s1/k"), "w");
+  EXPECT_EQ(machines[0].prepared_count(), 0u);
+  EXPECT_EQ(machines[1].prepared_count(), 0u);
+}
+
+TEST(CoordinatorEngineTest, RecoveryAbortsHalfPreparedTxn) {
+  std::vector<KvStateMachine> machines(2);
+  const ShardTxnId t{kClientIdBase, 1};
+  // Only shard 0 prepared; shard 1 never saw the transaction.
+  MustApply(&machines[0],
+            Prepare(t, 0, 0, MakeTxn(t.owner, {Put("s0/k", "v")}), {0, 1}));
+  TxnCoordinator rec =
+      TxnCoordinator::MakeRecovery(t, {0, 1}, CoordOptions{});
+  DriveToCompletion(&rec, &machines, rec.Start());
+  ASSERT_TRUE(rec.done());
+  EXPECT_FALSE(rec.committed());  // Cancel pinned abort on shard 1.
+  EXPECT_EQ(Val(machines[0], "s0/k"), "");
+  EXPECT_EQ(machines[0].prepared_count(), 0u);
+  // Both shards agree on abort.
+  for (auto& m : machines) {
+    auto it = m.shard_outcomes().find(t);
+    ASSERT_NE(it, m.shard_outcomes().end());
+    EXPECT_EQ(it->second.kind, ShardTxnOutcome::kAborted);
+  }
+}
+
+// --- Atomicity oracle must catch seeded violations ------------------------
+
+TEST(AtomicityOracleTest, CatchesMixedDecision) {
+  const ShardTxnId t{kClientIdBase, 1};
+  std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes(2);
+  outcomes[0][t] = {ShardTxnOutcome::kCommitted, true, 1};
+  outcomes[1][t] = {ShardTxnOutcome::kAborted, false, 2};
+  AtomicityReport r =
+      CheckCrossShardAtomicity({}, outcomes, {0, 0}, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("mixed decision"), std::string::npos);
+}
+
+TEST(AtomicityOracleTest, CatchesPartialCommitAgainstRecords) {
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardTxnRecord rec;
+  rec.id = t;
+  rec.participants = {0, 1};
+  rec.completed = true;
+  rec.committed = true;
+  std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes(2);
+  outcomes[0][t] = {ShardTxnOutcome::kCommitted, true, 1};
+  // Shard 1 has no effect for t.
+  AtomicityReport r =
+      CheckCrossShardAtomicity({rec}, outcomes, {0, 0}, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("partial commit"), std::string::npos);
+}
+
+TEST(AtomicityOracleTest, CatchesGhostCommitAndLeakedLocks) {
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardTxnRecord rec;
+  rec.id = t;
+  rec.participants = {0, 1};
+  rec.completed = true;
+  rec.committed = false;
+  std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes(2);
+  outcomes[1][t] = {ShardTxnOutcome::kCommitted, true, 1};
+  AtomicityReport ghost =
+      CheckCrossShardAtomicity({rec}, outcomes, {0, 0}, true);
+  EXPECT_FALSE(ghost.ok);
+  EXPECT_NE(ghost.violation.find("ghost commit"), std::string::npos);
+
+  AtomicityReport leak = CheckCrossShardAtomicity({}, {{}, {}}, {0, 2}, true);
+  EXPECT_FALSE(leak.ok);
+  EXPECT_NE(leak.violation.find("leaked locks"), std::string::npos);
+  // Quiescence off (recovery disabled runs): leaks are tolerated.
+  EXPECT_TRUE(CheckCrossShardAtomicity({}, {{}, {}}, {0, 2}, false).ok);
+}
+
+TEST(AtomicityOracleTest, AcceptsCleanCrossShardHistory) {
+  const ShardTxnId t{kClientIdBase, 1};
+  ShardTxnRecord rec;
+  rec.id = t;
+  rec.participants = {0, 1};
+  rec.completed = true;
+  rec.committed = true;
+  std::vector<std::map<ShardTxnId, KvStateMachine::ShardOutcome>> outcomes(2);
+  outcomes[0][t] = {ShardTxnOutcome::kCommitted, true, 1};
+  outcomes[1][t] = {ShardTxnOutcome::kFastApplied, false, 0};
+  AtomicityReport r =
+      CheckCrossShardAtomicity({rec}, outcomes, {0, 0}, true);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.cross_shard_checked, 1u);
+}
+
+// --- Sharded runner (full multi-cluster integration) ----------------------
+
+ShardedExperimentConfig BaseConfig(uint32_t shards) {
+  ShardedExperimentConfig cfg;
+  cfg.protocol = "pbft";
+  cfg.f = 1;
+  cfg.topology.num_shards = shards;
+  cfg.workers_per_shard = 2;
+  cfg.duration_us = Millis(250);
+  cfg.settle_us = Millis(250);
+  cfg.seed = 7;
+  ShardMixOptions mix;
+  mix.num_shards = shards;
+  mix.cross_shard_fraction = 0.3;
+  mix.dependent_fraction = 0.5;
+  mix.ops_per_txn = 3;
+  mix.keys_per_shard = 64;
+  cfg.txn_generator = MultiShardTxns(mix);
+  return cfg;
+}
+
+ShardedResult MustRunSharded(const ShardedExperimentConfig& cfg) {
+  Result<ShardedResult> r = RunShardedExperiment(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : ShardedResult{};
+}
+
+TEST(ShardedRunnerTest, SingleShardBaselineCommitsAndStaysLinearizable) {
+  ShardedResult r = MustRunSharded(BaseConfig(1));
+  EXPECT_GT(r.committed, 20u);
+  EXPECT_EQ(r.fast_path, 0u);
+  EXPECT_EQ(r.two_pc, 0u);
+  EXPECT_TRUE(r.linearizable) << r.violation;
+  EXPECT_TRUE(r.atomic) << r.violation;
+}
+
+TEST(ShardedRunnerTest, CrossShardMixUsesBothPathsAndStaysAtomic) {
+  ShardedResult r = MustRunSharded(BaseConfig(2));
+  EXPECT_GT(r.committed, 20u);
+  EXPECT_GT(r.fast_path, 0u);  // Blind cross-shard writes.
+  EXPECT_GT(r.two_pc, 0u);     // Dependent cross-shard txns.
+  EXPECT_GT(r.cross_shard_committed, 0u);
+  EXPECT_TRUE(r.linearizable) << r.violation;
+  EXPECT_TRUE(r.atomic) << r.violation;
+  // Quiescence: no prepared txn left holding locks.
+  for (size_t left : r.prepared_left) EXPECT_EQ(left, 0u);
+}
+
+TEST(ShardedRunnerTest, RunsAreDeterministic) {
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  cfg.duration_us = Millis(120);
+  ShardedResult a = MustRunSharded(cfg);
+  ShardedResult b = MustRunSharded(cfg);
+  EXPECT_EQ(a.Json(), b.Json());
+  EXPECT_EQ(a.per_shard_commits, b.per_shard_commits);
+}
+
+TEST(ShardedRunnerTest, StampGapsResolveViaRetry) {
+  // A worker grabs multi-stamps and dies before submitting, leaving a
+  // hole at the head of both shards' slot sequences. Every later
+  // stamped txn arrives ahead of its slot and must resolve by gap
+  // retry — never by loss — until slot re-injection fills the hole.
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  cfg.workers_per_shard = 4;
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 0.8;
+  mix.dependent_fraction = 0.0;  // All fast path: maximal stamp traffic.
+  mix.ops_per_txn = 2;
+  cfg.txn_generator = MultiShardTxns(mix);
+  cfg.drop_fast_sends = [](ClientId c, uint64_t seq) {
+    return c == kClientIdBase && seq == 1;
+  };
+  ShardedResult r = MustRunSharded(cfg);
+  EXPECT_GT(r.gap_retries, 0u);
+  EXPECT_GT(r.fast_path, 0u);
+  EXPECT_TRUE(r.atomic) << r.violation;
+  EXPECT_TRUE(r.linearizable) << r.violation;
+}
+
+TEST(ShardedRunnerTest, CoordinatorCrashBetweenPrepareAndCommitRecovers) {
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 1.0;
+  mix.dependent_fraction = 1.0;  // All 2PC.
+  mix.ops_per_txn = 2;
+  cfg.txn_generator = MultiShardTxns(mix);
+  // The 2nd transaction of the first worker dies at the decision point.
+  cfg.crash_after_prepare = [](ClientId c, uint64_t seq) {
+    return c == kClientIdBase && seq == 2;
+  };
+  ShardedResult r = MustRunSharded(cfg);
+  EXPECT_GE(r.recovery_takeovers, 1u);
+  bool saw_recovered = false;
+  for (const ShardTxnRecord& rec : r.records) {
+    if (rec.abandoned) {
+      EXPECT_TRUE(rec.recovered) << "orphan " << rec.id.ToString()
+                                 << " was never resolved";
+      saw_recovered |= rec.recovered;
+    }
+  }
+  EXPECT_TRUE(saw_recovered);
+  EXPECT_TRUE(r.atomic) << r.violation;
+  for (size_t left : r.prepared_left) EXPECT_EQ(left, 0u);
+}
+
+TEST(ShardedRunnerTest, ParticipantViewChangeMidTwoPcStaysAtomic) {
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 0.6;
+  mix.dependent_fraction = 1.0;
+  mix.ops_per_txn = 2;
+  cfg.txn_generator = MultiShardTxns(mix);
+  // Crash shard 0's initial leader mid-run: the cluster view-changes
+  // while 2PC rounds are in flight; gate clients retransmit into the
+  // new view.
+  cfg.faults.push_back({0, 0, Millis(80), Millis(200)});
+  cfg.duration_us = Millis(300);
+  cfg.settle_us = Millis(500);
+  ShardedResult r = MustRunSharded(cfg);
+  EXPECT_GT(r.committed, 5u);
+  EXPECT_GT(r.two_pc, 0u);
+  EXPECT_TRUE(r.atomic) << r.violation;
+  EXPECT_TRUE(r.linearizable) << r.violation;
+}
+
+TEST(ShardedRunnerTest, AbandonedStampSlotsAreReinjected) {
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  ShardMixOptions mix;
+  mix.num_shards = 2;
+  mix.cross_shard_fraction = 1.0;
+  mix.dependent_fraction = 0.0;
+  mix.ops_per_txn = 2;
+  cfg.txn_generator = MultiShardTxns(mix);
+  // First worker's first txn takes its stamps and dies without sending:
+  // both shards now have a hole other stamped txns queue behind.
+  cfg.drop_fast_sends = [](ClientId c, uint64_t seq) {
+    return c == kClientIdBase && seq == 1;
+  };
+  ShardedResult r = MustRunSharded(cfg);
+  EXPECT_GE(r.slot_reinjections, 1u);
+  // Other workers' traffic got through despite the hole.
+  EXPECT_GT(r.committed, 10u);
+  EXPECT_TRUE(r.atomic) << r.violation;
+}
+
+TEST(ShardedRunnerTest, RejectsCustomClientProtocols) {
+  ShardedExperimentConfig cfg = BaseConfig(2);
+  cfg.protocol = "zyzzyva";  // Speculative client incompatible with gates.
+  Result<ShardedResult> r = RunShardedExperiment(cfg);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ShardedRunnerTest, ChaosHammerStaysAtomicAcrossSeeds) {
+  for (uint64_t seed : {11u, 23u}) {
+    ShardedExperimentConfig cfg = BaseConfig(2);
+    cfg.seed = seed;
+    cfg.duration_us = Millis(200);
+    cfg.settle_us = Millis(400);
+    ShardMixOptions mix;
+    mix.num_shards = 2;
+    mix.cross_shard_fraction = 0.5;
+    mix.dependent_fraction = 0.6;
+    mix.ops_per_txn = 2;
+    mix.keys_per_shard = 16;  // Hot keys: conflicts and aborts.
+    cfg.txn_generator = MultiShardTxns(mix);
+    cfg.crash_after_prepare = [](ClientId c, uint64_t seq) {
+      return c == kClientIdBase + 1 && seq % 3 == 2;
+    };
+    cfg.faults.push_back({1, 0, Millis(60), Millis(160)});
+    ShardedResult r = MustRunSharded(cfg);
+    EXPECT_TRUE(r.atomic) << "seed " << seed << ": " << r.violation;
+    EXPECT_TRUE(r.linearizable) << "seed " << seed << ": " << r.violation;
+    EXPECT_GT(r.committed, 0u);
+    for (size_t left : r.prepared_left) EXPECT_EQ(left, 0u);
+  }
+}
+
+// --- Schedule explorer ----------------------------------------------------
+
+TEST(ShardExplorerTest, TenThousandSchedulesZeroViolations) {
+  ShardExploreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.num_txns = 4;
+  cfg.keys_per_shard = 2;  // Dense conflicts.
+  cfg.schedules = 10000;
+  cfg.duplicate_prob = 0.15;
+  cfg.crash_prob = 0.3;
+  cfg.seed = 3;
+  Result<ShardExploreReport> r = ExploreShardSchedules(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->violation_found)
+      << "schedule " << r->violating_schedule << ": " << r->violation;
+  EXPECT_EQ(r->schedules, 10000u);
+  EXPECT_GT(r->distinct_states, 1000u);
+  EXPECT_GT(r->duplicates_injected, 0u);
+  EXPECT_GT(r->recoveries_run, 0u);
+  EXPECT_GT(r->committed, 0u);
+  EXPECT_GT(r->aborted, 0u);  // Conflicts really happened.
+}
+
+TEST(ShardExplorerTest, ThreeShardSchedulesStayAtomic) {
+  ShardExploreConfig cfg;
+  cfg.num_shards = 3;
+  cfg.num_txns = 5;
+  cfg.keys_per_shard = 2;
+  cfg.schedules = 2000;
+  cfg.crash_prob = 0.2;
+  cfg.seed = 17;
+  Result<ShardExploreReport> r = ExploreShardSchedules(cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->violation_found)
+      << "schedule " << r->violating_schedule << ": " << r->violation;
+  EXPECT_EQ(r->truncated, 0u);
+}
+
+TEST(ShardExplorerTest, DecisionHashIsDeterministic) {
+  ShardExploreConfig cfg;
+  cfg.schedules = 200;
+  cfg.seed = 5;
+  Result<ShardExploreReport> a = ExploreShardSchedules(cfg);
+  Result<ShardExploreReport> b = ExploreShardSchedules(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->decision_hash, b->decision_hash);
+  EXPECT_EQ(a->distinct_states, b->distinct_states);
+  cfg.seed = 6;
+  Result<ShardExploreReport> c = ExploreShardSchedules(cfg);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->decision_hash, c->decision_hash);
+}
+
+// --- Workload generator ---------------------------------------------------
+
+TEST(MultiShardWorkloadTest, RespectsCrossShardFraction) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  Rng rng(99);
+  ShardMixOptions mix;
+  mix.num_shards = 4;
+  mix.cross_shard_fraction = 0.4;
+  mix.dependent_fraction = 0.5;
+  OpGenerator gen = MultiShardTxns(mix);
+  size_t cross = 0, dependent = 0, total = 400;
+  for (size_t i = 0; i < total; ++i) {
+    Buffer raw = gen(kClientIdBase, i + 1, &rng);
+    Result<KvTxn> txn = KvTxn::Decode(Slice(raw));
+    ASSERT_TRUE(txn.ok());
+    Result<TxnRouting> r = RouteTxn(*txn, part);
+    ASSERT_TRUE(r.ok());
+    if (r->multi_shard) ++cross;
+    if (r->dependent) ++dependent;
+    EXPECT_LE(r->participants.size(), 2u);
+  }
+  // Statistical bounds, deterministic under the fixed seed.
+  EXPECT_GT(cross, total / 4);
+  EXPECT_LT(cross, total * 11 / 20);
+  EXPECT_GT(dependent, 0u);
+  EXPECT_LT(dependent, cross);
+}
+
+TEST(MultiShardWorkloadTest, ZeroCrossShardFractionStaysHome) {
+  KeyPartitioner part(ShardTopology{4, ShardPolicy::kPrefix});
+  Rng rng(5);
+  ShardMixOptions mix;
+  mix.num_shards = 4;
+  mix.cross_shard_fraction = 0.0;
+  OpGenerator gen = MultiShardTxns(mix);
+  for (size_t i = 0; i < 100; ++i) {
+    Result<KvTxn> txn = KvTxn::Decode(Slice(gen(kClientIdBase, i + 1, &rng)));
+    ASSERT_TRUE(txn.ok());
+    Result<TxnRouting> r = RouteTxn(*txn, part);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->multi_shard);
+  }
+}
+
+}  // namespace
+}  // namespace bftlab
