@@ -263,9 +263,16 @@ std::vector<CoordSend> TxnCoordinator::OnResult(uint32_t shard,
       break;
     }
     case ShardOpStatus::kRejected: {
-      // Honest coordinators never produce invalid certificates; treat
-      // as a terminal ack so the harness's recovery daemon takes over.
       st.responded = true;
+      if (in_decision_phase_) {
+        // A participant refused our decision (e.g. its prepare rolled
+        // back across a view change and re-executed after we decided):
+        // its locks are still held and no retransmission is coming from
+        // us. Flag the txn so the harness hands it to recovery instead
+        // of counting a clean completion.
+        decision_rejected_ = true;
+        uncertain_ = true;
+      }
       break;
     }
     case ShardOpStatus::kUnknown: {

@@ -86,6 +86,10 @@ class TxnCoordinator {
   /// the transaction executed but its outcome is unknown to us. The
   /// runner leaves such ops pending in the history (unconstrained).
   bool uncertain() const { return uncertain_; }
+  /// True when a participant rejected our decision payload (its prepare
+  /// no longer existed there): the txn may still hold locks on that
+  /// shard and must be handed to recovery, not treated as settled.
+  bool decision_rejected() const { return decision_rejected_; }
   /// Client-facing result, assembled from per-shard sub-results mapped
   /// back to the original op order. Valid once done().
   KvTxnResult Assemble() const;
@@ -134,6 +138,7 @@ class TxnCoordinator {
   bool done_ = false;
   bool committed_ = false;
   bool uncertain_ = false;
+  bool decision_rejected_ = false;
   uint64_t gap_retries_ = 0;
   uint64_t blocked_retries_ = 0;
 };

@@ -311,12 +311,21 @@ void ShardedRunner::FinishTxn(Worker* w) {
     // history treats the txn as pending, which constrains nothing).
     rec.equivocated = true;
     AddOrphan(coord.id(), coord.participants());
+  } else if (coord.decision_rejected()) {
+    // A participant refused the decision (its prepare rolled back across
+    // a view change and re-executed after we decided): it may hold locks
+    // forever if nobody re-delivers, so recovery must settle the txn.
+    AddOrphan(coord.id(), coord.participants());
   } else if (!rec.uncertain) {
     result_.history.RecordComplete(w->id, coord.id().seq,
                                    Slice(coord.Assemble().Encode()), now_);
   }
 
-  if (rec.committed) {
+  if (rec.uncertain) {
+    // Outcome unknown (evicted slot result or rejected decision): not a
+    // commit, not an abort — keep throughput/latency metrics honest.
+    ++result_.uncertain;
+  } else if (rec.committed) {
     ++result_.committed;
     if (rec.participants.size() > 1) ++result_.cross_shard_committed;
     latencies_.push_back(rec.complete_us - rec.invoke_us);
@@ -401,11 +410,25 @@ void ShardedRunner::HandleRecoverySends(std::vector<CoordSend> sends) {
 }
 
 void ShardedRunner::FinishRecovery() {
-  auto it = rec_index_.find(recovery_coord_->id());
+  const ShardTxnId id = recovery_coord_->id();
+  if (recovery_coord_->decision_rejected()) {
+    // Some participant refused even the recovery decision (e.g. its
+    // prepare state shifted under a view change mid-delivery): retry on
+    // a later tick rather than declaring the txn settled.
+    std::vector<uint32_t> participants = recovery_coord_->participants();
+    recovery_coord_.reset();
+    orphaned_.erase(id);
+    AddOrphan(id, std::move(participants));
+    return;
+  }
+  auto it = rec_index_.find(id);
   if (it != rec_index_.end()) {
     ShardTxnRecord& rec = result_.records[it->second];
     rec.recovered = true;
     rec.committed = recovery_coord_->committed();
+    // Recovery's decision is derived from immutable votes: the outcome
+    // is now known, so the oracle may hold the txn to it.
+    rec.uncertain = false;
   }
   recovery_coord_.reset();
 }
@@ -607,7 +630,8 @@ Result<ShardedResult> ShardedRunner::Run() {
 std::string ShardedResult::Json() const {
   std::ostringstream os;
   os << "{\"shard_count\":" << shard_count << ",\"committed\":" << committed
-     << ",\"aborted\":" << aborted << ",\"single_shard\":" << single_shard
+     << ",\"aborted\":" << aborted << ",\"uncertain\":" << uncertain
+     << ",\"single_shard\":" << single_shard
      << ",\"fast_path\":" << fast_path << ",\"two_pc\":" << two_pc
      << ",\"cross_shard_committed\":" << cross_shard_committed
      << ",\"gap_retries\":" << gap_retries

@@ -116,6 +116,9 @@ struct ShardedResult {
   uint32_t shard_count = 1;
   uint64_t committed = 0;
   uint64_t aborted = 0;
+  /// Completions with unknown outcome (evicted stamped-slot result or a
+  /// rejected decision): excluded from committed/aborted and latencies.
+  uint64_t uncertain = 0;
   uint64_t single_shard = 0;
   uint64_t fast_path = 0;
   uint64_t two_pc = 0;

@@ -8,9 +8,14 @@ std::optional<MultiStamp> Sequencer::Assign(
     ++censored_;
     return std::nullopt;
   }
-  MultiStamp ms;
+  // Validate every participant before touching any slot counter: a bad
+  // id midway through would otherwise leak slots on the earlier shards
+  // (no payload ever registered, so the gap could never be filled).
   for (uint32_t shard : participants) {
     if (shard >= next_.size()) return std::nullopt;
+  }
+  MultiStamp ms;
+  for (uint32_t shard : participants) {
     ms.stamps[shard] = next_[shard]++;
   }
   return ms;

@@ -169,6 +169,33 @@ const std::string* KvStateMachine::FindWwConflict(const KvTxn& txn) const {
   return nullptr;
 }
 
+std::string KvStateMachine::FindPreparedLockConflict(const ShardTxnId& self,
+                                                     const KvTxn& txn) const {
+  for (const auto& [other_id, other] : prepared_) {
+    if (other_id == self) continue;
+    for (const KvOp& op : txn.ops) {
+      for (const std::string& locked : other.write_keys) {
+        if (op.key == locked) {
+          return "lock conflict on " + locked + " held by " +
+                 other_id.ToString();
+        }
+      }
+      // Writing into an undecided prepared txn's read set would
+      // invalidate the reads its commit vote was computed from: the
+      // anti-dependency must abort here, not rely on slot ordering
+      // (unstamped prepares and the censored fallback skip slots).
+      if (!op.IsWrite()) continue;
+      for (const std::string& locked : other.read_keys) {
+        if (op.key == locked) {
+          return "read-lock conflict on " + locked + " held by " +
+                 other_id.ToString();
+        }
+      }
+    }
+  }
+  return "";
+}
+
 void KvStateMachine::StampLastWrites(ClientId owner, UndoEntry* entry) {
   // entry->keys holds each distinct write key once (first touch); stamp
   // this txn as the last writer and remember what it displaced.
@@ -186,9 +213,22 @@ Result<Buffer> KvStateMachine::ApplyTxn(Slice operation, const KvTxn& txn) {
   UndoEntry entry;
   entry.old_digest = digest_;
 
-  const std::string* conflict_key = FindWwConflict(txn);
+  // Plain txns (the censored single-shard fallback) must respect 2PC
+  // locks like everything else: a write slipping between a prepare and
+  // its decision would invalidate the prepared txn's vote. prepared_ is
+  // empty outside sharded runs, so the legacy path never pays this.
+  std::string lock_conflict;
+  if (!prepared_.empty()) {
+    lock_conflict = FindPreparedLockConflict(ShardTxnId{}, txn);
+  }
+  const std::string* conflict_key =
+      lock_conflict.empty() ? FindWwConflict(txn) : nullptr;
   KvTxnResult out;
-  if (conflict_key != nullptr) {
+  if (!lock_conflict.empty()) {
+    out.committed = false;
+    out.abort_reason = lock_conflict;
+    ++txn_aborts_;
+  } else if (conflict_key != nullptr) {
     out.committed = false;
     out.abort_reason = "ww-conflict on " + *conflict_key;
     ++txn_aborts_;
@@ -384,22 +424,10 @@ ShardOpResult KvStateMachine::ExecutePrepare(const ShardOp& op,
   }
 
   // Vote. Prepares never wait on other prepares (no distributed
-  // deadlock): any overlap with an undecided prepared txn's lock set is
+  // deadlock): any overlap with an undecided prepared txn's lock sets
+  // (reads or writes vs its write locks, writes vs its read locks) is
   // an immediate abort vote.
-  std::string conflict_reason;
-  for (const auto& [other_id, other] : prepared_) {
-    for (const std::string& locked : other.write_keys) {
-      for (const KvOp& sub_op : op.sub.ops) {
-        if (sub_op.key == locked) {
-          conflict_reason = "lock conflict on " + locked + " held by " +
-                            other_id.ToString();
-          break;
-        }
-      }
-      if (!conflict_reason.empty()) break;
-    }
-    if (!conflict_reason.empty()) break;
-  }
+  std::string conflict_reason = FindPreparedLockConflict(op.txn, op.sub);
   if (conflict_reason.empty()) {
     const std::string* ww = FindWwConflict(op.sub);
     if (ww != nullptr) conflict_reason = "ww-conflict on " + *ww;
@@ -450,6 +478,14 @@ ShardOpResult KvStateMachine::ExecutePrepare(const ShardOp& op,
       case KvOpCode::kGet: {
         auto v = read(sub_op.key);
         vote_out.results.push_back(v ? *v : "");
+        bool seen = false;
+        for (const std::string& k : pt.read_keys) {
+          if (k == sub_op.key) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) pt.read_keys.push_back(sub_op.key);
         break;
       }
       case KvOpCode::kPut:
@@ -704,6 +740,10 @@ Buffer KvStateMachine::Snapshot() const {
     for (uint32_t p : pt.participants) enc.PutU32(p);
     enc.PutU32(static_cast<uint32_t>(pt.writes.size()));
     for (const KvOp& w : pt.writes) enc.PutBytes(Slice(w.Encode()));
+    // Read locks can't be recomputed from the buffered writes, so state
+    // transfer must carry them explicitly (write_keys are rederived).
+    enc.PutU32(static_cast<uint32_t>(pt.read_keys.size()));
+    for (const std::string& k : pt.read_keys) enc.PutString(k);
   }
   enc.PutU64(outcomes_.size());
   for (const auto& [txn, o] : outcomes_) {
@@ -794,6 +834,13 @@ Status KvStateMachine::Restore(Slice snapshot) {
         }
       }
       if (!seen) pt.write_keys.push_back(w.key);
+    }
+    uint32_t nr;
+    BFTLAB_ASSIGN_OR_RETURN(nr, dec.GetU32());
+    for (uint32_t j = 0; j < nr; ++j) {
+      std::string k;
+      BFTLAB_ASSIGN_OR_RETURN(k, dec.GetString());
+      pt.read_keys.push_back(std::move(k));
     }
     prepared.emplace(txn, std::move(pt));
   }

@@ -114,12 +114,18 @@ class KvStateMachine : public StateMachine {
   // A 2PC transaction that commit-voted here and awaits its decision.
   // Writes are buffered pre-transformed (ADD becomes a literal PUT of
   // the value computed at prepare time) so the decision applies them
-  // deterministically; write_keys are the lock set.
+  // deterministically; write_keys and read_keys together are the lock
+  // set: the vote's reads stay valid only if nothing writes them before
+  // the decision, so writes into read_keys must abort too (otherwise a
+  // reciprocal read-write pair of prepares forms an anti-dependency
+  // cycle that slot ordering cannot break — unstamped prepares skip
+  // slot accounting entirely).
   struct PreparedTxn {
     ClientId owner = 0;
     uint64_t token = 0;           // This shard's commit-vote token.
     std::vector<KvOp> writes;     // Buffered effects, applied on commit.
     std::vector<std::string> write_keys;
+    std::vector<std::string> read_keys;
     std::vector<uint32_t> participants;
     Buffer vote_result;           // Encoded KvTxnResult returned with the vote.
   };
@@ -166,6 +172,11 @@ class KvStateMachine : public StateMachine {
   // First write key of `txn` conflicting with another client's recent
   // committed write (nullptr when none).
   const std::string* FindWwConflict(const KvTxn& txn) const;
+  // Conflict reason if `txn` (belonging to `self`, skipped) touches an
+  // undecided prepared txn's lock sets: any access vs write locks, and
+  // writes additionally vs read locks. Empty when none.
+  std::string FindPreparedLockConflict(const ShardTxnId& self,
+                                       const KvTxn& txn) const;
   // Stamps `entry`'s write keys with `owner` in last_writes_.
   void StampLastWrites(ClientId owner, UndoEntry* entry);
   void RecordStampResult(uint64_t stamp, const Buffer& result,

@@ -290,6 +290,18 @@ TEST(SequencerTest, CensoredClientsGetNoStamps) {
   EXPECT_EQ(honest->stamps.at(0), 1u);
 }
 
+TEST(SequencerTest, OutOfRangeParticipantLeaksNoSlots) {
+  Sequencer seq(2);
+  // Shard 9 is invalid; the valid shards listed before it must not have
+  // their counters burned (a leaked slot would be a permanent gap — no
+  // payload is ever registered for it).
+  EXPECT_FALSE(seq.Assign(kClientIdBase, {0, 1, 9}).has_value());
+  auto honest = seq.Assign(kClientIdBase + 1, {0, 1});
+  ASSERT_TRUE(honest.has_value());
+  EXPECT_EQ(honest->stamps.at(0), 1u);
+  EXPECT_EQ(honest->stamps.at(1), 1u);
+}
+
 TEST(SequencerTest, PayloadRegistryServesRecovery) {
   Sequencer seq(2);
   Buffer payload = KvOp::Put("k", "v");
@@ -409,6 +421,95 @@ TEST(ShardStateMachineTest, ConflictingPrepareVotesAbortImmediately) {
       &sm, Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/k", "b")}), {0, 2}));
   EXPECT_EQ(late.status, ShardOpStatus::kDecided);
   EXPECT_FALSE(late.commit);
+}
+
+TEST(ShardStateMachineTest, WriteIntoPreparedReadSetVotesAbort) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  // T1's commit vote was computed from its read of s0/x: any write to
+  // s0/x before T1's decision would invalidate that vote.
+  ShardOpResult v1 = MustApply(
+      &sm, Prepare(t1, 0, 0, MakeTxn(t1.owner, {Get("s0/x")}), {0, 1}));
+  ASSERT_TRUE(v1.vote_commit);
+  ShardOpResult v2 = MustApply(
+      &sm, Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/x", "b")}), {0, 2}));
+  EXPECT_EQ(v2.status, ShardOpStatus::kVote);
+  EXPECT_FALSE(v2.vote_commit);
+  EXPECT_NE(v2.reason.find("read-lock conflict"), std::string::npos);
+  // A read-only overlap with the read set stays compatible.
+  const ShardTxnId t3{kClientIdBase + 2, 1};
+  ShardOpResult v3 = MustApply(
+      &sm, Prepare(t3, 0, 0, MakeTxn(t3.owner, {Get("s0/x")}), {0, 2}));
+  EXPECT_TRUE(v3.vote_commit);
+}
+
+TEST(ShardStateMachineTest, ReciprocalReadWritePreparesCannotBothCommit) {
+  // The reviewer scenario: T1 reads x (shard 0) and writes y (shard 1),
+  // T2 writes x (shard 0) and reads y (shard 1), prepares arriving in
+  // opposite orders on the two shards. Without read locks both collect
+  // full commit certificates — an anti-dependency cycle. With them, T2
+  // is refused x and T1 is refused y: neither assembles a commit cert.
+  std::vector<KvStateMachine> machines(2);
+  const ShardTxnId t1{kClientIdBase, 1}, t2{kClientIdBase + 1, 1};
+  ShardOpResult t1_s0 = MustApply(
+      &machines[0], Prepare(t1, 0, 0, MakeTxn(t1.owner, {Get("s0/x")}), {0, 1}));
+  ShardOpResult t2_s1 = MustApply(
+      &machines[1], Prepare(t2, 1, 0, MakeTxn(t2.owner, {Get("s1/y")}), {0, 1}));
+  ShardOpResult t2_s0 = MustApply(
+      &machines[0],
+      Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/x", "2")}), {0, 1}));
+  ShardOpResult t1_s1 = MustApply(
+      &machines[1],
+      Prepare(t1, 1, 0, MakeTxn(t1.owner, {Put("s1/y", "1")}), {0, 1}));
+  EXPECT_TRUE(t1_s0.vote_commit);
+  EXPECT_TRUE(t2_s1.vote_commit);
+  EXPECT_FALSE(t2_s0.vote_commit);  // x is read-locked by T1.
+  EXPECT_FALSE(t1_s1.vote_commit);  // y is read-locked by T2.
+}
+
+TEST(ShardStateMachineTest, ReadLocksSurviveSnapshotRestore) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1};
+  MustApply(&sm,
+            Prepare(t1, 0, 0, MakeTxn(t1.owner, {Get("s0/x")}), {0, 1}));
+  KvStateMachine fresh;
+  ASSERT_TRUE(fresh.Restore(Slice(sm.Snapshot())).ok());
+  // The transferred replica must still refuse writes into T1's reads.
+  const ShardTxnId t2{kClientIdBase + 1, 1};
+  ShardOpResult vote = MustApply(
+      &fresh,
+      Prepare(t2, 0, 0, MakeTxn(t2.owner, {Put("s0/x", "b")}), {0, 2}));
+  EXPECT_FALSE(vote.vote_commit);
+  EXPECT_NE(vote.reason.find("read-lock conflict"), std::string::npos);
+}
+
+TEST(ShardStateMachineTest, PlainTxnRespectsPreparedLocks) {
+  KvStateMachine sm;
+  const ShardTxnId t1{kClientIdBase, 1};
+  MustApply(&sm, Prepare(t1, 0, 0,
+                         MakeTxn(t1.owner, {Get("s0/x"), Put("s0/y", "v")}),
+                         {0, 1}));
+  auto apply_plain = [&](std::vector<KvOp> ops) {
+    KvTxn txn = MakeTxn(kClientIdBase + 5, std::move(ops));
+    Result<Buffer> raw = sm.Apply(Slice(txn.Encode()));
+    EXPECT_TRUE(raw.ok());
+    Result<KvTxnResult> res = KvTxnResult::Decode(Slice(*raw));
+    EXPECT_TRUE(res.ok());
+    return res.ok() ? *res : KvTxnResult{};
+  };
+  // The censored single-shard fallback goes through the plain-txn path:
+  // it must not write into an undecided prepared txn's lock sets.
+  KvTxnResult into_read = apply_plain({Put("s0/x", "race")});
+  EXPECT_FALSE(into_read.committed);
+  EXPECT_NE(into_read.abort_reason.find("read-lock conflict"),
+            std::string::npos);
+  KvTxnResult into_write = apply_plain({Put("s0/y", "race")});
+  EXPECT_FALSE(into_write.committed);
+  EXPECT_NE(into_write.abort_reason.find("lock conflict"), std::string::npos);
+  // Unrelated keys flow freely.
+  EXPECT_TRUE(apply_plain({Put("s0/other", "fine")}).committed);
+  EXPECT_EQ(Val(sm, "s0/x"), "");
+  EXPECT_EQ(Val(sm, "s0/other"), "fine");
 }
 
 TEST(ShardStateMachineTest, StampedOpsBlockBehindUndecidedPrepare) {
@@ -695,6 +796,70 @@ TEST(CoordinatorEngineTest, RecoveryAbortsHalfPreparedTxn) {
     auto it = m.shard_outcomes().find(t);
     ASSERT_NE(it, m.shard_outcomes().end());
     EXPECT_EQ(it->second.kind, ShardTxnOutcome::kAborted);
+  }
+}
+
+TEST(CoordinatorEngineTest, RejectedDecisionFlagsUncertainAndRecoveryResolves) {
+  KeyPartitioner part(ShardTopology{2, ShardPolicy::kPrefix});
+  Sequencer seq(2);
+  std::vector<KvStateMachine> machines(2);
+  KvTxn txn = MakeTxn(kClientIdBase, {Get("s0/seed"), Put("s1/out", "z")});
+  Result<TxnRouting> routing = RouteTxn(txn, part);
+  ASSERT_TRUE(routing.ok());
+  TxnCoordinator coord({txn.owner, 1}, std::move(*routing),
+                       seq.Assign(txn.owner, {0, 1}), CoordOptions{});
+  ASSERT_EQ(coord.path(), TxnCoordinator::Path::kTwoPC);
+
+  // Collect both prepare votes; the coordinator enters the decision
+  // phase and emits a decision per participant.
+  std::vector<CoordSend> pending = coord.Start();
+  std::vector<CoordSend> decisions;
+  for (CoordSend& s : pending) {
+    Result<Buffer> res = machines[s.shard].Apply(Slice(s.payload));
+    ASSERT_TRUE(res.ok());
+    for (CoordSend& n : coord.OnResult(s.shard, Slice(*res))) {
+      decisions.push_back(std::move(n));
+    }
+  }
+  ASSERT_TRUE(coord.decision_sent());
+  ASSERT_EQ(decisions.size(), 2u);
+
+  // Shard 0 applies its decision; shard 1 rejects it (as if its prepare
+  // rolled back across a view change and re-executed after we decided).
+  for (CoordSend& s : decisions) {
+    Buffer reply;
+    if (s.shard == 0) {
+      Result<Buffer> res = machines[0].Apply(Slice(s.payload));
+      ASSERT_TRUE(res.ok());
+      reply = std::move(*res);
+    } else {
+      ShardOpResult rej;
+      rej.status = ShardOpStatus::kRejected;
+      rej.reason = "commit decision for unprepared txn";
+      reply = rej.Encode();
+    }
+    coord.OnResult(s.shard, Slice(reply));
+  }
+  ASSERT_TRUE(coord.done());
+  // Not a clean completion: the outcome on shard 1 is unresolved and its
+  // locks may still be held, so the txn must go to recovery.
+  EXPECT_TRUE(coord.decision_rejected());
+  EXPECT_TRUE(coord.uncertain());
+  EXPECT_EQ(machines[1].prepared_count(), 1u);
+
+  // Recovery settles it from the immutable votes: commit everywhere.
+  TxnCoordinator rec =
+      TxnCoordinator::MakeRecovery(coord.id(), {0, 1}, CoordOptions{});
+  DriveToCompletion(&rec, &machines, rec.Start());
+  ASSERT_TRUE(rec.done());
+  EXPECT_TRUE(rec.committed());
+  EXPECT_FALSE(rec.decision_rejected());
+  EXPECT_EQ(machines[1].prepared_count(), 0u);
+  EXPECT_EQ(Val(machines[1], "s1/out"), "z");
+  for (auto& m : machines) {
+    auto it = m.shard_outcomes().find(coord.id());
+    ASSERT_NE(it, m.shard_outcomes().end());
+    EXPECT_EQ(it->second.kind, ShardTxnOutcome::kCommitted);
   }
 }
 
