@@ -15,7 +15,9 @@
 //   --json <path>      write BENCH_perf.json (validated with
 //                      JsonWellFormed before writing).
 //   --baseline <path>  read {"events_per_sec": N} and exit nonzero if the
-//                      single-run measurement regresses more than 20%.
+//                      single-run measurement regresses more than 20%. A
+//                      missing or malformed baseline file exits nonzero
+//                      immediately (no vacuous passes).
 //
 // Exit status: nonzero on digest divergence, on a missed speedup gate
 // (>= 4 cores only), or on a baseline regression — so CI fails loudly.
@@ -67,18 +69,36 @@ std::vector<ExperimentConfig> SweepCells(bool smoke) {
 }
 
 /// Reads {"events_per_sec": N} with a string scan (no JSON parser in the
-/// bench layer; the file is one line we wrote ourselves).
+/// bench layer; the file is one line we wrote ourselves). A baseline that
+/// cannot be read is a hard failure: silently skipping the gate is how a
+/// perf regression ships — CI must fail loudly, not pass vacuously.
 double ReadBaseline(const char* path) {
   std::ifstream in(path);
-  if (!in.good()) return 0;
+  if (!in.good()) {
+    std::fprintf(stderr,
+                 "FATAL: baseline file '%s' missing or unreadable; the "
+                 "perf gate cannot run. Fix the path or restore "
+                 "bench/perf_baseline.json.\n",
+                 path);
+    std::exit(1);
+  }
   std::stringstream ss;
   ss << in.rdbuf();
   std::string text = ss.str();
   size_t key = text.find("\"events_per_sec\"");
-  if (key == std::string::npos) return 0;
-  size_t colon = text.find(':', key);
-  if (colon == std::string::npos) return 0;
-  return std::strtod(text.c_str() + colon + 1, nullptr);
+  size_t colon = key == std::string::npos ? std::string::npos
+                                          : text.find(':', key);
+  double value = colon == std::string::npos
+                     ? 0
+                     : std::strtod(text.c_str() + colon + 1, nullptr);
+  if (!(value > 0)) {
+    std::fprintf(stderr,
+                 "FATAL: baseline file '%s' is malformed: expected "
+                 "{\"events_per_sec\": N} with N > 0, got: %s\n",
+                 path, text.substr(0, 200).c_str());
+    std::exit(1);
+  }
+  return value;
 }
 
 void Run(bool smoke, const char* json_path, const char* baseline_path) {
@@ -87,6 +107,13 @@ void Run(bool smoke, const char* json_path, const char* baseline_path) {
       "the hot-path optimizations hold their events/sec baseline, the "
       "sweep runner scales near-linearly across cores, and serial vs "
       "parallel sweeps are bit-identical per cell");
+
+  // Validate the baseline before burning minutes of measurement: a bad
+  // gate config should fail in the first second of the CI step.
+  double baseline = 0;
+  if (baseline_path != nullptr) {
+    baseline = ReadBaseline(baseline_path);  // Exits on missing/malformed.
+  }
 
   // 1. Single-run engine speed (best of repeats: the min-noise estimate).
   const int repeats = smoke ? 2 : 3;
@@ -166,19 +193,12 @@ void Run(bool smoke, const char* json_path, const char* baseline_path) {
     std::printf("speedup gate skipped (%u cores, %u jobs)\n", hw, jobs);
   }
 
-  double baseline = 0;
   bool baseline_ok = true;
-  if (baseline_path != nullptr) {
-    baseline = ReadBaseline(baseline_path);
-    if (baseline > 0) {
-      baseline_ok = events_per_sec >= 0.8 * baseline;
-      std::printf("baseline: %.0f events/sec, measured %.0f (%.0f%%) -> %s\n",
-                  baseline, events_per_sec, 100 * events_per_sec / baseline,
-                  baseline_ok ? "ok" : "REGRESSION >20%");
-    } else {
-      std::printf("baseline: unreadable or missing events_per_sec in %s\n",
-                  baseline_path);
-    }
+  if (baseline > 0) {
+    baseline_ok = events_per_sec >= 0.8 * baseline;
+    std::printf("baseline: %.0f events/sec, measured %.0f (%.0f%%) -> %s\n",
+                baseline, events_per_sec, 100 * events_per_sec / baseline,
+                baseline_ok ? "ok" : "REGRESSION >20%");
   }
 
   std::ostringstream os;

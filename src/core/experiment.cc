@@ -212,6 +212,11 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   r.max_node_msgs = m.MaxNodeMsgLoad();
   r.order_inversion_fraction = m.OrderInversionFraction(Millis(1));
   r.sim_events = cluster.sim().events_processed();
+  // Arena high-water marks: deterministic occupancy gauges the scale
+  // bench (X24) reads alongside process peak RSS.
+  m.Increment("sim.peak_live_events", cluster.sim().peak_live_events());
+  m.Increment("net.peak_inbox_packets",
+              cluster.network().peak_inbox_packets());
   r.counters = m.counters();
   r.msgs_by_type = m.msgs_by_type();
   r.txn_commits = m.counter("txn.commits");

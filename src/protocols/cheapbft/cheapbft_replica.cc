@@ -65,7 +65,7 @@ void CheapBftReplica::ProposeAvailable() {
     inst.batch = batch;
     inst.digest = batch.ComputeDigest();
     inst.has_prepare = true;
-    inst.commits.insert(config().id);
+    inst.commits.Add(config().id);
     TraceMark("propose", epoch_, seq);
     TraceSpanBegin("agree", epoch_, seq);
 
@@ -153,7 +153,7 @@ void CheapBftReplica::HandlePrepare(NodeId from,
   inst.digest = msg.digest();
   TraceSpanBegin("agree", epoch_, msg.seq());
   // The prepare doubles as the leader's commit vote.
-  inst.commits.insert(from);
+  inst.commits.Add(from);
   for (const ClientRequest& r : msg.batch().requests) {
     RemoveFromPool(r.ComputeDigest());
   }
@@ -164,7 +164,7 @@ void CheapBftReplica::HandlePrepare(NodeId from,
                                                      config().id);
   ChargeAuthSend(active_.size() - 1, commit->WireSize());
   Multicast(OtherActive(), std::move(commit));
-  inst.commits.insert(config().id);
+  inst.commits.Add(config().id);
   CheckCommitted(msg.seq());
 }
 
@@ -174,7 +174,7 @@ void CheapBftReplica::HandleCommit(NodeId /*from*/,
   ChargeAuthVerify(msg.WireSize());
   Instance& inst = instances_[msg.seq()];
   if (msg.digest() != inst.digest && inst.has_prepare) return;
-  inst.commits.insert(msg.replica());
+  inst.commits.Add(msg.replica());
   last_commit_seen_[msg.replica()] =
       std::max(last_commit_seen_[msg.replica()], msg.seq());
   CheckCommitted(msg.seq());
@@ -188,12 +188,18 @@ void CheapBftReplica::CheckCommitted(SequenceNumber seq) {
   inst.committed = true;
   metrics().Increment("cheapbft.committed");
   TraceSpanEnd("agree", epoch_, seq);
+  // Build the passive update before delivering: executing the batch can
+  // complete a checkpoint quorum synchronously (our own vote joins votes
+  // that already arrived), and OnCheckpointStable erases instances_ —
+  // `inst` is invalid once Deliver returns.
+  std::shared_ptr<CheapUpdateMessage> update;
+  if (config().id == leader()) {
+    update = std::make_shared<CheapUpdateMessage>(epoch_, seq, inst.batch);
+  }
   Deliver(seq, inst.batch);
 
   // Leader ships the committed batch to the passive replicas.
   if (config().id == leader()) {
-    auto update =
-        std::make_shared<CheapUpdateMessage>(epoch_, seq, inst.batch);
     for (NodeId p : PassiveSet()) {
       Send(p, update);
     }
@@ -259,7 +265,7 @@ void CheapBftReplica::HandleReconfig(NodeId from,
     for (auto& [seq, inst] : instances_) {
       if (!inst.committed && inst.has_prepare) {
         inst.commits.clear();
-        inst.commits.insert(config().id);
+        inst.commits.Add(config().id);
         auto prepare =
             std::make_shared<CheapPrepareMessage>(epoch_, seq, inst.batch);
         ChargeAuthSend(active_.size() - 1, prepare->WireSize());
@@ -323,7 +329,7 @@ void CheapBftReplica::OnTimer(uint64_t tag) {
           Now() - last_reconfig_at_ < 2 * config().view_change_timeout_us;
       if (!in_grace) {
         for (ReplicaId r : active_) {
-          if (r != config().id && it->second.commits.count(r) == 0) {
+          if (r != config().id && !it->second.commits.Contains(r)) {
             missing = r;
             break;
           }
@@ -347,6 +353,17 @@ void CheapBftReplica::OnTimer(uint64_t tag) {
     default:
       break;
   }
+}
+
+void CheapBftReplica::OnCheckpointStable(SequenceNumber seq) {
+  // GC contract (DESIGN.md §14): the stable checkpoint covers these
+  // slots; fill-hole requests below it are answered by state transfer.
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+}
+
+size_t CheapBftReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + instances_.size() +
+         last_commit_seen_.size();
 }
 
 std::unique_ptr<Replica> MakeCheapBftReplica(const ReplicaConfig& config) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 
 namespace bftlab {
@@ -207,11 +208,13 @@ class CheapBftReplica : public Replica {
 
   void OnTimer(uint64_t tag) override;
   void OnRestart() override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
   void OnExecutionGap(SequenceNumber missing_seq) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
   static constexpr uint64_t kProgressTimer = kProtocolTimerBase + 1;
@@ -222,7 +225,7 @@ class CheapBftReplica : public Replica {
     Digest digest;
     bool has_prepare = false;
     bool committed = false;
-    std::set<ReplicaId> commits;
+    VoterSet commits;
   };
 
   void ProposeAvailable();

@@ -1,34 +1,187 @@
 // Quorum tracking: counts distinct-sender votes per key. The basic
 // building block of every agreement phase (prepare/commit certificates,
 // checkpoint stability, view-change collection, reply matching).
+//
+// Scale note: vote sets are aggregated quorum certificates — a word-array
+// bitmap keyed by replica id (dsnet quorumcert-style) instead of a
+// std::set<NodeId> per key. At n = 1024 one certificate is 16 words
+// instead of ~700 red-black-tree nodes, membership tests are one mask,
+// and merging a subtree's votes (Kauri) is a word-wise OR. Every tracker
+// user must also garbage-collect: call EraseBelow at stable checkpoints /
+// decided heights, or vote state grows without bound (see DESIGN.md §14
+// for the GC contract).
 
 #ifndef BFTLAB_PROTOCOLS_COMMON_QUORUM_H_
 #define BFTLAB_PROTOCOLS_COMMON_QUORUM_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "common/types.h"
 
 namespace bftlab {
 
+/// A set of voter ids as a growable word-array bitmap. Semantically a
+/// std::set<NodeId> restricted to dense ids (replicas are 0..n-1):
+/// iteration yields ids in ascending order, so code that folded voter
+/// sets into fingerprints or picked "the first voter" behaves
+/// identically. Memory is ceil((max_id+1)/64) words regardless of how
+/// many votes arrived.
+class VoterSet {
+ public:
+  /// Inserts `id`; returns true if it was newly added.
+  bool Add(NodeId id) {
+    size_t word = id >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    uint64_t bit = 1ull << (id & 63);
+    if (words_[word] & bit) return false;
+    words_[word] |= bit;
+    ++count_;
+    return true;
+  }
+
+  bool Contains(NodeId id) const {
+    size_t word = id >> 6;
+    return word < words_.size() && (words_[word] >> (id & 63)) & 1;
+  }
+
+  /// Number of distinct voters (maintained, not recounted).
+  size_t Count() const { return count_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Word-wise union with another set (tree aggregation: a parent folds
+  /// its subtree's certificate in with one OR per word).
+  void Merge(const VoterSet& other) {
+    if (other.words_.size() > words_.size()) {
+      words_.resize(other.words_.size(), 0);
+    }
+    count_ = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if (w < other.words_.size()) words_[w] |= other.words_[w];
+      count_ += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    }
+  }
+
+  void Clear() {
+    words_.clear();
+    count_ = 0;
+  }
+  void clear() { Clear(); }
+
+  /// Lowest voter id; kInvalidReplica when empty.
+  NodeId First() const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return static_cast<NodeId>(
+            (w << 6) + static_cast<size_t>(__builtin_ctzll(words_[w])));
+      }
+    }
+    return kInvalidReplica;
+  }
+
+  /// Lowest voter id != `self`; falls back to `self` when it is the only
+  /// voter (and kInvalidReplica when empty).
+  NodeId FirstOther(NodeId self) const {
+    for (NodeId id : *this) {
+      if (id != self) return id;
+    }
+    return empty() ? kInvalidReplica : self;
+  }
+
+  std::vector<NodeId> ToVector() const {
+    std::vector<NodeId> out;
+    out.reserve(count_);
+    for (NodeId id : *this) out.push_back(id);
+    return out;
+  }
+
+  bool operator==(const VoterSet& o) const {
+    // Trailing zero words are not significant.
+    size_t common = std::min(words_.size(), o.words_.size());
+    for (size_t w = 0; w < common; ++w) {
+      if (words_[w] != o.words_[w]) return false;
+    }
+    for (size_t w = common; w < words_.size(); ++w) {
+      if (words_[w] != 0) return false;
+    }
+    for (size_t w = common; w < o.words_.size(); ++w) {
+      if (o.words_[w] != 0) return false;
+    }
+    return true;
+  }
+  bool operator!=(const VoterSet& o) const { return !(*this == o); }
+
+  /// Bytes of certificate storage (the scale benches' memory gauge).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Ascending-id iteration, drop-in for std::set<NodeId> range-fors.
+  class const_iterator {
+   public:
+    const_iterator(const VoterSet* set, NodeId pos) : set_(set), pos_(pos) {
+      SkipToNext();
+    }
+    NodeId operator*() const { return pos_; }
+    const_iterator& operator++() {
+      ++pos_;
+      SkipToNext();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void SkipToNext() {
+      const auto& words = set_->words_;
+      size_t limit = words.size() << 6;
+      while (pos_ < limit) {
+        uint64_t rest = words[pos_ >> 6] >> (pos_ & 63);
+        if (rest != 0) {
+          pos_ += static_cast<NodeId>(__builtin_ctzll(rest));
+          return;
+        }
+        pos_ = static_cast<NodeId>(((pos_ >> 6) + 1) << 6);
+      }
+      pos_ = static_cast<NodeId>(limit);
+    }
+    const VoterSet* set_;
+    NodeId pos_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const {
+    return const_iterator(this, static_cast<NodeId>(words_.size() << 6));
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t count_ = 0;
+};
+
 /// Counts votes from distinct senders per key. Key is any ordered type
-/// (typically a (view, seq, digest) tuple).
+/// (typically a (view, seq, digest) tuple). Per-key votes are VoterSet
+/// certificates, so Add/Contains are O(1) in the number of voters.
+///
+/// GC contract: keys are only removed by EraseBelow / Erase / Clear.
+/// Every protocol must erase vote state it can no longer act on (below
+/// the stable checkpoint, below the decided height, for past views) or
+/// the tracker grows for the lifetime of the run.
 template <typename Key>
 class QuorumTracker {
  public:
   /// Records a vote; returns the number of distinct voters for `key`
   /// after insertion.
   size_t Add(const Key& key, NodeId voter) {
-    auto& voters = votes_[key];
-    voters.insert(voter);
-    return voters.size();
+    VoterSet& voters = votes_[key];
+    voters.Add(voter);
+    return voters.Count();
   }
 
   /// Current number of distinct voters for `key`.
   size_t Count(const Key& key) const {
     auto it = votes_.find(key);
-    return it == votes_.end() ? 0 : it->second.size();
+    return it == votes_.end() ? 0 : it->second.Count();
   }
 
   /// True when `key` reached `quorum` distinct voters.
@@ -36,10 +189,18 @@ class QuorumTracker {
     return Count(key) >= quorum;
   }
 
-  /// The distinct voters for `key`.
-  std::set<NodeId> Voters(const Key& key) const {
+  /// O(1) membership test — use this instead of copying Voters() when a
+  /// hot path only needs to know whether one id voted.
+  bool Contains(const Key& key, NodeId voter) const {
     auto it = votes_.find(key);
-    return it == votes_.end() ? std::set<NodeId>{} : it->second;
+    return it != votes_.end() && it->second.Contains(voter);
+  }
+
+  /// The distinct voters for `key` (by reference — no per-call copy).
+  const VoterSet& Voters(const Key& key) const {
+    static const VoterSet kEmpty;
+    auto it = votes_.find(key);
+    return it == votes_.end() ? kEmpty : it->second;
   }
 
   /// Drops all keys strictly less than `bound` (garbage collection with
@@ -52,8 +213,15 @@ class QuorumTracker {
   void Clear() { votes_.clear(); }
   size_t size() const { return votes_.size(); }
 
+  /// Total bytes of certificate storage across keys (leak telemetry).
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& [key, voters] : votes_) total += voters.MemoryBytes();
+    return total;
+  }
+
  private:
-  std::map<Key, std::set<NodeId>> votes_;
+  std::map<Key, VoterSet> votes_;
 };
 
 }  // namespace bftlab

@@ -556,10 +556,8 @@ void Replica::HandleCheckpoint(NodeId from, const CheckpointMessage& msg) {
       // We are in the dark: a quorum certifies state we have not executed.
       // Fetch the snapshot from one of the certifiers.
       state_transfer_target_ = msg.seq();
-      std::set<NodeId> voters = checkpoint_votes_.Voters(key);
-      NodeId source = *voters.begin() == id() && voters.size() > 1
-                          ? *std::next(voters.begin())
-                          : *voters.begin();
+      // O(1) pick of a certifier to fetch from — no voter-set copy.
+      NodeId source = checkpoint_votes_.Voters(key).FirstOther(id());
       metrics().Increment("replica.state_transfers_started");
       Send(source,
            std::make_shared<StateRequestMessage>(msg.seq(), config_.id));
@@ -656,6 +654,12 @@ uint64_t Replica::StateFingerprint() const {
   }
   h = FnvMix(h, ProtocolStateFingerprint());
   return h;
+}
+
+size_t Replica::VoteStateSize() const {
+  // finalized_digests_ is deliberately excluded: it is the agreement
+  // oracle's full commit history, not protocol vote state.
+  return checkpoint_votes_.size() + pending_executions_.size();
 }
 
 }  // namespace bftlab

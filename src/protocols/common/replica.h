@@ -173,6 +173,13 @@ class Replica : public Actor {
   /// subclass chose not to fold in (see DESIGN.md §11 soundness caveats).
   uint64_t StateFingerprint() const;
 
+  /// Number of retained vote/bookkeeping entries (tracker keys, per-slot
+  /// instances, block bodies). The leak regression tests assert this
+  /// stays bounded across long runs: every protocol must garbage-collect
+  /// per the QuorumTracker GC contract (DESIGN.md §14). Subclasses add
+  /// their own trackers to the base count.
+  virtual size_t VoteStateSize() const;
+
   // --- Actor ---------------------------------------------------------------
 
   void OnMessage(NodeId from, const MessagePtr& msg) final;

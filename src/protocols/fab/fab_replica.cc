@@ -36,7 +36,7 @@ void FabReplica::ProposeAvailable() {
     inst.digest = batch.ComputeDigest();
     inst.has_proposal = true;
     inst.accept_sent = true;
-    inst.accepts[inst.digest].insert(config().id);
+    inst.accepts[inst.digest].Add(config().id);
     TraceMark("propose", view_, seq);
     TraceSpanBegin("accept", view_, seq);
 
@@ -88,7 +88,7 @@ void FabReplica::HandlePropose(NodeId from, const FabProposeMessage& msg) {
   }
 
   // The proposal doubles as the leader's accept.
-  inst.accepts[msg.digest()].insert(from);
+  inst.accepts[msg.digest()].Add(from);
 
   if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
   // Phase 2 of 2: all-to-all accept (quadratic, E2 clique).
@@ -97,7 +97,7 @@ void FabReplica::HandlePropose(NodeId from, const FabProposeMessage& msg) {
                                                    msg.digest(), config().id);
   ChargeAuthSend(n() - 1, accept->WireSize());
   Multicast(OtherReplicas(), std::move(accept));
-  inst.accepts[msg.digest()].insert(config().id);
+  inst.accepts[msg.digest()].Add(config().id);
   CheckCommitted(msg.seq());
 }
 
@@ -105,7 +105,7 @@ void FabReplica::HandleAccept(NodeId /*from*/, const FabAcceptMessage& msg) {
   if (msg.view() != view_) return;
   ChargeAuthVerify(msg.WireSize());
   Instance& inst = instances_[msg.seq()];
-  inst.accepts[msg.digest()].insert(msg.replica());
+  inst.accepts[msg.digest()].Add(msg.replica());
   CheckCommitted(msg.seq());
 }
 
@@ -145,6 +145,16 @@ void FabReplica::OnTimer(uint64_t tag) {
           SetTimer(config().view_change_timeout_us, kRetransmitTimer);
     }
   }
+}
+
+void FabReplica::OnCheckpointStable(SequenceNumber seq) {
+  // GC contract (DESIGN.md §14): drop accept state the stable checkpoint
+  // covers; peers below it recover via state transfer.
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+}
+
+size_t FabReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + instances_.size();
 }
 
 std::unique_ptr<Replica> MakeFabReplica(const ReplicaConfig& config) {

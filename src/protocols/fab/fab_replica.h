@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 
 namespace bftlab {
@@ -108,10 +109,12 @@ class FabReplica : public Replica {
   uint32_t FastQuorum() const { return 4 * f() + 1; }
 
   void OnTimer(uint64_t tag) override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
   /// Leader retransmission sweep for uncommitted proposals (lossy links).
@@ -124,7 +127,7 @@ class FabReplica : public Replica {
     bool has_proposal = false;
     bool accept_sent = false;
     bool committed = false;
-    std::map<Digest, std::set<ReplicaId>> accepts;
+    std::map<Digest, VoterSet> accepts;
   };
 
   void ProposeAvailable();

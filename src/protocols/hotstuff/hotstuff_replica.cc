@@ -204,7 +204,7 @@ void HotStuffReplica::HandleVote(NodeId /*from*/, const HsVoteMessage& msg) {
 
   auto key = std::make_pair(msg.view(), msg.block());
   auto& voters = votes_[key];
-  voters.insert(msg.replica());
+  voters.Add(msg.replica());
   if (voters.size() != Quorum2f1()) return;
 
   // Combine shares into a constant-size QC.
@@ -227,7 +227,7 @@ void HotStuffReplica::HandleNewView(NodeId /*from*/,
                                     const HsNewViewMessage& msg) {
   ChargeAuthVerify(msg.WireSize());
   ProcessQC(msg.high_qc());
-  new_views_[msg.view()].insert(msg.replica());
+  new_views_[msg.view()].Add(msg.replica());
   if (LeaderOf(msg.view()) == config().id) {
     if (msg.view() > view_ &&
         new_views_[msg.view()].size() >= Quorum2f1()) {
@@ -246,13 +246,13 @@ void HotStuffReplica::MaybeJoinAdvancedView() {
   // views above ours, join the smallest such view and re-announce it;
   // announcements cascade until the cluster re-aligns and a leader can
   // assemble its quorum.
-  std::set<ReplicaId> ahead;
+  VoterSet ahead;
   ViewNumber target = 0;
   for (const auto& [v, senders] : new_views_) {
     if (v <= view_) continue;
     if (target == 0) target = v;
     for (ReplicaId r : senders) {
-      if (r != config().id) ahead.insert(r);
+      if (r != config().id) ahead.Add(r);
     }
   }
   if (target == 0 || ahead.size() < QuorumF1()) return;
@@ -264,7 +264,7 @@ void HotStuffReplica::MaybeJoinAdvancedView() {
   auto nv = std::make_shared<HsNewViewMessage>(target, high_qc_,
                                                config().id);
   ChargeAuthSend(n() - 1, nv->WireSize());
-  new_views_[target].insert(config().id);
+  new_views_[target].Add(config().id);
   Multicast(OtherReplicas(), std::move(nv));
   EnterView(target);
 }
@@ -356,6 +356,35 @@ void HotStuffReplica::CommitChain(const Digest& block_hash) {
   }
   // Progress: reset the pacemaker back-off.
   pacemaker_timeout_us_ = config().view_change_timeout_us;
+  PruneOldBlocks();
+}
+
+void HotStuffReplica::PruneOldBlocks() {
+  // Bodies of long-committed blocks are only needed to serve block sync
+  // for lagging peers; keep a window of views below the commit frontier
+  // and drop the rest, or a long run retains every batch ever agreed.
+  // Committed blocks form a single chain and the newest committed
+  // ancestor of any future commit target is the current frontier, so a
+  // CommitChain walk never descends below the retained window. The sweep
+  // only fires once the map holds two windows' worth, so its O(size)
+  // scan amortizes to O(1) per commit.
+  if (blocks_.size() < 2 * kBlockRetentionViews) return;
+  if (last_committed_view_ <= kBlockRetentionViews) return;
+  ViewNumber horizon = last_committed_view_ - kBlockRetentionViews;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second.view < horizon) {
+      committed_blocks_.erase(it->first);
+      block_seen_at_.erase(it->first);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t HotStuffReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + votes_.size() + new_views_.size() +
+         blocks_.size() + committed_blocks_.size() + block_seen_at_.size();
 }
 
 void HotStuffReplica::OnTimer(uint64_t tag) {
@@ -372,7 +401,7 @@ void HotStuffReplica::OnTimer(uint64_t tag) {
       // announcement as evidence for the f+1 view-join rule, which is
       // what re-synchronizes pacemakers that drifted apart.
       ChargeAuthSend(n() - 1, nv->WireSize());
-      new_views_[next].insert(config().id);
+      new_views_[next].Add(config().id);
       Multicast(OtherReplicas(), std::move(nv));
       // Back-off until progress resumes, capped so a pre-GST fault storm
       // cannot defer the next attempt past the recovery window.

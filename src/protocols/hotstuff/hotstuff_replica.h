@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 #include "protocols/hotstuff/hotstuff_messages.h"
 
@@ -44,6 +45,7 @@ class HotStuffReplica : public Replica {
   void Start() override;
   void OnTimer(uint64_t tag) override;
   void OnRestart() override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
@@ -75,7 +77,13 @@ class HotStuffReplica : public Replica {
   void ProcessQC(const QuorumCert& qc);
   /// Commits `block` and all uncommitted ancestors, oldest first.
   void CommitChain(const Digest& block_hash);
+  /// Drops block bodies (and their committed/trace bookkeeping) more than
+  /// kBlockRetentionViews views below the commit frontier.
+  void PruneOldBlocks();
   void RestartPacemaker();
+
+  /// Views of committed-block history retained to serve block sync.
+  static constexpr ViewNumber kBlockRetentionViews = 1024;
 
   const HsBlock* GetBlock(const Digest& hash) const;
 
@@ -96,10 +104,10 @@ class HotStuffReplica : public Replica {
   std::map<Digest, SimTime> block_seen_at_;
 
   bool proposed_in_view_ = false;
-  // Vote collection at the NEXT leader: (view, block) -> voters.
-  std::map<std::pair<ViewNumber, Digest>, std::set<ReplicaId>> votes_;
+  // Vote collection at the NEXT leader: (view, block) -> aggregated cert.
+  std::map<std::pair<ViewNumber, Digest>, VoterSet> votes_;
   // Pacemaker: per-view new-view senders + the highest QC they reported.
-  std::map<ViewNumber, std::set<ReplicaId>> new_views_;
+  std::map<ViewNumber, VoterSet> new_views_;
 
   SimTime pacemaker_timeout_us_ = 0;
   EventId pacemaker_timer_ = kInvalidEvent;

@@ -20,11 +20,17 @@ KauriTree KauriTree::Initial(uint32_t n, ReplicaId root, uint32_t branching) {
   return KauriTree(std::move(order), branching);
 }
 
-int KauriTree::PositionOf(ReplicaId id) const {
+void KauriTree::IndexPositions() {
+  position_.clear();
   for (size_t i = 0; i < order_.size(); ++i) {
-    if (order_[i] == id) return static_cast<int>(i);
+    ReplicaId id = order_[i];
+    if (id >= position_.size()) position_.resize(id + 1, -1);
+    position_[id] = static_cast<int>(i);
   }
-  return -1;
+}
+
+int KauriTree::PositionOf(ReplicaId id) const {
+  return id < position_.size() ? position_[id] : -1;
 }
 
 ReplicaId KauriTree::ParentOf(ReplicaId id) const {
@@ -99,7 +105,7 @@ void KauriReplica::ProposeAvailable() {
     inst.batch = batch;
     inst.digest = batch.ComputeDigest();
     inst.has_proposal = true;
-    inst.votes.insert(config().id);
+    inst.votes.Add(config().id);
     TraceMark("propose", epoch_, seq);
     TraceSpanBegin("aggregate", epoch_, seq);
 
@@ -162,7 +168,7 @@ void KauriReplica::HandleProposal(NodeId from,
   inst.has_proposal = true;
   inst.batch = msg.batch();
   inst.digest = msg.digest();
-  inst.votes.insert(config().id);
+  inst.votes.Add(config().id);
   TraceSpanBegin("aggregate", epoch_, msg.seq());
   for (const ClientRequest& r : msg.batch().requests) {
     RemoveFromPool(r.ComputeDigest());
@@ -196,8 +202,8 @@ void KauriReplica::HandleAggregate(NodeId from,
 
   Instance& inst = instances_[msg.seq()];
   if (!inst.has_proposal || msg.digest() != inst.digest) return;
-  inst.children_reported.insert(static_cast<ReplicaId>(from));
-  inst.votes.insert(msg.voters().begin(), msg.voters().end());
+  inst.children_reported.Add(static_cast<ReplicaId>(from));
+  inst.votes.Merge(msg.voters());
 
   if (config().id == leader()) {
     if (inst.votes.size() >= Quorum2f1()) CommitAndPropagate(msg.seq());
@@ -236,13 +242,16 @@ void KauriReplica::CommitAndPropagate(SequenceNumber seq) {
   CancelTimer(&inst.agg_timer);
   metrics().Increment("kauri.committed");
   TraceSpanEnd("aggregate", epoch_, seq);
+  // Executing the batch can stabilize a checkpoint synchronously, and
+  // OnCheckpointStable erases instances_ — capture the digest before
+  // Deliver invalidates `inst`.
+  const Digest digest = inst.digest;
   Deliver(seq, inst.batch);
 
   // Commit wave down the tree.
   std::vector<ReplicaId> children = tree_.ChildrenOf(config().id);
   if (children.empty()) return;
-  auto commit = std::make_shared<KauriCommitMessage>(epoch_, seq,
-                                                     inst.digest);
+  auto commit = std::make_shared<KauriCommitMessage>(epoch_, seq, digest);
   ChargeAuthSend(children.size(), commit->WireSize());
   Multicast(std::vector<NodeId>(children.begin(), children.end()),
             std::move(commit));
@@ -282,7 +291,7 @@ void KauriReplica::HandleReconfig(NodeId from,
     for (auto& [seq, inst] : instances_) {
       if (inst.committed || !inst.has_proposal) continue;
       inst.votes.clear();
-      inst.votes.insert(config().id);
+      inst.votes.Add(config().id);
       inst.timeout_count = 0;
       inst.children_reported.clear();
       auto proposal =
@@ -378,7 +387,7 @@ void KauriReplica::OnTimer(uint64_t tag) {
     // (assumption a3 violated); demote the first silent child.
     ReplicaId failed = kInvalidReplica;
     for (ReplicaId child : tree_.ChildrenOf(config().id)) {
-      if (inst.children_reported.count(child) == 0) {
+      if (!inst.children_reported.Contains(child)) {
         failed = child;
         break;
       }
@@ -395,6 +404,20 @@ void KauriReplica::OnTimer(uint64_t tag) {
     Multicast(OtherReplicas(), msg);
     HandleReconfig(config().id, *msg);
   }
+}
+
+void KauriReplica::OnCheckpointStable(SequenceNumber seq) {
+  // GC contract (DESIGN.md §14): drop aggregation state the stable
+  // checkpoint covers; peers below it recover via state transfer.
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first <= seq;) {
+    CancelTimer(&it->second.agg_timer);
+    it = instances_.erase(it);
+  }
+}
+
+size_t KauriReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + instances_.size();
 }
 
 std::unique_ptr<Replica> MakeKauriReplica(const ReplicaConfig& config) {

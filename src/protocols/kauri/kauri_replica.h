@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 
 namespace bftlab {
@@ -34,7 +35,9 @@ class KauriTree {
  public:
   KauriTree() = default;
   KauriTree(std::vector<ReplicaId> bfs_order, uint32_t branching)
-      : order_(std::move(bfs_order)), branching_(branching) {}
+      : order_(std::move(bfs_order)), branching_(branching) {
+    IndexPositions();
+  }
 
   static KauriTree Initial(uint32_t n, ReplicaId root, uint32_t branching);
 
@@ -52,8 +55,12 @@ class KauriTree {
 
  private:
   int PositionOf(ReplicaId id) const;
+  void IndexPositions();
 
   std::vector<ReplicaId> order_;
+  /// position_[id] = index of `id` in order_, so ParentOf/ChildrenOf are
+  /// O(branching) instead of a linear scan per tree hop.
+  std::vector<int> position_;
   uint32_t branching_ = 2;
 };
 
@@ -97,14 +104,14 @@ class KauriProposalMessage : public Message {
 class KauriAggregateMessage : public Message {
  public:
   KauriAggregateMessage(uint64_t epoch, SequenceNumber seq, Digest digest,
-                        std::set<ReplicaId> voters)
+                        VoterSet voters)
       : epoch_(epoch), seq_(seq), digest_(digest),
         voters_(std::move(voters)) {}
 
   uint64_t epoch() const { return epoch_; }
   SequenceNumber seq() const { return seq_; }
   const Digest& digest() const { return digest_; }
-  const std::set<ReplicaId>& voters() const { return voters_; }
+  const VoterSet& voters() const { return voters_; }
 
   uint32_t type() const override { return kKauriAggregate; }
   void EncodeTo(Encoder* enc) const override {
@@ -127,7 +134,7 @@ class KauriAggregateMessage : public Message {
   uint64_t epoch_;
   SequenceNumber seq_;
   Digest digest_;
-  std::set<ReplicaId> voters_;
+  VoterSet voters_;
 };
 
 /// Commit certificate flowing down the tree.
@@ -206,11 +213,13 @@ class KauriReplica : public Replica {
   uint64_t reconfigurations() const { return reconfigs_; }
 
   void OnTimer(uint64_t tag) override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
   void OnDuplicateRequest(const ClientRequest& request) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
   static constexpr uint64_t kAggTimerBase = kProtocolTimerBase + 1000;
@@ -223,8 +232,8 @@ class KauriReplica : public Replica {
     bool committed = false;
     uint32_t timeout_count = 0;  // Root: consecutive aggregation timeouts.
     size_t flushed_votes = 0;  // Votes already forwarded up.
-    std::set<ReplicaId> votes;  // Own + aggregated from children subtrees.
-    std::set<ReplicaId> children_reported;
+    VoterSet votes;  // Own + aggregated from children subtrees.
+    VoterSet children_reported;
     EventId agg_timer = kInvalidEvent;
   };
 

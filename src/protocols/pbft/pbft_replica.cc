@@ -252,7 +252,7 @@ void PbftReplica::HandlePrePrepare(NodeId from, const PrePrepareMessage& msg) {
         view_, msg.seq(), inst.digest, config().id, AuthBytes());
     ChargeAuthSend(n() - 1, prepare->WireSize());
     Multicast(OtherReplicas(), std::move(prepare));
-    inst.prepare_votes[inst.digest].insert(config().id);
+    inst.prepare_votes[inst.digest].Add(config().id);
   }
   CheckPrepared(msg.seq());
 }
@@ -263,7 +263,7 @@ void PbftReplica::HandlePrepare(NodeId /*from*/, const PrepareMessage& msg) {
   ChargeAuthVerify(msg.WireSize());
 
   Instance& inst = instance(msg.seq());
-  inst.prepare_votes[msg.digest()].insert(msg.replica());
+  inst.prepare_votes[msg.digest()].Add(msg.replica());
   CheckPrepared(msg.seq());
 }
 
@@ -284,7 +284,7 @@ void PbftReplica::CheckPrepared(SequenceNumber seq) {
                                                   config().id, AuthBytes());
     ChargeAuthSend(n() - 1, commit->WireSize());
     Multicast(OtherReplicas(), std::move(commit));
-    inst.commit_votes[inst.digest].insert(config().id);
+    inst.commit_votes[inst.digest].Add(config().id);
   }
   CheckCommitted(seq);
 }
@@ -295,7 +295,7 @@ void PbftReplica::HandleCommit(NodeId /*from*/, const CommitMessage& msg) {
   ChargeAuthVerify(msg.WireSize());
 
   Instance& inst = instance(msg.seq());
-  inst.commit_votes[msg.digest()].insert(msg.replica());
+  inst.commit_votes[msg.digest()].Add(msg.replica());
   CheckCommitted(msg.seq());
 }
 
@@ -455,13 +455,13 @@ std::shared_ptr<ViewChangeMessage> PbftReplica::BuildViewChange(
 
 void PbftReplica::NoteViewEvidence(ReplicaId sender, ViewNumber w) {
   if (w <= view_ || sender == config().id) return;
-  view_evidence_[w].insert(sender);
-  std::set<ReplicaId> distinct;
+  view_evidence_[w].Add(sender);
+  VoterSet distinct;
   ViewNumber smallest = 0;
   for (const auto& [v, senders] : view_evidence_) {
     if (v <= view_) continue;
     if (smallest == 0) smallest = v;
-    distinct.insert(senders.begin(), senders.end());
+    distinct.Merge(senders);
   }
   if (smallest == 0 || distinct.size() < QuorumF1()) return;
   if (!view_changing_ || smallest > target_view_) {
@@ -624,7 +624,7 @@ void PbftReplica::EnterNewView(
           new_view, p.seq, p.digest, config().id, AuthBytes());
       ChargeAuthSend(n() - 1, prepare->WireSize());
       Multicast(OtherReplicas(), std::move(prepare));
-      inst.prepare_votes[p.digest].insert(config().id);
+      inst.prepare_votes[p.digest].Add(config().id);
       CheckPrepared(p.seq);
     }
   }
@@ -700,6 +700,11 @@ uint64_t PbftReplica::ProtocolStateFingerprint() const {
     for (ReplicaId r : senders) h = FnvMix(h, r);
   }
   return h;
+}
+
+size_t PbftReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + instances_.size() + committed_log_.size() +
+         view_changes_.size() + view_evidence_.size();
 }
 
 std::unique_ptr<Replica> MakePbftReplica(const ReplicaConfig& config) {

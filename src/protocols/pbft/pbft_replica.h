@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 #include "protocols/pbft/pbft_messages.h"
 
@@ -51,6 +52,11 @@ class PbftReplica : public Replica {
   void OnStateTransferComplete(SequenceNumber seq) override;
   uint64_t ProtocolStateFingerprint() const override;
 
+ public:
+  size_t VoteStateSize() const override;
+
+ protected:
+
   // Timer tags.
   static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 0;
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 1;
@@ -83,8 +89,8 @@ class PbftReplica : public Replica {
     bool has_pre_prepare = false;
     Batch batch;
     Digest digest;
-    std::map<Digest, std::set<ReplicaId>> prepare_votes;
-    std::map<Digest, std::set<ReplicaId>> commit_votes;
+    std::map<Digest, VoterSet> prepare_votes;
+    std::map<Digest, VoterSet> commit_votes;
     bool prepared = false;
     bool committed = false;
     bool prepare_sent = false;
@@ -162,7 +168,7 @@ class PbftReplica : public Replica {
 
   EventId progress_timer_ = kInvalidEvent;
   /// Replicas seen sending agreement messages in each view above ours.
-  std::map<ViewNumber, std::set<ReplicaId>> view_evidence_;
+  std::map<ViewNumber, VoterSet> view_evidence_;
   /// Highest view we already re-announced via the evidence rule.
   ViewNumber asked_view_ = 0;
   /// The NEW-VIEW this replica assembled as leader of view_; replayed to

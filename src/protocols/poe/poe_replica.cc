@@ -41,7 +41,7 @@ void PoeReplica::ProposeAvailable() {
     inst.batch = batch;
     inst.digest = batch.ComputeDigest();
     inst.has_proposal = true;
-    inst.supports.insert(config().id);
+    inst.supports.Add(config().id);
     TraceMark("propose", view_, seq);
     TraceSpanBegin("certify", view_, seq);
 
@@ -105,7 +105,7 @@ void PoeReplica::HandleSupport(NodeId /*from*/, const PoeSupportMessage& msg) {
       inst.certify_sent) {
     return;
   }
-  inst.supports.insert(msg.replica());
+  inst.supports.Add(msg.replica());
   if (inst.supports.size() < Quorum2f1()) return;
 
   inst.certify_sent = true;

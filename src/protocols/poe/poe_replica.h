@@ -282,7 +282,7 @@ class PoeReplica : public Replica {
     Digest digest;
     bool has_proposal = false;
     bool certified = false;
-    std::set<ReplicaId> supports;
+    VoterSet supports;
     bool certify_sent = false;
   };
 

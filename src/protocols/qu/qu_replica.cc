@@ -125,7 +125,7 @@ void QuClient::HandleReply(const ReplyMessage& reply) {
   // commutative operations replicas apply interleavings in different
   // orders, so concrete ADD results legitimately differ (real Q/U
   // compares object version histories instead).
-  ok_replicas_.insert(reply.replica());
+  ok_replicas_.Add(reply.replica());
   if (ok_replicas_.size() >= config().reply_quorum) {
     accepted_result_ = reply.result();
     AcceptCurrent();

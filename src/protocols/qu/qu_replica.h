@@ -19,6 +19,7 @@
 #include <string>
 
 #include "protocols/common/cluster.h"
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 #include "smr/client.h"
 #include "smr/kv_txn.h"
@@ -87,7 +88,7 @@ class QuClient : public Client {
   uint64_t backoffs_ = 0;
   uint32_t conflict_replies_ = 0;
   bool backing_off_ = false;
-  std::set<ReplicaId> ok_replicas_;
+  VoterSet ok_replicas_;
 };
 
 std::unique_ptr<Replica> MakeQuReplica(const ReplicaConfig& config);

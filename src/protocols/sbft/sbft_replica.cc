@@ -45,7 +45,7 @@ void SbftReplica::ProposeAvailable() {
     inst.digest = batch.ComputeDigest();
     inst.has_pre_prepare = true;
     // The leader's own share.
-    inst.prepare_shares.insert(config().id);
+    inst.prepare_shares.Add(config().id);
     TraceMark("propose", view_, seq);
     TraceSpanBegin("agree", view_, seq);
 
@@ -119,7 +119,7 @@ void SbftReplica::HandleShare(NodeId /*from*/, const SbftShareMessage& msg) {
 
   if (msg.type() == kSbftPrepareShare) {
     if (inst.prepare_proof_sent) return;
-    inst.prepare_shares.insert(msg.replica());
+    inst.prepare_shares.Add(msg.replica());
     if (options_.disable_fast_path) {
       if (inst.prepare_shares.size() >= Quorum2f1()) {
         SendPrepareProof(msg.seq(), /*full=*/false);
@@ -134,7 +134,7 @@ void SbftReplica::HandleShare(NodeId /*from*/, const SbftShareMessage& msg) {
 
   // Commit shares (slow path only).
   if (inst.commit_proof_sent) return;
-  inst.commit_shares.insert(msg.replica());
+  inst.commit_shares.Add(msg.replica());
   if (inst.commit_shares.size() >= Quorum2f1()) {
     inst.commit_proof_sent = true;
     crypto().Charge(crypto().cost_model().threshold_combine_per_share_us *
@@ -186,7 +186,7 @@ void SbftReplica::SendPrepareProof(SequenceNumber seq, bool full) {
     Commit(seq, inst.batch, /*fast=*/true);
   } else {
     // Collector's own commit share.
-    inst.commit_shares.insert(config().id);
+    inst.commit_shares.Add(config().id);
   }
 }
 
@@ -312,6 +312,22 @@ void SbftReplica::OnTimer(uint64_t tag) {
           SetTimer(options_.fast_path_timeout_us, kFastPathTimerBase + seq);
     }
   }
+}
+
+void SbftReplica::OnCheckpointStable(SequenceNumber seq) {
+  // GC contract (DESIGN.md §14): slots covered by the stable checkpoint
+  // can no longer be acted on locally, and lagging peers below it recover
+  // via state transfer, not the catch-up replay path. Cancel in-flight
+  // τ3 timers before dropping their instances.
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first <= seq;) {
+    CancelTimer(&it->second.fast_timer);
+    it = instances_.erase(it);
+  }
+}
+
+size_t SbftReplica::VoteStateSize() const {
+  return Replica::VoteStateSize() + instances_.size();
 }
 
 std::unique_ptr<Replica> MakeSbftReplica(const ReplicaConfig& config) {

@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "protocols/common/quorum.h"
 #include "protocols/common/replica.h"
 
 namespace bftlab {
@@ -210,10 +211,12 @@ class SbftReplica : public Replica {
 
   void OnTimer(uint64_t tag) override;
   void OnRestart() override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
   void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
 
   static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 0;
   /// Backup liveness: while it holds unserved requests, periodically ask
@@ -227,8 +230,8 @@ class SbftReplica : public Replica {
     Batch batch;
     Digest digest;
     bool has_pre_prepare = false;
-    std::set<ReplicaId> prepare_shares;
-    std::set<ReplicaId> commit_shares;
+    VoterSet prepare_shares;
+    VoterSet commit_shares;
     bool prepare_proof_sent = false;
     bool commit_proof_sent = false;
     bool committed = false;

@@ -224,9 +224,9 @@ void TendermintReplica::HandleVote(NodeId from, const TmVoteMessage& msg) {
   // Round synchronization: f+1 distinct replicas voting in a round above
   // ours means at least one correct replica is there — join it.
   if (from != config().id && msg.round() > round_) {
-    auto& voters = future_round_voters_[msg.round()];
-    voters.insert(msg.replica());
-    if (voters.size() >= QuorumF1()) JumpToRound(msg.round());
+    VoterSet& voters = future_round_voters_[msg.round()];
+    voters.Add(msg.replica());
+    if (voters.Count() >= QuorumF1()) JumpToRound(msg.round());
   }
 
   auto key = std::make_tuple(msg.height(), msg.round(), msg.digest());
@@ -246,8 +246,7 @@ void TendermintReplica::HandleVote(NodeId from, const TmVoteMessage& msg) {
   } else {
     size_t count = precommits_.Add(key, msg.replica());
     if (!msg.IsNil() && count >= Quorum2f1()) {
-      was_in_last_quorum_ =
-          precommits_.Voters(key).count(config().id) > 0;
+      was_in_last_quorum_ = precommits_.Contains(key, config().id);
       CommitDecision(msg.digest());
     }
   }
@@ -359,6 +358,14 @@ void TendermintReplica::OnTimer(uint64_t tag) {
     default:
       break;
   }
+}
+
+size_t TendermintReplica::VoteStateSize() const {
+  // EnterHeight clears every per-height tracker, satisfying the GC
+  // contract (DESIGN.md §14); decided_log_ is capped at 64 entries.
+  return Replica::VoteStateSize() + prevotes_.size() + precommits_.size() +
+         future_round_voters_.size() + height_blocks_.size() +
+         decided_log_.size() + pending_decisions_.size();
 }
 
 std::unique_ptr<Replica> MakeTendermintReplica(const ReplicaConfig& config) {

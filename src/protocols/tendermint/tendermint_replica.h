@@ -14,7 +14,6 @@
 
 #include <map>
 #include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 
@@ -167,6 +166,7 @@ class TendermintReplica : public Replica {
   void Start() override;
   void OnTimer(uint64_t tag) override;
   void OnRestart() override;
+  size_t VoteStateSize() const override;
 
  protected:
   void OnClientRequest(NodeId from, const ClientRequest& request) override;
@@ -219,7 +219,7 @@ class TendermintReplica : public Replica {
   std::map<uint32_t, Digest> round_proposal_;  // This height's proposals.
   /// Distinct replicas seen voting in each round above ours (this
   /// height); f+1 in one round proves the cluster left ours behind.
-  std::map<uint32_t, std::set<ReplicaId>> future_round_voters_;
+  std::map<uint32_t, VoterSet> future_round_voters_;
   std::map<SequenceNumber, Batch> decided_log_;  // For catch-up service.
   /// Decisions that arrived for heights we have not reached yet (catch-up
   /// replies can outrun in-order application).

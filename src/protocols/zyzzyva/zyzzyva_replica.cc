@@ -203,7 +203,7 @@ void ZyzzyvaClient::HandleReply(const ReplyMessage& reply) {
   }
   if (reply.speculative()) {
     auto& [voters, max_seq] = spec_[reply.result()];
-    voters.insert(reply.replica());
+    voters.Add(reply.replica());
     max_seq = std::max(max_seq, reply.seq());
     if (voters.size() >= fast_quorum_) {
       ++fast_commits_;
@@ -215,7 +215,7 @@ void ZyzzyvaClient::HandleReply(const ReplyMessage& reply) {
   }
   // Committed reply (after a commit certificate).
   auto& voters = committed_[reply.result()];
-  voters.insert(reply.replica());
+  voters.Add(reply.replica());
   if (voters.size() >= 2 * f_ + 1) {
     ++repair_commits_;
     metrics().Increment("zyzzyva.repair_path");

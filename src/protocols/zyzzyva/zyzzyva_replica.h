@@ -240,9 +240,9 @@ class ZyzzyvaClient : public Client {
   uint64_t repair_commits_ = 0;
   // Speculative replies for the in-flight request:
   // result -> (replicas, max seq reported).
-  std::map<Buffer, std::pair<std::set<ReplicaId>, SequenceNumber>> spec_;
+  std::map<Buffer, std::pair<VoterSet, SequenceNumber>> spec_;
   // Committed (post-certificate) replies.
-  std::map<Buffer, std::set<ReplicaId>> committed_;
+  std::map<Buffer, VoterSet> committed_;
 };
 
 std::unique_ptr<Replica> MakeZyzzyvaReplica(const ReplicaConfig& config);

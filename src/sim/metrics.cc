@@ -8,60 +8,83 @@ namespace bftlab {
 
 namespace {
 
-/// Linear-interpolated percentile over an already-sorted vector.
-double SortedPercentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
-}
+constexpr double kBucketGrowth = 1.02;
+const double kInvLogGrowth = 1.0 / std::log(kBucketGrowth);
 
 }  // namespace
 
-void Histogram::EnsureSorted() const {
-  if (sorted_dirty_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_dirty_ = false;
-  }
+size_t Histogram::BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;  // Also absorbs NaN and negatives.
+  return 1 + static_cast<size_t>(std::log(v) * kInvLogGrowth);
 }
 
-double Histogram::Mean() const { return RangeMean(0, samples_.size()); }
+double Histogram::BucketValue(size_t idx) {
+  if (idx == 0) return 1.0;
+  // Geometric midpoint of the bucket [g^(idx-1), g^idx].
+  return std::pow(kBucketGrowth, static_cast<double>(idx) - 0.5);
+}
+
+void Histogram::Add(double v) {
+  size_t idx = BucketIndex(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx]++;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
 
 double Histogram::Percentile(double p) const {
-  EnsureSorted();
-  return SortedPercentile(sorted_, p);
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  uint64_t target = static_cast<uint64_t>(rank);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum > target) {
+      return std::min(std::max(BucketValue(i), min_), max_);
+    }
+  }
+  return max_;
 }
 
-double Histogram::Min() const {
-  if (samples_.empty()) return 0;
-  EnsureSorted();
-  return sorted_.front();
+double Histogram::Min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Max() const { return count_ == 0 ? 0 : max_; }
+
+double Histogram::MeanSince(const Marker& m) const {
+  uint64_t n = count_ - m.count;
+  if (n == 0) return 0;
+  return (sum_ - m.sum) / static_cast<double>(n);
 }
 
-double Histogram::Max() const {
-  if (samples_.empty()) return 0;
-  EnsureSorted();
-  return sorted_.back();
-}
-
-double Histogram::RangeMean(size_t begin, size_t end) const {
-  end = std::min(end, samples_.size());
-  if (begin >= end) return 0;
-  double sum = 0;
-  for (size_t i = begin; i < end; ++i) sum += samples_[i];
-  return sum / static_cast<double>(end - begin);
-}
-
-double Histogram::RangePercentile(size_t begin, size_t end, double p) const {
-  end = std::min(end, samples_.size());
-  if (begin >= end) return 0;
-  std::vector<double> window(samples_.begin() + static_cast<std::ptrdiff_t>(begin),
-                             samples_.begin() + static_cast<std::ptrdiff_t>(end));
-  std::sort(window.begin(), window.end());
-  return SortedPercentile(window, p);
+double Histogram::PercentileSince(const Marker& m, double p) const {
+  uint64_t total = count_ - m.count;
+  if (total == 0) return 0;
+  double clamped_p = std::min(std::max(p, 0.0), 100.0);
+  double rank = clamped_p / 100.0 * static_cast<double>(total - 1);
+  uint64_t target = static_cast<uint64_t>(rank);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t prev = i < m.buckets.size() ? m.buckets[i] : 0;
+    cum += buckets_[i] - prev;
+    if (cum > target) {
+      // Window extremes are not tracked; clamp to the global envelope.
+      return std::min(std::max(BucketValue(i), min_), max_);
+    }
+  }
+  return max_;
 }
 
 void MetricsCollector::RecordCommit(SequenceNumber /*seq*/,
@@ -86,13 +109,12 @@ WindowStats MetricsWindowCursor::Advance(SimTime now) {
   w.window_end_us = now;
   last_advance_ = now;
 
-  const size_t total = metrics_->commit_latency_us().count();
-  w.commits = total - commit_mark_;
   const Histogram& lat = metrics_->commit_latency_us();
-  w.latency_mean_us = lat.RangeMean(commit_mark_, total);
-  w.latency_p50_us = lat.RangePercentile(commit_mark_, total, 50);
-  w.latency_p99_us = lat.RangePercentile(commit_mark_, total, 99);
-  commit_mark_ = total;
+  w.commits = lat.count() - latency_mark_.count;
+  w.latency_mean_us = lat.MeanSince(latency_mark_);
+  w.latency_p50_us = lat.PercentileSince(latency_mark_, 50);
+  w.latency_p99_us = lat.PercentileSince(latency_mark_, 99);
+  latency_mark_ = lat.Mark();
 
   for (const auto& [name, value] : metrics_->counters()) {
     uint64_t& mark = counter_marks_[name];
@@ -138,29 +160,37 @@ double MetricsCollector::OrderInversionFraction(SimTime margin_us) const {
 
 uint64_t MetricsCollector::TotalMsgsSent() const {
   uint64_t total = 0;
-  for (const auto& [id, stats] : node_stats_) total += stats.msgs_sent;
+  for (const NodeStats& stats : replica_stats_) total += stats.msgs_sent;
+  for (const NodeStats& stats : client_stats_) total += stats.msgs_sent;
   return total;
 }
 
 uint64_t MetricsCollector::TotalBytesSent() const {
   uint64_t total = 0;
-  for (const auto& [id, stats] : node_stats_) total += stats.bytes_sent;
+  for (const NodeStats& stats : replica_stats_) total += stats.bytes_sent;
+  for (const NodeStats& stats : client_stats_) total += stats.bytes_sent;
   return total;
 }
 
 uint64_t MetricsCollector::MaxNodeMsgLoad() const {
   uint64_t max_load = 0;
-  for (const auto& [id, stats] : node_stats_) {
+  for (const NodeStats& stats : replica_stats_) {
+    max_load = std::max(max_load, stats.msgs_sent + stats.msgs_received);
+  }
+  for (const NodeStats& stats : client_stats_) {
     max_load = std::max(max_load, stats.msgs_sent + stats.msgs_received);
   }
   return max_load;
 }
 
 double MetricsCollector::MsgLoadImbalance() const {
-  if (node_stats_.empty()) return 0;
+  if (replica_stats_.empty() && client_stats_.empty()) return 0;
   std::vector<double> loads;
-  loads.reserve(node_stats_.size());
-  for (const auto& [id, stats] : node_stats_) {
+  loads.reserve(replica_stats_.size() + client_stats_.size());
+  for (const NodeStats& stats : replica_stats_) {
+    loads.push_back(static_cast<double>(stats.msgs_sent + stats.msgs_received));
+  }
+  for (const NodeStats& stats : client_stats_) {
     loads.push_back(static_cast<double>(stats.msgs_sent + stats.msgs_received));
   }
   double mean = 0;

@@ -19,19 +19,24 @@ Network::Network(Simulator* sim, MetricsCollector* metrics,
       cost_model_(cost_model) {}
 
 void Network::RegisterActor(Actor* actor) {
-  Runtime& rt = runtimes_[actor->id()];
-  rt.actor = actor;
+  NodeId id = actor->id();
+  std::vector<Runtime>& slab = IsClientNode(id) ? client_rt_ : replica_rt_;
+  size_t idx = IsClientNode(id) ? id - kClientIdBase : id;
+  if (idx >= slab.size()) slab.resize(idx + 1);
+  slab[idx].actor = actor;
   actor->Bind(this, std::make_unique<CryptoContext>(actor->id(), keystore_,
                                                     cost_model_),
               rng_.Fork());
 }
 
 void Network::Start() {
-  for (auto& [id, rt] : runtimes_) {
-    NodeId node = id;
-    Actor* actor = rt.actor;
+  // Replicas first, then clients: identical to the old id-ordered map walk
+  // (client ids start at kClientIdBase, above every replica id), so the
+  // deterministic event order is unchanged.
+  auto launch = [this](NodeId node, Actor* actor) {
     sim_->Schedule(0, [this, node, actor] {
-      if (down_.count(node)) return;
+      Runtime& rt = runtime(node);
+      if (rt.down) return;
       uint64_t ctx = 0;
       if (tracer_) {
         TraceEvent e;
@@ -43,18 +48,43 @@ void Network::Start() {
       SimTime done = RunHandler(node, [actor] { actor->Start(); }, ctx);
       runtime(node).cpu_free = done;
     });
+  };
+  for (size_t i = 0; i < replica_rt_.size(); ++i) {
+    if (replica_rt_[i].actor != nullptr) {
+      launch(static_cast<NodeId>(i), replica_rt_[i].actor);
+    }
+  }
+  for (size_t i = 0; i < client_rt_.size(); ++i) {
+    if (client_rt_[i].actor != nullptr) {
+      launch(static_cast<NodeId>(kClientIdBase + i), client_rt_[i].actor);
+    }
   }
 }
 
+Network::Runtime* Network::runtime_ptr(NodeId id) {
+  std::vector<Runtime>& slab = IsClientNode(id) ? client_rt_ : replica_rt_;
+  size_t idx = IsClientNode(id) ? id - kClientIdBase : id;
+  if (idx >= slab.size() || slab[idx].actor == nullptr) return nullptr;
+  return &slab[idx];
+}
+
+const Network::Runtime* Network::runtime_ptr(NodeId id) const {
+  const std::vector<Runtime>& slab =
+      IsClientNode(id) ? client_rt_ : replica_rt_;
+  size_t idx = IsClientNode(id) ? id - kClientIdBase : id;
+  if (idx >= slab.size() || slab[idx].actor == nullptr) return nullptr;
+  return &slab[idx];
+}
+
 Network::Runtime& Network::runtime(NodeId id) {
-  auto it = runtimes_.find(id);
-  assert(it != runtimes_.end() && "unknown node");
-  return it->second;
+  Runtime* rt = runtime_ptr(id);
+  assert(rt != nullptr && "unknown node");
+  return *rt;
 }
 
 Actor* Network::actor(NodeId id) const {
-  auto it = runtimes_.find(id);
-  return it == runtimes_.end() ? nullptr : it->second.actor;
+  const Runtime* rt = runtime_ptr(id);
+  return rt == nullptr ? nullptr : rt->actor;
 }
 
 SimTime Network::RunHandler(NodeId node, const std::function<void()>& body,
@@ -74,15 +104,18 @@ SimTime Network::RunHandler(NodeId node, const std::function<void()>& body,
   metrics_->node(node).crypto_cpu_us += cost_us;
   if (tracer_ && trace_ctx != 0) tracer_->SetHandlerCost(trace_ctx, cost_us);
 
-  std::vector<Packet> sends;
-  sends.swap(pending_sends_);
   in_handler_.reset();
 
   // The tracer context stays live through the departure flush so the
-  // buffered sends inherit the handler as their causal parent.
-  for (Packet& p : sends) {
+  // buffered sends inherit the handler as their causal parent. The buffer
+  // is drained in place and cleared (capacity kept) instead of swapped
+  // out: Depart never re-enters Send, and reusing the arena avoids one
+  // allocation per handler on the hot path.
+  for (size_t i = 0; i < pending_sends_.size(); ++i) {
+    Packet& p = pending_sends_[i];
     Depart(p.from, p.to, std::move(p.msg), completion);
   }
+  pending_sends_.clear();
   if (tracer_) tracer_->SetContext(0);
   Logger::ClearContext();
   return completion;
@@ -97,6 +130,7 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
 }
 
 bool Network::LinkExplicitlyBlocked(NodeId a, NodeId b, SimTime at) const {
+  if (blocked_links_.empty()) return false;
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   auto it = blocked_links_.find(key);
   return it != blocked_links_.end() && at < it->second;
@@ -114,7 +148,8 @@ bool Network::PartitionBlocks(NodeId a, NodeId b, SimTime at) const {
 }
 
 void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
-  if (down_.count(from)) return;
+  Runtime& sender_rt = runtime(from);
+  if (sender_rt.down) return;
 
   uint64_t send_id = 0;
   if (tracer_) {
@@ -144,7 +179,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   if (from == to) {
     SimTime arrival = t_ready;
     SimTime delay = arrival > sim_->now() ? arrival - sim_->now() : 0;
-    Packet packet{from, to, std::move(msg), send_id, node_epoch(from)};
+    Packet packet{from, to, std::move(msg), send_id, sender_rt.epoch};
     sim_->Schedule(delay, [this, packet = std::move(packet), arrival]() mutable {
       DeliverAt(arrival, std::move(packet));
     });
@@ -158,12 +193,11 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   metrics_->CountMessageType(msg->type());
 
   // Uplink serialization: megabit/s == bit/us.
-  Runtime& rt = runtime(from);
   double tx_us_f =
       static_cast<double>(wire) * 8.0 / config_.bandwidth_mbps;
   SimTime tx_us = static_cast<SimTime>(tx_us_f);
-  SimTime departure = std::max(t_ready, rt.uplink_free);
-  rt.uplink_free = departure + tx_us;
+  SimTime departure = std::max(t_ready, sender_rt.uplink_free);
+  sender_rt.uplink_free = departure + tx_us;
 
   bool drop = false;
   SimTime injected_delay = 0;
@@ -214,7 +248,7 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
   SimTime bound = std::max(departure, config_.gst_us) + config_.delta_us;
   arrival = std::max(physical_arrival, std::min(arrival, bound));
 
-  Packet packet{from, to, std::move(msg), send_id, node_epoch(from)};
+  Packet packet{from, to, std::move(msg), send_id, sender_rt.epoch};
   SimTime delay = arrival - sim_->now();
   // Remote deliveries are the schedule explorer's choice points. The
   // payload fingerprint (controlled mode only — encoding costs) lets
@@ -235,7 +269,8 @@ void Network::Depart(NodeId from, NodeId to, MessagePtr msg, SimTime t_ready) {
 }
 
 void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
-  if (down_.count(packet.to) || down_.count(packet.from)) {
+  Runtime* to_rt = runtime_ptr(packet.to);
+  if (IsDown(packet.to) || IsDown(packet.from)) {
     if (tracer_) {
       TraceEvent e;
       e.kind = TraceEventKind::kDrop;
@@ -253,7 +288,7 @@ void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
   // reach another. Client traffic crosses epochs freely (requests get
   // re-executed or answered from the carried reply cache).
   if (!IsClientNode(packet.from) && !IsClientNode(packet.to) &&
-      packet.epoch != node_epoch(packet.to)) {
+      packet.epoch != (to_rt == nullptr ? 0 : to_rt->epoch)) {
     metrics_->Increment("switch.stale_epoch_drops");
     if (tracer_) {
       TraceEvent e;
@@ -268,9 +303,8 @@ void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
     }
     return;
   }
-  auto it = runtimes_.find(packet.to);
-  if (it == runtimes_.end()) return;
-  Runtime& rt = it->second;
+  if (to_rt == nullptr) return;
+  Runtime& rt = *to_rt;
 
   if (packet.from != packet.to) {
     NodeStats& stats = metrics_->node(packet.to);
@@ -281,6 +315,10 @@ void Network::DeliverAt(SimTime /*arrival*/, Packet packet) {
 
   NodeId to = packet.to;
   rt.inbox.push_back(std::move(packet));
+  inbox_packets_++;
+  if (inbox_packets_ > peak_inbox_packets_) {
+    peak_inbox_packets_ = inbox_packets_;
+  }
   ScheduleProcessing(to);
 }
 
@@ -295,7 +333,7 @@ void Network::ScheduleProcessing(NodeId node) {
 void Network::ProcessNext(NodeId node) {
   Runtime& rt = runtime(node);
   rt.processing_scheduled = false;
-  if (down_.count(node)) {
+  if (rt.down) {
     DropInboxTraced(rt, "crashed_inbox");
     return;
   }
@@ -303,6 +341,7 @@ void Network::ProcessNext(NodeId node) {
 
   Packet packet = std::move(rt.inbox.front());
   rt.inbox.pop_front();
+  inbox_packets_--;
 
   uint64_t ctx = 0;
   if (tracer_) {
@@ -343,8 +382,8 @@ EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
   if (!tracer_) {
     return sim_->ScheduleCancelable(delay, timer_label,
                                     [this, node, tag, epoch] {
-      if (down_.count(node) || node_epoch(node) != epoch) return;
       Runtime& rt = runtime(node);
+      if (rt.down || rt.epoch != epoch) return;
       Actor* actor = rt.actor;
       SimTime completion =
           RunHandler(node, [actor, tag] { actor->OnTimer(tag); });
@@ -365,7 +404,10 @@ EventId Network::SetTimer(NodeId node, SimTime delay, uint64_t tag) {
   EventId id = sim_->ScheduleCancelable(
       delay, timer_label, [this, node, tag, epoch, set_id, id_slot] {
         if (*id_slot != kInvalidEvent) timer_trace_.erase(*id_slot);
-        if (down_.count(node) || node_epoch(node) != epoch) return;
+        {
+          Runtime& rt = runtime(node);
+          if (rt.down || rt.epoch != epoch) return;
+        }
         uint64_t ctx = 0;
         if (tracer_) {
           TraceEvent fire;
@@ -410,9 +452,9 @@ void Network::ReplaceActor(Actor* actor) {
   actor->Bind(this, std::make_unique<CryptoContext>(node, keystore_,
                                                     cost_model_),
               rng_.Fork());
-  node_epoch_[node]++;
+  rt.epoch++;
   metrics_->Increment("switch.actor_replacements");
-  if (down_.count(node)) return;  // A down node comes up via Restart().
+  if (rt.down) return;  // A down node comes up via Restart().
   uint64_t ctx = 0;
   if (tracer_) {
     TraceEvent e;
@@ -426,8 +468,8 @@ void Network::ReplaceActor(Actor* actor) {
 }
 
 void Network::Crash(NodeId node) {
-  down_.insert(node);
   Runtime& rt = runtime(node);
+  rt.down = true;
   DropInboxTraced(rt, "crashed_inbox");
   if (tracer_) {
     TraceEvent e;
@@ -439,8 +481,8 @@ void Network::Crash(NodeId node) {
 }
 
 void Network::Restart(NodeId node) {
-  down_.erase(node);
   Runtime& rt = runtime(node);
+  rt.down = false;
   rt.cpu_free = sim_->now();
   rt.uplink_free = sim_->now();
   uint64_t ctx = 0;
@@ -471,6 +513,7 @@ void Network::DropInboxTraced(Runtime& rt, const char* cause) {
       tracer_->Record(std::move(e));
     }
   }
+  inbox_packets_ -= rt.inbox.size();
   rt.inbox.clear();
 }
 

@@ -97,8 +97,8 @@ class Network {
   /// protocol must never reach the new protocol's state machine. Client
   /// traffic is exempt: clients span epochs by design.
   uint64_t node_epoch(NodeId id) const {
-    auto it = node_epoch_.find(id);
-    return it == node_epoch_.end() ? 0 : it->second;
+    const Runtime* rt = runtime_ptr(id);
+    return rt == nullptr ? 0 : rt->epoch;
   }
 
   /// Sends a message; called via Actor::Send. Self-sends are delivered
@@ -116,7 +116,10 @@ class Network {
   void Crash(NodeId node);
   /// Restarts a crashed node and invokes Actor::OnRestart().
   void Restart(NodeId node);
-  bool IsDown(NodeId node) const { return down_.count(node) > 0; }
+  bool IsDown(NodeId node) const {
+    const Runtime* rt = runtime_ptr(node);
+    return rt != nullptr && rt->down;
+  }
 
   /// Blocks the (bidirectional) link between a and b until `until`.
   void BlockLink(NodeId a, NodeId b, SimTime until);
@@ -146,6 +149,9 @@ class Network {
 
   Simulator* sim() { return sim_; }
   SimTime now() const { return sim_->now(); }
+  /// High-water mark of packets resident in node inboxes across the run —
+  /// the in-flight message arena's peak occupancy (scale diagnostics).
+  size_t peak_inbox_packets() const { return peak_inbox_packets_; }
   MetricsCollector& metrics() { return *metrics_; }
   const NetworkConfig& config() const { return config_; }
   const KeyStore& keystore() const { return *keystore_; }
@@ -159,10 +165,17 @@ class Network {
     uint64_t trace_send = 0;  // Trace id of the kSend that launched it.
     uint64_t epoch = 0;       // Sender's protocol epoch at departure.
   };
+  /// Per-node runtime state. Nodes live in two flat slabs (replicas
+  /// indexed by id, clients by id - kClientIdBase), so every per-event
+  /// lookup — inbox, epoch, down flag, cpu/uplink cursors — is an array
+  /// index instead of a red-black-tree walk. Broadcast fan-out shares one
+  /// payload: Packet holds a MessagePtr into the sender's single buffer.
   struct Runtime {
     Actor* actor = nullptr;
     std::deque<Packet> inbox;
     bool processing_scheduled = false;
+    bool down = false;
+    uint64_t epoch = 0;
     SimTime cpu_free = 0;
     SimTime uplink_free = 0;
   };
@@ -170,6 +183,8 @@ class Network {
   friend class Actor;
 
   Runtime& runtime(NodeId id);
+  Runtime* runtime_ptr(NodeId id);
+  const Runtime* runtime_ptr(NodeId id) const;
   /// Runs a handler (Start / OnMessage / OnTimer) for `node`, buffering
   /// its sends and charging its crypto cost; returns the completion time.
   /// `trace_ctx` is the trace id of the event that triggered the handler
@@ -196,9 +211,10 @@ class Network {
   NetworkConfig config_;
   CryptoCostModel cost_model_;
 
-  std::map<NodeId, Runtime> runtimes_;
-  std::map<NodeId, uint64_t> node_epoch_;
-  std::set<NodeId> down_;
+  std::vector<Runtime> replica_rt_;
+  std::vector<Runtime> client_rt_;
+  size_t inbox_packets_ = 0;       // Packets currently queued in inboxes.
+  size_t peak_inbox_packets_ = 0;  // High-water mark of the above.
   std::map<std::pair<NodeId, NodeId>, SimTime> blocked_links_;
   std::vector<std::set<NodeId>> partition_;
   SimTime partition_until_ = 0;

@@ -15,6 +15,7 @@ void Simulator::Push(SimTime delay, uint32_t slot, const SimEventLabel& label,
     ev.fn = std::move(fn);
     controlled_events_.push_back(std::move(ev));
     ++live_count_;
+    if (live_count_ > peak_live_events_) peak_live_events_ = live_count_;
     return;
   }
   Event ev;
@@ -24,6 +25,7 @@ void Simulator::Push(SimTime delay, uint32_t slot, const SimEventLabel& label,
   ev.fn = std::move(fn);
   queue_.push(std::move(ev));
   ++live_count_;
+  if (live_count_ > peak_live_events_) peak_live_events_ = live_count_;
 }
 
 EventId Simulator::ScheduleCancelable(SimTime delay,

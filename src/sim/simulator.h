@@ -213,6 +213,10 @@ class Simulator {
   /// Pending (non-canceled) events.
   size_t live_events() const { return live_count_; }
 
+  /// High-water mark of pending events across the run: the event arena's
+  /// peak occupancy. Scale benches report this alongside peak RSS.
+  size_t peak_live_events() const { return peak_live_events_; }
+
   /// Size of the cancelable-event slab: bounded by the peak number of
   /// concurrently pending cancelable events, never by churn volume.
   size_t cancelable_slots() const { return slots_.size(); }
@@ -307,6 +311,7 @@ class Simulator {
   uint64_t next_seq_ = 1;
   uint64_t events_processed_ = 0;
   size_t live_count_ = 0;
+  size_t peak_live_events_ = 0;
   bool controlled_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<ControlledEvent> controlled_events_;

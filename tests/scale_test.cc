@@ -1,0 +1,127 @@
+// Scale regressions: vote-state garbage collection (every protocol must
+// keep its quorum trackers and per-instance bookkeeping bounded across
+// long runs — DESIGN.md §14's GC contract) and a mid-size cluster smoke
+// with a crash mid-run. Before the leak sweep, several protocols retained
+// one entry per committed instance forever, which at 10k commits is the
+// difference between a few hundred tracker keys and tens of thousands.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "protocols/cheapbft/cheapbft_replica.h"
+#include "protocols/common/cluster.h"
+#include "protocols/fab/fab_replica.h"
+#include "protocols/hotstuff/hotstuff_replica.h"
+#include "protocols/kauri/kauri_replica.h"
+#include "protocols/pbft/pbft_replica.h"
+#include "protocols/sbft/sbft_replica.h"
+#include "protocols/tendermint/tendermint_replica.h"
+
+namespace bftlab {
+namespace {
+
+ClusterConfig LongRunConfig(uint32_t n, uint32_t f) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.f = f;
+  cfg.num_clients = 4;
+  cfg.cost_model = CryptoCostModel::Free();
+  cfg.replica.checkpoint_interval = 16;
+  // One request per block/batch maximizes instances created per commit,
+  // so a retention leak shows up as fast as possible.
+  cfg.replica.batch_size = 1;
+  cfg.replica.batch_timeout_us = 100;
+  cfg.client.reply_quorum = f + 1;
+  return cfg;
+}
+
+/// Largest VoteStateSize across all replicas right now.
+size_t MaxVoteState(Cluster& cluster) {
+  size_t max_state = 0;
+  for (ReplicaId r = 0; r < cluster.num_replicas(); ++r) {
+    max_state = std::max(max_state, cluster.replica(r).VoteStateSize());
+  }
+  return max_state;
+}
+
+struct LeakCase {
+  std::string name;
+  uint32_t n;
+  uint32_t f;
+  ReplicaFactory factory;
+  /// Retained entries allowed at any probe point. Generous against the
+  /// GC'd steady state (watermark window + checkpoint lag + block
+  /// retention) and far below what one-entry-per-commit leaking yields
+  /// over 10k commits.
+  size_t bound;
+};
+
+TEST(VoteStateLeakTest, TrackersStayBoundedAcross10kCommits) {
+  const std::vector<LeakCase> cases = {
+      {"pbft", 4, 1, MakePbftReplica, 4000},
+      // HotStuff keeps a sliding window of block bodies
+      // (kBlockRetentionViews = 1024, swept at 2x): ~3 maps x 2048
+      // entries in the worst pre-sweep instant. A leak holds every one
+      // of the ~10k blocks in all three maps (~30k).
+      {"hotstuff", 4, 1, MakeHotStuffReplica, 8000},
+      {"sbft", 4, 1, MakeSbftReplica, 4000},
+      {"fab", 6, 1, MakeFabReplica, 4000},
+      {"cheapbft", 4, 1, MakeCheapBftReplica, 4000},
+      {"kauri", 7, 2, MakeKauriReplica, 4000},
+      {"tendermint", 4, 1, MakeTendermintReplica, 4000},
+  };
+  constexpr uint64_t kTotalCommits = 10000;
+  constexpr uint64_t kProbes = 10;
+  for (const LeakCase& c : cases) {
+    Cluster cluster(LongRunConfig(c.n, c.f), c.factory);
+    size_t peak = 0;
+    for (uint64_t probe = 1; probe <= kProbes; ++probe) {
+      ASSERT_TRUE(cluster.RunUntilCommits(probe * (kTotalCommits / kProbes),
+                                          Seconds(4000)))
+          << c.name << " stalled before commit "
+          << probe * (kTotalCommits / kProbes);
+      peak = std::max(peak, MaxVoteState(cluster));
+    }
+    EXPECT_LE(peak, c.bound)
+        << c.name << " retains vote/instance state past the GC contract "
+        << "(peak " << peak << " entries across " << kTotalCommits
+        << " commits)";
+    EXPECT_TRUE(cluster.CheckAgreement().ok()) << c.name;
+    EXPECT_TRUE(cluster.CheckStateMachines().ok()) << c.name;
+  }
+}
+
+TEST(ScaleSmokeTest, N256CommitsAndSurvivesACrash) {
+  // A quarter-scale smoke of the X24 sweep in the tier-1 suite: n=256
+  // must commit under a replica crash with agreement intact. Free crypto
+  // keeps the wall cost at the message count, not the cost model.
+  struct Case {
+    std::string name;
+    ReplicaFactory factory;
+  };
+  const std::vector<Case> cases = {{"pbft", MakePbftReplica},
+                                   {"hotstuff", MakeHotStuffReplica}};
+  for (const Case& c : cases) {
+    ClusterConfig cfg;
+    cfg.n = 256;
+    cfg.f = 85;
+    cfg.num_clients = 8;
+    cfg.cost_model = CryptoCostModel::Free();
+    cfg.replica.batch_size = 8;
+    cfg.replica.view_change_timeout_us = Seconds(4);
+    cfg.client.reply_quorum = 86;
+    Cluster cluster(std::move(cfg), c.factory);
+    ASSERT_TRUE(cluster.RunUntilCommits(10, Seconds(600))) << c.name;
+    cluster.network().Crash(1);  // Non-leader; f=85 tolerates it.
+    ASSERT_TRUE(cluster.RunUntilCommits(30, Seconds(1200))) << c.name;
+    EXPECT_TRUE(cluster.CheckAgreement().ok())
+        << c.name << ": " << cluster.CheckAgreement().ToString();
+    EXPECT_TRUE(cluster.CheckStateMachines().ok()) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace bftlab
