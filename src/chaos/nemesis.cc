@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "crypto/trusted.h"
+
 namespace bftlab {
 
 namespace {
@@ -27,6 +29,8 @@ const char* NemesisProfileName(NemesisProfile profile) {
       return "byzantine-mix";
     case NemesisProfile::kCensoringLeader:
       return "censoring-leader";
+    case NemesisProfile::kCounterRollback:
+      return "counter-rollback";
   }
   return "unknown";
 }
@@ -120,6 +124,17 @@ void Nemesis::BuildSchedule() {
           AddPartition(at, wave_span, &rng);
         }
         break;
+      case NemesisProfile::kCounterRollback:
+        // Mostly crash/restart waves with tampered counter state on
+        // rejoin; light network noise keeps retransmission paths honest.
+        if (roll < 70) {
+          AddCounterTamperWave(at, wave_span, &rng);
+        } else if (roll < 90) {
+          AddLinkFlaps(at, wave_span, &rng);
+        } else {
+          AddBurst(at, wave_span, &rng);
+        }
+        break;
     }
   }
 }
@@ -162,6 +177,62 @@ void Nemesis::AddCrashWave(SimTime at, SimTime wave_span, Rng* rng) {
                          }
                        },
                        /*counts=*/false});
+  }
+}
+
+void Nemesis::AddCounterTamperWave(SimTime at, SimTime wave_span, Rng* rng) {
+  uint32_t n = cluster_->config().n;
+  uint32_t f = cluster_->config().f;
+  uint32_t victims = 1 + static_cast<uint32_t>(rng->NextBelow(f));
+  for (uint32_t v = 0; v < victims; ++v) {
+    ReplicaId victim = kInvalidReplica;
+    ReplicaId start = static_cast<ReplicaId>(rng->NextBelow(n));
+    for (uint32_t i = 0; i < n; ++i) {
+      ReplicaId r = (start + i) % n;
+      if (down_until_[r] <= at) {
+        victim = r;
+        break;
+      }
+    }
+    if (victim == kInvalidReplica) return;
+    SimTime restart_at = HealBy(
+        at + wave_span / 2 + rng->NextBelow(std::max<SimTime>(wave_span / 2, 1)));
+    if (restart_at <= at) restart_at = at + 1;
+    down_until_[victim] = restart_at;
+    // Half the victims rejoin via the legitimate TEE-reboot path (epoch
+    // bump, counter zeroed); the other half rejoin from a stale counter
+    // snapshot, which peers' freshness watermarks must reject until the
+    // counter climbs past its old high again.
+    bool wipe = rng->NextBelow(2) == 0;
+    uint64_t steps = 1 + rng->NextBelow(8);
+
+    std::ostringstream os;
+    os << "t=" << at << "us crash replica " << victim << " (restart at "
+       << restart_at << "us with "
+       << (wipe ? "wiped" : "rolled-back") << " counter)\n";
+    description_ += os.str();
+    ++faults_planned_;
+    Cluster* cluster = cluster_;
+    faults_.push_back(
+        {at, "crash", [cluster, victim] { cluster->network().Crash(victim); },
+         /*counts=*/true});
+    faults_.push_back(
+        {restart_at,
+         wipe ? "restart-wiped-counter" : "restart-rolled-counter",
+         [cluster, victim, wipe, steps] {
+           if (TrustedCounter* tc =
+                   cluster->replica(victim).trusted_counter()) {
+             if (wipe) {
+               tc->Reboot();
+             } else {
+               tc->ForceRollback(steps);
+             }
+           }
+           if (cluster->network().IsDown(victim)) {
+             cluster->network().Restart(victim);
+           }
+         },
+         /*counts=*/false});
   }
 }
 
@@ -373,6 +444,10 @@ void Nemesis::ApplyNetworkDefaults(const NemesisSpec& spec,
     case NemesisProfile::kCensoringLeader:
       net->pre_gst_drop_prob = 0.05;
       net->pre_gst_extra_delay_us = Millis(2);
+      break;
+    case NemesisProfile::kCounterRollback:
+      net->pre_gst_drop_prob = 0.02;
+      net->pre_gst_extra_delay_us = Millis(1);
       break;
   }
 }

@@ -27,6 +27,12 @@ enum class NemesisProfile : uint8_t {
   kCensoringLeader,  // Stealthy request-censoring leader + mild chaos:
                      // replica 0 never proposes the target client's
                      // requests while network noise masks the attack.
+  kCounterRollback,  // Trusted-component recovery hammer: crash/restart
+                     // waves where restarted replicas rejoin with
+                     // tampered counter state — wiped (Reboot: epoch
+                     // bump, the legitimate TEE-reboot path) or rolled
+                     // back a few steps (stale snapshot). No-op tamper
+                     // for untrusted families (degrades to crash-heavy).
 };
 
 const char* NemesisProfileName(NemesisProfile profile);
@@ -93,6 +99,7 @@ class Nemesis {
 
   void BuildSchedule();
   void AddCrashWave(SimTime at, SimTime wave_span, Rng* rng);
+  void AddCounterTamperWave(SimTime at, SimTime wave_span, Rng* rng);
   void AddPartition(SimTime at, SimTime wave_span, Rng* rng);
   void AddLinkFlaps(SimTime at, SimTime wave_span, Rng* rng);
   void AddLeaderIsolation(SimTime at, SimTime wave_span, Rng* rng);

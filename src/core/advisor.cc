@@ -95,6 +95,26 @@ void Score(const ProtocolDescriptor& d, const ApplicationRequirements& reqs,
     }
   }
 
+  // E6: trusted components trade replica count for TEE invocations.
+  if (d.trusted != TrustedComponent::kNone) {
+    if (!reqs.tee_available) {
+      add(-10.0, "requires trusted hardware the deployment lacks");
+    } else {
+      if (reqs.replica_budget_tight) {
+        add(2.0, "trusted counter shrinks the group to " +
+                     d.replicas.ToString() + " replicas");
+      }
+      // Every certified message crosses the TEE boundary; invocation
+      // latency caps per-replica message rate.
+      add(reqs.throughput_priority * -0.5,
+          "TEE invocation on every protocol message");
+      if (reqs.adversarial) {
+        add(-0.5, "safety additionally rests on tamper-resistance "
+                  "(counter rollback/forking is fatal)");
+      }
+    }
+  }
+
   // Conflict-free optimism only fits low-contention workloads.
   if (d.HasAssumption(kAssumeConflictFree)) {
     if (reqs.conflict_rate < 0.05) {

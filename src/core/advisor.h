@@ -33,6 +33,10 @@ struct ApplicationRequirements {
   double conflict_rate = 0.5;
   /// Many replicas (scalability in n matters).
   uint32_t expected_cluster_size = 4;
+  /// Replicas have attested trusted hardware (TPM counter, SGX enclave).
+  /// Unlocks the 2f+1 trusted-component family; without it those
+  /// protocols are unusable.
+  bool tee_available = false;
 };
 
 struct Recommendation {

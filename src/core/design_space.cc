@@ -28,6 +28,16 @@ const char* LeaderPolicyName(LeaderPolicy p) {
   return "?";
 }
 
+const char* TrustedComponentName(TrustedComponent t) {
+  switch (t) {
+    case TrustedComponent::kNone:
+      return "none";
+    case TrustedComponent::kMonotonicCounter:
+      return "monotonic counter";
+  }
+  return "?";
+}
+
 std::string FaultFormula::ToString() const {
   std::ostringstream os;
   if (coef != 0) {
@@ -85,6 +95,7 @@ std::string ProtocolDescriptor::ToString() const {
                                                : "threshold signatures")
      << "\n"
      << "  E4 responsive      : " << (responsive ? "yes" : "no") << "\n"
+     << "  E6 trusted hw      : " << TrustedComponentName(trusted) << "\n"
      << "  Q1 order-fairness  : " << (order_fairness ? "yes" : "no") << "\n"
      << "  Q2 load balancing  : "
      << (load_balancing == LoadBalancing::kNone

@@ -91,6 +91,18 @@ enum TimerKind : uint32_t {
   kTimerWatchdog = 1 << 7,         // τ8 recovery watchdog (PBFT-PR).
 };
 
+// --- E6: trusted component ---------------------------------------------------------
+
+/// Tamper-resistant hardware the protocol assumes at each replica. A
+/// trusted monotonic counter removes equivocation and shrinks the replica
+/// group to 2f+1 (MinBFT family) at the price of one TEE invocation per
+/// certified message — the trade-off the advisor scores.
+enum class TrustedComponent : uint8_t {
+  kNone = 0,
+  kMonotonicCounter = 1,  // USIG: certify(digest) -> (epoch, counter, tag).
+};
+const char* TrustedComponentName(TrustedComponent t);
+
 // --- Q2: load balancing ------------------------------------------------------------
 
 enum class LoadBalancing : uint8_t {
@@ -132,6 +144,8 @@ struct ProtocolDescriptor {
   // E4.
   bool responsive = true;
   uint32_t timers = kTimerViewChange;
+  // E6.
+  TrustedComponent trusted = TrustedComponent::kNone;
 
   // Q1.
   bool order_fairness = false;

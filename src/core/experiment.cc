@@ -100,6 +100,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   cc.replica.view_change_timeout_us = config.view_change_timeout_us;
   cc.replica.view_change_timeout_cap_us = config.view_change_timeout_cap_us;
   cc.replica.auth = config.auth_override.value_or(build->descriptor.auth);
+  cc.replica.verify_trusted_ui = config.verify_trusted_ui;
   cc.client.reply_quorum = build->ReplyQuorum(config.f);
   cc.client.submit_policy = build->submit_policy;
   cc.client.retransmit_timeout_us = config.client_retransmit_us;

@@ -79,6 +79,10 @@ struct ExperimentConfig {
   std::vector<SlowNodeWindow> slow_windows;
   /// Overrides the protocol's default authentication scheme (E3 sweeps).
   std::optional<AuthScheme> auth_override;
+  /// Trusted-component families: verify UI certificates on receipt.
+  /// Disabling shows the check is load-bearing — the seeded rollback
+  /// attack in tests/trusted_test.cc then breaks agreement.
+  bool verify_trusted_ui = true;
   /// Chaos mode: when set, a Nemesis fault schedule derived from this
   /// spec runs against the cluster (overriding net.gst_us and the pre-GST
   /// adversary), clients record a History, and after the run the oracle

@@ -4,6 +4,7 @@
 #include "protocols/fab/fab_replica.h"
 #include "protocols/hotstuff/hotstuff_replica.h"
 #include "protocols/kauri/kauri_replica.h"
+#include "protocols/minbft/minbft_replica.h"
 #include "protocols/pbft/pbft_replica.h"
 #include "protocols/poe/poe_replica.h"
 #include "protocols/prime/prime_replica.h"
@@ -145,6 +146,19 @@ ProtocolDescriptor CheapBftDescriptor() {
   return d;
 }
 
+ProtocolDescriptor MinBftDescriptor() {
+  ProtocolDescriptor d = PbftDescriptor();
+  d.name = "minbft";
+  d.trusted = TrustedComponent::kMonotonicCounter;  // E6 (Design Choice 6).
+  d.good_case_phases = 2;   // Prepare + commit; the UI removes one phase.
+  d.replicas = {2, 1};      // n = 2f+1: equivocation is off the table.
+  d.agreement_quorum = {1, 1};
+  d.reply_quorum = {1, 1};
+  d.auth = AuthScheme::kMacs;  // Channels are MACs; ordering is UIs.
+  d.timers = kTimerViewChange;
+  return d;
+}
+
 ProtocolDescriptor QuDescriptor() {
   ProtocolDescriptor d;
   d.name = "qu";
@@ -224,7 +238,7 @@ ProtocolBuild MakeBuild(ProtocolDescriptor d, ReplicaFactory rf,
 std::vector<std::string> AllProtocolNames() {
   return {"pbft",     "hotstuff", "hotstuff2", "tendermint", "zyzzyva",
           "zyzzyva5", "sbft",     "poe",       "fab",        "cheapbft",
-          "qu",       "kauri",    "themis",    "prime"};
+          "minbft",   "qu",       "kauri",     "themis",     "prime"};
 }
 
 Result<ProtocolDescriptor> GetDescriptor(const std::string& name) {
@@ -238,6 +252,7 @@ Result<ProtocolDescriptor> GetDescriptor(const std::string& name) {
   if (name == "poe") return PoeDescriptor();
   if (name == "fab") return FabDescriptor();
   if (name == "cheapbft") return CheapBftDescriptor();
+  if (name == "minbft") return MinBftDescriptor();
   if (name == "qu") return QuDescriptor();
   if (name == "kauri") return KauriDescriptor();
   if (name == "themis") return ThemisDescriptor();
@@ -280,6 +295,10 @@ Result<ProtocolBuild> GetProtocol(const std::string& name, uint32_t f) {
   }
   if (name == "cheapbft") {
     return MakeBuild(*d, MakeCheapBftReplica, nullptr,
+                     SubmitPolicy::kLeaderOnly);
+  }
+  if (name == "minbft") {
+    return MakeBuild(*d, MakeMinBftReplica, nullptr,
                      SubmitPolicy::kLeaderOnly);
   }
   if (name == "qu") {

@@ -39,6 +39,13 @@ Digest KeyStore::ShareSecret(NodeId node) const {
   return HmacSha256(master_, enc.buffer());
 }
 
+Digest KeyStore::UsigSecret(NodeId node) const {
+  Encoder enc;
+  enc.PutU8(0x04);  // Domain tag: trusted-counter (USIG) device key.
+  enc.PutU32(node);
+  return HmacSha256(master_, enc.buffer());
+}
+
 Signature KeyStore::Sign(NodeId signer, Slice message) const {
   Signature sig;
   sig.signer = signer;

@@ -27,6 +27,7 @@ namespace bftlab {
 inline constexpr size_t kSignatureBytes = 64;   // Ed25519-like.
 inline constexpr size_t kMacBytes = 16;         // Truncated HMAC.
 inline constexpr size_t kThresholdSigBytes = 96;  // BLS-like, constant size.
+inline constexpr size_t kUiCertBytes = 48;  // USIG UI: epoch + counter + tag.
 
 /// CPU cost (simulated microseconds) of each cryptographic operation.
 /// Defaults approximate Ed25519 + HMAC-SHA256 on a 2020-era server core.
@@ -39,6 +40,12 @@ struct CryptoCostModel {
   double threshold_combine_per_share_us = 20.0;
   double threshold_verify_us = 250.0;
   double hash_us_per_kib = 3.0;
+  // Trusted monotonic counter (USIG-style). Creating a UI crosses into the
+  // TEE (enclave call + HMAC), so it is far costlier than a plain MAC but
+  // much cheaper than an asymmetric signature; verification is a MAC check
+  // against the attested device key plus certificate bookkeeping.
+  double usig_create_us = 30.0;
+  double usig_verify_us = 15.0;
 
   /// A cost model that charges nothing; useful in unit tests.
   static CryptoCostModel Free() {
@@ -46,6 +53,7 @@ struct CryptoCostModel {
     m.sign_us = m.verify_sig_us = m.mac_us = m.verify_mac_us = 0;
     m.threshold_share_sign_us = m.threshold_combine_per_share_us = 0;
     m.threshold_verify_us = m.hash_us_per_kib = 0;
+    m.usig_create_us = m.usig_verify_us = 0;
     return m;
   }
 };
@@ -88,6 +96,9 @@ class KeyStore {
 
   /// Secret used for node's threshold-signature share (see threshold.h).
   Digest ShareSecret(NodeId node) const;
+
+  /// Device key of node's trusted counter (USIG); see trusted.h.
+  Digest UsigSecret(NodeId node) const;
 
  private:
   Digest NodeSecret(NodeId node) const;

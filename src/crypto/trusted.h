@@ -1,0 +1,104 @@
+// Simulated trusted monotonic counter (MinBFT's USIG: Unique Sequential
+// Identifier Generator). A small tamper-resistant component — TPM counter,
+// SGX enclave, or attested hypervisor service — that does exactly one
+// thing: bind a caller-supplied digest to the next value of a strictly
+// monotonic counter and certify the binding. Because the counter can never
+// repeat a value, a replica equipped with a USIG cannot assign two
+// different messages the same identifier, which is what lets the
+// trusted-component protocol family (DESIGN.md §15) run on 2f+1 replicas
+// instead of 3f+1.
+//
+// The certificate is a Unique Identifier (UI): (signer, epoch, counter,
+// tag) where tag = HMAC(usig_device_key, signer || epoch || counter ||
+// digest). Within the simulation the device key lives in the KeyStore
+// under its own domain tag, so UIs are unforgeable by any other node —
+// the same substitution argument as signatures (keystore.h header note).
+//
+// The epoch models the attested reboot counter real TPMs pair with the
+// monotonic counter: wiping the device's volatile state (crash of a
+// machine whose USIG state was not persisted) bumps the epoch and resets
+// the counter, so a recovered replica can rejoin with fresh, still-unique
+// identifiers instead of being bricked.
+//
+// Compromise hooks — ForceRollback() and Fork() — deliberately break the
+// monotonicity contract. They model the famous attacks on this family
+// (counter rollback from a stale snapshot; cloned/forked attestation
+// state) and exist so the Nemesis and the Byzantine matrix can stress
+// exactly the failure modes the protocols are famous for mishandling.
+
+#ifndef BFTLAB_CRYPTO_TRUSTED_H_
+#define BFTLAB_CRYPTO_TRUSTED_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "crypto/digest.h"
+#include "crypto/keystore.h"
+
+namespace bftlab {
+
+/// A certified (counter, digest) binding issued by one node's USIG.
+struct UniqueIdentifier {
+  NodeId signer = 0;
+  uint64_t epoch = 0;    // Attestation epoch; bumps when USIG state is lost.
+  uint64_t counter = 0;  // Strictly monotonic within an epoch.
+  Digest tag;            // HMAC(device_key, signer || epoch || counter || d).
+
+  /// True iff this UI is strictly newer than (e, c): later epoch, or same
+  /// epoch and larger counter. The receiver-side freshness predicate.
+  bool NewerThan(uint64_t e, uint64_t c) const {
+    return epoch > e || (epoch == e && counter > c);
+  }
+
+  std::string DebugString() const;
+};
+
+/// One node's trusted monotonic counter. Owned by the replica object and
+/// therefore — like all replica state in this simulator — it survives a
+/// crash/restart unless a fault schedule explicitly wipes it (Reboot) or
+/// corrupts it (ForceRollback / Fork).
+class TrustedCounter {
+ public:
+  TrustedCounter(NodeId owner, const KeyStore* keystore)
+      : owner_(owner), keystore_(keystore) {}
+
+  NodeId owner() const { return owner_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t counter() const { return counter_; }
+
+  /// Issues the next UI over `digest`, charging the TEE-invocation cost to
+  /// `ctx`. The counter is consumed even if the message is never sent —
+  /// exactly like hardware.
+  UniqueIdentifier Certify(CryptoContext* ctx, const Digest& digest);
+
+  /// Verifies that `ui` certifies `digest`, charging verify cost. Static:
+  /// any node can verify any UI (the attestation certificate is public).
+  static bool Verify(CryptoContext* ctx, const UniqueIdentifier& ui,
+                     const Digest& digest);
+
+  /// Legitimate state loss: bump the attestation epoch, reset the counter.
+  /// Identifiers stay unique across the reboot because the epoch differs.
+  void Reboot();
+
+  /// COMPROMISE HOOK — restore the counter from a stale snapshot, undoing
+  /// the last `distance` increments (clamped at zero). Re-certification
+  /// will re-issue already-used (epoch, counter) values: the rollback
+  /// attack.
+  void ForceRollback(uint64_t distance);
+
+  /// COMPROMISE HOOK — clone the device state. The clone certifies from
+  /// the same (epoch, counter), so holder-of-both can issue two different
+  /// digests under one identifier: the forked-attestation attack.
+  TrustedCounter Fork() const { return *this; }
+
+ private:
+  NodeId owner_;
+  const KeyStore* keystore_;
+  uint64_t epoch_ = 1;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_CRYPTO_TRUSTED_H_

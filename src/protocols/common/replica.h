@@ -52,12 +52,24 @@ enum class ByzantineMode : uint8_t {
   kReorderRequests,  // As leader, proposes requests in reverse receive
                      // order (order-fairness attack).
   kSilentBackup,     // As backup, never votes.
+  kCounterRollback,  // Trusted-component families only: the replica's
+                     // trusted counter is restored from a stale snapshot
+                     // mid-run and the replica (as leader) re-certifies
+                     // history under the replayed identifiers. No-op for
+                     // protocols without a trusted counter.
+  kCounterFork,      // Trusted-component families only: the replica (as
+                     // backup) clones its trusted counter and issues
+                     // conflicting votes under duplicated identifiers.
+                     // No-op for protocols without a trusted counter.
 };
 
 struct ByzantineSpec {
   ByzantineMode mode = ByzantineMode::kNone;
   ClientId censor_target = 0;  // kCensorClient.
   SimTime delay_us = 0;        // kDelayProposals.
+  /// kCounterRollback/kCounterFork: when the trusted-counter compromise
+  /// fires. Before this instant the replica behaves correctly.
+  SimTime counter_fault_at_us = Millis(1500);
 };
 
 /// Static configuration of one replica.
@@ -99,10 +111,16 @@ struct ReplicaConfig {
   /// prefix would desynchronize block-position sequence numbering; they
   /// catch up via block synchronization instead.
   bool enable_state_transfer = true;
+  /// Trusted-component protocols: verify UI certificates and enforce the
+  /// per-sender freshness watermark (DESIGN.md §15). Disabling this is
+  /// how tests demonstrate that the check is load-bearing — a rollback
+  /// attack must then reach the agreement oracle.
+  bool verify_trusted_ui = true;
   ByzantineSpec byzantine;
 };
 
 class Replica;
+class TrustedCounter;
 
 /// Builds one protocol replica from a fully-populated config.
 using ReplicaFactory =
@@ -179,6 +197,12 @@ class Replica : public Actor {
   /// per the QuorumTracker GC contract (DESIGN.md §14). Subclasses add
   /// their own trackers to the base count.
   virtual size_t VoteStateSize() const;
+
+  /// The replica's trusted monotonic counter, when the protocol family
+  /// uses one (DESIGN.md §15); nullptr otherwise. The Nemesis and the
+  /// Byzantine matrix reach through this to wipe (Reboot), roll back, or
+  /// fork the device between incarnations.
+  virtual TrustedCounter* trusted_counter() { return nullptr; }
 
   // --- Actor ---------------------------------------------------------------
 
@@ -307,7 +331,9 @@ class Replica : public Actor {
   uint32_t QuorumF1() const { return config_.f + 1; }
   /// Byzantine agreement quorum ⌈(n+f+1)/2⌉: equals 2f+1 at n = 3f+1 but
   /// scales correctly for larger n (e.g. 3f+1 at Themis's n = 4f+1).
-  uint32_t AgreementQuorum() const {
+  /// Virtual because the trusted-component family (n = 2f+1) agrees —
+  /// including on checkpoints — with f+1 matching announcements.
+  virtual uint32_t AgreementQuorum() const {
     return (config_.n + config_.f + 2) / 2;
   }
 

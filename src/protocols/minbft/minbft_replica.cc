@@ -1,0 +1,952 @@
+#include "protocols/minbft/minbft_replica.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/fnv.h"
+#include "common/logging.h"
+#include "crypto/sha256.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "smr/kv_state_machine.h"
+
+namespace bftlab {
+
+namespace {
+
+// Digests the trusted counter certifies. Each role gets its own domain
+// string so a UI issued for a commit can never be replayed as a prepare.
+
+Digest PrepareBinding(ViewNumber view, SequenceNumber seq,
+                      const Digest& digest) {
+  Encoder enc;
+  enc.PutString("minbft-prepare");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(digest.AsSlice());
+  return Sha256::Hash(enc.buffer());
+}
+
+Digest CommitBinding(ViewNumber view, SequenceNumber seq, const Digest& digest,
+                     ReplicaId replica) {
+  Encoder enc;
+  enc.PutString("minbft-commit");
+  enc.PutU64(view);
+  enc.PutU64(seq);
+  enc.PutRaw(digest.AsSlice());
+  enc.PutU32(replica);
+  return Sha256::Hash(enc.buffer());
+}
+
+Digest ViewChangeBinding(ViewNumber new_view, ReplicaId replica,
+                         SequenceNumber stable_seq) {
+  Encoder enc;
+  enc.PutString("minbft-view-change");
+  enc.PutU64(new_view);
+  enc.PutU32(replica);
+  enc.PutU64(stable_seq);
+  return Sha256::Hash(enc.buffer());
+}
+
+Digest NewViewBinding(ViewNumber new_view, SequenceNumber base_seq,
+                      const std::vector<MinNewViewMessage::Proposal>& props) {
+  Encoder enc;
+  enc.PutString("minbft-new-view");
+  enc.PutU64(new_view);
+  enc.PutU64(base_seq);
+  for (const auto& p : props) {
+    enc.PutU64(p.seq);
+    enc.PutRaw(p.digest.AsSlice());
+  }
+  return Sha256::Hash(enc.buffer());
+}
+
+/// Digest the forked-counter script votes for: matches no real batch, so
+/// clone-certified votes land in a bucket that never reaches quorum.
+Digest ForkedVoteDigest() {
+  Encoder enc;
+  enc.PutString("minbft-forked-vote");
+  return Sha256::Hash(enc.buffer());
+}
+
+}  // namespace
+
+MinBftReplica::MinBftReplica(ReplicaConfig config,
+                             std::unique_ptr<StateMachine> state_machine)
+    : Replica(config, std::move(state_machine)) {
+  current_vc_timeout_us_ = config.view_change_timeout_us;
+}
+
+void MinBftReplica::Start() {
+  usig_.emplace(config().id, &crypto().keystore());
+  if (byzantine_mode() == ByzantineMode::kCounterRollback ||
+      byzantine_mode() == ByzantineMode::kCounterFork) {
+    SetTimer(byzantine_spec().counter_fault_at_us, kCounterFaultTimer);
+  }
+}
+
+void MinBftReplica::OnRestart() {
+  // Stale timer handles (see pbft_replica.cc OnRestart); the USIG itself
+  // persists unless a fault schedule explicitly wiped it.
+  view_change_timer_ = kInvalidEvent;
+  batch_timer_ = kInvalidEvent;
+  progress_timer_ = kInvalidEvent;
+  delayed_propose_pending_ = false;
+  if ((byzantine_mode() == ByzantineMode::kCounterRollback ||
+       byzantine_mode() == ByzantineMode::kCounterFork) &&
+      !counter_fault_fired_ && !forked_) {
+    SetTimer(byzantine_spec().counter_fault_at_us, kCounterFaultTimer);
+  }
+  if (view_changing_) {
+    if (current_vc_timeout_us_ == 0) {
+      current_vc_timeout_us_ = config().view_change_timeout_us;
+    }
+    view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+  } else if (IsLeader()) {
+    if (HasPending()) ProposeAvailable();
+    ArmProgressTimerIfNeeded();
+  } else {
+    ArmViewChangeTimerIfNeeded();
+  }
+}
+
+// --- Client requests ---------------------------------------------------------
+
+void MinBftReplica::OnClientRequest(NodeId from, const ClientRequest& request) {
+  if (view_changing_) return;  // Pooled; handled after the new view.
+
+  if (IsLeader()) {
+    if (byzantine_mode() == ByzantineMode::kDelayProposals) {
+      if (!delayed_propose_pending_) {
+        delayed_propose_pending_ = true;
+        SetTimer(byzantine_spec().delay_us, kDelayedProposeTimer);
+      }
+      return;
+    }
+    if (pending_requests() >= config().batch_size) {
+      ProposeAvailable();
+    } else if (batch_timer_ == kInvalidEvent) {
+      batch_timer_ = SetTimer(config().batch_timeout_us, kBatchTimer);
+    }
+    return;
+  }
+
+  if (IsClientNode(from)) {
+    Send(leader(), std::make_shared<RequestMessage>(request));
+  }
+  ArmViewChangeTimerIfNeeded();
+}
+
+void MinBftReplica::ProposeAvailable() {
+  if (!IsLeader() || view_changing_) return;
+  while (HasPending() && next_seq_ <= HighWatermark()) {
+    Batch batch = TakeBatch();
+    if (batch.requests.empty()) break;
+    if (byzantine_mode() == ByzantineMode::kReorderRequests) {
+      // Order manipulation: deprioritize odd-numbered clients (see
+      // pbft_replica.cc for the full rationale).
+      std::vector<ClientRequest> victims, rest;
+      for (ClientRequest& r : batch.requests) {
+        if ((r.client - kClientIdBase) % 2 == 1) {
+          victims.push_back(std::move(r));
+        } else {
+          rest.push_back(std::move(r));
+        }
+      }
+      for (ClientRequest& v : victims) RepoolBack(v);
+      if (rest.empty()) break;
+      batch.requests = std::move(rest);
+      std::reverse(batch.requests.begin(), batch.requests.end());
+    }
+    if (byzantine_mode() == ByzantineMode::kCensorClient) {
+      auto& reqs = batch.requests;
+      reqs.erase(std::remove_if(reqs.begin(), reqs.end(),
+                                [this](const ClientRequest& r) {
+                                  return r.client ==
+                                         byzantine_spec().censor_target;
+                                }),
+                 reqs.end());
+      if (batch.requests.empty()) continue;
+    }
+    ProposeBatch(std::move(batch));
+  }
+}
+
+UniqueIdentifier MinBftReplica::CertifyPrepare(SequenceNumber seq,
+                                               const Digest& digest) {
+  return usig_->Certify(&crypto(), PrepareBinding(view_, seq, digest));
+}
+
+bool MinBftReplica::ByzantinePropose(SequenceNumber seq, Batch& batch) {
+  if (byzantine_mode() != ByzantineMode::kEquivocate) return false;
+
+  // Equivocation attempt. A faithful USIG will not certify two digests
+  // under one counter value: the second certificate burns the NEXT
+  // counter, so at most one half receives an affine-consistent prepare —
+  // the other half rejects, the view stalls, and the view change installs
+  // whichever batch (if any) was accepted. Structural containment.
+  Batch other;
+  if (batch.requests.size() >= 2) {
+    other = batch;
+    std::reverse(other.requests.begin(), other.requests.end());
+  }  // else: `other` stays empty -> different digest.
+
+  UniqueIdentifier ui_a = CertifyPrepare(seq, batch.ComputeDigest());
+  UniqueIdentifier ui_b = CertifyPrepare(seq, other.ComputeDigest());
+  auto msg_a = std::make_shared<MinPrepareMessage>(view_, seq, batch, ui_a);
+  auto msg_b = std::make_shared<MinPrepareMessage>(view_, seq, other, ui_b);
+  ChargeAuthSend(n() - 1, msg_a->WireSize());
+  std::vector<NodeId> others = OtherReplicas();
+  for (size_t i = 0; i < others.size(); ++i) {
+    Send(others[i], i % 2 == 0 ? MessagePtr(msg_a) : MessagePtr(msg_b));
+  }
+  metrics().Increment("minbft.equivocations");
+  return true;
+}
+
+void MinBftReplica::ProposeBatch(Batch batch) {
+  SequenceNumber seq = next_seq_++;
+
+  if (ByzantinePropose(seq, batch)) return;
+
+  Digest digest = batch.ComputeDigest();
+  UniqueIdentifier ui = CertifyPrepare(seq, digest);
+  Instance& inst = instances_[seq];
+  inst.batch = batch;
+  inst.digest = digest;
+  inst.has_prepare = true;
+  inst.prepare_ui = ui;
+  // The prepare doubles as the leader's commit vote.
+  inst.commit_votes[digest].Add(config().id);
+  TraceMark("propose", view_, seq);
+  TraceSpanBegin("agree", view_, seq);
+
+  auto msg =
+      std::make_shared<MinPrepareMessage>(view_, seq, std::move(batch), ui);
+  ChargeAuthSend(n() - 1, msg->WireSize());
+  if (byzantine_mode() == ByzantineMode::kCounterRollback &&
+      !counter_fault_fired_ && seq % kWithholdStride == 0) {
+    // Rollback setup: withhold this prepare from the victim (the
+    // highest-id backup) and remember its identifier; the fault timer
+    // later re-certifies an altered batch under the replayed identifier.
+    // Withheld slots sit kWithholdStride apart — see the header note.
+    ReplicaId victim = static_cast<ReplicaId>(n() - 1);
+    withheld_[seq] = WithheldPrepare{ui.counter, inst.batch};
+    for (NodeId r : OtherReplicas()) {
+      if (r != static_cast<NodeId>(victim)) Send(r, msg);
+    }
+  } else {
+    Multicast(OtherReplicas(), std::move(msg));
+  }
+  ArmViewChangeTimerIfNeeded();
+  ArmProgressTimerIfNeeded();
+}
+
+// --- Protocol messages -------------------------------------------------------
+
+void MinBftReplica::OnProtocolMessage(NodeId from, const MessagePtr& msg) {
+  if (from < static_cast<NodeId>(n())) {
+    switch (msg->type()) {
+      case kMinPrepare:
+        NoteViewEvidence(static_cast<ReplicaId>(from),
+                         static_cast<const MinPrepareMessage&>(*msg).view());
+        break;
+      case kMinCommit:
+        NoteViewEvidence(static_cast<ReplicaId>(from),
+                         static_cast<const MinCommitMessage&>(*msg).view());
+        break;
+      default:
+        break;
+    }
+  }
+  switch (msg->type()) {
+    case kMinPrepare:
+      HandlePrepare(from, static_cast<const MinPrepareMessage&>(*msg));
+      break;
+    case kMinCommit:
+      HandleCommit(from, static_cast<const MinCommitMessage&>(*msg));
+      break;
+    case kMinViewChange:
+      HandleViewChange(from, static_cast<const MinViewChangeMessage&>(*msg));
+      break;
+    case kMinNewView:
+      HandleNewView(from, static_cast<const MinNewViewMessage&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void MinBftReplica::HandlePrepare(NodeId from, const MinPrepareMessage& msg) {
+  if (view_changing_ || msg.view() != view_ || from != leader()) return;
+  if (msg.seq() <= LowWatermark() || msg.seq() > HighWatermark()) return;
+  ChargeAuthVerify(msg.WireSize());
+  const bool check_ui = config().verify_trusted_ui;
+  if (check_ui &&
+      (msg.ui().signer != static_cast<NodeId>(from) ||
+       !TrustedCounter::Verify(&crypto(), msg.ui(),
+                               PrepareBinding(view_, msg.seq(),
+                                              msg.digest())))) {
+    metrics().Increment("minbft.ui_invalid");
+    return;
+  }
+
+  Instance& inst = instances_[msg.seq()];
+  if (inst.has_prepare) {
+    if (inst.digest == msg.digest() &&
+        inst.prepare_ui.epoch == msg.ui().epoch &&
+        inst.prepare_ui.counter == msg.ui().counter) {
+      // The leader's progress retransmission (identical identifier):
+      // votes are idempotent, so re-send ours in case it was lost.
+      if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+      if (inst.commit_sent) SendCommitVote(msg.seq(), inst.digest);
+      return;
+    }
+    metrics().Increment("minbft.conflicting_prepare");
+    return;
+  }
+  if (check_ui) {
+    // The affine binding: within this view, sequence s must carry counter
+    // base_counter + (s - base_seq) in the base epoch. A leader that
+    // skipped, reused, or re-derived counters fails here for every
+    // receiver, so no two backups can accept different batches at one
+    // sequence number.
+    if (msg.seq() <= base_seq_ || msg.ui().epoch != base_epoch_ ||
+        msg.ui().counter != base_counter_ + (msg.seq() - base_seq_)) {
+      metrics().Increment("minbft.ui_affine_rejected");
+      return;
+    }
+    if (!AcceptUi(msg.ui())) {
+      metrics().Increment("minbft.ui_replay_rejected");
+      return;
+    }
+  }
+  inst.has_prepare = true;
+  inst.batch = msg.batch();
+  inst.digest = msg.digest();
+  inst.prepare_ui = msg.ui();
+  TraceSpanBegin("agree", view_, msg.seq());
+  inst.commit_votes[inst.digest].Add(static_cast<ReplicaId>(from));
+  for (const ClientRequest& r : msg.batch().requests) {
+    RemoveFromPool(r.ComputeDigest());
+  }
+  ArmViewChangeTimerIfNeeded();
+
+  if (byzantine_mode() == ByzantineMode::kSilentBackup) return;
+  SendCommitVote(msg.seq(), inst.digest);
+  CheckCommitted(msg.seq());
+}
+
+void MinBftReplica::SendCommitVote(SequenceNumber seq, const Digest& digest) {
+  Instance& inst = instances_[seq];
+  UniqueIdentifier ui = usig_->Certify(
+      &crypto(), CommitBinding(view_, seq, digest, config().id));
+  auto commit = std::make_shared<MinCommitMessage>(view_, seq, digest,
+                                                   config().id, ui);
+  ChargeAuthSend(n() - 1, commit->WireSize());
+  if (byzantine_mode() == ByzantineMode::kCounterFork && forked_) {
+    // Forked attestation: even-indexed peers get the genuine vote; odd
+    // peers a clone-certified vote for a garbage digest that reuses the
+    // same identifier stream. Receivers that see both streams reject the
+    // second arrival as a replay; the garbage bucket never reaches f+1.
+    UniqueIdentifier fui = forked_->Certify(
+        &crypto(), CommitBinding(view_, seq, ForkedVoteDigest(),
+                                 config().id));
+    auto fake = std::make_shared<MinCommitMessage>(
+        view_, seq, ForkedVoteDigest(), config().id, fui);
+    std::vector<NodeId> others = OtherReplicas();
+    for (size_t i = 0; i < others.size(); ++i) {
+      Send(others[i], i % 2 == 0 ? MessagePtr(commit) : MessagePtr(fake));
+    }
+    metrics().Increment("minbft.forked_votes");
+  } else {
+    Multicast(OtherReplicas(), commit);
+  }
+  inst.commit_sent = true;
+  inst.commit_votes[digest].Add(config().id);
+}
+
+void MinBftReplica::HandleCommit(NodeId from, const MinCommitMessage& msg) {
+  if (view_changing_ || msg.view() != view_) return;
+  if (msg.seq() <= LowWatermark() || msg.seq() > HighWatermark()) return;
+  if (msg.replica() == config().id) return;
+  ChargeAuthVerify(msg.WireSize());
+  if (config().verify_trusted_ui) {
+    if (msg.ui().signer != static_cast<NodeId>(msg.replica()) ||
+        !TrustedCounter::Verify(&crypto(), msg.ui(),
+                                CommitBinding(msg.view(), msg.seq(),
+                                              msg.digest(), msg.replica()))) {
+      metrics().Increment("minbft.ui_invalid");
+      return;
+    }
+    if (!AcceptUi(msg.ui())) {
+      metrics().Increment("minbft.ui_replay_rejected");
+      return;
+    }
+  }
+  Instance& inst = instances_[msg.seq()];
+  inst.commit_votes[msg.digest()].Add(msg.replica());
+  CheckCommitted(msg.seq());
+  (void)from;
+}
+
+void MinBftReplica::CheckCommitted(SequenceNumber seq) {
+  Instance& inst = instances_[seq];
+  if (inst.committed || !inst.has_prepare) return;
+  // f+1 identifiers over one (view, seq, digest): at least one is from a
+  // correct replica, and no correct replica accepts a conflicting
+  // prepare, so the batch is final.
+  if (inst.commit_votes[inst.digest].size() < QuorumF1()) return;
+  inst.committed = true;
+  metrics().Increment("minbft.committed");
+  TraceSpanEnd("agree", view_, seq);
+  committed_log_[seq] = std::make_pair(inst.digest, inst.batch);
+  // Copy before delivering: execution can complete a checkpoint quorum
+  // synchronously and OnCheckpointStable erases instances_.
+  Batch batch = inst.batch;
+  Deliver(seq, batch);
+}
+
+// --- Execution / timers ------------------------------------------------------
+
+void MinBftReplica::OnRequestExecuted(const ClientRequest& /*request*/,
+                                      bool /*speculative*/) {
+  if (view_change_timer_ != kInvalidEvent && !InPool(vc_watch_)) {
+    DisarmViewChangeTimer();
+    ArmViewChangeTimerIfNeeded();
+  }
+  if (IsLeader() && HasPending()) ProposeAvailable();
+}
+
+void MinBftReplica::ArmViewChangeTimerIfNeeded() {
+  if (view_change_timer_ != kInvalidEvent) return;
+  if (IsLeader()) return;
+  const ClientRequest* oldest = PeekOldest();
+  if (oldest == nullptr) return;
+  vc_watch_ = oldest->ComputeDigest();
+  if (current_vc_timeout_us_ == 0) {
+    current_vc_timeout_us_ = config().view_change_timeout_us;
+  }
+  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+}
+
+void MinBftReplica::DisarmViewChangeTimer() {
+  CancelTimer(&view_change_timer_);
+  current_vc_timeout_us_ = config().view_change_timeout_us;
+}
+
+SequenceNumber MinBftReplica::OldestUnexecutedInstance() const {
+  for (const auto& [seq, inst] : instances_) {
+    if (seq <= last_executed()) continue;
+    if (inst.has_prepare) return seq;
+  }
+  return 0;
+}
+
+void MinBftReplica::ArmProgressTimerIfNeeded() {
+  if (!IsLeader() || view_changing_) return;
+  if (progress_timer_ != kInvalidEvent) return;
+  if (OldestUnexecutedInstance() == 0) return;
+  progress_timer_ = SetTimer(config().view_change_timeout_us, kProgressTimer);
+}
+
+void MinBftReplica::OnTimer(uint64_t tag) {
+  switch (tag) {
+    case kViewChangeTimer:
+      view_change_timer_ = kInvalidEvent;
+      metrics().Increment("minbft.vc_timeout");
+      StartViewChange(view_changing_ ? target_view_ + 1 : view_ + 1);
+      break;
+    case kBatchTimer:
+      batch_timer_ = kInvalidEvent;
+      ProposeAvailable();
+      break;
+    case kDelayedProposeTimer:
+      delayed_propose_pending_ = false;
+      ProposeAvailable();
+      break;
+    case kProgressTimer: {
+      progress_timer_ = kInvalidEvent;
+      if (!IsLeader() || view_changing_) break;
+      SequenceNumber seq = OldestUnexecutedInstance();
+      if (seq == 0) break;
+      const Instance& inst = instances_[seq];
+      // Retransmit the ORIGINAL prepare: its stored identifier is the only
+      // one the affine binding admits for this sequence number.
+      auto msg = std::make_shared<MinPrepareMessage>(view_, seq, inst.batch,
+                                                     inst.prepare_ui);
+      ChargeAuthSend(n() - 1, msg->WireSize());
+      Multicast(OtherReplicas(), std::move(msg));
+      metrics().Increment("minbft.prepare_retransmits");
+      progress_timer_ =
+          SetTimer(config().view_change_timeout_us, kProgressTimer);
+      break;
+    }
+    case kCounterFaultTimer:
+      if (byzantine_mode() == ByzantineMode::kCounterFork) {
+        if (usig_ && !forked_) {
+          forked_ = usig_->Fork();
+          metrics().Increment("minbft.counter_forked");
+        }
+      } else if (byzantine_mode() == ByzantineMode::kCounterRollback) {
+        ExecuteCounterRollback();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MinBftReplica::ExecuteCounterRollback() {
+  if (counter_fault_fired_) return;
+  counter_fault_fired_ = true;
+  if (!usig_ || !IsLeader() || view_changing_) {
+    withheld_.clear();
+    return;
+  }
+  // Replay each withheld identifier over an ALTERED batch. Descending
+  // order: a rollback can only move the counter down, so the highest
+  // stolen identifier must be re-certified first. Identifiers still
+  // inside the victim's hole window are skipped — replaying those would
+  // be accepted as legitimately late messages, which is the window's
+  // documented blind spot, not the attack under test.
+  for (auto it = withheld_.rbegin(); it != withheld_.rend(); ++it) {
+    SequenceNumber seq = it->first;
+    const WithheldPrepare& wp = it->second;
+    if (wp.counter + kMaxUiHoles >= usig_->counter()) continue;
+    usig_->ForceRollback(usig_->counter() - (wp.counter - 1));
+    Batch altered = wp.batch;
+    if (altered.requests.size() >= 2) {
+      std::reverse(altered.requests.begin(), altered.requests.end());
+    } else {
+      altered.requests.clear();
+    }
+    UniqueIdentifier ui = CertifyPrepare(seq, altered.ComputeDigest());
+    auto msg = std::make_shared<MinPrepareMessage>(view_, seq,
+                                                   std::move(altered), ui);
+    ChargeAuthSend(n() - 1, msg->WireSize());
+    Multicast(OtherReplicas(), std::move(msg));
+    metrics().Increment("minbft.counter_rollback_attacks");
+  }
+  withheld_.clear();
+}
+
+// --- UI freshness ------------------------------------------------------------
+
+bool MinBftReplica::AcceptUi(const UniqueIdentifier& ui) {
+  UiWatermark& wm = ui_high_[static_cast<ReplicaId>(ui.signer)];
+  if (ui.epoch > wm.epoch) {
+    // The sender's USIG legitimately rebooted; its counter restarts.
+    wm.epoch = ui.epoch;
+    wm.high = ui.counter;
+    wm.holes.clear();
+    return true;
+  }
+  if (ui.epoch < wm.epoch) return false;
+  if (ui.counter > wm.high) {
+    uint64_t first = wm.high + 1;
+    if (ui.counter - first > kMaxUiHoles) first = ui.counter - kMaxUiHoles;
+    for (uint64_t c = first; c < ui.counter; ++c) wm.holes.insert(c);
+    wm.high = ui.counter;
+    // Expire holes that fell out of the reordering window: accepting an
+    // identifier this far behind the sender's newest is indistinguishable
+    // from a rollback replay.
+    while (!wm.holes.empty() && *wm.holes.begin() + kMaxUiHoles < wm.high) {
+      wm.holes.erase(wm.holes.begin());
+    }
+    while (wm.holes.size() > kMaxUiHoles) wm.holes.erase(wm.holes.begin());
+    return true;
+  }
+  auto it = wm.holes.find(ui.counter);
+  if (it == wm.holes.end()) return false;
+  wm.holes.erase(it);
+  metrics().Increment("minbft.ui_hole_filled");
+  return true;
+}
+
+// --- View change -------------------------------------------------------------
+
+void MinBftReplica::StartViewChange(ViewNumber new_view) {
+  if (new_view <= view_) return;
+  if (view_changing_ && new_view <= target_view_) return;
+  BFTLAB_LOG(kDebug) << "minbft start view change" << Kv("from", view_)
+                     << Kv("to", new_view);
+  TraceSpanBegin("viewchange", new_view);
+  view_changing_ = true;
+  target_view_ = new_view;
+  CancelTimer(&batch_timer_);
+  CancelTimer(&progress_timer_);
+  metrics().Increment("minbft.view_change_started");
+
+  auto vc = BuildViewChange(new_view);
+  ChargeAuthSend(n() - 1, vc->WireSize());
+  view_changes_[new_view].emplace(config().id, *vc);
+  Multicast(OtherReplicas(), std::move(vc));
+
+  if (current_vc_timeout_us_ == 0) {
+    current_vc_timeout_us_ = config().view_change_timeout_us;
+  }
+  CancelTimer(&view_change_timer_);
+  view_change_timer_ = SetTimer(current_vc_timeout_us_, kViewChangeTimer);
+  current_vc_timeout_us_ = NextViewChangeBackoff(current_vc_timeout_us_);
+
+  if (LeaderOf(new_view) == config().id) MaybeAssembleNewView(new_view);
+}
+
+std::shared_ptr<MinViewChangeMessage> MinBftReplica::BuildViewChange(
+    ViewNumber new_view) {
+  std::vector<MinPreparedProof> proofs;
+  for (const auto& [seq, entry] : committed_log_) {
+    if (seq <= LowWatermark()) continue;
+    MinPreparedProof proof;
+    proof.seq = seq;
+    proof.view = kCommittedProofView;
+    proof.digest = entry.first;
+    proof.batch = entry.second;
+    proofs.push_back(std::move(proof));
+  }
+  // Accepted prepares: with non-equivocating leaders an accepted prepare
+  // is already the PBFT "prepared" equivalent — some replica may have
+  // committed on our vote, so it must survive the view change.
+  for (const auto& [seq, inst] : instances_) {
+    if (inst.has_prepare && seq > LowWatermark() &&
+        committed_log_.count(seq) == 0) {
+      MinPreparedProof proof;
+      proof.seq = seq;
+      proof.view = view_;
+      proof.batch = inst.batch;
+      proof.digest = inst.digest;
+      proofs.push_back(std::move(proof));
+    }
+  }
+  UniqueIdentifier ui = usig_->Certify(
+      &crypto(), ViewChangeBinding(new_view, config().id, LowWatermark()));
+  return std::make_shared<MinViewChangeMessage>(
+      new_view, config().id, LowWatermark(), std::move(proofs), ui);
+}
+
+void MinBftReplica::NoteViewEvidence(ReplicaId sender, ViewNumber w) {
+  if (w <= view_ || sender == config().id) return;
+  view_evidence_[w].Add(sender);
+  VoterSet distinct;
+  ViewNumber smallest = 0;
+  for (const auto& [v, senders] : view_evidence_) {
+    if (v <= view_) continue;
+    if (smallest == 0) smallest = v;
+    distinct.Merge(senders);
+  }
+  if (smallest == 0 || distinct.size() < QuorumF1()) return;
+  if (!view_changing_ || smallest > target_view_) {
+    metrics().Increment("minbft.view_evidence_joins");
+    StartViewChange(smallest);
+  } else if (smallest < target_view_ && smallest != asked_view_) {
+    asked_view_ = smallest;
+    metrics().Increment("minbft.view_evidence_joins");
+    auto vc = BuildViewChange(smallest);
+    ChargeAuthSend(1, vc->WireSize());
+    Send(LeaderOf(smallest), std::move(vc));
+  }
+}
+
+void MinBftReplica::HandleViewChange(NodeId /*from*/,
+                                     const MinViewChangeMessage& msg) {
+  if (msg.new_view() <= view_) {
+    // Late joiner: replay our NEW-VIEW if we led the current view.
+    if (last_new_view_ && last_new_view_->new_view() == view_ &&
+        msg.replica() != config().id) {
+      ChargeAuthSend(1, last_new_view_->WireSize());
+      Send(msg.replica(), last_new_view_);
+      metrics().Increment("minbft.new_view_replayed");
+    }
+    return;
+  }
+  ChargeAuthVerify(msg.WireSize());
+  if (config().verify_trusted_ui) {
+    if (msg.ui().signer != static_cast<NodeId>(msg.replica()) ||
+        !TrustedCounter::Verify(&crypto(), msg.ui(),
+                                ViewChangeBinding(msg.new_view(),
+                                                  msg.replica(),
+                                                  msg.stable_seq()))) {
+      metrics().Increment("minbft.ui_invalid");
+      return;
+    }
+    // A rolled-back replica's stale identifiers keep it out of
+    // view-change quorums until its counter catches back up.
+    if (!AcceptUi(msg.ui())) {
+      metrics().Increment("minbft.ui_replay_rejected");
+      return;
+    }
+  }
+  view_changes_[msg.new_view()].emplace(msg.replica(), msg);
+
+  // Join rule: f+1 replicas already moved to this view -> follow them.
+  if ((!view_changing_ || msg.new_view() > target_view_) &&
+      view_changes_[msg.new_view()].size() >= QuorumF1()) {
+    StartViewChange(msg.new_view());
+  }
+
+  // Castro's complementary rule, retuned for n = 2f+1: with only 2f other
+  // replicas (f of them possibly crashed), waiting for f+1 announcers can
+  // deadlock two correct replicas chasing disjoint view numbers — so
+  // adopt the smallest view once f OTHER replicas announce above ours.
+  // A Byzantine replica can drag the view forward (liveness annoyance,
+  // bounded by the back-off), never break safety: installing a view
+  // still takes f+1 UI-certified view changes.
+  std::map<ReplicaId, ViewNumber> announced;
+  for (const auto& [v, msgs] : view_changes_) {
+    if (v <= view_) continue;
+    for (const auto& [replica, vc] : msgs) {
+      if (replica == config().id) continue;
+      auto [slot, inserted] = announced.emplace(replica, v);
+      if (!inserted) slot->second = std::min(slot->second, v);
+    }
+  }
+  if (!announced.empty() && announced.size() >= config().f) {
+    ViewNumber smallest = ~static_cast<ViewNumber>(0);
+    for (const auto& [replica, v] : announced) {
+      smallest = std::min(smallest, v);
+    }
+    if (!view_changing_ || smallest > target_view_) {
+      StartViewChange(smallest);
+    } else if (smallest < target_view_ && smallest != asked_view_) {
+      asked_view_ = smallest;
+      auto vc = BuildViewChange(smallest);
+      ChargeAuthSend(1, vc->WireSize());
+      Send(LeaderOf(smallest), std::move(vc));
+    }
+  }
+
+  if (view_changing_ && LeaderOf(target_view_) == config().id) {
+    MaybeAssembleNewView(target_view_);
+  }
+}
+
+void MinBftReplica::MaybeAssembleNewView(ViewNumber new_view) {
+  auto it = view_changes_.find(new_view);
+  if (it == view_changes_.end() || it->second.size() < QuorumF1()) return;
+  if (!view_changing_ || target_view_ != new_view) return;
+
+  SequenceNumber min_s = LowWatermark();
+  SequenceNumber max_s = min_s;
+  size_t proof_bytes = 0;
+  std::map<SequenceNumber, const MinPreparedProof*> best;
+  for (const auto& [replica, vc] : it->second) {
+    proof_bytes += vc.WireSize();
+    min_s = std::max(min_s, vc.stable_seq());
+    for (const MinPreparedProof& proof : vc.prepared()) {
+      max_s = std::max(max_s, proof.seq);
+      auto [slot, inserted] = best.emplace(proof.seq, &proof);
+      if (!inserted && proof.view > slot->second->view) {
+        slot->second = &proof;
+      }
+    }
+  }
+
+  std::vector<MinNewViewMessage::Proposal> proposals;
+  for (SequenceNumber seq = min_s + 1; seq <= max_s; ++seq) {
+    MinNewViewMessage::Proposal p;
+    p.seq = seq;
+    auto slot = best.find(seq);
+    if (slot != best.end()) {
+      p.batch = slot->second->batch;
+      p.digest = slot->second->digest;
+    } else {
+      p.digest = Batch{}.ComputeDigest();  // Null request fills the gap.
+    }
+    proposals.push_back(std::move(p));
+  }
+
+  // The NEW-VIEW's identifier anchors the new view's affine binding.
+  UniqueIdentifier nv_ui = usig_->Certify(
+      &crypto(), NewViewBinding(new_view, min_s, proposals));
+  auto nv = std::make_shared<MinNewViewMessage>(new_view, min_s, proposals,
+                                                proof_bytes, nv_ui);
+  last_new_view_ = nv;
+  ChargeAuthSend(n() - 1, nv->WireSize());
+  Multicast(OtherReplicas(), std::move(nv));
+  metrics().Increment("minbft.new_view_sent");
+  EnterNewView(new_view, min_s, proposals, nv_ui);
+}
+
+void MinBftReplica::HandleNewView(NodeId from, const MinNewViewMessage& msg) {
+  if (msg.new_view() <= view_) return;
+  if (from != static_cast<NodeId>(LeaderOf(msg.new_view()))) return;
+  ChargeAuthVerify(msg.WireSize());
+  if (config().verify_trusted_ui) {
+    if (msg.ui().signer != from ||
+        !TrustedCounter::Verify(&crypto(), msg.ui(),
+                                NewViewBinding(msg.new_view(), msg.base_seq(),
+                                               msg.proposals()))) {
+      metrics().Increment("minbft.ui_invalid");
+      return;
+    }
+    // A would-be leader whose counter was rolled back cannot install a
+    // view: its NEW-VIEW identifier is stale and the back-off cascade
+    // skips it.
+    if (!AcceptUi(msg.ui())) {
+      metrics().Increment("minbft.ui_replay_rejected");
+      return;
+    }
+  }
+  EnterNewView(msg.new_view(), msg.base_seq(), msg.proposals(), msg.ui());
+}
+
+void MinBftReplica::EnterNewView(
+    ViewNumber new_view, SequenceNumber base_seq,
+    const std::vector<MinNewViewMessage::Proposal>& proposals,
+    const UniqueIdentifier& nv_ui) {
+  BFTLAB_LOG(kDebug) << "minbft enter view" << Kv("view", new_view);
+  TraceSpanEnd("viewchange", new_view);
+  view_ = new_view;
+  view_changing_ = false;
+  target_view_ = new_view;
+  instances_.clear();
+  view_changes_.erase(view_changes_.begin(),
+                      view_changes_.upper_bound(new_view));
+  view_evidence_.erase(view_evidence_.begin(),
+                       view_evidence_.upper_bound(new_view));
+  asked_view_ = 0;
+  DisarmViewChangeTimer();
+  ++view_changes_completed_;
+  metrics().Increment("minbft.view_changes_completed");
+
+  // Rebase the affine seq<->counter binding on the NEW-VIEW identifier.
+  base_epoch_ = nv_ui.epoch;
+  base_counter_ = nv_ui.counter;
+  base_seq_ = base_seq;
+
+  const bool is_leader = IsLeader();
+  const bool silent = byzantine_mode() == ByzantineMode::kSilentBackup;
+  SequenceNumber max_seq = base_seq;
+  for (const auto& p : proposals) {
+    max_seq = std::max(max_seq, p.seq);
+    if (p.seq <= last_executed()) continue;
+    Instance& inst = instances_[p.seq];
+    inst.has_prepare = true;
+    inst.batch = p.batch;
+    inst.digest = p.digest;
+    TraceSpanBegin("agree", new_view, p.seq);
+    for (const ClientRequest& r : p.batch.requests) {
+      RemoveFromPool(r.ComputeDigest());
+    }
+    // The NEW-VIEW asserts the leader's re-prepare, so it counts as the
+    // leader's commit vote.
+    inst.commit_votes[p.digest].Add(LeaderOf(new_view));
+    if (is_leader) {
+      // Re-certify in ascending order: the k-th proposal after base_seq
+      // gets counter nv_ui.counter + k, matching the binding.
+      inst.prepare_ui = CertifyPrepare(p.seq, p.digest);
+      auto msg = std::make_shared<MinPrepareMessage>(new_view, p.seq,
+                                                     p.batch, inst.prepare_ui);
+      ChargeAuthSend(n() - 1, msg->WireSize());
+      Multicast(OtherReplicas(), std::move(msg));
+    } else {
+      // Record the identifier the leader's re-prepare must carry so the
+      // real message is recognized as a retransmission.
+      inst.prepare_ui.signer = LeaderOf(new_view);
+      inst.prepare_ui.epoch = base_epoch_;
+      inst.prepare_ui.counter = base_counter_ + (p.seq - base_seq_);
+      if (!silent) SendCommitVote(p.seq, p.digest);
+    }
+    CheckCommitted(p.seq);
+  }
+  next_seq_ = std::max({max_seq + 1, last_executed() + 1,
+                        LowWatermark() + 1});
+
+  if (HasPending()) {
+    if (is_leader) {
+      ProposeAvailable();
+    } else {
+      const ClientRequest* oldest = PeekOldest();
+      if (oldest != nullptr) {
+        Send(leader(), std::make_shared<RequestMessage>(*oldest));
+      }
+      ArmViewChangeTimerIfNeeded();
+    }
+  }
+  ArmProgressTimerIfNeeded();
+}
+
+// --- GC / fingerprint --------------------------------------------------------
+
+void MinBftReplica::OnCheckpointStable(SequenceNumber seq) {
+  // GC contract (DESIGN.md §14): state covered by the stable checkpoint.
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+  committed_log_.erase(committed_log_.begin(),
+                       committed_log_.upper_bound(seq));
+}
+
+void MinBftReplica::OnStateTransferComplete(SequenceNumber seq) {
+  instances_.erase(instances_.begin(), instances_.upper_bound(seq));
+  committed_log_.erase(committed_log_.begin(),
+                       committed_log_.upper_bound(seq));
+  next_seq_ = std::max(next_seq_, seq + 1);
+}
+
+uint64_t MinBftReplica::ProtocolStateFingerprint() const {
+  uint64_t h = kFnvBasis;
+  h = FnvMix(h, view_);
+  h = FnvMix(h, next_seq_);
+  h = FnvMix(h, view_changing_ ? 1 : 0);
+  h = FnvMix(h, target_view_);
+  h = FnvMix(h, asked_view_);
+  h = FnvMix(h, base_epoch_);
+  h = FnvMix(h, base_counter_);
+  h = FnvMix(h, base_seq_);
+  h = FnvMix(h, usig_ ? usig_->epoch() : 0);
+  h = FnvMix(h, usig_ ? usig_->counter() : 0);
+  h = FnvMix(h, forked_ ? forked_->counter() : 0);
+  h = FnvMix(h, counter_fault_fired_ ? 1 : 0);
+  for (const auto& [seq, inst] : instances_) {
+    h = FnvMix(h, seq);
+    h = FnvMix(h, (inst.has_prepare ? 1 : 0) | (inst.committed ? 2 : 0) |
+                      (inst.commit_sent ? 4 : 0));
+    h = FnvBytes(inst.digest.data(), Digest::kSize, h);
+    h = FnvMix(h, inst.prepare_ui.epoch);
+    h = FnvMix(h, inst.prepare_ui.counter);
+    for (const auto& [digest, voters] : inst.commit_votes) {
+      h = FnvBytes(digest.data(), Digest::kSize, h);
+      for (ReplicaId r : voters) h = FnvMix(h, r);
+    }
+  }
+  for (const auto& [seq, entry] : committed_log_) {
+    h = FnvMix(h, seq);
+    h = FnvBytes(entry.first.data(), Digest::kSize, h);
+  }
+  for (const auto& [target, msgs] : view_changes_) {
+    h = FnvMix(h, target);
+    for (const auto& [replica, vc] : msgs) h = FnvMix(h, replica);
+  }
+  for (const auto& [w, senders] : view_evidence_) {
+    h = FnvMix(h, w);
+    for (ReplicaId r : senders) h = FnvMix(h, r);
+  }
+  for (const auto& [replica, wm] : ui_high_) {
+    h = FnvMix(h, replica);
+    h = FnvMix(h, wm.epoch);
+    h = FnvMix(h, wm.high);
+    for (uint64_t c : wm.holes) h = FnvMix(h, c);
+  }
+  return h;
+}
+
+size_t MinBftReplica::VoteStateSize() const {
+  size_t ui_state = 0;
+  for (const auto& [replica, wm] : ui_high_) {
+    ui_state += 1 + wm.holes.size();
+  }
+  return Replica::VoteStateSize() + instances_.size() +
+         committed_log_.size() + view_changes_.size() +
+         view_evidence_.size() + withheld_.size() + ui_state;
+}
+
+std::unique_ptr<Replica> MakeMinBftReplica(const ReplicaConfig& config) {
+  ReplicaConfig cfg = config;
+  // Ordering authority comes from the UI certificates; channels only need
+  // MAC authentication.
+  cfg.auth = AuthScheme::kMacs;
+  return std::make_unique<MinBftReplica>(cfg,
+                                         std::make_unique<KvStateMachine>());
+}
+
+}  // namespace bftlab

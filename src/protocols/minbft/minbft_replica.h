@@ -1,0 +1,221 @@
+// MinBFT replica (Veronese et al., "Efficient Byzantine Fault-Tolerance",
+// IEEE TC'13): the trusted-component protocol family. A tamper-resistant
+// monotonic counter (crypto/trusted.h) certifies every protocol message,
+// which removes the ability to equivocate and shrinks the replica group
+// from 3f+1 to n = 2f+1 with f+1 agreement quorums and one fewer ordering
+// phase than PBFT. Design-space point: pessimistic commitment (P1), 2
+// phases (P2), stable leader with UI-certified view change (P3),
+// decentralized checkpointing (P4), MACs + trusted counter (E3/E6).
+//
+// Equivocation containment is the affine seq<->counter binding: in each
+// view, anchored by the NEW-VIEW's UI at (base_seq, base_counter), the
+// prepare for sequence s is valid only with counter base_counter +
+// (s - base_seq) in the base epoch. The leader's USIG can certify each
+// counter value once, so it can certify at most one batch per sequence
+// number; a backup accepts the unique affine-consistent prepare and its
+// commit vote completes an f+1 quorum (the prepare doubles as the
+// leader's vote).
+//
+// Receiver-side replay protection tolerates network reordering with a
+// bounded hole window per sender: counters above the high watermark are
+// accepted (skipped values recorded as holes), counters found in the hole
+// set fill the hole, anything older is indistinguishable from a rollback
+// replay and is dropped. The window cap is therefore the defense the
+// rollback-attack battery (tests/trusted_test.cc) stresses.
+//
+// Honest caveat (DESIGN.md §15): the 2f+1 bound holds only while the
+// trusted counters do. A COMPROMISED counter (ForceRollback / Fork on the
+// leader at f=1) genuinely re-enables equivocation — the famous
+// "vivisection" result for this family. The Byzantine matrix exercises
+// the contained variants (rollback outside the hole window, forked
+// backup votes); tests/trusted_test.cc additionally shows the seeded
+// rollback attack breaking agreement once UI verification is disabled.
+
+#ifndef BFTLAB_PROTOCOLS_MINBFT_MINBFT_REPLICA_H_
+#define BFTLAB_PROTOCOLS_MINBFT_MINBFT_REPLICA_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/trusted.h"
+#include "protocols/common/quorum.h"
+#include "protocols/common/replica.h"
+#include "protocols/minbft/minbft_messages.h"
+
+namespace bftlab {
+
+class MinBftReplica : public Replica {
+ public:
+  MinBftReplica(ReplicaConfig config,
+                std::unique_ptr<StateMachine> state_machine);
+
+  std::string name() const override { return "minbft"; }
+  ViewNumber view() const override { return view_; }
+  ReplicaId leader() const override {
+    return static_cast<ReplicaId>(view_ % n());
+  }
+  ReplicaId LeaderOf(ViewNumber v) const {
+    return static_cast<ReplicaId>(v % n());
+  }
+
+  bool view_changing() const { return view_changing_; }
+  uint64_t view_changes_completed() const { return view_changes_completed_; }
+
+  TrustedCounter* trusted_counter() override {
+    return usig_ ? &*usig_ : nullptr;
+  }
+
+  void Start() override;
+  void OnTimer(uint64_t tag) override;
+  void OnRestart() override;
+  size_t VoteStateSize() const override;
+
+ protected:
+  void OnClientRequest(NodeId from, const ClientRequest& request) override;
+  void OnProtocolMessage(NodeId from, const MessagePtr& msg) override;
+  void OnCheckpointStable(SequenceNumber seq) override;
+  void OnRequestExecuted(const ClientRequest& request,
+                         bool speculative) override;
+  void OnStateTransferComplete(SequenceNumber seq) override;
+  uint64_t ProtocolStateFingerprint() const override;
+
+  /// With non-equivocating replicas, f+1 matching statements always
+  /// include one from a correct replica; checkpoints and state transfer
+  /// stabilize at f+1 as well (n = 2f+1 could never reach the untrusted
+  /// default of (n+f+2)/2 = n with one crash).
+  uint32_t AgreementQuorum() const override { return QuorumF1(); }
+
+  // Timer tags.
+  static constexpr uint64_t kViewChangeTimer = kProtocolTimerBase + 0;
+  static constexpr uint64_t kBatchTimer = kProtocolTimerBase + 1;
+  static constexpr uint64_t kDelayedProposeTimer = kProtocolTimerBase + 2;
+  static constexpr uint64_t kProgressTimer = kProtocolTimerBase + 3;
+  /// Trusted-counter compromise trigger (kCounterRollback/kCounterFork).
+  static constexpr uint64_t kCounterFaultTimer = kProtocolTimerBase + 4;
+
+  /// Out-of-order acceptance window per sender: identifiers more than this
+  /// many counter values behind the sender's newest are rejected as
+  /// replays even if never seen before.
+  static constexpr size_t kMaxUiHoles = 64;
+
+  /// kCounterRollback: every kWithholdStride-th prepare is withheld from
+  /// the victim. Wider than the hole window, so by the time the fault
+  /// timer fires EVERY stolen identifier sits outside the victim's
+  /// freshness window and the descending replay chain (each rollback can
+  /// only move the counter down) reaches all of them — the victim faces
+  /// the full attack, not a truncated prefix.
+  static constexpr uint64_t kWithholdStride = kMaxUiHoles + 16;
+
+ private:
+  struct Instance {
+    Batch batch;
+    Digest digest;
+    bool has_prepare = false;
+    bool committed = false;
+    bool commit_sent = false;
+    /// The leader's prepare identifier; retransmissions must match it
+    /// exactly (re-certifying would break the affine binding).
+    UniqueIdentifier prepare_ui;
+    std::map<Digest, VoterSet> commit_votes;
+  };
+
+  /// Per-sender UI freshness state (see class comment).
+  struct UiWatermark {
+    uint64_t epoch = 0;
+    uint64_t high = 0;
+    std::set<uint64_t> holes;
+  };
+
+  /// Prepare withheld from the rollback victim, remembered so the attack
+  /// can later re-certify an altered batch under the same identifier.
+  struct WithheldPrepare {
+    uint64_t counter = 0;
+    Batch batch;
+  };
+
+  void ProposeAvailable();
+  void ProposeBatch(Batch batch);
+  bool ByzantinePropose(SequenceNumber seq, Batch& batch);
+  void HandlePrepare(NodeId from, const MinPrepareMessage& msg);
+  void HandleCommit(NodeId from, const MinCommitMessage& msg);
+  void HandleViewChange(NodeId from, const MinViewChangeMessage& msg);
+  void HandleNewView(NodeId from, const MinNewViewMessage& msg);
+  void CheckCommitted(SequenceNumber seq);
+  void SendCommitVote(SequenceNumber seq, const Digest& digest);
+
+  /// Freshness check + watermark update for a tag-valid UI. False means
+  /// the identifier was already consumed or fell out of the hole window.
+  bool AcceptUi(const UniqueIdentifier& ui);
+  UniqueIdentifier CertifyPrepare(SequenceNumber seq, const Digest& digest);
+
+  void StartViewChange(ViewNumber new_view);
+  std::shared_ptr<MinViewChangeMessage> BuildViewChange(ViewNumber new_view);
+  void NoteViewEvidence(ReplicaId sender, ViewNumber w);
+  void MaybeAssembleNewView(ViewNumber new_view);
+  void EnterNewView(ViewNumber new_view, SequenceNumber base_seq,
+                    const std::vector<MinNewViewMessage::Proposal>& proposals,
+                    const UniqueIdentifier& nv_ui);
+
+  void ArmViewChangeTimerIfNeeded();
+  void DisarmViewChangeTimer();
+  void ArmProgressTimerIfNeeded();
+  SequenceNumber OldestUnexecutedInstance() const;
+
+  /// kCounterRollback: replay withheld identifiers over altered batches.
+  void ExecuteCounterRollback();
+
+  ViewNumber view_ = 0;
+  SequenceNumber next_seq_ = 1;
+  std::map<SequenceNumber, Instance> instances_;
+  std::map<SequenceNumber, std::pair<Digest, Batch>> committed_log_;
+  static constexpr ViewNumber kCommittedProofView =
+      ~static_cast<ViewNumber>(0);
+
+  /// This replica's trusted counter. Engaged in Start() (the KeyStore is
+  /// only reachable once the crypto context is bound); like all replica
+  /// state it survives crash/restart unless a fault schedule explicitly
+  /// wipes (Reboot) or corrupts it.
+  std::optional<TrustedCounter> usig_;
+
+  // Affine base of the current view: the prepare for sequence s must
+  // carry (base_epoch_, base_counter_ + (s - base_seq_)). View 0 is
+  // anchored at the leader's first-ever identifier.
+  uint64_t base_epoch_ = 1;
+  uint64_t base_counter_ = 0;
+  SequenceNumber base_seq_ = 0;
+
+  std::map<ReplicaId, UiWatermark> ui_high_;
+
+  // View-change state (PBFT-shaped; see pbft_replica.cc).
+  bool view_changing_ = false;
+  ViewNumber target_view_ = 0;
+  std::map<ViewNumber, std::map<ReplicaId, MinViewChangeMessage>>
+      view_changes_;
+  SimTime current_vc_timeout_us_ = 0;
+  EventId view_change_timer_ = kInvalidEvent;
+  uint64_t view_changes_completed_ = 0;
+  std::map<ViewNumber, VoterSet> view_evidence_;
+  ViewNumber asked_view_ = 0;
+  std::shared_ptr<MinNewViewMessage> last_new_view_;
+
+  EventId batch_timer_ = kInvalidEvent;
+  EventId progress_timer_ = kInvalidEvent;
+  bool delayed_propose_pending_ = false;
+  Digest vc_watch_;
+
+  // Trusted-counter compromise scripts.
+  std::map<SequenceNumber, WithheldPrepare> withheld_;
+  bool counter_fault_fired_ = false;
+  std::optional<TrustedCounter> forked_;
+};
+
+/// Factory for Cluster.
+std::unique_ptr<Replica> MakeMinBftReplica(const ReplicaConfig& config);
+
+}  // namespace bftlab
+
+#endif  // BFTLAB_PROTOCOLS_MINBFT_MINBFT_REPLICA_H_

@@ -34,6 +34,14 @@ constexpr ModeCase kModes[] = {
     {ByzantineMode::kCensorClient, "censor_client"},
     {ByzantineMode::kReorderRequests, "reorder_requests"},
     {ByzantineMode::kSilentBackup, "silent_backup"},
+    // Trusted-component compromise modes: rollback a leader's counter and
+    // replay stolen identifiers over altered batches; fork a backup's
+    // counter and split the equivocating votes. minbft must contain both
+    // (receiver-side UI freshness; per-digest vote buckets). Untrusted
+    // families own no counter, so the modes degrade to honest behaviour —
+    // the cells then assert the baseline still holds.
+    {ByzantineMode::kCounterRollback, "counter_rollback"},
+    {ByzantineMode::kCounterFork, "counter_fork"},
 };
 
 struct MatrixCase {
@@ -95,9 +103,14 @@ TEST_P(ByzantineMatrixTest, OraclesHoldAndProgressContinues) {
 
   ByzantineSpec spec;
   spec.mode = c.mode.mode;
-  // Leader attacks target the initial leader; the silent backup sits at
-  // the far end of the id space so it never leads early.
-  ReplicaId target = c.mode.mode == ByzantineMode::kSilentBackup ? n - 1 : 0;
+  // Leader attacks target the initial leader; the silent backup and the
+  // forked counter (leaders send no commit votes, so a forking leader
+  // would be a no-op) sit at the far end of the id space so they never
+  // lead early.
+  ReplicaId target = c.mode.mode == ByzantineMode::kSilentBackup ||
+                             c.mode.mode == ByzantineMode::kCounterFork
+                         ? n - 1
+                         : 0;
   if (c.mode.mode == ByzantineMode::kCensorClient) {
     spec.censor_target = kClientIdBase;  // Client 0; client 1 unaffected.
   }

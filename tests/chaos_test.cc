@@ -12,6 +12,7 @@
 #include "chaos/nemesis.h"
 #include "core/experiment.h"
 #include "protocols/hotstuff/hotstuff_replica.h"
+#include "protocols/minbft/minbft_replica.h"
 #include "protocols/pbft/pbft_replica.h"
 #include "smr/kv_op.h"
 #include "smr/kv_txn.h"
@@ -270,6 +271,59 @@ TEST(ChaosExperimentTest, PartitionWindowsDropCrossGroupTraffic) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GT(r->counters["net.partition_drops"], 0u);
   EXPECT_GT(r->commits, 0u);
+}
+
+// --- Trusted-counter chaos (minbft under the counter-rollback Nemesis) ------
+
+TEST(NemesisTest, CounterRollbackScheduleIsDeterministicAndHealsByGst) {
+  NemesisSpec spec;
+  spec.profile = NemesisProfile::kCounterRollback;
+  spec.seed = 42;
+  ClusterConfig base = ChaosClusterConfig(1);
+  base.n = 3;
+  Cluster c1(base, MakeMinBftReplica);
+  Cluster c2(base, MakeMinBftReplica);
+  Nemesis n1(&c1, spec);
+  Nemesis n2(&c2, spec);
+  EXPECT_EQ(n1.Describe(), n2.Describe());
+  EXPECT_EQ(n1.ScheduleHash(), n2.ScheduleHash());
+  // The schedule names its counter tampering, so determinism tests can
+  // pin it, and every crash carries its restart time (heals by GST).
+  EXPECT_NE(n1.Describe().find("counter"), std::string::npos)
+      << n1.Describe();
+}
+
+// The chaos hammer: minbft through crash/restart waves where rejoining
+// replicas carry persisted, wiped, or rolled-back counter state, plus
+// link flaps and loss bursts. Post-GST the oracle suite demands
+// agreement, linearizability, and timely recovery — a replica whose
+// stale counter leaves it votes-rejected must catch up (its counter
+// climbs past peers' watermarks; a wiped one re-enters via epoch bump)
+// without dragging the cluster into divergence or a stall.
+TEST(ChaosExperimentTest, MinBftRecoversFromCounterRollbackChaos) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    ExperimentConfig cfg = ChaosExperiment(
+        "minbft", NemesisProfile::kCounterRollback, seed);
+    cfg.duration_us = Seconds(6);
+    cfg.recovery_bound_us = Seconds(4);
+    Result<ExperimentResult> r = RunExperiment(cfg);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.status().ToString();
+    EXPECT_GT(r->commits, 0u) << "seed " << seed;
+    EXPECT_GT(r->faults_injected, 0u) << "seed " << seed;
+    EXPECT_LE(r->recovery_us, Seconds(4)) << "seed " << seed;
+    EXPECT_GT(r->counters["chaos.post_gst_commits"], 0u) << "seed " << seed;
+  }
+}
+
+// The same profile against an untrusted protocol: the counter tampering
+// closures find no trusted counter and degrade to plain crash/restart
+// chaos, which pbft must already survive.
+TEST(ChaosExperimentTest, CounterRollbackProfileIsCrashChaosForUntrusted) {
+  Result<ExperimentResult> r = RunExperiment(
+      ChaosExperiment("pbft", NemesisProfile::kCounterRollback, 2));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->commits, 0u);
+  EXPECT_GT(r->faults_injected, 0u);
 }
 
 // --- The oracle must catch a buggy state machine ---------------------------

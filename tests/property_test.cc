@@ -121,10 +121,10 @@ std::vector<Case> MakeCases() {
   const std::set<std::string> ordered = {
       "pbft", "hotstuff", "hotstuff2", "tendermint", "zyzzyva", "zyzzyva5",
       "sbft", "poe",       "fab",      "cheapbft",   "kauri",   "themis",
-      "prime"};
+      "prime", "minbft"};
   const std::set<std::string> leader_fault_tolerant = {
       "pbft", "hotstuff", "hotstuff2", "tendermint", "poe", "themis",
-      "prime"};
+      "prime", "minbft"};
   // Zyzzyva's repair path and CheapBFT/Kauri reconfiguration handle
   // backup faults, but silent-backup stalls protocols whose fast path
   // needs everyone AND that lack a fallback in this implementation.
